@@ -1,0 +1,90 @@
+// E10 — Semantic column-type detection feature ablation: statistics-only
+// vs +embeddings (Sherlock) vs +table context (Sato) (survey §2.2).
+//
+// Series reproduced: the accuracy ordering stats-only < Sherlock-style
+// (stats+embeddings) <= Sato-style (adding table-context features), on
+// held-out tables of a generated lake whose type labels come from the
+// curated KB. Accuracy is swept against the number of values sampled per
+// column: with plentiful values the embedding signal saturates (both
+// Sherlock and Sato near-perfect); under tight sampling budgets — the
+// regime query-time annotation (§3) cares about — context features keep
+// accuracy up, reproducing Sato's advantage.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "annotate/semantic_type_detector.h"
+#include "lakegen/generator.h"
+#include "util/timer.h"
+
+namespace {
+
+/// Labels columns of the lake, splitting *within* each template group:
+/// `train == true` selects the first 3/4 of each group's tables, `false`
+/// the rest — the standard annotation setting where training covers the
+/// lake's topics and held-out tables are new instances of them.
+std::vector<lake::LabeledColumn> LabelColumns(const lake::GeneratedLake& lake,
+                                              bool train) {
+  std::vector<lake::LabeledColumn> out;
+  for (const auto& group : lake.unionable_groups) {
+    const size_t cut = group.size() * 3 / 4;
+    for (size_t i = 0; i < group.size(); ++i) {
+      if ((i < cut) != train) continue;
+      const lake::Table& table = lake.catalog.table(group[i]);
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        if (table.column(c).IsNumeric()) continue;
+        auto vote = lake.kb.ColumnType(table.column(c).DistinctStrings());
+        if (!vote.ok()) continue;
+        out.push_back(lake::LabeledColumn{&table, c, vote.value().type});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  lake::bench::PrintHeader(
+      "E10: bench_annotate",
+      "semantic type detection: stats < Sherlock (+embeddings) <= Sato "
+      "(+context), with context mattering most under tight value budgets");
+
+  lake::GeneratorOptions opts;
+  opts.seed = 17;
+  opts.num_domains = 12;
+  opts.num_templates = 8;
+  opts.tables_per_template = 8;
+  opts.values_per_domain = 300;
+  opts.homograph_count = 40;  // ambiguous values: context must disambiguate
+  const lake::GeneratedLake lake = lake::LakeGenerator(opts).Generate();
+
+  const auto train = LabelColumns(lake, /*train=*/true);
+  const auto test = LabelColumns(lake, /*train=*/false);
+  std::printf("train columns: %zu, test columns: %zu\n\n", train.size(),
+              test.size());
+
+  lake::WordEmbedding words(lake::WordEmbedding::Options{.dim = 48});
+  std::printf("%-14s %14s %14s %14s\n", "values/col", "stats-only",
+              "Sherlock", "Sato");
+  for (size_t budget : {1, 2, 4, 16, 96}) {
+    double acc[3] = {0, 0, 0};
+    const lake::FeatureExtractor::Options configs[3] = {
+        {true, false, false, budget},
+        {true, true, false, budget},
+        {true, true, true, budget},
+    };
+    for (int m = 0; m < 3; ++m) {
+      lake::SemanticTypeDetector detector(&words, configs[m]);
+      if (!detector.Train(train).ok()) continue;
+      acc[m] = detector.Evaluate(test).value_or(0.0);
+    }
+    std::printf("%-14zu %14.3f %14.3f %14.3f\n", budget, acc[0], acc[1],
+                acc[2]);
+  }
+  std::printf(
+      "\nshape check: every row should order stats <= Sherlock <= Sato;\n"
+      "the Sato gap is widest at 1-4 values per column, where a column in\n"
+      "isolation is ambiguous but its table context is not.\n");
+  return 0;
+}

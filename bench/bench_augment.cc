@@ -1,0 +1,102 @@
+// E14 — ARDA-style augmentation: joined lake features improve a
+// downstream model, and random-injection selection prunes noise features
+// (Chepurko et al., VLDB 2020; survey §2.7).
+//
+// Series reproduced: cross-validated R² before vs after augmentation as
+// the signal strength of the hidden lake feature varies; the selector
+// keeps the driver feature and rejects pure-noise columns.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "apps/augmentation.h"
+#include "search/join_josie.h"
+#include "table/catalog.h"
+#include "util/random.h"
+
+namespace {
+
+struct Workload {
+  lake::DataLakeCatalog catalog;
+  lake::Table base{"base"};
+  std::vector<double> target;
+};
+
+/// Base table's target = weak_coef*weak + signal_coef*hidden_driver + eps,
+/// where the driver lives only in a lake table reachable by join.
+Workload MakeWorkload(double signal_coef, uint64_t seed) {
+  lake::Rng rng(seed);
+  const size_t n = 150;
+  Workload w;
+
+  std::vector<std::string> keys;
+  std::vector<double> driver(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back("entity" + std::to_string(i));
+    driver[i] = rng.NextGaussian();
+  }
+  {
+    lake::Table t("signals");
+    lake::Column key("entity", lake::DataType::kString);
+    lake::Column value("indicator", lake::DataType::kDouble);
+    lake::Column noise1("noise a", lake::DataType::kDouble);
+    lake::Column noise2("noise b", lake::DataType::kDouble);
+    for (size_t i = 0; i < n; ++i) {
+      key.Append(lake::Value(keys[i]));
+      value.Append(lake::Value(driver[i]));
+      noise1.Append(lake::Value(rng.NextGaussian()));
+      noise2.Append(lake::Value(rng.NextGaussian()));
+    }
+    (void)t.AddColumn(std::move(key));
+    (void)t.AddColumn(std::move(value));
+    (void)t.AddColumn(std::move(noise1));
+    (void)t.AddColumn(std::move(noise2));
+    (void)w.catalog.AddTable(std::move(t));
+  }
+
+  lake::Column key("entity", lake::DataType::kString);
+  lake::Column weak("weak", lake::DataType::kDouble);
+  w.target.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    key.Append(lake::Value(keys[i]));
+    const double weak_v = rng.NextGaussian();
+    weak.Append(lake::Value(weak_v));
+    w.target[i] =
+        0.5 * weak_v + signal_coef * driver[i] + 0.1 * rng.NextGaussian();
+  }
+  (void)w.base.AddColumn(std::move(key));
+  (void)w.base.AddColumn(std::move(weak));
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  lake::bench::PrintHeader(
+      "E14: bench_augment",
+      "join-discovered features raise downstream R²; noise injection "
+      "filters spurious candidates");
+
+  std::printf("%-14s %10s %12s %12s %10s\n", "signal coef", "base R2",
+              "augmented R2", "gain", "selected");
+  for (double signal : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    Workload w = MakeWorkload(signal, /*seed=*/1000 + signal * 10);
+    lake::JosieJoinSearch join(&w.catalog);
+    lake::DataAugmenter augmenter(&w.catalog, &join);
+    auto report = augmenter.Augment(w.base, 0, {1}, w.target);
+    if (!report.ok()) {
+      std::printf("%-14.1f augmentation failed: %s\n", signal,
+                  report.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-14.1f %10.3f %12.3f %12.3f %10zu\n", signal,
+                report->base_r2, report->augmented_r2,
+                report->augmented_r2 - report->base_r2,
+                report->selected.size());
+  }
+  std::printf(
+      "\nshape check: gain grows with the planted signal strength; at\n"
+      "signal=0 the selector keeps (near) zero features and R² is flat —\n"
+      "random injection prevents regressions from noise features.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#ifndef LAKE_BENCH_BENCH_COMMON_H_
+#define LAKE_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the experiment harnesses. Each bench binary prints a
+// header naming its experiment id (DESIGN.md) and the surveyed claim it
+// reproduces, followed by the result rows, so `for b in build/bench/*; do
+// $b; done` produces a readable report.
+
+#include <cstdio>
+
+namespace lake::bench {
+
+inline void PrintHeader(const char* experiment_id, const char* claim) {
+  std::printf("\n=====================================================\n");
+  std::printf("%s\n", experiment_id);
+  std::printf("claim: %s\n", claim);
+  std::printf("=====================================================\n");
+}
+
+}  // namespace lake::bench
+
+#endif  // LAKE_BENCH_BENCH_COMMON_H_

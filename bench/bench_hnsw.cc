@@ -1,0 +1,106 @@
+// E5 — HNSW vs brute-force kNN on column embeddings
+// (Malkov & Yashunin, TPAMI 2020; used by Starmie; survey §3 indexing).
+//
+// Claims reproduced: HNSW answers kNN queries orders of magnitude faster
+// than a linear scan at high (>0.9) recall, and the ef_search parameter
+// trades recall for speed along a smooth curve.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench_common.h"
+#include "index/flat_vector_index.h"
+#include "index/hnsw.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace {
+
+constexpr size_t kDim = 64;
+constexpr size_t kN = 10000;
+constexpr size_t kK = 10;
+
+struct AnnWorkload {
+  lake::HnswIndex hnsw{lake::HnswIndex::Options{kDim, lake::VectorMetric::kCosine,
+                                                16, 100, 17}};
+  lake::FlatVectorIndex flat{kDim};
+  std::vector<lake::Vector> queries;
+
+  AnnWorkload() {
+    lake::Rng rng(41);
+    auto random_vec = [&rng] {
+      lake::Vector v(kDim);
+      for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+      return v;
+    };
+    for (size_t i = 0; i < kN; ++i) {
+      lake::Vector v = random_vec();
+      (void)hnsw.Insert(i, v);
+      (void)flat.Insert(i, std::move(v));
+    }
+    for (int q = 0; q < 50; ++q) queries.push_back(random_vec());
+  }
+};
+
+AnnWorkload& Workload() {
+  static AnnWorkload* w = new AnnWorkload();
+  return *w;
+}
+
+double RecallAt(size_t ef) {
+  AnnWorkload& w = Workload();
+  double recall = 0;
+  for (const auto& q : w.queries) {
+    const auto exact = w.flat.Search(q, kK).value();
+    const auto approx = w.hnsw.Search(q, kK, ef).value();
+    std::unordered_set<uint64_t> truth;
+    for (const auto& h : exact) truth.insert(h.id);
+    size_t hit = 0;
+    for (const auto& h : approx) {
+      if (truth.count(h.id)) ++hit;
+    }
+    recall += static_cast<double>(hit) / kK;
+  }
+  return recall / w.queries.size();
+}
+
+void BM_HnswSearch(benchmark::State& state) {
+  AnnWorkload& w = Workload();
+  const size_t ef = static_cast<size_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        w.hnsw.Search(w.queries[i++ % w.queries.size()], kK, ef));
+  }
+  state.counters["recall"] = RecallAt(ef);
+}
+
+void BM_FlatSearch(benchmark::State& state) {
+  AnnWorkload& w = Workload();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        w.flat.Search(w.queries[i++ % w.queries.size()], kK));
+  }
+  state.counters["recall"] = 1.0;
+}
+
+BENCHMARK(BM_HnswSearch)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_FlatSearch);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lake::bench::PrintHeader(
+      "E5: bench_hnsw",
+      "HNSW >> linear scan QPS at >=0.9 recall on 10k 64-d embeddings; "
+      "ef_search sweeps the recall/speed curve");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("index stats: %zu nodes, %zu links, max level %d\n",
+              Workload().hnsw.size(), Workload().hnsw.TotalLinks(),
+              Workload().hnsw.max_level());
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E13 — Homograph detection via graph centrality (DomainNet, Leventidis
+// et al. EDBT 2021; survey §3 "data lake as a graph").
+//
+// Series reproduced: planted homographs (the same string in two unrelated
+// domains) rank at the top of the betweenness-centrality ordering of the
+// value-column bipartite graph; precision@h and detection recall are
+// reported, plus the exact-vs-sampled centrality trade-off.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench_common.h"
+#include "apps/homograph.h"
+#include "lakegen/generator.h"
+#include "util/timer.h"
+
+int main() {
+  lake::bench::PrintHeader(
+      "E13: bench_homograph",
+      "homographs bridge column communities and surface as top "
+      "betweenness-centrality values");
+
+  lake::GeneratorOptions opts;
+  opts.seed = 47;
+  opts.num_domains = 10;
+  opts.num_templates = 6;
+  opts.tables_per_template = 6;
+  opts.homograph_count = 10;
+  const lake::GeneratedLake lake = lake::LakeGenerator(opts).Generate();
+  // Ground truth: every value the curated KB grounds in >= 2 domain types.
+  // This covers the explicitly planted homographs plus values that land in
+  // two domain vocabularies by construction — both are genuine homographs
+  // a detector should flag.
+  std::unordered_set<std::string> truth;
+  lake.catalog.ForEachColumn(
+      [&](const lake::ColumnRef&, const lake::Column& col) {
+        if (col.IsNumeric()) return;
+        for (const std::string& v : col.DistinctStrings()) {
+          if (lake.kb.TypesOf(v).size() >= 2) truth.insert(v);
+        }
+      });
+  std::printf("lake: %zu tables, %zu planted + natural homographs\n\n",
+              lake.catalog.num_tables(), truth.size());
+
+  std::printf("%-22s %10s %12s %12s\n", "centrality mode", "found@30",
+              "recall", "ms");
+  for (size_t sources : {64, 256, 0}) {  // 0 = exact
+    lake::HomographDetector::Options dopts;
+    dopts.sample_sources = sources;
+    lake::HomographDetector detector(&lake.catalog, dopts);
+    lake::Timer timer;
+    const auto top = detector.TopHomographs(30);
+    const double ms = timer.ElapsedMillis();
+    size_t found = 0;
+    for (const auto& s : top) {
+      if (truth.count(s.value)) ++found;
+    }
+    char label[32];
+    if (sources == 0) std::snprintf(label, sizeof(label), "exact");
+    else std::snprintf(label, sizeof(label), "sampled (%zu)", sources);
+    std::printf("%-22s %10zu %12.3f %12.0f\n", label, found,
+                static_cast<double>(found) / truth.size(), ms);
+  }
+
+  // Show the top of the exact ranking.
+  lake::HomographDetector::Options exact;
+  exact.sample_sources = 0;
+  const auto top = lake::HomographDetector(&lake.catalog, exact)
+                       .TopHomographs(10);
+  size_t top10_true = 0;
+  for (const auto& s : top) top10_true += truth.count(s.value);
+  std::printf("\nprecision@10 of the exact ranking: %.2f\n",
+              static_cast<double>(top10_true) / top.size());
+  std::printf("top-10 values by centrality (* = true homograph):\n");
+  for (const auto& s : top) {
+    std::printf("  %c %-20s centrality=%.1f columns=%zu\n",
+                truth.count(s.value) ? '*' : ' ', s.value.c_str(),
+                s.centrality, s.column_count);
+  }
+  std::printf(
+      "\nshape check: planted homographs dominate the top of the exact\n"
+      "ranking; sampling trades a little recall for large speedups.\n");
+  return 0;
+}

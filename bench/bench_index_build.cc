@@ -1,0 +1,90 @@
+// E17 — Index construction cost and memory across the index families the
+// survey's §3 compares (inverted lists / JOSIE, MinHash-LSH, LSH
+// Ensemble, HNSW): build time and a memory proxy as the lake grows.
+//
+// Series reproduced: the qualitative cost ladder the survey discusses —
+// inverted lists are cheapest to build, LSH family next (hashing cost ×
+// bandings), graph indexes (HNSW) dearest but queryable in sub-linear
+// time afterwards.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "embed/column_encoder.h"
+#include "index/hnsw.h"
+#include "index/josie.h"
+#include "index/lsh_ensemble.h"
+#include "index/minhash_lsh.h"
+#include "lakegen/benchmark_lakes.h"
+#include "util/timer.h"
+
+int main() {
+  lake::bench::PrintHeader(
+      "E17: bench_index_build",
+      "construction-cost ladder: inverted lists < MinHash-LSH < LSH "
+      "Ensemble < HNSW");
+
+  std::printf("%-10s %-22s %12s %16s\n", "sets", "index", "build ms",
+              "memory proxy");
+  for (size_t num_sets : {250, 1000, 4000}) {
+    lake::SkewedSetsOptions opts;
+    opts.seed = 13;
+    opts.num_sets = num_sets;
+    opts.num_queries = 1;
+    opts.max_set_size = 512;
+    const lake::SkewedSetsWorkload w = lake::MakeSkewedSetsWorkload(opts);
+
+    {
+      lake::Timer t;
+      lake::JosieIndex josie;
+      for (size_t s = 0; s < w.sets.size(); ++s) {
+        (void)josie.AddSet(s, w.sets[s]);
+      }
+      (void)josie.Build();
+      std::printf("%-10zu %-22s %12.1f %16zu\n", num_sets,
+                  "inverted/JOSIE", t.ElapsedMillis(),
+                  josie.vocabulary_size());
+    }
+    {
+      lake::Timer t;
+      lake::MinHashLsh lsh(128, 0.6);
+      for (size_t s = 0; s < w.sets.size(); ++s) {
+        (void)lsh.Insert(s, lake::MinHashSignature::Build(w.sets[s], 128));
+      }
+      std::printf("%-10zu %-22s %12.1f %16zu\n", num_sets, "MinHash-LSH",
+                  t.ElapsedMillis(), lsh.BucketEntries());
+    }
+    {
+      lake::Timer t;
+      lake::LshEnsemble ensemble(lake::LshEnsemble::Options{128, 8});
+      for (size_t s = 0; s < w.sets.size(); ++s) {
+        (void)ensemble.Add(s, lake::MinHashSignature::Build(w.sets[s], 128),
+                           w.sets[s].size());
+      }
+      (void)ensemble.Build();
+      std::printf("%-10zu %-22s %12.1f %16s\n", num_sets, "LSH Ensemble",
+                  t.ElapsedMillis(), "(8 partitions)");
+    }
+    {
+      // HNSW over set embeddings (one vector per set).
+      lake::WordEmbedding words(lake::WordEmbedding::Options{.dim = 64});
+      lake::ColumnEncoder encoder(&words);
+      std::vector<lake::Vector> vecs;
+      vecs.reserve(w.sets.size());
+      for (const auto& s : w.sets) vecs.push_back(encoder.EncodeValues(s));
+      lake::Timer t;  // embed cost excluded: measure the graph build
+      lake::HnswIndex hnsw(lake::HnswIndex::Options{
+          64, lake::VectorMetric::kCosine, 16, 100, 5});
+      for (size_t s = 0; s < vecs.size(); ++s) {
+        (void)hnsw.Insert(s, std::move(vecs[s]));
+      }
+      std::printf("%-10zu %-22s %12.1f %16zu\n", num_sets, "HNSW",
+                  t.ElapsedMillis(), hnsw.TotalLinks());
+    }
+  }
+  std::printf(
+      "\nshape check: per-set build cost is roughly flat for inverted\n"
+      "lists, higher for the LSH family (128 hashes/set), and highest for\n"
+      "HNSW (beam search per insert) — the survey's indexing trade-off.\n");
+  return 0;
+}

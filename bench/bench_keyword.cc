@@ -1,0 +1,106 @@
+// E12 — Keyword/metadata search quality and latency (Google Dataset
+// Search / OCTOPUS lineage; survey §2.3).
+//
+// Series reproduced: BM25 over table metadata retrieves topic-relevant
+// tables; adding value indexing (the OCTOPUS-style extension) trades
+// index size for recall on queries that name cell values rather than
+// topics. Latency is measured with google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "lakegen/generator.h"
+#include "search/keyword_search.h"
+#include "util/timer.h"
+
+namespace {
+
+lake::GeneratedLake& Lake() {
+  static lake::GeneratedLake* lake = [] {
+    lake::GeneratorOptions opts;
+    opts.seed = 71;
+    opts.num_templates = 8;
+    opts.tables_per_template = 12;
+    return new lake::GeneratedLake(lake::LakeGenerator(opts).Generate());
+  }();
+  return *lake;
+}
+
+void QualityTable() {
+  lake::GeneratedLake& lake = Lake();
+  lake::KeywordSearchEngine metadata_only(&lake.catalog);
+  lake::KeywordSearchEngine::Options vopts;
+  vopts.index_values = true;
+  lake::KeywordSearchEngine with_values(&lake.catalog, vopts);
+
+  const size_t k = 10;
+  double p_meta = 0, p_vals = 0;
+  for (size_t g = 0; g < lake.unionable_groups.size(); ++g) {
+    p_meta += lake::PrecisionAtK(metadata_only.Search(lake.topic_of[g], k),
+                                 lake.unionable_groups[g], k);
+    p_vals += lake::PrecisionAtK(with_values.Search(lake.topic_of[g], k),
+                                 lake.unionable_groups[g], k);
+  }
+  const size_t q = lake.unionable_groups.size();
+  std::printf("topic queries (query = template topic word), P@10:\n");
+  std::printf("  metadata only : %.3f\n", p_meta / q);
+  std::printf("  + cell values : %.3f\n", p_vals / q);
+
+  // Value queries: search for an actual cell value; only the value index
+  // can answer.
+  size_t meta_hits = 0, value_hits = 0, value_queries = 0;
+  for (size_t g = 0; g < lake.unionable_groups.size(); ++g) {
+    const lake::Table& t = lake.catalog.table(lake.unionable_groups[g][0]);
+    if (t.num_rows() == 0) continue;
+    const std::string cell = t.column(0).cell(0).ToString();
+    ++value_queries;
+    if (!metadata_only.Search(cell, 5).empty()) ++meta_hits;
+    if (!with_values.Search(cell, 5).empty()) ++value_hits;
+  }
+  std::printf("\ncell-value queries answered (of %zu):\n", value_queries);
+  std::printf("  metadata only : %zu\n", meta_hits);
+  std::printf("  + cell values : %zu\n", value_hits);
+}
+
+void BM_KeywordSearch(benchmark::State& state) {
+  lake::GeneratedLake& lake = Lake();
+  static lake::KeywordSearchEngine* engine =
+      new lake::KeywordSearchEngine(&lake.catalog);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Search(
+        lake.topic_of[i++ % lake.topic_of.size()], 10));
+  }
+}
+BENCHMARK(BM_KeywordSearch);
+
+void BM_KeywordSearchWithValues(benchmark::State& state) {
+  lake::GeneratedLake& lake = Lake();
+  static lake::KeywordSearchEngine* engine = [] {
+    lake::KeywordSearchEngine::Options opts;
+    opts.index_values = true;
+    return new lake::KeywordSearchEngine(&Lake().catalog, opts);
+  }();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Search(
+        lake.topic_of[i++ % lake.topic_of.size()], 10));
+  }
+}
+BENCHMARK(BM_KeywordSearchWithValues);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lake::bench::PrintHeader(
+      "E12: bench_keyword",
+      "BM25 metadata search finds topic tables; value indexing answers "
+      "cell-value queries metadata search cannot");
+  QualityTable();
+  std::printf("\nlatency:\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// E3 — LSH Ensemble vs single MinHash-LSH for containment search on a
+// skewed-cardinality workload (Zhu et al., VLDB 2016; survey §2.4).
+//
+// Claim reproduced: converting a containment threshold to one global
+// Jaccard threshold (single MinHash-LSH) loses recall when candidate
+// cardinalities are skewed, because the conversion depends on |X|; the
+// ensemble's cardinality partitions restore recall at comparable
+// precision. Partition sweep shows recall improving with more partitions.
+
+#include <cstdio>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_common.h"
+#include "index/lsh_ensemble.h"
+#include "index/minhash_lsh.h"
+#include "lakegen/benchmark_lakes.h"
+#include "sketch/minhash.h"
+#include "util/timer.h"
+
+namespace {
+
+struct PrPoint {
+  double precision = 0;
+  double recall = 0;
+  double query_ms = 0;
+  double candidates = 0;  // mean candidate-set size (query work proxy)
+};
+
+PrPoint Evaluate(const lake::SkewedSetsWorkload& w, double threshold,
+                 const std::function<std::vector<uint64_t>(
+                     const lake::MinHashSignature&, size_t)>& query_fn) {
+  size_t tp = 0, fp = 0, fn = 0;
+  double p_candidates = 0;
+  lake::Timer timer;
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    const auto sig = lake::MinHashSignature::Build(w.queries[q], 128);
+    const auto cands = query_fn(sig, w.queries[q].size());
+    const std::unordered_set<uint64_t> got(cands.begin(), cands.end());
+    p_candidates += static_cast<double>(got.size());
+    for (size_t s = 0; s < w.sets.size(); ++s) {
+      const bool relevant = w.containment[q][s] >= threshold;
+      const bool returned = got.count(s) > 0;
+      if (relevant && returned) ++tp;
+      else if (!relevant && returned) ++fp;
+      else if (relevant && !returned) ++fn;
+    }
+  }
+  PrPoint p;
+  p.query_ms = timer.ElapsedMillis() / w.queries.size();
+  p.candidates = p_candidates / w.queries.size();
+  p.precision = tp + fp == 0 ? 1.0 : static_cast<double>(tp) / (tp + fp);
+  p.recall = tp + fn == 0 ? 1.0 : static_cast<double>(tp) / (tp + fn);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  lake::bench::PrintHeader(
+      "E3: bench_lsh_ensemble",
+      "cardinality partitioning recovers containment recall lost by "
+      "single-threshold MinHash-LSH under skew");
+
+  lake::SkewedSetsOptions opts;
+  opts.num_sets = 400;
+  opts.num_queries = 15;
+  const lake::SkewedSetsWorkload w = lake::MakeSkewedSetsWorkload(opts);
+  const double threshold = 0.6;
+
+  // Baseline: one MinHash-LSH tuned for the Jaccard threshold implied by
+  // the MEDIAN candidate cardinality (the best single compromise).
+  std::vector<size_t> sizes;
+  for (const auto& s : w.sets) sizes.push_back(s.size());
+  std::sort(sizes.begin(), sizes.end());
+  const size_t median = sizes[sizes.size() / 2];
+  const double j_median = lake::ContainmentToJaccard(
+      threshold, /*query_cardinality=*/opts.query_size, median);
+
+  lake::MinHashLsh baseline(128, j_median);
+  for (size_t s = 0; s < w.sets.size(); ++s) {
+    (void)baseline.Insert(s, lake::MinHashSignature::Build(w.sets[s], 128));
+  }
+  const PrPoint base = Evaluate(
+      w, threshold, [&](const lake::MinHashSignature& sig, size_t) {
+        return baseline.Query(sig).value();
+      });
+
+  std::printf("%-28s %10s %10s %12s %12s\n", "index", "precision",
+              "recall", "cands/query", "ms/query");
+  std::printf("%-28s %10.3f %10.3f %12.1f %12.3f\n",
+              "MinHash-LSH (median-tuned)", base.precision, base.recall,
+              base.candidates, base.query_ms);
+
+  for (size_t partitions : {1, 2, 4, 8, 16}) {
+    lake::LshEnsemble ensemble(lake::LshEnsemble::Options{128, partitions});
+    for (size_t s = 0; s < w.sets.size(); ++s) {
+      (void)ensemble.Add(s, lake::MinHashSignature::Build(w.sets[s], 128),
+                         w.sets[s].size());
+    }
+    (void)ensemble.Build();
+    const PrPoint p = Evaluate(
+        w, threshold, [&](const lake::MinHashSignature& sig, size_t card) {
+          return ensemble.Query(sig, card, threshold).value();
+        });
+    std::printf("LSH Ensemble (p=%-2zu)          %10.3f %10.3f %12.1f %12.3f\n",
+                partitions, p.precision, p.recall, p.candidates,
+                p.query_ms);
+  }
+  std::printf(
+      "\nshape check: the ensemble reaches (near-)full recall, which the\n"
+      "single-threshold baseline cannot, while examining only a fraction\n"
+      "of the %zu lake sets per query; candidates are verified exactly\n"
+      "downstream (LshEnsembleJoinSearch), so end-to-end precision is 1.\n",
+      w.sets.size());
+  return 0;
+}

@@ -1,0 +1,108 @@
+// E16 — MATE multi-attribute join: one row-level super-key index answers
+// composite-key queries, and the mask filter prunes most candidates
+// before exact verification (Esmailoghli et al., VLDB 2022; survey §2.4).
+//
+// Series reproduced: pruning power (candidates -> mask survivors ->
+// verified joins) as the composite key widens, and correctness vs a
+// single-attribute baseline that cannot distinguish misaligned tables.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "lakegen/generator.h"
+#include "search/join_mate.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace {
+
+lake::Column StringColumn(const std::string& name,
+                          const std::vector<std::string>& vals) {
+  lake::Column c(name, lake::DataType::kString);
+  for (const auto& v : vals) c.Append(lake::Value(v));
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  lake::bench::PrintHeader(
+      "E16: bench_mate",
+      "super-key masks answer composite-key joins from one index; pruning "
+      "power grows with key width");
+
+  // Lake: one aligned table, several misaligned permutations of the same
+  // attribute values, and noise tables.
+  lake::Rng rng(11);
+  const size_t rows = 400;
+  std::vector<std::string> a(rows), b(rows), c(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    a[i] = "first" + std::to_string(i);
+    b[i] = "last" + std::to_string(i);
+    c[i] = "city" + std::to_string(i % 40);
+  }
+  lake::DataLakeCatalog catalog;
+  {
+    lake::Table t("aligned");
+    (void)t.AddColumn(StringColumn("first", a));
+    (void)t.AddColumn(StringColumn("last", b));
+    (void)t.AddColumn(StringColumn("city", c));
+    (void)catalog.AddTable(std::move(t));
+  }
+  for (int s = 0; s < 4; ++s) {
+    std::vector<std::string> b2 = b;
+    rng.Shuffle(b2);
+    lake::Table t("misaligned_" + std::to_string(s));
+    (void)t.AddColumn(StringColumn("first", a));
+    (void)t.AddColumn(StringColumn("last", b2));
+    (void)catalog.AddTable(std::move(t)).ok();
+  }
+  for (int s = 0; s < 10; ++s) {
+    std::vector<std::string> x(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      x[i] = "noise" + std::to_string(s) + "_" + std::to_string(i);
+    }
+    lake::Table t("noise_" + std::to_string(s));
+    (void)t.AddColumn(StringColumn("x", x));
+    (void)catalog.AddTable(std::move(t));
+  }
+
+  lake::MateJoinSearch search(&catalog);
+  std::printf("lake: %zu tables, %zu indexed rows\n\n", catalog.num_tables(),
+              search.num_indexed_rows());
+
+  // Query: a 120-row slice of the aligned table.
+  lake::Table query("q");
+  (void)query.AddColumn(
+      StringColumn("f", {a.begin(), a.begin() + 120}));
+  (void)query.AddColumn(
+      StringColumn("l", {b.begin(), b.begin() + 120}));
+  (void)query.AddColumn(
+      StringColumn("c", {c.begin(), c.begin() + 120}));
+
+  std::printf("%-10s %12s %14s %10s %14s %10s\n", "key width", "candidates",
+              "mask survive", "verified", "top score", "ms");
+  for (size_t width : {1, 2, 3}) {
+    std::vector<size_t> key_cols;
+    for (size_t i = 0; i < width; ++i) key_cols.push_back(i);
+    lake::MateJoinSearch::QueryStats stats;
+    lake::Timer timer;
+    const auto results = search.Search(query, key_cols, 3, &stats).value();
+    const double ms = timer.ElapsedMillis();
+    std::printf("%-10zu %12zu %14zu %10zu %14.3f %10.1f\n", width,
+                stats.candidate_rows, stats.superkey_survivors,
+                stats.verified_rows,
+                results.empty() ? 0.0 : results[0].score, ms);
+    if (width >= 2 && !results.empty()) {
+      // With a composite key only the aligned table joins fully.
+      std::printf("           top table: %s (joinable rows: %zu)\n",
+                  catalog.table(results[0].table_id).name().c_str(),
+                  results[0].joinable_rows);
+    }
+  }
+  std::printf(
+      "\nshape check: at width 1 the misaligned tables tie with the\n"
+      "aligned one; at width >= 2 only 'aligned' reaches score 1.0, and\n"
+      "the super-key mask rejects most candidate rows before verification.\n");
+  return 0;
+}

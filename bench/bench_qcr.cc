@@ -1,0 +1,81 @@
+// E9 — Correlated-join search: sketches find joinable-and-correlated
+// columns, and correlation-aware ranking beats overlap-only ranking
+// (Santos et al., ICDE 2022; survey §2.4).
+//
+// Series reproduced: ranking candidate (key, numeric) pairs by estimated
+// |correlation| surfaces the pairs with the largest planted |rho| first;
+// an overlap-only ranking (the pre-QCR approach) orders them by key
+// containment and misses the correlation structure entirely.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "lakegen/benchmark_lakes.h"
+#include "search/join_correlated.h"
+#include "util/timer.h"
+
+int main() {
+  lake::bench::PrintHeader(
+      "E9: bench_qcr",
+      "correlation sketches rank joinable+correlated columns first; "
+      "overlap-only ranking cannot");
+
+  lake::CorrelatedOptions opts;
+  opts.num_pairs = 32;
+  opts.query_rows = 600;
+  const lake::CorrelatedWorkload w = lake::MakeCorrelatedWorkload(opts);
+  const lake::DataLakeCatalog catalog =
+      lake::CatalogFromCorrelatedWorkload(w);
+  lake::CorrelatedJoinSearch search(&catalog);
+  std::printf("lake: %zu (key, numeric) column pairs sketched\n\n",
+              search.num_indexed_pairs());
+
+  lake::Timer timer;
+  const auto results = search.Search(w.query_keys, w.query_values, 10).value();
+  const double query_ms = timer.ElapsedMillis();
+
+  std::printf("top-10 by |estimated correlation| (QCR):\n");
+  std::printf("%-16s %12s %12s %14s\n", "table", "planted rho", "est corr",
+              "est contain");
+  double mean_abs_err = 0;
+  for (const auto& r : results) {
+    const auto& pair = w.pairs[r.table_id];
+    std::printf("%-16s %12.3f %12.3f %14.3f\n",
+                catalog.table(r.table_id).name().c_str(),
+                pair.planted_correlation, r.est_correlation,
+                r.est_containment);
+    mean_abs_err +=
+        std::abs(std::abs(pair.planted_correlation) - r.score);
+  }
+  mean_abs_err /= results.size();
+
+  // Overlap-only baseline: rank every pair by estimated key containment.
+  std::vector<std::pair<double, size_t>> by_overlap;
+  for (size_t p = 0; p < w.pairs.size(); ++p) {
+    by_overlap.push_back({w.pairs[p].planted_containment, p});
+  }
+  std::sort(by_overlap.rbegin(), by_overlap.rend());
+  double overlap_top_rho = 0, qcr_top_rho = 0;
+  for (size_t i = 0; i < 5 && i < by_overlap.size(); ++i) {
+    overlap_top_rho +=
+        std::abs(w.pairs[by_overlap[i].second].planted_correlation) / 5;
+  }
+  for (size_t i = 0; i < 5 && i < results.size(); ++i) {
+    qcr_top_rho +=
+        std::abs(w.pairs[results[i].table_id].planted_correlation) / 5;
+  }
+
+  std::printf("\nmean |rho| among top-5:\n");
+  std::printf("  correlation-aware (QCR) : %.3f\n", qcr_top_rho);
+  std::printf("  overlap-only baseline   : %.3f\n", overlap_top_rho);
+  std::printf("mean |corr| estimation error over top-10: %.3f\n",
+              mean_abs_err);
+  std::printf("query latency: %.2f ms over %zu sketched pairs\n", query_ms,
+              search.num_indexed_pairs());
+  std::printf(
+      "\nshape check: QCR's top-5 mean |rho| >> overlap-only's (the whole\n"
+      "point of correlation sketches).\n");
+  return 0;
+}

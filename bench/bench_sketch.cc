@@ -1,0 +1,121 @@
+// E8 — Sketch accuracy and cost: MinHash / KMV / HLL error vs sketch
+// size, plus correlation-sketch estimation error (survey §3 indexing;
+// Santos et al. ICDE 2022).
+//
+// Series reproduced: estimation error decays ~1/sqrt(size) for all three
+// sketch families; the QCR correlation estimate converges to the planted
+// correlation as the sketch grows.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sketch/correlation_sketch.h"
+#include "sketch/hll.h"
+#include "sketch/kmv.h"
+#include "sketch/minhash.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace {
+
+std::vector<std::string> Values(size_t begin, size_t end) {
+  std::vector<std::string> out;
+  for (size_t i = begin; i < end; ++i) out.push_back("v" + std::to_string(i));
+  return out;
+}
+
+void AccuracyTables() {
+  // Jaccard estimation: true J = 1/3 (A = 0..2000, B = 1000..3000).
+  std::printf("MinHash Jaccard estimation (true J = 0.3333):\n");
+  std::printf("%8s %12s %12s\n", "hashes", "estimate", "abs error");
+  const auto a_vals = Values(0, 2000);
+  const auto b_vals = Values(1000, 3000);
+  for (size_t width : {16, 32, 64, 128, 256, 512}) {
+    const auto a = lake::MinHashSignature::Build(a_vals, width);
+    const auto b = lake::MinHashSignature::Build(b_vals, width);
+    const double est = a.EstimateJaccard(b).value();
+    std::printf("%8zu %12.4f %12.4f\n", width, est,
+                std::abs(est - 1.0 / 3.0));
+  }
+
+  std::printf("\nKMV distinct-count estimation (true n = 50000):\n");
+  std::printf("%8s %12s %12s\n", "k", "estimate", "rel error");
+  const auto big = Values(0, 50000);
+  for (size_t k : {32, 64, 128, 256, 512, 1024}) {
+    const auto s = lake::KmvSketch::Build(big, k);
+    const double est = s.EstimateDistinct();
+    std::printf("%8zu %12.0f %12.4f\n", k, est,
+                std::abs(est - 50000.0) / 50000.0);
+  }
+
+  std::printf("\nHLL distinct-count estimation (true n = 50000):\n");
+  std::printf("%8s %10s %12s %12s\n", "p", "bytes", "estimate", "rel error");
+  for (int p : {8, 10, 12, 14}) {
+    const auto s = lake::HllSketch::Build(big, p);
+    const double est = s.Estimate();
+    std::printf("%8d %10zu %12.0f %12.4f\n", p, s.num_registers(), est,
+                std::abs(est - 50000.0) / 50000.0);
+  }
+
+  std::printf("\nCorrelation sketch QCR estimate (planted rho = 0.80):\n");
+  std::printf("%8s %12s %12s\n", "pairs", "qcr", "pearson-est");
+  for (size_t size : {32, 64, 128, 256, 512}) {
+    lake::Rng rng(7);
+    lake::CorrelationSketch a(size), b(size);
+    for (int i = 0; i < 20000; ++i) {
+      const double x = rng.NextGaussian();
+      const double y = 0.8 * x + 0.6 * rng.NextGaussian();
+      const uint64_t key = lake::Hash64("k" + std::to_string(i));
+      a.Update(key, x);
+      b.Update(key, y);
+    }
+    std::printf("%8zu %12.4f %12.4f\n", size,
+                a.EstimateQcr(b).value_or(0.0),
+                a.EstimatePearson(b).value_or(0.0));
+  }
+}
+
+// Throughput benchmarks: sketch update cost.
+void BM_MinHashUpdate(benchmark::State& state) {
+  lake::MinHashSignature sig(static_cast<size_t>(state.range(0)));
+  uint64_t h = 1;
+  for (auto _ : state) {
+    sig.Update(h = lake::Mix64(h));
+  }
+}
+BENCHMARK(BM_MinHashUpdate)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_KmvUpdate(benchmark::State& state) {
+  lake::KmvSketch sketch(static_cast<size_t>(state.range(0)));
+  uint64_t h = 1;
+  for (auto _ : state) {
+    sketch.Update(h = lake::Mix64(h));
+  }
+}
+BENCHMARK(BM_KmvUpdate)->Arg(256)->Arg(1024);
+
+void BM_HllUpdate(benchmark::State& state) {
+  lake::HllSketch sketch(12);
+  uint64_t h = 1;
+  for (auto _ : state) {
+    sketch.Update(h = lake::Mix64(h));
+  }
+}
+BENCHMARK(BM_HllUpdate);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lake::bench::PrintHeader(
+      "E8: bench_sketch",
+      "sketch error decays with size (~1/sqrt); QCR correlation estimate "
+      "converges to the planted correlation");
+  AccuracyTables();
+  std::printf("\nupdate throughput:\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

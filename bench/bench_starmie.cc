@@ -1,0 +1,104 @@
+// E7 — Starmie ablations: contextual vs context-free column embeddings,
+// and HNSW retrieval vs exact linear scan (Starmie, Fan et al. 2022;
+// survey §2.5).
+//
+// Claims reproduced: (1) table-context embeddings beat context-free ones
+// on union P@k in a homograph-rich lake (context disambiguates); (2) HNSW
+// retrieval matches the linear scan's quality at lower query latency once
+// the column count is large enough.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "lakegen/benchmark_lakes.h"
+#include "search/union_starmie.h"
+#include "util/timer.h"
+
+namespace {
+
+double MeanPrecision(const lake::GeneratedLake& lake,
+                     lake::StarmieUnionSearch& engine, size_t k,
+                     double* ms_per_query) {
+  double p = 0;
+  size_t queries = 0;
+  lake::Timer timer;
+  for (size_t g = 0; g < lake.unionable_groups.size(); ++g) {
+    const lake::TableId q = lake.unionable_groups[g][0];
+    std::vector<lake::TableId> truth;
+    for (lake::TableId t : lake.unionable_groups[g]) {
+      if (t != q) truth.push_back(t);
+    }
+    auto results = engine.Search(lake.catalog.table(q), k, q);
+    if (!results.ok()) continue;
+    p += lake::PrecisionAtK(*results, truth, k);
+    ++queries;
+  }
+  *ms_per_query = timer.ElapsedMillis() / std::max<size_t>(1, queries);
+  return p / std::max<size_t>(1, queries);
+}
+
+}  // namespace
+
+int main() {
+  lake::bench::PrintHeader(
+      "E7: bench_starmie",
+      "contextualized column embeddings beat context-free on union P@k in "
+      "a homograph-rich lake; HNSW retrieval preserves quality");
+
+  // Only 6 domains for 6 templates: templates are forced to share column
+  // domains, so a column's values alone cannot tell which *table topic* it
+  // belongs to — the column-level homograph regime Starmie targets.
+  lake::GeneratorOptions opts;
+  opts.seed = 303;
+  opts.num_domains = 6;
+  opts.num_templates = 6;
+  opts.tables_per_template = 8;
+  opts.homograph_count = 24;  // value-level homographs on top
+  lake::GeneratedLake lake = lake::LakeGenerator(opts).Generate();
+  std::printf("lake: %zu tables, %zu homographs, heavy cross-template "
+              "domain sharing\n\n",
+              lake.catalog.num_tables(), lake.homographs.size());
+
+  lake::WordEmbedding words(lake::WordEmbedding::Options{.dim = 64});
+  lake::ColumnEncoder base(&words);
+  const size_t k = 7;
+
+  std::printf("%-38s %8s %12s\n", "configuration", "P@7", "ms/query");
+
+  // Context-mixing sweep: alpha = 0 is the context-free ablation.
+  for (double alpha : {0.0, 0.15, 0.35, 0.5}) {
+    lake::ContextualColumnEncoder ctx(
+        &base, lake::ContextualColumnEncoder::Options{alpha, 0.25});
+    lake::StarmieUnionSearch engine(&lake.catalog, &ctx);
+    double ms;
+    const double p = MeanPrecision(lake, engine, k, &ms);
+    char label[48];
+    std::snprintf(label, sizeof(label), "%s (alpha=%.2f)",
+                  alpha == 0 ? "context-free" : "contextual", alpha);
+    std::printf("%-38s %8.3f %12.2f\n", label, p, ms);
+  }
+  // Retrieval ablation: HNSW vs exact linear scan, contextual encoder.
+  {
+    lake::ContextualColumnEncoder ctx(
+        &base, lake::ContextualColumnEncoder::Options{0.5, 0.25});
+    lake::StarmieUnionSearch::Options flat_opts;
+    flat_opts.use_hnsw = false;
+    lake::StarmieUnionSearch flat_engine(&lake.catalog, &ctx, flat_opts);
+    double ms;
+    const double p = MeanPrecision(lake, flat_engine, k, &ms);
+    std::printf("%-38s %8.3f %12.2f\n", "contextual + linear-scan retrieval",
+                p, ms);
+
+    lake::StarmieUnionSearch::Options hnsw_opts;
+    hnsw_opts.use_hnsw = true;
+    lake::StarmieUnionSearch hnsw_engine(&lake.catalog, &ctx, hnsw_opts);
+    const double p2 = MeanPrecision(lake, hnsw_engine, k, &ms);
+    std::printf("%-38s %8.3f %12.2f\n", "contextual + HNSW retrieval", p2,
+                ms);
+  }
+  std::printf(
+      "\nshape check: P@7 rises with alpha when templates share domains —\n"
+      "context disambiguates columns whose values alone are ambiguous.\n"
+      "HNSW retrieval stays within a few points of the linear scan.\n");
+  return 0;
+}

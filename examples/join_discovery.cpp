@@ -1,0 +1,127 @@
+// Joinable table search, end to end, on a generated data lake.
+//
+// Demonstrates the §2.4 lineage the survey covers, on one workload:
+//   - exact Jaccard ranking and why it under-ranks large attributes,
+//   - exact containment (domain search) fixing that bias,
+//   - LSH Ensemble answering the same query from sketches,
+//   - JOSIE exact top-k overlap with its work counters,
+//   - PEXESO fuzzy (embedding) join on perturbed values,
+//   - MATE composite-key join,
+//   - correlated-column search (QCR sketches).
+//
+//   $ ./join_discovery
+
+#include <cstdio>
+
+#include "lakegen/benchmark_lakes.h"
+#include "search/discovery_engine.h"
+
+namespace {
+
+void PrintColumns(const lake::DataLakeCatalog& catalog,
+                  const std::vector<lake::ColumnResult>& results) {
+  for (const auto& r : results) {
+    const lake::Table& t = catalog.table(r.column.table_id);
+    std::printf("  %-28s col=%-12s %s\n", t.name().c_str(),
+                t.column(r.column.column_index).name().c_str(),
+                r.why.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  // A lake with planted structure: templates over shared domains.
+  lake::GeneratedLake lake = lake::MakeUnionBenchmarkLake(
+      /*seed=*/77, /*tables_per_template=*/5, /*distractors=*/0);
+  std::printf("generated lake: %zu tables\n\n", lake.catalog.num_tables());
+  lake::DiscoveryEngine engine(&lake.catalog, &lake.kb,
+                               lake::DiscoveryEngine::Options{});
+
+  // Query column: subject values of the first template's first table.
+  const lake::TableId qt = lake.unionable_groups[0][0];
+  const auto query = lake.catalog.table(qt).column(0).DistinctStrings();
+  std::printf("query: %zu distinct values from %s.%s\n\n", query.size(),
+              lake.catalog.table(qt).name().c_str(),
+              lake.catalog.table(qt).column(0).name().c_str());
+
+  std::printf("== exact Jaccard (biased toward small candidates)\n");
+  PrintColumns(lake.catalog,
+               engine.Joinable(query, lake::JoinMethod::kExactJaccard, 4)
+                   .value_or({}));
+
+  std::printf("\n== exact containment (domain search)\n");
+  PrintColumns(lake.catalog,
+               engine.Joinable(query, lake::JoinMethod::kExactContainment, 4)
+                   .value_or({}));
+
+  std::printf("\n== LSH Ensemble (sketched containment)\n");
+  PrintColumns(lake.catalog,
+               engine.Joinable(query, lake::JoinMethod::kLshEnsemble, 4)
+                   .value_or({}));
+
+  std::printf("\n== JOSIE (exact top-k overlap) with work counters\n");
+  lake::JosieIndex::QueryStats stats;
+  auto josie = engine.josie_join()->Search(query, 4, &stats);
+  if (josie.ok()) {
+    PrintColumns(lake.catalog, *josie);
+    std::printf(
+        "  [lists read: %zu, postings read: %zu, candidates: %zu, "
+        "verified: %zu]\n",
+        stats.lists_read, stats.posting_entries_read, stats.candidates_seen,
+        stats.candidates_verified);
+  }
+
+  std::printf("\n== PEXESO (fuzzy embedding join on perturbed values)\n");
+  std::vector<std::string> perturbed;
+  for (size_t i = 0; i < query.size() && i < 40; ++i) {
+    perturbed.push_back(i % 3 == 0 ? query[i] + "x" : query[i]);
+  }
+  PrintColumns(lake.catalog,
+               engine.Joinable(perturbed, lake::JoinMethod::kPexeso, 3)
+                   .value_or({}));
+
+  std::printf("\n== MATE (composite-key join on two subject columns)\n");
+  const lake::Table& full_query = lake.catalog.table(qt);
+  auto mate = engine.mate_join()->Search(full_query, {0, 1}, 3);
+  if (mate.ok()) {
+    for (const auto& r : *mate) {
+      if (r.table_id == qt) continue;  // self-match
+      std::printf("  %-28s joinable_rows=%zu score=%.3f\n",
+                  lake.catalog.table(r.table_id).name().c_str(),
+                  r.joinable_rows, r.score);
+    }
+  }
+
+  std::printf("\n== correlated join search (QCR sketches)\n");
+  // Query pair: subject column + the table's numeric column.
+  std::vector<std::string> keys;
+  std::vector<double> nums;
+  const lake::Table& qtable = lake.catalog.table(qt);
+  int numeric_col = -1;
+  for (size_t c = 0; c < qtable.num_columns(); ++c) {
+    if (qtable.column(c).IsNumeric()) {
+      numeric_col = static_cast<int>(c);
+      break;
+    }
+  }
+  if (numeric_col >= 0) {
+    for (size_t r = 0; r < qtable.num_rows(); ++r) {
+      double v;
+      if (!qtable.column(numeric_col).cell(r).ToDouble(&v)) continue;
+      keys.push_back(qtable.column(0).cell(r).ToString());
+      nums.push_back(v);
+    }
+    auto corr = engine.correlated_join()->Search(keys, nums, 4);
+    if (corr.ok()) {
+      for (const auto& r : *corr) {
+        if (r.table_id == qt) continue;
+        std::printf("  %-28s corr=%+.3f containment=%.2f\n",
+                    lake.catalog.table(r.table_id).name().c_str(),
+                    r.est_correlation, r.est_containment);
+      }
+    }
+  }
+  std::printf("\ndone.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Data lake navigation (§2.6): linkage graph, offline organization, and
+// RONIN-style online organization of search results.
+//
+//   $ ./navigation
+
+#include <cstdio>
+
+#include "embed/table_encoder.h"
+#include "lakegen/generator.h"
+#include "nav/linkage_graph.h"
+#include "nav/organization.h"
+#include "nav/ronin.h"
+#include "search/keyword_search.h"
+
+int main() {
+  lake::GeneratorOptions opts;
+  opts.seed = 99;
+  opts.num_templates = 5;
+  opts.tables_per_template = 6;
+  lake::GeneratedLake lake = lake::LakeGenerator(opts).Generate();
+  std::printf("lake: %zu tables\n\n", lake.catalog.num_tables());
+
+  // --- Aurum-style linkage graph -------------------------------------
+  lake::LinkageGraph graph(&lake.catalog);
+  std::printf("linkage graph: %zu edges\n", graph.num_links());
+  const lake::TableId anchor = 0;
+  std::printf("tables related to '%s' within 1 hop:\n",
+              lake.catalog.table(anchor).name().c_str());
+  int shown = 0;
+  for (const auto& [t, hops] : graph.RelatedTables(anchor, 1)) {
+    std::printf("  %-32s (%d hop)\n", lake.catalog.table(t).name().c_str(),
+                hops);
+    if (++shown >= 5) break;
+  }
+
+  // --- Offline organization ------------------------------------------
+  lake::WordEmbedding words;
+  lake::ColumnEncoder columns(&words);
+  lake::TableEncoder tables(&columns, &words);
+  lake::LakeOrganization org(&lake.catalog, &tables);
+  std::printf("\norganization (top levels):\n%s\n", org.ToString(2).c_str());
+
+  // Navigate toward a topic: the user "wants something about <topic>".
+  const lake::Vector topic = tables.Encode(lake.catalog.table(3));
+  const auto path = org.Navigate(topic);
+  std::printf("greedy navigation path length: %zu\n", path.size());
+  const auto& leaf = org.nodes()[path.back()];
+  if (leaf.table >= 0) {
+    std::printf("navigation reached: %s\n",
+                lake.catalog.table(static_cast<lake::TableId>(leaf.table))
+                    .name()
+                    .c_str());
+  }
+
+  // --- RONIN: organize search results online ---------------------------
+  lake::KeywordSearchEngine keyword(&lake.catalog);
+  const auto results = keyword.Search(lake.topic_of[0], 12);
+  std::vector<lake::TableId> result_ids;
+  for (const auto& r : results) result_ids.push_back(r.table_id);
+  lake::RoninExplorer ronin(&lake.catalog, &tables);
+  const auto tree = ronin.Organize(result_ids);
+  std::printf("\nRONIN organization of %zu keyword results for '%s':\n%s",
+              result_ids.size(), lake.topic_of[0].c_str(),
+              ronin.ToString(tree).c_str());
+  return 0;
+}

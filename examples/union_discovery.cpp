@@ -1,0 +1,78 @@
+// Unionable table search: TUS vs SANTOS vs Starmie on a lake with
+// relationship-violating distractors.
+//
+// The lake generator plants templates (groups of genuinely unionable
+// tables) and distractors that reuse the same column domains with broken
+// column-to-column relationships — the exact failure mode SANTOS (§2.5)
+// was designed to catch. This example runs all three union-search engines
+// on the same queries and prints precision@k against ground truth.
+//
+//   $ ./union_discovery
+
+#include <cstdio>
+
+#include "lakegen/benchmark_lakes.h"
+#include "search/discovery_engine.h"
+
+int main() {
+  lake::GeneratedLake lake = lake::MakeUnionBenchmarkLake(
+      /*seed=*/55, /*tables_per_template=*/6, /*distractors=*/12);
+  std::printf("lake: %zu tables (%zu distractors with broken relationships)\n\n",
+              lake.catalog.num_tables(), lake.distractors.size());
+
+  lake::DiscoveryEngine engine(&lake.catalog, &lake.kb,
+                               lake::DiscoveryEngine::Options{});
+
+  const size_t k = 5;
+  struct MethodRow {
+    const char* name;
+    lake::UnionMethod method;
+    double precision_sum = 0;
+    double distractor_hits = 0;
+  };
+  MethodRow rows[] = {{"TUS (column ensemble)", lake::UnionMethod::kTus},
+                      {"SANTOS (relationships)", lake::UnionMethod::kSantos},
+                      {"Starmie (contextual)", lake::UnionMethod::kStarmie}};
+
+  size_t queries = 0;
+  for (size_t g = 0; g < lake.unionable_groups.size(); ++g) {
+    const lake::TableId q = lake.unionable_groups[g][0];
+    const lake::Table& query = lake.catalog.table(q);
+    std::vector<lake::TableId> truth;
+    for (lake::TableId t : lake.unionable_groups[g]) {
+      if (t != q) truth.push_back(t);
+    }
+    ++queries;
+    for (MethodRow& row : rows) {
+      auto results = engine.Unionable(query, row.method, k, q);
+      if (!results.ok()) continue;
+      row.precision_sum += lake::PrecisionAtK(*results, truth, k);
+      for (const auto& r : *results) {
+        for (lake::TableId d : lake.distractors) {
+          if (r.table_id == d) row.distractor_hits += 1;
+        }
+      }
+    }
+  }
+
+  std::printf("%-26s  P@%zu    distractors in top-%zu (total)\n", "method", k,
+              k);
+  for (const MethodRow& row : rows) {
+    std::printf("%-26s  %.3f   %.0f\n", row.name,
+                row.precision_sum / queries, row.distractor_hits);
+  }
+
+  // Show one concrete query in detail.
+  const lake::TableId q = lake.unionable_groups[0][0];
+  std::printf("\nquery table preview:\n%s\n",
+              lake.catalog.table(q).Preview(4).c_str());
+  std::printf("SANTOS top-%zu:\n", k);
+  for (const auto& r :
+       engine.Unionable(lake.catalog.table(q), lake::UnionMethod::kSantos, k,
+                        q)
+           .value_or({})) {
+    std::printf("  %-32s %s\n", lake.catalog.table(r.table_id).name().c_str(),
+                r.why.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "annotate/domain_discovery.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "sketch/set_ops.h"
+#include "text/normalizer.h"
+
+namespace lake {
+
+namespace {
+
+/// Union-find over dense indices.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<Domain> DomainDiscovery::Discover(
+    const DataLakeCatalog& catalog) const {
+  // Collect eligible columns with normalized distinct value sets.
+  std::vector<ColumnRef> refs;
+  std::vector<std::vector<std::string>> value_sets;
+  std::vector<HashedSet> hashed;
+  catalog.ForEachColumn([&](const ColumnRef& ref, const Column& col) {
+    if (!options_.include_numeric && col.IsNumeric()) return;
+    std::vector<std::string> values;
+    for (const std::string& v : col.DistinctStrings()) {
+      const std::string norm = NormalizeValue(v);
+      if (!norm.empty()) values.push_back(norm);
+    }
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    if (values.size() < options_.min_distinct) return;
+    refs.push_back(ref);
+    hashed.push_back(HashedSet::FromValues(values));
+    value_sets.push_back(std::move(values));
+  });
+
+  // Single-linkage clustering on the containment graph. An inverted index
+  // from value hash to columns avoids the quadratic all-pairs scan.
+  std::unordered_map<uint64_t, std::vector<size_t>> by_value;
+  for (size_t i = 0; i < hashed.size(); ++i) {
+    for (uint64_t h : hashed[i].hashes()) by_value[h].push_back(i);
+  }
+  DisjointSets clusters(refs.size());
+  std::unordered_map<size_t, size_t> overlap;  // per-anchor overlap counts
+  for (size_t i = 0; i < hashed.size(); ++i) {
+    overlap.clear();
+    for (uint64_t h : hashed[i].hashes()) {
+      for (size_t j : by_value[h]) {
+        if (j > i) ++overlap[j];
+      }
+    }
+    for (const auto& [j, inter] : overlap) {
+      const size_t smaller = std::min(hashed[i].size(), hashed[j].size());
+      if (smaller == 0) continue;
+      const double containment = static_cast<double>(inter) / smaller;
+      if (containment >= options_.containment_threshold) {
+        clusters.Union(i, j);
+      }
+    }
+  }
+
+  // Materialize domains per cluster root.
+  std::unordered_map<size_t, Domain> domains;
+  std::unordered_map<size_t, std::unordered_map<std::string, size_t>> counts;
+  for (size_t i = 0; i < refs.size(); ++i) {
+    const size_t root = clusters.Find(i);
+    Domain& d = domains[root];
+    d.member_columns.push_back(refs[i]);
+    for (const std::string& v : value_sets[i]) {
+      ++counts[root][v];
+    }
+  }
+  std::vector<Domain> out;
+  out.reserve(domains.size());
+  for (auto& [root, d] : domains) {
+    size_t best_count = 0;
+    for (auto& [value, count] : counts[root]) {
+      d.values.push_back(value);
+      // Representative: the term shared by the most member columns, ties
+      // broken lexicographically for determinism.
+      if (count > best_count ||
+          (count == best_count && value < d.representative)) {
+        best_count = count;
+        d.representative = value;
+      }
+    }
+    std::sort(d.values.begin(), d.values.end());
+    std::sort(d.member_columns.begin(), d.member_columns.end());
+    out.push_back(std::move(d));
+  }
+  std::sort(out.begin(), out.end(), [](const Domain& a, const Domain& b) {
+    if (a.member_columns.size() != b.member_columns.size()) {
+      return a.member_columns.size() > b.member_columns.size();
+    }
+    if (a.values.size() != b.values.size()) {
+      return a.values.size() > b.values.size();
+    }
+    return a.representative < b.representative;
+  });
+  return out;
+}
+
+}  // namespace lake

@@ -1,0 +1,51 @@
+#ifndef LAKE_ANNOTATE_DOMAIN_DISCOVERY_H_
+#define LAKE_ANNOTATE_DOMAIN_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "table/catalog.h"
+
+namespace lake {
+
+/// One discovered domain: a set of terms believed to instantiate a single
+/// semantic concept, the columns that drew from it, and a representative
+/// term (Li et al., KDD 2017 select a representative for the concept).
+struct Domain {
+  std::vector<std::string> values;       // sorted, deduplicated
+  std::vector<ColumnRef> member_columns; // columns assigned to this domain
+  std::string representative;            // most frequent member term
+};
+
+/// Unsupervised, data-driven domain discovery in the style of D4
+/// (Ota et al., VLDB 2020): string columns whose value sets strongly
+/// overlap are clustered (single-linkage over a similarity graph), and
+/// each cluster's united value set becomes a domain. Co-occurrence across
+/// many columns is the only signal — no ontology, no labels — matching
+/// §2.2's description of the task.
+class DomainDiscovery {
+ public:
+  struct Options {
+    /// Minimum set containment (smaller in larger) to draw a cluster edge.
+    double containment_threshold = 0.5;
+    /// Columns with fewer distinct values are ignored (noise).
+    size_t min_distinct = 3;
+    /// Only string columns participate by default; numeric "domains" are
+    /// rarely meaningful concepts.
+    bool include_numeric = false;
+  };
+
+  DomainDiscovery() : DomainDiscovery(Options{}) {}
+  explicit DomainDiscovery(Options options) : options_(options) {}
+
+  /// Discovers domains over every eligible column of the catalog. Domains
+  /// are returned largest-first (by member column count, then value count).
+  std::vector<Domain> Discover(const DataLakeCatalog& catalog) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_ANNOTATE_DOMAIN_DISCOVERY_H_

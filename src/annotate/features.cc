@@ -1,0 +1,100 @@
+#include "annotate/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "table/stats.h"
+#include "text/normalizer.h"
+
+namespace lake {
+
+namespace {
+constexpr size_t kStatsDim = 12;
+}  // namespace
+
+size_t FeatureExtractor::FeatureDim() const {
+  size_t dim = 0;
+  if (options_.use_stats) dim += kStatsDim;
+  if (options_.use_embedding) dim += words_->dim();
+  if (options_.use_context) dim += words_->dim();
+  return dim;
+}
+
+void FeatureExtractor::AppendStats(const Column& column,
+                                   std::vector<double>& out) const {
+  const ColumnStats s = ComputeColumnStats(column);
+  out.push_back(std::log1p(static_cast<double>(s.row_count)));
+  out.push_back(s.NullFraction());
+  out.push_back(s.Uniqueness());
+  out.push_back(std::log1p(static_cast<double>(s.distinct_count)));
+  out.push_back(std::log1p(s.mean_length));
+  out.push_back(std::log1p(s.max_length));
+  out.push_back(s.digit_fraction);
+  out.push_back(s.alpha_fraction);
+  out.push_back(s.space_fraction);
+  const double numeric_frac =
+      s.row_count == 0
+          ? 0.0
+          : static_cast<double>(s.numeric_count) / s.row_count;
+  out.push_back(numeric_frac);
+  out.push_back(s.numeric_count > 0 ? std::tanh(s.mean / 1e6) : 0.0);
+  out.push_back(s.numeric_count > 0 ? std::tanh(s.stddev / 1e6) : 0.0);
+}
+
+void FeatureExtractor::AppendEmbedding(const Column& column,
+                                       std::vector<double>& out) const {
+  Vector acc(words_->dim(), 0.0f);
+  size_t used = 0;
+  for (const std::string& v : column.DistinctStrings()) {
+    if (used >= options_.max_values) break;
+    AddInPlace(acc, words_->EmbedText(NormalizeValue(v)));
+    ++used;
+  }
+  NormalizeInPlace(acc);
+  for (float x : acc) out.push_back(x);
+}
+
+void FeatureExtractor::AppendContext(const Table& table, size_t index,
+                                     std::vector<double>& out) const {
+  // Context sampling is kept cheap but never collapses to zero values,
+  // even under a 1-value main budget — Sato's point is that the context
+  // can be informative when the column's own sample is not.
+  const size_t per_sibling = std::max<size_t>(4, options_.max_values / 4);
+  Vector acc(words_->dim(), 0.0f);
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c == index) continue;
+    Vector sibling(words_->dim(), 0.0f);
+    size_t used = 0;
+    for (const std::string& v : table.column(c).DistinctStrings()) {
+      if (used >= per_sibling) break;
+      AddInPlace(sibling, words_->EmbedText(NormalizeValue(v)));
+      ++used;
+    }
+    NormalizeInPlace(sibling);
+    AddInPlace(acc, sibling);
+  }
+  NormalizeInPlace(acc);
+  for (float x : acc) out.push_back(x);
+}
+
+std::vector<double> FeatureExtractor::Extract(const Column& column) const {
+  std::vector<double> out;
+  out.reserve(FeatureDim());
+  if (options_.use_stats) AppendStats(column, out);
+  if (options_.use_embedding) AppendEmbedding(column, out);
+  if (options_.use_context) out.resize(out.size() + words_->dim(), 0.0);
+  return out;
+}
+
+std::vector<double> FeatureExtractor::ExtractInContext(const Table& table,
+                                                       size_t index) const {
+  std::vector<double> out;
+  out.reserve(FeatureDim());
+  const Column& column = table.column(index);
+  if (options_.use_stats) AppendStats(column, out);
+  if (options_.use_embedding) AppendEmbedding(column, out);
+  if (options_.use_context) AppendContext(table, index, out);
+  return out;
+}
+
+}  // namespace lake

@@ -1,0 +1,62 @@
+#ifndef LAKE_ANNOTATE_FEATURES_H_
+#define LAKE_ANNOTATE_FEATURES_H_
+
+#include <vector>
+
+#include "embed/word_embedding.h"
+#include "table/column.h"
+#include "table/table.h"
+
+namespace lake {
+
+/// Sherlock-style feature extraction for semantic type detection
+/// (Hulsebos et al., KDD 2019), with Sato's table-context extension
+/// (Zhang et al., VLDB 2020).
+///
+/// Feature groups, each independently switchable so the E10 ablation can
+/// reproduce the Sherlock→Sato quality ordering:
+///  - statistics: cardinality, null fraction, uniqueness, length and
+///    character-class distributions, numeric moments (Sherlock's
+///    "global statistics" group);
+///  - embeddings: the mean value embedding (Sherlock's "word embedding"
+///    group, via the hash embedding substitute);
+///  - context: the mean embedding of *sibling* columns (Sato's
+///    table-context/topic signal).
+class FeatureExtractor {
+ public:
+  struct Options {
+    bool use_stats = true;
+    bool use_embedding = true;
+    bool use_context = false;
+    size_t max_values = 128;  // values sampled per column, deterministic
+  };
+
+  explicit FeatureExtractor(const WordEmbedding* words)
+      : FeatureExtractor(words, Options{}) {}
+  FeatureExtractor(const WordEmbedding* words, Options options)
+      : words_(words), options_(options) {}
+
+  /// Total feature-vector length under the current options.
+  size_t FeatureDim() const;
+
+  /// Features of a standalone column (context features are zero).
+  std::vector<double> Extract(const Column& column) const;
+
+  /// Features of column `index` within its table (enables context group).
+  std::vector<double> ExtractInContext(const Table& table, size_t index) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  void AppendStats(const Column& column, std::vector<double>& out) const;
+  void AppendEmbedding(const Column& column, std::vector<double>& out) const;
+  void AppendContext(const Table& table, size_t index,
+                     std::vector<double>& out) const;
+
+  const WordEmbedding* words_;
+  Options options_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_ANNOTATE_FEATURES_H_

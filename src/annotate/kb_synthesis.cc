@@ -1,0 +1,82 @@
+#include "annotate/kb_synthesis.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "text/normalizer.h"
+
+namespace lake {
+
+KnowledgeBase KbSynthesizer::Synthesize(const DataLakeCatalog& catalog) const {
+  KnowledgeBase kb;
+  AugmentInPlace(catalog, &kb);
+  return kb;
+}
+
+void KbSynthesizer::AugmentInPlace(const DataLakeCatalog& catalog,
+                                   KnowledgeBase* kb) const {
+  // First pass: collect candidate triples with support counts so that
+  // min_support can filter spurious single-row co-occurrences.
+  std::map<std::tuple<std::string, std::string, std::string>, size_t>
+      triple_support;
+
+  for (TableId t : catalog.AllTables()) {
+    const Table& table = catalog.table(t);
+    const size_t rows =
+        std::min(table.num_rows(), options_.max_rows_per_table);
+
+    // Eligible columns: non-numeric, with a usable attribute name and a
+    // bounded vocabulary.
+    std::vector<size_t> eligible;
+    std::vector<std::string> type_names;
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const Column& col = table.column(c);
+      if (col.IsNumeric()) continue;
+      const std::string name = NormalizeAttributeName(col.name());
+      if (name.empty()) continue;
+      if (catalog.stats(ColumnRef{t, static_cast<uint32_t>(c)})
+              .distinct_count > options_.max_distinct_per_column) {
+        continue;
+      }
+      eligible.push_back(c);
+      type_names.push_back("synth:" + name);
+    }
+
+    // Entities typed by attribute name.
+    for (size_t e = 0; e < eligible.size(); ++e) {
+      const Column& col = table.column(eligible[e]);
+      for (size_t r = 0; r < rows; ++r) {
+        if (col.cell(r).is_null()) continue;
+        const std::string v = NormalizeValue(col.cell(r).ToString());
+        if (!v.empty()) kb->AddEntity(v, type_names[e]);
+      }
+    }
+
+    // Relation instances from row-aligned column pairs.
+    for (size_t a = 0; a < eligible.size(); ++a) {
+      for (size_t b = a + 1; b < eligible.size(); ++b) {
+        const Column& ca = table.column(eligible[a]);
+        const Column& cb = table.column(eligible[b]);
+        const std::string pred = "synth:" +
+                                 NormalizeAttributeName(ca.name()) + "|" +
+                                 NormalizeAttributeName(cb.name());
+        for (size_t r = 0; r < rows; ++r) {
+          if (ca.cell(r).is_null() || cb.cell(r).is_null()) continue;
+          const std::string va = NormalizeValue(ca.cell(r).ToString());
+          const std::string vb = NormalizeValue(cb.cell(r).ToString());
+          if (va.empty() || vb.empty()) continue;
+          ++triple_support[{va, pred, vb}];
+        }
+      }
+    }
+  }
+
+  for (const auto& [triple, support] : triple_support) {
+    if (support < options_.min_support) continue;
+    const auto& [subject, predicate, object] = triple;
+    kb->AddRelation(subject, predicate, object);
+  }
+}
+
+}  // namespace lake

@@ -1,0 +1,53 @@
+#ifndef LAKE_ANNOTATE_KB_SYNTHESIS_H_
+#define LAKE_ANNOTATE_KB_SYNTHESIS_H_
+
+#include "annotate/knowledge_base.h"
+#include "table/catalog.h"
+
+namespace lake {
+
+/// Synthesizes a knowledge base from the data lake itself, following
+/// SANTOS (Khatiwada et al., SIGMOD 2023): when the curated KB does not
+/// cover a lake's vocabulary, mine column and column-pair semantics from
+/// the lake's own co-occurrence structure.
+///
+///  - Entities: every normalized string value of an eligible column,
+///    typed by the column's normalized attribute name (the lake's own
+///    vocabulary becomes the type system).
+///  - Relations: for every pair of string columns in one table, each
+///    row's (value_a, value_b) pair is asserted under the predicate
+///    "<name_a>|<name_b>". Tables that realize the same relationship
+///    therefore ground each other's pairs, which is precisely the signal
+///    SANTOS's relationship-based union search consumes.
+class KbSynthesizer {
+ public:
+  struct Options {
+    /// Columns with uniqueness below this look like free text / ids and
+    /// pollute the type system; skip them as relation subjects.
+    size_t max_distinct_per_column = 10000;
+    /// Cap rows mined per table (cost control; deterministic prefix).
+    size_t max_rows_per_table = 2000;
+    /// Minimum times a (subject, predicate, object) pattern must repeat
+    /// across the lake before the relation instance is asserted. Requiring
+    /// repeated evidence (SANTOS weights relationships by votes) is what
+    /// keeps one-off co-occurrences — e.g. tables whose column alignment
+    /// is accidental — out of the synthesized KB.
+    size_t min_support = 2;
+  };
+
+  KbSynthesizer() : KbSynthesizer(Options{}) {}
+  explicit KbSynthesizer(Options options) : options_(options) {}
+
+  /// Builds a fresh synthesized KB from the catalog.
+  KnowledgeBase Synthesize(const DataLakeCatalog& catalog) const;
+
+  /// Augments an existing KB in place (the SANTOS layered configuration).
+  void AugmentInPlace(const DataLakeCatalog& catalog, KnowledgeBase* kb) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_ANNOTATE_KB_SYNTHESIS_H_

@@ -1,0 +1,111 @@
+#include "annotate/knowledge_base.h"
+
+#include <algorithm>
+
+namespace lake {
+
+void KnowledgeBase::AddType(const std::string& type,
+                            const std::string& parent) {
+  if (!parent.empty() && !types_.count(parent)) types_[parent] = "";
+  auto it = types_.find(type);
+  if (it == types_.end()) {
+    types_[type] = parent;
+  } else if (it->second.empty() && !parent.empty()) {
+    it->second = parent;
+  }
+}
+
+void KnowledgeBase::AddEntity(const std::string& entity,
+                              const std::string& type) {
+  AddType(type);
+  std::vector<std::string>& types = entity_types_[entity];
+  if (std::find(types.begin(), types.end(), type) == types.end()) {
+    types.push_back(type);
+  }
+}
+
+void KnowledgeBase::AddRelation(const std::string& subject,
+                                const std::string& predicate,
+                                const std::string& object) {
+  std::vector<std::string>& preds = relations_[{subject, object}];
+  if (std::find(preds.begin(), preds.end(), predicate) == preds.end()) {
+    preds.push_back(predicate);
+  }
+  ++num_relation_instances_;
+}
+
+std::string KnowledgeBase::ParentOf(const std::string& type) const {
+  auto it = types_.find(type);
+  return it == types_.end() ? "" : it->second;
+}
+
+bool KnowledgeBase::IsSubtypeOf(const std::string& descendant,
+                                const std::string& ancestor) const {
+  std::string cur = descendant;
+  // Hierarchies are shallow; bound the walk defensively anyway.
+  for (int depth = 0; depth < 64 && !cur.empty(); ++depth) {
+    if (cur == ancestor) return true;
+    cur = ParentOf(cur);
+  }
+  return false;
+}
+
+std::vector<std::string> KnowledgeBase::TypesOf(
+    const std::string& entity) const {
+  auto it = entity_types_.find(entity);
+  return it == entity_types_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::vector<std::string> KnowledgeBase::RelationsBetween(
+    const std::string& subject, const std::string& object) const {
+  auto it = relations_.find({subject, object});
+  return it == relations_.end() ? std::vector<std::string>{} : it->second;
+}
+
+Result<TypeVote> KnowledgeBase::ColumnType(
+    const std::vector<std::string>& values) const {
+  if (values.empty()) return Status::InvalidArgument("no values");
+  std::unordered_map<std::string, size_t> votes;
+  size_t grounded = 0;
+  for (const std::string& v : values) {
+    const std::vector<std::string> types = TypesOf(v);
+    if (types.empty()) continue;
+    ++grounded;
+    for (const std::string& t : types) ++votes[t];
+  }
+  if (grounded == 0) return Status::NotFound("no value grounds in the KB");
+  std::string best;
+  size_t best_votes = 0;
+  for (const auto& [type, count] : votes) {
+    if (count > best_votes || (count == best_votes && type < best)) {
+      best = type;
+      best_votes = count;
+    }
+  }
+  return TypeVote{best, static_cast<double>(best_votes) / values.size()};
+}
+
+Result<RelationVote> KnowledgeBase::ColumnPairRelation(
+    const std::vector<std::string>& subjects,
+    const std::vector<std::string>& objects) const {
+  const size_t n = std::min(subjects.size(), objects.size());
+  if (n == 0) return Status::InvalidArgument("no pairs");
+  std::unordered_map<std::string, size_t> votes;
+  for (size_t i = 0; i < n; ++i) {
+    for (const std::string& p : RelationsBetween(subjects[i], objects[i])) {
+      ++votes[p];
+    }
+  }
+  if (votes.empty()) return Status::NotFound("no pair grounds in the KB");
+  std::string best;
+  size_t best_votes = 0;
+  for (const auto& [pred, count] : votes) {
+    if (count > best_votes || (count == best_votes && pred < best)) {
+      best = pred;
+      best_votes = count;
+    }
+  }
+  return RelationVote{best, static_cast<double>(best_votes) / n};
+}
+
+}  // namespace lake

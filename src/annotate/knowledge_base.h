@@ -1,0 +1,96 @@
+#ifndef LAKE_ANNOTATE_KNOWLEDGE_BASE_H_
+#define LAKE_ANNOTATE_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lake {
+
+/// A (type, coverage) answer for column-level semantics: the fraction of
+/// the column's values the KB could ground in that type.
+struct TypeVote {
+  std::string type;
+  double coverage = 0;
+};
+
+/// A (predicate, coverage) answer for column-pair semantics.
+struct RelationVote {
+  std::string predicate;
+  double coverage = 0;
+};
+
+/// In-memory knowledge base: a type hierarchy, typed entities, and binary
+/// relations between entities. Plays the role YAGO plays for SANTOS and the
+/// ontology plays for TUS's semantic unionability (DESIGN.md substitution
+/// 3). A second, lake-*synthesized* KB (kb_synthesis.h) can be layered on
+/// top, exactly as SANTOS layers its synthesized KB over an existing one.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+
+  /// Declares a type, optionally under a parent (parent auto-declared).
+  void AddType(const std::string& type, const std::string& parent = "");
+
+  /// Grounds an entity string (normalized by the caller) in a type.
+  void AddEntity(const std::string& entity, const std::string& type);
+
+  /// Asserts a binary relation instance between two entities.
+  void AddRelation(const std::string& subject, const std::string& predicate,
+                   const std::string& object);
+
+  size_t num_types() const { return types_.size(); }
+  size_t num_entities() const { return entity_types_.size(); }
+  size_t num_relation_instances() const { return num_relation_instances_; }
+
+  bool HasType(const std::string& type) const { return types_.count(type) > 0; }
+  /// Parent of a type ("" at a root or for unknown types).
+  std::string ParentOf(const std::string& type) const;
+  /// True when `descendant` equals or transitively specializes `ancestor`.
+  bool IsSubtypeOf(const std::string& descendant,
+                   const std::string& ancestor) const;
+
+  /// Direct types of an entity (empty when unknown).
+  std::vector<std::string> TypesOf(const std::string& entity) const;
+
+  /// Predicates asserted between (subject, object), in insertion order.
+  std::vector<std::string> RelationsBetween(const std::string& subject,
+                                            const std::string& object) const;
+
+  /// Column-level semantics: the type grounding the largest fraction of
+  /// `values`, with its coverage (SANTOS column semantics). NotFound when
+  /// nothing grounds.
+  Result<TypeVote> ColumnType(const std::vector<std::string>& values) const;
+
+  /// Column-pair semantics: the predicate grounding the largest fraction
+  /// of row-aligned (a, b) pairs (SANTOS relationship semantics). NotFound
+  /// when nothing grounds. Input vectors must be equal length (shorter is
+  /// used).
+  Result<RelationVote> ColumnPairRelation(
+      const std::vector<std::string>& subjects,
+      const std::vector<std::string>& objects) const;
+
+ private:
+  struct PairHash {
+    size_t operator()(const std::pair<std::string, std::string>& p) const {
+      return std::hash<std::string>()(p.first) * 1000003 ^
+             std::hash<std::string>()(p.second);
+    }
+  };
+
+  std::unordered_map<std::string, std::string> types_;  // type -> parent
+  std::unordered_map<std::string, std::vector<std::string>> entity_types_;
+  std::unordered_map<std::pair<std::string, std::string>,
+                     std::vector<std::string>, PairHash>
+      relations_;
+  size_t num_relation_instances_ = 0;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_ANNOTATE_KNOWLEDGE_BASE_H_

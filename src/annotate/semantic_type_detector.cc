@@ -1,0 +1,98 @@
+#include "annotate/semantic_type_detector.h"
+
+#include <algorithm>
+
+namespace lake {
+
+std::vector<double> SemanticTypeDetector::Features(
+    const LabeledColumn& ex) const {
+  if (ex.table != nullptr) {
+    return extractor_.ExtractInContext(*ex.table, ex.column_index);
+  }
+  // Standalone column examples are only valid when the caller also owns
+  // the column; LabeledColumn requires a table pointer for storage, so
+  // this path is unreachable by construction (kept for safety).
+  return {};
+}
+
+Status SemanticTypeDetector::Train(const std::vector<LabeledColumn>& examples) {
+  if (examples.empty()) {
+    return Status::InvalidArgument("no training examples");
+  }
+  labels_.clear();
+  label_ids_.clear();
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  x.reserve(examples.size());
+  y.reserve(examples.size());
+  for (const LabeledColumn& ex : examples) {
+    if (ex.table == nullptr || ex.column_index >= ex.table->num_columns()) {
+      return Status::InvalidArgument("labeled column without valid table");
+    }
+    auto [it, fresh] =
+        label_ids_.try_emplace(ex.type_label,
+                               static_cast<int>(labels_.size()));
+    if (fresh) labels_.push_back(ex.type_label);
+    x.push_back(Features(ex));
+    y.push_back(it->second);
+  }
+  if (labels_.size() < 2) {
+    return Status::InvalidArgument("need >= 2 distinct type labels");
+  }
+  return model_.Train(x, y, static_cast<int>(labels_.size()),
+                      model_options_);
+}
+
+Result<TypeAnnotation> SemanticTypeDetector::FromProbs(
+    const std::vector<double>& probs) const {
+  const size_t best =
+      std::max_element(probs.begin(), probs.end()) - probs.begin();
+  return TypeAnnotation{labels_[best], probs[best]};
+}
+
+Result<TypeAnnotation> SemanticTypeDetector::Annotate(
+    const Column& column) const {
+  // Wrap in a single-column table so context features (if enabled) are a
+  // well-defined zero.
+  Table wrapper("__single__");
+  LAKE_RETURN_IF_ERROR(wrapper.AddColumn(column));
+  return AnnotateInContext(wrapper, 0);
+}
+
+Result<TypeAnnotation> SemanticTypeDetector::AnnotateInContext(
+    const Table& table, size_t column_index) const {
+  if (column_index >= table.num_columns()) {
+    return Status::OutOfRange("column index");
+  }
+  LAKE_ASSIGN_OR_RETURN(
+      std::vector<double> probs,
+      model_.PredictProba(extractor_.ExtractInContext(table, column_index)));
+  return FromProbs(probs);
+}
+
+Result<double> SemanticTypeDetector::Evaluate(
+    const std::vector<LabeledColumn>& examples) const {
+  if (examples.empty()) return Status::InvalidArgument("no examples");
+  size_t correct = 0;
+  for (const LabeledColumn& ex : examples) {
+    LAKE_ASSIGN_OR_RETURN(TypeAnnotation ann,
+                          AnnotateInContext(*ex.table, ex.column_index));
+    if (ann.type_label == ex.type_label) ++correct;
+  }
+  return static_cast<double>(correct) / examples.size();
+}
+
+Result<std::unordered_map<ColumnRef, TypeAnnotation, ColumnRefHash>>
+SemanticTypeDetector::AnnotateCatalog(const DataLakeCatalog& catalog) const {
+  std::unordered_map<ColumnRef, TypeAnnotation, ColumnRefHash> out;
+  for (TableId t : catalog.AllTables()) {
+    const Table& table = catalog.table(t);
+    for (uint32_t c = 0; c < table.num_columns(); ++c) {
+      LAKE_ASSIGN_OR_RETURN(TypeAnnotation ann, AnnotateInContext(table, c));
+      out[ColumnRef{t, c}] = std::move(ann);
+    }
+  }
+  return out;
+}
+
+}  // namespace lake

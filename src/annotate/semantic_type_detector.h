@@ -1,0 +1,73 @@
+#ifndef LAKE_ANNOTATE_SEMANTIC_TYPE_DETECTOR_H_
+#define LAKE_ANNOTATE_SEMANTIC_TYPE_DETECTOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "annotate/features.h"
+#include "annotate/softmax_model.h"
+#include "table/catalog.h"
+
+namespace lake {
+
+/// A labeled training/evaluation example: one column (possibly inside its
+/// table, for context features) and its semantic type name.
+struct LabeledColumn {
+  const Table* table = nullptr;  // may be null (no context available)
+  size_t column_index = 0;
+  std::string type_label;
+};
+
+/// Prediction for one column.
+struct TypeAnnotation {
+  std::string type_label;
+  double confidence = 0;
+};
+
+/// Supervised semantic column-type detection (the table-annotation task of
+/// §2.2): a feature extractor plus a softmax classifier trained on labeled
+/// columns, applied to unlabeled lake columns. With
+/// `FeatureExtractor::Options.use_context = true` this is the Sato
+/// configuration; without it, Sherlock's.
+class SemanticTypeDetector {
+ public:
+  SemanticTypeDetector(const WordEmbedding* words,
+                       FeatureExtractor::Options feature_options = {},
+                       SoftmaxModel::Options model_options = {})
+      : extractor_(words, feature_options), model_options_(model_options) {}
+
+  /// Trains on labeled columns. Label strings define the class set.
+  Status Train(const std::vector<LabeledColumn>& examples);
+
+  /// Predicts the semantic type of a standalone column.
+  Result<TypeAnnotation> Annotate(const Column& column) const;
+
+  /// Predicts using table context (required for Sato-style features).
+  Result<TypeAnnotation> AnnotateInContext(const Table& table,
+                                           size_t column_index) const;
+
+  /// Accuracy over labeled examples.
+  Result<double> Evaluate(const std::vector<LabeledColumn>& examples) const;
+
+  /// Annotates every column of every table in a catalog; returns a map
+  /// from column ref to its predicted annotation.
+  Result<std::unordered_map<ColumnRef, TypeAnnotation, ColumnRefHash>>
+  AnnotateCatalog(const DataLakeCatalog& catalog) const;
+
+  const std::vector<std::string>& labels() const { return labels_; }
+
+ private:
+  std::vector<double> Features(const LabeledColumn& ex) const;
+  Result<TypeAnnotation> FromProbs(const std::vector<double>& probs) const;
+
+  FeatureExtractor extractor_;
+  SoftmaxModel::Options model_options_;
+  SoftmaxModel model_;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, int> label_ids_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_ANNOTATE_SEMANTIC_TYPE_DETECTOR_H_

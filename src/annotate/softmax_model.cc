@@ -1,0 +1,153 @@
+#include "annotate/softmax_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace lake {
+
+Status SoftmaxModel::Train(const std::vector<std::vector<double>>& x,
+                           const std::vector<int>& y, int num_classes,
+                           Options options) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("empty or mismatched training data");
+  }
+  if (num_classes < 2) return Status::InvalidArgument("need >= 2 classes");
+  dim_ = x[0].size();
+  for (const auto& row : x) {
+    if (row.size() != dim_) {
+      return Status::InvalidArgument("inconsistent feature dimensions");
+    }
+  }
+  for (int label : y) {
+    if (label < 0 || label >= num_classes) {
+      return Status::InvalidArgument("label out of range");
+    }
+  }
+  num_classes_ = num_classes;
+
+  // Standardization statistics.
+  mean_.assign(dim_, 0.0);
+  inv_std_.assign(dim_, 1.0);
+  for (const auto& row : x) {
+    for (size_t j = 0; j < dim_; ++j) mean_[j] += row[j];
+  }
+  for (double& m : mean_) m /= static_cast<double>(x.size());
+  std::vector<double> var(dim_, 0.0);
+  for (const auto& row : x) {
+    for (size_t j = 0; j < dim_; ++j) {
+      const double d = row[j] - mean_[j];
+      var[j] += d * d;
+    }
+  }
+  for (size_t j = 0; j < dim_; ++j) {
+    const double sd = std::sqrt(var[j] / static_cast<double>(x.size()));
+    inv_std_[j] = sd > 1e-9 ? 1.0 / sd : 1.0;
+  }
+
+  const size_t cols = dim_ + 1;
+  weights_.assign(static_cast<size_t>(num_classes_) * cols, 0.0);
+
+  std::vector<std::vector<double>> xs(x.size());
+  for (size_t i = 0; i < x.size(); ++i) xs[i] = Standardize(x[i]);
+
+  Rng rng(options.seed);
+  std::vector<size_t> order(x.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<double> logits(num_classes_);
+  std::vector<double> grad(weights_.size());
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    const double lr =
+        options.learning_rate / (1.0 + 0.05 * static_cast<double>(epoch));
+    for (size_t start = 0; start < order.size();
+         start += options.batch_size) {
+      const size_t end = std::min(order.size(), start + options.batch_size);
+      std::fill(grad.begin(), grad.end(), 0.0);
+      for (size_t b = start; b < end; ++b) {
+        const size_t i = order[b];
+        const std::vector<double>& row = xs[i];
+        double max_logit = -1e300;
+        for (int c = 0; c < num_classes_; ++c) {
+          double z = weights_[c * cols + dim_];  // bias
+          const double* w = &weights_[c * cols];
+          for (size_t j = 0; j < dim_; ++j) z += w[j] * row[j];
+          logits[c] = z;
+          max_logit = std::max(max_logit, z);
+        }
+        double sum = 0;
+        for (int c = 0; c < num_classes_; ++c) {
+          logits[c] = std::exp(logits[c] - max_logit);
+          sum += logits[c];
+        }
+        for (int c = 0; c < num_classes_; ++c) {
+          const double p = logits[c] / sum;
+          const double err = p - (c == y[i] ? 1.0 : 0.0);
+          double* g = &grad[c * cols];
+          for (size_t j = 0; j < dim_; ++j) g[j] += err * row[j];
+          g[dim_] += err;
+        }
+      }
+      const double scale = lr / static_cast<double>(end - start);
+      for (size_t w = 0; w < weights_.size(); ++w) {
+        weights_[w] -= scale * (grad[w] + options.l2 * weights_[w]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> SoftmaxModel::Standardize(
+    const std::vector<double>& x) const {
+  std::vector<double> out(dim_);
+  for (size_t j = 0; j < dim_; ++j) out[j] = (x[j] - mean_[j]) * inv_std_[j];
+  return out;
+}
+
+Result<std::vector<double>> SoftmaxModel::PredictProba(
+    const std::vector<double>& x) const {
+  if (!trained()) return Status::FailedPrecondition("model not trained");
+  if (x.size() != dim_) return Status::InvalidArgument("feature dim mismatch");
+  const std::vector<double> row = Standardize(x);
+  const size_t cols = dim_ + 1;
+  std::vector<double> probs(num_classes_);
+  double max_logit = -1e300;
+  for (int c = 0; c < num_classes_; ++c) {
+    double z = weights_[c * cols + dim_];
+    const double* w = &weights_[c * cols];
+    for (size_t j = 0; j < dim_; ++j) z += w[j] * row[j];
+    probs[c] = z;
+    max_logit = std::max(max_logit, z);
+  }
+  double sum = 0;
+  for (double& p : probs) {
+    p = std::exp(p - max_logit);
+    sum += p;
+  }
+  for (double& p : probs) p /= sum;
+  return probs;
+}
+
+Result<int> SoftmaxModel::Predict(const std::vector<double>& x) const {
+  LAKE_ASSIGN_OR_RETURN(std::vector<double> probs, PredictProba(x));
+  return static_cast<int>(std::max_element(probs.begin(), probs.end()) -
+                          probs.begin());
+}
+
+Result<double> SoftmaxModel::Evaluate(
+    const std::vector<std::vector<double>>& x,
+    const std::vector<int>& y) const {
+  if (x.size() != y.size() || x.empty()) {
+    return Status::InvalidArgument("empty or mismatched eval data");
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    LAKE_ASSIGN_OR_RETURN(int pred, Predict(x[i]));
+    if (pred == y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / x.size();
+}
+
+}  // namespace lake

@@ -1,0 +1,62 @@
+#ifndef LAKE_ANNOTATE_SOFTMAX_MODEL_H_
+#define LAKE_ANNOTATE_SOFTMAX_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lake {
+
+/// Multinomial logistic regression trained with mini-batch SGD — the
+/// in-process stand-in for Sherlock/Sato's neural classifiers (DESIGN.md,
+/// substitution 4). Features are standardized with train-set statistics;
+/// L2 regularization keeps the model stable on the hash-embedding features.
+class SoftmaxModel {
+ public:
+  struct Options {
+    size_t epochs = 60;
+    size_t batch_size = 32;
+    double learning_rate = 0.15;
+    double l2 = 1e-4;
+    uint64_t seed = 13;
+  };
+
+  SoftmaxModel() = default;
+
+  /// Trains on row-major features `x` with labels in [0, num_classes).
+  /// All rows must share one dimension. Replaces any previous model.
+  Status Train(const std::vector<std::vector<double>>& x,
+               const std::vector<int>& y, int num_classes, Options options);
+  Status Train(const std::vector<std::vector<double>>& x,
+               const std::vector<int>& y, int num_classes) {
+    return Train(x, y, num_classes, Options{});
+  }
+
+  /// Class probabilities for one feature vector (dimension checked).
+  Result<std::vector<double>> PredictProba(const std::vector<double>& x) const;
+
+  /// Arg-max class.
+  Result<int> Predict(const std::vector<double>& x) const;
+
+  /// Mean accuracy over a labeled set.
+  Result<double> Evaluate(const std::vector<std::vector<double>>& x,
+                          const std::vector<int>& y) const;
+
+  bool trained() const { return num_classes_ > 0; }
+  int num_classes() const { return num_classes_; }
+  size_t feature_dim() const { return dim_; }
+
+ private:
+  std::vector<double> Standardize(const std::vector<double>& x) const;
+
+  int num_classes_ = 0;
+  size_t dim_ = 0;
+  std::vector<double> mean_, inv_std_;
+  // Row-major [num_classes x (dim+1)]; last column is the bias.
+  std::vector<double> weights_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_ANNOTATE_SOFTMAX_MODEL_H_

@@ -1,0 +1,191 @@
+#include "apps/augmentation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "apps/ridge_regression.h"
+#include "text/normalizer.h"
+#include "util/random.h"
+
+namespace lake {
+
+Result<DataAugmenter::Report> DataAugmenter::Augment(
+    const Table& base, size_t key_column,
+    const std::vector<size_t>& base_feature_columns,
+    const std::vector<double>& target) const {
+  if (key_column >= base.num_columns()) {
+    return Status::OutOfRange("key column");
+  }
+  if (target.size() != base.num_rows()) {
+    return Status::InvalidArgument("target length != base rows");
+  }
+  if (base.num_rows() < options_.cv_folds * 2) {
+    return Status::InvalidArgument("too few rows for cross-validation");
+  }
+
+  Report report;
+
+  // Base feature matrix.
+  const size_t rows = base.num_rows();
+  std::vector<std::vector<double>> features(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c : base_feature_columns) {
+      double v = 0;
+      base.column(c).cell(r).ToDouble(&v);
+      features[r].push_back(v);
+    }
+  }
+  {
+    LAKE_ASSIGN_OR_RETURN(report.base_r2,
+                          CrossValidatedR2(features, target, options_.cv_folds,
+                                           options_.ridge_lambda));
+  }
+
+  // Join keys of the base table.
+  std::vector<std::string> keys(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    const Value& v = base.column(key_column).cell(r);
+    keys[r] = v.is_null() ? "" : NormalizeValue(v.ToString());
+  }
+
+  // Discover joinable lake columns with JOSIE, then harvest numeric
+  // columns of the joined tables as candidate features via a hash-join.
+  std::vector<std::string> distinct_keys;
+  {
+    std::unordered_set<std::string> seen;
+    for (const std::string& k : keys) {
+      if (!k.empty() && seen.insert(k).second) distinct_keys.push_back(k);
+    }
+  }
+  LAKE_ASSIGN_OR_RETURN(
+      std::vector<ColumnResult> joinable,
+      join_->Search(distinct_keys, options_.max_join_tables));
+
+  struct Candidate {
+    TableId table_id;
+    uint32_t column;
+    std::string name;
+    std::vector<double> values;  // aligned with base rows (0 when no match)
+  };
+  std::vector<Candidate> candidates;
+  std::unordered_set<TableId> used_tables;
+  for (const ColumnResult& jr : joinable) {
+    const TableId t = jr.column.table_id;
+    if (!used_tables.insert(t).second) continue;
+    const Table& lake_table = catalog_->table(t);
+    const Column& lake_key = lake_table.column(jr.column.column_index);
+
+    // key value -> first row index in the lake table.
+    std::unordered_map<std::string, size_t> key_to_row;
+    for (size_t r = 0; r < lake_table.num_rows(); ++r) {
+      const Value& v = lake_key.cell(r);
+      if (v.is_null()) continue;
+      key_to_row.try_emplace(NormalizeValue(v.ToString()), r);
+    }
+
+    size_t taken = 0;
+    for (uint32_t c = 0; c < lake_table.num_columns(); ++c) {
+      if (c == jr.column.column_index) continue;
+      if (!lake_table.column(c).IsNumeric()) continue;
+      if (taken >= options_.max_features_per_table) break;
+      Candidate cand;
+      cand.table_id = t;
+      cand.column = c;
+      cand.name = lake_table.name() + "." + lake_table.column(c).name();
+      cand.values.assign(rows, 0.0);
+      size_t matched = 0;
+      for (size_t r = 0; r < rows; ++r) {
+        auto it = key_to_row.find(keys[r]);
+        if (it == key_to_row.end()) continue;
+        double v;
+        if (lake_table.column(c).cell(it->second).ToDouble(&v)) {
+          cand.values[r] = v;
+          ++matched;
+        }
+      }
+      if (matched < rows / 4) continue;  // too sparse to help
+      candidates.push_back(std::move(cand));
+      ++taken;
+    }
+  }
+  report.candidates = candidates.size();
+
+  // Random-injection feature selection: train ridge on [base | candidates
+  // | noise]; keep candidates whose |coef|·std beats the strongest noise
+  // feature's. Features are scaled to unit variance inside the selection
+  // model so coefficients are comparable.
+  std::vector<AugmentedFeature> selected;
+  if (!candidates.empty()) {
+    Rng rng(options_.seed);
+    const size_t base_dim = features[0].size();
+    std::vector<std::vector<double>> sel_x(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      sel_x[r] = features[r];
+      for (const Candidate& cand : candidates) {
+        sel_x[r].push_back(cand.values[r]);
+      }
+      for (size_t nz = 0; nz < options_.noise_features; ++nz) {
+        sel_x[r].push_back(rng.NextGaussian());
+      }
+    }
+    // Column-standardize in place so coefficient magnitudes compare.
+    const size_t dim = sel_x[0].size();
+    for (size_t j = 0; j < dim; ++j) {
+      double mean = 0, var = 0;
+      for (size_t r = 0; r < rows; ++r) mean += sel_x[r][j];
+      mean /= static_cast<double>(rows);
+      for (size_t r = 0; r < rows; ++r) {
+        const double d = sel_x[r][j] - mean;
+        var += d * d;
+      }
+      const double sd = std::sqrt(var / static_cast<double>(rows));
+      const double inv = sd > 1e-12 ? 1.0 / sd : 0.0;
+      for (size_t r = 0; r < rows; ++r) sel_x[r][j] = (sel_x[r][j] - mean) * inv;
+    }
+    RidgeRegression sel_model(options_.ridge_lambda);
+    LAKE_RETURN_IF_ERROR(sel_model.Fit(sel_x, target));
+    const std::vector<double>& w = sel_model.weights();
+    double noise_max = 0;
+    for (size_t nz = 0; nz < options_.noise_features; ++nz) {
+      noise_max = std::max(
+          noise_max, std::abs(w[base_dim + candidates.size() + nz]));
+    }
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      const double coef = w[base_dim + c];
+      if (std::abs(coef) > options_.noise_margin * noise_max) {
+        selected.push_back(AugmentedFeature{candidates[c].table_id,
+                                            candidates[c].column,
+                                            candidates[c].name, coef});
+      }
+    }
+  }
+
+  // Final augmented matrix and score.
+  std::vector<std::vector<double>> augmented(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    augmented[r] = features[r];
+    for (const AugmentedFeature& f : selected) {
+      for (const Candidate& cand : candidates) {
+        if (cand.table_id == f.table_id && cand.column == f.column) {
+          augmented[r].push_back(cand.values[r]);
+          break;
+        }
+      }
+    }
+  }
+  if (selected.empty()) {
+    report.augmented_r2 = report.base_r2;
+  } else {
+    LAKE_ASSIGN_OR_RETURN(
+        report.augmented_r2,
+        CrossValidatedR2(augmented, target, options_.cv_folds,
+                         options_.ridge_lambda));
+  }
+  report.selected = std::move(selected);
+  report.augmented_features = std::move(augmented);
+  return report;
+}
+
+}  // namespace lake

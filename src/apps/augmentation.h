@@ -1,0 +1,74 @@
+#ifndef LAKE_APPS_AUGMENTATION_H_
+#define LAKE_APPS_AUGMENTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "search/join_josie.h"
+#include "table/catalog.h"
+#include "util/status.h"
+
+namespace lake {
+
+/// ARDA-style automatic relational data augmentation (Chepurko et al.,
+/// VLDB 2020): given a base table with a join key and a numeric prediction
+/// target, discover joinable lake tables, left-join their numeric columns
+/// as candidate features, and keep only features that survive
+/// random-injection selection — candidate features must beat injected
+/// noise features on a model trained over both (ARDA's RIFS idea). The
+/// output is an augmented feature matrix plus the cross-validated R²
+/// before and after, the E14 measurement.
+class DataAugmenter {
+ public:
+  struct Options {
+    /// Joinable tables considered (top-k by overlap).
+    size_t max_join_tables = 10;
+    /// Candidate numeric features pulled per joined table.
+    size_t max_features_per_table = 4;
+    /// Random noise features injected per selection round.
+    size_t noise_features = 5;
+    /// A feature is kept when its |coefficient| exceeds this multiple of
+    /// the largest noise-feature |coefficient|.
+    double noise_margin = 1.0;
+    double ridge_lambda = 1.0;
+    size_t cv_folds = 4;
+    uint64_t seed = 21;
+  };
+
+  struct AugmentedFeature {
+    TableId table_id = 0;
+    uint32_t column = 0;
+    std::string name;       // "<table>.<column>"
+    double coefficient = 0; // from the selection model
+  };
+
+  struct Report {
+    double base_r2 = 0;       // CV R² with base features only
+    double augmented_r2 = 0;  // CV R² with selected lake features added
+    size_t candidates = 0;    // features considered
+    std::vector<AugmentedFeature> selected;
+    std::vector<std::vector<double>> augmented_features;  // row-major
+  };
+
+  DataAugmenter(const DataLakeCatalog* catalog, const JosieJoinSearch* join)
+      : DataAugmenter(catalog, join, Options{}) {}
+  DataAugmenter(const DataLakeCatalog* catalog, const JosieJoinSearch* join,
+                Options options)
+      : catalog_(catalog), join_(join), options_(options) {}
+
+  /// Augments `base`: `key_column` joins against the lake,
+  /// `base_feature_columns` are the existing numeric features, and
+  /// `target` holds one label per base row.
+  Result<Report> Augment(const Table& base, size_t key_column,
+                         const std::vector<size_t>& base_feature_columns,
+                         const std::vector<double>& target) const;
+
+ private:
+  const DataLakeCatalog* catalog_;
+  const JosieJoinSearch* join_;
+  Options options_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_APPS_AUGMENTATION_H_

@@ -1,0 +1,121 @@
+#include "apps/homograph.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "text/normalizer.h"
+#include "util/random.h"
+#include "util/top_k.h"
+
+namespace lake {
+
+std::vector<HomographDetector::ScoredValue> HomographDetector::TopHomographs(
+    size_t k) const {
+  // Bipartite graph: value nodes [0, V), column nodes [V, V+C).
+  std::unordered_map<std::string, uint32_t> value_ids;
+  std::vector<std::string> values;
+  std::vector<std::vector<uint32_t>> value_cols;  // value -> column nodes
+  std::vector<std::vector<uint32_t>> col_values;  // column -> value nodes
+
+  catalog_->ForEachColumn([&](const ColumnRef& ref, const Column& col) {
+    (void)ref;
+    if (col.IsNumeric()) return;
+    const uint32_t col_node = static_cast<uint32_t>(col_values.size());
+    col_values.emplace_back();
+    for (const std::string& raw : col.DistinctStrings()) {
+      const std::string v = NormalizeValue(raw);
+      if (v.empty()) continue;
+      auto [it, fresh] =
+          value_ids.try_emplace(v, static_cast<uint32_t>(values.size()));
+      if (fresh) {
+        values.push_back(v);
+        value_cols.emplace_back();
+      }
+      value_cols[it->second].push_back(col_node);
+      col_values[col_node].push_back(it->second);
+    }
+  });
+
+  const size_t v_count = values.size();
+  const size_t c_count = col_values.size();
+  const size_t n = v_count + c_count;
+  if (n == 0) return {};
+
+  // Unified adjacency: node < v_count is a value, else a column.
+  auto neighbors = [&](uint32_t node) -> const std::vector<uint32_t>& {
+    return node < v_count ? value_cols[node] : col_values[node - v_count];
+  };
+  auto to_global = [&](bool is_value, uint32_t idx) -> uint32_t {
+    return is_value ? idx : idx + static_cast<uint32_t>(v_count);
+  };
+
+  // Brandes' betweenness with sampled sources.
+  std::vector<double> centrality(n, 0.0);
+  std::vector<uint32_t> sources;
+  if (options_.sample_sources == 0 || options_.sample_sources >= n) {
+    sources.resize(n);
+    for (uint32_t i = 0; i < n; ++i) sources[i] = i;
+  } else {
+    Rng rng(options_.seed);
+    std::vector<uint32_t> all(n);
+    for (uint32_t i = 0; i < n; ++i) all[i] = i;
+    rng.Shuffle(all);
+    sources.assign(all.begin(), all.begin() + options_.sample_sources);
+  }
+
+  std::vector<int64_t> dist(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<std::vector<uint32_t>> preds(n);
+  for (uint32_t s : sources) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    for (auto& p : preds) p.clear();
+
+    std::vector<uint32_t> order;
+    std::queue<uint32_t> q;
+    dist[s] = 0;
+    sigma[s] = 1;
+    q.push(s);
+    while (!q.empty()) {
+      const uint32_t u = q.front();
+      q.pop();
+      order.push_back(u);
+      const bool u_is_value = u < v_count;
+      for (uint32_t raw : neighbors(u)) {
+        const uint32_t w = to_global(!u_is_value, raw);
+        if (dist[w] < 0) {
+          dist[w] = dist[u] + 1;
+          q.push(w);
+        }
+        if (dist[w] == dist[u] + 1) {
+          sigma[w] += sigma[u];
+          preds[w].push_back(u);
+        }
+      }
+    }
+    for (size_t i = order.size(); i-- > 0;) {
+      const uint32_t w = order[i];
+      for (uint32_t u : preds[w]) {
+        delta[u] += sigma[u] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != s) centrality[w] += delta[w];
+    }
+  }
+  const double scale =
+      sources.size() < n ? static_cast<double>(n) / sources.size() : 1.0;
+
+  TopK<uint32_t> heap(k);
+  for (uint32_t v = 0; v < v_count; ++v) {
+    if (value_cols[v].size() < options_.min_columns) continue;
+    heap.Push(centrality[v] * scale, v);
+  }
+  std::vector<ScoredValue> out;
+  for (auto& [score, v] : heap.Take()) {
+    out.push_back(ScoredValue{values[v], score, value_cols[v].size()});
+  }
+  return out;
+}
+
+}  // namespace lake

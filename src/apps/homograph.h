@@ -1,0 +1,51 @@
+#ifndef LAKE_APPS_HOMOGRAPH_H_
+#define LAKE_APPS_HOMOGRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "table/catalog.h"
+
+namespace lake {
+
+/// Homograph detection via graph centrality — DomainNet (Leventidis et
+/// al., EDBT 2021), the survey's §3 example of modeling a data lake as a
+/// graph. A bipartite graph connects values to the columns containing
+/// them; a *homograph* ("jaguar" the animal vs the car) bridges otherwise
+/// disconnected column communities, which manifests as high betweenness
+/// centrality of its value node. Centrality is estimated with Brandes'
+/// sampled algorithm (exact when the sample covers all value nodes).
+class HomographDetector {
+ public:
+  struct Options {
+    /// Values appearing in fewer columns are skipped (a value in one
+    /// column cannot bridge anything).
+    size_t min_columns = 2;
+    /// BFS sources sampled for approximate betweenness (0 = all nodes,
+    /// exact but quadratic).
+    size_t sample_sources = 256;
+    uint64_t seed = 11;
+  };
+
+  struct ScoredValue {
+    std::string value;
+    double centrality = 0;
+    size_t column_count = 0;  // columns containing the value
+  };
+
+  explicit HomographDetector(const DataLakeCatalog* catalog)
+      : HomographDetector(catalog, Options{}) {}
+  HomographDetector(const DataLakeCatalog* catalog, Options options)
+      : catalog_(catalog), options_(options) {}
+
+  /// Top-k values by betweenness centrality (homograph candidates first).
+  std::vector<ScoredValue> TopHomographs(size_t k) const;
+
+ private:
+  const DataLakeCatalog* catalog_;
+  Options options_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_APPS_HOMOGRAPH_H_

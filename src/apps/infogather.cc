@@ -1,0 +1,162 @@
+#include "apps/infogather.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/normalizer.h"
+#include "text/qgram.h"
+
+namespace lake {
+
+InfoGatherAugmenter::InfoGatherAugmenter(const DataLakeCatalog* catalog,
+                                         Options options)
+    : catalog_(catalog), options_(options) {}
+
+std::vector<InfoGatherAugmenter::AugmentedValue> InfoGatherAugmenter::Vote(
+    const std::vector<std::string>& entities,
+    const std::vector<Provider>& providers) const {
+  // Per entity: value -> (total weight, provider tables).
+  struct Votes {
+    std::unordered_map<std::string, double> weight;
+    std::unordered_set<TableId> tables;
+    double total = 0;
+  };
+  std::vector<Votes> votes(entities.size());
+  std::unordered_map<std::string, std::vector<size_t>> entity_index;
+  for (size_t i = 0; i < entities.size(); ++i) {
+    entity_index[NormalizeValue(entities[i])].push_back(i);
+  }
+
+  for (const Provider& p : providers) {
+    const Table& table = catalog_->table(p.table_id);
+    const Column& entity_col = table.column(p.entity_column);
+    const Column& value_col = table.column(p.value_column);
+    const size_t rows =
+        std::min(table.num_rows(), options_.max_rows_per_table);
+    for (size_t r = 0; r < rows; ++r) {
+      if (entity_col.cell(r).is_null() || value_col.cell(r).is_null()) {
+        continue;
+      }
+      auto it = entity_index.find(NormalizeValue(entity_col.cell(r).ToString()));
+      if (it == entity_index.end()) continue;
+      const std::string value = NormalizeValue(value_col.cell(r).ToString());
+      if (value.empty()) continue;
+      for (size_t i : it->second) {
+        votes[i].weight[value] += p.weight;
+        votes[i].total += p.weight;
+        votes[i].tables.insert(p.table_id);
+      }
+    }
+  }
+
+  std::vector<AugmentedValue> out;
+  out.reserve(entities.size());
+  for (size_t i = 0; i < entities.size(); ++i) {
+    AugmentedValue av;
+    av.entity = entities[i];
+    av.providers = votes[i].tables.size();
+    double best = 0;
+    for (const auto& [value, weight] : votes[i].weight) {
+      if (weight > best ||
+          (weight == best && !av.value.empty() && value < av.value)) {
+        best = weight;
+        av.value = value;
+      }
+    }
+    av.confidence = votes[i].total > 0 ? best / votes[i].total : 0.0;
+    out.push_back(std::move(av));
+  }
+  return out;
+}
+
+Result<std::vector<InfoGatherAugmenter::AugmentedValue>>
+InfoGatherAugmenter::AugmentByAttribute(
+    const std::vector<std::string>& entities,
+    const std::string& attribute_name) const {
+  if (entities.empty()) return Status::InvalidArgument("no entities");
+  const std::string target = NormalizeAttributeName(attribute_name);
+  if (target.empty()) return Status::InvalidArgument("empty attribute name");
+
+  // Entity lookup set for provider qualification.
+  std::unordered_set<std::string> entity_set;
+  for (const std::string& e : entities) {
+    entity_set.insert(NormalizeValue(e));
+  }
+
+  std::vector<Provider> providers;
+  for (TableId t : catalog_->AllTables()) {
+    const Table& table = catalog_->table(t);
+    // Value columns whose names match the request.
+    std::vector<std::pair<uint32_t, double>> named;
+    for (uint32_t c = 0; c < table.num_columns(); ++c) {
+      const double sim = QGramJaccard(
+          NormalizeAttributeName(table.column(c).name()), target,
+          options_.qgram);
+      if (sim >= options_.name_similarity_threshold) named.push_back({c, sim});
+    }
+    if (named.empty()) continue;
+    // Entity columns: any column containing >= 1 query entity.
+    for (uint32_t c = 0; c < table.num_columns(); ++c) {
+      if (table.column(c).IsNumeric()) continue;
+      bool hits = false;
+      const size_t rows =
+          std::min(table.num_rows(), options_.max_rows_per_table);
+      for (size_t r = 0; r < rows && !hits; ++r) {
+        const Value& v = table.column(c).cell(r);
+        if (!v.is_null() && entity_set.count(NormalizeValue(v.ToString()))) {
+          hits = true;
+        }
+      }
+      if (!hits) continue;
+      for (const auto& [vc, sim] : named) {
+        if (vc == c) continue;
+        providers.push_back(Provider{t, c, vc, sim});
+      }
+    }
+  }
+  return Vote(entities, providers);
+}
+
+Result<std::vector<InfoGatherAugmenter::AugmentedValue>>
+InfoGatherAugmenter::AugmentByExample(
+    const std::vector<std::pair<std::string, std::string>>& examples,
+    const std::vector<std::string>& entities) const {
+  if (examples.empty()) return Status::InvalidArgument("no examples");
+  std::unordered_map<std::string, std::string> expected;
+  for (const auto& [e, v] : examples) {
+    expected[NormalizeValue(e)] = NormalizeValue(v);
+  }
+
+  std::vector<Provider> providers;
+  for (TableId t : catalog_->AllTables()) {
+    const Table& table = catalog_->table(t);
+    const size_t rows =
+        std::min(table.num_rows(), options_.max_rows_per_table);
+    for (uint32_t ec = 0; ec < table.num_columns(); ++ec) {
+      if (table.column(ec).IsNumeric()) continue;
+      for (uint32_t vc = 0; vc < table.num_columns(); ++vc) {
+        if (vc == ec) continue;
+        size_t reproduced = 0;
+        for (size_t r = 0; r < rows; ++r) {
+          const Value& ev = table.column(ec).cell(r);
+          const Value& vv = table.column(vc).cell(r);
+          if (ev.is_null() || vv.is_null()) continue;
+          auto it = expected.find(NormalizeValue(ev.ToString()));
+          if (it != expected.end() &&
+              it->second == NormalizeValue(vv.ToString())) {
+            ++reproduced;
+          }
+        }
+        const double support =
+            static_cast<double>(reproduced) / expected.size();
+        if (support >= options_.example_support) {
+          providers.push_back(Provider{t, ec, vc, support});
+        }
+      }
+    }
+  }
+  return Vote(entities, providers);
+}
+
+}  // namespace lake

@@ -1,0 +1,83 @@
+#ifndef LAKE_APPS_INFOGATHER_H_
+#define LAKE_APPS_INFOGATHER_H_
+
+#include <string>
+#include <vector>
+
+#include "table/catalog.h"
+#include "util/status.h"
+
+namespace lake {
+
+/// InfoGather-style entity augmentation (Yakout et al., SIGMOD 2012 — the
+/// survey's §2.4 opener): augment a list of entities with values of a
+/// *named* attribute, harvested by holistic matching over many lake
+/// tables.
+///
+/// Augmentation-By-Attribute (ABA): for each query entity, find lake
+/// tables where (a) some column contains the entity and (b) another
+/// column's name matches the requested attribute; each such table votes
+/// for the value in the entity's row. Votes are weighted by the providing
+/// column's name similarity, and the majority value wins — InfoGather's
+/// insight that aggregating *many* weak web tables beats trusting any
+/// single one.
+///
+/// Augmentation-By-Example (ABE) derives the attribute from example
+/// (entity, value) pairs instead of a name: columns whose rows reproduce
+/// the examples become providers for the remaining entities.
+class InfoGatherAugmenter {
+ public:
+  struct Options {
+    /// Minimum q-gram similarity between the requested attribute name and
+    /// a provider column's name (ABA).
+    double name_similarity_threshold = 0.5;
+    size_t qgram = 3;
+    /// ABE: minimum fraction of examples a provider column pair must
+    /// reproduce.
+    double example_support = 0.5;
+    /// Rows scanned per lake table (deterministic prefix).
+    size_t max_rows_per_table = 5000;
+  };
+
+  struct AugmentedValue {
+    std::string entity;
+    std::string value;       // "" when no provider voted
+    double confidence = 0;   // winning weight / total weight
+    size_t providers = 0;    // distinct tables that voted
+  };
+
+  explicit InfoGatherAugmenter(const DataLakeCatalog* catalog)
+      : InfoGatherAugmenter(catalog, Options{}) {}
+  InfoGatherAugmenter(const DataLakeCatalog* catalog, Options options);
+
+  /// ABA: value of `attribute_name` for each entity.
+  Result<std::vector<AugmentedValue>> AugmentByAttribute(
+      const std::vector<std::string>& entities,
+      const std::string& attribute_name) const;
+
+  /// ABE: learn the attribute from (entity, value) examples, then fill it
+  /// for `entities`.
+  Result<std::vector<AugmentedValue>> AugmentByExample(
+      const std::vector<std::pair<std::string, std::string>>& examples,
+      const std::vector<std::string>& entities) const;
+
+ private:
+  /// One candidate provider: (table, entity column, value column, weight).
+  struct Provider {
+    TableId table_id;
+    uint32_t entity_column;
+    uint32_t value_column;
+    double weight;
+  };
+
+  std::vector<AugmentedValue> Vote(
+      const std::vector<std::string>& entities,
+      const std::vector<Provider>& providers) const;
+
+  const DataLakeCatalog* catalog_;
+  Options options_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_APPS_INFOGATHER_H_

@@ -1,0 +1,92 @@
+#include "apps/leva.h"
+
+#include <unordered_map>
+
+#include "text/normalizer.h"
+
+namespace lake {
+
+LevaEmbedder::LevaEmbedder(const DataLakeCatalog* catalog,
+                           const WordEmbedding* words, Options options)
+    : catalog_(catalog), words_(words), options_(options) {
+  // Bipartite structure: value -> columns containing it (dense ids).
+  std::vector<std::vector<uint32_t>> value_cols;
+  std::vector<std::vector<uint32_t>> col_values;
+  catalog_->ForEachColumn([&](const ColumnRef& ref, const Column& col) {
+    (void)ref;
+    if (col.IsNumeric()) return;
+    const uint32_t col_id = static_cast<uint32_t>(col_values.size());
+    col_values.emplace_back();
+    for (const std::string& raw : col.DistinctStrings()) {
+      const std::string v = NormalizeValue(raw);
+      if (v.empty()) continue;
+      auto [it, fresh] = value_ids_.try_emplace(
+          v, static_cast<uint32_t>(value_vecs_.size()));
+      if (fresh) {
+        value_vecs_.push_back(words_->EmbedText(v));
+        value_cols.emplace_back();
+      }
+      value_cols[it->second].push_back(col_id);
+      col_values[col_id].push_back(it->second);
+    }
+  });
+
+  // Propagation: column embedding = mean of member values; value
+  // embedding = blend of itself and the mean of its columns. High-degree
+  // hub values neither receive nor emit context.
+  for (size_t round = 0; round < options_.propagation_rounds; ++round) {
+    std::vector<Vector> col_vecs(col_values.size());
+    for (size_t c = 0; c < col_values.size(); ++c) {
+      Vector acc(words_->dim(), 0.0f);
+      for (uint32_t v : col_values[c]) {
+        if (value_cols[v].size() > options_.max_value_degree) continue;
+        AddInPlace(acc, value_vecs_[v]);
+      }
+      NormalizeInPlace(acc);
+      col_vecs[c] = std::move(acc);
+    }
+    for (size_t v = 0; v < value_vecs_.size(); ++v) {
+      if (value_cols[v].empty() ||
+          value_cols[v].size() > options_.max_value_degree) {
+        continue;
+      }
+      Vector ctx(words_->dim(), 0.0f);
+      for (uint32_t c : value_cols[v]) AddInPlace(ctx, col_vecs[c]);
+      NormalizeInPlace(ctx);
+      Vector mixed(words_->dim(), 0.0f);
+      AddInPlace(mixed, value_vecs_[v],
+                 static_cast<float>(options_.self_weight));
+      AddInPlace(mixed, ctx, static_cast<float>(1.0 - options_.self_weight));
+      NormalizeInPlace(mixed);
+      value_vecs_[v] = std::move(mixed);
+    }
+  }
+}
+
+Vector LevaEmbedder::EmbedValue(const std::string& value) const {
+  auto it = value_ids_.find(NormalizeValue(value));
+  if (it == value_ids_.end()) return Vector(words_->dim(), 0.0f);
+  return value_vecs_[it->second];
+}
+
+std::vector<std::vector<double>> LevaEmbedder::EmbedRows(
+    const Table& table) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    Vector acc(words_->dim(), 0.0f);
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const Column& col = table.column(c);
+      if (col.IsNumeric()) continue;
+      const Value& cell = col.cell(r);
+      if (cell.is_null()) continue;
+      AddInPlace(acc, EmbedValue(cell.ToString()));
+    }
+    NormalizeInPlace(acc);
+    std::vector<double> row(acc.begin(), acc.end());
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace lake

@@ -1,0 +1,68 @@
+#ifndef LAKE_APPS_LEVA_H_
+#define LAKE_APPS_LEVA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "embed/column_encoder.h"
+#include "table/catalog.h"
+#include "util/status.h"
+
+namespace lake {
+
+/// Leva-style relational embedding augmentation (Zhao & Castro Fernandez,
+/// SIGMOD 2022 — the survey's §2.7 example of graph representation
+/// learning over a lake to boost downstream ML).
+///
+/// The lake is modeled as a heterogeneous graph: value nodes connect to
+/// the columns containing them, columns to their tables. Node embeddings
+/// start from the hash word embeddings and are smoothed by `propagation
+/// rounds` of neighbor averaging — a deterministic stand-in for Leva's
+/// learned graph embeddings that preserves the property downstream models
+/// exploit: a value's embedding absorbs *inter-table* context (every
+/// table it appears in), not just its own surface form.
+///
+/// EmbedRows() then featurizes the rows of a task table by averaging the
+/// graph embeddings of their values, giving an ML model lake-wide signal
+/// without explicit joins (Leva's pitch vs ARDA-style join augmentation).
+class LevaEmbedder {
+ public:
+  struct Options {
+    size_t propagation_rounds = 2;
+    /// Blend of a node's own embedding vs its neighborhood per round.
+    double self_weight = 0.5;
+    /// Values appearing in more columns than this are hubs (stopword-like)
+    /// and are not propagated through (they blur communities).
+    size_t max_value_degree = 64;
+  };
+
+  LevaEmbedder(const DataLakeCatalog* catalog, const WordEmbedding* words)
+      : LevaEmbedder(catalog, words, Options{}) {}
+  LevaEmbedder(const DataLakeCatalog* catalog, const WordEmbedding* words,
+               Options options);
+
+  size_t dim() const { return words_->dim(); }
+
+  /// Graph embedding of a value (zero vector when the value is unknown to
+  /// the lake — callers may fall back to the plain word embedding).
+  Vector EmbedValue(const std::string& value) const;
+
+  /// Row features for a task table: for each row, the mean graph
+  /// embedding of its (string) cell values. Output is row-major,
+  /// `table.num_rows() x dim()`.
+  std::vector<std::vector<double>> EmbedRows(const Table& table) const;
+
+  size_t num_value_nodes() const { return value_vecs_.size(); }
+
+ private:
+  const DataLakeCatalog* catalog_;
+  const WordEmbedding* words_;
+  Options options_;
+  std::unordered_map<std::string, uint32_t> value_ids_;
+  std::vector<Vector> value_vecs_;  // post-propagation
+};
+
+}  // namespace lake
+
+#endif  // LAKE_APPS_LEVA_H_

@@ -1,0 +1,149 @@
+#include "apps/ridge_regression.h"
+
+#include <cmath>
+
+namespace lake {
+
+namespace {
+
+/// Solves A w = b for symmetric positive-definite A via Cholesky.
+/// Returns false when A is not SPD (should not happen with ridge).
+bool CholeskySolve(std::vector<std::vector<double>> a, std::vector<double> b,
+                   std::vector<double>* out) {
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a[i][j];
+      for (size_t k = 0; k < j; ++k) sum -= a[i][k] * a[j][k];
+      if (i == j) {
+        if (sum <= 0) return false;
+        a[i][i] = std::sqrt(sum);
+      } else {
+        a[i][j] = sum / a[j][j];
+      }
+    }
+  }
+  // Forward substitution: L z = b.
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= a[i][k] * b[k];
+    b[i] = sum / a[i][i];
+  }
+  // Back substitution: L^T w = z.
+  for (size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= a[k][i] * b[k];
+    b[i] = sum / a[i][i];
+  }
+  *out = std::move(b);
+  return true;
+}
+
+}  // namespace
+
+Status RidgeRegression::Fit(const std::vector<std::vector<double>>& x,
+                            const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("empty or mismatched training data");
+  }
+  const size_t dim = x[0].size();
+  for (const auto& row : x) {
+    if (row.size() != dim) {
+      return Status::InvalidArgument("inconsistent feature dimensions");
+    }
+  }
+  const size_t d = dim + 1;  // + intercept
+
+  // Normal equations: (X^T X + λI) w = X^T y, intercept unregularized.
+  std::vector<std::vector<double>> xtx(d, std::vector<double>(d, 0.0));
+  std::vector<double> xty(d, 0.0);
+  for (size_t r = 0; r < x.size(); ++r) {
+    for (size_t i = 0; i < d; ++i) {
+      const double xi = i < dim ? x[r][i] : 1.0;
+      xty[i] += xi * y[r];
+      for (size_t j = 0; j <= i; ++j) {
+        const double xj = j < dim ? x[r][j] : 1.0;
+        xtx[i][j] += xi * xj;
+      }
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i + 1; j < d; ++j) xtx[i][j] = xtx[j][i];
+  }
+  for (size_t i = 0; i < dim; ++i) xtx[i][i] += lambda_;
+  xtx[dim][dim] += 1e-9;  // numeric safety for the intercept row
+
+  std::vector<double> solution;
+  if (!CholeskySolve(std::move(xtx), std::move(xty), &solution)) {
+    return Status::Internal("normal equations not SPD");
+  }
+  intercept_ = solution[dim];
+  solution.resize(dim);
+  weights_ = std::move(solution);
+  return Status::OK();
+}
+
+Result<double> RidgeRegression::Predict(const std::vector<double>& x) const {
+  if (!fitted()) return Status::FailedPrecondition("model not fitted");
+  if (x.size() != weights_.size()) {
+    return Status::InvalidArgument("feature dim mismatch");
+  }
+  double y = intercept_;
+  for (size_t i = 0; i < x.size(); ++i) y += weights_[i] * x[i];
+  return y;
+}
+
+Result<double> RidgeRegression::RSquared(
+    const std::vector<std::vector<double>>& x,
+    const std::vector<double>& y) const {
+  if (x.size() != y.size() || x.empty()) {
+    return Status::InvalidArgument("empty or mismatched eval data");
+  }
+  double mean = 0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  double ss_res = 0, ss_tot = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    LAKE_ASSIGN_OR_RETURN(double pred, Predict(x[i]));
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean) * (y[i] - mean);
+  }
+  if (ss_tot <= 0) return Status::FailedPrecondition("constant target");
+  return 1.0 - ss_res / ss_tot;
+}
+
+Result<double> CrossValidatedR2(const std::vector<std::vector<double>>& x,
+                                const std::vector<double>& y, size_t folds,
+                                double lambda) {
+  if (x.size() != y.size() || x.size() < folds || folds < 2) {
+    return Status::InvalidArgument("bad cross-validation inputs");
+  }
+  const size_t n = x.size();
+  double total = 0;
+  size_t used_folds = 0;
+  for (size_t f = 0; f < folds; ++f) {
+    const size_t begin = f * n / folds;
+    const size_t end = (f + 1) * n / folds;
+    std::vector<std::vector<double>> train_x, test_x;
+    std::vector<double> train_y, test_y;
+    for (size_t i = 0; i < n; ++i) {
+      if (i >= begin && i < end) {
+        test_x.push_back(x[i]);
+        test_y.push_back(y[i]);
+      } else {
+        train_x.push_back(x[i]);
+        train_y.push_back(y[i]);
+      }
+    }
+    RidgeRegression model(lambda);
+    LAKE_RETURN_IF_ERROR(model.Fit(train_x, train_y));
+    auto r2 = model.RSquared(test_x, test_y);
+    if (!r2.ok()) continue;  // constant-target fold: skip
+    total += r2.value();
+    ++used_folds;
+  }
+  if (used_folds == 0) return Status::FailedPrecondition("no usable folds");
+  return total / static_cast<double>(used_folds);
+}
+
+}  // namespace lake

@@ -1,0 +1,47 @@
+#ifndef LAKE_APPS_RIDGE_REGRESSION_H_
+#define LAKE_APPS_RIDGE_REGRESSION_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace lake {
+
+/// Closed-form ridge regression (normal equations + Cholesky). The small,
+/// dependency-free downstream model the ARDA-style augmentation experiment
+/// trains to measure whether discovered features help (E14).
+class RidgeRegression {
+ public:
+  explicit RidgeRegression(double lambda = 1.0) : lambda_(lambda) {}
+
+  /// Fits on row-major features (an intercept is added internally).
+  Status Fit(const std::vector<std::vector<double>>& x,
+             const std::vector<double>& y);
+
+  /// Predicts one row (dimension checked).
+  Result<double> Predict(const std::vector<double>& x) const;
+
+  /// Coefficient of determination on a labeled set.
+  Result<double> RSquared(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y) const;
+
+  bool fitted() const { return !weights_.empty(); }
+  /// Learned weights (without intercept).
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double lambda_;
+  std::vector<double> weights_;
+  double intercept_ = 0;
+};
+
+/// K-fold cross-validated R² of ridge on a dataset (used by ARDA's feature
+/// scoring). Folds are contiguous blocks (deterministic).
+Result<double> CrossValidatedR2(const std::vector<std::vector<double>>& x,
+                                const std::vector<double>& y, size_t folds,
+                                double lambda);
+
+}  // namespace lake
+
+#endif  // LAKE_APPS_RIDGE_REGRESSION_H_

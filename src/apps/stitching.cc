@@ -1,0 +1,188 @@
+#include "apps/stitching.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/normalizer.h"
+
+namespace lake {
+
+namespace {
+
+std::vector<std::string> NormalizedHeader(const Table& table) {
+  std::vector<std::string> out;
+  out.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    out.push_back(NormalizeAttributeName(table.column(c).name()));
+  }
+  return out;
+}
+
+double HeaderOverlap(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const std::unordered_set<std::string> sb(b.begin(), b.end());
+  size_t shared = 0;
+  std::unordered_set<std::string> counted;
+  for (const std::string& name : a) {
+    if (sb.count(name) && counted.insert(name).second) ++shared;
+  }
+  return static_cast<double>(shared) / std::min(a.size(), b.size());
+}
+
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<TableStitcher::StitchedGroup> TableStitcher::Stitch() const {
+  const std::vector<TableId> tables = catalog_->AllTables();
+  std::vector<std::vector<std::string>> headers;
+  headers.reserve(tables.size());
+  for (TableId t : tables) {
+    headers.push_back(NormalizedHeader(catalog_->table(t)));
+  }
+
+  // Shortlist pairs sharing at least one attribute name.
+  std::unordered_map<std::string, std::vector<size_t>> by_name;
+  for (size_t i = 0; i < headers.size(); ++i) {
+    std::unordered_set<std::string> seen;
+    for (const std::string& name : headers[i]) {
+      if (!name.empty() && seen.insert(name).second) {
+        by_name[name].push_back(i);
+      }
+    }
+  }
+  DisjointSets sets(tables.size());
+  std::unordered_set<uint64_t> checked;
+  for (const auto& [name, group] : by_name) {
+    for (size_t a = 0; a < group.size(); ++a) {
+      for (size_t b = a + 1; b < group.size(); ++b) {
+        const uint64_t key = (static_cast<uint64_t>(group[a]) << 32) | group[b];
+        if (!checked.insert(key).second) continue;
+        if (HeaderOverlap(headers[group[a]], headers[group[b]]) >=
+            options_.header_overlap_threshold) {
+          sets.Union(group[a], group[b]);
+        }
+      }
+    }
+  }
+
+  std::unordered_map<size_t, StitchedGroup> groups;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    StitchedGroup& g = groups[sets.Find(i)];
+    g.members.push_back(tables[i]);
+    g.total_rows += catalog_->table(tables[i]).num_rows();
+  }
+  std::vector<StitchedGroup> out;
+  for (auto& [root, g] : groups) {
+    // Shared header = names present in every member.
+    std::unordered_map<std::string, size_t> counts;
+    for (TableId t : g.members) {
+      std::unordered_set<std::string> seen;
+      for (const std::string& name :
+           NormalizedHeader(catalog_->table(t))) {
+        if (!name.empty() && seen.insert(name).second) ++counts[name];
+      }
+    }
+    for (const auto& [name, count] : counts) {
+      if (count == g.members.size()) g.header.push_back(name);
+    }
+    std::sort(g.header.begin(), g.header.end());
+    std::sort(g.members.begin(), g.members.end());
+    out.push_back(std::move(g));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StitchedGroup& a, const StitchedGroup& b) {
+              if (a.members.size() != b.members.size()) {
+                return a.members.size() > b.members.size();
+              }
+              return a.members < b.members;
+            });
+  return out;
+}
+
+Result<TableStitcher::CompletionReport> TableStitcher::CompleteKb(
+    KnowledgeBase* kb) const {
+  if (kb == nullptr) return Status::InvalidArgument("kb is null");
+  CompletionReport report;
+  const std::vector<StitchedGroup> groups = Stitch();
+  report.groups = groups.size();
+
+  for (const StitchedGroup& group : groups) {
+    if (group.header.size() < 2) continue;
+    // Facts: (value of header[0], pred, value of header[j]) per row. The
+    // first shared attribute acts as the subject ("entity label" column in
+    // the stitching literature).
+    const std::string& subj_name = group.header[0];
+    std::unordered_set<std::string> stitched_facts;
+    size_t best_single = 0;
+    for (TableId t : group.members) {
+      const Table& table = catalog_->table(t);
+      const int subj_col = [&] {
+        for (size_t c = 0; c < table.num_columns(); ++c) {
+          if (NormalizeAttributeName(table.column(c).name()) == subj_name) {
+            return static_cast<int>(c);
+          }
+        }
+        return -1;
+      }();
+      if (subj_col < 0) continue;
+      std::unordered_set<std::string> member_facts;
+      const size_t rows =
+          std::min(table.num_rows(), options_.max_rows_per_table);
+      for (size_t j = 1; j < group.header.size(); ++j) {
+        const int obj_col = [&] {
+          for (size_t c = 0; c < table.num_columns(); ++c) {
+            if (NormalizeAttributeName(table.column(c).name()) ==
+                group.header[j]) {
+              return static_cast<int>(c);
+            }
+          }
+          return -1;
+        }();
+        if (obj_col < 0) continue;
+        const std::string pred =
+            "stitch:" + subj_name + "|" + group.header[j];
+        for (size_t r = 0; r < rows; ++r) {
+          const Value& sv = table.column(subj_col).cell(r);
+          const Value& ov = table.column(obj_col).cell(r);
+          if (sv.is_null() || ov.is_null()) continue;
+          const std::string s = NormalizeValue(sv.ToString());
+          const std::string o = NormalizeValue(ov.ToString());
+          if (s.empty() || o.empty()) continue;
+          const std::string fact = s + "\x1f" + pred + "\x1f" + o;
+          member_facts.insert(fact);
+          if (stitched_facts.insert(fact).second) {
+            if (kb->TypesOf(s).empty()) ++report.new_entities;
+            kb->AddEntity(s, "stitch:" + subj_name);
+            kb->AddRelation(s, pred, o);
+          }
+        }
+      }
+      best_single = std::max(best_single, member_facts.size());
+    }
+    report.facts_from_single_tables += best_single;
+    report.facts_from_stitched += stitched_facts.size();
+  }
+  return report;
+}
+
+}  // namespace lake

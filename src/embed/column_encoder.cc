@@ -1,0 +1,34 @@
+#include "embed/column_encoder.h"
+
+#include "text/normalizer.h"
+
+namespace lake {
+
+Vector ColumnEncoder::EncodeValues(const std::vector<std::string>& values) const {
+  Vector acc(words_->dim(), 0.0f);
+  size_t used = 0;
+  for (const std::string& v : values) {
+    if (used >= options_.max_values) break;
+    const std::string norm = NormalizeValue(v);
+    if (norm.empty()) continue;
+    AddInPlace(acc, words_->EmbedText(norm));
+    ++used;
+  }
+  NormalizeInPlace(acc);
+  return acc;
+}
+
+Vector ColumnEncoder::Encode(const Column& column) const {
+  Vector value_vec = EncodeValues(column.DistinctStrings());
+  if (options_.name_weight <= 0 || column.name().empty()) return value_vec;
+
+  const Vector name_vec =
+      words_->EmbedText(NormalizeAttributeName(column.name()));
+  Vector out(words_->dim(), 0.0f);
+  AddInPlace(out, value_vec, static_cast<float>(1.0 - options_.name_weight));
+  AddInPlace(out, name_vec, static_cast<float>(options_.name_weight));
+  NormalizeInPlace(out);
+  return out;
+}
+
+}  // namespace lake

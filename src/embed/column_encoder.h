@@ -1,0 +1,47 @@
+#ifndef LAKE_EMBED_COLUMN_ENCODER_H_
+#define LAKE_EMBED_COLUMN_ENCODER_H_
+
+#include <cstddef>
+
+#include "embed/word_embedding.h"
+#include "table/column.h"
+
+namespace lake {
+
+/// Context-free column embeddings: the representation used by
+/// embedding-based joinable search (PEXESO) and the semantic measure of
+/// table-union search (TUS). A column's vector is the normalized mean of
+/// its distinct values' word embeddings, optionally mixed with the
+/// attribute-name embedding.
+class ColumnEncoder {
+ public:
+  struct Options {
+    /// Cap on distinct values embedded per column (cost control; values
+    /// are taken in first-occurrence order, deterministic).
+    size_t max_values = 256;
+    /// Weight of the attribute-name embedding in the mix ([0, 1)).
+    double name_weight = 0.2;
+  };
+
+  explicit ColumnEncoder(const WordEmbedding* words)
+      : ColumnEncoder(words, Options{}) {}
+  ColumnEncoder(const WordEmbedding* words, Options options)
+      : words_(words), options_(options) {}
+
+  size_t dim() const { return words_->dim(); }
+
+  /// Unit-norm embedding of one column (zero vector for all-null columns
+  /// with empty names).
+  Vector Encode(const Column& column) const;
+
+  /// Embedding of a bare value list (query columns, tests).
+  Vector EncodeValues(const std::vector<std::string>& values) const;
+
+ private:
+  const WordEmbedding* words_;
+  Options options_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_EMBED_COLUMN_ENCODER_H_

@@ -1,0 +1,61 @@
+#include "embed/contextual_encoder.h"
+
+#include <cmath>
+
+namespace lake {
+
+Vector ContextualColumnEncoder::Contextualize(
+    const std::vector<Vector>& context_free, size_t index) const {
+  const Vector& own = context_free[index];
+  if (context_free.size() <= 1 || options_.alpha <= 0) return own;
+
+  // Softmax attention over siblings, scored by cosine with the target
+  // column (inputs are unit norm, so dot == cosine).
+  std::vector<double> weights;
+  weights.reserve(context_free.size());
+  double max_score = -1e300;
+  for (size_t j = 0; j < context_free.size(); ++j) {
+    if (j == index) {
+      weights.push_back(-1e300);  // excluded below
+      continue;
+    }
+    const double s = Dot(own, context_free[j]) / options_.temperature;
+    weights.push_back(s);
+    if (s > max_score) max_score = s;
+  }
+  double z = 0;
+  for (size_t j = 0; j < weights.size(); ++j) {
+    if (j == index) continue;
+    weights[j] = std::exp(weights[j] - max_score);
+    z += weights[j];
+  }
+  Vector ctx(own.size(), 0.0f);
+  if (z > 0) {
+    for (size_t j = 0; j < context_free.size(); ++j) {
+      if (j == index) continue;
+      AddInPlace(ctx, context_free[j], static_cast<float>(weights[j] / z));
+    }
+  }
+  Vector out(own.size(), 0.0f);
+  AddInPlace(out, own, static_cast<float>(1.0 - options_.alpha));
+  AddInPlace(out, ctx, static_cast<float>(options_.alpha));
+  NormalizeInPlace(out);
+  return out;
+}
+
+std::vector<Vector> ContextualColumnEncoder::EncodeTable(
+    const Table& table) const {
+  std::vector<Vector> context_free;
+  context_free.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    context_free.push_back(base_->Encode(table.column(c)));
+  }
+  std::vector<Vector> out;
+  out.reserve(context_free.size());
+  for (size_t c = 0; c < context_free.size(); ++c) {
+    out.push_back(Contextualize(context_free, c));
+  }
+  return out;
+}
+
+}  // namespace lake

@@ -1,0 +1,56 @@
+#ifndef LAKE_EMBED_CONTEXTUAL_ENCODER_H_
+#define LAKE_EMBED_CONTEXTUAL_ENCODER_H_
+
+#include <vector>
+
+#include "embed/column_encoder.h"
+#include "table/table.h"
+
+namespace lake {
+
+/// Contextualized column embeddings — the library's Starmie substitute
+/// (Fan et al., 2022; DESIGN.md substitution 1).
+///
+/// Starmie's contribution is that a column's representation should depend
+/// on its *table context*: a "name" column in a table about airports must
+/// embed differently from a "name" column in a table about people, which
+/// disambiguates homographs and aligns whole-table semantics. Starmie
+/// learns this with contrastive fine-tuning of a language model; here the
+/// same property is produced deterministically: each column's context-free
+/// embedding is mixed with an attention-weighted summary of its sibling
+/// columns,
+///     ctx(c) = norm( (1-α)·e(c) + α·Σ_j softmax_j(e(c)·e(j)/τ)·e(j) ),
+/// so identical value sets in different tables receive different vectors
+/// while same-topic tables converge.
+class ContextualColumnEncoder {
+ public:
+  struct Options {
+    /// Context mixing strength α in [0, 1). 0 reduces to context-free.
+    double alpha = 0.35;
+    /// Softmax temperature τ for sibling attention.
+    double temperature = 0.25;
+  };
+
+  explicit ContextualColumnEncoder(const ColumnEncoder* base)
+      : ContextualColumnEncoder(base, Options{}) {}
+  ContextualColumnEncoder(const ColumnEncoder* base, Options options)
+      : base_(base), options_(options) {}
+
+  size_t dim() const { return base_->dim(); }
+
+  /// Contextual embeddings for every column of the table, index-aligned.
+  std::vector<Vector> EncodeTable(const Table& table) const;
+
+  /// Contextual embedding of one column given precomputed context-free
+  /// sibling embeddings (column `index` of `context_free`).
+  Vector Contextualize(const std::vector<Vector>& context_free,
+                       size_t index) const;
+
+ private:
+  const ColumnEncoder* base_;
+  Options options_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_EMBED_CONTEXTUAL_ENCODER_H_

@@ -1,0 +1,29 @@
+#include "embed/table_encoder.h"
+
+namespace lake {
+
+Vector TableEncoder::Encode(const Table& table) const {
+  Vector cols(columns_->dim(), 0.0f);
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    AddInPlace(cols, columns_->Encode(table.column(c)));
+  }
+  NormalizeInPlace(cols);
+
+  if (options_.metadata_weight <= 0) return cols;
+  std::string text = table.name();
+  text += " ";
+  text += table.metadata().description;
+  for (const std::string& tag : table.metadata().tags) {
+    text += " ";
+    text += tag;
+  }
+  const Vector meta = words_->EmbedText(text);
+
+  Vector out(columns_->dim(), 0.0f);
+  AddInPlace(out, cols, static_cast<float>(1.0 - options_.metadata_weight));
+  AddInPlace(out, meta, static_cast<float>(options_.metadata_weight));
+  NormalizeInPlace(out);
+  return out;
+}
+
+}  // namespace lake

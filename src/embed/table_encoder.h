@@ -1,0 +1,38 @@
+#ifndef LAKE_EMBED_TABLE_ENCODER_H_
+#define LAKE_EMBED_TABLE_ENCODER_H_
+
+#include "embed/column_encoder.h"
+#include "table/table.h"
+
+namespace lake {
+
+/// Whole-table embeddings: the normalized mean of column embeddings mixed
+/// with the metadata-text embedding. Used by lake navigation (organization
+/// clustering) and table-level similarity.
+class TableEncoder {
+ public:
+  struct Options {
+    /// Weight of name/description/tags text in the mix.
+    double metadata_weight = 0.25;
+  };
+
+  TableEncoder(const ColumnEncoder* columns, const WordEmbedding* words)
+      : TableEncoder(columns, words, Options{}) {}
+  TableEncoder(const ColumnEncoder* columns, const WordEmbedding* words,
+               Options options)
+      : columns_(columns), words_(words), options_(options) {}
+
+  size_t dim() const { return columns_->dim(); }
+
+  /// Unit-norm embedding of the table.
+  Vector Encode(const Table& table) const;
+
+ private:
+  const ColumnEncoder* columns_;
+  const WordEmbedding* words_;
+  Options options_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_EMBED_TABLE_ENCODER_H_

@@ -1,0 +1,57 @@
+#include "embed/word_embedding.h"
+
+#include "text/tokenizer.h"
+#include "util/hash.h"
+
+namespace lake {
+
+void WordEmbedding::AccumulateFeature(std::string_view feature, double weight,
+                                      Vector& acc) const {
+  // Each feature expands to a deterministic Rademacher-like vector: one
+  // hash per 4 components keeps hashing cost low while remaining full-rank
+  // in expectation.
+  const uint64_t base = Hash64(feature, options_.seed);
+  for (size_t i = 0; i < options_.dim; i += 4) {
+    uint64_t h = Hash64(base, /*seed=*/i + 1);
+    for (size_t j = i; j < i + 4 && j < options_.dim; ++j) {
+      acc[j] += static_cast<float>(weight * (((h & 1) != 0) ? 1.0 : -1.0));
+      h >>= 1;
+    }
+  }
+}
+
+Vector WordEmbedding::EmbedToken(std::string_view token) const {
+  Vector acc(options_.dim, 0.0f);
+  if (token.empty()) return acc;
+
+  AccumulateFeature(token, options_.word_weight, acc);
+
+  // Boundary-marked n-grams, fastText style: "<to", "tok", ..., "en>".
+  std::string marked = "<";
+  marked += token;
+  marked += ">";
+  for (size_t g = options_.min_gram; g <= options_.max_gram; ++g) {
+    if (marked.size() < g) break;
+    for (size_t i = 0; i + g <= marked.size(); ++i) {
+      AccumulateFeature(std::string_view(marked).substr(i, g), 1.0, acc);
+    }
+  }
+  NormalizeInPlace(acc);
+  return acc;
+}
+
+Vector WordEmbedding::EmbedTokens(const std::vector<std::string>& tokens) const {
+  Vector acc(options_.dim, 0.0f);
+  for (const std::string& t : tokens) {
+    const Vector v = EmbedToken(t);
+    AddInPlace(acc, v);
+  }
+  NormalizeInPlace(acc);
+  return acc;
+}
+
+Vector WordEmbedding::EmbedText(std::string_view text) const {
+  return EmbedTokens(TokenizeWordsNoStopwords(text));
+}
+
+}  // namespace lake

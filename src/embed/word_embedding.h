@@ -1,0 +1,58 @@
+#ifndef LAKE_EMBED_WORD_EMBEDDING_H_
+#define LAKE_EMBED_WORD_EMBEDDING_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/vector_ops.h"
+
+namespace lake {
+
+/// Deterministic fastText-style word embeddings — the library's substitute
+/// for pre-trained language models (see DESIGN.md, substitution 1).
+///
+/// A token's vector is the normalized sum of pseudo-random unit vectors of
+/// (a) the whole token and (b) its character n-grams (default 3..5, with
+/// boundary markers), each derived purely from a hash. Tokens that share
+/// surface structure — same domain morphology, shared words, common
+/// prefixes — therefore land near each other, which is exactly the
+/// property discovery algorithms (PEXESO, TUS-NL, Starmie) rely on, while
+/// requiring no model file and staying bit-reproducible.
+class WordEmbedding {
+ public:
+  struct Options {
+    size_t dim = 64;
+    size_t min_gram = 3;
+    size_t max_gram = 5;
+    /// Relative weight of the whole-token vector vs each n-gram vector.
+    double word_weight = 1.0;
+    uint64_t seed = 0x5eedbeef;
+  };
+
+  WordEmbedding() : WordEmbedding(Options{}) {}
+  explicit WordEmbedding(Options options) : options_(options) {}
+
+  size_t dim() const { return options_.dim; }
+
+  /// Unit-norm embedding of one token. Deterministic. The empty token maps
+  /// to the zero vector.
+  Vector EmbedToken(std::string_view token) const;
+
+  /// Normalized mean of token embeddings (the empty list gives zero).
+  Vector EmbedTokens(const std::vector<std::string>& tokens) const;
+
+  /// Embedding of free text: tokenize, drop stopwords, average.
+  Vector EmbedText(std::string_view text) const;
+
+ private:
+  /// Pseudo-random unit vector of an arbitrary string feature.
+  void AccumulateFeature(std::string_view feature, double weight,
+                         Vector& acc) const;
+
+  Options options_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_EMBED_WORD_EMBEDDING_H_

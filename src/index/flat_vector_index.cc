@@ -1,0 +1,36 @@
+#include "index/flat_vector_index.h"
+
+#include "util/top_k.h"
+
+namespace lake {
+
+Status FlatVectorIndex::Insert(uint64_t id, Vector vec) {
+  if (vec.size() != dim_) {
+    return Status::InvalidArgument("vector dim mismatch");
+  }
+  if (metric_ == VectorMetric::kCosine) NormalizeInPlace(vec);
+  ids_.push_back(id);
+  vectors_.push_back(std::move(vec));
+  return Status::OK();
+}
+
+Result<std::vector<VectorHit>> FlatVectorIndex::Search(const Vector& query,
+                                                       size_t k) const {
+  if (query.size() != dim_) {
+    return Status::InvalidArgument("query dim mismatch");
+  }
+  Vector q = query;
+  if (metric_ == VectorMetric::kCosine) NormalizeInPlace(q);
+  TopK<uint64_t> heap(k);
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    const double score = metric_ == VectorMetric::kCosine
+                             ? Dot(q, vectors_[i])
+                             : -L2DistanceSquared(q, vectors_[i]);
+    heap.Push(score, ids_[i]);
+  }
+  std::vector<VectorHit> hits;
+  for (auto& [score, id] : heap.Take()) hits.push_back(VectorHit{id, score});
+  return hits;
+}
+
+}  // namespace lake

@@ -1,0 +1,40 @@
+#ifndef LAKE_INDEX_FLAT_VECTOR_INDEX_H_
+#define LAKE_INDEX_FLAT_VECTOR_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/hnsw.h"
+#include "index/vector_ops.h"
+#include "util/status.h"
+
+namespace lake {
+
+/// Exact brute-force kNN over dense vectors. The ground truth for HNSW
+/// recall measurements and the small-lake default (linear scan beats graph
+/// indexes below a few thousand vectors).
+class FlatVectorIndex {
+ public:
+  explicit FlatVectorIndex(size_t dim,
+                           VectorMetric metric = VectorMetric::kCosine)
+      : dim_(dim), metric_(metric) {}
+
+  /// Inserts a vector under a caller id (dimension checked).
+  Status Insert(uint64_t id, Vector vec);
+
+  /// Exact k nearest neighbors, sorted by descending score.
+  Result<std::vector<VectorHit>> Search(const Vector& query, size_t k) const;
+
+  size_t size() const { return ids_.size(); }
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_;
+  VectorMetric metric_;
+  std::vector<uint64_t> ids_;
+  std::vector<Vector> vectors_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_INDEX_FLAT_VECTOR_INDEX_H_

@@ -1,0 +1,57 @@
+#include "index/hyperplane_lsh.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace lake {
+
+HyperplaneLsh::HyperplaneLsh(Options options) : options_(options) {
+  Rng rng(options_.seed);
+  const size_t total = options_.num_tables * options_.bits_per_table;
+  planes_.resize(total);
+  for (Vector& plane : planes_) {
+    plane.resize(options_.dim);
+    for (float& x : plane) x = static_cast<float>(rng.NextGaussian());
+  }
+  tables_.resize(options_.num_tables);
+}
+
+uint64_t HyperplaneLsh::TableKey(const Vector& vec, size_t table) const {
+  uint64_t key = 0;
+  const size_t base = table * options_.bits_per_table;
+  for (size_t b = 0; b < options_.bits_per_table; ++b) {
+    key = (key << 1) | (Dot(vec, planes_[base + b]) >= 0 ? 1u : 0u);
+  }
+  // Mix the table id in so identical bit patterns in different tables do
+  // not share buckets.
+  return HashCombine(key, table);
+}
+
+Status HyperplaneLsh::Insert(uint64_t id, const Vector& vec) {
+  if (vec.size() != options_.dim) {
+    return Status::InvalidArgument("vector dim mismatch");
+  }
+  for (size_t t = 0; t < options_.num_tables; ++t) {
+    tables_[t][TableKey(vec, t)].push_back(id);
+  }
+  ++size_;
+  return Status::OK();
+}
+
+Result<std::vector<uint64_t>> HyperplaneLsh::Query(const Vector& query) const {
+  if (query.size() != options_.dim) {
+    return Status::InvalidArgument("query dim mismatch");
+  }
+  std::vector<uint64_t> out;
+  for (size_t t = 0; t < options_.num_tables; ++t) {
+    auto it = tables_[t].find(TableKey(query, t));
+    if (it == tables_[t].end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace lake

@@ -1,0 +1,51 @@
+#ifndef LAKE_INDEX_HYPERPLANE_LSH_H_
+#define LAKE_INDEX_HYPERPLANE_LSH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "index/vector_ops.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace lake {
+
+/// Random-hyperplane LSH for cosine similarity (Charikar's SimHash family),
+/// the index TUS uses to retrieve related column embeddings in sub-linear
+/// time. Each of `num_tables` tables hashes a vector to `bits_per_table`
+/// sign bits of random Gaussian projections; near-duplicates collide in at
+/// least one table with probability (1 - θ/π)^bits per table.
+class HyperplaneLsh {
+ public:
+  struct Options {
+    size_t dim = 64;
+    size_t num_tables = 8;
+    size_t bits_per_table = 12;
+    uint64_t seed = 7;
+  };
+
+  explicit HyperplaneLsh(Options options);
+
+  /// Inserts a vector under a caller id (dimension checked).
+  Status Insert(uint64_t id, const Vector& vec);
+
+  /// Candidate ids colliding with the query in >= 1 table (deduplicated).
+  Result<std::vector<uint64_t>> Query(const Vector& query) const;
+
+  size_t size() const { return size_; }
+  const Options& options() const { return options_; }
+
+ private:
+  uint64_t TableKey(const Vector& vec, size_t table) const;
+
+  Options options_;
+  // planes_[t * bits + b] is one hyperplane normal of length dim.
+  std::vector<Vector> planes_;
+  std::vector<std::unordered_map<uint64_t, std::vector<uint64_t>>> tables_;
+  size_t size_ = 0;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_INDEX_HYPERPLANE_LSH_H_

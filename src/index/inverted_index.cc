@@ -1,0 +1,45 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+namespace lake {
+
+void InvertedIndex::AddSet(uint64_t set_id, std::vector<uint32_t> tokens) {
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  for (uint32_t t : tokens) postings_[t].push_back(set_id);
+  ++num_sets_;
+}
+
+const std::vector<uint64_t>& InvertedIndex::Postings(uint32_t token) const {
+  auto it = postings_.find(token);
+  return it == postings_.end() ? empty_ : it->second;
+}
+
+std::vector<std::pair<uint64_t, uint32_t>> InvertedIndex::OverlapCounts(
+    const std::vector<uint32_t>& query_tokens) const {
+  std::vector<uint32_t> q = query_tokens;
+  std::sort(q.begin(), q.end());
+  q.erase(std::unique(q.begin(), q.end()), q.end());
+
+  std::unordered_map<uint64_t, uint32_t> counts;
+  for (uint32_t t : q) {
+    auto it = postings_.find(t);
+    if (it == postings_.end()) continue;
+    for (uint64_t id : it->second) ++counts[id];
+  }
+  return {counts.begin(), counts.end()};
+}
+
+size_t InvertedIndex::DocumentFrequency(uint32_t token) const {
+  auto it = postings_.find(token);
+  return it == postings_.end() ? 0 : it->second.size();
+}
+
+size_t InvertedIndex::TotalPostings() const {
+  size_t n = 0;
+  for (const auto& [t, p] : postings_) n += p.size();
+  return n;
+}
+
+}  // namespace lake

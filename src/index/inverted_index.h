@@ -1,0 +1,48 @@
+#ifndef LAKE_INDEX_INVERTED_INDEX_H_
+#define LAKE_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lake {
+
+/// Token-id → posting-list index over integer token sets. The workhorse of
+/// value-based discovery (§3 of the survey calls inverted lists the most
+/// common lake index); JOSIE builds on top of it.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Indexes `set_id` with its (not necessarily sorted) token ids.
+  /// Duplicate tokens in one set are collapsed.
+  void AddSet(uint64_t set_id, std::vector<uint32_t> tokens);
+
+  /// Posting list (ascending set ids) of a token; empty when unseen.
+  const std::vector<uint64_t>& Postings(uint32_t token) const;
+
+  /// Exact overlap |Q ∩ S| for every set sharing >= 1 token with the query,
+  /// by merging posting lists. Returns (set_id, overlap) pairs, unordered.
+  std::vector<std::pair<uint64_t, uint32_t>> OverlapCounts(
+      const std::vector<uint32_t>& query_tokens) const;
+
+  /// Number of sets containing the token (posting length).
+  size_t DocumentFrequency(uint32_t token) const;
+
+  size_t num_sets() const { return num_sets_; }
+  size_t num_tokens() const { return postings_.size(); }
+
+  /// Total posting entries (memory proxy).
+  size_t TotalPostings() const;
+
+ private:
+  std::unordered_map<uint32_t, std::vector<uint64_t>> postings_;
+  std::vector<uint64_t> empty_;
+  size_t num_sets_ = 0;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_INDEX_INVERTED_INDEX_H_

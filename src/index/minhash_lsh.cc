@@ -1,0 +1,112 @@
+#include "index/minhash_lsh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace lake {
+
+double LshCollisionProbability(double s, size_t bands, size_t rows) {
+  return 1.0 - std::pow(1.0 - std::pow(s, static_cast<double>(rows)),
+                        static_cast<double>(bands));
+}
+
+namespace {
+
+// Numeric integral of the S-curve on [a, b] with the trapezoid rule.
+double IntegrateCollision(double a, double b, size_t bands, size_t rows) {
+  constexpr int kSteps = 64;
+  const double h = (b - a) / kSteps;
+  double sum = 0.5 * (LshCollisionProbability(a, bands, rows) +
+                      LshCollisionProbability(b, bands, rows));
+  for (int i = 1; i < kSteps; ++i) {
+    sum += LshCollisionProbability(a + h * i, bands, rows);
+  }
+  return sum * h;
+}
+
+}  // namespace
+
+double LshProbeError(double threshold, size_t bands, size_t rows,
+                     double fp_weight, double fn_weight) {
+  threshold = std::clamp(threshold, 1e-3, 1.0);
+  const double fp = IntegrateCollision(0.0, threshold, bands, rows);
+  const double fn =
+      (1.0 - threshold) - IntegrateCollision(threshold, 1.0, bands, rows);
+  return fp_weight * fp + fn_weight * fn;
+}
+
+LshParams OptimalLshParams(size_t num_hashes, double threshold,
+                           double fp_weight, double fn_weight) {
+  LshParams best{1, num_hashes};
+  double best_err = 1e300;
+  for (size_t rows = 1; rows <= num_hashes; ++rows) {
+    const size_t bands = num_hashes / rows;
+    if (bands == 0) break;
+    const double err =
+        LshProbeError(threshold, bands, rows, fp_weight, fn_weight);
+    if (err < best_err) {
+      best_err = err;
+      best = LshParams{bands, rows};
+    }
+  }
+  return best;
+}
+
+MinHashLsh::MinHashLsh(size_t num_hashes, double threshold)
+    : MinHashLsh(num_hashes, OptimalLshParams(num_hashes, threshold)) {}
+
+MinHashLsh::MinHashLsh(size_t num_hashes, LshParams params)
+    : num_hashes_(num_hashes), params_(params) {
+  LAKE_CHECK(params_.bands >= 1 && params_.rows >= 1);
+  LAKE_CHECK(params_.bands * params_.rows <= num_hashes_);
+  tables_.resize(params_.bands);
+}
+
+uint64_t MinHashLsh::BandKey(const MinHashSignature& sig, size_t band) const {
+  uint64_t key = Hash64(static_cast<uint64_t>(band), /*seed=*/0x5ba2d3);
+  const size_t begin = band * params_.rows;
+  for (size_t r = 0; r < params_.rows; ++r) {
+    key = HashCombine(key, sig.value(begin + r));
+  }
+  return key;
+}
+
+Status MinHashLsh::Insert(uint64_t id, const MinHashSignature& signature) {
+  if (signature.num_hashes() != num_hashes_) {
+    return Status::InvalidArgument("signature width mismatch");
+  }
+  for (size_t b = 0; b < params_.bands; ++b) {
+    tables_[b][BandKey(signature, b)].push_back(id);
+  }
+  ++size_;
+  return Status::OK();
+}
+
+Result<std::vector<uint64_t>> MinHashLsh::Query(
+    const MinHashSignature& query) const {
+  if (query.num_hashes() != num_hashes_) {
+    return Status::InvalidArgument("signature width mismatch");
+  }
+  std::vector<uint64_t> out;
+  for (size_t b = 0; b < params_.bands; ++b) {
+    auto it = tables_[b].find(BandKey(query, b));
+    if (it == tables_[b].end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t MinHashLsh::BucketEntries() const {
+  size_t n = 0;
+  for (const auto& table : tables_) {
+    for (const auto& [key, ids] : table) n += ids.size();
+  }
+  return n;
+}
+
+}  // namespace lake

@@ -1,0 +1,73 @@
+#ifndef LAKE_INDEX_MINHASH_LSH_H_
+#define LAKE_INDEX_MINHASH_LSH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/minhash.h"
+#include "util/status.h"
+
+namespace lake {
+
+/// (bands, rows) banding parameters with b*r <= signature width.
+struct LshParams {
+  size_t bands = 0;
+  size_t rows = 0;
+};
+
+/// Probability that two sets with Jaccard `s` collide in at least one band
+/// under (b, r) banding: 1 - (1 - s^r)^b.
+double LshCollisionProbability(double s, size_t bands, size_t rows);
+
+/// Weighted FP/FN area of the (bands, rows) S-curve around `threshold`:
+/// fp_weight * ∫₀ᵗ P(s) ds + fn_weight * ∫ₜ¹ (1 − P(s)) ds. The objective
+/// both OptimalLshParams and LSH Ensemble's per-partition probe tuning
+/// minimize.
+double LshProbeError(double threshold, size_t bands, size_t rows,
+                     double fp_weight = 0.5, double fn_weight = 0.5);
+
+/// Chooses (b, r) with b*r <= num_hashes minimizing LshProbeError around
+/// `threshold` (the datasketch optimization).
+LshParams OptimalLshParams(size_t num_hashes, double threshold,
+                           double fp_weight = 0.5, double fn_weight = 0.5);
+
+/// Classic MinHash LSH index with banding: sets whose signatures agree on
+/// all rows of some band land in the same bucket. Query returns candidate
+/// ids whose Jaccard with the query likely exceeds the construction
+/// threshold. Ids are caller-defined (e.g. dense column ids).
+class MinHashLsh {
+ public:
+  /// Index for signatures of width `num_hashes`, tuned for `threshold`.
+  MinHashLsh(size_t num_hashes, double threshold);
+
+  /// Index with explicit banding parameters (bands*rows <= num_hashes).
+  MinHashLsh(size_t num_hashes, LshParams params);
+
+  /// Inserts a signature under `id` (width must match; checked).
+  Status Insert(uint64_t id, const MinHashSignature& signature);
+
+  /// Candidate ids colliding with the query in >= 1 band. Deduplicated,
+  /// unordered.
+  Result<std::vector<uint64_t>> Query(const MinHashSignature& query) const;
+
+  size_t num_hashes() const { return num_hashes_; }
+  LshParams params() const { return params_; }
+  size_t size() const { return size_; }
+
+  /// Total number of bucket entries (memory proxy for benchmarks).
+  size_t BucketEntries() const;
+
+ private:
+  uint64_t BandKey(const MinHashSignature& sig, size_t band) const;
+
+  size_t num_hashes_;
+  LshParams params_;
+  size_t size_ = 0;
+  // One hash table per band: band key -> ids.
+  std::vector<std::unordered_map<uint64_t, std::vector<uint64_t>>> tables_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_INDEX_MINHASH_LSH_H_

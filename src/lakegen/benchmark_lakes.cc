@@ -1,0 +1,159 @@
+#include "lakegen/benchmark_lakes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "sketch/set_ops.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace lake {
+
+SkewedSetsWorkload MakeSkewedSetsWorkload(const SkewedSetsOptions& options) {
+  Rng rng(options.seed);
+  SkewedSetsWorkload w;
+
+  auto value_name = [](size_t i) { return "v" + std::to_string(i); };
+
+  // Power-law set sizes: size = min * (max/min)^(u^skew) spreads sizes
+  // over the full range with a heavy small-size mode, mimicking the
+  // attribute-cardinality skew of open-data lakes.
+  w.sets.reserve(options.num_sets);
+  for (size_t s = 0; s < options.num_sets; ++s) {
+    const double u = std::pow(rng.NextUnit(), options.size_skew);
+    const size_t size = static_cast<size_t>(
+        options.min_set_size *
+        std::pow(static_cast<double>(options.max_set_size) /
+                     options.min_set_size,
+                 u));
+    std::unordered_set<size_t> members;
+    std::vector<std::string> set;
+    while (set.size() < size) {
+      const size_t v = rng.NextBounded(options.universe_size);
+      if (members.insert(v).second) set.push_back(value_name(v));
+    }
+    w.sets.push_back(std::move(set));
+  }
+
+  // Queries: each drawn mostly from one random lake set (planting high
+  // containment there) plus random universe values. Hosts must be at
+  // least as large as the query so the planted containment is realized.
+  std::vector<size_t> host_pool;
+  for (size_t s = 0; s < w.sets.size(); ++s) {
+    if (w.sets[s].size() >= options.query_size) host_pool.push_back(s);
+  }
+  if (host_pool.empty()) host_pool.push_back(0);
+  for (size_t q = 0; q < options.num_queries; ++q) {
+    const std::vector<std::string>& host =
+        w.sets[host_pool[rng.NextBounded(host_pool.size())]];
+    std::unordered_set<std::string> members;
+    std::vector<std::string> query;
+    const size_t from_host =
+        std::min(host.size(), options.query_size * 3 / 4);
+    while (query.size() < from_host) {
+      const std::string& v = host[rng.NextBounded(host.size())];
+      if (members.insert(v).second) query.push_back(v);
+    }
+    while (query.size() < options.query_size) {
+      const std::string v = value_name(rng.NextBounded(options.universe_size));
+      if (members.insert(v).second) query.push_back(v);
+    }
+    w.queries.push_back(std::move(query));
+  }
+
+  // Exact containment ground truth.
+  std::vector<HashedSet> lake_sets;
+  lake_sets.reserve(w.sets.size());
+  for (const auto& s : w.sets) lake_sets.push_back(HashedSet::FromValues(s));
+  w.containment.resize(w.queries.size());
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    const HashedSet qs = HashedSet::FromValues(w.queries[q]);
+    w.containment[q].resize(w.sets.size());
+    for (size_t s = 0; s < w.sets.size(); ++s) {
+      w.containment[q][s] = qs.ContainmentIn(lake_sets[s]);
+    }
+  }
+  return w;
+}
+
+CorrelatedWorkload MakeCorrelatedWorkload(const CorrelatedOptions& options) {
+  Rng rng(options.seed);
+  CorrelatedWorkload w;
+
+  auto key_name = [](size_t i) { return "key" + std::to_string(i); };
+
+  // Query: keys 0..rows-1 with standard-normal values.
+  w.query_keys.reserve(options.query_rows);
+  w.query_values.reserve(options.query_rows);
+  for (size_t r = 0; r < options.query_rows; ++r) {
+    w.query_keys.push_back(key_name(r));
+    w.query_values.push_back(rng.NextGaussian());
+  }
+
+  // Lake pairs: share a planted fraction of the query's keys; values are
+  // rho * query_value + sqrt(1-rho^2) * noise, the textbook construction
+  // for a target Pearson correlation.
+  for (size_t p = 0; p < options.num_pairs; ++p) {
+    CorrelatedWorkload::LakePair pair;
+    pair.table_name = StrFormat("corr_pair_%zu", p);
+    // Spread planted correlations over [-0.95, 0.95].
+    pair.planted_correlation =
+        -0.95 + 1.9 * static_cast<double>(p) /
+                    std::max<size_t>(1, options.num_pairs - 1);
+    pair.planted_containment =
+        options.min_containment +
+        (1.0 - options.min_containment) * rng.NextUnit();
+    const size_t shared = static_cast<size_t>(
+        pair.planted_containment * static_cast<double>(options.query_rows));
+    const double rho = pair.planted_correlation;
+    for (size_t r = 0; r < shared; ++r) {
+      pair.keys.push_back(w.query_keys[r]);
+      pair.values.push_back(rho * w.query_values[r] +
+                            std::sqrt(std::max(0.0, 1.0 - rho * rho)) *
+                                rng.NextGaussian());
+    }
+    // Non-shared keys pad the pair (outside the query's key space).
+    const size_t extra = options.query_rows / 2;
+    for (size_t r = 0; r < extra; ++r) {
+      pair.keys.push_back(StrFormat("pair%zu_only_%zu", p, r));
+      pair.values.push_back(rng.NextGaussian());
+    }
+    w.pairs.push_back(std::move(pair));
+  }
+  return w;
+}
+
+DataLakeCatalog CatalogFromCorrelatedWorkload(const CorrelatedWorkload& w) {
+  DataLakeCatalog catalog;
+  for (const auto& pair : w.pairs) {
+    Table table(pair.table_name);
+    Column keys("join key", DataType::kString);
+    Column values("metric", DataType::kDouble);
+    for (size_t r = 0; r < pair.keys.size(); ++r) {
+      keys.Append(Value(pair.keys[r]));
+      values.Append(Value(pair.values[r]));
+    }
+    LAKE_CHECK(table.AddColumn(std::move(keys)).ok());
+    LAKE_CHECK(table.AddColumn(std::move(values)).ok());
+    LAKE_CHECK(catalog.AddTable(std::move(table)).ok());
+  }
+  return catalog;
+}
+
+GeneratedLake MakeUnionBenchmarkLake(uint64_t seed,
+                                     size_t tables_per_template,
+                                     size_t distractors) {
+  GeneratorOptions options;
+  options.seed = seed;
+  options.num_domains = 14;
+  options.values_per_domain = 250;
+  options.num_templates = 6;
+  options.tables_per_template = tables_per_template;
+  options.distractor_tables = distractors;
+  options.homograph_count = 6;
+  LakeGenerator generator(options);
+  return generator.Generate();
+}
+
+}  // namespace lake

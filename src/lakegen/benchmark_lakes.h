@@ -1,0 +1,74 @@
+#ifndef LAKE_LAKEGEN_BENCHMARK_LAKES_H_
+#define LAKE_LAKEGEN_BENCHMARK_LAKES_H_
+
+#include <string>
+#include <vector>
+
+#include "lakegen/generator.h"
+
+namespace lake {
+
+/// Set-search workload with the cardinality skew that motivates LSH
+/// Ensemble (E2/E3): lake sets whose sizes follow a power law over several
+/// orders of magnitude, plus query sets planted to be contained in some of
+/// them.
+struct SkewedSetsWorkload {
+  std::vector<std::vector<std::string>> sets;  // lake value sets
+  std::vector<std::vector<std::string>> queries;
+  /// Exact containment of query q in set s, [q][s] (ground truth).
+  std::vector<std::vector<double>> containment;
+};
+
+struct SkewedSetsOptions {
+  uint64_t seed = 17;
+  size_t num_sets = 400;
+  size_t min_set_size = 8;
+  size_t max_set_size = 4096;
+  double size_skew = 1.2;  // power-law exponent of set sizes
+  size_t num_queries = 20;
+  size_t query_size = 64;
+  size_t universe_size = 20000;
+};
+
+SkewedSetsWorkload MakeSkewedSetsWorkload(const SkewedSetsOptions& options);
+
+/// Correlated-join workload (E9): one query (key, value) column pair and
+/// lake column pairs with planted Pearson correlations to the query's
+/// values over overlapping key sets.
+struct CorrelatedWorkload {
+  std::vector<std::string> query_keys;
+  std::vector<double> query_values;
+  /// Per lake pair: keys, values, the planted correlation, and the planted
+  /// key containment of the query in the pair.
+  struct LakePair {
+    std::string table_name;
+    std::vector<std::string> keys;
+    std::vector<double> values;
+    double planted_correlation;
+    double planted_containment;
+  };
+  std::vector<LakePair> pairs;
+};
+
+struct CorrelatedOptions {
+  uint64_t seed = 23;
+  size_t query_rows = 400;
+  size_t num_pairs = 24;
+  double min_containment = 0.3;
+};
+
+CorrelatedWorkload MakeCorrelatedWorkload(const CorrelatedOptions& options);
+
+/// Builds a catalog from the correlated workload (each pair becomes a
+/// two-column table) so CorrelatedJoinSearch can index it.
+DataLakeCatalog CatalogFromCorrelatedWorkload(const CorrelatedWorkload& w);
+
+/// Standard mid-size union-search benchmark lake shared by E6/E7 and the
+/// integration tests: several templates, distractors, homographs.
+GeneratedLake MakeUnionBenchmarkLake(uint64_t seed = 7,
+                                     size_t tables_per_template = 8,
+                                     size_t distractors = 12);
+
+}  // namespace lake
+
+#endif  // LAKE_LAKEGEN_BENCHMARK_LAKES_H_

@@ -1,0 +1,271 @@
+#include "lakegen/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace lake {
+
+namespace {
+
+constexpr std::array<const char*, 16> kTopics = {
+    "city",    "person",  "company", "country", "product", "team",
+    "movie",   "school",  "river",   "airline", "disease", "species",
+    "artist",  "museum",  "league",  "vehicle"};
+
+constexpr std::array<const char*, 4> kNameSuffixes = {"", " name", " code",
+                                                      " label"};
+
+const char kConsonants[] = "bcdfgklmnprstvz";
+const char kVowels[] = "aeiou";
+
+}  // namespace
+
+std::string LakeGenerator::MakeValue(Rng& rng,
+                                     const std::vector<std::string>& syllables) {
+  const size_t parts = 2 + rng.NextBounded(2);  // 2-3 syllables
+  std::string out;
+  for (size_t i = 0; i < parts; ++i) {
+    out += syllables[rng.NextBounded(syllables.size())];
+  }
+  return out;
+}
+
+LakeGenerator::DomainData LakeGenerator::MakeDomain(Rng& rng, int index) {
+  DomainData d;
+  d.topic = kTopics[index % kTopics.size()];
+  if (index >= static_cast<int>(kTopics.size())) {
+    d.topic += std::to_string(index / kTopics.size());
+  }
+  // Domain-specific syllable alphabet: values from one domain share
+  // morphology, values from different domains rarely share n-grams, which
+  // is what gives the subword embeddings their domain structure. The
+  // syllables must be *distinct* — duplicates shrink the combinatorial
+  // value space — and the alphabet grows if the requested vocabulary
+  // exceeds what the alphabet can spell (2-3 syllable combinations).
+  std::unordered_set<std::string> syllable_set;
+  std::vector<std::string> syllables;
+  auto add_syllable = [&] {
+    for (;;) {
+      std::string syl;
+      syl += kConsonants[rng.NextBounded(sizeof(kConsonants) - 1)];
+      syl += kVowels[rng.NextBounded(sizeof(kVowels) - 1)];
+      if (rng.NextBool(0.5)) {
+        syl += kConsonants[rng.NextBounded(sizeof(kConsonants) - 1)];
+      }
+      if (syllable_set.insert(syl).second) {
+        syllables.push_back(std::move(syl));
+        return;
+      }
+    }
+  };
+  for (size_t s = 0; s < options_.syllables_per_domain; ++s) add_syllable();
+  auto capacity = [&] {
+    const size_t n = syllables.size();
+    return n * n + n * n * n;  // 2- and 3-syllable combinations
+  };
+  while (capacity() < options_.values_per_domain * 2) add_syllable();
+
+  std::unordered_set<std::string> seen;
+  while (d.values.size() < options_.values_per_domain) {
+    std::string v = MakeValue(rng, syllables);
+    if (seen.insert(v).second) d.values.push_back(std::move(v));
+  }
+  return d;
+}
+
+LakeGenerator::TemplateData LakeGenerator::MakeTemplate(
+    Rng& rng, const std::vector<DomainData>& domains) {
+  TemplateData t;
+  const size_t span = options_.max_string_columns >= options_.min_string_columns
+                          ? options_.max_string_columns -
+                                options_.min_string_columns + 1
+                          : 1;
+  const size_t string_cols =
+      options_.min_string_columns + rng.NextBounded(span);
+  // Sample distinct domains.
+  std::vector<int> pool(domains.size());
+  for (size_t i = 0; i < pool.size(); ++i) pool[i] = static_cast<int>(i);
+  rng.Shuffle(pool);
+  for (size_t c = 0; c < string_cols && c < pool.size(); ++c) {
+    t.string_domains.push_back(pool[c]);
+    std::string name = domains[pool[c]].topic;
+    name += kNameSuffixes[rng.NextBounded(kNameSuffixes.size())];
+    t.attr_names.push_back(std::move(name));
+  }
+  t.numeric_columns = options_.numeric_columns;
+  for (size_t n = 0; n < t.numeric_columns; ++n) {
+    t.attr_names.push_back("metric " + std::to_string(n + 1));
+  }
+  // Planted functional relationships subject -> each attribute domain.
+  const size_t subject_size = domains[t.string_domains[0]].values.size();
+  for (size_t c = 1; c < t.string_domains.size(); ++c) {
+    const size_t object_size = domains[t.string_domains[c]].values.size();
+    std::vector<size_t> rel(subject_size);
+    for (size_t s = 0; s < subject_size; ++s) {
+      rel[s] = rng.NextBounded(object_size);
+    }
+    t.relation_maps.push_back(std::move(rel));
+  }
+  return t;
+}
+
+Table LakeGenerator::InstantiateTable(Rng& rng,
+                                      const std::vector<DomainData>& domains,
+                                      const TemplateData& tmpl,
+                                      const std::string& name,
+                                      bool break_relationships) {
+  const size_t rows =
+      options_.min_rows +
+      rng.NextBounded(options_.max_rows - options_.min_rows + 1);
+  const DomainData& subject = domains[tmpl.string_domains[0]];
+  const ZipfSampler zipf(subject.values.size(), options_.zipf_s);
+
+  // A distractor reuses the template's domains but with freshly shuffled
+  // relationships, so columns still look unionable while the table's
+  // semantics (who relates to what) are wrong.
+  std::vector<std::vector<size_t>> rels = tmpl.relation_maps;
+  if (break_relationships) {
+    for (size_t c = 1; c < tmpl.string_domains.size(); ++c) {
+      const size_t object_size = domains[tmpl.string_domains[c]].values.size();
+      for (size_t& v : rels[c - 1]) v = rng.NextBounded(object_size);
+    }
+  }
+
+  Table table(name);
+  std::vector<Column> cols;
+  for (size_t c = 0; c < tmpl.string_domains.size(); ++c) {
+    cols.emplace_back(tmpl.attr_names[c], DataType::kString);
+  }
+  for (size_t n = 0; n < tmpl.numeric_columns; ++n) {
+    cols.emplace_back(tmpl.attr_names[tmpl.string_domains.size() + n],
+                      DataType::kDouble);
+  }
+
+  for (size_t r = 0; r < rows; ++r) {
+    const size_t subj_idx = zipf.Sample(rng);
+    cols[0].Append(Value(subject.values[subj_idx]));
+    for (size_t c = 1; c < tmpl.string_domains.size(); ++c) {
+      const DomainData& obj = domains[tmpl.string_domains[c]];
+      size_t obj_idx = rels[c - 1][subj_idx];
+      if (rng.NextBool(options_.relationship_noise)) {
+        obj_idx = rng.NextBounded(obj.values.size());
+      }
+      cols[c].Append(Value(obj.values[obj_idx]));
+    }
+    for (size_t n = 0; n < tmpl.numeric_columns; ++n) {
+      // Numeric value tied to the subject so same-template numeric columns
+      // correlate through the join key.
+      const double base =
+          static_cast<double>((subj_idx * 37 + n * 11) % 1000);
+      cols[tmpl.string_domains.size() + n].Append(
+          Value(base + rng.NextGaussian() * 5.0));
+    }
+  }
+  for (Column& c : cols) LAKE_CHECK(table.AddColumn(std::move(c)).ok());
+  return table;
+}
+
+GeneratedLake LakeGenerator::Generate() {
+  Rng rng(options_.seed);
+  GeneratedLake out;
+
+  // Domains.
+  std::vector<DomainData> domains;
+  domains.reserve(options_.num_domains);
+  for (size_t d = 0; d < options_.num_domains; ++d) {
+    domains.push_back(MakeDomain(rng, static_cast<int>(d)));
+  }
+
+  // Templates.
+  std::vector<TemplateData> templates;
+  templates.reserve(options_.num_templates);
+  for (size_t t = 0; t < options_.num_templates; ++t) {
+    templates.push_back(MakeTemplate(rng, domains));
+    out.topic_of.push_back(domains[templates.back().string_domains[0]].topic);
+  }
+
+  // Homograph injection: the same string planted in two *different* domains
+  // that templates actually realize, at popular Zipf ranks so the value
+  // shows up in generated tables (DomainNet's detection target).
+  std::vector<size_t> used_domains;
+  {
+    std::unordered_set<size_t> seen;
+    for (const TemplateData& t : templates) {
+      for (int d : t.string_domains) {
+        if (seen.insert(d).second) used_domains.push_back(d);
+      }
+    }
+  }
+  for (size_t h = 0;
+       h < options_.homograph_count && used_domains.size() >= 2; ++h) {
+    const size_t da = used_domains[rng.NextBounded(used_domains.size())];
+    size_t db = used_domains[rng.NextBounded(used_domains.size())];
+    while (db == da) db = used_domains[rng.NextBounded(used_domains.size())];
+    // Popular ranks get sampled into nearly every table of the template.
+    const size_t popular = std::max<size_t>(1, options_.values_per_domain / 10);
+    const std::string& v = domains[da].values[rng.NextBounded(popular)];
+    domains[db].values[rng.NextBounded(popular)] = v;
+    out.homographs.push_back(v);
+  }
+
+  // Curated KB: types + entities + a kb_coverage sample of the planted
+  // relations.
+  for (const DomainData& d : domains) {
+    const std::string type = "type:" + d.topic;
+    out.kb.AddType(type, "type:thing");
+    for (const std::string& v : d.values) out.kb.AddEntity(v, type);
+  }
+  for (size_t ti = 0; ti < templates.size(); ++ti) {
+    const TemplateData& tmpl = templates[ti];
+    const DomainData& subj = domains[tmpl.string_domains[0]];
+    for (size_t c = 1; c < tmpl.string_domains.size(); ++c) {
+      const DomainData& obj = domains[tmpl.string_domains[c]];
+      const std::string pred = "rel:" + subj.topic + "|" + obj.topic;
+      for (size_t s = 0; s < subj.values.size(); ++s) {
+        if (!rng.NextBool(options_.kb_coverage)) continue;
+        out.kb.AddRelation(subj.values[s], pred,
+                           obj.values[tmpl.relation_maps[c - 1][s]]);
+      }
+    }
+  }
+
+  // Tables.
+  out.unionable_groups.resize(templates.size());
+  for (size_t ti = 0; ti < templates.size(); ++ti) {
+    for (size_t n = 0; n < options_.tables_per_template; ++n) {
+      const std::string name = StrFormat("%s_tbl_%zu_%zu",
+                                         out.topic_of[ti].c_str(), ti, n);
+      Table table =
+          InstantiateTable(rng, domains, templates[ti], name,
+                           /*break_relationships=*/false);
+      table.metadata().description =
+          "synthetic table about " + out.topic_of[ti];
+      table.metadata().tags = {out.topic_of[ti], "synthetic"};
+      auto id = out.catalog.AddTable(std::move(table));
+      LAKE_CHECK(id.ok());
+      out.unionable_groups[ti].push_back(id.value());
+      out.template_of[id.value()] = static_cast<int>(ti);
+    }
+  }
+  for (size_t d = 0; d < options_.distractor_tables; ++d) {
+    const size_t ti = d % templates.size();
+    const std::string name =
+        StrFormat("%s_distractor_%zu", out.topic_of[ti].c_str(), d);
+    Table table = InstantiateTable(rng, domains, templates[ti], name,
+                                   /*break_relationships=*/true);
+    table.metadata().description =
+        "synthetic table about " + out.topic_of[ti];
+    table.metadata().tags = {out.topic_of[ti], "synthetic"};
+    auto id = out.catalog.AddTable(std::move(table));
+    LAKE_CHECK(id.ok());
+    out.distractors.push_back(id.value());
+    out.template_of[id.value()] = static_cast<int>(ti);
+  }
+  return out;
+}
+
+}  // namespace lake

@@ -1,0 +1,110 @@
+#ifndef LAKE_LAKEGEN_GENERATOR_H_
+#define LAKE_LAKEGEN_GENERATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "annotate/knowledge_base.h"
+#include "table/catalog.h"
+#include "util/random.h"
+
+namespace lake {
+
+/// Options of the synthetic data lake generator — the library's substitute
+/// for real open-data corpora (DESIGN.md substitution 2). The generator
+/// plants every structure the discovery algorithms exploit, with ground
+/// truth exposed for evaluation:
+///  - semantic *domains* with distinct surface morphology (so hash/subword
+///    embeddings cluster by domain, mirroring how fastText clusters real
+///    vocabulary);
+///  - table *templates* (schemas over domains); tables instantiated from
+///    the same template are unionable ground truth;
+///  - *functional relationships* between a template's subject domain and
+///    its attribute domains, realized consistently across tables — the
+///    signal SANTOS grounds; optional *distractor* tables reuse the same
+///    domains but break the relationships (column-only union search
+///    cannot tell them apart; relationship-aware search can);
+///  - Zipfian value popularity and widely skewed column cardinalities
+///    (the regime motivating LSH Ensemble);
+///  - optional *homographs*: identical strings planted in two unrelated
+///    domains (DomainNet's target);
+///  - a curated KnowledgeBase over the domains (types, entities, and the
+///    planted relations), standing in for YAGO.
+struct GeneratorOptions {
+  uint64_t seed = 7;
+  size_t num_domains = 12;
+  size_t values_per_domain = 300;
+  size_t syllables_per_domain = 8;
+  size_t num_templates = 6;
+  size_t min_string_columns = 2;   // per template, incl. subject
+  size_t max_string_columns = 4;
+  size_t numeric_columns = 1;      // per template
+  size_t tables_per_template = 8;
+  size_t min_rows = 40;
+  size_t max_rows = 160;
+  double zipf_s = 1.0;             // value-popularity skew within a domain
+  /// Probability a relationship cell is replaced by domain noise.
+  double relationship_noise = 0.05;
+  size_t distractor_tables = 0;    // relationship-violating tables
+  size_t homograph_count = 0;
+  /// Fraction of planted relation instances covered by the curated KB.
+  double kb_coverage = 0.6;
+};
+
+/// A generated lake plus every piece of ground truth the benchmarks score
+/// against.
+struct GeneratedLake {
+  DataLakeCatalog catalog;
+  KnowledgeBase kb;
+
+  /// Per template: the ids of its (genuinely unionable) tables.
+  std::vector<std::vector<TableId>> unionable_groups;
+  /// Table -> template id; distractors map to the template they imitate.
+  std::unordered_map<TableId, int> template_of;
+  /// Relationship-violating tables (not members of unionable_groups).
+  std::vector<TableId> distractors;
+  /// Strings planted into two unrelated domains.
+  std::vector<std::string> homographs;
+  /// Topic word of each template's subject domain (keyword-search truth:
+  /// tables of template i are the relevant set for query topic_of[i]).
+  std::vector<std::string> topic_of;
+};
+
+/// Deterministic synthetic lake generator. One instance generates one
+/// lake; all randomness derives from options.seed.
+class LakeGenerator {
+ public:
+  explicit LakeGenerator(GeneratorOptions options) : options_(options) {}
+
+  /// Generates the lake, its curated KB, and all ground truth.
+  GeneratedLake Generate();
+
+ private:
+  struct DomainData {
+    std::string topic;                 // e.g. "city"
+    std::vector<std::string> values;   // vocabulary
+  };
+
+  struct TemplateData {
+    std::vector<int> string_domains;   // [0] is the subject domain
+    std::vector<std::string> attr_names;
+    size_t numeric_columns;
+    // relation_maps[i][subject value index] = value index in domain
+    // string_domains[i+1] (the planted functional relationship).
+    std::vector<std::vector<size_t>> relation_maps;
+  };
+
+  std::string MakeValue(Rng& rng, const std::vector<std::string>& syllables);
+  DomainData MakeDomain(Rng& rng, int index);
+  TemplateData MakeTemplate(Rng& rng, const std::vector<DomainData>& domains);
+  Table InstantiateTable(Rng& rng, const std::vector<DomainData>& domains,
+                         const TemplateData& tmpl, const std::string& name,
+                         bool break_relationships);
+
+  GeneratorOptions options_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_LAKEGEN_GENERATOR_H_

@@ -1,0 +1,182 @@
+#include "nav/organization.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace lake {
+
+namespace {
+
+/// Internal binary dendrogram node produced by agglomerative clustering.
+struct BinaryNode {
+  Vector sum;          // un-normalized centroid sum
+  size_t count = 0;
+  int left = -1, right = -1;
+  int64_t table = -1;
+};
+
+Vector CentroidOf(const BinaryNode& n) {
+  Vector c = n.sum;
+  NormalizeInPlace(c);
+  return c;
+}
+
+}  // namespace
+
+LakeOrganization::LakeOrganization(const DataLakeCatalog* catalog,
+                                   const TableEncoder* encoder,
+                                   Options options)
+    : catalog_(catalog), options_(options) {
+  const std::vector<TableId> tables = catalog_->AllTables();
+  num_leaves_ = tables.size();
+  if (tables.empty()) return;
+
+  // Leaves.
+  std::vector<BinaryNode> binary;
+  binary.reserve(tables.size() * 2);
+  std::vector<int> active;
+  for (TableId t : tables) {
+    BinaryNode leaf;
+    leaf.sum = encoder->Encode(catalog_->table(t));
+    leaf.count = 1;
+    leaf.table = t;
+    active.push_back(static_cast<int>(binary.size()));
+    binary.push_back(std::move(leaf));
+  }
+
+  // Average-linkage agglomeration via centroid cosine. O(n^2) per merge;
+  // lake organization is an offline batch step, and n is the number of
+  // *tables*, not columns or rows.
+  while (active.size() > 1) {
+    double best = -std::numeric_limits<double>::infinity();
+    size_t bi = 0, bj = 1;
+    std::vector<Vector> cents(active.size());
+    for (size_t i = 0; i < active.size(); ++i) {
+      cents[i] = CentroidOf(binary[active[i]]);
+    }
+    for (size_t i = 0; i < active.size(); ++i) {
+      for (size_t j = i + 1; j < active.size(); ++j) {
+        const double sim = Dot(cents[i], cents[j]);
+        if (sim > best) {
+          best = sim;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    BinaryNode merged;
+    merged.left = active[bi];
+    merged.right = active[bj];
+    merged.count = binary[active[bi]].count + binary[active[bj]].count;
+    merged.sum = binary[active[bi]].sum;
+    AddInPlace(merged.sum, binary[active[bj]].sum);
+    const int merged_idx = static_cast<int>(binary.size());
+    binary.push_back(std::move(merged));
+    // Remove bj first (larger index) to keep bi valid.
+    active.erase(active.begin() + bj);
+    active.erase(active.begin() + bi);
+    active.push_back(merged_idx);
+  }
+
+  // Flatten the dendrogram into a bounded-branching navigation tree.
+  struct Flattener {
+    const std::vector<BinaryNode>& binary;
+    size_t branching;
+    std::vector<Node>& out;
+
+    int Run(int b) {
+      const BinaryNode& n = binary[b];
+      Node node;
+      node.centroid = CentroidOf(n);
+      if (n.table >= 0) {
+        node.table = n.table;
+        out.push_back(std::move(node));
+        return static_cast<int>(out.size()) - 1;
+      }
+      // Expand the deepest internal frontier until branching is reached.
+      std::vector<int> frontier = {n.left, n.right};
+      bool grew = true;
+      while (frontier.size() < branching && grew) {
+        grew = false;
+        for (size_t i = 0; i < frontier.size(); ++i) {
+          const BinaryNode& f = binary[frontier[i]];
+          if (f.table >= 0) continue;  // leaf
+          const int l = f.left, r = f.right;
+          frontier.erase(frontier.begin() + i);
+          frontier.push_back(l);
+          frontier.push_back(r);
+          grew = true;
+          break;
+        }
+      }
+      for (int f : frontier) node.children.push_back(Run(f));
+      out.push_back(std::move(node));
+      return static_cast<int>(out.size()) - 1;
+    }
+  };
+  Flattener flattener{binary, std::max<size_t>(2, options_.branching),
+                      nodes_};
+  root_ = flattener.Run(static_cast<int>(binary.size()) - 1);
+}
+
+std::vector<int> LakeOrganization::Navigate(const Vector& topic) const {
+  std::vector<int> path;
+  if (root_ < 0) return path;
+  int cur = root_;
+  path.push_back(cur);
+  while (!nodes_[cur].children.empty()) {
+    int best_child = nodes_[cur].children[0];
+    double best = -std::numeric_limits<double>::infinity();
+    for (int ch : nodes_[cur].children) {
+      const double sim = Dot(topic, nodes_[ch].centroid);
+      if (sim > best) {
+        best = sim;
+        best_child = ch;
+      }
+    }
+    cur = best_child;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+int LakeOrganization::NavigationCost(const Vector& topic,
+                                     TableId target) const {
+  const std::vector<int> path = Navigate(topic);
+  if (path.empty()) return -1;
+  int cost = 0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    cost += static_cast<int>(nodes_[path[i]].children.size());
+  }
+  const Node& leaf = nodes_[path.back()];
+  return leaf.table == static_cast<int64_t>(target) ? cost : -1;
+}
+
+std::string LakeOrganization::ToString(size_t max_depth) const {
+  std::string out;
+  struct Printer {
+    const LakeOrganization& org;
+    std::string& out;
+    size_t max_depth;
+    void Run(int node, size_t depth) {
+      out.append(depth * 2, ' ');
+      const Node& n = org.nodes_[node];
+      if (n.table >= 0) {
+        out += org.catalog_->table(static_cast<TableId>(n.table)).name();
+        out += "\n";
+        return;
+      }
+      out += "+ (" + std::to_string(n.children.size()) + " children)\n";
+      if (depth + 1 > max_depth) {
+        out.append((depth + 1) * 2, ' ');
+        out += "...\n";
+        return;
+      }
+      for (int ch : n.children) Run(ch, depth + 1);
+    }
+  };
+  if (root_ >= 0) Printer{*this, out, max_depth}.Run(root_, 0);
+  return out;
+}
+
+}  // namespace lake

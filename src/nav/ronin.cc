@@ -1,0 +1,146 @@
+#include "nav/ronin.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "text/normalizer.h"
+#include "util/random.h"
+
+namespace lake {
+
+RoninExplorer::GroupNode RoninExplorer::Organize(
+    const std::vector<TableId>& results) const {
+  std::vector<Vector> vecs;
+  vecs.reserve(results.size());
+  for (TableId t : results) vecs.push_back(encoder_->Encode(catalog_->table(t)));
+  return Build(results, vecs, 0);
+}
+
+RoninExplorer::GroupNode RoninExplorer::Build(
+    const std::vector<TableId>& tables, const std::vector<Vector>& vecs,
+    size_t depth) const {
+  GroupNode node;
+  node.tables = tables;
+  node.label = LabelFor(tables);
+  if (tables.size() <= options_.min_group_size ||
+      depth >= options_.max_depth) {
+    return node;
+  }
+
+  // Spherical k-means with deterministic seeding.
+  const size_t k = std::min(options_.groups, tables.size());
+  if (k < 2) return node;
+  Rng rng(options_.seed + depth * 1000003 + tables.size());
+  std::vector<Vector> centroids;
+  {
+    // k-means++-lite: first random, then farthest-first.
+    std::vector<size_t> chosen;
+    chosen.push_back(rng.NextBounded(tables.size()));
+    while (chosen.size() < k) {
+      size_t best_idx = 0;
+      double best_min = 2.0;
+      for (size_t i = 0; i < vecs.size(); ++i) {
+        double nearest = -2.0;
+        for (size_t c : chosen) {
+          nearest = std::max(nearest, Dot(vecs[i], vecs[c]));
+        }
+        if (nearest < best_min) {
+          best_min = nearest;
+          best_idx = i;
+        }
+      }
+      chosen.push_back(best_idx);
+    }
+    for (size_t c : chosen) centroids.push_back(vecs[c]);
+  }
+
+  std::vector<size_t> assign(vecs.size(), 0);
+  for (size_t iter = 0; iter < options_.kmeans_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < vecs.size(); ++i) {
+      size_t best = 0;
+      double best_sim = -2.0;
+      for (size_t c = 0; c < centroids.size(); ++c) {
+        const double sim = Dot(vecs[i], centroids[c]);
+        if (sim > best_sim) {
+          best_sim = sim;
+          best = c;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    for (size_t c = 0; c < centroids.size(); ++c) {
+      Vector sum(centroids[c].size(), 0.0f);
+      size_t count = 0;
+      for (size_t i = 0; i < vecs.size(); ++i) {
+        if (assign[i] == c) {
+          AddInPlace(sum, vecs[i]);
+          ++count;
+        }
+      }
+      if (count > 0) {
+        NormalizeInPlace(sum);
+        centroids[c] = std::move(sum);
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Materialize non-empty child groups; degenerate single-cluster splits
+  // stop the recursion.
+  std::vector<std::vector<TableId>> group_tables(k);
+  std::vector<std::vector<Vector>> group_vecs(k);
+  for (size_t i = 0; i < vecs.size(); ++i) {
+    group_tables[assign[i]].push_back(tables[i]);
+    group_vecs[assign[i]].push_back(vecs[i]);
+  }
+  size_t non_empty = 0;
+  for (const auto& g : group_tables) {
+    if (!g.empty()) ++non_empty;
+  }
+  if (non_empty < 2) return node;
+  for (size_t c = 0; c < k; ++c) {
+    if (group_tables[c].empty()) continue;
+    node.children.push_back(Build(group_tables[c], group_vecs[c], depth + 1));
+  }
+  return node;
+}
+
+std::string RoninExplorer::LabelFor(const std::vector<TableId>& tables) const {
+  std::unordered_map<std::string, size_t> counts;
+  for (TableId t : tables) {
+    const Table& table = catalog_->table(t);
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const std::string name = NormalizeAttributeName(table.column(c).name());
+      if (!name.empty()) ++counts[name];
+    }
+  }
+  std::string best = "(group)";
+  size_t best_count = 0;
+  for (const auto& [name, count] : counts) {
+    if (count > best_count || (count == best_count && name < best)) {
+      best = name;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+std::string RoninExplorer::ToString(const GroupNode& root) const {
+  std::string out;
+  struct Printer {
+    std::string& out;
+    void Run(const GroupNode& n, size_t depth) {
+      out.append(depth * 2, ' ');
+      out += n.label + " [" + std::to_string(n.tables.size()) + " tables]\n";
+      for (const GroupNode& ch : n.children) Run(ch, depth + 1);
+    }
+  };
+  Printer{out}.Run(root, 0);
+  return out;
+}
+
+}  // namespace lake

@@ -1,0 +1,59 @@
+#ifndef LAKE_NAV_RONIN_H_
+#define LAKE_NAV_RONIN_H_
+
+#include <string>
+#include <vector>
+
+#include "embed/table_encoder.h"
+#include "table/catalog.h"
+
+namespace lake {
+
+/// RONIN-style *online* exploration (Ouellette et al., VLDB 2021): instead
+/// of organizing the whole lake offline, build a small hierarchical
+/// organization over the result set of a search query, on the fly, so the
+/// user can drill into a few labeled groups. This is the survey's example
+/// of moving offline discovery components to query time (§3).
+class RoninExplorer {
+ public:
+  struct Options {
+    /// Groups per level (k of the recursive k-means).
+    size_t groups = 4;
+    /// Stop splitting below this many tables.
+    size_t min_group_size = 3;
+    size_t max_depth = 3;
+    uint64_t seed = 5;
+    size_t kmeans_iters = 12;
+  };
+
+  struct GroupNode {
+    std::vector<TableId> tables;     // all tables under this node
+    std::vector<GroupNode> children; // empty at leaves
+    std::string label;               // most common attribute name inside
+  };
+
+  RoninExplorer(const DataLakeCatalog* catalog, const TableEncoder* encoder)
+      : RoninExplorer(catalog, encoder, Options{}) {}
+  RoninExplorer(const DataLakeCatalog* catalog, const TableEncoder* encoder,
+                Options options)
+      : catalog_(catalog), encoder_(encoder), options_(options) {}
+
+  /// Organizes a search-result table set into a navigable hierarchy.
+  GroupNode Organize(const std::vector<TableId>& results) const;
+
+  /// Renders the hierarchy for terminal display.
+  std::string ToString(const GroupNode& root) const;
+
+ private:
+  GroupNode Build(const std::vector<TableId>& tables,
+                  const std::vector<Vector>& vecs, size_t depth) const;
+  std::string LabelFor(const std::vector<TableId>& tables) const;
+
+  const DataLakeCatalog* catalog_;
+  const TableEncoder* encoder_;
+  Options options_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_NAV_RONIN_H_

@@ -1,0 +1,117 @@
+#include "search/bipartite_matching.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace lake {
+
+MatchingResult MaxWeightBipartiteMatching(
+    const std::vector<std::vector<double>>& weights) {
+  MatchingResult result;
+  const size_t left = weights.size();
+  if (left == 0) return result;
+  const size_t right = weights[0].size();
+  result.match.assign(left, -1);
+  if (right == 0) return result;
+
+  // Square the matrix with zero padding and convert to a min-cost problem.
+  const size_t n = std::max(left, right);
+  double max_w = 0;
+  for (const auto& row : weights) {
+    for (double w : row) max_w = std::max(max_w, w);
+  }
+  auto cost = [&](size_t i, size_t j) -> double {
+    if (i < left && j < right) return max_w - weights[i][j];
+    return max_w;  // padded cells cost the same as a zero-weight edge
+  };
+
+  // Hungarian algorithm with potentials (1-indexed internals).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0), v(n + 1, 0);
+  std::vector<size_t> p(n + 1, 0), way(n + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const size_t i0 = p[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  for (size_t j = 1; j <= n; ++j) {
+    const size_t i = p[j];
+    if (i == 0) continue;
+    const size_t li = i - 1;
+    const size_t rj = j - 1;
+    if (li < left && rj < right && weights[li][rj] > 0) {
+      result.match[li] = static_cast<int>(rj);
+      result.total_weight += weights[li][rj];
+    }
+  }
+  return result;
+}
+
+MatchingResult GreedyBipartiteMatching(
+    const std::vector<std::vector<double>>& weights) {
+  MatchingResult result;
+  const size_t left = weights.size();
+  result.match.assign(left, -1);
+  if (left == 0 || weights[0].empty()) return result;
+  const size_t right = weights[0].size();
+
+  struct Edge {
+    double w;
+    size_t i, j;
+  };
+  std::vector<Edge> edges;
+  for (size_t i = 0; i < left; ++i) {
+    for (size_t j = 0; j < right; ++j) {
+      if (weights[i][j] > 0) edges.push_back(Edge{weights[i][j], i, j});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.w != b.w) return a.w > b.w;
+    if (a.i != b.i) return a.i < b.i;
+    return a.j < b.j;
+  });
+  std::vector<char> right_used(right, false);
+  for (const Edge& e : edges) {
+    if (result.match[e.i] != -1 || right_used[e.j]) continue;
+    result.match[e.i] = static_cast<int>(e.j);
+    right_used[e.j] = true;
+    result.total_weight += e.w;
+  }
+  return result;
+}
+
+}  // namespace lake

@@ -1,0 +1,31 @@
+#ifndef LAKE_SEARCH_BIPARTITE_MATCHING_H_
+#define LAKE_SEARCH_BIPARTITE_MATCHING_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lake {
+
+/// Result of a max-weight bipartite matching: match[i] is the right-side
+/// index assigned to left vertex i, or -1 when unmatched.
+struct MatchingResult {
+  std::vector<int> match;
+  double total_weight = 0;
+};
+
+/// Exact maximum-weight bipartite matching (Hungarian algorithm, O(n^3))
+/// on a |left| x |right| weight matrix with non-negative weights. Pairs
+/// with zero weight are left unmatched. This is the aggregation step TUS
+/// and Starmie use to lift column-level unionability scores to a
+/// table-level score.
+MatchingResult MaxWeightBipartiteMatching(
+    const std::vector<std::vector<double>>& weights);
+
+/// Greedy approximation (sort edges, take non-conflicting): 2-approx,
+/// much faster; Starmie's online aggregation uses this flavor.
+MatchingResult GreedyBipartiteMatching(
+    const std::vector<std::vector<double>>& weights);
+
+}  // namespace lake
+
+#endif  // LAKE_SEARCH_BIPARTITE_MATCHING_H_

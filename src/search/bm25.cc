@@ -1,0 +1,63 @@
+#include "search/bm25.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/top_k.h"
+
+namespace lake {
+
+void Bm25Index::AddDocument(uint64_t id,
+                            const std::vector<std::string>& tokens) {
+  const uint32_t doc_index = static_cast<uint32_t>(doc_ids_.size());
+  doc_ids_.push_back(id);
+  doc_lengths_.push_back(static_cast<uint32_t>(tokens.size()));
+  total_length_ += tokens.size();
+
+  std::unordered_map<std::string, uint32_t> tf;
+  for (const std::string& t : tokens) ++tf[t];
+  for (const auto& [term, count] : tf) {
+    postings_[term].push_back(Posting{doc_index, count});
+  }
+}
+
+std::vector<std::pair<uint64_t, double>> Bm25Index::Search(
+    const std::vector<std::string>& query_tokens, size_t k) const {
+  const size_t n = doc_lengths_.size();
+  if (n == 0 || k == 0) return {};
+  const double avg_len =
+      static_cast<double>(total_length_) / static_cast<double>(n);
+
+  // Deduplicate query terms; repeated query terms add no evidence for
+  // metadata-scale documents.
+  std::vector<std::string> terms = query_tokens;
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  std::unordered_map<uint32_t, double> scores;
+  for (const std::string& term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    const double df = static_cast<double>(it->second.size());
+    const double idf =
+        std::log(1.0 + (static_cast<double>(n) - df + 0.5) / (df + 0.5));
+    for (const Posting& p : it->second) {
+      const double tf = p.term_frequency;
+      const double len_norm =
+          1.0 - params_.b +
+          params_.b * doc_lengths_[p.doc_index] / avg_len;
+      scores[p.doc_index] +=
+          idf * tf * (params_.k1 + 1.0) / (tf + params_.k1 * len_norm);
+    }
+  }
+
+  TopK<uint32_t> heap(k);
+  for (const auto& [doc, score] : scores) heap.Push(score, doc);
+  std::vector<std::pair<uint64_t, double>> out;
+  for (auto& [score, doc] : heap.Take()) {
+    out.emplace_back(doc_ids_[doc], score);
+  }
+  return out;
+}
+
+}  // namespace lake

@@ -1,0 +1,51 @@
+#ifndef LAKE_SEARCH_BM25_H_
+#define LAKE_SEARCH_BM25_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lake {
+
+/// Okapi BM25 ranked retrieval over bag-of-words documents — the classic
+/// IR scoring keyword-based dataset search engines (Google Dataset Search,
+/// Auctus) apply to table metadata.
+class Bm25Index {
+ public:
+  struct Params {
+    double k1 = 1.2;
+    double b = 0.75;
+  };
+
+  Bm25Index() : Bm25Index(Params{}) {}
+  explicit Bm25Index(Params params) : params_(params) {}
+
+  /// Indexes a document (pre-tokenized). Ids are caller-defined and must
+  /// be unique.
+  void AddDocument(uint64_t id, const std::vector<std::string>& tokens);
+
+  /// Top-k documents by BM25 score (descending; zero-score docs omitted).
+  std::vector<std::pair<uint64_t, double>> Search(
+      const std::vector<std::string>& query_tokens, size_t k) const;
+
+  size_t num_documents() const { return doc_lengths_.size(); }
+
+ private:
+  struct Posting {
+    uint32_t doc_index;
+    uint32_t term_frequency;
+  };
+
+  Params params_;
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::vector<uint64_t> doc_ids_;
+  std::vector<uint32_t> doc_lengths_;
+  uint64_t total_length_ = 0;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_SEARCH_BM25_H_

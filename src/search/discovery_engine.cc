@@ -1,0 +1,179 @@
+#include "search/discovery_engine.h"
+
+namespace lake {
+
+DiscoveryEngine::DiscoveryEngine(const DataLakeCatalog* catalog,
+                                 const KnowledgeBase* kb, Options options)
+    : catalog_(catalog),
+      options_(options),
+      words_(WordEmbedding::Options{.dim = options.embedding_dim}),
+      column_encoder_(&words_),
+      contextual_encoder_(&column_encoder_),
+      table_encoder_(&column_encoder_, &words_) {
+  if (kb != nullptr) kb_ = *kb;
+  if (options_.synthesize_kb) {
+    KbSynthesizer().AugmentInPlace(*catalog_, &kb_);
+  }
+
+  if (options_.build_keyword) {
+    keyword_ = std::make_unique<KeywordSearchEngine>(catalog_);
+  }
+  if (options_.build_exact_join) {
+    exact_join_ = std::make_unique<ExactSetJoinSearch>(catalog_);
+  }
+  if (options_.build_lsh_join) {
+    lsh_join_ = std::make_unique<LshEnsembleJoinSearch>(catalog_);
+  }
+  if (options_.build_josie) {
+    josie_ = std::make_unique<JosieJoinSearch>(catalog_);
+  }
+  if (options_.build_pexeso) {
+    pexeso_ = std::make_unique<PexesoJoinSearch>(catalog_, &words_);
+  }
+  if (options_.build_mate) {
+    mate_ = std::make_unique<MateJoinSearch>(catalog_);
+  }
+  if (options_.build_correlated) {
+    correlated_ = std::make_unique<CorrelatedJoinSearch>(catalog_);
+  }
+  if (options_.build_tus) {
+    tus_ = std::make_unique<TusUnionSearch>(catalog_, &column_encoder_, &kb_);
+  }
+  if (options_.build_santos) {
+    santos_ = std::make_unique<SantosUnionSearch>(catalog_, &kb_);
+  }
+  if (options_.build_starmie) {
+    starmie_ =
+        std::make_unique<StarmieUnionSearch>(catalog_, &contextual_encoder_);
+  }
+  if (options_.build_d3l) {
+    d3l_ = std::make_unique<D3lUnionSearch>(catalog_, &column_encoder_);
+  }
+  if (options_.train_annotator) {
+    // Distant supervision: lake columns the KB grounds confidently become
+    // labeled examples, so arbitrary query columns can be annotated at
+    // query time without hand labels.
+    std::vector<LabeledColumn> examples;
+    for (TableId t : catalog_->AllTables()) {
+      const Table& table = catalog_->table(t);
+      for (size_t col = 0; col < table.num_columns(); ++col) {
+        if (table.column(col).IsNumeric()) continue;
+        auto vote = kb_.ColumnType(table.column(col).DistinctStrings());
+        if (!vote.ok() ||
+            vote.value().coverage < options_.annotator_min_coverage) {
+          continue;
+        }
+        examples.push_back(LabeledColumn{&table, col, vote.value().type});
+      }
+    }
+    auto detector = std::make_unique<SemanticTypeDetector>(&words_);
+    if (!examples.empty() && detector->Train(examples).ok()) {
+      annotator_ = std::move(detector);
+    }
+  }
+}
+
+Result<DiscoveryEngine::AutoJoinResult> DiscoveryEngine::JoinableAuto(
+    const std::vector<std::string>& query_values, size_t k) const {
+  // Cheap statistics-driven plan selection. Thresholds are deliberately
+  // coarse: the point is the *mechanism* (adapting the access method to
+  // the data distribution), which §3 calls out as an open direction.
+  const size_t lake_columns = catalog_->num_columns();
+  JoinMethod method;
+  if (exact_join_ != nullptr && lake_columns <= 2048) {
+    method = JoinMethod::kExactContainment;  // scans win on small lakes
+  } else if (josie_ != nullptr) {
+    method = JoinMethod::kJosie;  // exact, with filter pruning
+  } else if (lsh_join_ != nullptr) {
+    method = JoinMethod::kLshEnsemble;  // sketches at scale
+  } else if (exact_join_ != nullptr) {
+    method = JoinMethod::kExactContainment;
+  } else {
+    return Status::FailedPrecondition("no joinable-search engine built");
+  }
+  LAKE_ASSIGN_OR_RETURN(std::vector<ColumnResult> results,
+                        Joinable(query_values, method, k));
+  return AutoJoinResult{method, std::move(results)};
+}
+
+Result<TypeAnnotation> DiscoveryEngine::AnnotateValues(
+    const std::vector<std::string>& values) const {
+  if (annotator_ == nullptr) {
+    return Status::FailedPrecondition(
+        "annotator unavailable (train_annotator off, or the KB grounds "
+        "fewer than two types in this lake)");
+  }
+  Column column("query", DataType::kString);
+  for (const std::string& v : values) {
+    if (!v.empty()) column.Append(Value(v));
+  }
+  return annotator_->Annotate(column);
+}
+
+std::vector<TableResult> DiscoveryEngine::Keyword(const std::string& query,
+                                                  size_t k) const {
+  if (keyword_ == nullptr) return {};
+  return keyword_->Search(query, k);
+}
+
+Result<std::vector<ColumnResult>> DiscoveryEngine::Joinable(
+    const std::vector<std::string>& query_values, JoinMethod method,
+    size_t k) const {
+  switch (method) {
+    case JoinMethod::kExactJaccard:
+      if (exact_join_ == nullptr) {
+        return Status::FailedPrecondition("exact join index not built");
+      }
+      return exact_join_->TopKByJaccard(query_values, k);
+    case JoinMethod::kExactContainment:
+      if (exact_join_ == nullptr) {
+        return Status::FailedPrecondition("exact join index not built");
+      }
+      return exact_join_->TopKByContainment(query_values, k);
+    case JoinMethod::kLshEnsemble:
+      if (lsh_join_ == nullptr) {
+        return Status::FailedPrecondition("LSH ensemble index not built");
+      }
+      return lsh_join_->Search(query_values, /*threshold=*/0.5, k);
+    case JoinMethod::kJosie:
+      if (josie_ == nullptr) {
+        return Status::FailedPrecondition("JOSIE index not built");
+      }
+      return josie_->Search(query_values, k);
+    case JoinMethod::kPexeso:
+      if (pexeso_ == nullptr) {
+        return Status::FailedPrecondition("PEXESO index not built");
+      }
+      return pexeso_->Search(query_values, k);
+  }
+  return Status::InvalidArgument("unknown join method");
+}
+
+Result<std::vector<TableResult>> DiscoveryEngine::Unionable(
+    const Table& query, UnionMethod method, size_t k, int64_t exclude) const {
+  switch (method) {
+    case UnionMethod::kTus:
+      if (tus_ == nullptr) {
+        return Status::FailedPrecondition("TUS engine not built");
+      }
+      return tus_->Search(query, k, exclude);
+    case UnionMethod::kSantos:
+      if (santos_ == nullptr) {
+        return Status::FailedPrecondition("SANTOS engine not built");
+      }
+      return santos_->Search(query, k, exclude);
+    case UnionMethod::kStarmie:
+      if (starmie_ == nullptr) {
+        return Status::FailedPrecondition("Starmie engine not built");
+      }
+      return starmie_->Search(query, k, exclude);
+    case UnionMethod::kD3l:
+      if (d3l_ == nullptr) {
+        return Status::FailedPrecondition("D3L engine not built");
+      }
+      return d3l_->Search(query, k, exclude);
+  }
+  return Status::InvalidArgument("unknown union method");
+}
+
+}  // namespace lake

@@ -1,0 +1,109 @@
+#include "search/join_correlated.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "text/normalizer.h"
+#include "util/hash.h"
+#include "util/top_k.h"
+
+namespace lake {
+
+namespace {
+constexpr uint64_t kKeySeed = 0xc0441;
+
+std::vector<std::string> NormalizedRowKeys(const Column& col) {
+  std::vector<std::string> out;
+  out.reserve(col.size());
+  for (const Value& v : col.cells()) {
+    out.push_back(v.is_null() ? "" : NormalizeValue(v.ToString()));
+  }
+  return out;
+}
+}  // namespace
+
+CorrelatedJoinSearch::CorrelatedJoinSearch(const DataLakeCatalog* catalog,
+                                           Options options)
+    : catalog_(catalog), options_(options) {
+  for (TableId t : catalog_->AllTables()) {
+    const Table& table = catalog_->table(t);
+    // Key candidates: non-numeric, key-like uniqueness. Numeric partners:
+    // any numeric column.
+    for (uint32_t kc = 0; kc < table.num_columns(); ++kc) {
+      const Column& key_col = table.column(kc);
+      if (key_col.IsNumeric()) continue;
+      const ColumnStats& ks = catalog_->stats(ColumnRef{t, kc});
+      if (ks.Uniqueness() < options_.min_key_uniqueness) continue;
+      const std::vector<std::string> keys = NormalizedRowKeys(key_col);
+      for (uint32_t nc = 0; nc < table.num_columns(); ++nc) {
+        if (nc == kc) continue;
+        const Column& num_col = table.column(nc);
+        if (!num_col.IsNumeric()) continue;
+        CorrelationSketch sketch(options_.sketch_size);
+        for (size_t r = 0; r < table.num_rows(); ++r) {
+          if (keys[r].empty()) continue;
+          double x;
+          if (!num_col.cell(r).ToDouble(&x)) continue;
+          sketch.Update(Hash64(keys[r], kKeySeed), x);
+        }
+        if (sketch.size() < 3) continue;
+        const uint32_t idx = static_cast<uint32_t>(sketches_.size());
+        pairs_.push_back(PairInfo{t, kc, nc});
+        for (const auto& e : sketch.entries()) {
+          key_postings_[e.key_hash].push_back(idx);
+        }
+        sketches_.push_back(std::move(sketch));
+      }
+    }
+  }
+}
+
+Result<std::vector<CorrelatedJoinSearch::CorrelatedResult>>
+CorrelatedJoinSearch::Search(const std::vector<std::string>& key_values,
+                             const std::vector<double>& numeric_values,
+                             size_t k) const {
+  if (key_values.size() != numeric_values.size()) {
+    return Status::InvalidArgument("key/value length mismatch");
+  }
+  CorrelationSketch query(options_.sketch_size);
+  for (size_t i = 0; i < key_values.size(); ++i) {
+    const std::string norm = NormalizeValue(key_values[i]);
+    if (norm.empty()) continue;
+    query.Update(Hash64(norm, kKeySeed), numeric_values[i]);
+  }
+  if (query.size() < 3) {
+    return Status::InvalidArgument("query too small to sketch");
+  }
+
+  // Shortlist sketches sharing at least one sampled key with the query.
+  std::unordered_set<uint32_t> candidates;
+  for (const auto& e : query.entries()) {
+    auto it = key_postings_.find(e.key_hash);
+    if (it == key_postings_.end()) continue;
+    candidates.insert(it->second.begin(), it->second.end());
+  }
+
+  TopK<CorrelatedResult> heap(k);
+  for (uint32_t idx : candidates) {
+    const CorrelationSketch& cand = sketches_[idx];
+    const double containment = query.EstimateKeyContainment(cand);
+    if (containment < options_.min_containment) continue;
+    Result<double> corr = options_.use_qcr ? query.EstimateQcr(cand)
+                                           : query.EstimatePearson(cand);
+    if (!corr.ok()) continue;
+    CorrelatedResult r;
+    r.table_id = pairs_[idx].table_id;
+    r.key_column = pairs_[idx].key_column;
+    r.numeric_column = pairs_[idx].numeric_column;
+    r.est_containment = containment;
+    r.est_correlation = corr.value();
+    r.score = std::abs(corr.value());
+    heap.Push(r.score, std::move(r));
+  }
+  std::vector<CorrelatedResult> out;
+  for (auto& [score, r] : heap.Take()) out.push_back(std::move(r));
+  return out;
+}
+
+}  // namespace lake

@@ -1,0 +1,73 @@
+#ifndef LAKE_SEARCH_JOIN_CORRELATED_H_
+#define LAKE_SEARCH_JOIN_CORRELATED_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/correlation_sketch.h"
+#include "table/catalog.h"
+#include "util/status.h"
+
+namespace lake {
+
+/// Correlated-dataset search in the style of Santos et al. (ICDE 2022),
+/// cited by the survey for joinable-and-correlated table search: given a
+/// query (join-key column, numeric column), find lake tables that (a) join
+/// with the key and (b) carry a numeric column *correlated* with the query
+/// numeric column after the join. Every eligible (key, numeric) column
+/// pair in the lake is summarized by a correlation sketch; a key-hash
+/// inverted index shortlists candidates, and sketches estimate containment
+/// and correlation without touching the data.
+class CorrelatedJoinSearch {
+ public:
+  struct Options {
+    /// Sketch size (pairs retained per column pair).
+    size_t sketch_size = 256;
+    /// Minimum estimated key containment for a candidate to be scored.
+    double min_containment = 0.25;
+    /// Use the robust QCR estimator (paper's choice); Pearson otherwise.
+    bool use_qcr = true;
+    /// Key columns must look key-like: uniqueness above this.
+    double min_key_uniqueness = 0.5;
+  };
+
+  explicit CorrelatedJoinSearch(const DataLakeCatalog* catalog)
+      : CorrelatedJoinSearch(catalog, Options{}) {}
+  CorrelatedJoinSearch(const DataLakeCatalog* catalog, Options options);
+
+  struct CorrelatedResult {
+    TableId table_id = 0;
+    uint32_t key_column = 0;
+    uint32_t numeric_column = 0;
+    double est_containment = 0;
+    double est_correlation = 0;  // signed
+    double score = 0;            // |correlation|, the ranking key
+  };
+
+  /// Top-k correlated joinable column pairs for a query key/numeric pair.
+  Result<std::vector<CorrelatedResult>> Search(
+      const std::vector<std::string>& key_values,
+      const std::vector<double>& numeric_values, size_t k) const;
+
+  size_t num_indexed_pairs() const { return sketches_.size(); }
+
+ private:
+  struct PairInfo {
+    TableId table_id;
+    uint32_t key_column;
+    uint32_t numeric_column;
+  };
+
+  const DataLakeCatalog* catalog_;
+  Options options_;
+  std::vector<PairInfo> pairs_;
+  std::vector<CorrelationSketch> sketches_;
+  // key hash -> sketch indices containing it (candidate shortlist).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> key_postings_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_SEARCH_JOIN_CORRELATED_H_

@@ -1,0 +1,86 @@
+#include "search/join_jaccard.h"
+
+#include "text/normalizer.h"
+#include "util/string_util.h"
+#include "util/top_k.h"
+
+namespace lake {
+
+namespace {
+std::vector<std::string> NormalizedDistinct(const Column& col) {
+  std::vector<std::string> out;
+  for (const std::string& v : col.DistinctStrings()) {
+    const std::string norm = NormalizeValue(v);
+    if (!norm.empty()) out.push_back(norm);
+  }
+  return out;
+}
+}  // namespace
+
+ExactSetJoinSearch::ExactSetJoinSearch(const DataLakeCatalog* catalog,
+                                       Options options)
+    : catalog_(catalog), options_(options) {
+  catalog_->ForEachColumn([&](const ColumnRef& ref, const Column& col) {
+    if (!options_.include_numeric && col.IsNumeric()) return;
+    const std::vector<std::string> values = NormalizedDistinct(col);
+    if (values.size() < options_.min_distinct) return;
+    refs_.push_back(ref);
+    sets_.push_back(HashedSet::FromValues(values));
+  });
+}
+
+HashedSet ExactSetJoinSearch::QuerySet(
+    const std::vector<std::string>& query_values) const {
+  std::vector<std::string> norm;
+  norm.reserve(query_values.size());
+  for (const std::string& v : query_values) {
+    std::string nv = NormalizeValue(v);
+    if (!nv.empty()) norm.push_back(std::move(nv));
+  }
+  return HashedSet::FromValues(norm);
+}
+
+std::vector<ColumnResult> ExactSetJoinSearch::TopKByJaccard(
+    const std::vector<std::string>& query_values, size_t k) const {
+  const HashedSet q = QuerySet(query_values);
+  TopK<size_t> heap(k);
+  for (size_t i = 0; i < sets_.size(); ++i) {
+    const double j = q.Jaccard(sets_[i]);
+    if (j > 0) heap.Push(j, i);
+  }
+  std::vector<ColumnResult> out;
+  for (auto& [score, i] : heap.Take()) {
+    out.push_back(ColumnResult{refs_[i], score,
+                               StrFormat("exact jaccard=%.3f", score)});
+  }
+  return out;
+}
+
+std::vector<ColumnResult> ExactSetJoinSearch::TopKByContainment(
+    const std::vector<std::string>& query_values, size_t k) const {
+  const HashedSet q = QuerySet(query_values);
+  // Tie-break toward smaller candidates: fold a tiny size penalty into the
+  // score ordering without changing the containment value reported.
+  TopK<std::pair<size_t, double>> heap(k);
+  for (size_t i = 0; i < sets_.size(); ++i) {
+    const double c = q.ContainmentIn(sets_[i]);
+    if (c <= 0) continue;
+    const double size_penalty =
+        1e-9 * static_cast<double>(sets_[i].size());
+    heap.Push(c - size_penalty, {i, c});
+  }
+  std::vector<ColumnResult> out;
+  for (auto& [score, entry] : heap.Take()) {
+    out.push_back(ColumnResult{
+        refs_[entry.first], entry.second,
+        StrFormat("exact containment=%.3f", entry.second)});
+  }
+  return out;
+}
+
+double ExactSetJoinSearch::ContainmentOf(
+    const std::vector<std::string>& query_values, size_t column_index) const {
+  return QuerySet(query_values).ContainmentIn(sets_[column_index]);
+}
+
+}  // namespace lake

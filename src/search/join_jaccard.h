@@ -1,0 +1,58 @@
+#ifndef LAKE_SEARCH_JOIN_JACCARD_H_
+#define LAKE_SEARCH_JOIN_JACCARD_H_
+
+#include <string>
+#include <vector>
+
+#include "search/query.h"
+#include "sketch/set_ops.h"
+#include "table/catalog.h"
+
+namespace lake {
+
+/// Exact value-overlap joinable-column search: the pre-LSH baseline
+/// (Das Sarma et al., Mannheim Search Join) that scans every lake column
+/// and ranks by exact Jaccard or exact containment. Ground truth for the
+/// approximate engines and the E2 demonstration that Jaccard is biased
+/// against large attributes while containment is not.
+class ExactSetJoinSearch {
+ public:
+  struct Options {
+    /// Columns with fewer distinct values than this are not joinable keys.
+    size_t min_distinct = 2;
+    /// Include numeric columns (joins on numeric codes are common).
+    bool include_numeric = true;
+  };
+
+  explicit ExactSetJoinSearch(const DataLakeCatalog* catalog)
+      : ExactSetJoinSearch(catalog, Options{}) {}
+  ExactSetJoinSearch(const DataLakeCatalog* catalog, Options options);
+
+  /// Top-k columns by exact Jaccard with the query value set.
+  std::vector<ColumnResult> TopKByJaccard(
+      const std::vector<std::string>& query_values, size_t k) const;
+
+  /// Top-k columns by exact containment |Q∩X|/|Q| (domain search). Ties
+  /// are broken toward smaller candidate columns (tighter domains first).
+  std::vector<ColumnResult> TopKByContainment(
+      const std::vector<std::string>& query_values, size_t k) const;
+
+  /// Exact containment of the query in one indexed column (benchmarks).
+  double ContainmentOf(const std::vector<std::string>& query_values,
+                       size_t column_index) const;
+
+  size_t num_indexed_columns() const { return refs_.size(); }
+  const std::vector<ColumnRef>& indexed_columns() const { return refs_; }
+
+ private:
+  HashedSet QuerySet(const std::vector<std::string>& query_values) const;
+
+  const DataLakeCatalog* catalog_;
+  Options options_;
+  std::vector<ColumnRef> refs_;
+  std::vector<HashedSet> sets_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_SEARCH_JOIN_JACCARD_H_

@@ -1,0 +1,36 @@
+#include "search/join_josie.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace lake {
+
+JosieJoinSearch::JosieJoinSearch(const DataLakeCatalog* catalog,
+                                 Options options)
+    : catalog_(catalog), options_(options) {
+  catalog_->ForEachColumn([&](const ColumnRef& ref, const Column& col) {
+    if (!options_.include_numeric && col.IsNumeric()) return;
+    const std::vector<std::string> values = col.DistinctStrings();
+    if (values.size() < options_.min_distinct) return;
+    const uint64_t dense_id = refs_.size();
+    refs_.push_back(ref);
+    LAKE_CHECK(index_.AddSet(dense_id, values).ok());
+  });
+  LAKE_CHECK(index_.Build().ok());
+}
+
+Result<std::vector<ColumnResult>> JosieJoinSearch::Search(
+    const std::vector<std::string>& query_values, size_t k,
+    JosieIndex::QueryStats* stats) const {
+  LAKE_ASSIGN_OR_RETURN(std::vector<JosieIndex::Hit> hits,
+                        index_.TopK(query_values, k, stats));
+  std::vector<ColumnResult> out;
+  out.reserve(hits.size());
+  for (const JosieIndex::Hit& h : hits) {
+    out.push_back(ColumnResult{refs_[h.id], static_cast<double>(h.overlap),
+                               StrFormat("exact overlap=%u", h.overlap)});
+  }
+  return out;
+}
+
+}  // namespace lake

@@ -1,0 +1,45 @@
+#ifndef LAKE_SEARCH_JOIN_JOSIE_H_
+#define LAKE_SEARCH_JOIN_JOSIE_H_
+
+#include <string>
+#include <vector>
+
+#include "index/josie.h"
+#include "search/query.h"
+#include "table/catalog.h"
+
+namespace lake {
+
+/// Exact top-k joinable-column search over a catalog, backed by the
+/// JOSIE-style index: returns the k lake columns with the largest exact
+/// value overlap with the query column (§2.4, Zhu et al. 2019).
+class JosieJoinSearch {
+ public:
+  struct Options {
+    size_t min_distinct = 2;
+    bool include_numeric = true;
+  };
+
+  explicit JosieJoinSearch(const DataLakeCatalog* catalog)
+      : JosieJoinSearch(catalog, Options{}) {}
+  JosieJoinSearch(const DataLakeCatalog* catalog, Options options);
+
+  /// Exact top-k columns by overlap with the query values.
+  Result<std::vector<ColumnResult>> Search(
+      const std::vector<std::string>& query_values, size_t k,
+      JosieIndex::QueryStats* stats = nullptr) const;
+
+  const JosieIndex& index() const { return index_; }
+  size_t num_indexed_columns() const { return refs_.size(); }
+  const std::vector<ColumnRef>& indexed_columns() const { return refs_; }
+
+ private:
+  const DataLakeCatalog* catalog_;
+  Options options_;
+  std::vector<ColumnRef> refs_;
+  JosieIndex index_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_SEARCH_JOIN_JOSIE_H_

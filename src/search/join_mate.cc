@@ -1,0 +1,183 @@
+#include "search/join_mate.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "search/bipartite_matching.h"
+#include "text/normalizer.h"
+#include "util/hash.h"
+#include "util/string_util.h"
+#include "util/top_k.h"
+
+namespace lake {
+
+namespace {
+constexpr uint64_t kValueSeed = 0x3a7e;
+}  // namespace
+
+uint64_t MateJoinSearch::CellMask(const std::string& normalized) const {
+  uint64_t mask = 0;
+  uint64_t h = Hash64(normalized, kValueSeed);
+  for (int b = 0; b < options_.bits_per_cell; ++b) {
+    mask |= 1ULL << (h & 63);
+    h = Mix64(h);
+  }
+  return mask;
+}
+
+MateJoinSearch::MateJoinSearch(const DataLakeCatalog* catalog, Options options)
+    : catalog_(catalog), options_(options) {
+  for (TableId t : catalog_->AllTables()) {
+    const Table& table = catalog_->table(t);
+    const size_t rows = std::min(table.num_rows(), options_.max_rows_per_table);
+    if (rows == 0 || table.num_columns() == 0) continue;
+    tables_.push_back(t);
+    table_row_offsets_.push_back(static_cast<uint32_t>(row_masks_.size()));
+    for (size_t r = 0; r < rows; ++r) {
+      const uint32_t global_row = static_cast<uint32_t>(row_masks_.size());
+      uint64_t mask = 0;
+      std::unordered_set<uint64_t> row_values;
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        const Value& cell = table.column(c).cell(r);
+        if (cell.is_null()) continue;
+        const std::string norm = NormalizeValue(cell.ToString());
+        if (norm.empty()) continue;
+        mask |= CellMask(norm);
+        row_values.insert(Hash64(norm, kValueSeed));
+      }
+      row_masks_.push_back(mask);
+      for (uint64_t vh : row_values) value_rows_[vh].push_back(global_row);
+    }
+  }
+}
+
+Result<std::vector<MateJoinSearch::MultiJoinResult>> MateJoinSearch::Search(
+    const Table& query, const std::vector<size_t>& key_columns, size_t k,
+    QueryStats* stats) const {
+  if (key_columns.empty()) {
+    return Status::InvalidArgument("need >= 1 key column");
+  }
+  for (size_t c : key_columns) {
+    if (c >= query.num_columns()) {
+      return Status::OutOfRange("key column out of range");
+    }
+  }
+  QueryStats local;
+
+  // Materialize normalized query tuples, skipping incomplete rows.
+  std::vector<std::vector<std::string>> tuples;
+  for (size_t r = 0; r < query.num_rows(); ++r) {
+    std::vector<std::string> tuple;
+    tuple.reserve(key_columns.size());
+    bool complete = true;
+    for (size_t c : key_columns) {
+      const Value& cell = query.column(c).cell(r);
+      if (cell.is_null()) {
+        complete = false;
+        break;
+      }
+      std::string norm = NormalizeValue(cell.ToString());
+      if (norm.empty()) {
+        complete = false;
+        break;
+      }
+      tuple.push_back(std::move(norm));
+    }
+    if (complete) tuples.push_back(std::move(tuple));
+  }
+  if (tuples.empty()) return std::vector<MultiJoinResult>{};
+
+  // Anchor attribute: the key column with the most distinct query values
+  // (its posting lists are the most selective on average).
+  size_t anchor = 0;
+  {
+    size_t best_distinct = 0;
+    for (size_t a = 0; a < key_columns.size(); ++a) {
+      std::unordered_set<std::string> d;
+      for (const auto& t : tuples) d.insert(t[a]);
+      if (d.size() > best_distinct) {
+        best_distinct = d.size();
+        anchor = a;
+      }
+    }
+  }
+
+  // Per-table tally: joined tuples and observed column mappings.
+  struct Tally {
+    size_t joinable = 0;
+    std::map<std::vector<int>, size_t> mapping_votes;
+  };
+  std::unordered_map<uint32_t, Tally> tallies;
+
+  auto table_of_row = [this](uint32_t global_row) -> uint32_t {
+    auto it = std::upper_bound(table_row_offsets_.begin(),
+                               table_row_offsets_.end(), global_row);
+    return static_cast<uint32_t>(it - table_row_offsets_.begin()) - 1;
+  };
+
+  for (const std::vector<std::string>& tuple : tuples) {
+    uint64_t tuple_mask = 0;
+    for (const std::string& v : tuple) tuple_mask |= CellMask(v);
+
+    auto it = value_rows_.find(Hash64(tuple[anchor], kValueSeed));
+    if (it == value_rows_.end()) continue;
+
+    // A tuple counts once per table (the first row that joins).
+    std::unordered_set<uint32_t> joined_tables;
+    for (uint32_t global_row : it->second) {
+      ++local.candidate_rows;
+      if ((row_masks_[global_row] & tuple_mask) != tuple_mask) continue;
+      ++local.superkey_survivors;
+      const uint32_t ti = table_of_row(global_row);
+      if (joined_tables.count(ti)) continue;
+      ++local.verified_rows;
+
+      // Exact verification: injectively assign each query key value to a
+      // distinct lake column holding it in this row.
+      const Table& table = catalog_->table(tables_[ti]);
+      const uint32_t row = global_row - table_row_offsets_[ti];
+      std::vector<std::vector<double>> eq(
+          tuple.size(), std::vector<double>(table.num_columns(), 0.0));
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        const Value& cell = table.column(c).cell(row);
+        if (cell.is_null()) continue;
+        const std::string norm = NormalizeValue(cell.ToString());
+        for (size_t qa = 0; qa < tuple.size(); ++qa) {
+          if (tuple[qa] == norm) eq[qa][c] = 1.0;
+        }
+      }
+      const MatchingResult match = MaxWeightBipartiteMatching(eq);
+      if (match.total_weight + 1e-9 < static_cast<double>(tuple.size())) {
+        continue;  // no injective full assignment: not a composite join row
+      }
+      joined_tables.insert(ti);
+      Tally& tally = tallies[ti];
+      ++tally.joinable;
+      ++tally.mapping_votes[match.match];
+    }
+  }
+
+  TopK<MultiJoinResult> heap(k);
+  for (const auto& [ti, tally] : tallies) {
+    MultiJoinResult r;
+    r.table_id = tables_[ti];
+    r.joinable_rows = tally.joinable;
+    r.score =
+        static_cast<double>(tally.joinable) / static_cast<double>(tuples.size());
+    size_t best_votes = 0;
+    for (const auto& [mapping, votes] : tally.mapping_votes) {
+      if (votes > best_votes) {
+        best_votes = votes;
+        r.column_mapping = mapping;
+      }
+    }
+    heap.Push(r.score, std::move(r));
+  }
+  std::vector<MultiJoinResult> out;
+  for (auto& [score, r] : heap.Take()) out.push_back(std::move(r));
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace lake

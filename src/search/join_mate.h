@@ -1,0 +1,85 @@
+#ifndef LAKE_SEARCH_JOIN_MATE_H_
+#define LAKE_SEARCH_JOIN_MATE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "search/query.h"
+#include "table/catalog.h"
+
+namespace lake {
+
+/// MATE-style multi-attribute joinable table search (Esmailoghli et al.,
+/// VLDB 2022): find tables joinable with a *composite* key spanning
+/// several query columns.
+///
+/// Single-attribute indexes cannot answer composite-key queries without an
+/// index per column combination. MATE's device is the per-row *super key*:
+/// a fixed-width bitmask OR-ing hash bits of every cell in the row. A
+/// query tuple's mask must be a subset of a row's mask for that row to
+/// possibly contain the tuple, so one row-level index serves all column
+/// combinations; survivors are verified exactly. This class implements
+/// that scheme: a value-hash posting index on (table, row) pairs seeds
+/// candidates from the first (rarest) query attribute, super-key masks
+/// prune, exact per-cell comparison verifies.
+class MateJoinSearch {
+ public:
+  struct Options {
+    /// Rows indexed per table (deterministic prefix; cost control).
+    size_t max_rows_per_table = 5000;
+    /// Bits set per cell in the super key (the paper uses few bits per
+    /// hash function to keep masks sparse).
+    int bits_per_cell = 3;
+  };
+
+  explicit MateJoinSearch(const DataLakeCatalog* catalog)
+      : MateJoinSearch(catalog, Options{}) {}
+  MateJoinSearch(const DataLakeCatalog* catalog, Options options);
+
+  /// One result: a lake table plus the per-query-column mapping to its
+  /// columns, scored by the number of query tuples that join.
+  struct MultiJoinResult {
+    TableId table_id = 0;
+    std::vector<int> column_mapping;  // query key column -> lake column
+    size_t joinable_rows = 0;
+    double score = 0;  // joinable_rows / query rows
+  };
+
+  /// Work counters for the E16 bench (super-key pruning effectiveness).
+  struct QueryStats {
+    size_t candidate_rows = 0;       // rows fetched from postings
+    size_t superkey_survivors = 0;   // rows passing the mask filter
+    size_t verified_rows = 0;        // rows exactly compared
+  };
+
+  /// Finds top-k tables joinable on the composite key formed by
+  /// `key_columns` of `query`. Every key column must be valid.
+  Result<std::vector<MultiJoinResult>> Search(
+      const Table& query, const std::vector<size_t>& key_columns, size_t k,
+      QueryStats* stats = nullptr) const;
+
+  size_t num_indexed_rows() const { return row_masks_.size(); }
+
+ private:
+  /// Dense row handle: table index in tables_, row ordinal.
+  struct RowId {
+    uint32_t table_index;
+    uint32_t row;
+  };
+
+  uint64_t CellMask(const std::string& normalized) const;
+
+  const DataLakeCatalog* catalog_;
+  Options options_;
+  std::vector<TableId> tables_;                 // indexed tables
+  std::vector<uint32_t> table_row_offsets_;     // into row_masks_
+  std::vector<uint64_t> row_masks_;             // super keys, per row
+  // value hash -> rows containing the value (any column).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> value_rows_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_SEARCH_JOIN_MATE_H_

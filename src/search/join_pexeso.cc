@@ -1,0 +1,90 @@
+#include "search/join_pexeso.h"
+
+#include <unordered_set>
+
+#include "text/normalizer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/top_k.h"
+
+namespace lake {
+
+PexesoJoinSearch::PexesoJoinSearch(const DataLakeCatalog* catalog,
+                                   const WordEmbedding* words,
+                                   Options options)
+    : catalog_(catalog),
+      words_(words),
+      options_(options),
+      value_index_(HnswIndex::Options{words->dim(), VectorMetric::kCosine,
+                                      options.hnsw_m,
+                                      options.hnsw_ef_construction,
+                                      /*seed=*/99}) {
+  uint64_t next_id = 0;
+  catalog_->ForEachColumn([&](const ColumnRef& ref, const Column& col) {
+    if (col.IsNumeric()) return;  // fuzzy matching is a string phenomenon
+    std::vector<std::string> values;
+    for (const std::string& v : col.DistinctStrings()) {
+      if (values.size() >= options_.max_values_per_column) break;
+      const std::string norm = NormalizeValue(v);
+      if (!norm.empty()) values.push_back(norm);
+    }
+    if (values.size() < options_.min_distinct) return;
+    const uint32_t col_idx = static_cast<uint32_t>(refs_.size());
+    refs_.push_back(ref);
+    column_value_counts_.push_back(values.size());
+    for (const std::string& v : values) {
+      const uint64_t id = next_id++;
+      value_to_column_[id] = col_idx;
+      LAKE_CHECK(value_index_.Insert(id, words_->EmbedText(v)).ok());
+    }
+  });
+}
+
+Result<std::vector<ColumnResult>> PexesoJoinSearch::Search(
+    const std::vector<std::string>& query_values, size_t k) const {
+  // Deduplicate normalized query values.
+  std::vector<std::string> queries;
+  {
+    std::unordered_set<std::string> seen;
+    for (const std::string& v : query_values) {
+      std::string norm = NormalizeValue(v);
+      if (norm.empty() || !seen.insert(norm).second) continue;
+      queries.push_back(std::move(norm));
+    }
+  }
+  if (queries.empty()) return std::vector<ColumnResult>{};
+
+  // For each query value, the set of columns with a fuzzy match; score is
+  // per-column matched-value count.
+  std::unordered_map<uint32_t, uint32_t> matches;
+  for (const std::string& q : queries) {
+    LAKE_ASSIGN_OR_RETURN(
+        std::vector<VectorHit> hits,
+        value_index_.Search(words_->EmbedText(q),
+                            options_.neighbors_per_value,
+                            options_.hnsw_ef_search));
+    std::unordered_set<uint32_t> cols_this_value;
+    for (const VectorHit& h : hits) {
+      if (h.score < options_.tau) continue;
+      cols_this_value.insert(value_to_column_.at(h.id));
+    }
+    for (uint32_t c : cols_this_value) ++matches[c];
+  }
+
+  TopK<std::pair<uint32_t, double>> heap(k);
+  for (const auto& [col, count] : matches) {
+    const double score =
+        static_cast<double>(count) / static_cast<double>(queries.size());
+    heap.Push(score, {col, score});
+  }
+  std::vector<ColumnResult> out;
+  for (auto& [score, entry] : heap.Take()) {
+    out.push_back(ColumnResult{
+        refs_[entry.first], entry.second,
+        StrFormat("fuzzy match fraction=%.3f (tau=%.2f)", entry.second,
+                  options_.tau)});
+  }
+  return out;
+}
+
+}  // namespace lake

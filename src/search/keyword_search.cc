@@ -1,0 +1,51 @@
+#include "search/keyword_search.h"
+
+#include "text/normalizer.h"
+#include "text/tokenizer.h"
+
+namespace lake {
+
+KeywordSearchEngine::KeywordSearchEngine(const DataLakeCatalog* catalog,
+                                         Options options)
+    : catalog_(catalog), options_(options), index_(options.bm25) {
+  for (TableId t : catalog_->AllTables()) {
+    const Table& table = catalog_->table(t);
+    std::vector<std::string> tokens;
+
+    auto add_text = [&tokens](const std::string& text) {
+      for (std::string& tok : TokenizeWordsNoStopwords(text)) {
+        tokens.push_back(std::move(tok));
+      }
+    };
+    add_text(table.name());
+    add_text(table.metadata().description);
+    for (const std::string& tag : table.metadata().tags) add_text(tag);
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      add_text(NormalizeAttributeName(table.column(c).name()));
+    }
+    if (options_.index_values) {
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        size_t used = 0;
+        for (const std::string& v : table.column(c).DistinctStrings()) {
+          if (used >= options_.values_per_column) break;
+          add_text(v);
+          ++used;
+        }
+      }
+    }
+    index_.AddDocument(t, tokens);
+  }
+}
+
+std::vector<TableResult> KeywordSearchEngine::Search(const std::string& query,
+                                                     size_t k) const {
+  std::vector<TableResult> out;
+  for (const auto& [id, score] :
+       index_.Search(TokenizeWordsNoStopwords(query), k)) {
+    out.push_back(TableResult{static_cast<TableId>(id), score,
+                              "bm25 metadata match"});
+  }
+  return out;
+}
+
+}  // namespace lake

@@ -1,0 +1,41 @@
+#ifndef LAKE_SEARCH_KEYWORD_SEARCH_H_
+#define LAKE_SEARCH_KEYWORD_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "search/bm25.h"
+#include "search/query.h"
+#include "table/catalog.h"
+
+namespace lake {
+
+/// Keyword/metadata table search (§2.3): each table becomes one BM25
+/// document built from its name, description, tags, attribute names, and
+/// (optionally) a sample of cell values. Following Google Dataset Search,
+/// the default searches metadata only; value indexing is the OCTOPUS-style
+/// extension.
+class KeywordSearchEngine {
+ public:
+  struct Options {
+    bool index_values = false;
+    size_t values_per_column = 20;  // sampled deterministically (prefix)
+    Bm25Index::Params bm25;
+  };
+
+  explicit KeywordSearchEngine(const DataLakeCatalog* catalog)
+      : KeywordSearchEngine(catalog, Options{}) {}
+  KeywordSearchEngine(const DataLakeCatalog* catalog, Options options);
+
+  /// Top-k tables for a free-text query.
+  std::vector<TableResult> Search(const std::string& query, size_t k) const;
+
+ private:
+  const DataLakeCatalog* catalog_;
+  Options options_;
+  Bm25Index index_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_SEARCH_KEYWORD_SEARCH_H_

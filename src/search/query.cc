@@ -1,0 +1,65 @@
+#include "search/query.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace lake {
+
+std::vector<TableResult> BestPerTable(
+    const std::vector<ColumnResult>& columns) {
+  std::unordered_set<TableId> seen;
+  std::vector<TableResult> out;
+  for (const ColumnResult& c : columns) {
+    if (!seen.insert(c.column.table_id).second) continue;
+    out.push_back(TableResult{c.column.table_id, c.score, c.why});
+  }
+  return out;
+}
+
+namespace {
+std::unordered_set<TableId> ToSet(const std::vector<TableId>& v) {
+  return {v.begin(), v.end()};
+}
+}  // namespace
+
+double PrecisionAtK(const std::vector<TableResult>& results,
+                    const std::vector<TableId>& relevant, size_t k) {
+  if (k == 0) return 0.0;
+  const auto rel = ToSet(relevant);
+  const size_t n = std::min(k, results.size());
+  if (n == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (rel.count(results[i].table_id)) ++hits;
+  }
+  return static_cast<double>(hits) / n;  // precision over retrieved results
+}
+
+double RecallAtK(const std::vector<TableResult>& results,
+                 const std::vector<TableId>& relevant, size_t k) {
+  if (relevant.empty()) return 0.0;
+  const auto rel = ToSet(relevant);
+  size_t hits = 0;
+  for (size_t i = 0; i < results.size() && i < k; ++i) {
+    if (rel.count(results[i].table_id)) ++hits;
+  }
+  return static_cast<double>(hits) / rel.size();
+}
+
+double AveragePrecisionAtK(const std::vector<TableResult>& results,
+                           const std::vector<TableId>& relevant, size_t k) {
+  if (relevant.empty()) return 0.0;
+  const auto rel = ToSet(relevant);
+  double sum = 0;
+  size_t hits = 0;
+  for (size_t i = 0; i < results.size() && i < k; ++i) {
+    if (rel.count(results[i].table_id)) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  const size_t denom = std::min(k, rel.size());
+  return denom == 0 ? 0.0 : sum / denom;
+}
+
+}  // namespace lake

@@ -1,0 +1,47 @@
+#ifndef LAKE_SEARCH_QUERY_H_
+#define LAKE_SEARCH_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "table/catalog.h"
+
+namespace lake {
+
+/// A ranked table result. `score` semantics depend on the search flavor
+/// (BM25, overlap, containment, unionability, ...); `why` is a short
+/// human-readable provenance string discovery UIs surface to users.
+struct TableResult {
+  TableId table_id = 0;
+  double score = 0;
+  std::string why;
+};
+
+/// A ranked column result (joinable search returns columns: the specific
+/// attribute to join on, not just the table).
+struct ColumnResult {
+  ColumnRef column;
+  double score = 0;
+  std::string why;
+};
+
+/// Deduplicates column results by table, keeping each table's best column;
+/// preserves descending-score order. Joinable search uses it to present
+/// table-level answers.
+std::vector<TableResult> BestPerTable(const std::vector<ColumnResult>& columns);
+
+/// Precision@k of `results` against a ground-truth set of relevant tables.
+double PrecisionAtK(const std::vector<TableResult>& results,
+                    const std::vector<TableId>& relevant, size_t k);
+
+/// Recall@k.
+double RecallAtK(const std::vector<TableResult>& results,
+                 const std::vector<TableId>& relevant, size_t k);
+
+/// Mean average precision at k.
+double AveragePrecisionAtK(const std::vector<TableResult>& results,
+                           const std::vector<TableId>& relevant, size_t k);
+
+}  // namespace lake
+
+#endif  // LAKE_SEARCH_QUERY_H_

@@ -1,0 +1,167 @@
+#include "search/union_d3l.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "search/bipartite_matching.h"
+#include "table/stats.h"
+#include "text/normalizer.h"
+#include "text/qgram.h"
+#include "util/string_util.h"
+#include "util/top_k.h"
+
+namespace lake {
+
+std::string ValueFormatPattern(const std::string& value) {
+  std::string out;
+  char run = '\0';
+  for (char ch : value) {
+    const unsigned char uc = static_cast<unsigned char>(ch);
+    char cls;
+    if (std::isdigit(uc)) cls = 'd';
+    else if (std::isalpha(uc)) cls = 'a';
+    else if (std::isspace(uc)) cls = '_';
+    else cls = ch;
+    if (cls == run && (cls == 'd' || cls == 'a' || cls == '_')) continue;
+    out += cls;
+    run = cls;
+  }
+  return out;
+}
+
+double D3lUnionSearch::Evidence::Mean() const {
+  double sum = 0;
+  int n = 0;
+  for (double v : {name, values, format, embedding, numeric}) {
+    if (v >= 0) {
+      sum += v;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+D3lUnionSearch::D3lUnionSearch(const DataLakeCatalog* catalog,
+                               const ColumnEncoder* encoder, Options options)
+    : catalog_(catalog), encoder_(encoder), options_(options) {
+  table_columns_.resize(catalog_->num_tables());
+  catalog_->ForEachColumn([&](const ColumnRef& ref, const Column& col) {
+    table_columns_[ref.table_id].push_back(
+        static_cast<uint32_t>(columns_.size()));
+    columns_.push_back(Profile(col));
+  });
+}
+
+D3lUnionSearch::ColumnProfile D3lUnionSearch::Profile(
+    const Column& column) const {
+  ColumnProfile p;
+  p.numeric = column.IsNumeric();
+  p.name = NormalizeAttributeName(column.name());
+  if (p.numeric) {
+    const ColumnStats stats = ComputeColumnStats(column);
+    p.mean = stats.mean;
+    p.stddev = stats.stddev;
+    p.min = stats.min;
+    p.max = stats.max;
+    return p;
+  }
+  std::vector<std::string> values, formats;
+  for (const std::string& v : column.DistinctStrings()) {
+    if (values.size() >= options_.max_values) break;
+    const std::string norm = NormalizeValue(v);
+    if (norm.empty()) continue;
+    values.push_back(norm);
+    formats.push_back(ValueFormatPattern(norm));
+  }
+  p.values = HashedSet::FromValues(values);
+  p.formats = HashedSet::FromValues(formats);
+  p.embedding = encoder_->EncodeValues(values);
+  return p;
+}
+
+D3lUnionSearch::Evidence D3lUnionSearch::Compare(const ColumnProfile& q,
+                                                 const ColumnProfile& c) const {
+  Evidence e;
+  if (options_.use_names && !q.name.empty() && !c.name.empty()) {
+    e.name = QGramJaccard(q.name, c.name, options_.qgram);
+  }
+  if (q.numeric != c.numeric) return e;  // value signals need matched kinds
+  if (q.numeric) {
+    if (options_.use_numeric) {
+      // Range overlap ratio blended with closeness of moments.
+      const double lo = std::max(q.min, c.min);
+      const double hi = std::min(q.max, c.max);
+      const double span =
+          std::max(q.max, c.max) - std::min(q.min, c.min);
+      const double overlap = span > 0 ? std::max(0.0, hi - lo) / span
+                                      : (q.min == c.min ? 1.0 : 0.0);
+      const double scale =
+          std::max({std::abs(q.mean), std::abs(c.mean), q.stddev, c.stddev,
+                    1e-9});
+      const double mean_close =
+          1.0 - std::min(1.0, std::abs(q.mean - c.mean) / scale);
+      const double sd_close =
+          1.0 - std::min(1.0, std::abs(q.stddev - c.stddev) / scale);
+      e.numeric = (overlap + mean_close + sd_close) / 3.0;
+    }
+    return e;
+  }
+  if (options_.use_values) e.values = q.values.Jaccard(c.values);
+  if (options_.use_formats) e.format = q.formats.Jaccard(c.formats);
+  if (options_.use_embeddings) {
+    e.embedding = std::max(0.0, CosineSimilarity(q.embedding, c.embedding));
+  }
+  return e;
+}
+
+double D3lUnionSearch::ScorePrepared(const std::vector<ColumnProfile>& q,
+                                     TableId t) const {
+  const std::vector<uint32_t>& cand = table_columns_[t];
+  if (q.empty() || cand.empty()) return 0.0;
+  std::vector<std::vector<double>> weights(
+      q.size(), std::vector<double>(cand.size(), 0.0));
+  for (size_t i = 0; i < q.size(); ++i) {
+    for (size_t j = 0; j < cand.size(); ++j) {
+      const double score = Compare(q[i], columns_[cand[j]]).Mean();
+      weights[i][j] = score >= options_.min_attribute_score ? score : 0.0;
+    }
+  }
+  const MatchingResult match = MaxWeightBipartiteMatching(weights);
+  return match.total_weight / static_cast<double>(q.size());
+}
+
+double D3lUnionSearch::ScoreTable(const Table& query, TableId candidate) const {
+  std::vector<ColumnProfile> q;
+  q.reserve(query.num_columns());
+  for (size_t c = 0; c < query.num_columns(); ++c) {
+    q.push_back(Profile(query.column(c)));
+  }
+  return ScorePrepared(q, candidate);
+}
+
+Result<std::vector<TableResult>> D3lUnionSearch::Search(const Table& query,
+                                                        size_t k,
+                                                        int64_t exclude) const {
+  std::vector<ColumnProfile> q;
+  q.reserve(query.num_columns());
+  for (size_t c = 0; c < query.num_columns(); ++c) {
+    q.push_back(Profile(query.column(c)));
+  }
+  if (q.empty()) return std::vector<TableResult>{};
+
+  TopK<TableId> heap(k);
+  for (TableId t = 0; t < catalog_->num_tables(); ++t) {
+    if (exclude >= 0 && t == static_cast<TableId>(exclude)) continue;
+    const double score = ScorePrepared(q, t);
+    if (score > 0) heap.Push(score, t);
+  }
+  std::vector<TableResult> out;
+  for (auto& [score, t] : heap.Take()) {
+    out.push_back(
+        TableResult{t, score, StrFormat("d3l relatedness=%.3f", score)});
+  }
+  return out;
+}
+
+}  // namespace lake

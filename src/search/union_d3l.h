@@ -1,0 +1,101 @@
+#ifndef LAKE_SEARCH_UNION_D3L_H_
+#define LAKE_SEARCH_UNION_D3L_H_
+
+#include <string>
+#include <vector>
+
+#include "embed/column_encoder.h"
+#include "search/query.h"
+#include "sketch/set_ops.h"
+#include "table/catalog.h"
+
+namespace lake {
+
+/// D3L-style related-table discovery (Bogatu et al., ICDE 2020 — "Dataset
+/// Discovery in Data Lakes", the survey's example of finding joinable and
+/// unionable tables simultaneously with five evidence types).
+///
+/// Column-pair relatedness is the mean of five independent similarity
+/// signals, each in [0, 1]:
+///   1. attribute *names* — q-gram set overlap of normalized headers;
+///   2. attribute *values* — exact value-set Jaccard;
+///   3. value *formats* — Jaccard of character-shape patterns (digits ->
+///      'd', letters -> 'a', other kept), D3L's formatting metric;
+///   4. word *embeddings* — cosine of mean value embeddings;
+///   5. numeric *distributions* — overlap of value ranges with closeness
+///      of means/variances (numeric columns only; the first four apply to
+///      string columns only, mirroring D3L's split).
+/// Table relatedness aggregates column-pair scores with max-weight
+/// bipartite matching normalized by the query's column count.
+class D3lUnionSearch {
+ public:
+  struct Options {
+    /// Column pairs scoring below this contribute nothing.
+    double min_attribute_score = 0.25;
+    /// Distinct values sampled per column.
+    size_t max_values = 256;
+    size_t qgram = 3;
+    /// Per-signal toggles (ablation studies).
+    bool use_names = true;
+    bool use_values = true;
+    bool use_formats = true;
+    bool use_embeddings = true;
+    bool use_numeric = true;
+  };
+
+  D3lUnionSearch(const DataLakeCatalog* catalog, const ColumnEncoder* encoder)
+      : D3lUnionSearch(catalog, encoder, Options{}) {}
+  D3lUnionSearch(const DataLakeCatalog* catalog, const ColumnEncoder* encoder,
+                 Options options);
+
+  /// Top-k related tables for a query table. `exclude` drops a self-match.
+  Result<std::vector<TableResult>> Search(const Table& query, size_t k,
+                                          int64_t exclude = -1) const;
+
+  /// Aggregated relatedness of one candidate (diagnostics, tests).
+  double ScoreTable(const Table& query, TableId candidate) const;
+
+  /// The five-signal evidence vector for a (query column, lake column)
+  /// pair; entries for inapplicable signals are -1 (exposed for tests and
+  /// the E6 ablation).
+  struct Evidence {
+    double name = -1;
+    double values = -1;
+    double format = -1;
+    double embedding = -1;
+    double numeric = -1;
+
+    /// Mean of applicable signals (0 when none apply).
+    double Mean() const;
+  };
+
+ private:
+  struct ColumnProfile {
+    bool numeric = false;
+    std::string name;          // normalized attribute name
+    HashedSet values;          // normalized distinct values (string cols)
+    HashedSet formats;         // character-shape patterns
+    Vector embedding;
+    // Numeric distribution summary.
+    double mean = 0, stddev = 0, min = 0, max = 0;
+  };
+
+  ColumnProfile Profile(const Column& column) const;
+  Evidence Compare(const ColumnProfile& q, const ColumnProfile& c) const;
+  double ScorePrepared(const std::vector<ColumnProfile>& q, TableId t) const;
+
+  const DataLakeCatalog* catalog_;
+  const ColumnEncoder* encoder_;
+  Options options_;
+  std::vector<ColumnProfile> columns_;
+  std::vector<std::vector<uint32_t>> table_columns_;
+};
+
+/// Character-shape pattern of a value: runs of digits -> "d", letters ->
+/// "a", spaces -> "_", everything else kept verbatim ("2021-04-01" ->
+/// "d-d-d"). Exposed for tests.
+std::string ValueFormatPattern(const std::string& value);
+
+}  // namespace lake
+
+#endif  // LAKE_SEARCH_UNION_D3L_H_

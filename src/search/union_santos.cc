@@ -1,0 +1,181 @@
+#include "search/union_santos.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/normalizer.h"
+#include "util/string_util.h"
+#include "util/top_k.h"
+
+namespace lake {
+
+namespace {
+
+std::vector<std::string> SampledDistinct(const Column& col, size_t cap) {
+  std::vector<std::string> out;
+  for (const std::string& v : col.DistinctStrings()) {
+    if (out.size() >= cap) break;
+    const std::string norm = NormalizeValue(v);
+    if (!norm.empty()) out.push_back(norm);
+  }
+  return out;
+}
+
+std::vector<std::string> RowValues(const Column& col, size_t rows) {
+  std::vector<std::string> out;
+  out.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    const Value& v = col.cell(r);
+    out.push_back(v.is_null() ? "" : NormalizeValue(v.ToString()));
+  }
+  return out;
+}
+
+}  // namespace
+
+SantosUnionSearch::SantosUnionSearch(const DataLakeCatalog* catalog,
+                                     const KnowledgeBase* kb, Options options)
+    : catalog_(catalog), kb_(kb), options_(options) {
+  lake_semantics_.reserve(catalog_->num_tables());
+  for (TableId t : catalog_->AllTables()) {
+    TableSemantics sem = Ground(catalog_->table(t));
+    for (const auto& [pred, cov] : sem.relationships) {
+      predicate_tables_[pred].push_back(t);
+    }
+    for (const auto& [type, cov] : sem.column_types) {
+      type_tables_[type].push_back(t);
+    }
+    lake_semantics_.push_back(std::move(sem));
+  }
+}
+
+SantosUnionSearch::TableSemantics SantosUnionSearch::Ground(
+    const Table& table) const {
+  TableSemantics sem;
+  const size_t rows = std::min(table.num_rows(), options_.max_rows);
+
+  // Column semantics, tracking the most confidently typed string column as
+  // the intent column.
+  std::vector<int> string_cols;
+  double best_intent_cov = 0;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    if (col.IsNumeric()) continue;
+    string_cols.push_back(static_cast<int>(c));
+    const std::vector<std::string> values =
+        SampledDistinct(col, options_.max_values);
+    if (values.empty()) continue;
+    auto vote = kb_->ColumnType(values);
+    if (!vote.ok() || vote.value().coverage < options_.min_coverage) continue;
+    auto it = sem.column_types.find(vote.value().type);
+    if (it == sem.column_types.end() || it->second < vote.value().coverage) {
+      sem.column_types[vote.value().type] = vote.value().coverage;
+    }
+    if (vote.value().coverage > best_intent_cov) {
+      best_intent_cov = vote.value().coverage;
+      sem.intent_column = static_cast<int>(c);
+      sem.intent_type = vote.value().type;
+    }
+  }
+
+  // Relationship semantics over string column pairs (both orientations:
+  // KB predicates are directed).
+  for (size_t a = 0; a < string_cols.size(); ++a) {
+    const std::vector<std::string> va =
+        RowValues(table.column(string_cols[a]), rows);
+    for (size_t b = 0; b < string_cols.size(); ++b) {
+      if (a == b) continue;
+      const std::vector<std::string> vb =
+          RowValues(table.column(string_cols[b]), rows);
+      auto vote = kb_->ColumnPairRelation(va, vb);
+      if (!vote.ok() || vote.value().coverage < options_.min_coverage) {
+        continue;
+      }
+      double weight = vote.value().coverage;
+      if (sem.intent_column == string_cols[a] ||
+          sem.intent_column == string_cols[b]) {
+        weight *= options_.intent_boost;
+      }
+      auto it = sem.relationships.find(vote.value().predicate);
+      if (it == sem.relationships.end() || it->second < weight) {
+        sem.relationships[vote.value().predicate] = weight;
+      }
+    }
+  }
+  return sem;
+}
+
+double SantosUnionSearch::Score(const TableSemantics& query,
+                                const TableSemantics& cand) const {
+  // Relationship agreement: Σ min(w_q, w_c) over shared predicates,
+  // normalized by the query's total relationship weight.
+  double rel_match = 0, rel_total = 0;
+  for (const auto& [pred, wq] : query.relationships) {
+    rel_total += wq;
+    auto it = cand.relationships.find(pred);
+    if (it != cand.relationships.end()) {
+      rel_match += std::min(wq, it->second);
+    }
+  }
+  const double rel_score = rel_total > 0 ? rel_match / rel_total : 0.0;
+
+  // Column-type agreement, same shape.
+  double type_match = 0, type_total = 0;
+  for (const auto& [type, wq] : query.column_types) {
+    double w = wq;
+    if (type == query.intent_type) w *= options_.intent_boost;
+    type_total += w;
+    auto it = cand.column_types.find(type);
+    if (it != cand.column_types.end()) {
+      type_match += std::min(w, it->second * (type == query.intent_type
+                                                  ? options_.intent_boost
+                                                  : 1.0));
+    }
+  }
+  const double type_score = type_total > 0 ? type_match / type_total : 0.0;
+
+  if (rel_total == 0 && type_total == 0) return 0.0;
+  if (rel_total == 0) return (1.0 - options_.relationship_weight) * type_score;
+  return options_.relationship_weight * rel_score +
+         (1.0 - options_.relationship_weight) * type_score;
+}
+
+double SantosUnionSearch::ScoreTable(const Table& query,
+                                     TableId candidate) const {
+  return Score(Ground(query), lake_semantics_[candidate]);
+}
+
+Result<std::vector<TableResult>> SantosUnionSearch::Search(
+    const Table& query, size_t k, int64_t exclude) const {
+  const TableSemantics q = Ground(query);
+
+  // Shortlist: any table sharing a predicate or a type with the query.
+  std::unordered_set<TableId> candidates;
+  for (const auto& [pred, w] : q.relationships) {
+    auto it = predicate_tables_.find(pred);
+    if (it == predicate_tables_.end()) continue;
+    candidates.insert(it->second.begin(), it->second.end());
+  }
+  for (const auto& [type, w] : q.column_types) {
+    auto it = type_tables_.find(type);
+    if (it == type_tables_.end()) continue;
+    candidates.insert(it->second.begin(), it->second.end());
+  }
+
+  std::vector<TableId> ordered(candidates.begin(), candidates.end());
+  std::sort(ordered.begin(), ordered.end());
+  TopK<TableId> heap(k);
+  for (TableId t : ordered) {
+    if (exclude >= 0 && t == static_cast<TableId>(exclude)) continue;
+    const double score = Score(q, lake_semantics_[t]);
+    if (score > 0) heap.Push(score, t);
+  }
+  std::vector<TableResult> out;
+  for (auto& [score, t] : heap.Take()) {
+    out.push_back(TableResult{
+        t, score, StrFormat("santos relationship score=%.3f", score)});
+  }
+  return out;
+}
+
+}  // namespace lake

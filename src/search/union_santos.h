@@ -1,0 +1,77 @@
+#ifndef LAKE_SEARCH_UNION_SANTOS_H_
+#define LAKE_SEARCH_UNION_SANTOS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "annotate/knowledge_base.h"
+#include "search/query.h"
+#include "table/catalog.h"
+
+namespace lake {
+
+/// Relationship-based semantic table union search — SANTOS (Khatiwada et
+/// al., SIGMOD 2023). Column-only unionability (TUS-style) produces false
+/// positives when individual columns align but the *relationships between
+/// columns* differ (a table of "city, country" is not unionable with
+/// "city, mayor" even though the city columns align). SANTOS scores
+/// candidates on:
+///   - relationship semantics: column pairs grounding to the same KB
+///     predicate (curated or lake-synthesized KB);
+///   - column semantics: columns grounding to the same KB type, anchored
+///     on the query's *intent column* (the column most confidently typed,
+///     approximating SANTOS's intent-column notion).
+/// Candidate tables are shortlisted via an inverted index from predicates
+/// and types to tables, then scored and ranked.
+class SantosUnionSearch {
+ public:
+  struct Options {
+    /// Rows sampled per table when grounding relationships.
+    size_t max_rows = 500;
+    /// Distinct values sampled per column when grounding types.
+    size_t max_values = 256;
+    /// Minimum KB coverage for a grounded type/predicate to count.
+    double min_coverage = 0.1;
+    /// Relative weight of relationship matches vs column-type matches.
+    double relationship_weight = 0.7;
+    /// Extra multiplier for semantics involving the intent column.
+    double intent_boost = 2.0;
+  };
+
+  SantosUnionSearch(const DataLakeCatalog* catalog, const KnowledgeBase* kb)
+      : SantosUnionSearch(catalog, kb, Options{}) {}
+  SantosUnionSearch(const DataLakeCatalog* catalog, const KnowledgeBase* kb,
+                    Options options);
+
+  /// Top-k unionable tables. `exclude` drops a self-match by id.
+  Result<std::vector<TableResult>> Search(const Table& query, size_t k,
+                                          int64_t exclude = -1) const;
+
+  /// Relationship/type score of one candidate (diagnostics, tests).
+  double ScoreTable(const Table& query, TableId candidate) const;
+
+ private:
+  /// Grounded semantics of one table: predicate -> coverage, and per
+  /// column type -> coverage, plus which column is the intent column.
+  struct TableSemantics {
+    std::unordered_map<std::string, double> relationships;
+    std::unordered_map<std::string, double> column_types;
+    int intent_column = -1;
+    std::string intent_type;
+  };
+
+  TableSemantics Ground(const Table& table) const;
+  double Score(const TableSemantics& query, const TableSemantics& cand) const;
+
+  const DataLakeCatalog* catalog_;
+  const KnowledgeBase* kb_;
+  Options options_;
+  std::vector<TableSemantics> lake_semantics_;  // indexed by TableId
+  std::unordered_map<std::string, std::vector<TableId>> predicate_tables_;
+  std::unordered_map<std::string, std::vector<TableId>> type_tables_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_SEARCH_UNION_SANTOS_H_

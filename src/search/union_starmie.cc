@@ -1,0 +1,99 @@
+#include "search/union_starmie.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "search/bipartite_matching.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/top_k.h"
+
+namespace lake {
+
+StarmieUnionSearch::StarmieUnionSearch(const DataLakeCatalog* catalog,
+                                       const ContextualColumnEncoder* encoder,
+                                       Options options)
+    : catalog_(catalog),
+      encoder_(encoder),
+      options_(options),
+      hnsw_(HnswIndex::Options{encoder->dim(), VectorMetric::kCosine,
+                               options.hnsw_m, options.hnsw_ef_construction,
+                               /*seed=*/1234}),
+      flat_(encoder->dim(), VectorMetric::kCosine) {
+  table_columns_.resize(catalog_->num_tables());
+  for (TableId t : catalog_->AllTables()) {
+    const Table& table = catalog_->table(t);
+    const std::vector<Vector> vecs = encoder_->EncodeTable(table);
+    for (size_t c = 0; c < vecs.size(); ++c) {
+      const uint32_t idx = static_cast<uint32_t>(refs_.size());
+      refs_.push_back(ColumnRef{t, static_cast<uint32_t>(c)});
+      table_columns_[t].push_back(idx);
+      if (options_.use_hnsw) {
+        LAKE_CHECK(hnsw_.Insert(idx, vecs[c]).ok());
+      } else {
+        LAKE_CHECK(flat_.Insert(idx, vecs[c]).ok());
+      }
+      vectors_.push_back(vecs[c]);
+    }
+  }
+}
+
+double StarmieUnionSearch::ScorePrepared(const std::vector<Vector>& query_vecs,
+                                         TableId t) const {
+  const std::vector<uint32_t>& cand = table_columns_[t];
+  if (query_vecs.empty() || cand.empty()) return 0.0;
+  std::vector<std::vector<double>> weights(
+      query_vecs.size(), std::vector<double>(cand.size(), 0.0));
+  for (size_t i = 0; i < query_vecs.size(); ++i) {
+    for (size_t j = 0; j < cand.size(); ++j) {
+      const double cos = CosineSimilarity(query_vecs[i], vectors_[cand[j]]);
+      weights[i][j] = cos >= options_.min_cosine ? cos : 0.0;
+    }
+  }
+  const MatchingResult match = MaxWeightBipartiteMatching(weights);
+  return match.total_weight / static_cast<double>(query_vecs.size());
+}
+
+double StarmieUnionSearch::ScoreTable(const Table& query,
+                                      TableId candidate) const {
+  return ScorePrepared(encoder_->EncodeTable(query), candidate);
+}
+
+Result<std::vector<TableResult>> StarmieUnionSearch::Search(
+    const Table& query, size_t k, int64_t exclude) const {
+  const std::vector<Vector> query_vecs = encoder_->EncodeTable(query);
+  if (query_vecs.empty()) return std::vector<TableResult>{};
+
+  // Retrieval: nearest lake columns per query column seed the candidate
+  // table set.
+  std::unordered_set<TableId> tables;
+  for (const Vector& qv : query_vecs) {
+    Result<std::vector<VectorHit>> hits =
+        options_.use_hnsw
+            ? hnsw_.Search(qv, options_.neighbors_per_column,
+                           options_.hnsw_ef_search)
+            : flat_.Search(qv, options_.neighbors_per_column);
+    LAKE_RETURN_IF_ERROR(hits.status());
+    for (const VectorHit& h : hits.value()) {
+      if (h.score < options_.min_cosine) continue;
+      tables.insert(refs_[h.id].table_id);
+    }
+  }
+  std::vector<TableId> ordered(tables.begin(), tables.end());
+  std::sort(ordered.begin(), ordered.end());
+
+  TopK<TableId> heap(k);
+  for (TableId t : ordered) {
+    if (exclude >= 0 && t == static_cast<TableId>(exclude)) continue;
+    const double score = ScorePrepared(query_vecs, t);
+    if (score > 0) heap.Push(score, t);
+  }
+  std::vector<TableResult> out;
+  for (auto& [score, t] : heap.Take()) {
+    out.push_back(TableResult{
+        t, score, StrFormat("starmie contextual score=%.3f", score)});
+  }
+  return out;
+}
+
+}  // namespace lake

@@ -1,0 +1,69 @@
+#ifndef LAKE_SEARCH_UNION_STARMIE_H_
+#define LAKE_SEARCH_UNION_STARMIE_H_
+
+#include <vector>
+
+#include "embed/contextual_encoder.h"
+#include "index/flat_vector_index.h"
+#include "index/hnsw.h"
+#include "search/query.h"
+#include "table/catalog.h"
+
+namespace lake {
+
+/// Starmie-style union search (Fan et al., 2022): contextualized column
+/// embeddings + ANN retrieval + bipartite aggregation.
+///
+/// Every lake column is embedded *in its table context* (see
+/// ContextualColumnEncoder for the LM substitution) and indexed in HNSW.
+/// A query column retrieves its nearest lake columns; tables owning hits
+/// are verified by computing the full query-columns × candidate-columns
+/// cosine matrix and aggregating with max-weight bipartite matching,
+/// normalized by the query column count — Starmie's "verification" score.
+/// `use_hnsw = false` degrades retrieval to an exact linear scan, the
+/// baseline Starmie's efficiency experiments compare against (E7).
+class StarmieUnionSearch {
+ public:
+  struct Options {
+    /// ANN neighbors retrieved per query column.
+    size_t neighbors_per_column = 32;
+    /// Column pairs below this cosine contribute nothing to matching.
+    double min_cosine = 0.5;
+    bool use_hnsw = true;
+    size_t hnsw_m = 16;
+    size_t hnsw_ef_construction = 100;
+    size_t hnsw_ef_search = 64;
+  };
+
+  StarmieUnionSearch(const DataLakeCatalog* catalog,
+                     const ContextualColumnEncoder* encoder)
+      : StarmieUnionSearch(catalog, encoder, Options{}) {}
+  StarmieUnionSearch(const DataLakeCatalog* catalog,
+                     const ContextualColumnEncoder* encoder, Options options);
+
+  /// Top-k unionable tables. `exclude` drops a self-match by id.
+  Result<std::vector<TableResult>> Search(const Table& query, size_t k,
+                                          int64_t exclude = -1) const;
+
+  /// Verified score of one candidate table (diagnostics, tests).
+  double ScoreTable(const Table& query, TableId candidate) const;
+
+  size_t num_indexed_columns() const { return refs_.size(); }
+
+ private:
+  double ScorePrepared(const std::vector<Vector>& query_vecs,
+                       TableId t) const;
+
+  const DataLakeCatalog* catalog_;
+  const ContextualColumnEncoder* encoder_;
+  Options options_;
+  std::vector<ColumnRef> refs_;
+  std::vector<Vector> vectors_;                      // per dense column
+  std::vector<std::vector<uint32_t>> table_columns_; // table -> dense cols
+  HnswIndex hnsw_;
+  FlatVectorIndex flat_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_SEARCH_UNION_STARMIE_H_

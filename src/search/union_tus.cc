@@ -1,0 +1,158 @@
+#include "search/union_tus.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "search/bipartite_matching.h"
+#include "text/normalizer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/top_k.h"
+
+namespace lake {
+
+namespace {
+std::vector<std::string> SampledValues(const Column& col, size_t cap) {
+  std::vector<std::string> out;
+  for (const std::string& v : col.DistinctStrings()) {
+    if (out.size() >= cap) break;
+    const std::string norm = NormalizeValue(v);
+    if (!norm.empty()) out.push_back(norm);
+  }
+  return out;
+}
+}  // namespace
+
+TusUnionSearch::TusUnionSearch(const DataLakeCatalog* catalog,
+                               const ColumnEncoder* encoder,
+                               const KnowledgeBase* kb, Options options)
+    : catalog_(catalog),
+      encoder_(encoder),
+      kb_(kb),
+      options_(options),
+      lsh_([&] {
+        HyperplaneLsh::Options o = options.lsh;
+        o.dim = encoder->dim();
+        return o;
+      }()) {
+  table_columns_.resize(catalog_->num_tables());
+  catalog_->ForEachColumn([&](const ColumnRef& ref, const Column& col) {
+    ColumnInfo info;
+    info.ref = ref;
+    const std::vector<std::string> values =
+        SampledValues(col, options_.max_values);
+    info.set = HashedSet::FromValues(values);
+    info.embedding = encoder_->Encode(col);
+    if (kb_ != nullptr && options_.use_semantic_measure && !values.empty()) {
+      auto vote = kb_->ColumnType(values);
+      if (vote.ok()) {
+        info.kb_type = vote.value().type;
+        info.kb_coverage = vote.value().coverage;
+      }
+    }
+    const uint32_t idx = static_cast<uint32_t>(columns_.size());
+    table_columns_[ref.table_id].push_back(idx);
+    if (!options_.exhaustive) {
+      LAKE_CHECK(lsh_.Insert(idx, info.embedding).ok());
+    }
+    columns_.push_back(std::move(info));
+  });
+}
+
+std::vector<TusUnionSearch::QueryColumn> TusUnionSearch::PrepareQuery(
+    const Table& query) const {
+  std::vector<QueryColumn> out;
+  out.reserve(query.num_columns());
+  for (size_t c = 0; c < query.num_columns(); ++c) {
+    QueryColumn q;
+    const std::vector<std::string> values =
+        SampledValues(query.column(c), options_.max_values);
+    q.set = HashedSet::FromValues(values);
+    q.embedding = encoder_->Encode(query.column(c));
+    if (kb_ != nullptr && options_.use_semantic_measure && !values.empty()) {
+      auto vote = kb_->ColumnType(values);
+      if (vote.ok()) {
+        q.kb_type = vote.value().type;
+        q.kb_coverage = vote.value().coverage;
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+double TusUnionSearch::AttributeScore(const QueryColumn& q,
+                                      const ColumnInfo& c) const {
+  double score = 0;
+  if (options_.use_set_measure) {
+    score = std::max(score, q.set.Jaccard(c.set));
+  }
+  if (options_.use_semantic_measure && !q.kb_type.empty() &&
+      q.kb_type == c.kb_type) {
+    score = std::max(score, std::min(q.kb_coverage, c.kb_coverage));
+  }
+  if (options_.use_nl_measure) {
+    // Cosine in [-1,1] mapped to [0,1]; squashing keeps weak similarity
+    // from dominating strong set evidence.
+    const double cos = CosineSimilarity(q.embedding, c.embedding);
+    score = std::max(score, std::max(0.0, cos) * std::max(0.0, cos));
+  }
+  return score < options_.min_attribute_score ? 0.0 : score;
+}
+
+double TusUnionSearch::ScorePrepared(const std::vector<QueryColumn>& q,
+                                     TableId t) const {
+  const std::vector<uint32_t>& cand_cols = table_columns_[t];
+  if (q.empty() || cand_cols.empty()) return 0.0;
+  std::vector<std::vector<double>> weights(
+      q.size(), std::vector<double>(cand_cols.size(), 0.0));
+  for (size_t i = 0; i < q.size(); ++i) {
+    for (size_t j = 0; j < cand_cols.size(); ++j) {
+      weights[i][j] = AttributeScore(q[i], columns_[cand_cols[j]]);
+    }
+  }
+  const MatchingResult match = MaxWeightBipartiteMatching(weights);
+  return match.total_weight / static_cast<double>(q.size());
+}
+
+double TusUnionSearch::ScoreTable(const Table& query, TableId candidate) const {
+  return ScorePrepared(PrepareQuery(query), candidate);
+}
+
+Result<std::vector<TableResult>> TusUnionSearch::Search(const Table& query,
+                                                        size_t k,
+                                                        int64_t exclude) const {
+  const std::vector<QueryColumn> q = PrepareQuery(query);
+  if (q.empty()) return std::vector<TableResult>{};
+
+  std::vector<TableId> candidates;
+  if (options_.exhaustive) {
+    candidates = catalog_->AllTables();
+  } else {
+    std::unordered_set<TableId> tables;
+    for (const QueryColumn& qc : q) {
+      LAKE_ASSIGN_OR_RETURN(std::vector<uint64_t> hits,
+                            lsh_.Query(qc.embedding));
+      for (uint64_t col_idx : hits) {
+        tables.insert(columns_[col_idx].ref.table_id);
+      }
+    }
+    candidates.assign(tables.begin(), tables.end());
+    std::sort(candidates.begin(), candidates.end());
+  }
+
+  TopK<TableId> heap(k);
+  for (TableId t : candidates) {
+    if (exclude >= 0 && t == static_cast<TableId>(exclude)) continue;
+    const double score = ScorePrepared(q, t);
+    if (score > 0) heap.Push(score, t);
+  }
+  std::vector<TableResult> out;
+  for (auto& [score, t] : heap.Take()) {
+    out.push_back(TableResult{t, score,
+                              StrFormat("tus unionability=%.3f", score)});
+  }
+  return out;
+}
+
+}  // namespace lake

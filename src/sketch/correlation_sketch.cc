@@ -1,0 +1,160 @@
+#include "sketch/correlation_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace lake {
+
+CorrelationSketch::CorrelationSketch(size_t max_pairs)
+    : max_pairs_(std::max<size_t>(1, max_pairs)) {}
+
+void CorrelationSketch::Update(uint64_t key_hash, double value) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key_hash,
+      [](const KeyedValue& e, uint64_t h) { return e.key_hash < h; });
+  if (it != entries_.end() && it->key_hash == key_hash) return;  // first wins
+  if (entries_.size() < max_pairs_) {
+    entries_.insert(it, KeyedValue{key_hash, value});
+    return;
+  }
+  if (key_hash >= entries_.back().key_hash) return;
+  entries_.insert(it, KeyedValue{key_hash, value});
+  entries_.pop_back();
+}
+
+CorrelationSketch CorrelationSketch::Build(const std::vector<std::string>& keys,
+                                           const std::vector<double>& values,
+                                           size_t max_pairs, uint64_t seed) {
+  CorrelationSketch sketch(max_pairs);
+  const size_t n = std::min(keys.size(), values.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (keys[i].empty()) continue;
+    sketch.Update(Hash64(keys[i], seed), values[i]);
+  }
+  return sketch;
+}
+
+std::vector<std::pair<double, double>> CorrelationSketch::JoinSample(
+    const CorrelationSketch& other) const {
+  std::vector<std::pair<double, double>> out;
+  size_t i = 0, j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    if (entries_[i].key_hash == other.entries_[j].key_hash) {
+      out.emplace_back(entries_[i].value, other.entries_[j].value);
+      ++i;
+      ++j;
+    } else if (entries_[i].key_hash < other.entries_[j].key_hash) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+size_t CorrelationSketch::JoinSampleSize(const CorrelationSketch& other) const {
+  return JoinSample(other).size();
+}
+
+double CorrelationSketch::EstimateKeyContainment(
+    const CorrelationSketch& other) const {
+  if (entries_.empty()) return 0.0;
+  // Restrict to the coordinated region: keys below min(max kept hash) are a
+  // uniform sample of both key sets.
+  const uint64_t cutoff =
+      std::min(entries_.back().key_hash, other.entries_.empty()
+                                             ? 0
+                                             : other.entries_.back().key_hash);
+  size_t mine = 0, shared = 0;
+  size_t j = 0;
+  for (const KeyedValue& e : entries_) {
+    if (e.key_hash > cutoff) break;
+    ++mine;
+    while (j < other.entries_.size() &&
+           other.entries_[j].key_hash < e.key_hash) {
+      ++j;
+    }
+    if (j < other.entries_.size() && other.entries_[j].key_hash == e.key_hash) {
+      ++shared;
+    }
+  }
+  return mine == 0 ? 0.0 : static_cast<double>(shared) / mine;
+}
+
+Result<double> CorrelationSketch::EstimatePearson(
+    const CorrelationSketch& other) const {
+  const auto sample = JoinSample(other);
+  if (sample.size() < 3) {
+    return Status::FailedPrecondition("join sample too small");
+  }
+  std::vector<double> x(sample.size()), y(sample.size());
+  for (size_t i = 0; i < sample.size(); ++i) {
+    x[i] = sample[i].first;
+    y[i] = sample[i].second;
+  }
+  return PearsonCorrelation(x, y);
+}
+
+Result<double> CorrelationSketch::EstimateQcr(
+    const CorrelationSketch& other) const {
+  const auto sample = JoinSample(other);
+  if (sample.size() < 3) {
+    return Status::FailedPrecondition("join sample too small");
+  }
+  std::vector<double> xs(sample.size()), ys(sample.size());
+  for (size_t i = 0; i < sample.size(); ++i) {
+    xs[i] = sample[i].first;
+    ys[i] = sample[i].second;
+  }
+  auto median = [](std::vector<double> v) {
+    const size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + mid, v.end());
+    return v[mid];
+  };
+  const double mx = median(xs);
+  const double my = median(ys);
+  int64_t concordant = 0, discordant = 0;
+  for (const auto& [x, y] : sample) {
+    const double dx = x - mx;
+    const double dy = y - my;
+    if (dx == 0 || dy == 0) continue;  // on a median axis: uncounted
+    if ((dx > 0) == (dy > 0)) ++concordant;
+    else ++discordant;
+  }
+  const int64_t counted = concordant + discordant;
+  if (counted == 0) return 0.0;
+  return static_cast<double>(concordant - discordant) /
+         static_cast<double>(counted);
+}
+
+Result<double> PearsonCorrelation(const std::vector<double>& x,
+                                  const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("length mismatch");
+  }
+  if (x.size() < 2) return Status::InvalidArgument("need >= 2 points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) {
+    return Status::FailedPrecondition("zero variance");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace lake

@@ -1,0 +1,82 @@
+#ifndef LAKE_SKETCH_CORRELATION_SKETCH_H_
+#define LAKE_SKETCH_CORRELATION_SKETCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lake {
+
+/// Correlation sketch in the style of Santos et al., "A Sketch-based Index
+/// for Correlated Dataset Search" (ICDE 2022), the QCR scheme cited by the
+/// survey for joinable-and-correlated table search.
+///
+/// A sketch summarizes a (join key, numeric value) column pair by keeping
+/// the n pairs whose *key hashes* are smallest (a KMV/bottom-k coordinated
+/// sample). Because key hashing is consistent across tables, two sketches
+/// can be joined on key hash to obtain a uniform sample of the join result,
+/// from which correlation is estimated — either Pearson's r on the paired
+/// sample or the robust Quadrant-Count-Ratio (QCR) estimator the paper
+/// recommends for heavy-tailed data.
+class CorrelationSketch {
+ public:
+  struct KeyedValue {
+    uint64_t key_hash;
+    double value;
+  };
+
+  /// Sketch retaining at most `max_pairs` keyed values.
+  explicit CorrelationSketch(size_t max_pairs);
+
+  /// Adds one (key, value) observation. Duplicate keys keep the first
+  /// observed value (consistent, deterministic tie handling).
+  void Update(uint64_t key_hash, double value);
+
+  /// Builds from parallel key/value arrays (sizes must match; shorter is
+  /// used). Values paired with empty keys are skipped.
+  static CorrelationSketch Build(const std::vector<std::string>& keys,
+                                 const std::vector<double>& values,
+                                 size_t max_pairs, uint64_t seed = 0);
+
+  size_t size() const { return entries_.size(); }
+  size_t max_pairs() const { return max_pairs_; }
+  const std::vector<KeyedValue>& entries() const { return entries_; }
+
+  /// Number of sample pairs shared with `other` (join-sample size). A small
+  /// join sample means the key overlap is low and any correlation estimate
+  /// is unreliable.
+  size_t JoinSampleSize(const CorrelationSketch& other) const;
+
+  /// Estimated key containment of *this* in `other` from the coordinated
+  /// sample (fraction of this sketch's sampled keys present in other).
+  double EstimateKeyContainment(const CorrelationSketch& other) const;
+
+  /// Pearson correlation over the joined sample. Error when fewer than 3
+  /// shared keys or zero variance.
+  Result<double> EstimatePearson(const CorrelationSketch& other) const;
+
+  /// Quadrant-Count-Ratio over the joined sample: the signed fraction of
+  /// points in concordant minus discordant quadrants around the sample
+  /// medians. Robust to outliers; in [-1, 1]. Error when fewer than 3
+  /// shared keys.
+  Result<double> EstimateQcr(const CorrelationSketch& other) const;
+
+ private:
+  /// Joined (x, y) pairs for keys present in both sketches.
+  std::vector<std::pair<double, double>> JoinSample(
+      const CorrelationSketch& other) const;
+
+  size_t max_pairs_;
+  std::vector<KeyedValue> entries_;  // ascending by key_hash
+};
+
+/// Exact Pearson correlation of two equal-length vectors (ground truth in
+/// tests and benchmarks). Error on length < 2 or zero variance.
+Result<double> PearsonCorrelation(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+}  // namespace lake
+
+#endif  // LAKE_SKETCH_CORRELATION_SKETCH_H_

@@ -1,0 +1,67 @@
+#include "sketch/hll.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace lake {
+
+HllSketch::HllSketch(int precision) : p_(precision) {
+  LAKE_CHECK(p_ >= 4 && p_ <= 18);
+  registers_.assign(static_cast<size_t>(1) << p_, 0);
+}
+
+void HllSketch::Update(uint64_t value_hash) {
+  const size_t idx = value_hash >> (64 - p_);
+  const uint64_t rest = value_hash << p_;
+  // Rank = position of leftmost 1-bit in the remaining 64-p bits, 1-based;
+  // all-zero remainder gets the maximum rank.
+  const int rank =
+      rest == 0 ? (64 - p_ + 1) : (std::countl_zero(rest) + 1);
+  registers_[idx] =
+      std::max(registers_[idx], static_cast<uint8_t>(rank));
+}
+
+HllSketch HllSketch::Build(const std::vector<std::string>& values,
+                           int precision, uint64_t seed) {
+  HllSketch sketch(precision);
+  for (const std::string& v : values) sketch.Update(Hash64(v, seed));
+  return sketch;
+}
+
+double HllSketch::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() == 16) alpha = 0.673;
+  else if (registers_.size() == 32) alpha = 0.697;
+  else if (registers_.size() == 64) alpha = 0.709;
+  else alpha = 0.7213 / (1.0 + 1.079 / m);
+
+  double sum = 0;
+  size_t zeros = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double estimate = alpha * m * m / sum;
+
+  // Small-range correction: linear counting.
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+Result<HllSketch> HllSketch::Merge(const HllSketch& other) const {
+  if (p_ != other.p_) return Status::InvalidArgument("HLL precisions differ");
+  HllSketch out(p_);
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    out.registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+  return out;
+}
+
+}  // namespace lake

@@ -1,0 +1,41 @@
+#ifndef LAKE_SKETCH_HLL_H_
+#define LAKE_SKETCH_HLL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lake {
+
+/// HyperLogLog cardinality estimator (Flajolet et al.) with small-range
+/// linear-counting correction. Profiles column cardinality at ingest time;
+/// precision p gives 2^p one-byte registers and ~1.04/sqrt(2^p) error.
+class HllSketch {
+ public:
+  /// p in [4, 18].
+  explicit HllSketch(int precision = 12);
+
+  void Update(uint64_t value_hash);
+
+  static HllSketch Build(const std::vector<std::string>& values,
+                         int precision = 12, uint64_t seed = 0);
+
+  int precision() const { return p_; }
+  size_t num_registers() const { return registers_.size(); }
+
+  /// Estimated distinct count.
+  double Estimate() const;
+
+  /// Union (pointwise max of registers).
+  Result<HllSketch> Merge(const HllSketch& other) const;
+
+ private:
+  int p_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_SKETCH_HLL_H_

@@ -1,0 +1,78 @@
+#include "sketch/kmv.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace lake {
+
+KmvSketch::KmvSketch(size_t k) : k_(std::max<size_t>(1, k)) {}
+
+void KmvSketch::Update(uint64_t value_hash) {
+  // Sorted-insert with cap; columns are small enough that the O(k) insert
+  // is dominated by hashing cost, and keeping the vector sorted makes
+  // merges and estimates allocation-free.
+  auto it = std::lower_bound(hashes_.begin(), hashes_.end(), value_hash);
+  if (it != hashes_.end() && *it == value_hash) return;  // duplicate
+  if (hashes_.size() < k_) {
+    hashes_.insert(it, value_hash);
+    return;
+  }
+  if (value_hash >= hashes_.back()) return;  // not among k smallest
+  hashes_.insert(it, value_hash);
+  hashes_.pop_back();
+}
+
+KmvSketch KmvSketch::Build(const std::vector<std::string>& values, size_t k,
+                           uint64_t seed) {
+  KmvSketch sketch(k);
+  for (const std::string& v : values) sketch.Update(Hash64(v, seed));
+  return sketch;
+}
+
+double KmvSketch::EstimateDistinct() const {
+  if (IsExact()) return static_cast<double>(hashes_.size());
+  const double u_k = HashToUnit(hashes_.back());
+  if (u_k <= 0) return static_cast<double>(hashes_.size());
+  return static_cast<double>(k_ - 1) / u_k;
+}
+
+Result<KmvSketch> KmvSketch::Merge(const KmvSketch& other) const {
+  if (k_ != other.k_) return Status::InvalidArgument("KMV sizes differ");
+  KmvSketch out(k_);
+  std::vector<uint64_t> merged;
+  merged.reserve(hashes_.size() + other.hashes_.size());
+  std::merge(hashes_.begin(), hashes_.end(), other.hashes_.begin(),
+             other.hashes_.end(), std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  if (merged.size() > k_) merged.resize(k_);
+  out.hashes_ = std::move(merged);
+  return out;
+}
+
+Result<double> KmvSketch::EstimateJaccard(const KmvSketch& other) const {
+  if (k_ != other.k_) return Status::InvalidArgument("KMV sizes differ");
+  if (hashes_.empty() && other.hashes_.empty()) return 1.0;
+  LAKE_ASSIGN_OR_RETURN(KmvSketch uni, Merge(other));
+  size_t in_both = 0;
+  for (uint64_t h : uni.hashes_) {
+    const bool in_a = std::binary_search(hashes_.begin(), hashes_.end(), h);
+    const bool in_b =
+        std::binary_search(other.hashes_.begin(), other.hashes_.end(), h);
+    if (in_a && in_b) ++in_both;
+  }
+  return uni.hashes_.empty()
+             ? 0.0
+             : static_cast<double>(in_both) / uni.hashes_.size();
+}
+
+Result<double> KmvSketch::EstimateContainment(const KmvSketch& other) const {
+  LAKE_ASSIGN_OR_RETURN(double j, EstimateJaccard(other));
+  const double a = EstimateDistinct();
+  const double b = other.EstimateDistinct();
+  if (a <= 0) return 0.0;
+  const double inter = j / (1.0 + j) * (a + b);
+  return std::min(1.0, inter / a);
+}
+
+}  // namespace lake

@@ -1,0 +1,57 @@
+#ifndef LAKE_SKETCH_KMV_H_
+#define LAKE_SKETCH_KMV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lake {
+
+/// K-Minimum-Values (bottom-k) sketch (Bar-Yossef et al.). Keeps the k
+/// smallest distinct value hashes; supports distinct-count estimation and
+/// mergeable set operations. Used by the profiler and as the sampling
+/// backbone of the correlation sketch (QCR).
+class KmvSketch {
+ public:
+  /// Sketch retaining at most k hashes (k >= 1).
+  explicit KmvSketch(size_t k);
+
+  /// Folds one value hash into the sketch.
+  void Update(uint64_t value_hash);
+
+  /// Convenience builder over raw values.
+  static KmvSketch Build(const std::vector<std::string>& values, size_t k,
+                         uint64_t seed = 0);
+
+  size_t k() const { return k_; }
+  /// Number of retained hashes (== min(k, distinct values seen)).
+  size_t size() const { return hashes_.size(); }
+  /// Retained hashes in ascending order.
+  const std::vector<uint64_t>& hashes() const { return hashes_; }
+  /// True when fewer than k distinct values were seen (sketch is exact).
+  bool IsExact() const { return hashes_.size() < k_; }
+
+  /// Estimated number of distinct values: exact when undersaturated,
+  /// (k-1) / u_k otherwise (u_k = k-th smallest hash mapped to (0,1)).
+  double EstimateDistinct() const;
+
+  /// Sketch of the union (merge of bottom-k candidate pools).
+  Result<KmvSketch> Merge(const KmvSketch& other) const;
+
+  /// Jaccard estimate from the union sketch's k smallest values: the
+  /// fraction of them present in both inputs (the standard KMV estimator).
+  Result<double> EstimateJaccard(const KmvSketch& other) const;
+
+  /// Containment |A∩B|/|A| estimate via Jaccard + cardinality estimates.
+  Result<double> EstimateContainment(const KmvSketch& other) const;
+
+ private:
+  size_t k_;
+  std::vector<uint64_t> hashes_;  // ascending, deduplicated
+};
+
+}  // namespace lake
+
+#endif  // LAKE_SKETCH_KMV_H_

@@ -1,0 +1,55 @@
+#include "sketch/set_ops.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace lake {
+
+HashedSet HashedSet::FromValues(const std::vector<std::string>& values,
+                                uint64_t seed) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(values.size());
+  for (const std::string& v : values) hashes.push_back(Hash64(v, seed));
+  return FromHashes(std::move(hashes));
+}
+
+HashedSet HashedSet::FromHashes(std::vector<uint64_t> hashes) {
+  std::sort(hashes.begin(), hashes.end());
+  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  HashedSet out;
+  out.hashes_ = std::move(hashes);
+  return out;
+}
+
+size_t HashedSet::IntersectionSize(const HashedSet& other) const {
+  size_t count = 0, i = 0, j = 0;
+  const auto& a = hashes_;
+  const auto& b = other.hashes_;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+double HashedSet::Jaccard(const HashedSet& other) const {
+  if (empty() && other.empty()) return 1.0;
+  const size_t inter = IntersectionSize(other);
+  const size_t uni = size() + other.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+double HashedSet::ContainmentIn(const HashedSet& other) const {
+  if (empty()) return 0.0;
+  return static_cast<double>(IntersectionSize(other)) / size();
+}
+
+}  // namespace lake

@@ -1,0 +1,47 @@
+#ifndef LAKE_SKETCH_SET_OPS_H_
+#define LAKE_SKETCH_SET_OPS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lake {
+
+/// A column's value set represented as sorted, deduplicated 64-bit value
+/// hashes. This is the exact (non-sketched) ground-truth representation all
+/// estimators are validated against.
+class HashedSet {
+ public:
+  HashedSet() = default;
+
+  /// Builds from raw values (hashes, sorts, dedups).
+  static HashedSet FromValues(const std::vector<std::string>& values,
+                              uint64_t seed = 0);
+
+  /// Builds from precomputed hashes (takes ownership; sorts, dedups).
+  static HashedSet FromHashes(std::vector<uint64_t> hashes);
+
+  size_t size() const { return hashes_.size(); }
+  bool empty() const { return hashes_.empty(); }
+  const std::vector<uint64_t>& hashes() const { return hashes_; }
+
+  /// |A ∩ B| by sorted-merge.
+  size_t IntersectionSize(const HashedSet& other) const;
+
+  /// Jaccard |A∩B| / |A∪B|; 1.0 when both empty.
+  double Jaccard(const HashedSet& other) const;
+
+  /// Containment of *this* in `other`: |A∩B| / |A| (the LSH Ensemble /
+  /// JOSIE relevance measure for joinable domain search); 0 when A empty.
+  double ContainmentIn(const HashedSet& other) const;
+
+  /// Overlap |A∩B| (JOSIE's ranking function).
+  size_t Overlap(const HashedSet& other) const { return IntersectionSize(other); }
+
+ private:
+  std::vector<uint64_t> hashes_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_SKETCH_SET_OPS_H_

@@ -1,0 +1,41 @@
+#include "sketch/simhash.h"
+
+#include <array>
+#include <bit>
+
+#include "util/hash.h"
+
+namespace lake {
+
+uint64_t SimHash::Fingerprint(const std::vector<std::string>& tokens,
+                              uint64_t seed) {
+  return WeightedFingerprint(tokens, {}, seed);
+}
+
+uint64_t SimHash::WeightedFingerprint(const std::vector<std::string>& tokens,
+                                      const std::vector<double>& weights,
+                                      uint64_t seed) {
+  std::array<double, 64> acc{};
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    const uint64_t h = Hash64(tokens[t], seed);
+    const double w = t < weights.size() ? weights[t] : 1.0;
+    for (int b = 0; b < 64; ++b) {
+      acc[b] += ((h >> b) & 1) ? w : -w;
+    }
+  }
+  uint64_t fp = 0;
+  for (int b = 0; b < 64; ++b) {
+    if (acc[b] > 0) fp |= (1ULL << b);
+  }
+  return fp;
+}
+
+int SimHash::HammingDistance(uint64_t a, uint64_t b) {
+  return std::popcount(a ^ b);
+}
+
+double SimHash::Similarity(uint64_t a, uint64_t b) {
+  return 1.0 - HammingDistance(a, b) / 64.0;
+}
+
+}  // namespace lake

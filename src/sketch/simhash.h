@@ -1,0 +1,36 @@
+#ifndef LAKE_SKETCH_SIMHASH_H_
+#define LAKE_SKETCH_SIMHASH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lake {
+
+/// 64-bit SimHash (Charikar) of a weighted token multiset. Hamming
+/// proximity of fingerprints approximates cosine similarity of the token
+/// frequency vectors; used as a cheap format/metadata similarity signal.
+class SimHash {
+ public:
+  SimHash() = default;
+
+  /// Fingerprint over tokens with unit weights.
+  static uint64_t Fingerprint(const std::vector<std::string>& tokens,
+                              uint64_t seed = 0);
+
+  /// Fingerprint with per-token weights (sizes must match; extra weights
+  /// ignored).
+  static uint64_t WeightedFingerprint(const std::vector<std::string>& tokens,
+                                      const std::vector<double>& weights,
+                                      uint64_t seed = 0);
+
+  /// Hamming distance between fingerprints (0..64).
+  static int HammingDistance(uint64_t a, uint64_t b);
+
+  /// Similarity in [0,1]: 1 - hamming/64.
+  static double Similarity(uint64_t a, uint64_t b);
+};
+
+}  // namespace lake
+
+#endif  // LAKE_SKETCH_SIMHASH_H_

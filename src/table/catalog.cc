@@ -1,0 +1,123 @@
+#include "table/catalog.h"
+
+#include <filesystem>
+
+#include "table/csv.h"
+#include "util/logging.h"
+
+namespace lake {
+
+Result<TableId> DataLakeCatalog::AddTable(Table table) {
+  if (by_name_.count(table.name())) {
+    return Status::AlreadyExists("table " + table.name());
+  }
+  const TableId id = static_cast<TableId>(tables_.size());
+  by_name_[table.name()] = id;
+
+  // Profile columns eagerly so reads are lock-free and const-correct.
+  std::vector<ColumnStats> table_stats;
+  table_stats.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    table_stats.push_back(ComputeColumnStats(table.column(c)));
+  }
+  stats_.push_back(std::move(table_stats));
+  tables_.push_back(std::move(table));
+  return id;
+}
+
+Result<std::vector<TableId>> DataLakeCatalog::LoadDirectory(
+    const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::IoError("not a directory: " + dir);
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic ingest order
+  std::vector<TableId> ids;
+  for (const std::string& path : paths) {
+    auto table = ReadCsvFile(path);
+    if (!table.ok()) {
+      LAKE_LOG(Warning) << "skipping " << path << ": "
+                        << table.status().ToString();
+      continue;
+    }
+    LAKE_ASSIGN_OR_RETURN(TableId id, AddTable(std::move(table).value()));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Status DataLakeCatalog::SaveToDirectory(const std::string& dir) const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create " + dir);
+  for (const Table& table : tables_) {
+    if (table.name().find('/') != std::string::npos) {
+      return Status::InvalidArgument("table name contains '/': " +
+                                     table.name());
+    }
+    LAKE_RETURN_IF_ERROR(
+        WriteCsvFile(table, dir + "/" + table.name() + ".csv"));
+  }
+  return Status::OK();
+}
+
+size_t DataLakeCatalog::num_columns() const {
+  size_t n = 0;
+  for (const Table& t : tables_) n += t.num_columns();
+  return n;
+}
+
+Result<TableId> DataLakeCatalog::FindTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("table " + name);
+  return it->second;
+}
+
+const Column& DataLakeCatalog::column(const ColumnRef& ref) const {
+  LAKE_CHECK(ref.table_id < tables_.size());
+  const Table& t = tables_[ref.table_id];
+  LAKE_CHECK(ref.column_index < t.num_columns());
+  return t.column(ref.column_index);
+}
+
+const ColumnStats& DataLakeCatalog::stats(const ColumnRef& ref) const {
+  LAKE_CHECK(ref.table_id < stats_.size());
+  LAKE_CHECK(ref.column_index < stats_[ref.table_id].size());
+  return stats_[ref.table_id][ref.column_index];
+}
+
+void DataLakeCatalog::ForEachColumn(
+    const std::function<void(const ColumnRef&, const Column&)>& fn) const {
+  for (TableId t = 0; t < tables_.size(); ++t) {
+    for (uint32_t c = 0; c < tables_[t].num_columns(); ++c) {
+      fn(ColumnRef{t, c}, tables_[t].column(c));
+    }
+  }
+}
+
+std::vector<ColumnRef> DataLakeCatalog::AllColumns() const {
+  std::vector<ColumnRef> out;
+  out.reserve(num_columns());
+  for (TableId t = 0; t < tables_.size(); ++t) {
+    for (uint32_t c = 0; c < tables_[t].num_columns(); ++c) {
+      out.push_back(ColumnRef{t, c});
+    }
+  }
+  return out;
+}
+
+std::vector<TableId> DataLakeCatalog::AllTables() const {
+  std::vector<TableId> out(tables_.size());
+  for (TableId t = 0; t < tables_.size(); ++t) out[t] = t;
+  return out;
+}
+
+}  // namespace lake

@@ -1,0 +1,101 @@
+#ifndef LAKE_TABLE_CATALOG_H_
+#define LAKE_TABLE_CATALOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "table/stats.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace lake {
+
+/// Identifier of a table inside one catalog (dense, assigned at add time).
+using TableId = uint32_t;
+
+/// Identifier of a column inside one catalog: (table, column index).
+struct ColumnRef {
+  TableId table_id = 0;
+  uint32_t column_index = 0;
+
+  friend bool operator==(const ColumnRef& a, const ColumnRef& b) {
+    return a.table_id == b.table_id && a.column_index == b.column_index;
+  }
+  friend bool operator<(const ColumnRef& a, const ColumnRef& b) {
+    if (a.table_id != b.table_id) return a.table_id < b.table_id;
+    return a.column_index < b.column_index;
+  }
+};
+
+struct ColumnRefHash {
+  size_t operator()(const ColumnRef& c) const {
+    return (static_cast<size_t>(c.table_id) << 20) ^ c.column_index;
+  }
+};
+
+/// The Data Lake Management System substrate of Figure 1: owns all ingested
+/// tables, assigns ids, computes and caches per-column profiles, and is the
+/// single source the table-understanding and search layers read from.
+class DataLakeCatalog {
+ public:
+  DataLakeCatalog() = default;
+
+  // The catalog owns large table storage; keep it move-only.
+  DataLakeCatalog(const DataLakeCatalog&) = delete;
+  DataLakeCatalog& operator=(const DataLakeCatalog&) = delete;
+  DataLakeCatalog(DataLakeCatalog&&) = default;
+  DataLakeCatalog& operator=(DataLakeCatalog&&) = default;
+
+  /// Adds a table; names must be unique within the catalog.
+  Result<TableId> AddTable(Table table);
+
+  /// Loads every *.csv file in a directory (non-recursive).
+  Result<std::vector<TableId>> LoadDirectory(const std::string& dir);
+
+  /// Writes every table to `<dir>/<table name>.csv` (creating the
+  /// directory), so a lake survives process restarts as plain CSVs —
+  /// reloadable with LoadDirectory. Table names containing '/' are
+  /// rejected.
+  Status SaveToDirectory(const std::string& dir) const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Total number of columns across all tables.
+  size_t num_columns() const;
+
+  const Table& table(TableId id) const { return tables_[id]; }
+  Table& mutable_table(TableId id) { return tables_[id]; }
+
+  /// Id lookup by name; NotFound when absent.
+  Result<TableId> FindTable(const std::string& name) const;
+
+  /// The column a ref points at. Ref must be valid (checked).
+  const Column& column(const ColumnRef& ref) const;
+
+  /// Cached profile of a column (computed on first request).
+  const ColumnStats& stats(const ColumnRef& ref) const;
+
+  /// Invokes fn for every column in the lake.
+  void ForEachColumn(
+      const std::function<void(const ColumnRef&, const Column&)>& fn) const;
+
+  /// All column refs, ordered by (table, index).
+  std::vector<ColumnRef> AllColumns() const;
+
+  /// All table ids (dense 0..n-1).
+  std::vector<TableId> AllTables() const;
+
+ private:
+  std::vector<Table> tables_;
+  std::unordered_map<std::string, TableId> by_name_;
+  // Lazily filled stats cache. Mutable via const accessor; single-threaded
+  // fill is guaranteed by computing stats eagerly in AddTable.
+  std::vector<std::vector<ColumnStats>> stats_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_TABLE_CATALOG_H_

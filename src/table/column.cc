@@ -1,0 +1,43 @@
+#include "table/column.h"
+
+namespace lake {
+
+size_t Column::NullCount() const {
+  size_t n = 0;
+  for (const Value& v : cells_) {
+    if (v.is_null()) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> Column::DistinctStrings() const {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  for (const Value& v : cells_) {
+    if (v.is_null()) continue;
+    std::string s = v.ToString();
+    if (seen.insert(s).second) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::string> Column::NonNullStrings() const {
+  std::vector<std::string> out;
+  out.reserve(cells_.size());
+  for (const Value& v : cells_) {
+    if (!v.is_null()) out.push_back(v.ToString());
+  }
+  return out;
+}
+
+std::vector<double> Column::Numbers() const {
+  std::vector<double> out;
+  out.reserve(cells_.size());
+  for (const Value& v : cells_) {
+    double d;
+    if (v.ToDouble(&d)) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace lake

@@ -1,0 +1,66 @@
+#ifndef LAKE_TABLE_COLUMN_H_
+#define LAKE_TABLE_COLUMN_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "table/value.h"
+
+namespace lake {
+
+/// A named, typed column of cells. Tables are stored column-major because
+/// every discovery primitive (sketching, embedding, annotation) consumes
+/// whole columns.
+class Column {
+ public:
+  Column() = default;
+  Column(std::string name, DataType type)
+      : name_(std::move(name)), type_(type) {}
+  Column(std::string name, DataType type, std::vector<Value> cells)
+      : name_(std::move(name)), type_(type), cells_(std::move(cells)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  DataType type() const { return type_; }
+  void set_type(DataType t) { type_ = t; }
+
+  size_t size() const { return cells_.size(); }
+  bool empty() const { return cells_.empty(); }
+  const Value& cell(size_t i) const { return cells_[i]; }
+  Value& cell(size_t i) { return cells_[i]; }
+  const std::vector<Value>& cells() const { return cells_; }
+
+  void Append(Value v) { cells_.push_back(std::move(v)); }
+  void Reserve(size_t n) { cells_.reserve(n); }
+
+  /// True when the inferred type is int or double.
+  bool IsNumeric() const {
+    return type_ == DataType::kInt || type_ == DataType::kDouble;
+  }
+
+  /// Number of null cells.
+  size_t NullCount() const;
+
+  /// Distinct canonical string renderings of non-null cells. This is the
+  /// "set semantics" view used by joinability measures (Jaccard,
+  /// containment) and sketches.
+  std::vector<std::string> DistinctStrings() const;
+
+  /// Canonical strings of all non-null cells, in row order (bag semantics).
+  std::vector<std::string> NonNullStrings() const;
+
+  /// Numeric view of all non-null numeric cells, in row order. Cells that
+  /// cannot convert are skipped.
+  std::vector<double> Numbers() const;
+
+ private:
+  std::string name_;
+  DataType type_ = DataType::kString;
+  std::vector<Value> cells_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_TABLE_COLUMN_H_

@@ -1,0 +1,195 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "table/type_infer.h"
+#include "util/string_util.h"
+
+namespace lake {
+
+namespace internal_csv {
+
+std::vector<std::vector<std::string>> ParseRows(std::string_view text,
+                                                char delimiter) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    // Skip rows that are entirely empty (e.g. trailing newline).
+    if (row.size() == 1 && row[0].empty()) {
+      row.clear();
+      return;
+    }
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+      ++i;
+      continue;
+    }
+    if (c == delimiter) {
+      end_field();
+      ++i;
+      continue;
+    }
+    if (c == '\r') {
+      if (i + 1 < n && text[i + 1] == '\n') ++i;
+      end_row();
+      ++i;
+      continue;
+    }
+    if (c == '\n') {
+      end_row();
+      ++i;
+      continue;
+    }
+    field += c;
+    field_started = true;
+    ++i;
+  }
+  // Flush a final unterminated row.
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace internal_csv
+
+Result<Table> ReadCsvString(std::string_view text, std::string table_name,
+                            const CsvOptions& options) {
+  auto rows = internal_csv::ParseRows(text, options.delimiter);
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty CSV input for table " + table_name);
+  }
+
+  std::vector<std::string> header;
+  size_t data_begin = 0;
+  if (options.has_header) {
+    header = rows[0];
+    data_begin = 1;
+  } else {
+    for (size_t i = 0; i < rows[0].size(); ++i) {
+      header.push_back("col" + std::to_string(i));
+    }
+  }
+  const size_t width = header.size();
+
+  // Column-major raw cells; ragged rows padded with empties.
+  std::vector<std::vector<std::string>> raw(width);
+  for (size_t r = data_begin; r < rows.size(); ++r) {
+    for (size_t c = 0; c < width; ++c) {
+      raw[c].push_back(c < rows[r].size() ? std::move(rows[r][c])
+                                          : std::string());
+    }
+  }
+
+  Table table(std::move(table_name));
+  for (size_t c = 0; c < width; ++c) {
+    const DataType type =
+        options.infer_types ? InferColumnType(raw[c]) : DataType::kString;
+    Column col(header[c].empty() ? "col" + std::to_string(c) : header[c],
+               type);
+    col.Reserve(raw[c].size());
+    for (const std::string& cell : raw[c]) {
+      col.Append(ParseCell(cell, type));
+    }
+    LAKE_RETURN_IF_ERROR(table.AddColumn(std::move(col)));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  std::string name = path;
+  const size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+
+  auto result = ReadCsvString(buf.str(), std::move(name), options);
+  if (result.ok()) result.value().metadata().source = path;
+  return result;
+}
+
+namespace {
+std::string EscapeField(const std::string& s, char delimiter) {
+  bool needs_quotes = false;
+  for (char c : s) {
+    if (c == '"' || c == delimiter || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string WriteCsvString(const Table& table, char delimiter) {
+  std::string out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c) out += delimiter;
+    out += EscapeField(table.column(c).name(), delimiter);
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c) out += delimiter;
+      out += EscapeField(table.column(c).cell(r).ToString(), delimiter);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << WriteCsvString(table, delimiter);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace lake

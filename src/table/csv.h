@@ -1,0 +1,49 @@
+#ifndef LAKE_TABLE_CSV_H_
+#define LAKE_TABLE_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "table/table.h"
+#include "util/status.h"
+
+namespace lake {
+
+/// CSV parsing options (RFC 4180 semantics: quoted fields, doubled quotes,
+/// embedded newlines inside quotes).
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// When true (default) column types are inferred; otherwise everything is
+  /// kept as strings.
+  bool infer_types = true;
+};
+
+/// Parses CSV text into a table. Ragged rows are padded/truncated to the
+/// header width — real lake CSVs are frequently malformed and discovery
+/// systems must not reject them outright.
+Result<Table> ReadCsvString(std::string_view text, std::string table_name,
+                            const CsvOptions& options = {});
+
+/// Reads and parses a CSV file; the table name defaults to the basename
+/// without extension.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {});
+
+/// Serializes a table to RFC 4180 CSV.
+std::string WriteCsvString(const Table& table, char delimiter = ',');
+
+/// Writes a table to a file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter = ',');
+
+namespace internal_csv {
+/// Splits raw CSV text into rows of fields. Exposed for testing.
+std::vector<std::vector<std::string>> ParseRows(std::string_view text,
+                                                char delimiter);
+}  // namespace internal_csv
+
+}  // namespace lake
+
+#endif  // LAKE_TABLE_CSV_H_

@@ -1,0 +1,23 @@
+#include "table/schema.h"
+
+namespace lake {
+
+int Schema::FindField(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeToString(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace lake

@@ -1,0 +1,67 @@
+#include "table/stats.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <unordered_set>
+
+namespace lake {
+
+ColumnStats ComputeColumnStats(const Column& column) {
+  ColumnStats s;
+  s.row_count = column.size();
+
+  std::unordered_set<std::string> distinct;
+  size_t total_chars = 0, digits = 0, alphas = 0, spaces = 0;
+  double sum = 0, sum_sq = 0;
+
+  for (const Value& v : column.cells()) {
+    if (v.is_null()) {
+      ++s.null_count;
+      continue;
+    }
+    const std::string str = v.ToString();
+    distinct.insert(str);
+    total_chars += str.size();
+    s.max_length = std::max(s.max_length, static_cast<double>(str.size()));
+    for (char c : str) {
+      const unsigned char uc = static_cast<unsigned char>(c);
+      if (std::isdigit(uc)) ++digits;
+      else if (std::isalpha(uc)) ++alphas;
+      else if (std::isspace(uc)) ++spaces;
+    }
+    double d;
+    if (v.ToDouble(&d)) {
+      if (s.numeric_count == 0) {
+        s.min = d;
+        s.max = d;
+      } else {
+        s.min = std::min(s.min, d);
+        s.max = std::max(s.max, d);
+      }
+      ++s.numeric_count;
+      sum += d;
+      sum_sq += d * d;
+    }
+  }
+
+  s.distinct_count = distinct.size();
+  const size_t non_null = s.row_count - s.null_count;
+  if (non_null > 0) {
+    s.mean_length = static_cast<double>(total_chars) / non_null;
+  }
+  if (total_chars > 0) {
+    s.digit_fraction = static_cast<double>(digits) / total_chars;
+    s.alpha_fraction = static_cast<double>(alphas) / total_chars;
+    s.space_fraction = static_cast<double>(spaces) / total_chars;
+  }
+  if (s.numeric_count > 0) {
+    s.mean = sum / s.numeric_count;
+    const double var =
+        std::max(0.0, sum_sq / s.numeric_count - s.mean * s.mean);
+    s.stddev = std::sqrt(var);
+  }
+  return s;
+}
+
+}  // namespace lake

@@ -1,0 +1,50 @@
+#ifndef LAKE_TABLE_STATS_H_
+#define LAKE_TABLE_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "table/column.h"
+
+namespace lake {
+
+/// Data profile of one column, in the style of discovery-system profilers
+/// (Aurum, Auctus, Juneau). Cheap to compute in one pass plus a distinct
+/// scan; used as features for annotation and as pre-filters for search.
+struct ColumnStats {
+  size_t row_count = 0;
+  size_t null_count = 0;
+  size_t distinct_count = 0;
+
+  // Text statistics over canonical strings (non-null cells).
+  double mean_length = 0;
+  double max_length = 0;
+  double digit_fraction = 0;   // fraction of characters that are digits
+  double alpha_fraction = 0;   // fraction of characters that are letters
+  double space_fraction = 0;
+
+  // Numeric statistics (valid only when `numeric_count > 0`).
+  size_t numeric_count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+
+  /// distinct / non-null count; 1.0 means key-like.
+  double Uniqueness() const {
+    const size_t nn = row_count - null_count;
+    return nn == 0 ? 0.0 : static_cast<double>(distinct_count) / nn;
+  }
+
+  /// null_count / row_count.
+  double NullFraction() const {
+    return row_count == 0 ? 0.0 : static_cast<double>(null_count) / row_count;
+  }
+};
+
+/// Computes the full profile of a column.
+ColumnStats ComputeColumnStats(const Column& column);
+
+}  // namespace lake
+
+#endif  // LAKE_TABLE_STATS_H_

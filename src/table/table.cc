@@ -1,0 +1,107 @@
+#include "table/table.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace lake {
+
+Status Table::AddColumn(Column col) {
+  if (!columns_.empty() && col.size() != num_rows()) {
+    return Status::InvalidArgument(
+        StrFormat("column '%s' has %zu rows, table has %zu",
+                  col.name().c_str(), col.size(), num_rows()));
+  }
+  columns_.push_back(std::move(col));
+  return Status::OK();
+}
+
+int Table::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::AppendRow(std::vector<Value> row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, table has %zu columns", row.size(),
+                  columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    columns_[i].Append(std::move(row[i]));
+  }
+  return Status::OK();
+}
+
+Schema Table::GetSchema() const {
+  Schema schema;
+  for (const Column& c : columns_) {
+    schema.AddField(Field{c.name(), c.type()});
+  }
+  return schema;
+}
+
+Result<Table> Table::Project(const std::vector<size_t>& col_indices) const {
+  Table out(name_);
+  out.metadata_ = metadata_;
+  for (size_t idx : col_indices) {
+    if (idx >= columns_.size()) {
+      return Status::OutOfRange(
+          StrFormat("column index %zu out of range (%zu columns)", idx,
+                    columns_.size()));
+    }
+    out.columns_.push_back(columns_[idx]);
+  }
+  return out;
+}
+
+Result<Table> Table::Slice(size_t begin, size_t end) const {
+  if (begin > end || end > num_rows()) {
+    return Status::OutOfRange(StrFormat("slice [%zu, %zu) of %zu rows", begin,
+                                        end, num_rows()));
+  }
+  Table out(name_);
+  out.metadata_ = metadata_;
+  for (const Column& c : columns_) {
+    Column nc(c.name(), c.type());
+    nc.Reserve(end - begin);
+    for (size_t r = begin; r < end; ++r) nc.Append(c.cell(r));
+    out.columns_.push_back(std::move(nc));
+  }
+  return out;
+}
+
+std::string Table::Preview(size_t max_rows) const {
+  const size_t rows = std::min(max_rows, num_rows());
+  std::vector<size_t> widths(columns_.size());
+  std::vector<std::vector<std::string>> cells(rows);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].name().size();
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    cells[r].resize(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      cells[r][c] = columns_[c].cell(r).ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::string out = name_ + " (" + std::to_string(num_rows()) + " rows)\n";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out += columns_[c].name();
+    out.append(widths[c] - columns_[c].name().size() + 2, ' ');
+  }
+  out += "\n";
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      out += cells[r][c];
+      out.append(widths[c] - cells[r][c].size() + 2, ' ');
+    }
+    out += "\n";
+  }
+  if (rows < num_rows()) out += "...\n";
+  return out;
+}
+
+}  // namespace lake

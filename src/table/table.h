@@ -1,0 +1,70 @@
+#ifndef LAKE_TABLE_TABLE_H_
+#define LAKE_TABLE_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "table/column.h"
+#include "table/schema.h"
+#include "util/status.h"
+
+namespace lake {
+
+/// Free-text metadata attached to a lake table. Often missing or
+/// inconsistent in real lakes — keyword search must tolerate empty fields.
+struct TableMetadata {
+  std::string description;
+  std::vector<std::string> tags;
+  std::string source;  // e.g. originating portal or file path
+};
+
+/// A relational table: a name, metadata, and equal-length columns.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const TableMetadata& metadata() const { return metadata_; }
+  TableMetadata& metadata() { return metadata_; }
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Adds a column; all columns must have equal length (checked).
+  Status AddColumn(Column col);
+
+  /// Index of the first column with this name, or -1.
+  int FindColumn(const std::string& name) const;
+
+  /// Appends one row; `row` must have num_columns() values.
+  Status AppendRow(std::vector<Value> row);
+
+  /// Derives the schema from column names and types.
+  Schema GetSchema() const;
+
+  /// A new table containing only the given column indices (projection).
+  Result<Table> Project(const std::vector<size_t>& col_indices) const;
+
+  /// Rows [begin, end) as a new table.
+  Result<Table> Slice(size_t begin, size_t end) const;
+
+  /// Renders first `max_rows` rows as aligned text (debugging, examples).
+  std::string Preview(size_t max_rows = 10) const;
+
+ private:
+  std::string name_;
+  TableMetadata metadata_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_TABLE_TABLE_H_

@@ -1,0 +1,60 @@
+#include "table/type_infer.h"
+
+#include "util/string_util.h"
+
+namespace lake {
+
+DataType InferColumnType(const std::vector<std::string>& raw_cells) {
+  bool saw_value = false;
+  bool all_bool = true;
+  bool all_int = true;
+  bool all_double = true;
+  for (const std::string& raw : raw_cells) {
+    const std::string_view cell = TrimAscii(raw);
+    if (cell.empty()) continue;
+    saw_value = true;
+    bool b;
+    int64_t i;
+    double d;
+    if (all_bool && !ParseBool(cell, &b)) all_bool = false;
+    if (all_int && !ParseInt64(cell, &i)) all_int = false;
+    if (all_double && !ParseDouble(cell, &d)) all_double = false;
+    if (!all_bool && !all_int && !all_double) return DataType::kString;
+  }
+  if (!saw_value) return DataType::kNull;
+  // "0"/"1" columns parse as bool, int, and double; prefer int for numeric
+  // digits unless the column contains t/f/yes/no style literals only.
+  if (all_int) return DataType::kInt;
+  if (all_double) return DataType::kDouble;
+  if (all_bool) return DataType::kBool;
+  return DataType::kString;
+}
+
+Value ParseCell(std::string_view raw, DataType target) {
+  const std::string_view cell = TrimAscii(raw);
+  if (cell.empty()) return Value::Null();
+  switch (target) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kBool: {
+      bool b;
+      if (ParseBool(cell, &b)) return Value(b);
+      break;
+    }
+    case DataType::kInt: {
+      int64_t i;
+      if (ParseInt64(cell, &i)) return Value(i);
+      break;
+    }
+    case DataType::kDouble: {
+      double d;
+      if (ParseDouble(cell, &d)) return Value(d);
+      break;
+    }
+    case DataType::kString:
+      break;
+  }
+  return Value(std::string(cell));
+}
+
+}  // namespace lake

@@ -1,0 +1,25 @@
+#ifndef LAKE_TABLE_TYPE_INFER_H_
+#define LAKE_TABLE_TYPE_INFER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "table/value.h"
+
+namespace lake {
+
+/// Infers the narrowest DataType that accommodates every non-empty cell in
+/// `raw_cells` (bool < int < double < string). Returns kNull when every
+/// cell is empty. Mirrors how lake ingestion must recover types from
+/// untyped CSV, the "primitive formats" problem highlighted in §2.1 of the
+/// survey.
+DataType InferColumnType(const std::vector<std::string>& raw_cells);
+
+/// Parses a raw cell under a target type; empty cells become Null. Cells
+/// that fail to parse under the target degrade to strings (never lost).
+Value ParseCell(std::string_view raw, DataType target);
+
+}  // namespace lake
+
+#endif  // LAKE_TABLE_TYPE_INFER_H_

@@ -1,0 +1,62 @@
+#include "table/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lake {
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt:
+      return "int";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+bool Value::ToDouble(double* out) const {
+  if (is_int()) {
+    *out = static_cast<double>(as_int());
+    return true;
+  }
+  if (is_double()) {
+    *out = as_double();
+    return true;
+  }
+  if (is_bool()) {
+    *out = as_bool() ? 1.0 : 0.0;
+    return true;
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "";
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) {
+    char buf[32];
+    // %.17g round-trips doubles; trim to %.12g for readable canonical text
+    // that still distinguishes generated values.
+    std::snprintf(buf, sizeof(buf), "%.12g", as_double());
+    return buf;
+  }
+  return as_string();
+}
+
+DataType Value::type() const {
+  if (is_null()) return DataType::kNull;
+  if (is_bool()) return DataType::kBool;
+  if (is_int()) return DataType::kInt;
+  if (is_double()) return DataType::kDouble;
+  return DataType::kString;
+}
+
+}  // namespace lake

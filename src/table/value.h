@@ -1,0 +1,66 @@
+#ifndef LAKE_TABLE_VALUE_H_
+#define LAKE_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace lake {
+
+/// Primitive cell types recognized by the table model. Data-lake CSVs carry
+/// no type information, so types are assigned by inference (type_infer.h).
+enum class DataType {
+  kNull = 0,   // column of only empty cells
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+};
+
+/// Returns a stable name ("null", "bool", "int", "double", "string").
+const char* DataTypeToString(DataType t);
+
+/// A single table cell. Null is represented explicitly; numeric types are
+/// normalized at parse time.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(bool b) : v_(b) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  /// Numeric view: ints and doubles convert; bools map to 0/1. Returns false
+  /// for nulls and strings.
+  bool ToDouble(double* out) const;
+
+  /// Canonical text rendering used for tokenization, sketching and CSV
+  /// output. Null renders as the empty string.
+  std::string ToString() const;
+
+  /// Runtime type of this cell.
+  DataType type() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> v_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_TABLE_VALUE_H_

@@ -1,0 +1,41 @@
+#include "text/normalizer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace lake {
+
+namespace {
+std::string CollapseSpaces(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool pending_space = false;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+std::string NormalizeValue(std::string_view raw) {
+  return CollapseSpaces(ToLowerAscii(TrimAscii(raw)));
+}
+
+std::string NormalizeAttributeName(std::string_view raw) {
+  std::string mapped(raw);
+  for (char& c : mapped) {
+    if (c == '_' || c == '-' || c == '.') c = ' ';
+  }
+  return NormalizeValue(mapped);
+}
+
+}  // namespace lake

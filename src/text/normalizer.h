@@ -1,0 +1,22 @@
+#ifndef LAKE_TEXT_NORMALIZER_H_
+#define LAKE_TEXT_NORMALIZER_H_
+
+#include <string>
+#include <string_view>
+
+namespace lake {
+
+/// Canonicalizes a raw cell value for set-semantics comparison: trims,
+/// lower-cases (ASCII), and collapses internal whitespace runs to single
+/// spaces. All joinability/unionability measures compare normalized values,
+/// matching the preprocessing in TUS/JOSIE-style systems.
+std::string NormalizeValue(std::string_view raw);
+
+/// Canonicalizes an attribute name: normalization plus mapping punctuation
+/// ('_', '-', '.') to spaces, so "customer_id", "Customer-ID" and
+/// "customer id" agree.
+std::string NormalizeAttributeName(std::string_view raw);
+
+}  // namespace lake
+
+#endif  // LAKE_TEXT_NORMALIZER_H_

@@ -1,0 +1,61 @@
+#include "text/qgram.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace lake {
+
+std::vector<std::string> QGrams(std::string_view s, size_t q) {
+  std::vector<std::string> out;
+  if (q == 0) return out;
+  if (s.size() <= q) {
+    if (!s.empty()) out.emplace_back(s);
+    return out;
+  }
+  out.reserve(s.size() - q + 1);
+  for (size_t i = 0; i + q <= s.size(); ++i) {
+    out.emplace_back(s.substr(i, q));
+  }
+  return out;
+}
+
+std::vector<uint64_t> QGramHashes(std::string_view s, size_t q,
+                                  uint64_t seed) {
+  std::vector<uint64_t> out;
+  if (q == 0) return out;
+  if (s.size() <= q) {
+    if (!s.empty()) out.push_back(Hash64(s, seed));
+    return out;
+  }
+  out.reserve(s.size() - q + 1);
+  for (size_t i = 0; i + q <= s.size(); ++i) {
+    out.push_back(Hash64(s.substr(i, q), seed));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+double QGramJaccard(std::string_view a, std::string_view b, size_t q) {
+  const std::vector<uint64_t> ha = QGramHashes(a, q);
+  const std::vector<uint64_t> hb = QGramHashes(b, q);
+  if (ha.empty() && hb.empty()) return 1.0;
+  if (ha.empty() || hb.empty()) return 0.0;
+  size_t inter = 0, i = 0, j = 0;
+  while (i < ha.size() && j < hb.size()) {
+    if (ha[i] == hb[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (ha[i] < hb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = ha.size() + hb.size() - inter;
+  return static_cast<double>(inter) / uni;
+}
+
+}  // namespace lake

@@ -1,0 +1,25 @@
+#ifndef LAKE_TEXT_QGRAM_H_
+#define LAKE_TEXT_QGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lake {
+
+/// Character q-grams of `s` (with `q >= 1`). Strings shorter than q yield
+/// the whole string as a single gram. Used for format-similarity features
+/// (Bogatu et al.'s D3L formatting metric) and fuzzy string comparison.
+std::vector<std::string> QGrams(std::string_view s, size_t q);
+
+/// Hashed q-gram set (deterministic), avoiding string materialization.
+std::vector<uint64_t> QGramHashes(std::string_view s, size_t q,
+                                  uint64_t seed = 0);
+
+/// Jaccard similarity of the q-gram hash sets of two strings.
+double QGramJaccard(std::string_view a, std::string_view b, size_t q);
+
+}  // namespace lake
+
+#endif  // LAKE_TEXT_QGRAM_H_

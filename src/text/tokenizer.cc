@@ -1,0 +1,48 @@
+#include "text/tokenizer.h"
+
+#include <array>
+#include <cctype>
+
+namespace lake {
+
+std::vector<std::string> TokenizeWords(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : text) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      cur += static_cast<char>(std::tolower(uc));
+    } else if (!cur.empty()) {
+      tokens.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+bool IsStopword(std::string_view token) {
+  static constexpr std::array<std::string_view, 48> kStopwords = {
+      "a",    "an",   "and",  "are",  "as",   "at",   "be",   "by",
+      "for",  "from", "has",  "he",   "in",   "is",   "it",   "its",
+      "of",   "on",   "or",   "that", "the",  "to",   "was",  "were",
+      "will", "with", "this", "but",  "they", "have", "had",  "what",
+      "when", "where", "who", "which", "why",  "how",  "all",  "each",
+      "if",   "their", "them", "then", "there", "these", "we",  "you"};
+  for (std::string_view w : kStopwords) {
+    if (token == w) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> TokenizeWordsNoStopwords(std::string_view text) {
+  std::vector<std::string> tokens = TokenizeWords(text);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (std::string& t : tokens) {
+    if (!IsStopword(t)) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace lake

@@ -1,0 +1,23 @@
+#ifndef LAKE_TEXT_TOKENIZER_H_
+#define LAKE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lake {
+
+/// Splits text into lower-cased alphanumeric word tokens. Non-alphanumeric
+/// bytes separate tokens; pure punctuation is dropped. Used by keyword
+/// search, embeddings, and the NL unionability measure.
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+/// TokenizeWords with common English stopwords removed (keyword search).
+std::vector<std::string> TokenizeWordsNoStopwords(std::string_view text);
+
+/// True for the ~50 most common English stopwords.
+bool IsStopword(std::string_view token);
+
+}  // namespace lake
+
+#endif  // LAKE_TEXT_TOKENIZER_H_

@@ -1,0 +1,36 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lake {
+
+uint32_t Vocabulary::GetOrAdd(std::string_view token) {
+  auto it = ids_.find(std::string(token));
+  if (it != ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(tokens_.size());
+  tokens_.emplace_back(token);
+  frequencies_.push_back(0);
+  ids_.emplace(tokens_.back(), id);
+  return id;
+}
+
+int64_t Vocabulary::Find(std::string_view token) const {
+  auto it = ids_.find(std::string(token));
+  if (it == ids_.end()) return -1;
+  return it->second;
+}
+
+std::vector<uint32_t> Vocabulary::IdsByAscendingFrequency() const {
+  std::vector<uint32_t> ids(tokens_.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::sort(ids.begin(), ids.end(), [this](uint32_t a, uint32_t b) {
+    if (frequencies_[a] != frequencies_[b]) {
+      return frequencies_[a] < frequencies_[b];
+    }
+    return a < b;
+  });
+  return ids;
+}
+
+}  // namespace lake

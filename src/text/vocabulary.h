@@ -1,0 +1,52 @@
+#ifndef LAKE_TEXT_VOCABULARY_H_
+#define LAKE_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lake {
+
+/// Bidirectional string<->dense-id dictionary. Discovery indexes (inverted
+/// lists, JOSIE) operate on integer token ids; the vocabulary is built once
+/// over the lake and shared by all indexes.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `token`, interning it if new.
+  uint32_t GetOrAdd(std::string_view token);
+
+  /// Id lookup without interning; returns -1 when absent.
+  int64_t Find(std::string_view token) const;
+
+  /// Inverse lookup. Id must be valid.
+  const std::string& token(uint32_t id) const { return tokens_[id]; }
+
+  size_t size() const { return tokens_.size(); }
+
+  /// Number of lake sets each token appears in (document frequency). Filled
+  /// by callers via IncrementFrequency; used for token-ordering in JOSIE
+  /// (rarest-first prefix filtering).
+  uint64_t frequency(uint32_t id) const { return frequencies_[id]; }
+  void IncrementFrequency(uint32_t id) { ++frequencies_[id]; }
+  /// Restores a persisted frequency (index deserialization).
+  void SetFrequency(uint32_t id, uint64_t frequency) {
+    frequencies_[id] = frequency;
+  }
+
+  /// Token ids sorted by ascending frequency (rare first), breaking ties by
+  /// id. This is the canonical JOSIE global token order.
+  std::vector<uint32_t> IdsByAscendingFrequency() const;
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> tokens_;
+  std::vector<uint64_t> frequencies_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_TEXT_VOCABULARY_H_

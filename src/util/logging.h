@@ -1,0 +1,60 @@
+#ifndef LAKE_UTIL_LOGGING_H_
+#define LAKE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace lake {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything; used when the level is filtered out statically.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define LAKE_LOG(level)                                                    \
+  ::lake::internal_logging::LogMessage(::lake::LogLevel::k##level,         \
+                                       __FILE__, __LINE__)                 \
+      .stream()
+
+/// Fatal assertion for invariant violations; aborts with a message.
+#define LAKE_CHECK(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::lake::internal_logging::CheckFail(#cond, __FILE__, __LINE__))
+
+namespace internal_logging {
+[[noreturn]] void CheckFail(const char* cond, const char* file, int line);
+}  // namespace internal_logging
+
+}  // namespace lake
+
+#endif  // LAKE_UTIL_LOGGING_H_

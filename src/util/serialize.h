@@ -1,0 +1,174 @@
+#ifndef LAKE_UTIL_SERIALIZE_H_
+#define LAKE_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lake {
+
+/// Little-endian binary writer for index persistence. All multi-byte
+/// integers use LEB128 varints so files stay compact; floats are raw
+/// IEEE-754. Streams are the caller's (files, stringstreams in tests).
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream* out) : out_(out) {}
+
+  void WriteVarint(uint64_t v) {
+    while (v >= 0x80) {
+      out_->put(static_cast<char>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    out_->put(static_cast<char>(v));
+  }
+
+  void WriteFixed64(uint64_t v) {
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    out_->write(buf, 8);
+  }
+
+  void WriteFloat(float v) {
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    out_->write(buf, 4);
+  }
+
+  void WriteDouble(double v) {
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    out_->write(buf, 8);
+  }
+
+  void WriteString(const std::string& s) {
+    WriteVarint(s.size());
+    out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+
+  void WriteU32Vector(const std::vector<uint32_t>& v) {
+    WriteVarint(v.size());
+    for (uint32_t x : v) WriteVarint(x);
+  }
+
+  void WriteU64Vector(const std::vector<uint64_t>& v) {
+    WriteVarint(v.size());
+    for (uint64_t x : v) WriteVarint(x);
+  }
+
+  void WriteFloatVector(const std::vector<float>& v) {
+    WriteVarint(v.size());
+    for (float x : v) WriteFloat(x);
+  }
+
+  bool ok() const { return out_->good(); }
+
+ private:
+  std::ostream* out_;
+};
+
+/// Reader matching BinaryWriter. All methods return errors (never abort)
+/// on truncated or corrupt input.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream* in) : in_(in) {}
+
+  Result<uint64_t> ReadVarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      const int c = in_->get();
+      if (c == EOF) return Status::IoError("truncated varint");
+      v |= static_cast<uint64_t>(c & 0x7f) << shift;
+      if ((c & 0x80) == 0) break;
+      shift += 7;
+      if (shift >= 64) return Status::IoError("varint overflow");
+    }
+    return v;
+  }
+
+  Result<uint64_t> ReadFixed64() {
+    char buf[8];
+    in_->read(buf, 8);
+    if (in_->gcount() != 8) return Status::IoError("truncated fixed64");
+    uint64_t v;
+    std::memcpy(&v, buf, 8);
+    return v;
+  }
+
+  Result<float> ReadFloat() {
+    char buf[4];
+    in_->read(buf, 4);
+    if (in_->gcount() != 4) return Status::IoError("truncated float");
+    float v;
+    std::memcpy(&v, buf, 4);
+    return v;
+  }
+
+  Result<double> ReadDouble() {
+    char buf[8];
+    in_->read(buf, 8);
+    if (in_->gcount() != 8) return Status::IoError("truncated double");
+    double v;
+    std::memcpy(&v, buf, 8);
+    return v;
+  }
+
+  Result<std::string> ReadString() {
+    LAKE_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
+    if (n > (1ULL << 32)) return Status::IoError("string too large");
+    std::string s(n, '\0');
+    in_->read(s.data(), static_cast<std::streamsize>(n));
+    if (static_cast<uint64_t>(in_->gcount()) != n) {
+      return Status::IoError("truncated string");
+    }
+    return s;
+  }
+
+  Result<std::vector<uint32_t>> ReadU32Vector() {
+    LAKE_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
+    if (n > (1ULL << 32)) return Status::IoError("vector too large");
+    std::vector<uint32_t> v;
+    v.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      LAKE_ASSIGN_OR_RETURN(uint64_t x, ReadVarint());
+      v.push_back(static_cast<uint32_t>(x));
+    }
+    return v;
+  }
+
+  Result<std::vector<uint64_t>> ReadU64Vector() {
+    LAKE_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
+    if (n > (1ULL << 32)) return Status::IoError("vector too large");
+    std::vector<uint64_t> v;
+    v.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      LAKE_ASSIGN_OR_RETURN(uint64_t x, ReadVarint());
+      v.push_back(x);
+    }
+    return v;
+  }
+
+  Result<std::vector<float>> ReadFloatVector() {
+    LAKE_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
+    if (n > (1ULL << 32)) return Status::IoError("vector too large");
+    std::vector<float> v;
+    v.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      LAKE_ASSIGN_OR_RETURN(float x, ReadFloat());
+      v.push_back(x);
+    }
+    return v;
+  }
+
+ private:
+  std::istream* in_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_UTIL_SERIALIZE_H_

@@ -1,0 +1,37 @@
+#ifndef LAKE_UTIL_STRING_UTIL_H_
+#define LAKE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lake {
+
+/// ASCII lower-casing (data lakes values are treated byte-wise; full Unicode
+/// folding is out of scope and unnecessary for the generated workloads).
+std::string ToLowerAscii(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimAscii(std::string_view s);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` parses fully as a finite double.
+bool ParseDouble(std::string_view s, double* out);
+
+/// True if `s` parses fully as a 64-bit signed integer.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// True when `s` looks like a boolean literal (true/false/yes/no/0/1).
+bool ParseBool(std::string_view s, bool* out);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace lake
+
+#endif  // LAKE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,53 @@
+#ifndef LAKE_UTIL_THREAD_POOL_H_
+#define LAKE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lake {
+
+/// Fixed-size worker pool used for parallel index construction and batch
+/// query evaluation. Tasks are void() callables; callers coordinate results
+/// through their own synchronization (typically per-slot output vectors).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe to call from any thread, including workers.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks (including tasks submitted by tasks)
+  /// have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n), partitioned across the pool, and waits.
+  /// Falls back to inline execution for tiny inputs.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  size_t inflight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_UTIL_THREAD_POOL_H_

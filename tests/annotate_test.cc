@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "annotate/domain_discovery.h"
+#include "annotate/features.h"
+#include "annotate/kb_synthesis.h"
+#include "annotate/knowledge_base.h"
+#include "annotate/semantic_type_detector.h"
+#include "annotate/softmax_model.h"
+#include "lakegen/generator.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace lake {
+namespace {
+
+Column MakeColumn(const std::string& name,
+                  const std::vector<std::string>& vals) {
+  Column c(name, DataType::kString);
+  for (const auto& v : vals) c.Append(Value(v));
+  return c;
+}
+
+// --- Features -----------------------------------------------------------
+
+TEST(FeaturesTest, DimsMatchOptions) {
+  WordEmbedding words(WordEmbedding::Options{.dim = 32});
+  FeatureExtractor stats_only(
+      &words, FeatureExtractor::Options{true, false, false, 64});
+  FeatureExtractor full(&words,
+                        FeatureExtractor::Options{true, true, true, 64});
+  const Column c = MakeColumn("x", {"a", "b"});
+  EXPECT_EQ(stats_only.Extract(c).size(), stats_only.FeatureDim());
+  Table t("t");
+  LAKE_CHECK(t.AddColumn(c).ok());
+  EXPECT_EQ(full.ExtractInContext(t, 0).size(), full.FeatureDim());
+  EXPECT_EQ(full.FeatureDim(), stats_only.FeatureDim() + 2 * 32);
+}
+
+TEST(FeaturesTest, ContextZeroWithoutTable) {
+  WordEmbedding words(WordEmbedding::Options{.dim = 16});
+  FeatureExtractor full(&words,
+                        FeatureExtractor::Options{false, false, true, 64});
+  const auto f = full.Extract(MakeColumn("x", {"a"}));
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// --- Softmax model -------------------------------------------------------
+
+TEST(SoftmaxModelTest, LearnsSeparableData) {
+  Rng rng(1);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 300; ++i) {
+    const int label = static_cast<int>(rng.NextBounded(3));
+    const double cx = label == 0 ? -3.0 : (label == 1 ? 0.0 : 3.0);
+    x.push_back({cx + rng.NextGaussian() * 0.4, rng.NextGaussian()});
+    y.push_back(label);
+  }
+  SoftmaxModel model;
+  ASSERT_TRUE(model.Train(x, y, 3).ok());
+  EXPECT_GT(model.Evaluate(x, y).value(), 0.95);
+  const auto probs = model.PredictProba({-3.0, 0.0}).value();
+  EXPECT_GT(probs[0], 0.8);
+}
+
+TEST(SoftmaxModelTest, InputValidation) {
+  SoftmaxModel model;
+  EXPECT_FALSE(model.Train({}, {}, 2).ok());
+  EXPECT_FALSE(model.Train({{1.0}}, {0}, 1).ok());
+  EXPECT_FALSE(model.Train({{1.0}, {2.0}}, {0, 5}, 2).ok());
+  EXPECT_FALSE(model.Train({{1.0}, {2.0, 3.0}}, {0, 1}, 2).ok());
+  EXPECT_FALSE(model.PredictProba({1.0}).ok());  // untrained
+  ASSERT_TRUE(model.Train({{0.0}, {1.0}, {0.1}, {0.9}}, {0, 1, 0, 1}, 2).ok());
+  EXPECT_FALSE(model.PredictProba({1.0, 2.0}).ok());  // dim mismatch
+}
+
+TEST(SoftmaxModelTest, ProbabilitiesSumToOne) {
+  SoftmaxModel model;
+  ASSERT_TRUE(model.Train({{0.0}, {1.0}, {2.0}}, {0, 1, 2}, 3).ok());
+  const auto probs = model.PredictProba({1.5}).value();
+  double sum = 0;
+  for (double p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// --- Semantic type detection over a generated lake -------------------------
+
+class TypeDetectorTest : public ::testing::Test {
+ protected:
+  static GeneratedLake MakeLake() {
+    GeneratorOptions opts;
+    opts.seed = 3;
+    opts.num_domains = 6;
+    opts.num_templates = 4;
+    opts.tables_per_template = 6;
+    opts.values_per_domain = 150;
+    return LakeGenerator(opts).Generate();
+  }
+
+  // Labels: a column's domain topic is recoverable through the KB.
+  static std::vector<LabeledColumn> LabelColumns(const GeneratedLake& lake,
+                                                 size_t from_table,
+                                                 size_t to_table) {
+    std::vector<LabeledColumn> out;
+    for (TableId t = from_table; t < to_table && t < lake.catalog.num_tables();
+         ++t) {
+      const Table& table = lake.catalog.table(t);
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        if (table.column(c).IsNumeric()) continue;
+        auto vote = lake.kb.ColumnType(table.column(c).DistinctStrings());
+        if (!vote.ok()) continue;
+        out.push_back(LabeledColumn{&table, c, vote.value().type});
+      }
+    }
+    return out;
+  }
+};
+
+TEST_F(TypeDetectorTest, BeatsChanceOnHeldOutTables) {
+  const GeneratedLake lake = MakeLake();
+  WordEmbedding words(WordEmbedding::Options{.dim = 48});
+  SemanticTypeDetector detector(
+      &words, FeatureExtractor::Options{true, true, false, 96});
+
+  const size_t n = lake.catalog.num_tables();
+  const auto train = LabelColumns(lake, 0, n * 3 / 4);
+  const auto test = LabelColumns(lake, n * 3 / 4, n);
+  ASSERT_GT(train.size(), 20u);
+  ASSERT_GT(test.size(), 5u);
+  ASSERT_TRUE(detector.Train(train).ok());
+
+  const double acc = detector.Evaluate(test).value();
+  const double chance = 1.0 / detector.labels().size();
+  EXPECT_GT(acc, chance + 0.2);
+}
+
+TEST_F(TypeDetectorTest, AnnotateCatalogCoversEverything) {
+  const GeneratedLake lake = MakeLake();
+  WordEmbedding words(WordEmbedding::Options{.dim = 32});
+  SemanticTypeDetector detector(
+      &words, FeatureExtractor::Options{true, true, false, 64});
+  const auto train = LabelColumns(lake, 0, lake.catalog.num_tables());
+  ASSERT_TRUE(detector.Train(train).ok());
+  const auto annotations = detector.AnnotateCatalog(lake.catalog).value();
+  EXPECT_EQ(annotations.size(), lake.catalog.num_columns());
+  for (const auto& [ref, ann] : annotations) {
+    EXPECT_FALSE(ann.type_label.empty());
+    EXPECT_GT(ann.confidence, 0.0);
+    EXPECT_LE(ann.confidence, 1.0);
+  }
+}
+
+TEST(TypeDetectorErrors, RejectsBadTraining) {
+  WordEmbedding words;
+  SemanticTypeDetector detector(&words);
+  EXPECT_FALSE(detector.Train({}).ok());
+  Table t("t");
+  LAKE_CHECK(t.AddColumn(MakeColumn("a", {"x"})).ok());
+  // Single class is not trainable.
+  EXPECT_FALSE(detector.Train({{&t, 0, "only"}, {&t, 0, "only"}}).ok());
+}
+
+// --- Domain discovery ------------------------------------------------------
+
+TEST(DomainDiscoveryTest, RecoversPlantedDomains) {
+  GeneratorOptions opts;
+  opts.seed = 11;
+  opts.num_domains = 5;
+  opts.num_templates = 3;
+  opts.tables_per_template = 5;
+  opts.values_per_domain = 120;
+  const GeneratedLake lake = LakeGenerator(opts).Generate();
+
+  const auto domains = DomainDiscovery().Discover(lake.catalog);
+  ASSERT_FALSE(domains.empty());
+  // The big discovered domains should each be dominated by one planted
+  // domain: all member columns of a cluster share the template position's
+  // domain, so values from different planted domains should not mix much.
+  const Domain& top = domains[0];
+  EXPECT_GT(top.member_columns.size(), 3u);
+  EXPECT_FALSE(top.representative.empty());
+  // Representative is a member value.
+  EXPECT_TRUE(std::binary_search(top.values.begin(), top.values.end(),
+                                 top.representative));
+}
+
+TEST(DomainDiscoveryTest, MinDistinctFiltersSmallColumns) {
+  DataLakeCatalog cat;
+  Table t("t");
+  LAKE_CHECK(t.AddColumn(MakeColumn("tiny", {"a", "a", "a"})).ok());
+  LAKE_CHECK(cat.AddTable(std::move(t)).ok());
+  DomainDiscovery::Options opts;
+  opts.min_distinct = 3;
+  EXPECT_TRUE(DomainDiscovery(opts).Discover(cat).empty());
+}
+
+// --- Knowledge base ---------------------------------------------------------
+
+TEST(KnowledgeBaseTest, TypesAndHierarchy) {
+  KnowledgeBase kb;
+  kb.AddType("city", "place");
+  kb.AddType("capital", "city");
+  EXPECT_TRUE(kb.HasType("place"));  // auto-declared parent
+  EXPECT_EQ(kb.ParentOf("capital"), "city");
+  EXPECT_TRUE(kb.IsSubtypeOf("capital", "place"));
+  EXPECT_TRUE(kb.IsSubtypeOf("city", "city"));
+  EXPECT_FALSE(kb.IsSubtypeOf("place", "capital"));
+}
+
+TEST(KnowledgeBaseTest, EntitiesAndRelations) {
+  KnowledgeBase kb;
+  kb.AddEntity("paris", "city");
+  kb.AddEntity("paris", "city");  // idempotent
+  kb.AddEntity("paris", "myth");
+  EXPECT_EQ(kb.TypesOf("paris").size(), 2u);
+  EXPECT_TRUE(kb.TypesOf("unknown").empty());
+  kb.AddRelation("paris", "capital_of", "france");
+  EXPECT_EQ(kb.RelationsBetween("paris", "france"),
+            (std::vector<std::string>{"capital_of"}));
+  EXPECT_TRUE(kb.RelationsBetween("france", "paris").empty());  // directed
+}
+
+TEST(KnowledgeBaseTest, ColumnTypeMajorityVote) {
+  KnowledgeBase kb;
+  kb.AddEntity("a", "city");
+  kb.AddEntity("b", "city");
+  kb.AddEntity("c", "person");
+  const auto vote = kb.ColumnType({"a", "b", "c", "zzz"}).value();
+  EXPECT_EQ(vote.type, "city");
+  EXPECT_DOUBLE_EQ(vote.coverage, 0.5);
+  EXPECT_FALSE(kb.ColumnType({"nope"}).ok());
+  EXPECT_FALSE(kb.ColumnType({}).ok());
+}
+
+TEST(KnowledgeBaseTest, ColumnPairRelationVote) {
+  KnowledgeBase kb;
+  kb.AddRelation("a", "in", "x");
+  kb.AddRelation("b", "in", "y");
+  kb.AddRelation("a", "other", "x");
+  const auto vote =
+      kb.ColumnPairRelation({"a", "b", "c"}, {"x", "y", "z"}).value();
+  EXPECT_EQ(vote.predicate, "in");
+  EXPECT_NEAR(vote.coverage, 2.0 / 3, 1e-9);
+  EXPECT_FALSE(kb.ColumnPairRelation({"q"}, {"w"}).ok());
+}
+
+// --- KB synthesis ------------------------------------------------------------
+
+TEST(KbSynthesisTest, GroundsLakeRelationships) {
+  GeneratorOptions opts;
+  opts.seed = 5;
+  opts.num_domains = 5;
+  opts.num_templates = 2;
+  opts.tables_per_template = 4;
+  const GeneratedLake lake = LakeGenerator(opts).Generate();
+
+  const KnowledgeBase synth = KbSynthesizer().Synthesize(lake.catalog);
+  EXPECT_GT(synth.num_entities(), 0u);
+  EXPECT_GT(synth.num_relation_instances(), 0u);
+
+  // A table's own column pairs must ground in the synthesized KB.
+  const Table& t0 = lake.catalog.table(0);
+  std::vector<std::string> subj, obj;
+  int string_cols[2] = {-1, -1};
+  for (size_t c = 0; c < t0.num_columns() && string_cols[1] < 0; ++c) {
+    if (t0.column(c).IsNumeric()) continue;
+    (string_cols[0] < 0 ? string_cols[0] : string_cols[1]) =
+        static_cast<int>(c);
+  }
+  ASSERT_GE(string_cols[1], 0);
+  for (size_t r = 0; r < t0.num_rows(); ++r) {
+    subj.push_back(t0.column(string_cols[0]).cell(r).ToString());
+    obj.push_back(t0.column(string_cols[1]).cell(r).ToString());
+  }
+  const auto vote = synth.ColumnPairRelation(subj, obj);
+  ASSERT_TRUE(vote.ok());
+  EXPECT_GT(vote.value().coverage, 0.5);
+}
+
+TEST(KbSynthesisTest, MinSupportFilters) {
+  DataLakeCatalog cat;
+  Table t("t");
+  LAKE_CHECK(t.AddColumn(MakeColumn("a", {"x", "y"})).ok());
+  LAKE_CHECK(t.AddColumn(MakeColumn("b", {"1a", "2b"})).ok());
+  LAKE_CHECK(cat.AddTable(std::move(t)).ok());
+  KbSynthesizer::Options opts;
+  opts.min_support = 2;  // each pair occurs once -> filtered
+  const KnowledgeBase kb = KbSynthesizer(opts).Synthesize(cat);
+  EXPECT_EQ(kb.num_relation_instances(), 0u);
+}
+
+}  // namespace
+}  // namespace lake

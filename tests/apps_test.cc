@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "apps/augmentation.h"
+#include "apps/homograph.h"
+#include "apps/leva.h"
+#include "apps/ridge_regression.h"
+#include "apps/stitching.h"
+#include "lakegen/generator.h"
+#include "index/vector_ops.h"
+#include "search/join_josie.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace lake {
+namespace {
+
+Column MakeColumn(const std::string& name,
+                  const std::vector<std::string>& vals) {
+  Column c(name, DataType::kString);
+  for (const auto& v : vals) c.Append(Value(v));
+  return c;
+}
+
+Column MakeNumeric(const std::string& name, const std::vector<double>& vals) {
+  Column c(name, DataType::kDouble);
+  for (double v : vals) c.Append(Value(v));
+  return c;
+}
+
+// --- Ridge regression ---------------------------------------------------
+
+TEST(RidgeTest, RecoversLinearModel) {
+  Rng rng(1);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.NextGaussian();
+    const double b = rng.NextGaussian();
+    x.push_back({a, b});
+    y.push_back(3.0 * a - 2.0 * b + 1.0 + rng.NextGaussian() * 0.01);
+  }
+  RidgeRegression model(1e-6);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_NEAR(model.weights()[0], 3.0, 0.05);
+  EXPECT_NEAR(model.weights()[1], -2.0, 0.05);
+  EXPECT_NEAR(model.intercept(), 1.0, 0.05);
+  EXPECT_GT(model.RSquared(x, y).value(), 0.99);
+}
+
+TEST(RidgeTest, RegularizationShrinks) {
+  Rng rng(2);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.NextGaussian();
+    x.push_back({a});
+    y.push_back(2.0 * a);
+  }
+  RidgeRegression weak(1e-6), strong(1e4);
+  ASSERT_TRUE(weak.Fit(x, y).ok());
+  ASSERT_TRUE(strong.Fit(x, y).ok());
+  EXPECT_GT(std::abs(weak.weights()[0]), std::abs(strong.weights()[0]));
+}
+
+TEST(RidgeTest, InputValidation) {
+  RidgeRegression model;
+  EXPECT_FALSE(model.Fit({}, {}).ok());
+  EXPECT_FALSE(model.Fit({{1.0}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(model.Fit({{1.0}, {1.0, 2.0}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(model.Predict({1.0}).ok());  // unfitted
+  ASSERT_TRUE(model.Fit({{1.0}, {2.0}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(model.Predict({1.0, 2.0}).ok());
+}
+
+TEST(RidgeTest, CrossValidation) {
+  Rng rng(3);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.NextGaussian();
+    x.push_back({a});
+    y.push_back(a + rng.NextGaussian() * 0.1);
+  }
+  EXPECT_GT(CrossValidatedR2(x, y, 4, 0.1).value(), 0.8);
+  EXPECT_FALSE(CrossValidatedR2(x, y, 1, 0.1).ok());
+  EXPECT_FALSE(CrossValidatedR2({{1.0}}, {1.0}, 4, 0.1).ok());
+}
+
+// --- Augmentation ------------------------------------------------------------
+
+TEST(AugmentationTest, JoinedFeatureImprovesModel) {
+  Rng rng(7);
+  // Lake table: key -> hidden driver of the target.
+  const size_t n = 120;
+  std::vector<std::string> keys;
+  std::vector<double> driver(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back("k" + std::to_string(i));
+    driver[i] = rng.NextGaussian();
+  }
+  DataLakeCatalog cat;
+  {
+    Table lake_table("drivers");
+    LAKE_CHECK(lake_table.AddColumn(MakeColumn("key", keys)).ok());
+    LAKE_CHECK(lake_table.AddColumn(MakeNumeric("driver", driver)).ok());
+    std::vector<double> noise(n);
+    for (double& v : noise) v = rng.NextGaussian();
+    LAKE_CHECK(lake_table.AddColumn(MakeNumeric("noise", noise)).ok());
+    LAKE_CHECK(cat.AddTable(std::move(lake_table)).ok());
+  }
+
+  // Base table: key + weak feature; target driven mostly by the lake's
+  // hidden driver column.
+  Table base("base");
+  LAKE_CHECK(base.AddColumn(MakeColumn("key", keys)).ok());
+  std::vector<double> weak(n), target(n);
+  for (size_t i = 0; i < n; ++i) {
+    weak[i] = rng.NextGaussian();
+    target[i] = 0.2 * weak[i] + 2.0 * driver[i] + rng.NextGaussian() * 0.05;
+  }
+  LAKE_CHECK(base.AddColumn(MakeNumeric("weak", weak)).ok());
+
+  JosieJoinSearch join(&cat);
+  DataAugmenter augmenter(&cat, &join);
+  const auto report = augmenter.Augment(base, 0, {1}, target).value();
+
+  EXPECT_GT(report.candidates, 0u);
+  ASSERT_FALSE(report.selected.empty());
+  // The driver column must be among the selected features...
+  bool found_driver = false;
+  for (const auto& f : report.selected) {
+    if (f.name == "drivers.driver") found_driver = true;
+  }
+  EXPECT_TRUE(found_driver);
+  // ...and augmentation must improve cross-validated R² substantially.
+  EXPECT_GT(report.augmented_r2, report.base_r2 + 0.3);
+}
+
+TEST(AugmentationTest, InputValidation) {
+  DataLakeCatalog cat;
+  Table t("t");
+  LAKE_CHECK(t.AddColumn(MakeColumn("k", {"a", "b"})).ok());
+  LAKE_CHECK(cat.AddTable(std::move(t)).ok());
+  JosieJoinSearch join(&cat);
+  DataAugmenter augmenter(&cat, &join);
+  Table base("base");
+  LAKE_CHECK(base.AddColumn(MakeColumn("k", {"a", "b"})).ok());
+  EXPECT_FALSE(augmenter.Augment(base, 5, {}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(augmenter.Augment(base, 0, {}, {1.0}).ok());
+}
+
+// --- Homograph detection -----------------------------------------------------
+
+TEST(HomographTest, PlantedHomographRanksHigh) {
+  // Two disjoint column communities bridged only by "jaguar".
+  DataLakeCatalog cat;
+  auto add_table = [&cat](const std::string& name, const std::string& col,
+                          std::vector<std::string> vals) {
+    Table t(name);
+    LAKE_CHECK(t.AddColumn(MakeColumn(col, vals)).ok());
+    LAKE_CHECK(cat.AddTable(std::move(t)).ok());
+  };
+  add_table("animals1", "animal", {"jaguar", "lion", "tiger", "puma"});
+  add_table("animals2", "animal", {"lion", "tiger", "leopard", "jaguar"});
+  add_table("cars1", "car", {"jaguar", "porsche", "ferrari", "audi"});
+  add_table("cars2", "car", {"porsche", "audi", "jaguar", "bentley"});
+
+  HomographDetector::Options opts;
+  opts.sample_sources = 0;  // exact
+  HomographDetector detector(&cat, opts);
+  const auto top = detector.TopHomographs(3);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].value, "jaguar");
+  EXPECT_EQ(top[0].column_count, 4u);
+  EXPECT_GT(top[0].centrality, 0.0);
+}
+
+TEST(HomographTest, GeneratedLakeHomographsDetected) {
+  GeneratorOptions opts;
+  opts.seed = 29;
+  opts.num_domains = 8;
+  opts.num_templates = 5;
+  opts.tables_per_template = 5;
+  opts.homograph_count = 4;
+  const GeneratedLake lake = LakeGenerator(opts).Generate();
+  ASSERT_FALSE(lake.homographs.empty());
+
+  HomographDetector detector(&lake.catalog);
+  const auto top = detector.TopHomographs(30);
+  const std::unordered_set<std::string> planted(lake.homographs.begin(),
+                                                lake.homographs.end());
+  size_t found = 0;
+  for (const auto& s : top) {
+    if (planted.count(s.value)) ++found;
+  }
+  // At least half the planted homographs should surface in the top-30.
+  EXPECT_GE(found * 2, planted.size());
+}
+
+TEST(HomographTest, EmptyLake) {
+  DataLakeCatalog cat;
+  HomographDetector detector(&cat);
+  EXPECT_TRUE(detector.TopHomographs(5).empty());
+}
+
+// --- Stitching ---------------------------------------------------------------
+
+// --- Leva graph embeddings ----------------------------------------------
+
+TEST(LevaTest, ValueEmbeddingAbsorbsInterTableContext) {
+  // "anchor" co-occurs with the kelo-family values in two tables; after
+  // propagation its embedding moves toward that family and away from the
+  // zuvi-family it never co-occurs with.
+  DataLakeCatalog cat;
+  auto add = [&cat](const std::string& name,
+                    const std::vector<std::string>& vals) {
+    Table t(name);
+    LAKE_CHECK(t.AddColumn(MakeColumn("c", vals)).ok());
+    LAKE_CHECK(cat.AddTable(std::move(t)).ok());
+  };
+  add("a", {"anchor", "kelora", "kelavi", "keluna"});
+  add("b", {"anchor", "kelovo", "kelime"});
+  add("c", {"zuvira", "zuvalo", "zuvemi"});
+
+  WordEmbedding words;
+  LevaEmbedder leva(&cat, &words);
+  const Vector anchor = leva.EmbedValue("anchor");
+  const Vector kel = words.EmbedToken("kelora");
+  const Vector zuv = words.EmbedToken("zuvira");
+  EXPECT_GT(CosineSimilarity(anchor, kel), CosineSimilarity(anchor, zuv));
+  // The raw word embedding of "anchor" has no such preference.
+  const Vector raw = words.EmbedToken("anchor");
+  EXPECT_GT(CosineSimilarity(anchor, kel) - CosineSimilarity(anchor, zuv),
+            CosineSimilarity(raw, kel) - CosineSimilarity(raw, zuv));
+}
+
+TEST(LevaTest, UnknownValueIsZero) {
+  DataLakeCatalog cat;
+  Table t("t");
+  LAKE_CHECK(t.AddColumn(MakeColumn("c", {"x1", "x2"})).ok());
+  LAKE_CHECK(cat.AddTable(std::move(t)).ok());
+  WordEmbedding words;
+  LevaEmbedder leva(&cat, &words);
+  EXPECT_DOUBLE_EQ(Norm(leva.EmbedValue("never-seen")), 0.0);
+  EXPECT_GT(Norm(leva.EmbedValue("x1")), 0.9);
+}
+
+TEST(LevaTest, RowFeaturesSeparateTemplates) {
+  GeneratorOptions opts;
+  opts.seed = 77;
+  opts.num_domains = 6;
+  opts.num_templates = 2;
+  opts.tables_per_template = 4;
+  const GeneratedLake lake = LakeGenerator(opts).Generate();
+  WordEmbedding words;
+  LevaEmbedder leva(&lake.catalog, &words);
+  EXPECT_GT(leva.num_value_nodes(), 0u);
+
+  // Rows of two tables from the SAME template should be closer (in mean
+  // feature space) than rows of tables from different templates.
+  auto centroid = [&](TableId t) {
+    const auto rows = leva.EmbedRows(lake.catalog.table(t));
+    std::vector<double> mean(leva.dim(), 0.0);
+    for (const auto& row : rows) {
+      for (size_t i = 0; i < row.size(); ++i) mean[i] += row[i];
+    }
+    for (double& m : mean) m /= static_cast<double>(rows.size());
+    return mean;
+  };
+  auto cos = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double dot = 0, na = 0, nb = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      dot += a[i] * b[i];
+      na += a[i] * a[i];
+      nb += b[i] * b[i];
+    }
+    return dot / std::sqrt(na * nb + 1e-12);
+  };
+  const auto c00 = centroid(lake.unionable_groups[0][0]);
+  const auto c01 = centroid(lake.unionable_groups[0][1]);
+  const auto c10 = centroid(lake.unionable_groups[1][0]);
+  EXPECT_GT(cos(c00, c01), cos(c00, c10));
+}
+
+TEST(LevaTest, EmbedRowsShape) {
+  DataLakeCatalog cat;
+  Table t("t");
+  LAKE_CHECK(t.AddColumn(MakeColumn("c", {"x1", "x2", "x3"})).ok());
+  LAKE_CHECK(t.AddColumn(MakeNumeric("n", {1, 2, 3})).ok());
+  LAKE_CHECK(cat.AddTable(std::move(t)).ok());
+  WordEmbedding words;
+  LevaEmbedder leva(&cat, &words);
+  const auto rows = leva.EmbedRows(cat.table(0));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].size(), leva.dim());
+}
+
+TEST(StitchingTest, GroupsEquivalentHeaders) {
+  DataLakeCatalog cat;
+  auto add = [&cat](const std::string& name, const std::string& c1,
+                    const std::string& c2) {
+    Table t(name);
+    LAKE_CHECK(t.AddColumn(MakeColumn(c1, {"a" + name, "b" + name})).ok());
+    LAKE_CHECK(t.AddColumn(MakeColumn(c2, {"x" + name, "y" + name})).ok());
+    LAKE_CHECK(cat.AddTable(std::move(t)).ok());
+  };
+  add("t1", "city", "country");
+  add("t2", "City", "Country");
+  add("t3", "city", "COUNTRY");
+  add("u1", "movie", "director");
+
+  TableStitcher stitcher(&cat);
+  const auto groups = stitcher.Stitch();
+  ASSERT_GE(groups.size(), 2u);
+  EXPECT_EQ(groups[0].members.size(), 3u);  // the city/country family
+  EXPECT_EQ(groups[0].header,
+            (std::vector<std::string>{"city", "country"}));
+  EXPECT_EQ(groups[0].total_rows, 6u);
+}
+
+TEST(StitchingTest, StitchedYieldsMoreFactsThanAnySingle) {
+  DataLakeCatalog cat;
+  auto add = [&cat](const std::string& name,
+                    const std::vector<std::string>& cities,
+                    const std::vector<std::string>& countries) {
+    Table t(name);
+    LAKE_CHECK(t.AddColumn(MakeColumn("city", cities)).ok());
+    LAKE_CHECK(t.AddColumn(MakeColumn("country", countries)).ok());
+    LAKE_CHECK(cat.AddTable(std::move(t)).ok());
+  };
+  add("part1", {"kel", "mor"}, {"kelland", "morland"});
+  add("part2", {"tuv", "zem"}, {"tuvland", "zemland"});
+  add("part3", {"kel", "vor"}, {"kelland", "vorland"});  // 1 duplicate fact
+
+  TableStitcher stitcher(&cat);
+  KnowledgeBase kb;
+  const auto report = stitcher.CompleteKb(&kb).value();
+  EXPECT_EQ(report.facts_from_stitched, 5u);       // union of distinct facts
+  EXPECT_EQ(report.facts_from_single_tables, 2u);  // best single member
+  EXPECT_GT(kb.num_relation_instances(), 0u);
+  EXPECT_EQ(kb.RelationsBetween("kel", "kelland").size(), 1u);
+}
+
+TEST(StitchingTest, NullKbRejected) {
+  DataLakeCatalog cat;
+  TableStitcher stitcher(&cat);
+  EXPECT_FALSE(stitcher.CompleteKb(nullptr).ok());
+}
+
+}  // namespace
+}  // namespace lake

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embed/column_encoder.h"
+#include "embed/contextual_encoder.h"
+#include "embed/table_encoder.h"
+#include "embed/word_embedding.h"
+#include "table/table.h"
+#include "util/logging.h"
+
+namespace lake {
+namespace {
+
+Column MakeColumn(const std::string& name,
+                  const std::vector<std::string>& vals) {
+  Column c(name, DataType::kString);
+  for (const auto& v : vals) c.Append(Value(v));
+  return c;
+}
+
+TEST(WordEmbeddingTest, DeterministicUnitNorm) {
+  WordEmbedding words;
+  const Vector a = words.EmbedToken("london");
+  const Vector b = words.EmbedToken("london");
+  EXPECT_EQ(a, b);
+  EXPECT_NEAR(Norm(a), 1.0, 1e-5);
+}
+
+TEST(WordEmbeddingTest, EmptyTokenIsZero) {
+  WordEmbedding words;
+  EXPECT_DOUBLE_EQ(Norm(words.EmbedToken("")), 0.0);
+  EXPECT_DOUBLE_EQ(Norm(words.EmbedTokens({})), 0.0);
+}
+
+TEST(WordEmbeddingTest, SharedMorphologyMoreSimilar) {
+  WordEmbedding words;
+  // Same "domain" morphology (shared syllables) vs unrelated surface.
+  const double same =
+      CosineSimilarity(words.EmbedToken("kelomira"), words.EmbedToken("kelomina"));
+  const double diff =
+      CosineSimilarity(words.EmbedToken("kelomira"), words.EmbedToken("ztvprqx"));
+  EXPECT_GT(same, diff);
+  EXPECT_GT(same, 0.3);
+}
+
+TEST(WordEmbeddingTest, SeedChangesSpace) {
+  WordEmbedding a(WordEmbedding::Options{.seed = 1});
+  WordEmbedding b(WordEmbedding::Options{.seed = 2});
+  EXPECT_NE(a.EmbedToken("x"), b.EmbedToken("x"));
+}
+
+TEST(WordEmbeddingTest, TextAveragesTokens) {
+  WordEmbedding words;
+  const Vector t = words.EmbedText("london paris");
+  EXPECT_NEAR(Norm(t), 1.0, 1e-5);
+  EXPECT_GT(CosineSimilarity(t, words.EmbedToken("london")), 0.2);
+}
+
+TEST(ColumnEncoderTest, SimilarColumnsCloser) {
+  WordEmbedding words;
+  ColumnEncoder enc(&words);
+  const Column a = MakeColumn("city", {"kelora", "kelavi", "keluna"});
+  const Column b = MakeColumn("town", {"kelora", "kelavi", "keluva"});
+  const Column c = MakeColumn("metric", {"zzt991", "qqp442", "wwx13"});
+  const Vector va = enc.Encode(a);
+  EXPECT_GT(CosineSimilarity(va, enc.Encode(b)),
+            CosineSimilarity(va, enc.Encode(c)));
+}
+
+TEST(ColumnEncoderTest, NameWeightMixesIn) {
+  WordEmbedding words;
+  ColumnEncoder with_name(&words, ColumnEncoder::Options{256, 0.5});
+  ColumnEncoder without_name(&words, ColumnEncoder::Options{256, 0.0});
+  const Column a = MakeColumn("population", {"x1", "x2"});
+  const Column b = MakeColumn("elevation", {"x1", "x2"});
+  // Without names the embeddings agree; with names they diverge.
+  EXPECT_NEAR(
+      CosineSimilarity(without_name.Encode(a), without_name.Encode(b)), 1.0,
+      1e-5);
+  EXPECT_LT(CosineSimilarity(with_name.Encode(a), with_name.Encode(b)), 0.999);
+}
+
+TEST(ColumnEncoderTest, AllNullColumnIsZeroVector) {
+  WordEmbedding words;
+  ColumnEncoder enc(&words, ColumnEncoder::Options{256, 0.0});
+  Column c("x", DataType::kString);
+  c.Append(Value::Null());
+  EXPECT_DOUBLE_EQ(Norm(enc.Encode(c)), 0.0);
+}
+
+Table TwoColumnTable(const std::string& name,
+                     const std::vector<std::string>& col1,
+                     const std::vector<std::string>& col1_vals,
+                     const std::vector<std::string>& col2_vals) {
+  Table t(name);
+  LAKE_CHECK(t.AddColumn(MakeColumn(col1[0], col1_vals)).ok());
+  LAKE_CHECK(t.AddColumn(MakeColumn(col1[1], col2_vals)).ok());
+  return t;
+}
+
+TEST(ContextualEncoderTest, ContextDisambiguatesIdenticalColumns) {
+  WordEmbedding words;
+  ColumnEncoder base(&words, ColumnEncoder::Options{256, 0.0});
+  ContextualColumnEncoder ctx(&base);
+
+  // The same "name" column in two very different table contexts.
+  const std::vector<std::string> shared = {"kelora", "kelavi", "keluna"};
+  Table t1 = TwoColumnTable("animals", {"name", "species"}, shared,
+                            {"lionas", "tigras", "pumava"});
+  Table t2 = TwoColumnTable("cars", {"name", "engine"}, shared,
+                            {"v8motor", "v6motor", "turbov12"});
+  const Vector v1 = ctx.EncodeTable(t1)[0];
+  const Vector v2 = ctx.EncodeTable(t2)[0];
+  // Context-free embeddings of the shared column are identical...
+  EXPECT_NEAR(CosineSimilarity(base.Encode(t1.column(0)),
+                               base.Encode(t2.column(0))),
+              1.0, 1e-5);
+  // ...contextual ones differ (Starmie's disambiguation property).
+  EXPECT_LT(CosineSimilarity(v1, v2), 0.999);
+}
+
+TEST(ContextualEncoderTest, AlphaZeroReducesToContextFree) {
+  WordEmbedding words;
+  ColumnEncoder base(&words, ColumnEncoder::Options{256, 0.0});
+  ContextualColumnEncoder ctx(&base,
+                              ContextualColumnEncoder::Options{0.0, 0.25});
+  Table t = TwoColumnTable("t", {"a", "b"}, {"x1", "x2"}, {"y1", "y2"});
+  const auto vecs = ctx.EncodeTable(t);
+  EXPECT_NEAR(CosineSimilarity(vecs[0], base.Encode(t.column(0))), 1.0, 1e-5);
+}
+
+TEST(ContextualEncoderTest, SingleColumnUnchanged) {
+  WordEmbedding words;
+  ColumnEncoder base(&words, ColumnEncoder::Options{256, 0.0});
+  ContextualColumnEncoder ctx(&base);
+  Table t("t");
+  LAKE_CHECK(t.AddColumn(MakeColumn("only", {"a", "b"})).ok());
+  const auto vecs = ctx.EncodeTable(t);
+  EXPECT_NEAR(CosineSimilarity(vecs[0], base.Encode(t.column(0))), 1.0, 1e-5);
+}
+
+TEST(TableEncoderTest, SameTopicTablesCloser) {
+  WordEmbedding words;
+  ColumnEncoder cols(&words);
+  TableEncoder enc(&cols, &words);
+  Table a = TwoColumnTable("cities of kel", {"city", "mayor"},
+                           {"kelora", "kelavi"}, {"morvan", "morlen"});
+  Table b = TwoColumnTable("more kel cities", {"city", "mayor"},
+                           {"keluna", "kelora"}, {"morzal", "morvan"});
+  Table c = TwoColumnTable("engines", {"engine", "power"},
+                           {"v8motor", "turbov12"}, {"450", "820"});
+  const Vector va = enc.Encode(a);
+  EXPECT_GT(CosineSimilarity(va, enc.Encode(b)),
+            CosineSimilarity(va, enc.Encode(c)));
+  EXPECT_NEAR(Norm(va), 1.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace lake

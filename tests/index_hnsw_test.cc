@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "index/flat_vector_index.h"
+#include "index/hnsw.h"
+#include "index/hyperplane_lsh.h"
+#include "index/vector_ops.h"
+#include "util/random.h"
+
+namespace lake {
+namespace {
+
+Vector RandomVector(Rng& rng, size_t dim) {
+  Vector v(dim);
+  for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+  return v;
+}
+
+// --- vector ops -------------------------------------------------------
+
+TEST(VectorOpsTest, DotAndNorm) {
+  const Vector a = {1, 2, 3};
+  const Vector b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(Norm(a), std::sqrt(14.0));
+  EXPECT_DOUBLE_EQ(L2DistanceSquared(a, b), 27.0);
+}
+
+TEST(VectorOpsTest, CosineBoundsAndZero) {
+  const Vector a = {1, 0};
+  const Vector b = {0, 1};
+  const Vector z = {0, 0};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, z), 0.0);
+}
+
+TEST(VectorOpsTest, NormalizeInPlace) {
+  Vector a = {3, 4};
+  NormalizeInPlace(a);
+  EXPECT_NEAR(Norm(a), 1.0, 1e-6);
+  Vector z = {0, 0};
+  NormalizeInPlace(z);  // must not produce NaN
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+}
+
+// --- Flat index --------------------------------------------------------
+
+TEST(FlatIndexTest, ExactNearestByCosine) {
+  FlatVectorIndex idx(3);
+  ASSERT_TRUE(idx.Insert(1, {1, 0, 0}).ok());
+  ASSERT_TRUE(idx.Insert(2, {0, 1, 0}).ok());
+  ASSERT_TRUE(idx.Insert(3, {0.9f, 0.1f, 0}).ok());
+  const auto hits = idx.Search({1, 0, 0}, 2).value();
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 1u);
+  EXPECT_EQ(hits[1].id, 3u);
+  EXPECT_NEAR(hits[0].score, 1.0, 1e-6);
+}
+
+TEST(FlatIndexTest, L2Metric) {
+  FlatVectorIndex idx(2, VectorMetric::kL2);
+  ASSERT_TRUE(idx.Insert(1, {0, 0}).ok());
+  ASSERT_TRUE(idx.Insert(2, {5, 5}).ok());
+  const auto hits = idx.Search({1, 1}, 1).value();
+  EXPECT_EQ(hits[0].id, 1u);
+}
+
+TEST(FlatIndexTest, DimMismatchErrors) {
+  FlatVectorIndex idx(4);
+  EXPECT_FALSE(idx.Insert(1, {1, 2}).ok());
+  EXPECT_FALSE(idx.Search({1, 2}, 1).ok());
+}
+
+// --- HNSW ---------------------------------------------------------------
+
+TEST(HnswTest, EmptyAndTrivial) {
+  HnswIndex idx(HnswIndex::Options{.dim = 8});
+  EXPECT_TRUE(idx.Search(Vector(8, 0.5f), 3).value().empty());
+  ASSERT_TRUE(idx.Insert(7, Vector(8, 0.5f)).ok());
+  const auto hits = idx.Search(Vector(8, 0.5f), 3).value();
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 7u);
+}
+
+TEST(HnswTest, DimMismatchErrors) {
+  HnswIndex idx(HnswIndex::Options{.dim = 8});
+  EXPECT_FALSE(idx.Insert(0, Vector(4, 1.0f)).ok());
+  EXPECT_FALSE(idx.Search(Vector(4, 1.0f), 1).ok());
+}
+
+TEST(HnswTest, RecallAgainstExact) {
+  const size_t dim = 24, n = 600, k = 10;
+  Rng rng(99);
+  HnswIndex hnsw(HnswIndex::Options{dim, VectorMetric::kCosine, 16, 120, 7});
+  FlatVectorIndex flat(dim);
+  std::vector<Vector> data;
+  for (size_t i = 0; i < n; ++i) {
+    Vector v = RandomVector(rng, dim);
+    ASSERT_TRUE(hnsw.Insert(i, v).ok());
+    ASSERT_TRUE(flat.Insert(i, v).ok());
+    data.push_back(std::move(v));
+  }
+  double recall_sum = 0;
+  const int queries = 20;
+  for (int q = 0; q < queries; ++q) {
+    const Vector query = RandomVector(rng, dim);
+    const auto approx = hnsw.Search(query, k, /*ef_search=*/80).value();
+    const auto exact = flat.Search(query, k).value();
+    std::unordered_set<uint64_t> truth;
+    for (const auto& h : exact) truth.insert(h.id);
+    size_t found = 0;
+    for (const auto& h : approx) {
+      if (truth.count(h.id)) ++found;
+    }
+    recall_sum += static_cast<double>(found) / k;
+  }
+  EXPECT_GT(recall_sum / queries, 0.85);
+}
+
+TEST(HnswTest, ScoresDescending) {
+  Rng rng(5);
+  HnswIndex idx(HnswIndex::Options{.dim = 16});
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(idx.Insert(i, RandomVector(rng, 16)).ok());
+  }
+  const auto hits = idx.Search(RandomVector(rng, 16), 10).value();
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i].score, hits[i - 1].score);
+  }
+}
+
+TEST(HnswTest, DeterministicForSeed) {
+  auto build = [] {
+    Rng rng(31);
+    HnswIndex idx(HnswIndex::Options{16, VectorMetric::kCosine, 8, 60, 3});
+    for (size_t i = 0; i < 200; ++i) {
+      EXPECT_TRUE(idx.Insert(i, RandomVector(rng, 16)).ok());
+    }
+    Rng qrng(77);
+    return idx.Search(RandomVector(qrng, 16), 5).value();
+  };
+  const auto a = build();
+  const auto b = build();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
+}
+
+TEST(HnswTest, L2MetricWorks) {
+  HnswIndex idx(HnswIndex::Options{.dim = 2, .metric = VectorMetric::kL2});
+  ASSERT_TRUE(idx.Insert(1, {0, 0}).ok());
+  ASSERT_TRUE(idx.Insert(2, {10, 10}).ok());
+  ASSERT_TRUE(idx.Insert(3, {1, 1}).ok());
+  const auto hits = idx.Search({0.4f, 0.4f}, 2).value();
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 1u);
+  EXPECT_EQ(hits[1].id, 3u);
+}
+
+TEST(HnswTest, LinkBudgetRespected) {
+  Rng rng(8);
+  const size_t m = 6;
+  HnswIndex idx(HnswIndex::Options{8, VectorMetric::kCosine, m, 40, 1});
+  for (size_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(idx.Insert(i, RandomVector(rng, 8)).ok());
+  }
+  // Total directed links bounded by nodes * 2m (layer 0) + upper layers.
+  EXPECT_LT(idx.TotalLinks(), 300 * (2 * m + 2 * m));
+  EXPECT_GE(idx.max_level(), 0);
+}
+
+TEST(HnswSerializationTest, SaveLoadPreservesSearch) {
+  Rng rng(12);
+  HnswIndex idx(HnswIndex::Options{16, VectorMetric::kCosine, 8, 60, 3});
+  for (size_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(idx.Insert(i, RandomVector(rng, 16)).ok());
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(idx.Save(&buffer).ok());
+
+  HnswIndex loaded(HnswIndex::Options{.dim = 4});  // replaced by Load
+  ASSERT_TRUE(loaded.Load(&buffer).ok());
+  EXPECT_EQ(loaded.size(), idx.size());
+  EXPECT_EQ(loaded.TotalLinks(), idx.TotalLinks());
+  EXPECT_EQ(loaded.max_level(), idx.max_level());
+
+  Rng qrng(55);
+  for (int q = 0; q < 5; ++q) {
+    const Vector query = RandomVector(qrng, 16);
+    const auto a = idx.Search(query, 5).value();
+    const auto b = loaded.Search(query, 5).value();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
+  }
+  // The loaded index accepts further inserts.
+  ASSERT_TRUE(loaded.Insert(999, RandomVector(qrng, 16)).ok());
+  EXPECT_EQ(loaded.size(), 301u);
+}
+
+TEST(HnswSerializationTest, RejectsGarbageAndTruncation) {
+  std::stringstream garbage("nope");
+  HnswIndex target(HnswIndex::Options{.dim = 8});
+  EXPECT_FALSE(target.Load(&garbage).ok());
+
+  Rng rng(9);
+  HnswIndex idx(HnswIndex::Options{.dim = 8});
+  for (size_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(idx.Insert(i, RandomVector(rng, 8)).ok());
+  }
+  std::stringstream full;
+  ASSERT_TRUE(idx.Save(&full).ok());
+  const std::string bytes = full.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 3));
+  EXPECT_FALSE(target.Load(&truncated).ok());
+}
+
+// --- Hyperplane LSH -----------------------------------------------------
+
+TEST(HyperplaneLshTest, NearDuplicatesCollide) {
+  Rng rng(3);
+  HyperplaneLsh lsh(HyperplaneLsh::Options{16, 10, 8, 5});
+  const Vector base = RandomVector(rng, 16);
+  Vector nearby = base;
+  nearby[0] += 0.01f;
+  ASSERT_TRUE(lsh.Insert(42, base).ok());
+  for (size_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(lsh.Insert(100 + i, RandomVector(rng, 16)).ok());
+  }
+  const auto candidates = lsh.Query(nearby).value();
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), 42u),
+            candidates.end());
+}
+
+TEST(HyperplaneLshTest, MostRandomVectorsDoNotCollide) {
+  Rng rng(4);
+  HyperplaneLsh lsh(HyperplaneLsh::Options{32, 4, 16, 6});
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(lsh.Insert(i, RandomVector(rng, 32)).ok());
+  }
+  const auto candidates = lsh.Query(RandomVector(rng, 32)).value();
+  EXPECT_LT(candidates.size(), 30u);
+}
+
+TEST(HyperplaneLshTest, DimMismatchErrors) {
+  HyperplaneLsh lsh(HyperplaneLsh::Options{16, 2, 4, 1});
+  EXPECT_FALSE(lsh.Insert(0, Vector(8, 1.0f)).ok());
+  EXPECT_FALSE(lsh.Query(Vector(8, 1.0f)).ok());
+}
+
+}  // namespace
+}  // namespace lake

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "apps/infogather.h"
+#include "util/logging.h"
+
+namespace lake {
+namespace {
+
+Column MakeColumn(const std::string& name,
+                  const std::vector<std::string>& vals) {
+  Column c(name, DataType::kString);
+  for (const auto& v : vals) {
+    c.Append(v.empty() ? Value::Null() : Value(v));
+  }
+  return c;
+}
+
+/// Lake with three web-table-style sources about capitals, one of which
+/// carries a wrong value, plus an unrelated table.
+class InfoGatherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    {
+      Table t("capitals_a");
+      LAKE_CHECK(t.AddColumn(MakeColumn(
+          "country", {"kelland", "morland", "tuvland"})).ok());
+      LAKE_CHECK(t.AddColumn(MakeColumn(
+          "capital", {"kelcity", "morcity", "tuvcity"})).ok());
+      LAKE_CHECK(catalog_.AddTable(std::move(t)).ok());
+    }
+    {
+      Table t("capitals_b");
+      LAKE_CHECK(t.AddColumn(MakeColumn(
+          "Country", {"kelland", "morland", "zemland"})).ok());
+      LAKE_CHECK(t.AddColumn(MakeColumn(
+          "Capital City", {"kelcity", "morcity", "zemcity"})).ok());
+      LAKE_CHECK(catalog_.AddTable(std::move(t)).ok());
+    }
+    {
+      // Dirty source: disagrees on kelland's capital.
+      Table t("capitals_dirty");
+      LAKE_CHECK(t.AddColumn(MakeColumn("country", {"kelland"})).ok());
+      LAKE_CHECK(t.AddColumn(MakeColumn("capital", {"wrongcity"})).ok());
+      LAKE_CHECK(catalog_.AddTable(std::move(t)).ok());
+    }
+    {
+      Table t("movies");
+      LAKE_CHECK(t.AddColumn(MakeColumn("title", {"starfall"})).ok());
+      LAKE_CHECK(t.AddColumn(MakeColumn("year", {"1999"})).ok());
+      LAKE_CHECK(catalog_.AddTable(std::move(t)).ok());
+    }
+  }
+
+  DataLakeCatalog catalog_;
+};
+
+TEST_F(InfoGatherTest, AugmentByAttributeMajorityWins) {
+  InfoGatherAugmenter augmenter(&catalog_);
+  const auto result =
+      augmenter.AugmentByAttribute({"kelland", "morland", "zemland"},
+                                   "capital")
+          .value();
+  ASSERT_EQ(result.size(), 3u);
+  // Two clean sources outvote the dirty one for kelland.
+  EXPECT_EQ(result[0].value, "kelcity");
+  EXPECT_GT(result[0].confidence, 0.5);
+  EXPECT_GE(result[0].providers, 2u);
+  EXPECT_EQ(result[1].value, "morcity");
+  EXPECT_EQ(result[2].value, "zemcity");  // only capitals_b knows zemland
+}
+
+TEST_F(InfoGatherTest, UnknownEntityLeftEmpty) {
+  InfoGatherAugmenter augmenter(&catalog_);
+  const auto result =
+      augmenter.AugmentByAttribute({"atlantis"}, "capital").value();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result[0].value.empty());
+  EXPECT_EQ(result[0].providers, 0u);
+}
+
+TEST_F(InfoGatherTest, AttributeNameMatchingIsFuzzy) {
+  InfoGatherAugmenter augmenter(&catalog_);
+  // "capital city" matches both "capital" and "Capital City" headers.
+  const auto result =
+      augmenter.AugmentByAttribute({"morland"}, "capital city").value();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].value, "morcity");
+}
+
+TEST_F(InfoGatherTest, AugmentByExample) {
+  InfoGatherAugmenter augmenter(&catalog_);
+  // Teach the relation by example instead of by name.
+  const auto result =
+      augmenter
+          .AugmentByExample({{"kelland", "kelcity"}, {"morland", "morcity"}},
+                            {"tuvland", "zemland"})
+          .value();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].value, "tuvcity");
+  EXPECT_EQ(result[1].value, "zemcity");
+}
+
+TEST_F(InfoGatherTest, ExampleSupportThresholdFilters) {
+  InfoGatherAugmenter::Options opts;
+  opts.example_support = 1.0;  // require every example reproduced
+  InfoGatherAugmenter augmenter(&catalog_, opts);
+  // capitals_b reproduces only morland of these two examples (no tuvland),
+  // capitals_a reproduces both.
+  const auto result =
+      augmenter
+          .AugmentByExample({{"morland", "morcity"}, {"tuvland", "tuvcity"}},
+                            {"kelland"})
+          .value();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].value, "kelcity");
+  EXPECT_EQ(result[0].providers, 1u);  // only capitals_a qualified
+}
+
+TEST_F(InfoGatherTest, InputValidation) {
+  InfoGatherAugmenter augmenter(&catalog_);
+  EXPECT_FALSE(augmenter.AugmentByAttribute({}, "capital").ok());
+  EXPECT_FALSE(augmenter.AugmentByAttribute({"x"}, "  ").ok());
+  EXPECT_FALSE(augmenter.AugmentByExample({}, {"x"}).ok());
+}
+
+}  // namespace
+}  // namespace lake

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "lakegen/benchmark_lakes.h"
+#include "lakegen/generator.h"
+#include "sketch/correlation_sketch.h"
+#include "sketch/set_ops.h"
+
+namespace lake {
+namespace {
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorOptions opts;
+  opts.seed = 42;
+  opts.num_templates = 3;
+  opts.tables_per_template = 3;
+  const GeneratedLake a = LakeGenerator(opts).Generate();
+  const GeneratedLake b = LakeGenerator(opts).Generate();
+  ASSERT_EQ(a.catalog.num_tables(), b.catalog.num_tables());
+  for (TableId t = 0; t < a.catalog.num_tables(); ++t) {
+    const Table& ta = a.catalog.table(t);
+    const Table& tb = b.catalog.table(t);
+    ASSERT_EQ(ta.name(), tb.name());
+    ASSERT_EQ(ta.num_rows(), tb.num_rows());
+    ASSERT_EQ(ta.num_columns(), tb.num_columns());
+    for (size_t c = 0; c < ta.num_columns(); ++c) {
+      for (size_t r = 0; r < ta.num_rows(); ++r) {
+        ASSERT_EQ(ta.column(c).cell(r).ToString(),
+                  tb.column(c).cell(r).ToString());
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, GroundTruthConsistent) {
+  GeneratorOptions opts;
+  opts.seed = 1;
+  opts.num_templates = 4;
+  opts.tables_per_template = 5;
+  opts.distractor_tables = 6;
+  const GeneratedLake lake = LakeGenerator(opts).Generate();
+
+  EXPECT_EQ(lake.catalog.num_tables(), 4 * 5 + 6);
+  EXPECT_EQ(lake.unionable_groups.size(), 4u);
+  EXPECT_EQ(lake.distractors.size(), 6u);
+  EXPECT_EQ(lake.topic_of.size(), 4u);
+
+  // Every table has a template; groups partition the non-distractor ids.
+  std::unordered_set<TableId> seen;
+  for (const auto& group : lake.unionable_groups) {
+    EXPECT_EQ(group.size(), 5u);
+    for (TableId t : group) {
+      EXPECT_TRUE(seen.insert(t).second);
+      EXPECT_TRUE(lake.template_of.count(t));
+    }
+  }
+  for (TableId d : lake.distractors) {
+    EXPECT_TRUE(seen.insert(d).second);
+  }
+  EXPECT_EQ(seen.size(), lake.catalog.num_tables());
+}
+
+TEST(GeneratorTest, SameTemplateTablesShareSchemaAndDomains) {
+  GeneratorOptions opts;
+  opts.seed = 2;
+  const GeneratedLake lake = LakeGenerator(opts).Generate();
+  const auto& group = lake.unionable_groups[0];
+  const Table& a = lake.catalog.table(group[0]);
+  const Table& b = lake.catalog.table(group[1]);
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    EXPECT_EQ(a.column(c).name(), b.column(c).name());
+    if (a.column(c).IsNumeric()) continue;
+    // Subject columns must overlap substantially (same domain + zipf).
+    const HashedSet sa = HashedSet::FromValues(a.column(c).DistinctStrings());
+    const HashedSet sb = HashedSet::FromValues(b.column(c).DistinctStrings());
+    EXPECT_GT(sa.Jaccard(sb), 0.05);
+  }
+}
+
+TEST(GeneratorTest, KbGroundsSubjectColumns) {
+  GeneratorOptions opts;
+  opts.seed = 3;
+  const GeneratedLake lake = LakeGenerator(opts).Generate();
+  const TableId t = lake.unionable_groups[0][0];
+  const Table& table = lake.catalog.table(t);
+  const auto vote = lake.kb.ColumnType(table.column(0).DistinctStrings());
+  ASSERT_TRUE(vote.ok());
+  EXPECT_EQ(vote.value().type, "type:" + lake.topic_of[0]);
+  EXPECT_GT(vote.value().coverage, 0.9);
+}
+
+TEST(GeneratorTest, HomographsAppearInTwoDomains) {
+  GeneratorOptions opts;
+  opts.seed = 4;
+  opts.homograph_count = 5;
+  const GeneratedLake lake = LakeGenerator(opts).Generate();
+  EXPECT_EQ(lake.homographs.size(), 5u);
+  for (const std::string& h : lake.homographs) {
+    EXPECT_GE(lake.kb.TypesOf(h).size(), 1u);
+  }
+}
+
+TEST(GeneratorTest, RowCountsWithinBounds) {
+  GeneratorOptions opts;
+  opts.seed = 5;
+  opts.min_rows = 10;
+  opts.max_rows = 20;
+  const GeneratedLake lake = LakeGenerator(opts).Generate();
+  for (TableId t = 0; t < lake.catalog.num_tables(); ++t) {
+    EXPECT_GE(lake.catalog.table(t).num_rows(), 10u);
+    EXPECT_LE(lake.catalog.table(t).num_rows(), 20u);
+  }
+}
+
+// --- Skewed sets workload -----------------------------------------------------
+
+TEST(SkewedSetsTest, SizesSpanRange) {
+  SkewedSetsOptions opts;
+  opts.num_sets = 200;
+  const SkewedSetsWorkload w = MakeSkewedSetsWorkload(opts);
+  ASSERT_EQ(w.sets.size(), 200u);
+  size_t min_size = SIZE_MAX, max_size = 0;
+  for (const auto& s : w.sets) {
+    min_size = std::min(min_size, s.size());
+    max_size = std::max(max_size, s.size());
+  }
+  EXPECT_LE(min_size, 2 * opts.min_set_size);
+  EXPECT_GE(max_size, opts.max_set_size / 8);  // skew reaches the top decade
+}
+
+TEST(SkewedSetsTest, QueriesHavePlantedContainment) {
+  const SkewedSetsWorkload w = MakeSkewedSetsWorkload({});
+  ASSERT_EQ(w.containment.size(), w.queries.size());
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    const double best =
+        *std::max_element(w.containment[q].begin(), w.containment[q].end());
+    EXPECT_GE(best, 0.5) << "query " << q << " has no strong host";
+  }
+}
+
+TEST(SkewedSetsTest, ContainmentMatchesExactComputation) {
+  const SkewedSetsWorkload w = MakeSkewedSetsWorkload({});
+  const HashedSet q0 = HashedSet::FromValues(w.queries[0]);
+  const HashedSet s0 = HashedSet::FromValues(w.sets[0]);
+  EXPECT_DOUBLE_EQ(w.containment[0][0], q0.ContainmentIn(s0));
+}
+
+// --- Correlated workload --------------------------------------------------------
+
+TEST(CorrelatedWorkloadTest, PlantedCorrelationRealized) {
+  const CorrelatedWorkload w = MakeCorrelatedWorkload({});
+  ASSERT_FALSE(w.pairs.empty());
+  // Verify on the strongest positive pair: join on keys, compute exact
+  // Pearson, compare with planted.
+  const auto& pair = w.pairs.back();  // rho = +0.95 by construction
+  ASSERT_GT(pair.planted_correlation, 0.9);
+  std::vector<double> x, y;
+  for (size_t i = 0; i < w.query_keys.size(); ++i) {
+    for (size_t j = 0; j < pair.keys.size(); ++j) {
+      if (pair.keys[j] == w.query_keys[i]) {
+        x.push_back(w.query_values[i]);
+        y.push_back(pair.values[j]);
+        break;
+      }
+    }
+  }
+  ASSERT_GT(x.size(), 30u);
+  EXPECT_NEAR(PearsonCorrelation(x, y).value(), pair.planted_correlation,
+              0.15);
+}
+
+TEST(CorrelatedWorkloadTest, CatalogBuilds) {
+  const CorrelatedWorkload w = MakeCorrelatedWorkload({});
+  const DataLakeCatalog cat = CatalogFromCorrelatedWorkload(w);
+  EXPECT_EQ(cat.num_tables(), w.pairs.size());
+  EXPECT_EQ(cat.table(0).num_columns(), 2u);
+  EXPECT_TRUE(cat.table(0).column(1).IsNumeric());
+}
+
+TEST(UnionBenchmarkLakeTest, HasDistractorsAndHomographs) {
+  const GeneratedLake lake = MakeUnionBenchmarkLake(3, 4, 6);
+  EXPECT_EQ(lake.distractors.size(), 6u);
+  EXPECT_FALSE(lake.homographs.empty());
+  EXPECT_GT(lake.catalog.num_tables(), 20u);
+}
+
+}  // namespace
+}  // namespace lake

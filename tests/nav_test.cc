@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "lakegen/generator.h"
+#include "nav/linkage_graph.h"
+#include "nav/organization.h"
+#include "nav/ronin.h"
+#include "util/logging.h"
+
+namespace lake {
+namespace {
+
+Column MakeColumn(const std::string& name,
+                  const std::vector<std::string>& vals) {
+  Column c(name, DataType::kString);
+  for (const auto& v : vals) c.Append(Value(v));
+  return c;
+}
+
+std::vector<std::string> Values(size_t begin, size_t end) {
+  std::vector<std::string> out;
+  for (size_t i = begin; i < end; ++i) out.push_back("v" + std::to_string(i));
+  return out;
+}
+
+// --- Linkage graph ----------------------------------------------------------
+
+DataLakeCatalog PkFkLake() {
+  DataLakeCatalog cat;
+  // "dim" has a unique key column; "fact" references a subset of it.
+  Table dim("dim");
+  LAKE_CHECK(dim.AddColumn(MakeColumn("id", Values(0, 100))).ok());
+  LAKE_CHECK(cat.AddTable(std::move(dim)).ok());
+  Table fact("fact");
+  std::vector<std::string> fks;
+  for (size_t i = 0; i < 200; ++i) fks.push_back("v" + std::to_string(i % 50));
+  LAKE_CHECK(fact.AddColumn(MakeColumn("dim_id", fks)).ok());
+  LAKE_CHECK(cat.AddTable(std::move(fact)).ok());
+  // An unrelated table.
+  Table other("other");
+  LAKE_CHECK(other.AddColumn(MakeColumn("code", Values(9000, 9050))).ok());
+  LAKE_CHECK(cat.AddTable(std::move(other)).ok());
+  return cat;
+}
+
+TEST(LinkageGraphTest, DetectsPkFk) {
+  DataLakeCatalog cat = PkFkLake();
+  LinkageGraph graph(&cat);
+  const TableId dim = cat.FindTable("dim").value();
+  const auto pkfk = graph.Neighbors(ColumnRef{dim, 0}, LinkType::kPkFkCandidate);
+  ASSERT_FALSE(pkfk.empty());
+  EXPECT_EQ(pkfk[0].from.table_id, dim);  // PK side is the edge source
+  EXPECT_EQ(cat.table(pkfk[0].to.table_id).name(), "fact");
+  EXPECT_GE(pkfk[0].weight, 0.9);
+}
+
+TEST(LinkageGraphTest, ContentEdgeForOverlappingColumns) {
+  DataLakeCatalog cat;
+  Table a("a"), b("b");
+  LAKE_CHECK(a.AddColumn(MakeColumn("x", Values(0, 100))).ok());
+  LAKE_CHECK(b.AddColumn(MakeColumn("y", Values(10, 110))).ok());
+  LAKE_CHECK(cat.AddTable(std::move(a)).ok());
+  LAKE_CHECK(cat.AddTable(std::move(b)).ok());
+  LinkageGraph::Options opts;
+  opts.content_jaccard_threshold = 0.5;
+  LinkageGraph graph(&cat, opts);
+  const auto links = graph.Neighbors(ColumnRef{0, 0},
+                                     LinkType::kContentSimilarity);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_NEAR(links[0].weight, 90.0 / 110.0, 1e-9);
+}
+
+TEST(LinkageGraphTest, SchemaEdgeForSimilarNames) {
+  DataLakeCatalog cat;
+  Table a("a"), b("b");
+  LAKE_CHECK(a.AddColumn(MakeColumn("customer_id", Values(0, 10))).ok());
+  LAKE_CHECK(b.AddColumn(MakeColumn("Customer ID", Values(100, 110))).ok());
+  LAKE_CHECK(cat.AddTable(std::move(a)).ok());
+  LAKE_CHECK(cat.AddTable(std::move(b)).ok());
+  LinkageGraph graph(&cat);
+  const auto links =
+      graph.Neighbors(ColumnRef{0, 0}, LinkType::kSchemaSimilarity);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_DOUBLE_EQ(links[0].weight, 1.0);  // identical after normalization
+}
+
+TEST(LinkageGraphTest, RelatedTablesBfs) {
+  DataLakeCatalog cat = PkFkLake();
+  LinkageGraph graph(&cat);
+  const TableId dim = cat.FindTable("dim").value();
+  const auto related = graph.RelatedTables(dim, 2);
+  ASSERT_FALSE(related.empty());
+  EXPECT_EQ(cat.table(related[0].first).name(), "fact");
+  EXPECT_EQ(related[0].second, 1);
+  // "other" is unreachable.
+  for (const auto& [t, d] : related) {
+    EXPECT_NE(cat.table(t).name(), "other");
+  }
+}
+
+TEST(LinkageGraphTest, UnknownColumnHasNoNeighbors) {
+  DataLakeCatalog cat = PkFkLake();
+  LinkageGraph graph(&cat);
+  EXPECT_TRUE(graph.Neighbors(ColumnRef{99, 9}).empty());
+}
+
+// --- Organization -------------------------------------------------------------
+
+class OrganizationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorOptions opts;
+    opts.seed = 9;
+    opts.num_templates = 5;
+    opts.tables_per_template = 6;
+    lake_ = new GeneratedLake(LakeGenerator(opts).Generate());
+    words_ = new WordEmbedding(WordEmbedding::Options{.dim = 48});
+    cols_ = new ColumnEncoder(words_);
+    enc_ = new TableEncoder(cols_, words_);
+  }
+  static void TearDownTestSuite() {
+    delete enc_;
+    delete cols_;
+    delete words_;
+    delete lake_;
+  }
+
+  static GeneratedLake* lake_;
+  static WordEmbedding* words_;
+  static ColumnEncoder* cols_;
+  static TableEncoder* enc_;
+};
+
+GeneratedLake* OrganizationTest::lake_ = nullptr;
+WordEmbedding* OrganizationTest::words_ = nullptr;
+ColumnEncoder* OrganizationTest::cols_ = nullptr;
+TableEncoder* OrganizationTest::enc_ = nullptr;
+
+TEST_F(OrganizationTest, EveryTableReachable) {
+  LakeOrganization org(&lake_->catalog, enc_);
+  EXPECT_EQ(org.num_leaves(), lake_->catalog.num_tables());
+  // Count leaves by walking the node list.
+  size_t leaves = 0;
+  std::unordered_set<int64_t> leaf_tables;
+  for (const auto& n : org.nodes()) {
+    if (n.children.empty()) {
+      ++leaves;
+      leaf_tables.insert(n.table);
+    }
+  }
+  EXPECT_EQ(leaves, lake_->catalog.num_tables());
+  EXPECT_EQ(leaf_tables.size(), lake_->catalog.num_tables());
+}
+
+TEST_F(OrganizationTest, BranchingBounded) {
+  LakeOrganization::Options opts;
+  opts.branching = 3;
+  LakeOrganization org(&lake_->catalog, enc_, opts);
+  for (const auto& n : org.nodes()) {
+    EXPECT_LE(n.children.size(), 3u + 1);  // flattening may overshoot by 1
+  }
+}
+
+TEST_F(OrganizationTest, NavigationWithOwnEmbeddingReachesTable) {
+  LakeOrganization org(&lake_->catalog, enc_);
+  size_t reached = 0;
+  const size_t trials = std::min<size_t>(10, lake_->catalog.num_tables());
+  for (TableId t = 0; t < trials; ++t) {
+    const Vector topic = enc_->Encode(lake_->catalog.table(t));
+    if (org.NavigationCost(topic, t) >= 0) ++reached;
+  }
+  // Greedy navigation with the table's own embedding should almost always
+  // find it (identical vector maximizes similarity along the path).
+  EXPECT_GE(reached, trials * 7 / 10);
+}
+
+TEST_F(OrganizationTest, NavigationCheaperThanFlatScan) {
+  LakeOrganization org(&lake_->catalog, enc_);
+  const size_t n = lake_->catalog.num_tables();
+  double total_cost = 0;
+  size_t reached = 0;
+  for (TableId t = 0; t < n; ++t) {
+    const int cost = org.NavigationCost(enc_->Encode(lake_->catalog.table(t)), t);
+    if (cost >= 0) {
+      total_cost += cost;
+      ++reached;
+    }
+  }
+  ASSERT_GT(reached, 0u);
+  // Flat-list expected inspection cost ~ n/2 per lookup.
+  EXPECT_LT(total_cost / reached, static_cast<double>(n) / 2);
+}
+
+TEST_F(OrganizationTest, ToStringRenders) {
+  LakeOrganization org(&lake_->catalog, enc_);
+  const std::string s = org.ToString(2);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(OrganizationEdge, EmptyCatalog) {
+  DataLakeCatalog cat;
+  WordEmbedding words;
+  ColumnEncoder cols(&words);
+  TableEncoder enc(&cols, &words);
+  LakeOrganization org(&cat, &enc);
+  EXPECT_EQ(org.num_leaves(), 0u);
+  EXPECT_TRUE(org.Navigate(Vector(words.dim(), 0.1f)).empty());
+}
+
+// --- RONIN ---------------------------------------------------------------------
+
+TEST_F(OrganizationTest, RoninGroupsResults) {
+  RoninExplorer ronin(&lake_->catalog, enc_);
+  std::vector<TableId> results;
+  // Mix two templates' tables.
+  for (TableId t : lake_->unionable_groups[0]) results.push_back(t);
+  for (TableId t : lake_->unionable_groups[1]) results.push_back(t);
+  const auto root = ronin.Organize(results);
+  EXPECT_EQ(root.tables.size(), results.size());
+  ASSERT_FALSE(root.children.empty());
+  // Child groups partition the result set.
+  size_t total = 0;
+  for (const auto& ch : root.children) total += ch.tables.size();
+  EXPECT_EQ(total, results.size());
+  EXPECT_FALSE(ronin.ToString(root).empty());
+}
+
+TEST_F(OrganizationTest, RoninSmallInputStaysLeaf) {
+  RoninExplorer ronin(&lake_->catalog, enc_);
+  const auto root = ronin.Organize({0, 1});
+  EXPECT_TRUE(root.children.empty());
+}
+
+}  // namespace
+}  // namespace lake

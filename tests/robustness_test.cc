@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "lakegen/generator.h"
+#include "nav/linkage_graph.h"
+#include "nav/organization.h"
+#include "search/discovery_engine.h"
+#include "table/csv.h"
+#include "util/logging.h"
+
+namespace lake {
+namespace {
+
+Column MakeColumn(const std::string& name,
+                  const std::vector<std::string>& vals) {
+  Column c(name, DataType::kString);
+  for (const auto& v : vals) {
+    c.Append(v.empty() ? Value::Null() : Value(v));
+  }
+  return c;
+}
+
+// --- Degenerate lakes --------------------------------------------------
+
+TEST(RobustnessTest, EmptyCatalogEngineAnswersEmptily) {
+  DataLakeCatalog catalog;
+  DiscoveryEngine engine(&catalog);
+  EXPECT_TRUE(engine.Keyword("anything", 5).empty());
+  EXPECT_TRUE(
+      engine.Joinable({"x", "y"}, JoinMethod::kExactJaccard, 5)->empty());
+  EXPECT_TRUE(engine.Joinable({"x"}, JoinMethod::kJosie, 5)->empty());
+  Table query("q");
+  LAKE_CHECK(query.AddColumn(MakeColumn("c", {"a", "b"})).ok());
+  EXPECT_TRUE(engine.Unionable(query, UnionMethod::kTus, 5)->empty());
+  EXPECT_TRUE(engine.Unionable(query, UnionMethod::kSantos, 5)->empty());
+  EXPECT_TRUE(engine.Unionable(query, UnionMethod::kStarmie, 5)->empty());
+  EXPECT_TRUE(engine.Unionable(query, UnionMethod::kD3l, 5)->empty());
+  EXPECT_FALSE(engine.annotator_ready());  // nothing to learn from
+}
+
+TEST(RobustnessTest, AllNullAndEmptyColumns) {
+  DataLakeCatalog catalog;
+  Table t("weird");
+  LAKE_CHECK(t.AddColumn(MakeColumn("nulls", {"", "", ""})).ok());
+  LAKE_CHECK(t.AddColumn(MakeColumn("vals", {"a", "b", "c"})).ok());
+  LAKE_CHECK(catalog.AddTable(std::move(t)).ok());
+  Table empty("empty");  // zero columns
+  LAKE_CHECK(catalog.AddTable(std::move(empty)).ok());
+
+  DiscoveryEngine engine(&catalog);
+  const auto results =
+      engine.Joinable({"a", "b"}, JoinMethod::kExactContainment, 5).value();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].column.column_index, 1u);
+}
+
+TEST(RobustnessTest, SingleRowTables) {
+  DataLakeCatalog catalog;
+  for (int i = 0; i < 3; ++i) {
+    Table t("single" + std::to_string(i));
+    LAKE_CHECK(t.AddColumn(MakeColumn("c", {"only" + std::to_string(i)}))
+                   .ok());
+    LAKE_CHECK(catalog.AddTable(std::move(t)).ok());
+  }
+  DiscoveryEngine engine(&catalog);
+  // No crash, and the minimum-distinct filters simply exclude everything.
+  EXPECT_TRUE(
+      engine.Joinable({"only0"}, JoinMethod::kExactJaccard, 5)->empty());
+}
+
+// --- Byte-level robustness ----------------------------------------------
+
+TEST(RobustnessTest, Utf8ValuesPassThrough) {
+  // Multi-byte UTF-8 is treated as opaque bytes: no mangling anywhere in
+  // CSV round trips or search.
+  const std::string csv =
+      "stadt,fluss\nM\xC3\xBCnchen,Isar\nK\xC3\xB6ln,Rhein\n";
+  auto t = ReadCsvString(csv, "de");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->column(0).cell(0).as_string(), "M\xC3\xBCnchen");
+  auto round = ReadCsvString(WriteCsvString(*t), "de2");
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->column(0).cell(0).as_string(), "M\xC3\xBCnchen");
+
+  DataLakeCatalog catalog;
+  LAKE_CHECK(catalog.AddTable(std::move(t).value()).ok());
+  DiscoveryEngine engine(&catalog);
+  const auto hits =
+      engine.Joinable({"M\xC3\xBCnchen", "K\xC3\xB6ln"},
+                      JoinMethod::kExactJaccard, 3).value();
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_DOUBLE_EQ(hits[0].score, 1.0);
+}
+
+TEST(RobustnessTest, VeryWideTable) {
+  DataLakeCatalog catalog;
+  Table wide("wide");
+  for (int c = 0; c < 100; ++c) {
+    LAKE_CHECK(wide.AddColumn(MakeColumn(
+        "col" + std::to_string(c),
+        {"w" + std::to_string(c) + "a", "w" + std::to_string(c) + "b"}))
+                   .ok());
+  }
+  LAKE_CHECK(catalog.AddTable(std::move(wide)).ok());
+  Table narrow("narrow");
+  LAKE_CHECK(narrow.AddColumn(MakeColumn("col5", {"w5a", "w5b"})).ok());
+  LAKE_CHECK(catalog.AddTable(std::move(narrow)).ok());
+
+  DiscoveryEngine engine(&catalog);
+  // Bipartite aggregation over a 100-column candidate must not blow up.
+  // The wide table contains an identical col5, so it legitimately ties the
+  // narrow table's self-match at score 1.0.
+  const auto results =
+      engine.Unionable(catalog.table(1), UnionMethod::kTus, 2).value();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NEAR(results[0].score, 1.0, 1e-9);
+  EXPECT_NEAR(results[1].score, 1.0, 1e-9);
+}
+
+TEST(RobustnessTest, DuplicateValuesEverywhere) {
+  DataLakeCatalog catalog;
+  Table t("dups");
+  LAKE_CHECK(t.AddColumn(MakeColumn(
+      "c", {"same", "same", "same", "same", "other"})).ok());
+  LAKE_CHECK(catalog.AddTable(std::move(t)).ok());
+  DiscoveryEngine engine(&catalog);
+  const auto hits =
+      engine.Joinable({"same", "other"}, JoinMethod::kJosie, 2).value();
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_DOUBLE_EQ(hits[0].score, 2.0);  // set semantics: overlap 2
+}
+
+// --- Navigation edge cases ---------------------------------------------
+
+TEST(RobustnessTest, OrganizationOfOneTable) {
+  DataLakeCatalog catalog;
+  Table t("only");
+  LAKE_CHECK(t.AddColumn(MakeColumn("c", {"a", "b"})).ok());
+  LAKE_CHECK(catalog.AddTable(std::move(t)).ok());
+  WordEmbedding words;
+  ColumnEncoder cols(&words);
+  TableEncoder enc(&cols, &words);
+  LakeOrganization org(&catalog, &enc);
+  EXPECT_EQ(org.num_leaves(), 1u);
+  const auto path = org.Navigate(enc.Encode(catalog.table(0)));
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(org.nodes()[path.back()].table, 0);
+}
+
+TEST(RobustnessTest, LinkageGraphSelfTableEdgesExcluded) {
+  // Two identical columns inside ONE table must not link to each other.
+  DataLakeCatalog catalog;
+  Table t("self");
+  LAKE_CHECK(t.AddColumn(MakeColumn("a", {"x", "y", "z"})).ok());
+  LAKE_CHECK(t.AddColumn(MakeColumn("b", {"x", "y", "z"})).ok());
+  LAKE_CHECK(catalog.AddTable(std::move(t)).ok());
+  LinkageGraph graph(&catalog);
+  EXPECT_EQ(graph.num_links(), 0u);
+}
+
+// --- Generator stress -----------------------------------------------------
+
+TEST(RobustnessTest, GeneratorSurvivesSmallAlphabetRequest) {
+  // values_per_domain larger than the default alphabet can spell: the
+  // generator must grow the alphabet instead of looping forever (this was
+  // a real hang before the capacity guard).
+  GeneratorOptions opts;
+  opts.seed = 77;
+  opts.num_domains = 3;
+  opts.num_templates = 2;
+  opts.tables_per_template = 2;
+  opts.syllables_per_domain = 2;   // capacity 12 « 300 requested
+  opts.values_per_domain = 300;
+  const GeneratedLake lake = LakeGenerator(opts).Generate();
+  EXPECT_EQ(lake.catalog.num_tables(), 4u);
+}
+
+}  // namespace
+}  // namespace lake

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "embed/column_encoder.h"
+#include "lakegen/benchmark_lakes.h"
+#include "search/union_d3l.h"
+#include "util/logging.h"
+
+namespace lake {
+namespace {
+
+Column MakeColumn(const std::string& name,
+                  const std::vector<std::string>& vals) {
+  Column c(name, DataType::kString);
+  for (const auto& v : vals) c.Append(Value(v));
+  return c;
+}
+
+Column MakeNumeric(const std::string& name, const std::vector<double>& vals) {
+  Column c(name, DataType::kDouble);
+  for (double v : vals) c.Append(Value(v));
+  return c;
+}
+
+// --- Format patterns ------------------------------------------------------
+
+TEST(ValueFormatTest, CollapsesRuns) {
+  EXPECT_EQ(ValueFormatPattern("2021-04-01"), "d-d-d");
+  EXPECT_EQ(ValueFormatPattern("abc123"), "ad");
+  EXPECT_EQ(ValueFormatPattern("AB 12"), "a_d");
+  EXPECT_EQ(ValueFormatPattern(""), "");
+  EXPECT_EQ(ValueFormatPattern("$1,234.56"), "$d,d.d");
+}
+
+TEST(ValueFormatTest, SameFormatDifferentValues) {
+  EXPECT_EQ(ValueFormatPattern("2021-04-01"), ValueFormatPattern("1999-12-31"));
+  EXPECT_NE(ValueFormatPattern("2021-04-01"), ValueFormatPattern("04/01/2021"));
+}
+
+// --- D3L engine -------------------------------------------------------------
+
+class D3lTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Dates tables: same format, disjoint values. Codes table: different
+    // format entirely.
+    Table dates1("dates1");
+    LAKE_CHECK(dates1.AddColumn(MakeColumn(
+        "event date", {"2021-04-01", "2021-05-02", "2021-06-03"})).ok());
+    LAKE_CHECK(catalog_.AddTable(std::move(dates1)).ok());
+    Table dates2("dates2");
+    LAKE_CHECK(dates2.AddColumn(MakeColumn(
+        "Event_Date", {"1999-12-31", "2000-01-01", "2000-02-02"})).ok());
+    LAKE_CHECK(catalog_.AddTable(std::move(dates2)).ok());
+    Table codes("codes");
+    LAKE_CHECK(codes.AddColumn(MakeColumn(
+        "code", {"AB/12x", "CD/34y", "EF/56z"})).ok());
+    LAKE_CHECK(catalog_.AddTable(std::move(codes)).ok());
+    Table metrics("metrics");
+    LAKE_CHECK(metrics.AddColumn(MakeNumeric(
+        "temperature", {10.5, 11.0, 12.5, 13.0})).ok());
+    LAKE_CHECK(catalog_.AddTable(std::move(metrics)).ok());
+    Table metrics2("metrics2");
+    LAKE_CHECK(metrics2.AddColumn(MakeNumeric(
+        "temp reading", {10.0, 11.5, 12.0, 13.5})).ok());
+    LAKE_CHECK(catalog_.AddTable(std::move(metrics2)).ok());
+  }
+
+  DataLakeCatalog catalog_;
+  WordEmbedding words_;
+  ColumnEncoder encoder_{&words_};
+};
+
+TEST_F(D3lTest, FormatEvidenceLinksDisjointDates) {
+  D3lUnionSearch d3l(&catalog_, &encoder_);
+  Table query("q");
+  LAKE_CHECK(query.AddColumn(MakeColumn(
+      "date", {"2030-01-01", "2030-02-02", "2030-03-03"})).ok());
+  const auto results = d3l.Search(query, 3).value();
+  ASSERT_GE(results.size(), 2u);
+  // The two date tables outrank the codes table despite zero value
+  // overlap — format + name evidence carries them.
+  EXPECT_TRUE(catalog_.table(results[0].table_id).name().rfind("dates", 0) ==
+              0);
+  EXPECT_TRUE(catalog_.table(results[1].table_id).name().rfind("dates", 0) ==
+              0);
+}
+
+TEST_F(D3lTest, NumericDistributionEvidence) {
+  D3lUnionSearch d3l(&catalog_, &encoder_);
+  const TableId m1 = catalog_.FindTable("metrics").value();
+  const TableId m2 = catalog_.FindTable("metrics2").value();
+  const TableId codes = catalog_.FindTable("codes").value();
+  const double sim = d3l.ScoreTable(catalog_.table(m1), m2);
+  const double dissim = d3l.ScoreTable(catalog_.table(m1), codes);
+  EXPECT_GT(sim, dissim);
+  EXPECT_GT(sim, 0.4);
+}
+
+TEST_F(D3lTest, StringNumericPairsOnlyShareNameEvidence) {
+  D3lUnionSearch d3l(&catalog_, &encoder_);
+  const TableId dates = catalog_.FindTable("dates1").value();
+  const TableId metrics = catalog_.FindTable("metrics").value();
+  // Unrelated names and mismatched kinds: near-zero relatedness.
+  EXPECT_LT(d3l.ScoreTable(catalog_.table(dates), metrics), 0.3);
+}
+
+TEST_F(D3lTest, AblationDisablingAllSignalsScoresZero) {
+  D3lUnionSearch::Options off;
+  off.use_names = false;
+  off.use_values = false;
+  off.use_formats = false;
+  off.use_embeddings = false;
+  off.use_numeric = false;
+  D3lUnionSearch d3l(&catalog_, &encoder_, off);
+  const TableId d1 = catalog_.FindTable("dates1").value();
+  const TableId d2 = catalog_.FindTable("dates2").value();
+  EXPECT_DOUBLE_EQ(d3l.ScoreTable(catalog_.table(d1), d2), 0.0);
+}
+
+TEST_F(D3lTest, EmptyQueryYieldsNothing) {
+  D3lUnionSearch d3l(&catalog_, &encoder_);
+  Table empty("empty");
+  EXPECT_TRUE(d3l.Search(empty, 3).value().empty());
+}
+
+TEST(D3lLakeTest, FindsTemplatePartners) {
+  const GeneratedLake lake = MakeUnionBenchmarkLake(
+      /*seed=*/19, /*tables_per_template=*/5, /*distractors=*/0);
+  WordEmbedding words;
+  ColumnEncoder encoder(&words);
+  D3lUnionSearch d3l(&lake.catalog, &encoder);
+
+  double p = 0;
+  size_t queries = 0;
+  for (size_t g = 0; g < lake.unionable_groups.size() && queries < 3;
+       ++g, ++queries) {
+    const TableId q = lake.unionable_groups[g][0];
+    std::vector<TableId> truth;
+    for (TableId t : lake.unionable_groups[g]) {
+      if (t != q) truth.push_back(t);
+    }
+    p += PrecisionAtK(d3l.Search(lake.catalog.table(q), 4, q).value(), truth,
+                      4);
+  }
+  EXPECT_GE(p / queries, 0.6);
+}
+
+}  // namespace
+}  // namespace lake

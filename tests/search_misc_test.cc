@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lakegen/generator.h"
+#include "search/bipartite_matching.h"
+#include "search/bm25.h"
+#include "search/keyword_search.h"
+#include "search/query.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace lake {
+namespace {
+
+// --- BM25 ----------------------------------------------------------------
+
+TEST(Bm25Test, RanksMatchingDocsFirst) {
+  Bm25Index idx;
+  idx.AddDocument(1, {"city", "population", "census"});
+  idx.AddDocument(2, {"movie", "actor", "director"});
+  idx.AddDocument(3, {"city", "mayor"});
+  const auto hits = idx.Search({"city"}, 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_TRUE(hits[0].first == 1 || hits[0].first == 3);
+}
+
+TEST(Bm25Test, RareTermsWeighMore) {
+  Bm25Index idx;
+  for (uint64_t d = 0; d < 20; ++d) idx.AddDocument(d, {"common", "filler"});
+  idx.AddDocument(100, {"common", "rareterm"});
+  const auto hits = idx.Search({"rareterm", "common"}, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].first, 100u);
+}
+
+TEST(Bm25Test, EmptyCases) {
+  Bm25Index idx;
+  EXPECT_TRUE(idx.Search({"x"}, 5).empty());
+  idx.AddDocument(1, {"a"});
+  EXPECT_TRUE(idx.Search({"zzz"}, 5).empty());
+  EXPECT_TRUE(idx.Search({"a"}, 0).empty());
+}
+
+TEST(Bm25Test, LengthNormalizationPrefersShorterDoc) {
+  Bm25Index idx;
+  std::vector<std::string> longdoc(100, "filler");
+  longdoc.push_back("target");
+  idx.AddDocument(1, longdoc);
+  idx.AddDocument(2, {"target", "x"});
+  const auto hits = idx.Search({"target"}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].first, 2u);
+}
+
+// --- Keyword search over a generated lake ------------------------------------
+
+TEST(KeywordSearchTest, TopicQueryReturnsTemplateTables) {
+  GeneratorOptions opts;
+  opts.seed = 21;
+  opts.num_templates = 4;
+  opts.tables_per_template = 5;
+  const GeneratedLake lake = LakeGenerator(opts).Generate();
+  KeywordSearchEngine engine(&lake.catalog);
+
+  for (size_t tmpl = 0; tmpl < lake.unionable_groups.size(); ++tmpl) {
+    const auto results = engine.Search(lake.topic_of[tmpl], 5);
+    ASSERT_FALSE(results.empty()) << "topic " << lake.topic_of[tmpl];
+    // Precision@5 against the template's tables. Other templates may
+    // mention the topic in attribute names, so expect "good" not perfect.
+    const double p = PrecisionAtK(results, lake.unionable_groups[tmpl], 5);
+    EXPECT_GE(p, 0.5) << "topic " << lake.topic_of[tmpl];
+  }
+}
+
+TEST(KeywordSearchTest, NoMatchIsEmpty) {
+  GeneratorOptions opts;
+  opts.seed = 22;
+  const GeneratedLake lake = LakeGenerator(opts).Generate();
+  KeywordSearchEngine engine(&lake.catalog);
+  EXPECT_TRUE(engine.Search("qqqqqqzzzzzz", 5).empty());
+}
+
+// --- Bipartite matching -------------------------------------------------------
+
+double BruteForceBestMatching(const std::vector<std::vector<double>>& w) {
+  // Exhaustive over permutations of the wider side (small inputs only).
+  const size_t rows = w.size();
+  const size_t cols = w[0].size();
+  if (rows > cols) {
+    std::vector<std::vector<double>> t(cols, std::vector<double>(rows));
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < cols; ++j) t[j][i] = w[i][j];
+    }
+    return BruteForceBestMatching(t);
+  }
+  std::vector<int> perm(cols);
+  for (size_t j = 0; j < cols; ++j) perm[j] = static_cast<int>(j);
+  double best = 0;
+  do {
+    double total = 0;
+    for (size_t i = 0; i < rows; ++i) {
+      if (w[i][perm[i]] > 0) total += w[i][perm[i]];
+    }
+    best = std::max(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(BipartiteMatchingTest, KnownOptimal) {
+  // Greedy would take (0,0)=0.9 then (1,1)=0.1 -> 1.0; optimal is 1.6.
+  const std::vector<std::vector<double>> w = {{0.9, 0.8}, {0.8, 0.1}};
+  const MatchingResult m = MaxWeightBipartiteMatching(w);
+  EXPECT_NEAR(m.total_weight, 1.6, 1e-9);
+  EXPECT_EQ(m.match[0], 1);
+  EXPECT_EQ(m.match[1], 0);
+}
+
+TEST(BipartiteMatchingTest, RectangularAndZeroWeights) {
+  const std::vector<std::vector<double>> w = {
+      {0.0, 0.5, 0.0}, {0.0, 0.0, 0.0}};
+  const MatchingResult m = MaxWeightBipartiteMatching(w);
+  EXPECT_NEAR(m.total_weight, 0.5, 1e-9);
+  EXPECT_EQ(m.match[0], 1);
+  EXPECT_EQ(m.match[1], -1);  // zero-weight rows stay unmatched
+}
+
+TEST(BipartiteMatchingTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(MaxWeightBipartiteMatching({}).total_weight, 0.0);
+  EXPECT_DOUBLE_EQ(GreedyBipartiteMatching({}).total_weight, 0.0);
+  const MatchingResult m = MaxWeightBipartiteMatching({{}, {}});
+  EXPECT_EQ(m.match.size(), 2u);
+}
+
+class MatchingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatchingProperty, HungarianIsOptimalOnRandomMatrices) {
+  Rng rng(GetParam());
+  const size_t rows = 2 + rng.NextBounded(4);
+  const size_t cols = 2 + rng.NextBounded(4);
+  std::vector<std::vector<double>> w(rows, std::vector<double>(cols));
+  for (auto& row : w) {
+    for (double& x : row) {
+      x = rng.NextBool(0.3) ? 0.0 : rng.NextUnit();
+    }
+  }
+  const MatchingResult hungarian = MaxWeightBipartiteMatching(w);
+  EXPECT_NEAR(hungarian.total_weight, BruteForceBestMatching(w), 1e-9);
+  // Greedy is a valid matching and never better than optimal.
+  const MatchingResult greedy = GreedyBipartiteMatching(w);
+  EXPECT_LE(greedy.total_weight, hungarian.total_weight + 1e-9);
+  std::vector<bool> used(cols, false);
+  for (int j : greedy.match) {
+    if (j < 0) continue;
+    EXPECT_FALSE(used[j]);
+    used[j] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// --- Query metrics ----------------------------------------------------------
+
+std::vector<TableResult> Results(const std::vector<TableId>& ids) {
+  std::vector<TableResult> out;
+  double score = 1.0;
+  for (TableId t : ids) {
+    out.push_back(TableResult{t, score, ""});
+    score -= 0.01;
+  }
+  return out;
+}
+
+TEST(QueryMetricsTest, PrecisionRecall) {
+  const auto results = Results({1, 2, 3, 4});
+  const std::vector<TableId> relevant = {2, 4, 9};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(results, relevant, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(results, relevant, 4), 0.5);
+  EXPECT_NEAR(RecallAtK(results, relevant, 4), 2.0 / 3, 1e-9);
+  EXPECT_DOUBLE_EQ(RecallAtK(results, {}, 4), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, relevant, 4), 0.0);
+}
+
+TEST(QueryMetricsTest, AveragePrecision) {
+  // Hits at ranks 1 and 3 of 3 relevant: AP@3 = (1/1 + 2/3)/3.
+  const auto results = Results({5, 6, 7});
+  const std::vector<TableId> relevant = {5, 7, 99};
+  EXPECT_NEAR(AveragePrecisionAtK(results, relevant, 3),
+              (1.0 + 2.0 / 3.0) / 3.0, 1e-9);
+}
+
+TEST(QueryMetricsTest, BestPerTable) {
+  std::vector<ColumnResult> cols;
+  cols.push_back(ColumnResult{ColumnRef{3, 0}, 0.9, "a"});
+  cols.push_back(ColumnResult{ColumnRef{3, 2}, 0.8, "b"});
+  cols.push_back(ColumnResult{ColumnRef{5, 1}, 0.7, "c"});
+  const auto tables = BestPerTable(cols);
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0].table_id, 3u);
+  EXPECT_DOUBLE_EQ(tables[0].score, 0.9);
+  EXPECT_EQ(tables[1].table_id, 5u);
+}
+
+}  // namespace
+}  // namespace lake

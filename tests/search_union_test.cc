@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+#include "annotate/kb_synthesis.h"
+#include "lakegen/benchmark_lakes.h"
+#include "search/union_santos.h"
+#include "search/union_starmie.h"
+#include "search/union_tus.h"
+#include "util/logging.h"
+
+namespace lake {
+namespace {
+
+/// Shared fixture: one mid-size generated lake with unionable ground truth
+/// and relationship-violating distractors. Built once for the whole suite
+/// (construction costs dominate otherwise).
+class UnionSearchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lake_ = new GeneratedLake(MakeUnionBenchmarkLake(
+        /*seed=*/13, /*tables_per_template=*/6, /*distractors=*/8));
+    words_ = new WordEmbedding(WordEmbedding::Options{.dim = 64});
+    encoder_ = new ColumnEncoder(words_);
+    contextual_ = new ContextualColumnEncoder(encoder_);
+    kb_ = new KnowledgeBase(lake_->kb);
+    KbSynthesizer().AugmentInPlace(lake_->catalog, kb_);
+  }
+  static void TearDownTestSuite() {
+    delete contextual_;
+    delete encoder_;
+    delete words_;
+    delete kb_;
+    delete lake_;
+    lake_ = nullptr;
+  }
+
+  /// True unionable partners of `query_table` (same template, excluding
+  /// itself and excluding distractors).
+  static std::vector<TableId> TrueUnionables(TableId query_table) {
+    const int tmpl = lake_->template_of.at(query_table);
+    std::vector<TableId> out;
+    for (TableId t : lake_->unionable_groups[tmpl]) {
+      if (t != query_table) out.push_back(t);
+    }
+    return out;
+  }
+
+  static double MeanPrecisionAtK(
+      const std::function<std::vector<TableResult>(TableId)>& run, size_t k,
+      size_t num_queries) {
+    double total = 0;
+    size_t done = 0;
+    for (size_t g = 0; g < lake_->unionable_groups.size() &&
+                       done < num_queries;
+         ++g, ++done) {
+      const TableId q = lake_->unionable_groups[g][0];
+      total += PrecisionAtK(run(q), TrueUnionables(q), k);
+    }
+    return done == 0 ? 0.0 : total / done;
+  }
+
+  static GeneratedLake* lake_;
+  static WordEmbedding* words_;
+  static ColumnEncoder* encoder_;
+  static ContextualColumnEncoder* contextual_;
+  static KnowledgeBase* kb_;
+};
+
+GeneratedLake* UnionSearchTest::lake_ = nullptr;
+WordEmbedding* UnionSearchTest::words_ = nullptr;
+ColumnEncoder* UnionSearchTest::encoder_ = nullptr;
+ContextualColumnEncoder* UnionSearchTest::contextual_ = nullptr;
+KnowledgeBase* UnionSearchTest::kb_ = nullptr;
+
+// --- TUS ------------------------------------------------------------------
+
+TEST_F(UnionSearchTest, TusFindsSameTemplateTables) {
+  TusUnionSearch tus(&lake_->catalog, encoder_, kb_);
+  const TableId q = lake_->unionable_groups[0][0];
+  const auto results =
+      tus.Search(lake_->catalog.table(q), 5, /*exclude=*/q).value();
+  ASSERT_FALSE(results.empty());
+  const double p = PrecisionAtK(results, TrueUnionables(q), 5);
+  EXPECT_GE(p, 0.6);
+}
+
+TEST_F(UnionSearchTest, TusExcludeDropsSelf) {
+  TusUnionSearch tus(&lake_->catalog, encoder_, kb_);
+  const TableId q = lake_->unionable_groups[1][0];
+  const auto results =
+      tus.Search(lake_->catalog.table(q), 10, /*exclude=*/q).value();
+  for (const auto& r : results) EXPECT_NE(r.table_id, q);
+  // Without exclusion, the query table itself is the best match.
+  const auto with_self =
+      tus.Search(lake_->catalog.table(q), 1, /*exclude=*/-1).value();
+  ASSERT_FALSE(with_self.empty());
+  EXPECT_EQ(with_self[0].table_id, q);
+}
+
+TEST_F(UnionSearchTest, TusExhaustiveAtLeastAsGoodAsLsh) {
+  TusUnionSearch::Options ex_opts;
+  ex_opts.exhaustive = true;
+  TusUnionSearch exhaustive(&lake_->catalog, encoder_, kb_, ex_opts);
+  TusUnionSearch pruned(&lake_->catalog, encoder_, kb_);
+  const TableId q = lake_->unionable_groups[2][0];
+  const auto pe = PrecisionAtK(
+      exhaustive.Search(lake_->catalog.table(q), 5, q).value(),
+      TrueUnionables(q), 5);
+  const auto pp =
+      PrecisionAtK(pruned.Search(lake_->catalog.table(q), 5, q).value(),
+                   TrueUnionables(q), 5);
+  EXPECT_GE(pe + 1e-9, pp);
+}
+
+TEST_F(UnionSearchTest, TusMeasureAblation) {
+  // Disabling all measures yields nothing.
+  TusUnionSearch::Options none;
+  none.use_set_measure = false;
+  none.use_semantic_measure = false;
+  none.use_nl_measure = false;
+  TusUnionSearch empty_measures(&lake_->catalog, encoder_, kb_, none);
+  const TableId q = lake_->unionable_groups[0][0];
+  EXPECT_TRUE(
+      empty_measures.Search(lake_->catalog.table(q), 5, q).value().empty());
+}
+
+// --- SANTOS -----------------------------------------------------------------
+
+TEST_F(UnionSearchTest, SantosRanksTrueUnionablesAboveDistractors) {
+  SantosUnionSearch santos(&lake_->catalog, kb_);
+  size_t checked = 0;
+  double true_better = 0;
+  for (size_t g = 0; g < lake_->unionable_groups.size(); ++g) {
+    const TableId q = lake_->unionable_groups[g][0];
+    const Table& query = lake_->catalog.table(q);
+    // Mean score of true partners vs distractors of the same template.
+    double true_sum = 0;
+    size_t true_n = 0;
+    for (TableId t : TrueUnionables(q)) {
+      true_sum += santos.ScoreTable(query, t);
+      ++true_n;
+    }
+    double distract_sum = 0;
+    size_t distract_n = 0;
+    for (TableId d : lake_->distractors) {
+      if (lake_->template_of.at(d) != static_cast<int>(g)) continue;
+      distract_sum += santos.ScoreTable(query, d);
+      ++distract_n;
+    }
+    if (true_n == 0 || distract_n == 0) continue;
+    ++checked;
+    if (true_sum / true_n > distract_sum / distract_n) ++true_better;
+  }
+  ASSERT_GT(checked, 0u);
+  // SANTOS's relationship semantics should separate them in most groups.
+  EXPECT_GE(true_better / checked, 0.75);
+}
+
+TEST_F(UnionSearchTest, SantosSearchPrecision) {
+  SantosUnionSearch santos(&lake_->catalog, kb_);
+  const double p = MeanPrecisionAtK(
+      [&](TableId q) {
+        return santos.Search(lake_->catalog.table(q), 5, q).value();
+      },
+      5, 4);
+  EXPECT_GE(p, 0.5);
+}
+
+// --- Starmie -----------------------------------------------------------------
+
+TEST_F(UnionSearchTest, StarmiePrecision) {
+  StarmieUnionSearch starmie(&lake_->catalog, contextual_);
+  const double p = MeanPrecisionAtK(
+      [&](TableId q) {
+        return starmie.Search(lake_->catalog.table(q), 5, q).value();
+      },
+      5, 4);
+  EXPECT_GE(p, 0.6);
+}
+
+TEST_F(UnionSearchTest, StarmieHnswMatchesLinearScan) {
+  StarmieUnionSearch::Options hnsw_opts;
+  hnsw_opts.use_hnsw = true;
+  StarmieUnionSearch with_hnsw(&lake_->catalog, contextual_, hnsw_opts);
+  StarmieUnionSearch::Options flat_opts;
+  flat_opts.use_hnsw = false;
+  StarmieUnionSearch with_flat(&lake_->catalog, contextual_, flat_opts);
+
+  const TableId q = lake_->unionable_groups[0][0];
+  const auto a = with_hnsw.Search(lake_->catalog.table(q), 5, q).value();
+  const auto b = with_flat.Search(lake_->catalog.table(q), 5, q).value();
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  // The verified top result should agree (ANN may differ in the tail).
+  EXPECT_EQ(a[0].table_id, b[0].table_id);
+}
+
+TEST_F(UnionSearchTest, StarmieScoreTableConsistentWithSearch) {
+  StarmieUnionSearch starmie(&lake_->catalog, contextual_);
+  const TableId q = lake_->unionable_groups[1][0];
+  const auto results =
+      starmie.Search(lake_->catalog.table(q), 3, q).value();
+  ASSERT_FALSE(results.empty());
+  EXPECT_NEAR(
+      starmie.ScoreTable(lake_->catalog.table(q), results[0].table_id),
+      results[0].score, 1e-9);
+}
+
+TEST_F(UnionSearchTest, EmptyQueryTableHandled) {
+  TusUnionSearch tus(&lake_->catalog, encoder_, kb_);
+  StarmieUnionSearch starmie(&lake_->catalog, contextual_);
+  Table empty("empty");
+  EXPECT_TRUE(tus.Search(empty, 5).value().empty());
+  EXPECT_TRUE(starmie.Search(empty, 5).value().empty());
+}
+
+}  // namespace
+}  // namespace lake

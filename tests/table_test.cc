@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "table/catalog.h"
+#include "table/column.h"
+#include "table/csv.h"
+#include "table/schema.h"
+#include "table/stats.h"
+#include "table/table.h"
+#include "table/type_infer.h"
+#include "table/value.h"
+
+namespace lake {
+namespace {
+
+// --- Value ------------------------------------------------------------
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_TRUE(Value(true).as_bool());
+  EXPECT_EQ(Value(int64_t{7}).as_int(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value(std::string("hi")).as_string(), "hi");
+}
+
+TEST(ValueTest, ToDouble) {
+  double d;
+  EXPECT_TRUE(Value(int64_t{3}).ToDouble(&d));
+  EXPECT_DOUBLE_EQ(d, 3.0);
+  EXPECT_TRUE(Value(true).ToDouble(&d));
+  EXPECT_DOUBLE_EQ(d, 1.0);
+  EXPECT_FALSE(Value(std::string("x")).ToDouble(&d));
+  EXPECT_FALSE(Value().ToDouble(&d));
+}
+
+TEST(ValueTest, ToStringCanonical) {
+  EXPECT_EQ(Value(int64_t{-4}).ToString(), "-4");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(1.5).ToString(), "1.5");
+  EXPECT_EQ(Value(std::string("ab")).ToString(), "ab");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_FALSE(Value(int64_t{1}) == Value(1.0));  // different types
+  EXPECT_EQ(Value(), Value::Null());
+}
+
+// --- Type inference -----------------------------------------------------
+
+TEST(TypeInferTest, IntColumn) {
+  EXPECT_EQ(InferColumnType({"1", "2", " 3 "}), DataType::kInt);
+}
+
+TEST(TypeInferTest, DoublePromotion) {
+  EXPECT_EQ(InferColumnType({"1", "2.5"}), DataType::kDouble);
+}
+
+TEST(TypeInferTest, BoolColumn) {
+  EXPECT_EQ(InferColumnType({"true", "FALSE", "yes"}), DataType::kBool);
+}
+
+TEST(TypeInferTest, DigitColumnsPreferInt) {
+  EXPECT_EQ(InferColumnType({"0", "1", "0"}), DataType::kInt);
+}
+
+TEST(TypeInferTest, MixedFallsToString) {
+  EXPECT_EQ(InferColumnType({"1", "abc"}), DataType::kString);
+}
+
+TEST(TypeInferTest, EmptyCellsIgnored) {
+  EXPECT_EQ(InferColumnType({"", "7", ""}), DataType::kInt);
+  EXPECT_EQ(InferColumnType({"", ""}), DataType::kNull);
+}
+
+TEST(TypeInferTest, ParseCellNullOnEmpty) {
+  EXPECT_TRUE(ParseCell("  ", DataType::kInt).is_null());
+}
+
+TEST(TypeInferTest, ParseCellDegradesToString) {
+  const Value v = ParseCell("abc", DataType::kInt);
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "abc");
+}
+
+// --- Column -------------------------------------------------------------
+
+Column MakeColumn(const std::string& name,
+                  const std::vector<std::string>& vals) {
+  Column c(name, DataType::kString);
+  for (const auto& v : vals) {
+    c.Append(v.empty() ? Value::Null() : Value(v));
+  }
+  return c;
+}
+
+TEST(ColumnTest, DistinctStrings) {
+  Column c = MakeColumn("x", {"a", "b", "a", "", "c", "b"});
+  EXPECT_EQ(c.DistinctStrings(), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(c.NullCount(), 1u);
+}
+
+TEST(ColumnTest, NumbersSkipsNonNumeric) {
+  Column c("n", DataType::kDouble);
+  c.Append(Value(1.5));
+  c.Append(Value::Null());
+  c.Append(Value(int64_t{2}));
+  EXPECT_EQ(c.Numbers(), (std::vector<double>{1.5, 2.0}));
+  EXPECT_TRUE(c.IsNumeric());
+}
+
+// --- Schema / Table -------------------------------------------------------
+
+TEST(SchemaTest, FindField) {
+  Schema s({{"a", DataType::kInt}, {"b", DataType::kString}});
+  EXPECT_EQ(s.FindField("b"), 1);
+  EXPECT_EQ(s.FindField("zz"), -1);
+  EXPECT_EQ(s.ToString(), "a:int, b:string");
+}
+
+TEST(TableTest, AddColumnEnforcesLength) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn(MakeColumn("a", {"1", "2"})).ok());
+  EXPECT_FALSE(t.AddColumn(MakeColumn("b", {"1"})).ok());
+  EXPECT_TRUE(t.AddColumn(MakeColumn("b", {"x", "y"})).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2u);
+}
+
+TEST(TableTest, AppendRow) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn(Column("a", DataType::kInt)).ok());
+  ASSERT_TRUE(t.AddColumn(Column("b", DataType::kString)).ok());
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{1}), Value(std::string("x"))}).ok());
+  EXPECT_FALSE(t.AppendRow({Value(int64_t{2})}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, ProjectAndSlice) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn(MakeColumn("a", {"1", "2", "3"})).ok());
+  ASSERT_TRUE(t.AddColumn(MakeColumn("b", {"x", "y", "z"})).ok());
+  auto proj = t.Project({1});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->num_columns(), 1u);
+  EXPECT_EQ(proj->column(0).name(), "b");
+  EXPECT_FALSE(t.Project({5}).ok());
+
+  auto slice = t.Slice(1, 3);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->num_rows(), 2u);
+  EXPECT_EQ(slice->column(0).cell(0).ToString(), "2");
+  EXPECT_FALSE(t.Slice(2, 1).ok());
+  EXPECT_FALSE(t.Slice(0, 99).ok());
+}
+
+TEST(TableTest, PreviewRenders) {
+  Table t("demo");
+  ASSERT_TRUE(t.AddColumn(MakeColumn("name", {"ann", "bob"})).ok());
+  const std::string p = t.Preview();
+  EXPECT_NE(p.find("demo"), std::string::npos);
+  EXPECT_NE(p.find("ann"), std::string::npos);
+}
+
+// --- Stats ---------------------------------------------------------------
+
+TEST(StatsTest, BasicProfile) {
+  Column c("x", DataType::kString);
+  c.Append(Value(std::string("ab")));
+  c.Append(Value(std::string("a1")));
+  c.Append(Value::Null());
+  c.Append(Value(std::string("ab")));
+  const ColumnStats s = ComputeColumnStats(c);
+  EXPECT_EQ(s.row_count, 4u);
+  EXPECT_EQ(s.null_count, 1u);
+  EXPECT_EQ(s.distinct_count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_length, 2.0);
+  EXPECT_NEAR(s.digit_fraction, 1.0 / 6, 1e-9);
+  EXPECT_NEAR(s.Uniqueness(), 2.0 / 3, 1e-9);
+  EXPECT_DOUBLE_EQ(s.NullFraction(), 0.25);
+}
+
+TEST(StatsTest, NumericMoments) {
+  Column c("n", DataType::kInt);
+  for (int i = 1; i <= 4; ++i) c.Append(Value(int64_t{i}));
+  const ColumnStats s = ComputeColumnStats(c);
+  EXPECT_EQ(s.numeric_count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-9);
+}
+
+TEST(StatsTest, EmptyColumn) {
+  Column c("e", DataType::kNull);
+  const ColumnStats s = ComputeColumnStats(c);
+  EXPECT_EQ(s.row_count, 0u);
+  EXPECT_DOUBLE_EQ(s.Uniqueness(), 0.0);
+  EXPECT_DOUBLE_EQ(s.NullFraction(), 0.0);
+}
+
+// --- Catalog ---------------------------------------------------------------
+
+Table SmallTable(const std::string& name) {
+  Table t(name);
+  Column c("k", DataType::kString);
+  c.Append(Value(std::string("a")));
+  c.Append(Value(std::string("b")));
+  EXPECT_TRUE(t.AddColumn(std::move(c)).ok());
+  return t;
+}
+
+TEST(CatalogTest, AddAndFind) {
+  DataLakeCatalog cat;
+  auto id = cat.AddTable(SmallTable("t1"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(cat.num_tables(), 1u);
+  EXPECT_EQ(cat.FindTable("t1").value(), id.value());
+  EXPECT_FALSE(cat.FindTable("nope").ok());
+  EXPECT_FALSE(cat.AddTable(SmallTable("t1")).ok());  // duplicate name
+}
+
+TEST(CatalogTest, StatsCached) {
+  DataLakeCatalog cat;
+  const TableId id = cat.AddTable(SmallTable("t")).value();
+  const ColumnStats& s = cat.stats(ColumnRef{id, 0});
+  EXPECT_EQ(s.distinct_count, 2u);
+}
+
+TEST(CatalogTest, ForEachColumnVisitsAll) {
+  DataLakeCatalog cat;
+  ASSERT_TRUE(cat.AddTable(SmallTable("a")).ok());
+  ASSERT_TRUE(cat.AddTable(SmallTable("b")).ok());
+  size_t count = 0;
+  cat.ForEachColumn([&](const ColumnRef&, const Column&) { ++count; });
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(cat.num_columns(), 2u);
+  EXPECT_EQ(cat.AllColumns().size(), 2u);
+  EXPECT_EQ(cat.AllTables().size(), 2u);
+}
+
+TEST(CatalogTest, SaveAndReloadRoundTrip) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "lakefind_save_test";
+  fs::remove_all(dir);
+  DataLakeCatalog cat;
+  ASSERT_TRUE(cat.AddTable(SmallTable("alpha")).ok());
+  ASSERT_TRUE(cat.AddTable(SmallTable("beta")).ok());
+  ASSERT_TRUE(cat.SaveToDirectory(dir.string()).ok());
+
+  DataLakeCatalog reloaded;
+  auto ids = reloaded.LoadDirectory(dir.string());
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(reloaded.num_tables(), 2u);
+  const TableId alpha = reloaded.FindTable("alpha").value();
+  EXPECT_EQ(reloaded.table(alpha).num_rows(), 2u);
+  EXPECT_EQ(reloaded.table(alpha).column(0).cell(0).ToString(), "a");
+  fs::remove_all(dir);
+
+  // Names with path separators are rejected, not written elsewhere.
+  DataLakeCatalog bad;
+  ASSERT_TRUE(bad.AddTable(SmallTable("x/y")).ok());
+  EXPECT_FALSE(bad.SaveToDirectory(dir.string()).ok());
+  fs::remove_all(dir);
+}
+
+TEST(CatalogTest, LoadDirectory) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "lakefind_catalog_test";
+  fs::create_directories(dir);
+  {
+    std::ofstream f(dir / "one.csv");
+    f << "a,b\n1,x\n2,y\n";
+  }
+  {
+    std::ofstream f(dir / "two.csv");
+    f << "c\nhello\n";
+  }
+  {
+    std::ofstream f(dir / "ignored.txt");
+    f << "not a csv";
+  }
+  DataLakeCatalog cat;
+  auto ids = cat.LoadDirectory(dir.string());
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->size(), 2u);
+  EXPECT_TRUE(cat.FindTable("one").ok());
+  EXPECT_TRUE(cat.FindTable("two").ok());
+  EXPECT_FALSE(cat.LoadDirectory((dir / "one.csv").string()).ok());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace lake

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "text/normalizer.h"
+#include "text/qgram.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace lake {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnum) {
+  EXPECT_EQ(TokenizeWords("Hello, world! 42"),
+            (std::vector<std::string>{"hello", "world", "42"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuation) {
+  EXPECT_TRUE(TokenizeWords("").empty());
+  EXPECT_TRUE(TokenizeWords("!!! --- ...").empty());
+}
+
+TEST(TokenizerTest, StopwordsFiltered) {
+  EXPECT_EQ(TokenizeWordsNoStopwords("the cat and the hat"),
+            (std::vector<std::string>{"cat", "hat"}));
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_FALSE(IsStopword("cat"));
+}
+
+TEST(NormalizerTest, ValueNormalization) {
+  EXPECT_EQ(NormalizeValue("  Hello   WORLD "), "hello world");
+  EXPECT_EQ(NormalizeValue(""), "");
+  EXPECT_EQ(NormalizeValue("a\t\tb"), "a b");
+}
+
+TEST(NormalizerTest, AttributeNames) {
+  EXPECT_EQ(NormalizeAttributeName("Customer_ID"), "customer id");
+  EXPECT_EQ(NormalizeAttributeName("customer-id"), "customer id");
+  EXPECT_EQ(NormalizeAttributeName("customer.id"), "customer id");
+  EXPECT_EQ(NormalizeAttributeName("CUSTOMER ID"), "customer id");
+}
+
+TEST(QGramTest, BasicGrams) {
+  EXPECT_EQ(QGrams("abcd", 2),
+            (std::vector<std::string>{"ab", "bc", "cd"}));
+  EXPECT_EQ(QGrams("ab", 3), (std::vector<std::string>{"ab"}));
+  EXPECT_TRUE(QGrams("", 2).empty());
+  EXPECT_TRUE(QGrams("abc", 0).empty());
+}
+
+TEST(QGramTest, HashesSortedDeduped) {
+  const auto h = QGramHashes("aaaa", 2);  // only gram "aa"
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(QGramTest, JaccardIdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("hello", "hello", 3), 1.0);
+}
+
+TEST(QGramTest, JaccardDisjointIsZero) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("aaaa", "zzzz", 2), 0.0);
+}
+
+TEST(QGramTest, SimilarStringsScoreHigher) {
+  const double near = QGramJaccard("customer id", "customer_id2", 3);
+  const double far = QGramJaccard("customer id", "revenue total", 3);
+  EXPECT_GT(near, far);
+}
+
+TEST(QGramTest, BothEmptyIsOne) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("", "", 2), 1.0);
+  EXPECT_DOUBLE_EQ(QGramJaccard("a", "", 2), 0.0);
+}
+
+TEST(VocabularyTest, InternAndLookup) {
+  Vocabulary v;
+  const uint32_t a = v.GetOrAdd("apple");
+  const uint32_t b = v.GetOrAdd("banana");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.GetOrAdd("apple"), a);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.token(a), "apple");
+  EXPECT_EQ(v.Find("banana"), b);
+  EXPECT_EQ(v.Find("cherry"), -1);
+}
+
+TEST(VocabularyTest, FrequencyOrdering) {
+  Vocabulary v;
+  const uint32_t common = v.GetOrAdd("common");
+  const uint32_t rare = v.GetOrAdd("rare");
+  const uint32_t mid = v.GetOrAdd("mid");
+  for (int i = 0; i < 5; ++i) v.IncrementFrequency(common);
+  for (int i = 0; i < 2; ++i) v.IncrementFrequency(mid);
+  v.IncrementFrequency(rare);
+  const auto order = v.IdsByAscendingFrequency();
+  EXPECT_EQ(order, (std::vector<uint32_t>{rare, mid, common}));
+  EXPECT_EQ(v.frequency(common), 5u);
+}
+
+TEST(VocabularyTest, TiesBrokenById) {
+  Vocabulary v;
+  const uint32_t a = v.GetOrAdd("a");
+  const uint32_t b = v.GetOrAdd("b");
+  const auto order = v.IdsByAscendingFrequency();
+  EXPECT_EQ(order, (std::vector<uint32_t>{a, b}));
+}
+
+}  // namespace
+}  // namespace lake

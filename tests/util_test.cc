@@ -1,0 +1,365 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/serialize.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+#include "util/top_k.h"
+
+namespace lake {
+namespace {
+
+// --- Status / Result ------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing table");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing table");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+}
+
+TEST(StatusTest, EveryCodeHasName) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IO_ERROR");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> Doubled(Result<int> in) {
+  LAKE_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  EXPECT_FALSE(Doubled(Status::Internal("boom")).ok());
+}
+
+// --- Hash -----------------------------------------------------------------
+
+TEST(HashTest, DeterministicAcrossCalls) {
+  EXPECT_EQ(Hash64("hello"), Hash64("hello"));
+  EXPECT_EQ(Hash64("hello", 7), Hash64("hello", 7));
+}
+
+TEST(HashTest, SeedChangesValue) {
+  EXPECT_NE(Hash64("hello", 1), Hash64("hello", 2));
+}
+
+TEST(HashTest, DifferentInputsRarelyCollide) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    seen.insert(Hash64("value" + std::to_string(i)));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(HashTest, LongInputsExerciseBlockPath) {
+  std::string long_a(1000, 'a');
+  std::string long_b = long_a;
+  long_b[999] = 'b';
+  EXPECT_NE(Hash64(long_a), Hash64(long_b));
+}
+
+TEST(HashTest, HashToUnitInRange) {
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const double u = HashToUnit(Hash64(i));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+// --- Rng ------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(17), 17u);
+}
+
+TEST(RngTest, UnitMeanNearHalf) {
+  Rng rng(2);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.NextUnit();
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsSane) {
+  Rng rng(3);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(4);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(RngTest, NextIntInclusive) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(ZipfTest, Rank0MostFrequent) {
+  Rng rng(7);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(ZipfTest, ZeroSkewIsUniformish) {
+  Rng rng(8);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 500);
+}
+
+// --- String utils ---------------------------------------------------------
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("HeLLo World"), "hello world");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(TrimAscii("  x  "), "x");
+  EXPECT_EQ(TrimAscii("\t\n a b \r"), "a b");
+  EXPECT_EQ(TrimAscii("   "), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  double d;
+  EXPECT_TRUE(ParseDouble("3.25", &d));
+  EXPECT_DOUBLE_EQ(d, 3.25);
+  EXPECT_TRUE(ParseDouble(" -1e3 ", &d));
+  EXPECT_DOUBLE_EQ(d, -1000);
+  EXPECT_FALSE(ParseDouble("abc", &d));
+  EXPECT_FALSE(ParseDouble("1.5x", &d));
+  EXPECT_FALSE(ParseDouble("", &d));
+  EXPECT_FALSE(ParseDouble("nan", &d));  // non-finite rejected
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  int64_t i;
+  EXPECT_TRUE(ParseInt64("42", &i));
+  EXPECT_EQ(i, 42);
+  EXPECT_TRUE(ParseInt64("-7", &i));
+  EXPECT_EQ(i, -7);
+  EXPECT_FALSE(ParseInt64("4.2", &i));
+  EXPECT_FALSE(ParseInt64("99999999999999999999999", &i));
+}
+
+TEST(StringUtilTest, ParseBool) {
+  bool b;
+  EXPECT_TRUE(ParseBool("TRUE", &b));
+  EXPECT_TRUE(b);
+  EXPECT_TRUE(ParseBool("no", &b));
+  EXPECT_FALSE(b);
+  EXPECT_FALSE(ParseBool("maybe", &b));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+// --- TopK -----------------------------------------------------------------
+
+TEST(TopKTest, KeepsLargest) {
+  TopK<int> top(3);
+  for (int i = 0; i < 10; ++i) top.Push(i, i);
+  auto out = top.Take();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].second, 9);
+  EXPECT_EQ(out[1].second, 8);
+  EXPECT_EQ(out[2].second, 7);
+}
+
+TEST(TopKTest, TiesKeepFirstInserted) {
+  TopK<int> top(2);
+  top.Push(1.0, 100);
+  top.Push(1.0, 200);
+  top.Push(1.0, 300);  // tie with current worst: rejected
+  auto out = top.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].second, 100);
+  EXPECT_EQ(out[1].second, 200);
+}
+
+TEST(TopKTest, ThresholdTracksKth) {
+  TopK<int> top(2);
+  EXPECT_DOUBLE_EQ(top.Threshold(-1), -1);
+  top.Push(5, 1);
+  EXPECT_DOUBLE_EQ(top.Threshold(-1), -1);  // not full yet
+  top.Push(9, 2);
+  EXPECT_DOUBLE_EQ(top.Threshold(-1), 5);
+  top.Push(7, 3);
+  EXPECT_DOUBLE_EQ(top.Threshold(-1), 7);
+}
+
+TEST(TopKTest, ZeroKIsEmpty) {
+  TopK<int> top(0);
+  top.Push(1, 1);
+  EXPECT_TRUE(top.Take().empty());
+}
+
+// --- Binary serialization ---------------------------------------------------
+
+TEST(SerializeTest, VarintRoundTrip) {
+  std::stringstream buf;
+  BinaryWriter w(&buf);
+  const uint64_t cases[] = {0, 1, 127, 128, 300, 1ULL << 32, ~0ULL};
+  for (uint64_t v : cases) w.WriteVarint(v);
+  BinaryReader r(&buf);
+  for (uint64_t v : cases) EXPECT_EQ(r.ReadVarint().value(), v);
+  EXPECT_FALSE(r.ReadVarint().ok());  // stream exhausted
+}
+
+TEST(SerializeTest, StringWithEmbeddedNul) {
+  std::stringstream buf;
+  BinaryWriter w(&buf);
+  const std::string s("a\0b\0", 4);
+  w.WriteString(s);
+  w.WriteString("");
+  BinaryReader r(&buf);
+  EXPECT_EQ(r.ReadString().value(), s);
+  EXPECT_EQ(r.ReadString().value(), "");
+}
+
+TEST(SerializeTest, VectorsAndScalars) {
+  std::stringstream buf;
+  BinaryWriter w(&buf);
+  w.WriteU32Vector({1, 2, 3});
+  w.WriteU64Vector({});
+  w.WriteFloatVector({1.5f, -2.25f});
+  w.WriteFixed64(0xdeadbeefcafef00dULL);
+  w.WriteDouble(3.14159);
+  BinaryReader r(&buf);
+  EXPECT_EQ(r.ReadU32Vector().value(), (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(r.ReadU64Vector().value().empty());
+  EXPECT_EQ(r.ReadFloatVector().value(), (std::vector<float>{1.5f, -2.25f}));
+  EXPECT_EQ(r.ReadFixed64().value(), 0xdeadbeefcafef00dULL);
+  EXPECT_DOUBLE_EQ(r.ReadDouble().value(), 3.14159);
+}
+
+TEST(SerializeTest, TruncationDetected) {
+  std::stringstream buf;
+  BinaryWriter w(&buf);
+  w.WriteString("hello world");
+  std::stringstream cut(buf.str().substr(0, 4));
+  BinaryReader r(&cut);
+  EXPECT_FALSE(r.ReadString().ok());
+  std::stringstream empty;
+  BinaryReader r2(&empty);
+  EXPECT_FALSE(r2.ReadFixed64().ok());
+  EXPECT_FALSE(r2.ReadFloat().ok());
+}
+
+// --- ThreadPool -----------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.ParallelFor(50, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(t.ElapsedMillis(), 5.0);
+  t.Restart();
+  EXPECT_LT(t.ElapsedMillis(), 10.0);
+}
+
+}  // namespace
+}  // namespace lake
