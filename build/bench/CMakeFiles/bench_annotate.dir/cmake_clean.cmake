@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_annotate.dir/bench_annotate.cc.o"
+  "CMakeFiles/bench_annotate.dir/bench_annotate.cc.o.d"
+  "bench_annotate"
+  "bench_annotate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_annotate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

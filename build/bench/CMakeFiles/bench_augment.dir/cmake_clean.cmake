@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_augment.dir/bench_augment.cc.o"
+  "CMakeFiles/bench_augment.dir/bench_augment.cc.o.d"
+  "bench_augment"
+  "bench_augment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

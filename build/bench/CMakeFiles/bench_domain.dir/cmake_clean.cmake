@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_domain.dir/bench_domain.cc.o"
+  "CMakeFiles/bench_domain.dir/bench_domain.cc.o.d"
+  "bench_domain"
+  "bench_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

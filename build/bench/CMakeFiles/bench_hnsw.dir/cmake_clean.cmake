@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hnsw.dir/bench_hnsw.cc.o"
+  "CMakeFiles/bench_hnsw.dir/bench_hnsw.cc.o.d"
+  "bench_hnsw"
+  "bench_hnsw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hnsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_homograph.dir/bench_homograph.cc.o"
+  "CMakeFiles/bench_homograph.dir/bench_homograph.cc.o.d"
+  "bench_homograph"
+  "bench_homograph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_homograph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_josie.dir/bench_josie.cc.o"
+  "CMakeFiles/bench_josie.dir/bench_josie.cc.o.d"
+  "bench_josie"
+  "bench_josie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_josie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

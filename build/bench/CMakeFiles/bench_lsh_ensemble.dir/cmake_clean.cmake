@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lsh_ensemble.dir/bench_lsh_ensemble.cc.o"
+  "CMakeFiles/bench_lsh_ensemble.dir/bench_lsh_ensemble.cc.o.d"
+  "bench_lsh_ensemble"
+  "bench_lsh_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lsh_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mate.dir/bench_mate.cc.o"
+  "CMakeFiles/bench_mate.dir/bench_mate.cc.o.d"
+  "bench_mate"
+  "bench_mate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

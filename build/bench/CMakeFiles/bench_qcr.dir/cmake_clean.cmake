@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qcr.dir/bench_qcr.cc.o"
+  "CMakeFiles/bench_qcr.dir/bench_qcr.cc.o.d"
+  "bench_qcr"
+  "bench_qcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

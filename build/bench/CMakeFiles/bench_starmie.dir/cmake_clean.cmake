@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_starmie.dir/bench_starmie.cc.o"
+  "CMakeFiles/bench_starmie.dir/bench_starmie.cc.o.d"
+  "bench_starmie"
+  "bench_starmie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_starmie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

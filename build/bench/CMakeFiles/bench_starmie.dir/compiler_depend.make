@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_starmie.
+# This may be replaced when dependencies are built.

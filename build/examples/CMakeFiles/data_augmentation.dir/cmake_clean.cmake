@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_augmentation.dir/data_augmentation.cpp.o"
+  "CMakeFiles/data_augmentation.dir/data_augmentation.cpp.o.d"
+  "data_augmentation"
+  "data_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_discovery.dir/join_discovery.cpp.o"
+  "CMakeFiles/join_discovery.dir/join_discovery.cpp.o.d"
+  "join_discovery"
+  "join_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakefind_cli.dir/lakefind_cli.cpp.o"
+  "CMakeFiles/lakefind_cli.dir/lakefind_cli.cpp.o.d"
+  "lakefind_cli"
+  "lakefind_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakefind_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_understanding.dir/table_understanding.cpp.o"
+  "CMakeFiles/table_understanding.dir/table_understanding.cpp.o.d"
+  "table_understanding"
+  "table_understanding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_understanding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/union_discovery.dir/union_discovery.cpp.o"
+  "CMakeFiles/union_discovery.dir/union_discovery.cpp.o.d"
+  "union_discovery"
+  "union_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/union_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

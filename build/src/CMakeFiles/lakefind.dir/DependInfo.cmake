@@ -1,0 +1,85 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/annotate/domain_discovery.cc" "src/CMakeFiles/lakefind.dir/annotate/domain_discovery.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/annotate/domain_discovery.cc.o.d"
+  "/root/repo/src/annotate/features.cc" "src/CMakeFiles/lakefind.dir/annotate/features.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/annotate/features.cc.o.d"
+  "/root/repo/src/annotate/kb_synthesis.cc" "src/CMakeFiles/lakefind.dir/annotate/kb_synthesis.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/annotate/kb_synthesis.cc.o.d"
+  "/root/repo/src/annotate/knowledge_base.cc" "src/CMakeFiles/lakefind.dir/annotate/knowledge_base.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/annotate/knowledge_base.cc.o.d"
+  "/root/repo/src/annotate/semantic_type_detector.cc" "src/CMakeFiles/lakefind.dir/annotate/semantic_type_detector.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/annotate/semantic_type_detector.cc.o.d"
+  "/root/repo/src/annotate/softmax_model.cc" "src/CMakeFiles/lakefind.dir/annotate/softmax_model.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/annotate/softmax_model.cc.o.d"
+  "/root/repo/src/apps/augmentation.cc" "src/CMakeFiles/lakefind.dir/apps/augmentation.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/apps/augmentation.cc.o.d"
+  "/root/repo/src/apps/homograph.cc" "src/CMakeFiles/lakefind.dir/apps/homograph.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/apps/homograph.cc.o.d"
+  "/root/repo/src/apps/infogather.cc" "src/CMakeFiles/lakefind.dir/apps/infogather.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/apps/infogather.cc.o.d"
+  "/root/repo/src/apps/leva.cc" "src/CMakeFiles/lakefind.dir/apps/leva.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/apps/leva.cc.o.d"
+  "/root/repo/src/apps/ridge_regression.cc" "src/CMakeFiles/lakefind.dir/apps/ridge_regression.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/apps/ridge_regression.cc.o.d"
+  "/root/repo/src/apps/stitching.cc" "src/CMakeFiles/lakefind.dir/apps/stitching.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/apps/stitching.cc.o.d"
+  "/root/repo/src/embed/column_encoder.cc" "src/CMakeFiles/lakefind.dir/embed/column_encoder.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/embed/column_encoder.cc.o.d"
+  "/root/repo/src/embed/contextual_encoder.cc" "src/CMakeFiles/lakefind.dir/embed/contextual_encoder.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/embed/contextual_encoder.cc.o.d"
+  "/root/repo/src/embed/table_encoder.cc" "src/CMakeFiles/lakefind.dir/embed/table_encoder.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/embed/table_encoder.cc.o.d"
+  "/root/repo/src/embed/word_embedding.cc" "src/CMakeFiles/lakefind.dir/embed/word_embedding.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/embed/word_embedding.cc.o.d"
+  "/root/repo/src/index/flat_vector_index.cc" "src/CMakeFiles/lakefind.dir/index/flat_vector_index.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/index/flat_vector_index.cc.o.d"
+  "/root/repo/src/index/hnsw.cc" "src/CMakeFiles/lakefind.dir/index/hnsw.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/index/hnsw.cc.o.d"
+  "/root/repo/src/index/hyperplane_lsh.cc" "src/CMakeFiles/lakefind.dir/index/hyperplane_lsh.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/index/hyperplane_lsh.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/lakefind.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/index/josie.cc" "src/CMakeFiles/lakefind.dir/index/josie.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/index/josie.cc.o.d"
+  "/root/repo/src/index/lsh_ensemble.cc" "src/CMakeFiles/lakefind.dir/index/lsh_ensemble.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/index/lsh_ensemble.cc.o.d"
+  "/root/repo/src/index/minhash_lsh.cc" "src/CMakeFiles/lakefind.dir/index/minhash_lsh.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/index/minhash_lsh.cc.o.d"
+  "/root/repo/src/lakegen/benchmark_lakes.cc" "src/CMakeFiles/lakefind.dir/lakegen/benchmark_lakes.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/lakegen/benchmark_lakes.cc.o.d"
+  "/root/repo/src/lakegen/generator.cc" "src/CMakeFiles/lakefind.dir/lakegen/generator.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/lakegen/generator.cc.o.d"
+  "/root/repo/src/nav/linkage_graph.cc" "src/CMakeFiles/lakefind.dir/nav/linkage_graph.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/nav/linkage_graph.cc.o.d"
+  "/root/repo/src/nav/organization.cc" "src/CMakeFiles/lakefind.dir/nav/organization.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/nav/organization.cc.o.d"
+  "/root/repo/src/nav/ronin.cc" "src/CMakeFiles/lakefind.dir/nav/ronin.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/nav/ronin.cc.o.d"
+  "/root/repo/src/search/bipartite_matching.cc" "src/CMakeFiles/lakefind.dir/search/bipartite_matching.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/search/bipartite_matching.cc.o.d"
+  "/root/repo/src/search/bm25.cc" "src/CMakeFiles/lakefind.dir/search/bm25.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/search/bm25.cc.o.d"
+  "/root/repo/src/search/discovery_engine.cc" "src/CMakeFiles/lakefind.dir/search/discovery_engine.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/search/discovery_engine.cc.o.d"
+  "/root/repo/src/search/join_containment.cc" "src/CMakeFiles/lakefind.dir/search/join_containment.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/search/join_containment.cc.o.d"
+  "/root/repo/src/search/join_correlated.cc" "src/CMakeFiles/lakefind.dir/search/join_correlated.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/search/join_correlated.cc.o.d"
+  "/root/repo/src/search/join_jaccard.cc" "src/CMakeFiles/lakefind.dir/search/join_jaccard.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/search/join_jaccard.cc.o.d"
+  "/root/repo/src/search/join_josie.cc" "src/CMakeFiles/lakefind.dir/search/join_josie.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/search/join_josie.cc.o.d"
+  "/root/repo/src/search/join_mate.cc" "src/CMakeFiles/lakefind.dir/search/join_mate.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/search/join_mate.cc.o.d"
+  "/root/repo/src/search/join_pexeso.cc" "src/CMakeFiles/lakefind.dir/search/join_pexeso.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/search/join_pexeso.cc.o.d"
+  "/root/repo/src/search/keyword_search.cc" "src/CMakeFiles/lakefind.dir/search/keyword_search.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/search/keyword_search.cc.o.d"
+  "/root/repo/src/search/query.cc" "src/CMakeFiles/lakefind.dir/search/query.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/search/query.cc.o.d"
+  "/root/repo/src/search/union_d3l.cc" "src/CMakeFiles/lakefind.dir/search/union_d3l.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/search/union_d3l.cc.o.d"
+  "/root/repo/src/search/union_santos.cc" "src/CMakeFiles/lakefind.dir/search/union_santos.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/search/union_santos.cc.o.d"
+  "/root/repo/src/search/union_starmie.cc" "src/CMakeFiles/lakefind.dir/search/union_starmie.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/search/union_starmie.cc.o.d"
+  "/root/repo/src/search/union_tus.cc" "src/CMakeFiles/lakefind.dir/search/union_tus.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/search/union_tus.cc.o.d"
+  "/root/repo/src/sketch/correlation_sketch.cc" "src/CMakeFiles/lakefind.dir/sketch/correlation_sketch.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/sketch/correlation_sketch.cc.o.d"
+  "/root/repo/src/sketch/hll.cc" "src/CMakeFiles/lakefind.dir/sketch/hll.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/sketch/hll.cc.o.d"
+  "/root/repo/src/sketch/kmv.cc" "src/CMakeFiles/lakefind.dir/sketch/kmv.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/sketch/kmv.cc.o.d"
+  "/root/repo/src/sketch/minhash.cc" "src/CMakeFiles/lakefind.dir/sketch/minhash.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/sketch/minhash.cc.o.d"
+  "/root/repo/src/sketch/set_ops.cc" "src/CMakeFiles/lakefind.dir/sketch/set_ops.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/sketch/set_ops.cc.o.d"
+  "/root/repo/src/sketch/simhash.cc" "src/CMakeFiles/lakefind.dir/sketch/simhash.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/sketch/simhash.cc.o.d"
+  "/root/repo/src/table/catalog.cc" "src/CMakeFiles/lakefind.dir/table/catalog.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/table/catalog.cc.o.d"
+  "/root/repo/src/table/column.cc" "src/CMakeFiles/lakefind.dir/table/column.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/table/column.cc.o.d"
+  "/root/repo/src/table/csv.cc" "src/CMakeFiles/lakefind.dir/table/csv.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/table/csv.cc.o.d"
+  "/root/repo/src/table/schema.cc" "src/CMakeFiles/lakefind.dir/table/schema.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/table/schema.cc.o.d"
+  "/root/repo/src/table/stats.cc" "src/CMakeFiles/lakefind.dir/table/stats.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/table/stats.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/lakefind.dir/table/table.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/table/table.cc.o.d"
+  "/root/repo/src/table/type_infer.cc" "src/CMakeFiles/lakefind.dir/table/type_infer.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/table/type_infer.cc.o.d"
+  "/root/repo/src/table/value.cc" "src/CMakeFiles/lakefind.dir/table/value.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/table/value.cc.o.d"
+  "/root/repo/src/text/normalizer.cc" "src/CMakeFiles/lakefind.dir/text/normalizer.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/text/normalizer.cc.o.d"
+  "/root/repo/src/text/qgram.cc" "src/CMakeFiles/lakefind.dir/text/qgram.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/text/qgram.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/lakefind.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/lakefind.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/text/vocabulary.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/CMakeFiles/lakefind.dir/util/hash.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/util/hash.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/lakefind.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/lakefind.dir/util/random.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/lakefind.dir/util/status.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/lakefind.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/lakefind.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/lakefind.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

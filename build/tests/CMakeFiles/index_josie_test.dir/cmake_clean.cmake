@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_josie_test.dir/index_josie_test.cc.o"
+  "CMakeFiles/index_josie_test.dir/index_josie_test.cc.o.d"
+  "index_josie_test"
+  "index_josie_test.pdb"
+  "index_josie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_josie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

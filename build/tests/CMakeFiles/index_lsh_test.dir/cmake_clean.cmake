@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_lsh_test.dir/index_lsh_test.cc.o"
+  "CMakeFiles/index_lsh_test.dir/index_lsh_test.cc.o.d"
+  "index_lsh_test"
+  "index_lsh_test.pdb"
+  "index_lsh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_lsh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

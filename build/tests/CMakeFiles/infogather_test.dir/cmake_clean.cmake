@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infogather_test.dir/infogather_test.cc.o"
+  "CMakeFiles/infogather_test.dir/infogather_test.cc.o.d"
+  "infogather_test"
+  "infogather_test.pdb"
+  "infogather_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infogather_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

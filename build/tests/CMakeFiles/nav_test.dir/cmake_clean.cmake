@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nav_test.dir/nav_test.cc.o"
+  "CMakeFiles/nav_test.dir/nav_test.cc.o.d"
+  "nav_test"
+  "nav_test.pdb"
+  "nav_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nav_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_d3l_test.dir/search_d3l_test.cc.o"
+  "CMakeFiles/search_d3l_test.dir/search_d3l_test.cc.o.d"
+  "search_d3l_test"
+  "search_d3l_test.pdb"
+  "search_d3l_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_d3l_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for search_d3l_test.
+# This may be replaced when dependencies are built.

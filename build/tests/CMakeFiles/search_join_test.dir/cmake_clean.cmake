@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_join_test.dir/search_join_test.cc.o"
+  "CMakeFiles/search_join_test.dir/search_join_test.cc.o.d"
+  "search_join_test"
+  "search_join_test.pdb"
+  "search_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

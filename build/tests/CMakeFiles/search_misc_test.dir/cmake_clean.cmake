@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_misc_test.dir/search_misc_test.cc.o"
+  "CMakeFiles/search_misc_test.dir/search_misc_test.cc.o.d"
+  "search_misc_test"
+  "search_misc_test.pdb"
+  "search_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_union_test.dir/search_union_test.cc.o"
+  "CMakeFiles/search_union_test.dir/search_union_test.cc.o.d"
+  "search_union_test"
+  "search_union_test.pdb"
+  "search_union_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_union_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/table_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/sketch_test[1]_include.cmake")
+include("/root/repo/build/tests/index_lsh_test[1]_include.cmake")
+include("/root/repo/build/tests/index_josie_test[1]_include.cmake")
+include("/root/repo/build/tests/index_hnsw_test[1]_include.cmake")
+include("/root/repo/build/tests/embed_test[1]_include.cmake")
+include("/root/repo/build/tests/annotate_test[1]_include.cmake")
+include("/root/repo/build/tests/search_join_test[1]_include.cmake")
+include("/root/repo/build/tests/search_union_test[1]_include.cmake")
+include("/root/repo/build/tests/search_d3l_test[1]_include.cmake")
+include("/root/repo/build/tests/search_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/nav_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/infogather_test[1]_include.cmake")
+include("/root/repo/build/tests/lakegen_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
