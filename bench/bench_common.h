@@ -7,6 +7,7 @@
 // $b; done` produces a readable report.
 
 #include <cstdio>
+#include <string>
 
 namespace lake::bench {
 
@@ -15,6 +16,15 @@ inline void PrintHeader(const char* experiment_id, const char* claim) {
   std::printf("%s\n", experiment_id);
   std::printf("claim: %s\n", claim);
   std::printf("=====================================================\n");
+}
+
+/// One-line machine-readable result record, greppable as RESULT_JSON.
+/// `fields` is a comma-separated list of already-encoded JSON key:value
+/// pairs, e.g. "\"qps\":123.4,\"p50_us\":56.7".
+inline void PrintJsonLine(const char* experiment_id,
+                          const std::string& fields) {
+  std::printf("RESULT_JSON {\"bench\":\"%s\",%s}\n", experiment_id,
+              fields.c_str());
 }
 
 }  // namespace lake::bench

@@ -66,8 +66,8 @@ std::vector<uint32_t> JosieIndex::QueryRanks(
 }
 
 Result<std::vector<JosieIndex::Hit>> JosieIndex::TopK(
-    const std::vector<std::string>& query_values, size_t k,
-    QueryStats* stats) const {
+    const std::vector<std::string>& query_values, size_t k, QueryStats* stats,
+    const CancelToken* cancel) const {
   if (!built_) return Status::FailedPrecondition("call Build() first");
   if (k == 0) return std::vector<Hit>{};
   QueryStats local;
@@ -89,6 +89,9 @@ Result<std::vector<JosieIndex::Hit>> JosieIndex::TopK(
   std::vector<uint32_t> scratch;
   size_t read = 0;
   for (; read < q.size(); ++read) {
+    if (cancel != nullptr && ShouldCheck(read, 16)) {
+      LAKE_RETURN_IF_ERROR(cancel->Check());
+    }
     const size_t unseen_max = q.size() - read;
     if (partial.size() >= k) {
       scratch.clear();
@@ -130,7 +133,11 @@ Result<std::vector<JosieIndex::Hit>> JosieIndex::TopK(
                 if (a.second != b.second) return a.second > b.second;
                 return a.first < b.first;
               });
+    size_t processed = 0;
     for (const auto& [s, count] : pending) {
+      if (cancel != nullptr && ShouldCheck(processed++, 64)) {
+        LAKE_RETURN_IF_ERROR(cancel->Check());
+      }
       const std::vector<uint32_t>& set = sets_[s];
       const size_t set_remaining = set.size() - (last_pos.at(s) + 1);
       const double upper =

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "text/vocabulary.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace lake {
@@ -50,9 +51,12 @@ class JosieIndex {
   Status Build();
 
   /// Exact top-k by overlap (descending; ties by insertion order). Sets
-  /// with zero overlap are never returned. `stats` is optional.
+  /// with zero overlap are never returned. `stats` is optional. `cancel`
+  /// is polled between posting lists and along the verification loop;
+  /// expiry unwinds with kDeadlineExceeded / kCancelled.
   Result<std::vector<Hit>> TopK(const std::vector<std::string>& query_values,
-                                size_t k, QueryStats* stats = nullptr) const;
+                                size_t k, QueryStats* stats = nullptr,
+                                const CancelToken* cancel = nullptr) const;
 
   /// Brute-force reference: scans every set. Used to validate exactness
   /// and as the E4 baseline.

@@ -117,8 +117,9 @@ std::vector<TableResult> DiscoveryEngine::Keyword(const std::string& query,
 }
 
 Result<std::vector<ColumnResult>> DiscoveryEngine::Joinable(
-    const std::vector<std::string>& query_values, JoinMethod method,
-    size_t k) const {
+    const std::vector<std::string>& query_values, JoinMethod method, size_t k,
+    const CancelToken* cancel) const {
+  if (cancel != nullptr) LAKE_RETURN_IF_ERROR(cancel->Check());
   switch (method) {
     case JoinMethod::kExactJaccard:
       if (exact_join_ == nullptr) {
@@ -134,12 +135,12 @@ Result<std::vector<ColumnResult>> DiscoveryEngine::Joinable(
       if (lsh_join_ == nullptr) {
         return Status::FailedPrecondition("LSH ensemble index not built");
       }
-      return lsh_join_->Search(query_values, /*threshold=*/0.5, k);
+      return lsh_join_->Search(query_values, /*threshold=*/0.5, k, cancel);
     case JoinMethod::kJosie:
       if (josie_ == nullptr) {
         return Status::FailedPrecondition("JOSIE index not built");
       }
-      return josie_->Search(query_values, k);
+      return josie_->Search(query_values, k, /*stats=*/nullptr, cancel);
     case JoinMethod::kPexeso:
       if (pexeso_ == nullptr) {
         return Status::FailedPrecondition("PEXESO index not built");
@@ -150,7 +151,9 @@ Result<std::vector<ColumnResult>> DiscoveryEngine::Joinable(
 }
 
 Result<std::vector<TableResult>> DiscoveryEngine::Unionable(
-    const Table& query, UnionMethod method, size_t k, int64_t exclude) const {
+    const Table& query, UnionMethod method, size_t k, int64_t exclude,
+    const CancelToken* cancel) const {
+  if (cancel != nullptr) LAKE_RETURN_IF_ERROR(cancel->Check());
   switch (method) {
     case UnionMethod::kTus:
       if (tus_ == nullptr) {
@@ -166,7 +169,7 @@ Result<std::vector<TableResult>> DiscoveryEngine::Unionable(
       if (starmie_ == nullptr) {
         return Status::FailedPrecondition("Starmie engine not built");
       }
-      return starmie_->Search(query, k, exclude);
+      return starmie_->Search(query, k, exclude, cancel);
     case UnionMethod::kD3l:
       if (d3l_ == nullptr) {
         return Status::FailedPrecondition("D3L engine not built");

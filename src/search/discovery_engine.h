@@ -25,6 +25,7 @@
 #include "search/union_starmie.h"
 #include "search/union_tus.h"
 #include "table/catalog.h"
+#include "util/cancel.h"
 
 namespace lake {
 
@@ -88,15 +89,19 @@ class DiscoveryEngine {
   std::vector<TableResult> Keyword(const std::string& query, size_t k) const;
 
   /// Joinable-column search with a chosen strategy. For kLshEnsemble the
-  /// containment threshold is 0.5.
+  /// containment threshold is 0.5. `cancel` (optional) is checked at
+  /// dispatch for every method and polled inside the JOSIE and
+  /// LSH-Ensemble search loops.
   Result<std::vector<ColumnResult>> Joinable(
       const std::vector<std::string>& query_values, JoinMethod method,
-      size_t k) const;
+      size_t k, const CancelToken* cancel = nullptr) const;
 
-  /// Unionable-table search with a chosen strategy.
-  Result<std::vector<TableResult>> Unionable(const Table& query,
-                                             UnionMethod method, size_t k,
-                                             int64_t exclude = -1) const;
+  /// Unionable-table search with a chosen strategy. `cancel` (optional) is
+  /// checked at dispatch for every method and polled inside the Starmie
+  /// retrieval/verification loops.
+  Result<std::vector<TableResult>> Unionable(
+      const Table& query, UnionMethod method, size_t k, int64_t exclude = -1,
+      const CancelToken* cancel = nullptr) const;
 
   /// Cost-based joinable search (§3's "cost-based and distribution-aware
   /// access methods"): picks the strategy from simple statistics — exact

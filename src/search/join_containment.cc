@@ -54,7 +54,7 @@ Result<std::vector<size_t>> LshEnsembleJoinSearch::Candidates(
 
 Result<std::vector<ColumnResult>> LshEnsembleJoinSearch::Search(
     const std::vector<std::string>& query_values, double threshold,
-    size_t k) const {
+    size_t k, const CancelToken* cancel) const {
   std::vector<std::string> norm;
   norm.reserve(query_values.size());
   for (const std::string& v : query_values) {
@@ -68,7 +68,11 @@ Result<std::vector<ColumnResult>> LshEnsembleJoinSearch::Search(
                         ensemble_.Query(sig, qset.size(), threshold));
 
   TopK<std::pair<size_t, double>> heap(k);
+  size_t ranked = 0;
   for (uint64_t cand : candidates) {
+    if (cancel != nullptr && ShouldCheck(ranked++, 256)) {
+      LAKE_RETURN_IF_ERROR(cancel->Check());
+    }
     const size_t i = static_cast<size_t>(cand);
     double c;
     if (options_.store_exact_sets) {

@@ -8,6 +8,7 @@
 #include "search/query.h"
 #include "sketch/set_ops.h"
 #include "table/catalog.h"
+#include "util/cancel.h"
 
 namespace lake {
 
@@ -34,9 +35,10 @@ class LshEnsembleJoinSearch {
 
   /// Top-k candidate columns with containment >= threshold (best-effort:
   /// LSH recall is probabilistic). Sorted by descending containment.
+  /// `cancel` is polled along the candidate re-ranking loop.
   Result<std::vector<ColumnResult>> Search(
       const std::vector<std::string>& query_values, double threshold,
-      size_t k) const;
+      size_t k, const CancelToken* cancel = nullptr) const;
 
   /// Raw candidate column indices from the ensemble (benchmarks measure
   /// recall/precision of this set directly).

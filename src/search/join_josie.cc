@@ -21,9 +21,9 @@ JosieJoinSearch::JosieJoinSearch(const DataLakeCatalog* catalog,
 
 Result<std::vector<ColumnResult>> JosieJoinSearch::Search(
     const std::vector<std::string>& query_values, size_t k,
-    JosieIndex::QueryStats* stats) const {
+    JosieIndex::QueryStats* stats, const CancelToken* cancel) const {
   LAKE_ASSIGN_OR_RETURN(std::vector<JosieIndex::Hit> hits,
-                        index_.TopK(query_values, k, stats));
+                        index_.TopK(query_values, k, stats, cancel));
   std::vector<ColumnResult> out;
   out.reserve(hits.size());
   for (const JosieIndex::Hit& h : hits) {

@@ -24,10 +24,12 @@ class JosieJoinSearch {
       : JosieJoinSearch(catalog, Options{}) {}
   JosieJoinSearch(const DataLakeCatalog* catalog, Options options);
 
-  /// Exact top-k columns by overlap with the query values.
+  /// Exact top-k columns by overlap with the query values. `cancel` is
+  /// polled inside the index's search loops (see JosieIndex::TopK).
   Result<std::vector<ColumnResult>> Search(
       const std::vector<std::string>& query_values, size_t k,
-      JosieIndex::QueryStats* stats = nullptr) const;
+      JosieIndex::QueryStats* stats = nullptr,
+      const CancelToken* cancel = nullptr) const;
 
   const JosieIndex& index() const { return index_; }
   size_t num_indexed_columns() const { return refs_.size(); }

@@ -60,7 +60,8 @@ double StarmieUnionSearch::ScoreTable(const Table& query,
 }
 
 Result<std::vector<TableResult>> StarmieUnionSearch::Search(
-    const Table& query, size_t k, int64_t exclude) const {
+    const Table& query, size_t k, int64_t exclude,
+    const CancelToken* cancel) const {
   const std::vector<Vector> query_vecs = encoder_->EncodeTable(query);
   if (query_vecs.empty()) return std::vector<TableResult>{};
 
@@ -68,6 +69,7 @@ Result<std::vector<TableResult>> StarmieUnionSearch::Search(
   // table set.
   std::unordered_set<TableId> tables;
   for (const Vector& qv : query_vecs) {
+    if (cancel != nullptr) LAKE_RETURN_IF_ERROR(cancel->Check());
     Result<std::vector<VectorHit>> hits =
         options_.use_hnsw
             ? hnsw_.Search(qv, options_.neighbors_per_column,
@@ -83,7 +85,11 @@ Result<std::vector<TableResult>> StarmieUnionSearch::Search(
   std::sort(ordered.begin(), ordered.end());
 
   TopK<TableId> heap(k);
+  size_t verified = 0;
   for (TableId t : ordered) {
+    if (cancel != nullptr && ShouldCheck(verified++, 8)) {
+      LAKE_RETURN_IF_ERROR(cancel->Check());
+    }
     if (exclude >= 0 && t == static_cast<TableId>(exclude)) continue;
     const double score = ScorePrepared(query_vecs, t);
     if (score > 0) heap.Push(score, t);

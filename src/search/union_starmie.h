@@ -8,6 +8,7 @@
 #include "index/hnsw.h"
 #include "search/query.h"
 #include "table/catalog.h"
+#include "util/cancel.h"
 
 namespace lake {
 
@@ -41,9 +42,12 @@ class StarmieUnionSearch {
   StarmieUnionSearch(const DataLakeCatalog* catalog,
                      const ContextualColumnEncoder* encoder, Options options);
 
-  /// Top-k unionable tables. `exclude` drops a self-match by id.
-  Result<std::vector<TableResult>> Search(const Table& query, size_t k,
-                                          int64_t exclude = -1) const;
+  /// Top-k unionable tables. `exclude` drops a self-match by id. `cancel`
+  /// is polled between query columns during retrieval and between
+  /// candidate tables during bipartite verification.
+  Result<std::vector<TableResult>> Search(
+      const Table& query, size_t k, int64_t exclude = -1,
+      const CancelToken* cancel = nullptr) const;
 
   /// Verified score of one candidate table (diagnostics, tests).
   double ScoreTable(const Table& query, TableId candidate) const;

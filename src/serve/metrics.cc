@@ -1,0 +1,210 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace lake::serve {
+
+namespace {
+constexpr int kSubBits = 2;  // 4 sub-buckets per power of two
+constexpr uint64_t kSubCount = 1ull << kSubBits;
+}  // namespace
+
+size_t LatencyHistogram::BucketIndex(uint64_t micros) {
+  if (micros < kSubCount) return static_cast<size_t>(micros);  // 0..3 exact
+  const int msb = 63 - std::countl_zero(micros);
+  const int shift = msb - kSubBits;
+  const uint64_t sub = (micros >> shift) & (kSubCount - 1);
+  const size_t index =
+      static_cast<size_t>(msb - kSubBits + 1) * kSubCount + sub;
+  return std::min(index, kNumBuckets - 1);
+}
+
+uint64_t LatencyHistogram::BucketLowerBound(size_t index) {
+  if (index < kSubCount) return index;
+  const int msb = static_cast<int>(index / kSubCount) + kSubBits - 1;
+  const uint64_t sub = index & (kSubCount - 1);
+  return (kSubCount + sub) << (msb - kSubBits);
+}
+
+void LatencyHistogram::Record(double micros) {
+  const uint64_t us =
+      micros <= 0 ? 0 : static_cast<uint64_t>(std::llround(micros));
+  buckets_[BucketIndex(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(us, std::memory_order_relaxed);
+  uint64_t prev = max_micros_.load(std::memory_order_relaxed);
+  while (prev < us &&
+         !max_micros_.compare_exchange_weak(prev, us,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_micros =
+      static_cast<double>(sum_micros_.load(std::memory_order_relaxed));
+  s.max_micros =
+      static_cast<double>(max_micros_.load(std::memory_order_relaxed));
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+double LatencyHistogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = cum + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      const double lo = static_cast<double>(BucketLowerBound(i));
+      const double hi = i + 1 < kNumBuckets
+                            ? static_cast<double>(BucketLowerBound(i + 1))
+                            : max_micros;
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(buckets[i]);
+      return std::min(lo + (hi - lo) * frac, max_micros);
+    }
+    cum = next;
+  }
+  return max_micros;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<LatencyHistogram>()).first;
+  }
+  return it->second.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
+  Snapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    const LatencyHistogram::Snapshot s = hist->Snap();
+    out.histograms.push_back(HistogramRow{name, s.count, s.mean(), s.p50(),
+                                          s.p95(), s.p99(), s.max_micros});
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToText() const {
+  const Snapshot snap = Snap();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    out += StrFormat("%s: %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const HistogramRow& h : snap.histograms) {
+    out += StrFormat(
+        "%s: count=%llu mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus "
+        "max=%.1fus\n",
+        h.name.c_str(), static_cast<unsigned long long>(h.count), h.mean_us,
+        h.p50_us, h.p95_us, h.p99_us, h.max_us);
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const Snapshot snap = Snap();
+  std::string out = "{\"counters\":{";
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i != 0) out += ",";
+    out += StrFormat(
+        "\"%s\":%llu", snap.counters[i].first.c_str(),
+        static_cast<unsigned long long>(snap.counters[i].second));
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramRow& h = snap.histograms[i];
+    if (i != 0) out += ",";
+    out += StrFormat(
+        "\"%s\":{\"count\":%llu,\"mean_us\":%.1f,\"p50_us\":%.1f,"
+        "\"p95_us\":%.1f,\"p99_us\":%.1f,\"max_us\":%.1f}",
+        h.name.c_str(), static_cast<unsigned long long>(h.count), h.mean_us,
+        h.p50_us, h.p95_us, h.p99_us, h.max_us);
+  }
+  out += "}}";
+  return out;
+}
+
+namespace {
+constexpr uint64_t kSnapshotMagic = 0x314d534c;  // "LSM1"
+}  // namespace
+
+Status WriteSnapshot(const MetricsRegistry::Snapshot& snap, BinaryWriter* w) {
+  w->WriteVarint(kSnapshotMagic);
+  w->WriteVarint(snap.counters.size());
+  for (const auto& [name, value] : snap.counters) {
+    w->WriteString(name);
+    w->WriteVarint(value);
+  }
+  w->WriteVarint(snap.histograms.size());
+  for (const MetricsRegistry::HistogramRow& h : snap.histograms) {
+    w->WriteString(h.name);
+    w->WriteVarint(h.count);
+    w->WriteDouble(h.mean_us);
+    w->WriteDouble(h.p50_us);
+    w->WriteDouble(h.p95_us);
+    w->WriteDouble(h.p99_us);
+    w->WriteDouble(h.max_us);
+  }
+  if (!w->ok()) return Status::IoError("metrics snapshot write failed");
+  return Status::OK();
+}
+
+Result<MetricsRegistry::Snapshot> ReadSnapshot(BinaryReader* r) {
+  LAKE_ASSIGN_OR_RETURN(uint64_t magic, r->ReadVarint());
+  if (magic != kSnapshotMagic) {
+    return Status::IoError("not a metrics snapshot");
+  }
+  MetricsRegistry::Snapshot snap;
+  LAKE_ASSIGN_OR_RETURN(uint64_t num_counters, r->ReadVarint());
+  snap.counters.reserve(num_counters);
+  for (uint64_t i = 0; i < num_counters; ++i) {
+    LAKE_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+    LAKE_ASSIGN_OR_RETURN(uint64_t value, r->ReadVarint());
+    snap.counters.emplace_back(std::move(name), value);
+  }
+  LAKE_ASSIGN_OR_RETURN(uint64_t num_hists, r->ReadVarint());
+  snap.histograms.reserve(num_hists);
+  for (uint64_t i = 0; i < num_hists; ++i) {
+    MetricsRegistry::HistogramRow h;
+    LAKE_ASSIGN_OR_RETURN(h.name, r->ReadString());
+    LAKE_ASSIGN_OR_RETURN(h.count, r->ReadVarint());
+    LAKE_ASSIGN_OR_RETURN(h.mean_us, r->ReadDouble());
+    LAKE_ASSIGN_OR_RETURN(h.p50_us, r->ReadDouble());
+    LAKE_ASSIGN_OR_RETURN(h.p95_us, r->ReadDouble());
+    LAKE_ASSIGN_OR_RETURN(h.p99_us, r->ReadDouble());
+    LAKE_ASSIGN_OR_RETURN(h.max_us, r->ReadDouble());
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+}  // namespace lake::serve

@@ -1,0 +1,111 @@
+#ifndef LAKE_SERVE_METRICS_H_
+#define LAKE_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace lake::serve {
+
+/// Monotonic counter. Add/value are lock-free; many threads may report.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Fixed-memory log-scale latency histogram (microsecond samples): buckets
+/// are quarters of powers of two (HdrHistogram-style, 2 sub-bucket bits),
+/// so relative error of any extracted quantile is bounded by ~12.5% while
+/// the whole histogram is 256 atomic slots. Record is lock-free.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 256;
+
+  /// Records one latency sample in microseconds (negative clamps to 0).
+  void Record(double micros);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum_micros = 0;
+    double max_micros = 0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+
+    double mean() const { return count == 0 ? 0 : sum_micros / count; }
+    /// Quantile in microseconds by interpolation inside the hit bucket.
+    double Quantile(double q) const;
+    double p50() const { return Quantile(0.50); }
+    double p95() const { return Quantile(0.95); }
+    double p99() const { return Quantile(0.99); }
+  };
+
+  Snapshot Snap() const;
+
+  /// Bucket index for a microsecond value, and the inclusive lower bound /
+  /// exclusive upper bound of a bucket (exposed for tests).
+  static size_t BucketIndex(uint64_t micros);
+  static uint64_t BucketLowerBound(size_t index);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+  std::atomic<uint64_t> max_micros_{0};
+};
+
+/// Registry of named counters and latency histograms the serving layer
+/// (executor, cache, engine hooks) reports into. Get* creates on first use
+/// and returns a stable pointer callers cache; snapshots are consistent
+/// per-metric (relaxed across metrics, which is fine for monitoring).
+class MetricsRegistry {
+ public:
+  struct HistogramRow {
+    std::string name;
+    uint64_t count = 0;
+    double mean_us = 0;
+    double p50_us = 0;
+    double p95_us = 0;
+    double p99_us = 0;
+    double max_us = 0;
+  };
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;  // name-sorted
+    std::vector<HistogramRow> histograms;                    // name-sorted
+  };
+
+  Counter* GetCounter(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  Snapshot Snap() const;
+
+  /// Human-readable dump, one metric per line.
+  std::string ToText() const;
+  /// Single-object JSON dump ({"counters":{...},"histograms":{...}}).
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+/// Binary round-trip of a registry snapshot (BinaryWriter/BinaryReader),
+/// used to ship metrics off-process and to archive bench runs.
+Status WriteSnapshot(const MetricsRegistry::Snapshot& snap, BinaryWriter* w);
+Result<MetricsRegistry::Snapshot> ReadSnapshot(BinaryReader* r);
+
+}  // namespace lake::serve
+
+#endif  // LAKE_SERVE_METRICS_H_

@@ -1,0 +1,324 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace lake::serve {
+
+namespace {
+
+/// Order-insensitive hash of a value multiset (join queries are sets; the
+/// caller's value order must not fragment the cache).
+uint64_t HashValuesUnordered(const std::vector<std::string>& values) {
+  uint64_t h = 0;
+  for (const std::string& v : values) h += Mix64(Hash64(v, /*seed=*/41));
+  return h;
+}
+
+uint64_t HashNumbers(const std::vector<double>& values) {
+  uint64_t h = 0xa5a5a5a5a5a5a5a5ULL;
+  for (double v : values) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = HashCombine(h, bits);
+  }
+  return h;
+}
+
+/// Content hash of a query table: name, shape, column names and cells.
+/// Union queries are whole tables, so identity (not pointer) keys the
+/// cache entry.
+uint64_t HashTable(const Table& t) {
+  uint64_t h = Hash64(t.name(), /*seed=*/97);
+  h = HashCombine(h, t.num_columns());
+  h = HashCombine(h, t.num_rows());
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    const Column& col = t.column(c);
+    h = HashCombine(h, Hash64(col.name()));
+    h = HashCombine(h, static_cast<uint64_t>(col.type()));
+    for (const std::string& s : col.NonNullStrings()) {
+      h = HashCombine(h, Hash64(s));
+    }
+  }
+  return h;
+}
+
+size_t KindIndex(QueryKind kind) { return static_cast<size_t>(kind); }
+
+const char* KindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kKeyword:
+      return "keyword";
+    case QueryKind::kJoin:
+      return "join";
+    case QueryKind::kUnion:
+      return "union";
+    case QueryKind::kCorrelated:
+      return "correlated";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+QueryService::QueryService(const DiscoveryEngine* engine, Options options)
+    : engine_(engine),
+      options_(std::move(options)),
+      cache_(options_.cache),
+      queries_admitted_(metrics_.GetCounter("serve.queries.admitted")),
+      queries_rejected_(metrics_.GetCounter("serve.queries.rejected")),
+      queries_deadline_exceeded_(
+          metrics_.GetCounter("serve.queries.deadline_exceeded")),
+      queries_cancelled_(metrics_.GetCounter("serve.queries.cancelled")),
+      queries_failed_(metrics_.GetCounter("serve.queries.failed")),
+      cache_hits_(metrics_.GetCounter("serve.cache.hits")),
+      cache_misses_(metrics_.GetCounter("serve.cache.misses")),
+      josie_postings_read_(
+          metrics_.GetCounter("engine.josie.postings_read")),
+      queue_wait_(metrics_.GetHistogram("serve.queue_wait")),
+      pool_(std::max<size_t>(1, options_.num_workers)) {
+  for (QueryKind kind : {QueryKind::kKeyword, QueryKind::kJoin,
+                         QueryKind::kUnion, QueryKind::kCorrelated}) {
+    latency_by_kind_[KindIndex(kind)] = metrics_.GetHistogram(
+        std::string("serve.latency.") + KindName(kind));
+  }
+}
+
+QueryService::~QueryService() = default;
+
+Status QueryService::Validate(const QueryRequest& request) const {
+  switch (request.kind) {
+    case QueryKind::kKeyword:
+      if (request.keyword.empty()) {
+        return Status::InvalidArgument("keyword query requires text");
+      }
+      return Status::OK();
+    case QueryKind::kJoin:
+      if (request.values.empty()) {
+        return Status::InvalidArgument("join query requires values");
+      }
+      return Status::OK();
+    case QueryKind::kUnion:
+      if (request.union_table == nullptr) {
+        return Status::InvalidArgument("union query requires a table");
+      }
+      return Status::OK();
+    case QueryKind::kCorrelated:
+      if (request.values.empty() || request.numeric_values.empty()) {
+        return Status::InvalidArgument(
+            "correlated query requires key values and a numeric column");
+      }
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+uint64_t QueryService::CacheKey(const QueryRequest& request) const {
+  uint64_t h = Hash64(static_cast<uint64_t>(request.kind), /*seed=*/3);
+  h = HashCombine(h, epoch());
+  h = HashCombine(h, request.k);
+  h = HashCombine(h, static_cast<uint64_t>(request.exclude));
+  switch (request.kind) {
+    case QueryKind::kKeyword:
+      h = HashCombine(h, Hash64(request.keyword));
+      break;
+    case QueryKind::kJoin:
+      h = HashCombine(h, static_cast<uint64_t>(request.join_method));
+      h = HashCombine(h, HashValuesUnordered(request.values));
+      break;
+    case QueryKind::kUnion:
+      h = HashCombine(h, static_cast<uint64_t>(request.union_method));
+      h = HashCombine(h, HashTable(*request.union_table));
+      break;
+    case QueryKind::kCorrelated:
+      h = HashCombine(h, HashValuesUnordered(request.values));
+      h = HashCombine(h, HashNumbers(request.numeric_values));
+      break;
+  }
+  return h;
+}
+
+Result<SubmittedQuery> QueryService::Submit(QueryRequest request) {
+  LAKE_RETURN_IF_ERROR(Validate(request));
+
+  // Bounded admission: reserve a slot or reject. CAS (not fetch_add) so a
+  // burst of rejected queries cannot overshoot the pending count.
+  size_t pending = pending_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (pending >= options_.max_pending) {
+      queries_rejected_->Add();
+      return Status::Overloaded("admission queue full");
+    }
+    if (pending_.compare_exchange_weak(pending, pending + 1,
+                                       std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  queries_admitted_->Add();
+
+  auto cancel = std::make_shared<CancelToken>();
+  const auto admitted = std::chrono::steady_clock::now();
+  if (request.deadline.has_value()) {
+    cancel->SetDeadline(admitted + *request.deadline);
+  } else if (options_.default_deadline.count() > 0) {
+    cancel->SetDeadline(admitted + options_.default_deadline);
+  }
+
+  std::future<QueryResponse> future = pool_.Async(
+      [this, request = std::move(request), cancel, admitted]() {
+        QueryResponse response = Run(request, cancel.get(), admitted);
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        return response;
+      });
+  return SubmittedQuery{std::move(future), std::move(cancel)};
+}
+
+QueryResponse QueryService::Execute(QueryRequest request) {
+  Result<SubmittedQuery> submitted = Submit(std::move(request));
+  if (!submitted.ok()) {
+    QueryResponse response;
+    response.status = submitted.status();
+    return response;
+  }
+  return submitted->response.get();
+}
+
+Result<std::vector<ColumnResult>> QueryService::JosieWithStats(
+    const QueryRequest& request, const CancelToken* cancel) {
+  JosieIndex::QueryStats stats;
+  Result<std::vector<ColumnResult>> result =
+      engine_->josie_join()->Search(request.values, request.k, &stats, cancel);
+  josie_postings_read_->Add(stats.posting_entries_read);
+  return result;
+}
+
+void QueryService::InvalidateCache() {
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  cache_.Clear();
+}
+
+QueryResponse QueryService::Run(
+    const QueryRequest& request, const CancelToken* cancel,
+    std::chrono::steady_clock::time_point admitted) {
+  const auto started = std::chrono::steady_clock::now();
+  queue_wait_->Record(
+      std::chrono::duration<double, std::micro>(started - admitted).count());
+
+  if (options_.pre_execute_hook) options_.pre_execute_hook(request);
+
+  QueryResponse response;
+  const bool use_cache = options_.enable_cache && !request.bypass_cache;
+  const uint64_t key = use_cache ? CacheKey(request) : 0;
+
+  // A query that spent its whole budget queued fails before touching the
+  // engine (and before counting a cache miss).
+  Status live = cancel->Check();
+  if (live.ok() && use_cache) {
+    CachedResult hit;
+    if (cache_.Lookup(key, &hit)) {
+      cache_hits_->Add();
+      response.tables = std::move(hit.tables);
+      response.columns = std::move(hit.columns);
+      response.cache_hit = true;
+    } else {
+      cache_misses_->Add();
+    }
+  }
+
+  if (!live.ok()) {
+    response.status = live;
+  } else if (!response.cache_hit) {
+    switch (request.kind) {
+      case QueryKind::kKeyword:
+        response.tables = engine_->Keyword(request.keyword, request.k);
+        break;
+      case QueryKind::kJoin: {
+        Result<std::vector<ColumnResult>> result =
+            request.join_method == JoinMethod::kJosie &&
+                    engine_->josie_join() != nullptr
+                ? JosieWithStats(request, cancel)
+                : engine_->Joinable(request.values, request.join_method,
+                                    request.k, cancel);
+        if (result.ok()) {
+          response.columns = std::move(result).value();
+        } else {
+          response.status = result.status();
+        }
+        break;
+      }
+      case QueryKind::kUnion: {
+        Result<std::vector<TableResult>> result =
+            engine_->Unionable(*request.union_table, request.union_method,
+                               request.k, request.exclude, cancel);
+        if (result.ok()) {
+          response.tables = std::move(result).value();
+        } else {
+          response.status = result.status();
+        }
+        break;
+      }
+      case QueryKind::kCorrelated: {
+        const CorrelatedJoinSearch* correlated = engine_->correlated_join();
+        if (correlated == nullptr) {
+          response.status =
+              Status::FailedPrecondition("correlated index not built");
+          break;
+        }
+        Status check = cancel->Check();
+        if (!check.ok()) {
+          response.status = check;
+          break;
+        }
+        Result<std::vector<CorrelatedJoinSearch::CorrelatedResult>> result =
+            correlated->Search(request.values, request.numeric_values,
+                               request.k);
+        if (!result.ok()) {
+          response.status = result.status();
+          break;
+        }
+        for (const auto& r : result.value()) {
+          response.columns.push_back(ColumnResult{
+              ColumnRef{r.table_id, r.numeric_column}, r.score,
+              StrFormat("corr=%.3f containment=%.3f", r.est_correlation,
+                        r.est_containment)});
+        }
+        break;
+      }
+    }
+    // A query expired mid-execution must not populate the cache: the
+    // engine may have unwound with partial work, and the cancelled status
+    // is the contract.
+    if (response.status.ok() && use_cache && cancel->Check().ok()) {
+      cache_.Insert(key, CachedResult{response.tables, response.columns});
+    }
+  }
+
+  switch (response.status.code()) {
+    case StatusCode::kOk:
+      break;
+    case StatusCode::kDeadlineExceeded:
+      queries_deadline_exceeded_->Add();
+      break;
+    case StatusCode::kCancelled:
+      queries_cancelled_->Add();
+      break;
+    default:
+      queries_failed_->Add();
+      break;
+  }
+
+  const auto finished = std::chrono::steady_clock::now();
+  response.latency_ms =
+      std::chrono::duration<double, std::milli>(finished - admitted).count();
+  latency_by_kind_[KindIndex(request.kind)]->Record(
+      std::chrono::duration<double, std::micro>(finished - admitted).count());
+  return response;
+}
+
+}  // namespace lake::serve

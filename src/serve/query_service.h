@@ -1,0 +1,167 @@
+#ifndef LAKE_SERVE_QUERY_SERVICE_H_
+#define LAKE_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "search/discovery_engine.h"
+#include "serve/metrics.h"
+#include "serve/result_cache.h"
+#include "util/cancel.h"
+#include "util/thread_pool.h"
+
+namespace lake::serve {
+
+/// Query flavors the service multiplexes over one DiscoveryEngine.
+enum class QueryKind {
+  kKeyword,     // free-text metadata search
+  kJoin,        // joinable-column search (request.join_method)
+  kUnion,       // unionable-table search (request.union_method)
+  kCorrelated,  // joinable + correlated numeric search
+};
+
+/// One query. The request owns its inputs except `union_table`, which must
+/// outlive the call (tables are large; the service never copies them).
+struct QueryRequest {
+  QueryKind kind = QueryKind::kKeyword;
+
+  std::string keyword;                  // kKeyword
+  std::vector<std::string> values;      // kJoin / kCorrelated join key
+  std::vector<double> numeric_values;   // kCorrelated numeric column
+  const Table* union_table = nullptr;   // kUnion
+
+  JoinMethod join_method = JoinMethod::kJosie;
+  UnionMethod union_method = UnionMethod::kStarmie;
+  size_t k = 10;
+  /// Exclude a self-match by table id (union search).
+  int64_t exclude = -1;
+
+  /// Per-query budget; unset means Options::default_deadline (whose zero
+  /// default means no deadline), while an explicit 0ms expires
+  /// immediately. The budget covers queue wait + execution, so an
+  /// overloaded service fails queued queries fast.
+  std::optional<std::chrono::milliseconds> deadline;
+  /// Skip cache lookup AND result insertion for this query.
+  bool bypass_cache = false;
+};
+
+/// Outcome of one query. Exactly one of `tables` / `columns` is populated
+/// on success, depending on the query kind.
+struct QueryResponse {
+  Status status;
+  std::vector<TableResult> tables;   // keyword / union
+  std::vector<ColumnResult> columns; // join / correlated
+  bool cache_hit = false;
+  double latency_ms = 0;  // admission to completion, incl. queue wait
+};
+
+/// Admission + completion handle returned by Submit. Cancelling via
+/// `cancel` makes the query unwind at its next polling point with
+/// kCancelled; the future is always eventually satisfied.
+struct SubmittedQuery {
+  std::future<QueryResponse> response;
+  std::shared_ptr<CancelToken> cancel;
+};
+
+/// The serving layer of Figure 1's discovery system: wraps a read-only
+/// DiscoveryEngine behind a thread-pool executor with a bounded admission
+/// queue (explicit kOverloaded backpressure instead of unbounded latency),
+/// per-query deadlines with cooperative cancellation, a sharded LRU result
+/// cache keyed by canonical query hashes, and a MetricsRegistry every
+/// component reports into. The engine's indexes are immutable after
+/// construction, so worker threads query them concurrently without locks.
+class QueryService {
+ public:
+  struct Options {
+    size_t num_workers = 4;
+    /// Max queries admitted but not yet finished; Submit beyond this
+    /// returns kOverloaded immediately (backpressure to the caller).
+    size_t max_pending = 256;
+    bool enable_cache = true;
+    ResultCache::Options cache;
+    std::chrono::milliseconds default_deadline{0};  // 0 = none
+    /// Test/fault-injection instrumentation: runs on the worker thread
+    /// after dequeue, before the engine executes.
+    std::function<void(const QueryRequest&)> pre_execute_hook;
+  };
+
+  QueryService(const DiscoveryEngine* engine, Options options);
+  /// Drains in-flight queries before returning.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits a query for asynchronous execution. Fails fast with
+  /// kOverloaded when `max_pending` queries are already in flight and
+  /// with kInvalidArgument for malformed requests (e.g. kUnion without a
+  /// table). Never blocks.
+  Result<SubmittedQuery> Submit(QueryRequest request);
+
+  /// Synchronous convenience wrapper: admits, waits, returns. Overload and
+  /// validation failures surface in QueryResponse::status.
+  QueryResponse Execute(QueryRequest request);
+
+  /// Logically invalidates every cached result by bumping the engine
+  /// epoch (part of every cache key), then frees the old entries.
+  void InvalidateCache();
+
+  /// Epoch mixed into cache keys; bumped by InvalidateCache.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  /// Canonical cache key of a request under the current epoch: a 64-bit
+  /// hash of (kind, method, k, exclude, epoch, query content). Value order
+  /// is canonicalized for set-semantics queries, so permutations of the
+  /// same join query share one entry.
+  uint64_t CacheKey(const QueryRequest& request) const;
+
+  /// Queries admitted and not yet completed.
+  size_t pending() const { return pending_.load(std::memory_order_relaxed); }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  ResultCache& cache() { return cache_; }
+  const Options& options() const { return options_; }
+
+ private:
+  QueryResponse Run(const QueryRequest& request, const CancelToken* cancel,
+                    std::chrono::steady_clock::time_point admitted);
+  Status Validate(const QueryRequest& request) const;
+  /// JOSIE path with the engine hook: harvests the index's per-query work
+  /// counters (postings read) into the registry.
+  Result<std::vector<ColumnResult>> JosieWithStats(
+      const QueryRequest& request, const CancelToken* cancel);
+
+  const DiscoveryEngine* engine_;
+  Options options_;
+  MetricsRegistry metrics_;
+  ResultCache cache_;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<size_t> pending_{0};
+
+  // Hot-path metric handles (resolved once; the registry owns them).
+  Counter* queries_admitted_;
+  Counter* queries_rejected_;
+  Counter* queries_deadline_exceeded_;
+  Counter* queries_cancelled_;
+  Counter* queries_failed_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Counter* josie_postings_read_;
+  LatencyHistogram* queue_wait_;
+  LatencyHistogram* latency_by_kind_[4];
+
+  // Last member: destroyed (and therefore drained) first, while the
+  // cache/metrics the workers report into are still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace lake::serve
+
+#endif  // LAKE_SERVE_QUERY_SERVICE_H_

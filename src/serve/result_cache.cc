@@ -1,0 +1,118 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace lake::serve {
+
+size_t CachedResult::ApproxBytes() const {
+  size_t bytes = sizeof(CachedResult);
+  for (const TableResult& t : tables) {
+    bytes += sizeof(TableResult) + t.why.capacity();
+  }
+  for (const ColumnResult& c : columns) {
+    bytes += sizeof(ColumnResult) + c.why.capacity();
+  }
+  return bytes;
+}
+
+ResultCache::ResultCache(Options options) {
+  const size_t shards = std::bit_ceil(std::max<size_t>(1, options.num_shards));
+  per_shard_capacity_ = std::max<size_t>(1, options.capacity_bytes / shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool ResultCache::Lookup(uint64_t key, CachedResult* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->value;
+  return true;
+}
+
+void ResultCache::Insert(uint64_t key, CachedResult value) {
+  const size_t bytes = value.ApproxBytes();
+  if (bytes > per_shard_capacity_) return;  // oversized: never admitted
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+  shard.lru.push_front(Entry{key, bytes, std::move(value)});
+  shard.map[key] = shard.lru.begin();
+  shard.bytes += bytes;
+  ++shard.insertions;
+  while (shard.bytes > per_shard_capacity_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ResultCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+    shard->bytes = 0;
+  }
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  Stats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.insertions += shard->insertions;
+    stats.entries += shard->lru.size();
+    stats.bytes += shard->bytes;
+  }
+  return stats;
+}
+
+namespace {
+constexpr uint64_t kStatsMagic = 0x3153434c;  // "LCS1"
+}  // namespace
+
+Status WriteStats(const ResultCache::Stats& stats, BinaryWriter* w) {
+  w->WriteVarint(kStatsMagic);
+  w->WriteVarint(stats.hits);
+  w->WriteVarint(stats.misses);
+  w->WriteVarint(stats.evictions);
+  w->WriteVarint(stats.insertions);
+  w->WriteVarint(stats.entries);
+  w->WriteVarint(stats.bytes);
+  if (!w->ok()) return Status::IoError("cache stats write failed");
+  return Status::OK();
+}
+
+Result<ResultCache::Stats> ReadStats(BinaryReader* r) {
+  LAKE_ASSIGN_OR_RETURN(uint64_t magic, r->ReadVarint());
+  if (magic != kStatsMagic) return Status::IoError("not a cache stats block");
+  ResultCache::Stats stats;
+  LAKE_ASSIGN_OR_RETURN(stats.hits, r->ReadVarint());
+  LAKE_ASSIGN_OR_RETURN(stats.misses, r->ReadVarint());
+  LAKE_ASSIGN_OR_RETURN(stats.evictions, r->ReadVarint());
+  LAKE_ASSIGN_OR_RETURN(stats.insertions, r->ReadVarint());
+  LAKE_ASSIGN_OR_RETURN(stats.entries, r->ReadVarint());
+  LAKE_ASSIGN_OR_RETURN(stats.bytes, r->ReadVarint());
+  return stats;
+}
+
+}  // namespace lake::serve

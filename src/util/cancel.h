@@ -1,0 +1,81 @@
+#ifndef LAKE_UTIL_CANCEL_H_
+#define LAKE_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "util/status.h"
+
+namespace lake {
+
+/// Cooperative cancellation + deadline carrier threaded through long-running
+/// search loops. A token is cancelled explicitly (Cancel()) or implicitly by
+/// its deadline passing; loops poll Expired() every few hundred iterations
+/// and unwind with kCancelled / kDeadlineExceeded. All members are safe to
+/// call from any thread.
+///
+/// Expired() reads one relaxed atomic and, only when a deadline is armed,
+/// the steady clock — cheap enough for inner-loop polling at coarse stride.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// Arms the deadline; a zero/negative budget expires immediately.
+  explicit CancelToken(std::chrono::nanoseconds budget) {
+    SetDeadline(Clock::now() + budget);
+  }
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  /// Arms (or rearms) the absolute deadline.
+  void SetDeadline(Clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+
+  /// True once cancelled or past the deadline.
+  bool Expired() const {
+    if (cancelled()) return true;
+    const int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != kNoDeadline && Clock::now().time_since_epoch().count() >= d;
+  }
+
+  /// OK while live; kCancelled / kDeadlineExceeded once expired. Loops use
+  /// `LAKE_RETURN_IF_ERROR(token->Check())` at their polling points.
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("query cancelled");
+    const int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d != kNoDeadline && Clock::now().time_since_epoch().count() >= d) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline = INT64_MAX;
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+};
+
+/// Polling-point helper: `if (ShouldCheck(i)) ...` — true every `stride`
+/// iterations (stride must be a power of two).
+inline bool ShouldCheck(size_t iteration, size_t stride = 256) {
+  return (iteration & (stride - 1)) == 0;
+}
+
+}  // namespace lake
+
+#endif  // LAKE_UTIL_CANCEL_H_

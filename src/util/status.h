@@ -21,6 +21,9 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kIoError,
+  kDeadlineExceeded,
+  kCancelled,
+  kOverloaded,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -58,6 +61,15 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

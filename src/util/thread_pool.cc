@@ -24,10 +24,19 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
-    ++inflight_;
+    if (!stop_) {
+      tasks_.push(std::move(task));
+      ++inflight_;
+      // Notify while holding the lock: the destructor must acquire mu_
+      // before tearing the pool down, so the condition variable cannot be
+      // destroyed while this signal is still in flight.
+      task_cv_.notify_one();
+      return;
+    }
   }
-  task_cv_.notify_one();
+  // Pool is shutting down: run inline so the task (and any future attached
+  // to it) still completes instead of being silently dropped.
+  task();
 }
 
 void ThreadPool::Wait() {
