@@ -16,6 +16,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -23,6 +26,8 @@
 #include "lakegen/generator.h"
 #include "search/discovery_engine.h"
 #include "serve/query_service.h"
+#include "store/recovery.h"
+#include "store/snapshot.h"
 #include "util/string_util.h"
 
 namespace {
@@ -141,6 +146,63 @@ PassResult Replay(QueryService& service,
   return r;
 }
 
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Flips one payload byte of `section` in generation `gen` of `dir`.
+void CorruptSection(const std::string& dir, uint64_t gen,
+                    const std::string& section) {
+  const std::string path =
+      dir + "/" + lake::store::SnapshotStore::SnapshotFileName(gen);
+  auto reader = lake::store::SnapshotReader::OpenFile(path);
+  if (!reader.ok()) return;
+  for (const auto& info : reader->sections()) {
+    if (info.name != section) continue;
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = std::move(buf).str();
+    bytes[info.offset + 5] ^= 1;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return;
+  }
+}
+
+/// Deferred engine + RecoveryManager restore from `store`, timed. Reports
+/// the degraded-mode counters the serving layer exports.
+struct RecoveryRow {
+  double recovery_ms = 0;
+  uint64_t sections_recovered = 0;
+  int degraded = 0;
+  uint64_t quarantined_sections = 0;
+};
+
+RecoveryRow RunRecovery(const GeneratedLake& lake,
+                        const DiscoveryEngine::Options& eopts,
+                        lake::store::SnapshotStore* store) {
+  DiscoveryEngine::Options deferred = eopts;
+  deferred.defer_index_build = true;
+  DiscoveryEngine engine(&lake.catalog, &lake.kb, deferred);
+  lake::store::RecoveryManager recovery(store);
+  for (const std::string& section : engine.PendingIndexSections()) {
+    recovery.Register(section, [&engine, section](const std::string& payload) {
+      return engine.LoadIndexSection(section, payload);
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  (void)recovery.RecoverAll();
+  RecoveryRow row;
+  row.recovery_ms = ElapsedMs(start);
+  row.sections_recovered = recovery.sections_loaded();
+  row.degraded = recovery.degraded() ? 1 : 0;
+  row.quarantined_sections = recovery.quarantined().size();
+  return row;
+}
+
 }  // namespace
 
 int main() {
@@ -168,6 +230,63 @@ int main() {
   eopts.synthesize_kb = false;
   eopts.train_annotator = false;
   DiscoveryEngine engine(&lake.catalog, &lake.kb, eopts);
+
+  // Durability phase: checkpoint the persistable indexes, then time a
+  // deferred engine's restore — once from a clean store, once from a
+  // single-generation store whose JOSIE section has a flipped byte (no
+  // older generation to fall back to, so recovery must go degraded).
+  {
+    namespace fs = std::filesystem;
+    const std::string clean_dir = fs::temp_directory_path() / "bench_serve_snap";
+    const std::string bad_dir = fs::temp_directory_path() / "bench_serve_snap_bad";
+    fs::remove_all(clean_dir);
+    fs::remove_all(bad_dir);
+
+    const auto ckpt_start = std::chrono::steady_clock::now();
+    lake::store::SnapshotStore store(clean_dir);
+    lake::store::SnapshotWriter snapshot;
+    (void)engine.SaveIndexSections(&snapshot);
+    const auto committed = store.Commit(snapshot);
+    const double checkpoint_ms = ElapsedMs(ckpt_start);
+
+    lake::store::SnapshotStore::Options bad_opts;
+    bad_opts.keep_generations = 1;
+    lake::store::SnapshotStore bad_store(bad_dir, bad_opts);
+    const auto bad_gen = bad_store.Commit(snapshot);
+    if (bad_gen.ok()) {
+      CorruptSection(bad_dir, *bad_gen, DiscoveryEngine::kJosieSection);
+    }
+
+    const RecoveryRow clean = RunRecovery(lake, eopts, &store);
+    const RecoveryRow corrupt = RunRecovery(lake, eopts, &bad_store);
+    std::printf(
+        "checkpoint %.1fms (gen %llu); recovery clean %.1fms "
+        "(%llu sections, degraded=%d), corrupted %.1fms "
+        "(%llu sections, degraded=%d, quarantined=%llu)\n\n",
+        checkpoint_ms,
+        static_cast<unsigned long long>(committed.ok() ? *committed : 0),
+        clean.recovery_ms,
+        static_cast<unsigned long long>(clean.sections_recovered),
+        clean.degraded, corrupt.recovery_ms,
+        static_cast<unsigned long long>(corrupt.sections_recovered),
+        corrupt.degraded,
+        static_cast<unsigned long long>(corrupt.quarantined_sections));
+    for (const auto& [pass, row] :
+         {std::pair<const char*, const RecoveryRow&>{"clean", clean},
+          {"corrupted", corrupt}}) {
+      lake::bench::PrintJsonLine(
+          "E18:bench_serve:recovery",
+          StrFormat("\"pass\":\"%s\",\"checkpoint_ms\":%.1f,"
+                    "\"recovery_ms\":%.1f,\"sections_recovered\":%llu,"
+                    "\"degraded\":%d,\"quarantined_sections\":%llu",
+                    pass, checkpoint_ms, row.recovery_ms,
+                    static_cast<unsigned long long>(row.sections_recovered),
+                    row.degraded,
+                    static_cast<unsigned long long>(row.quarantined_sections)));
+    }
+    fs::remove_all(clean_dir);
+    fs::remove_all(bad_dir);
+  }
 
   const std::vector<QueryRequest> workload = MakeWorkload(lake);
   std::printf("%zu tables, %zu queries (%zu distinct), k=%zu\n",

@@ -24,7 +24,7 @@ DiscoveryEngine::DiscoveryEngine(const DataLakeCatalog* catalog,
   if (options_.build_lsh_join) {
     lsh_join_ = std::make_unique<LshEnsembleJoinSearch>(catalog_);
   }
-  if (options_.build_josie) {
+  if (options_.build_josie && !options_.defer_index_build) {
     josie_ = std::make_unique<JosieJoinSearch>(catalog_);
   }
   if (options_.build_pexeso) {
@@ -42,7 +42,7 @@ DiscoveryEngine::DiscoveryEngine(const DataLakeCatalog* catalog,
   if (options_.build_santos) {
     santos_ = std::make_unique<SantosUnionSearch>(catalog_, &kb_);
   }
-  if (options_.build_starmie) {
+  if (options_.build_starmie && !options_.defer_index_build) {
     starmie_ =
         std::make_unique<StarmieUnionSearch>(catalog_, &contextual_encoder_);
   }
@@ -71,6 +71,51 @@ DiscoveryEngine::DiscoveryEngine(const DataLakeCatalog* catalog,
       annotator_ = std::move(detector);
     }
   }
+}
+
+Status DiscoveryEngine::SaveIndexSections(
+    store::SnapshotWriter* snapshot) const {
+  if (josie_ != nullptr) {
+    LAKE_RETURN_IF_ERROR(snapshot->AddSection(
+        kJosieSection,
+        [&](BinaryWriter* w) { return josie_->SaveSnapshot(w->stream()); }));
+  }
+  if (starmie_ != nullptr) {
+    LAKE_RETURN_IF_ERROR(snapshot->AddSection(
+        kStarmieSection,
+        [&](BinaryWriter* w) { return starmie_->SaveSnapshot(w->stream()); }));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> DiscoveryEngine::PendingIndexSections() const {
+  std::vector<std::string> pending;
+  if (options_.build_josie && josie_ == nullptr) {
+    pending.push_back(kJosieSection);
+  }
+  if (options_.build_starmie && starmie_ == nullptr) {
+    pending.push_back(kStarmieSection);
+  }
+  return pending;
+}
+
+Status DiscoveryEngine::LoadIndexSection(const std::string& name,
+                                         const std::string& payload) {
+  if (name == kJosieSection) {
+    LAKE_ASSIGN_OR_RETURN(std::unique_ptr<JosieJoinSearch> loaded,
+                          JosieJoinSearch::FromSnapshot(catalog_, payload));
+    josie_ = std::move(loaded);
+    return Status::OK();
+  }
+  if (name == kStarmieSection) {
+    LAKE_ASSIGN_OR_RETURN(
+        std::unique_ptr<StarmieUnionSearch> loaded,
+        StarmieUnionSearch::FromSnapshot(catalog_, &contextual_encoder_,
+                                         payload));
+    starmie_ = std::move(loaded);
+    return Status::OK();
+  }
+  return Status::NotFound("unknown index section: " + name);
 }
 
 Result<DiscoveryEngine::AutoJoinResult> DiscoveryEngine::JoinableAuto(

@@ -24,6 +24,7 @@
 #include "search/union_santos.h"
 #include "search/union_starmie.h"
 #include "search/union_tus.h"
+#include "store/snapshot.h"
 #include "table/catalog.h"
 #include "util/cancel.h"
 
@@ -74,6 +75,12 @@ class DiscoveryEngine {
     bool train_annotator = true;
     /// Minimum KB coverage for a column to become a training example.
     double annotator_min_coverage = 0.5;
+    /// Leaves the snapshot-capable indexes (JOSIE, Starmie) unbuilt so a
+    /// server can restore them from a SnapshotStore via LoadIndexSection
+    /// instead of paying the O(lake) build. Sections that fail to load
+    /// stay null and their query methods return FailedPrecondition — the
+    /// engine serves degraded rather than not at all.
+    bool defer_index_build = false;
   };
 
   /// `kb` is an optional curated knowledge base; the engine copies it and,
@@ -123,6 +130,27 @@ class DiscoveryEngine {
 
   /// True when the distantly-supervised annotator was trainable.
   bool annotator_ready() const { return annotator_ != nullptr; }
+
+  // --- Snapshot persistence (crash-safe restart) ------------------------
+
+  /// Snapshot section names for the persistable indexes.
+  static constexpr const char* kJosieSection = "index/josie";
+  static constexpr const char* kStarmieSection = "index/starmie.hnsw";
+
+  /// Adds one checksummed section per built persistable index (JOSIE,
+  /// Starmie HNSW) to `snapshot`; commit through a SnapshotStore.
+  Status SaveIndexSections(store::SnapshotWriter* snapshot) const;
+
+  /// Sections that are enabled by Options but not currently loaded —
+  /// what a RecoveryManager should Register after a deferred build.
+  std::vector<std::string> PendingIndexSections() const;
+
+  /// Restores one index from a CRC-verified section payload. Validates
+  /// the payload against this engine's catalog/encoder; on failure the
+  /// modality stays null (queries keep returning FailedPrecondition) and
+  /// the engine is otherwise untouched. Must not run concurrently with
+  /// queries.
+  Status LoadIndexSection(const std::string& name, const std::string& payload);
 
   // --- Component access (benchmarks, tests, advanced callers) ----------
 

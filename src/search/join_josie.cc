@@ -1,6 +1,9 @@
 #include "search/join_josie.h"
 
+#include <sstream>
+
 #include "util/logging.h"
+#include "util/serialize.h"
 #include "util/string_util.h"
 
 namespace lake {
@@ -17,6 +20,46 @@ JosieJoinSearch::JosieJoinSearch(const DataLakeCatalog* catalog,
     LAKE_CHECK(index_.AddSet(dense_id, values).ok());
   });
   LAKE_CHECK(index_.Build().ok());
+}
+
+Status JosieJoinSearch::SaveSnapshot(std::ostream* out) const {
+  BinaryWriter w(out);
+  w.WriteVarint(refs_.size());
+  for (const ColumnRef& ref : refs_) {
+    w.WriteVarint(ref.table_id);
+    w.WriteVarint(ref.column_index);
+  }
+  if (!w.ok()) return Status::IoError("josie snapshot write failed");
+  return index_.Save(out);
+}
+
+Result<std::unique_ptr<JosieJoinSearch>> JosieJoinSearch::FromSnapshot(
+    const DataLakeCatalog* catalog, const std::string& payload,
+    Options options) {
+  std::istringstream in(payload);
+  BinaryReader r(&in);
+  auto search = std::unique_ptr<JosieJoinSearch>(
+      new JosieJoinSearch(catalog, options, DeferBuildTag{}));
+  LAKE_ASSIGN_OR_RETURN(uint64_t num_refs, r.ReadVarint());
+  search->refs_.reserve(num_refs);
+  for (uint64_t i = 0; i < num_refs; ++i) {
+    ColumnRef ref;
+    LAKE_ASSIGN_OR_RETURN(uint64_t table_id, r.ReadVarint());
+    LAKE_ASSIGN_OR_RETURN(uint64_t column, r.ReadVarint());
+    if (table_id >= catalog->num_tables() ||
+        column >= catalog->table(static_cast<TableId>(table_id)).num_columns()) {
+      return Status::IoError("josie snapshot references a column outside "
+                             "this catalog (stale snapshot?)");
+    }
+    ref.table_id = static_cast<TableId>(table_id);
+    ref.column_index = static_cast<uint32_t>(column);
+    search->refs_.push_back(ref);
+  }
+  LAKE_RETURN_IF_ERROR(search->index_.Load(&in));
+  if (search->index_.num_sets() != search->refs_.size()) {
+    return Status::IoError("josie snapshot index/mapping size mismatch");
+  }
+  return search;
 }
 
 Result<std::vector<ColumnResult>> JosieJoinSearch::Search(

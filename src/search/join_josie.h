@@ -1,6 +1,8 @@
 #ifndef LAKE_SEARCH_JOIN_JOSIE_H_
 #define LAKE_SEARCH_JOIN_JOSIE_H_
 
+#include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -31,11 +33,32 @@ class JosieJoinSearch {
       JosieIndex::QueryStats* stats = nullptr,
       const CancelToken* cancel = nullptr) const;
 
+  /// Persists the column mapping and the built JOSIE index (the payload of
+  /// snapshot section "index/josie"), so restart skips the O(lake) build.
+  Status SaveSnapshot(std::ostream* out) const;
+
+  /// Restores a search persisted with SaveSnapshot against the same
+  /// catalog. The payload is validated against the catalog (column refs in
+  /// range, index set count matching the mapping); on any error nothing is
+  /// returned and the caller's engine stays without a JOSIE modality.
+  static Result<std::unique_ptr<JosieJoinSearch>> FromSnapshot(
+      const DataLakeCatalog* catalog, const std::string& payload) {
+    return FromSnapshot(catalog, payload, Options{});
+  }
+  static Result<std::unique_ptr<JosieJoinSearch>> FromSnapshot(
+      const DataLakeCatalog* catalog, const std::string& payload,
+      Options options);
+
   const JosieIndex& index() const { return index_; }
   size_t num_indexed_columns() const { return refs_.size(); }
   const std::vector<ColumnRef>& indexed_columns() const { return refs_; }
 
  private:
+  struct DeferBuildTag {};
+  JosieJoinSearch(const DataLakeCatalog* catalog, Options options,
+                  DeferBuildTag)
+      : catalog_(catalog), options_(options) {}
+
   const DataLakeCatalog* catalog_;
   Options options_;
   std::vector<ColumnRef> refs_;

@@ -1,10 +1,12 @@
 #include "search/union_starmie.h"
 
 #include <algorithm>
+#include <sstream>
 #include <unordered_set>
 
 #include "search/bipartite_matching.h"
 #include "util/logging.h"
+#include "util/serialize.h"
 #include "util/string_util.h"
 #include "util/top_k.h"
 
@@ -36,6 +38,77 @@ StarmieUnionSearch::StarmieUnionSearch(const DataLakeCatalog* catalog,
       vectors_.push_back(vecs[c]);
     }
   }
+}
+
+StarmieUnionSearch::StarmieUnionSearch(const DataLakeCatalog* catalog,
+                                       const ContextualColumnEncoder* encoder,
+                                       Options options, DeferBuildTag)
+    : catalog_(catalog),
+      encoder_(encoder),
+      options_(options),
+      hnsw_(HnswIndex::Options{encoder->dim(), VectorMetric::kCosine,
+                               options.hnsw_m, options.hnsw_ef_construction,
+                               /*seed=*/1234}),
+      flat_(encoder->dim(), VectorMetric::kCosine) {}
+
+Status StarmieUnionSearch::SaveSnapshot(std::ostream* out) const {
+  if (!options_.use_hnsw) {
+    return Status::FailedPrecondition(
+        "starmie snapshot requires the HNSW retrieval path");
+  }
+  BinaryWriter w(out);
+  w.WriteVarint(refs_.size());
+  for (const ColumnRef& ref : refs_) {
+    w.WriteVarint(ref.table_id);
+    w.WriteVarint(ref.column_index);
+  }
+  for (const Vector& vec : vectors_) w.WriteFloatVector(vec);
+  if (!w.ok()) return Status::IoError("starmie snapshot write failed");
+  return hnsw_.Save(out);
+}
+
+Result<std::unique_ptr<StarmieUnionSearch>> StarmieUnionSearch::FromSnapshot(
+    const DataLakeCatalog* catalog, const ContextualColumnEncoder* encoder,
+    const std::string& payload, Options options) {
+  if (!options.use_hnsw) {
+    return Status::FailedPrecondition(
+        "starmie snapshot requires the HNSW retrieval path");
+  }
+  std::istringstream in(payload);
+  BinaryReader r(&in);
+  auto search = std::unique_ptr<StarmieUnionSearch>(new StarmieUnionSearch(
+      catalog, encoder, options, DeferBuildTag{}));
+  search->table_columns_.resize(catalog->num_tables());
+  LAKE_ASSIGN_OR_RETURN(uint64_t num_refs, r.ReadVarint());
+  search->refs_.reserve(num_refs);
+  search->vectors_.reserve(num_refs);
+  for (uint64_t i = 0; i < num_refs; ++i) {
+    LAKE_ASSIGN_OR_RETURN(uint64_t table_id, r.ReadVarint());
+    LAKE_ASSIGN_OR_RETURN(uint64_t column, r.ReadVarint());
+    if (table_id >= catalog->num_tables() ||
+        column >= catalog->table(static_cast<TableId>(table_id)).num_columns()) {
+      return Status::IoError("starmie snapshot references a column outside "
+                             "this catalog (stale snapshot?)");
+    }
+    search->refs_.push_back(
+        ColumnRef{static_cast<TableId>(table_id), static_cast<uint32_t>(column)});
+    search->table_columns_[table_id].push_back(static_cast<uint32_t>(i));
+  }
+  for (uint64_t i = 0; i < num_refs; ++i) {
+    LAKE_ASSIGN_OR_RETURN(Vector vec, r.ReadFloatVector());
+    if (vec.size() != encoder->dim()) {
+      return Status::IoError("starmie snapshot embedding dimension mismatch");
+    }
+    search->vectors_.push_back(std::move(vec));
+  }
+  LAKE_RETURN_IF_ERROR(search->hnsw_.Load(&in));
+  if (search->hnsw_.options().dim != encoder->dim()) {
+    return Status::IoError("starmie snapshot graph dimension mismatch");
+  }
+  if (search->hnsw_.size() != search->refs_.size()) {
+    return Status::IoError("starmie snapshot graph/mapping size mismatch");
+  }
+  return search;
 }
 
 double StarmieUnionSearch::ScorePrepared(const std::vector<Vector>& query_vecs,

@@ -1,6 +1,9 @@
 #ifndef LAKE_SEARCH_UNION_STARMIE_H_
 #define LAKE_SEARCH_UNION_STARMIE_H_
 
+#include <memory>
+#include <ostream>
+#include <string>
 #include <vector>
 
 #include "embed/contextual_encoder.h"
@@ -54,7 +57,30 @@ class StarmieUnionSearch {
 
   size_t num_indexed_columns() const { return refs_.size(); }
 
+  /// Persists the column mapping, the column embeddings, and the HNSW
+  /// graph (the payload of snapshot section "index/starmie.hnsw"), so a
+  /// restart skips re-encoding every lake column. Requires use_hnsw.
+  Status SaveSnapshot(std::ostream* out) const;
+
+  /// Restores a search persisted with SaveSnapshot against the same
+  /// catalog and encoder. Validates refs against the catalog, the graph
+  /// size against the mapping, and the graph dimension against the
+  /// encoder; any mismatch fails the load without a partial object.
+  static Result<std::unique_ptr<StarmieUnionSearch>> FromSnapshot(
+      const DataLakeCatalog* catalog, const ContextualColumnEncoder* encoder,
+      const std::string& payload) {
+    return FromSnapshot(catalog, encoder, payload, Options{});
+  }
+  static Result<std::unique_ptr<StarmieUnionSearch>> FromSnapshot(
+      const DataLakeCatalog* catalog, const ContextualColumnEncoder* encoder,
+      const std::string& payload, Options options);
+
  private:
+  struct DeferBuildTag {};
+  StarmieUnionSearch(const DataLakeCatalog* catalog,
+                     const ContextualColumnEncoder* encoder, Options options,
+                     DeferBuildTag);
+
   double ScorePrepared(const std::vector<Vector>& query_vecs,
                        TableId t) const;
 

@@ -88,6 +88,15 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
   return it->second.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
 LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
@@ -104,6 +113,10 @@ MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
   for (const auto& [name, counter] : counters_) {
     out.counters.emplace_back(name, counter->value());
   }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge->value());
+  }
   out.histograms.reserve(histograms_.size());
   for (const auto& [name, hist] : histograms_) {
     const LatencyHistogram::Snapshot s = hist->Snap();
@@ -117,6 +130,10 @@ std::string MetricsRegistry::ToText() const {
   const Snapshot snap = Snap();
   std::string out;
   for (const auto& [name, value] : snap.counters) {
+    out += StrFormat("%s: %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
     out += StrFormat("%s: %llu\n", name.c_str(),
                      static_cast<unsigned long long>(value));
   }
@@ -139,6 +156,12 @@ std::string MetricsRegistry::ToJson() const {
         "\"%s\":%llu", snap.counters[i].first.c_str(),
         static_cast<unsigned long long>(snap.counters[i].second));
   }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i != 0) out += ",";
+    out += StrFormat("\"%s\":%llu", snap.gauges[i].first.c_str(),
+                     static_cast<unsigned long long>(snap.gauges[i].second));
+  }
   out += "},\"histograms\":{";
   for (size_t i = 0; i < snap.histograms.size(); ++i) {
     const HistogramRow& h = snap.histograms[i];
@@ -154,13 +177,19 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 namespace {
-constexpr uint64_t kSnapshotMagic = 0x314d534c;  // "LSM1"
+constexpr uint64_t kSnapshotMagicV1 = 0x314d534c;  // "LSM1" — no gauges
+constexpr uint64_t kSnapshotMagic = 0x324d534c;    // "LSM2"
 }  // namespace
 
 Status WriteSnapshot(const MetricsRegistry::Snapshot& snap, BinaryWriter* w) {
   w->WriteVarint(kSnapshotMagic);
   w->WriteVarint(snap.counters.size());
   for (const auto& [name, value] : snap.counters) {
+    w->WriteString(name);
+    w->WriteVarint(value);
+  }
+  w->WriteVarint(snap.gauges.size());
+  for (const auto& [name, value] : snap.gauges) {
     w->WriteString(name);
     w->WriteVarint(value);
   }
@@ -180,7 +209,7 @@ Status WriteSnapshot(const MetricsRegistry::Snapshot& snap, BinaryWriter* w) {
 
 Result<MetricsRegistry::Snapshot> ReadSnapshot(BinaryReader* r) {
   LAKE_ASSIGN_OR_RETURN(uint64_t magic, r->ReadVarint());
-  if (magic != kSnapshotMagic) {
+  if (magic != kSnapshotMagic && magic != kSnapshotMagicV1) {
     return Status::IoError("not a metrics snapshot");
   }
   MetricsRegistry::Snapshot snap;
@@ -190,6 +219,15 @@ Result<MetricsRegistry::Snapshot> ReadSnapshot(BinaryReader* r) {
     LAKE_ASSIGN_OR_RETURN(std::string name, r->ReadString());
     LAKE_ASSIGN_OR_RETURN(uint64_t value, r->ReadVarint());
     snap.counters.emplace_back(std::move(name), value);
+  }
+  if (magic == kSnapshotMagic) {  // v1 predates gauges
+    LAKE_ASSIGN_OR_RETURN(uint64_t num_gauges, r->ReadVarint());
+    snap.gauges.reserve(num_gauges);
+    for (uint64_t i = 0; i < num_gauges; ++i) {
+      LAKE_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+      LAKE_ASSIGN_OR_RETURN(uint64_t value, r->ReadVarint());
+      snap.gauges.emplace_back(std::move(name), value);
+    }
   }
   LAKE_ASSIGN_OR_RETURN(uint64_t num_hists, r->ReadVarint());
   snap.histograms.reserve(num_hists);

@@ -25,6 +25,17 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// Last-write-wins level metric (degraded flag, quarantine depth, queue
+/// length). Set/value are lock-free.
+class Gauge {
+ public:
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
 /// Fixed-memory log-scale latency histogram (microsecond samples): buckets
 /// are quarters of powers of two (HdrHistogram-style, 2 sub-bucket bits),
 /// so relative error of any extracted quantile is bounded by ~12.5% while
@@ -82,10 +93,12 @@ class MetricsRegistry {
 
   struct Snapshot {
     std::vector<std::pair<std::string, uint64_t>> counters;  // name-sorted
+    std::vector<std::pair<std::string, uint64_t>> gauges;    // name-sorted
     std::vector<HistogramRow> histograms;                    // name-sorted
   };
 
   Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
   LatencyHistogram* GetHistogram(const std::string& name);
 
   Snapshot Snap() const;
@@ -98,6 +111,7 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
 };
 

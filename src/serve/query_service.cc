@@ -77,6 +77,9 @@ QueryService::QueryService(const DiscoveryEngine* engine, Options options)
           metrics_.GetCounter("serve.queries.deadline_exceeded")),
       queries_cancelled_(metrics_.GetCounter("serve.queries.cancelled")),
       queries_failed_(metrics_.GetCounter("serve.queries.failed")),
+      queries_unavailable_(metrics_.GetCounter("serve.queries.unavailable")),
+      degraded_gauge_(metrics_.GetGauge("serve.degraded")),
+      quarantined_gauge_(metrics_.GetGauge("serve.quarantined_sections")),
       cache_hits_(metrics_.GetCounter("serve.cache.hits")),
       cache_misses_(metrics_.GetCounter("serve.cache.misses")),
       josie_postings_read_(
@@ -198,6 +201,20 @@ Result<std::vector<ColumnResult>> QueryService::JosieWithStats(
   return result;
 }
 
+QueryService::HealthSnapshot QueryService::Health() {
+  HealthSnapshot health;
+  if (options_.recovery != nullptr) {
+    health.degraded = options_.recovery->degraded();
+    health.quarantined = options_.recovery->quarantined();
+    health.sections_loaded = options_.recovery->sections_loaded();
+    health.recovered_generation = options_.recovery->recovered_generation();
+  }
+  health.ok = !health.degraded;
+  degraded_gauge_->Set(health.degraded ? 1 : 0);
+  quarantined_gauge_->Set(health.quarantined.size());
+  return health;
+}
+
 void QueryService::InvalidateCache() {
   epoch_.fetch_add(1, std::memory_order_relaxed);
   cache_.Clear();
@@ -307,6 +324,9 @@ QueryResponse QueryService::Run(
       break;
     case StatusCode::kCancelled:
       queries_cancelled_->Add();
+      break;
+    case StatusCode::kFailedPrecondition:
+      queries_unavailable_->Add();
       break;
     default:
       queries_failed_->Add();

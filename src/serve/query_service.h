@@ -14,6 +14,7 @@
 #include "search/discovery_engine.h"
 #include "serve/metrics.h"
 #include "serve/result_cache.h"
+#include "store/recovery.h"
 #include "util/cancel.h"
 #include "util/thread_pool.h"
 
@@ -90,6 +91,11 @@ class QueryService {
     /// Test/fault-injection instrumentation: runs on the worker thread
     /// after dequeue, before the engine executes.
     std::function<void(const QueryRequest&)> pre_execute_hook;
+    /// Recovery state of the engine's snapshot-loaded indexes (not owned;
+    /// may be null). When set, Health() reports degraded-mode status and
+    /// keeps the serve.degraded / serve.quarantined_sections gauges
+    /// current.
+    store::RecoveryManager* recovery = nullptr;
   };
 
   QueryService(const DiscoveryEngine* engine, Options options);
@@ -122,6 +128,22 @@ class QueryService {
   /// same join query share one entry.
   uint64_t CacheKey(const QueryRequest& request) const;
 
+  /// Degraded-mode health: which snapshot sections are quarantined and
+  /// how far recovery has progressed. `ok` means every registered section
+  /// loaded (vacuously true without a RecoveryManager).
+  struct HealthSnapshot {
+    bool ok = true;
+    bool degraded = false;
+    uint64_t sections_loaded = 0;
+    uint64_t recovered_generation = 0;
+    std::vector<store::RecoveryManager::QuarantineEntry> quarantined;
+  };
+
+  /// Snapshot of degraded-mode state; also refreshes the serve.degraded
+  /// and serve.quarantined_sections gauges, so exporting metrics after
+  /// Health() reflects the current quarantine.
+  HealthSnapshot Health();
+
   /// Queries admitted and not yet completed.
   size_t pending() const { return pending_.load(std::memory_order_relaxed); }
 
@@ -151,6 +173,11 @@ class QueryService {
   Counter* queries_deadline_exceeded_;
   Counter* queries_cancelled_;
   Counter* queries_failed_;
+  /// FailedPrecondition outcomes: the modality's index is unbuilt or
+  /// quarantined — the degraded-mode signal, distinct from other failures.
+  Counter* queries_unavailable_;
+  Gauge* degraded_gauge_;
+  Gauge* quarantined_gauge_;
   Counter* cache_hits_;
   Counter* cache_misses_;
   Counter* josie_postings_read_;

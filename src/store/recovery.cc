@@ -1,0 +1,171 @@
+#include "store/recovery.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace lake::store {
+
+RecoveryManager::RecoveryManager(SnapshotStore* store, Options options)
+    : store_(store), options_(std::move(options)) {}
+
+uint64_t RecoveryManager::Now() const {
+  if (options_.now_ms) return options_.now_ms();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t RecoveryManager::BackoffMs(uint64_t attempts) const {
+  // attempts=1 → initial, doubling per attempt, capped.
+  uint64_t backoff = options_.backoff_initial_ms;
+  for (uint64_t i = 1; i < attempts && backoff < options_.backoff_max_ms;
+       ++i) {
+    backoff *= 2;
+  }
+  return std::min(backoff, options_.backoff_max_ms);
+}
+
+void RecoveryManager::Register(std::string section, SectionLoader loader) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sections_[std::move(section)] = Registered{std::move(loader), false, Status::OK(), 0, 0};
+}
+
+Status RecoveryManager::TryLoad(const std::string& section,
+                                const SectionLoader& loader) {
+  std::vector<uint64_t> generations = store_->Generations();
+  if (generations.empty()) {
+    return Status::NotFound("no committed snapshot in " + store_->dir());
+  }
+  Status last = Status::NotFound("section " + section +
+                                 " absent from every generation");
+  // Newest first; a corrupt newest copy falls back to an older one.
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    Result<SnapshotStore::Opened> opened = store_->OpenGeneration(*it);
+    if (!opened.ok()) {
+      last = opened.status();
+      continue;
+    }
+    Result<std::string> payload = opened->reader.ReadSection(section);
+    if (!payload.ok()) {
+      last = payload.status();
+      continue;
+    }
+    Status loaded = loader(*payload);
+    if (loaded.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      recovered_generation_ = std::max(recovered_generation_, *it);
+      return Status::OK();
+    }
+    last = loaded;
+    LAKE_LOG(Warning) << "section " << section << " from generation " << *it
+                      << " rejected: " << loaded.ToString();
+  }
+  return last;
+}
+
+Status RecoveryManager::RecoverAll() {
+  // Snapshot the registration list, then run loaders without the lock
+  // (loaders may be slow and may not re-enter the manager).
+  std::vector<std::pair<std::string, SectionLoader>> todo;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, reg] : sections_) {
+      if (!reg.loaded) todo.emplace_back(name, reg.loader);
+    }
+  }
+
+  Status overall = Status::OK();
+  for (const auto& [name, loader] : todo) {
+    const Status status = TryLoad(name, loader);
+    std::lock_guard<std::mutex> lock(mu_);
+    Registered& reg = sections_[name];
+    reg.attempts += 1;
+    if (status.ok()) {
+      reg.loaded = true;
+      reg.last_status = Status::OK();
+      sections_loaded_ += 1;
+    } else {
+      reg.last_status = status;
+      reg.next_retry_ms = Now() + BackoffMs(reg.attempts);
+      LAKE_LOG(Warning) << "quarantining section " << name << ": "
+                        << status.ToString();
+      if (overall.ok()) overall = status;
+    }
+  }
+  return overall;
+}
+
+size_t RecoveryManager::RetryQuarantined() {
+  const uint64_t now = Now();
+  std::vector<std::pair<std::string, SectionLoader>> due;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, reg] : sections_) {
+      if (!reg.loaded && reg.attempts > 0 && now >= reg.next_retry_ms) {
+        due.emplace_back(name, reg.loader);
+      }
+    }
+  }
+
+  size_t recovered = 0;
+  for (const auto& [name, loader] : due) {
+    const Status status = TryLoad(name, loader);
+    std::lock_guard<std::mutex> lock(mu_);
+    Registered& reg = sections_[name];
+    reg.attempts += 1;
+    retry_attempts_ += 1;
+    if (status.ok()) {
+      reg.loaded = true;
+      reg.last_status = Status::OK();
+      sections_loaded_ += 1;
+      recovered += 1;
+      LAKE_LOG(Info) << "section " << name << " recovered after "
+                     << reg.attempts << " attempts";
+    } else {
+      reg.last_status = status;
+      reg.next_retry_ms = Now() + BackoffMs(reg.attempts);
+    }
+  }
+  return recovered;
+}
+
+bool RecoveryManager::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, reg] : sections_) {
+    (void)name;
+    if (!reg.loaded) return true;
+  }
+  return false;
+}
+
+std::vector<RecoveryManager::QuarantineEntry> RecoveryManager::quarantined()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QuarantineEntry> out;
+  for (const auto& [name, reg] : sections_) {
+    if (reg.loaded || reg.attempts == 0) continue;  // untried ≠ quarantined
+    out.push_back(QuarantineEntry{name, reg.last_status, reg.attempts,
+                                  reg.next_retry_ms});
+  }
+  return out;
+}
+
+uint64_t RecoveryManager::sections_loaded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sections_loaded_;
+}
+
+uint64_t RecoveryManager::retry_attempts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retry_attempts_;
+}
+
+uint64_t RecoveryManager::recovered_generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovered_generation_;
+}
+
+}  // namespace lake::store

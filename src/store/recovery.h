@@ -1,0 +1,111 @@
+#ifndef LAKE_STORE_RECOVERY_H_
+#define LAKE_STORE_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "store/snapshot.h"
+#include "util/status.h"
+
+namespace lake::store {
+
+/// Degraded-mode recovery driver: loads registered snapshot sections from
+/// a SnapshotStore, quarantining (instead of failing startup on) sections
+/// that are corrupt in every retained generation, and retrying quarantined
+/// sections with capped exponential backoff.
+///
+/// Per-section generation fallback: a section is tried in the newest
+/// generation first; if its payload fails CRC or its loader rejects it,
+/// older retained generations are consulted before quarantining, so one
+/// flipped bit in the newest checkpoint costs at most staleness, not a
+/// modality.
+///
+/// Thread-safety: the manager's own state is mutex-protected, so serving
+/// threads may poll `degraded()` / `quarantined()` concurrently. The
+/// registered loaders, however, typically mutate an engine; RecoverAll and
+/// RetryQuarantined must not run concurrently with queries against that
+/// engine (run them at startup or between query waves).
+class RecoveryManager {
+ public:
+  struct Options {
+    uint64_t backoff_initial_ms = 100;
+    uint64_t backoff_max_ms = 60'000;
+    /// Injectable clock (milliseconds, monotonic) so backoff is testable
+    /// deterministically; defaults to steady_clock.
+    std::function<uint64_t()> now_ms;
+  };
+
+  /// One quarantined section: why it failed, how often it was tried, and
+  /// when the next retry is allowed.
+  struct QuarantineEntry {
+    std::string section;
+    Status status;
+    uint64_t attempts = 0;
+    uint64_t next_retry_ms = 0;
+  };
+
+  /// Loads one section's verified payload into its owner; a non-OK return
+  /// quarantines the section (the loader must leave the owner unusable
+  /// for that modality, never half-loaded).
+  using SectionLoader = std::function<Status(const std::string& payload)>;
+
+  explicit RecoveryManager(SnapshotStore* store)
+      : RecoveryManager(store, Options{}) {}
+  RecoveryManager(SnapshotStore* store, Options options);
+
+  /// Registers a section to recover. Call before RecoverAll.
+  void Register(std::string section, SectionLoader loader);
+
+  /// Attempts every registered section (newest generation first, falling
+  /// back per-section to older retained generations). Failures quarantine
+  /// the section; the system starts degraded instead of not at all.
+  /// Returns OK iff every section loaded.
+  Status RecoverAll();
+
+  /// Retries quarantined sections whose backoff has expired; returns how
+  /// many recovered. Cheap no-op when nothing is due.
+  size_t RetryQuarantined();
+
+  bool degraded() const;
+  std::vector<QuarantineEntry> quarantined() const;
+
+  /// Counters for metrics/health export.
+  uint64_t sections_loaded() const;
+  uint64_t retry_attempts() const;
+  /// Generation the most recent successful section load came from
+  /// (0 before any load).
+  uint64_t recovered_generation() const;
+
+ private:
+  struct Registered {
+    SectionLoader loader;
+    bool loaded = false;
+    // Quarantine state (meaningful while !loaded after an attempt).
+    Status last_status;
+    uint64_t attempts = 0;
+    uint64_t next_retry_ms = 0;
+  };
+
+  /// Tries to load one section across retained generations. Caller holds
+  /// no lock; engine loaders run here.
+  Status TryLoad(const std::string& section, const SectionLoader& loader);
+
+  uint64_t Now() const;
+  uint64_t BackoffMs(uint64_t attempts) const;
+
+  SnapshotStore* store_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Registered> sections_;
+  uint64_t sections_loaded_ = 0;
+  uint64_t retry_attempts_ = 0;
+  uint64_t recovered_generation_ = 0;
+};
+
+}  // namespace lake::store
+
+#endif  // LAKE_STORE_RECOVERY_H_

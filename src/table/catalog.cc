@@ -39,16 +39,64 @@ Result<std::vector<TableId>> DataLakeCatalog::LoadDirectory(
     }
   }
   std::sort(paths.begin(), paths.end());  // deterministic ingest order
+  quarantined_.clear();
   std::vector<TableId> ids;
   for (const std::string& path : paths) {
     auto table = ReadCsvFile(path);
     if (!table.ok()) {
-      LAKE_LOG(Warning) << "skipping " << path << ": "
+      LAKE_LOG(Warning) << "quarantining " << path << ": "
                         << table.status().ToString();
+      quarantined_.push_back(QuarantinedFile{path, table.status()});
       continue;
     }
-    LAKE_ASSIGN_OR_RETURN(TableId id, AddTable(std::move(table).value()));
-    ids.push_back(id);
+    Result<TableId> id = AddTable(std::move(table).value());
+    if (!id.ok()) {
+      LAKE_LOG(Warning) << "quarantining " << path << ": "
+                        << id.status().ToString();
+      quarantined_.push_back(QuarantinedFile{path, id.status()});
+      continue;
+    }
+    ids.push_back(id.value());
+  }
+  return ids;
+}
+
+Status DataLakeCatalog::SaveSnapshot(store::SnapshotWriter* snapshot) const {
+  for (const Table& table : tables_) {
+    snapshot->AddSection("table/" + table.name(), WriteCsvString(table));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<TableId>> DataLakeCatalog::LoadSnapshot(
+    const store::SnapshotReader& reader) {
+  quarantined_.clear();
+  std::vector<TableId> ids;
+  for (const store::SnapshotReader::SectionInfo& section : reader.sections()) {
+    if (section.name.rfind("table/", 0) != 0) continue;
+    const std::string name = section.name.substr(6);
+    Result<std::string> csv = reader.ReadSection(section.name);
+    if (!csv.ok()) {
+      LAKE_LOG(Warning) << "quarantining " << section.name << ": "
+                        << csv.status().ToString();
+      quarantined_.push_back(QuarantinedFile{section.name, csv.status()});
+      continue;
+    }
+    Result<Table> table = ReadCsvString(*csv, name);
+    if (!table.ok()) {
+      LAKE_LOG(Warning) << "quarantining " << section.name << ": "
+                        << table.status().ToString();
+      quarantined_.push_back(QuarantinedFile{section.name, table.status()});
+      continue;
+    }
+    Result<TableId> id = AddTable(std::move(table).value());
+    if (!id.ok()) {
+      LAKE_LOG(Warning) << "quarantining " << section.name << ": "
+                        << id.status().ToString();
+      quarantined_.push_back(QuarantinedFile{section.name, id.status()});
+      continue;
+    }
+    ids.push_back(id.value());
   }
   return ids;
 }

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "store/snapshot.h"
 #include "table/stats.h"
 #include "table/table.h"
 #include "util/status.h"
@@ -52,8 +53,34 @@ class DataLakeCatalog {
   /// Adds a table; names must be unique within the catalog.
   Result<TableId> AddTable(Table table);
 
-  /// Loads every *.csv file in a directory (non-recursive).
+  /// One casualty of a bulk load: the file (or snapshot section) that was
+  /// skipped, and why. Real lakes always contain some broken inputs; the
+  /// catalog records them instead of aborting the whole ingest.
+  struct QuarantinedFile {
+    std::string path;  // file path, or snapshot section name
+    Status status;
+  };
+
+  /// Loads every *.csv file in a directory (non-recursive). Files that
+  /// fail to parse or to register are quarantined (see quarantined()) and
+  /// loading continues; the returned ids cover the successes.
   Result<std::vector<TableId>> LoadDirectory(const std::string& dir);
+
+  /// What the last LoadDirectory / LoadSnapshot skipped, in ingest order.
+  const std::vector<QuarantinedFile>& quarantined() const {
+    return quarantined_;
+  }
+
+  /// Adds one checksummed "table/<name>" CSV section per table to
+  /// `snapshot`; commit through a store::SnapshotStore for a crash-safe
+  /// catalog checkpoint.
+  Status SaveSnapshot(store::SnapshotWriter* snapshot) const;
+
+  /// Loads every "table/" section of `reader` that CRC-verifies and
+  /// parses; corrupt or rejected sections are quarantined and loading
+  /// continues, so one flipped bit costs one table, not the lake.
+  Result<std::vector<TableId>> LoadSnapshot(
+      const store::SnapshotReader& reader);
 
   /// Writes every table to `<dir>/<table name>.csv` (creating the
   /// directory), so a lake survives process restarts as plain CSVs —
@@ -91,6 +118,7 @@ class DataLakeCatalog {
  private:
   std::vector<Table> tables_;
   std::unordered_map<std::string, TableId> by_name_;
+  std::vector<QuarantinedFile> quarantined_;
   // Lazily filled stats cache. Mutable via const accessor; single-threaded
   // fill is guaranteed by computing stats eagerly in AddTable.
   std::vector<std::vector<ColumnStats>> stats_;

@@ -1,0 +1,43 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace lake {
+
+namespace {
+
+// Byte-at-a-time table for the reflected Castagnoli polynomial. Snapshot
+// payloads are megabytes at most, so table lookup throughput is ample and
+// keeps the implementation portable (no SSE4.2 requirement).
+constexpr uint32_t kPoly = 0x82f63b78u;  // 0x1EDC6F41 reflected
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t len) {
+  return Crc32cExtend(0, data, len);
+}
+
+}  // namespace lake

@@ -1,0 +1,25 @@
+#ifndef LAKE_UTIL_CRC32C_H_
+#define LAKE_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lake {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected), the checksum
+/// used by the snapshot envelope. Any single-bit or ≤32-bit burst error
+/// inside a checksummed region is guaranteed detected, which is the
+/// property the corruption-sweep tests rely on.
+uint32_t Crc32c(const void* data, size_t len);
+
+inline uint32_t Crc32c(std::string_view s) {
+  return Crc32c(s.data(), s.size());
+}
+
+/// Extends a running CRC with more bytes (init with crc = 0).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len);
+
+}  // namespace lake
+
+#endif  // LAKE_UTIL_CRC32C_H_

@@ -1,0 +1,178 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+namespace lake {
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+void FailpointRegistry::Arm(const std::string& name, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_[name] = Armed{spec, hit_counts_[name]};
+}
+
+void FailpointRegistry::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.erase(name);
+}
+
+void FailpointRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+}
+
+std::optional<FaultSpec> FailpointRegistry::Hit(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t hit = hit_counts_[name]++;
+  auto it = armed_.find(name);
+  if (it == armed_.end()) return std::nullopt;
+  if (hit - it->second.hits_when_armed != it->second.spec.after_hits) {
+    return std::nullopt;
+  }
+  FaultSpec spec = it->second.spec;
+  armed_.erase(it);  // one-shot: fires exactly once
+  return spec;
+}
+
+uint64_t FailpointRegistry::hits(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hit_counts_.find(name);
+  return it == hit_counts_.end() ? 0 : it->second;
+}
+
+// --- FaultInjectingStreambuf --------------------------------------------
+
+FaultInjectingStreambuf::FaultInjectingStreambuf(std::streambuf* target,
+                                                 std::string failpoint)
+    : target_(target), failpoint_(std::move(failpoint)) {}
+
+void FaultInjectingStreambuf::PollFailpoint() {
+  if (active_.has_value()) return;
+  active_ = FailpointRegistry::Instance().Hit(failpoint_);
+}
+
+std::streamsize FaultInjectingStreambuf::xsputn(const char* s,
+                                                std::streamsize n) {
+  if (write_dead_ || n <= 0) return write_dead_ ? 0 : n;
+  PollFailpoint();
+
+  std::streamsize allowed = n;
+  bool die_after = false;
+  std::string scratch;
+  if (active_.has_value()) {
+    switch (active_->kind) {
+      case FaultSpec::Kind::kError:
+      case FaultSpec::Kind::kEnospc:
+        write_dead_ = true;
+        active_.reset();
+        return 0;
+      case FaultSpec::Kind::kTornWrite: {
+        const uint64_t keep = active_->arg > bytes_written_
+                                  ? active_->arg - bytes_written_
+                                  : 0;
+        if (keep <= static_cast<uint64_t>(n)) {
+          // The tear lands inside this op: persist the prefix, then die.
+          allowed = static_cast<std::streamsize>(keep);
+          die_after = true;
+          active_.reset();
+        }
+        break;
+      }
+      case FaultSpec::Kind::kBitFlip: {
+        const uint64_t off = active_->arg;
+        if (off >= bytes_written_ &&
+            off < bytes_written_ + static_cast<uint64_t>(n)) {
+          scratch.assign(s, static_cast<size_t>(n));
+          scratch[static_cast<size_t>(off - bytes_written_)] ^= 0x01;
+          s = scratch.data();
+          active_.reset();
+        }
+        break;
+      }
+      case FaultSpec::Kind::kShortRead:
+        active_.reset();  // read fault armed on a write site: ignore
+        break;
+    }
+  }
+
+  const std::streamsize put = target_->sputn(s, allowed);
+  bytes_written_ += static_cast<uint64_t>(std::max<std::streamsize>(put, 0));
+  if (die_after) {
+    write_dead_ = true;
+    // A short return (put < n) makes the owning ostream set badbit; when
+    // the tear lands exactly on the op boundary the next write fails.
+    return put;
+  }
+  return put;
+}
+
+FaultInjectingStreambuf::int_type FaultInjectingStreambuf::overflow(
+    int_type ch) {
+  if (traits_type::eq_int_type(ch, traits_type::eof())) {
+    return sync() == 0 ? traits_type::not_eof(ch) : traits_type::eof();
+  }
+  const char c = traits_type::to_char_type(ch);
+  return xsputn(&c, 1) == 1 ? ch : traits_type::eof();
+}
+
+std::streamsize FaultInjectingStreambuf::xsgetn(char* s, std::streamsize n) {
+  if (read_dead_ || n <= 0) return 0;
+  PollFailpoint();
+
+  std::streamsize allowed = n;
+  bool die_after = false;
+  if (active_.has_value()) {
+    switch (active_->kind) {
+      case FaultSpec::Kind::kError:
+        read_dead_ = true;
+        active_.reset();
+        return 0;
+      case FaultSpec::Kind::kShortRead: {
+        const uint64_t keep =
+            active_->arg > bytes_read_ ? active_->arg - bytes_read_ : 0;
+        if (keep <= static_cast<uint64_t>(n)) {
+          allowed = static_cast<std::streamsize>(keep);
+          die_after = true;
+          active_.reset();
+        }
+        break;
+      }
+      case FaultSpec::Kind::kBitFlip:
+        break;  // applied below, after the read
+      case FaultSpec::Kind::kTornWrite:
+      case FaultSpec::Kind::kEnospc:
+        active_.reset();  // write fault armed on a read site: ignore
+        break;
+    }
+  }
+
+  const std::streamsize got = target_->sgetn(s, allowed);
+  if (active_.has_value() && active_->kind == FaultSpec::Kind::kBitFlip) {
+    const uint64_t off = active_->arg;
+    if (off >= bytes_read_ && off < bytes_read_ + static_cast<uint64_t>(got)) {
+      s[static_cast<size_t>(off - bytes_read_)] ^= 0x01;
+      active_.reset();
+    }
+  }
+  bytes_read_ += static_cast<uint64_t>(std::max<std::streamsize>(got, 0));
+  if (die_after) read_dead_ = true;
+  return got;
+}
+
+FaultInjectingStreambuf::int_type FaultInjectingStreambuf::underflow() {
+  if (xsgetn(&get_ch_, 1) != 1) return traits_type::eof();
+  setg(&get_ch_, &get_ch_, &get_ch_ + 1);
+  return traits_type::to_int_type(get_ch_);
+}
+
+int FaultInjectingStreambuf::sync() {
+  if (write_dead_) return -1;
+  return target_->pubsync();
+}
+
+}  // namespace lake

@@ -1,0 +1,147 @@
+#ifndef LAKE_UTIL_FAILPOINT_H_
+#define LAKE_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <streambuf>
+#include <string>
+
+namespace lake {
+
+/// What an armed failpoint injects when it fires. Faults are deterministic:
+/// a failpoint fires exactly once, on hit number `after_hits + 1`, so every
+/// recovery path can be driven by tests instead of hoped-for.
+struct FaultSpec {
+  enum class Kind {
+    kError,      // the operation reports a generic I/O failure
+    kEnospc,     // a write reports "no space left on device"
+    kTornWrite,  // only `arg` bytes of the write persist, then the sink dies
+    kShortRead,  // only `arg` bytes are returned, then premature EOF
+    kBitFlip,    // the byte at stream offset `arg` has its low bit flipped
+  };
+  Kind kind = Kind::kError;
+  /// Fires on hit number `after_hits + 1` of the named failpoint.
+  uint64_t after_hits = 0;
+  /// Kind-specific: bytes kept (kTornWrite/kShortRead) or the byte offset
+  /// of the flipped bit (kBitFlip), both relative to the guarded stream.
+  uint64_t arg = 0;
+};
+
+/// Process-wide registry of named failpoints. Production code declares
+/// fault sites by calling `Hit(name)` at the point where an injected fault
+/// should take effect; tests arm a site with `Arm`. Sites live on cold
+/// persistence paths only, so a mutex per hit is acceptable.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance();
+
+  void Arm(const std::string& name, FaultSpec spec);
+  void Disarm(const std::string& name);
+  /// Disarms everything (test teardown).
+  void Clear();
+
+  /// Records one hit of `name`; returns the armed spec iff this hit is the
+  /// one that fires. After firing, the failpoint disarms itself.
+  std::optional<FaultSpec> Hit(const std::string& name);
+
+  /// Lifetime hit count of `name` (armed or not), for test assertions.
+  uint64_t hits(const std::string& name);
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    uint64_t hits_when_armed = 0;
+  };
+
+  std::mutex mu_;
+  std::map<std::string, Armed> armed_;
+  std::map<std::string, uint64_t> hit_counts_;
+};
+
+/// Convenience: returns the firing spec for one hit of `name`, or nullopt.
+inline std::optional<FaultSpec> FailpointHit(const std::string& name) {
+  return FailpointRegistry::Instance().Hit(name);
+}
+
+/// RAII armer for tests: arms on construction, disarms on destruction.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, FaultSpec spec) : name_(std::move(name)) {
+    FailpointRegistry::Instance().Arm(name_, spec);
+  }
+  ~ScopedFailpoint() { FailpointRegistry::Instance().Disarm(name_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+/// Streambuf decorator that injects the faults armed on its failpoint name
+/// into reads/writes passing through: short reads, torn writes, ENOSPC,
+/// and bit flips at deterministic byte offsets. Wrap any istream/ostream
+/// buffer to exercise a consumer's corruption handling without touching
+/// the filesystem.
+class FaultInjectingStreambuf : public std::streambuf {
+ public:
+  FaultInjectingStreambuf(std::streambuf* target, std::string failpoint);
+
+  /// Total bytes successfully written / read through this wrapper.
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ protected:
+  int_type overflow(int_type ch) override;
+  std::streamsize xsputn(const char* s, std::streamsize n) override;
+  int_type underflow() override;
+  std::streamsize xsgetn(char* s, std::streamsize n) override;
+  int sync() override;
+
+ private:
+  /// Pulls a newly fired fault (if any) into `active_`.
+  void PollFailpoint();
+
+  std::streambuf* target_;
+  std::string failpoint_;
+  std::optional<FaultSpec> active_;  // fired but not fully applied yet
+  uint64_t bytes_written_ = 0;
+  uint64_t bytes_read_ = 0;
+  bool write_dead_ = false;  // torn write / ENOSPC fired: all writes fail
+  bool read_dead_ = false;   // short read fired: all reads hit EOF
+  char get_ch_ = 0;          // one-byte get area for underflow
+};
+
+/// istream/ostream wrappers owning the fault-injecting buffer, for
+/// one-line use in tests: `FaultInjectingOStream out(&real, "hnsw.save");`.
+class FaultInjectingOStream : public std::ostream {
+ public:
+  FaultInjectingOStream(std::ostream* target, std::string failpoint)
+      : std::ostream(nullptr), buf_(target->rdbuf(), std::move(failpoint)) {
+    rdbuf(&buf_);
+  }
+  const FaultInjectingStreambuf& buf() const { return buf_; }
+
+ private:
+  FaultInjectingStreambuf buf_;
+};
+
+class FaultInjectingIStream : public std::istream {
+ public:
+  FaultInjectingIStream(std::istream* target, std::string failpoint)
+      : std::istream(nullptr), buf_(target->rdbuf(), std::move(failpoint)) {
+    rdbuf(&buf_);
+  }
+  const FaultInjectingStreambuf& buf() const { return buf_; }
+
+ private:
+  FaultInjectingStreambuf buf_;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_UTIL_FAILPOINT_H_

@@ -27,6 +27,12 @@ class BinaryWriter {
     out_->put(static_cast<char>(v));
   }
 
+  void WriteFixed32(uint32_t v) {
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    out_->write(buf, 4);
+  }
+
   void WriteFixed64(uint64_t v) {
     char buf[8];
     std::memcpy(buf, &v, 8);
@@ -67,15 +73,28 @@ class BinaryWriter {
 
   bool ok() const { return out_->good(); }
 
+  /// The underlying stream, for payloads with their own serializers.
+  std::ostream* stream() { return out_; }
+
  private:
   std::ostream* out_;
 };
 
 /// Reader matching BinaryWriter. All methods return errors (never abort)
-/// on truncated or corrupt input.
+/// on truncated or corrupt input. Length prefixes above `max_length()`
+/// (default 1 GiB) are rejected *before* any allocation, so a corrupt
+/// header fails fast instead of attempting a huge allocation.
 class BinaryReader {
  public:
+  /// Default sanity cap on any length prefix (strings: bytes; vectors:
+  /// element count). No legitimate snapshot in this system approaches it.
+  static constexpr uint64_t kDefaultMaxLength = 1ULL << 30;  // 1 Gi
+
   explicit BinaryReader(std::istream* in) : in_(in) {}
+
+  /// Overrides the length-prefix sanity cap (tests, trusted bulk loads).
+  void set_max_length(uint64_t max_length) { max_length_ = max_length; }
+  uint64_t max_length() const { return max_length_; }
 
   Result<uint64_t> ReadVarint() {
     uint64_t v = 0;
@@ -88,6 +107,15 @@ class BinaryReader {
       shift += 7;
       if (shift >= 64) return Status::IoError("varint overflow");
     }
+    return v;
+  }
+
+  Result<uint32_t> ReadFixed32() {
+    char buf[4];
+    in_->read(buf, 4);
+    if (in_->gcount() != 4) return Status::IoError("truncated fixed32");
+    uint32_t v;
+    std::memcpy(&v, buf, 4);
     return v;
   }
 
@@ -120,7 +148,7 @@ class BinaryReader {
 
   Result<std::string> ReadString() {
     LAKE_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
-    if (n > (1ULL << 32)) return Status::IoError("string too large");
+    if (n > max_length_) return Status::IoError("string too large");
     std::string s(n, '\0');
     in_->read(s.data(), static_cast<std::streamsize>(n));
     if (static_cast<uint64_t>(in_->gcount()) != n) {
@@ -131,7 +159,7 @@ class BinaryReader {
 
   Result<std::vector<uint32_t>> ReadU32Vector() {
     LAKE_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
-    if (n > (1ULL << 32)) return Status::IoError("vector too large");
+    if (n > max_length_) return Status::IoError("vector too large");
     std::vector<uint32_t> v;
     v.reserve(n);
     for (uint64_t i = 0; i < n; ++i) {
@@ -143,7 +171,7 @@ class BinaryReader {
 
   Result<std::vector<uint64_t>> ReadU64Vector() {
     LAKE_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
-    if (n > (1ULL << 32)) return Status::IoError("vector too large");
+    if (n > max_length_) return Status::IoError("vector too large");
     std::vector<uint64_t> v;
     v.reserve(n);
     for (uint64_t i = 0; i < n; ++i) {
@@ -155,7 +183,7 @@ class BinaryReader {
 
   Result<std::vector<float>> ReadFloatVector() {
     LAKE_ASSIGN_OR_RETURN(uint64_t n, ReadVarint());
-    if (n > (1ULL << 32)) return Status::IoError("vector too large");
+    if (n > max_length_) return Status::IoError("vector too large");
     std::vector<float> v;
     v.reserve(n);
     for (uint64_t i = 0; i < n; ++i) {
@@ -167,6 +195,7 @@ class BinaryReader {
 
  private:
   std::istream* in_;
+  uint64_t max_length_ = kDefaultMaxLength;
 };
 
 }  // namespace lake
