@@ -1,0 +1,122 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lake::serve {
+
+namespace {
+constexpr std::chrono::nanoseconds kNoTime{0};
+
+bool IsSet(AdmissionController::Clock::time_point t) {
+  return t.time_since_epoch() != kNoTime;
+}
+}  // namespace
+
+AdmissionController::AdmissionController(Options options)
+    : options_(options) {
+  options_.min_limit = std::max<size_t>(1, options_.min_limit);
+  options_.max_limit = std::max(options_.max_limit, options_.min_limit);
+  if (options_.initial_limit == 0) options_.initial_limit = options_.max_limit;
+  limit_ = static_cast<double>(std::clamp(
+      options_.initial_limit, options_.min_limit, options_.max_limit));
+  limit_snapshot_.store(static_cast<size_t>(limit_),
+                        std::memory_order_relaxed);
+}
+
+AdmissionController::Decision AdmissionController::TryAdmit(
+    Priority priority) {
+  const size_t limit = limit_snapshot_.load(std::memory_order_relaxed);
+  // Batch occupies at most `batch_headroom` of the live limit (>= 1 slot
+  // so batch is never starved outright when the service is idle).
+  const size_t cap =
+      priority == Priority::kBatch
+          ? std::max<size_t>(
+                1, static_cast<size_t>(static_cast<double>(limit) *
+                                       options_.batch_headroom))
+          : limit;
+  size_t in_flight = in_flight_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (in_flight >= cap) {
+      return priority == Priority::kBatch && in_flight < limit
+                 ? Decision::kShedBatch
+                 : Decision::kShedLimit;
+    }
+    if (in_flight_.compare_exchange_weak(in_flight, in_flight + 1,
+                                         std::memory_order_relaxed)) {
+      return Decision::kAdmit;
+    }
+  }
+}
+
+void AdmissionController::Release() {
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool AdmissionController::ShouldDrop(Priority priority,
+                                     std::chrono::nanoseconds sojourn,
+                                     Clock::time_point now) {
+  if (options_.codel_target.count() <= 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sojourn < options_.codel_target) {
+    // Back under target: leave the dropping state but remember roughly how
+    // hard we had to drop (CoDel's warm restart on the next episode).
+    first_above_ = {};
+    dropping_ = false;
+    dropping_snapshot_.store(false, std::memory_order_relaxed);
+    drop_count_ = drop_count_ > 2 ? drop_count_ - 2 : 0;
+    return false;
+  }
+  if (!IsSet(first_above_)) {
+    first_above_ = now + options_.codel_interval;
+    return false;
+  }
+  if (!dropping_) {
+    if (now < first_above_) return false;
+    // Sojourn stayed above target for a full interval: start dropping.
+    dropping_ = true;
+    dropping_snapshot_.store(true, std::memory_order_relaxed);
+    drop_count_ = std::max<uint64_t>(1, drop_count_);
+    drop_next_ = now + std::chrono::nanoseconds(static_cast<int64_t>(
+                           static_cast<double>(std::chrono::nanoseconds(
+                                                   options_.codel_interval)
+                                                   .count()) /
+                           std::sqrt(static_cast<double>(drop_count_))));
+    return true;
+  }
+  // While dropping: every batch query sheds; interactive sheds on the
+  // sqrt-control-law cadence.
+  if (priority == Priority::kBatch) return true;
+  if (now >= drop_next_) {
+    ++drop_count_;
+    drop_next_ = now + std::chrono::nanoseconds(static_cast<int64_t>(
+                           static_cast<double>(std::chrono::nanoseconds(
+                                                   options_.codel_interval)
+                                                   .count()) /
+                           std::sqrt(static_cast<double>(drop_count_))));
+    return true;
+  }
+  return false;
+}
+
+void AdmissionController::OnCompletion(double latency_ms, bool congested,
+                                       Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool over_target = options_.latency_target_ms > 0 &&
+                           latency_ms > options_.latency_target_ms;
+  if (congested || over_target) {
+    if (!IsSet(last_decrease_) ||
+        now - last_decrease_ >= options_.decrease_cooldown) {
+      limit_ = std::max(static_cast<double>(options_.min_limit),
+                        limit_ * options_.decrease_factor);
+      last_decrease_ = now;
+    }
+  } else {
+    limit_ = std::min(static_cast<double>(options_.max_limit),
+                      limit_ + 1.0 / std::max(1.0, limit_));
+  }
+  limit_snapshot_.store(static_cast<size_t>(limit_),
+                        std::memory_order_relaxed);
+}
+
+}  // namespace lake::serve

@@ -63,6 +63,16 @@ class LatencyHistogram {
 
   Snapshot Snap() const;
 
+  /// Live quantile in microseconds (0 when empty): snapshots the buckets
+  /// and interpolates inside the hit bucket, exactly Snapshot::Quantile.
+  /// Cheap enough for per-query control decisions (the brownout budget
+  /// check compares the remaining deadline against a method's p95).
+  double Percentile(double q) const { return Snap().Quantile(q); }
+
+  /// Samples recorded so far (control paths gate Percentile on a minimum
+  /// volume before trusting it).
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
   /// Bucket index for a microsecond value, and the inclusive lower bound /
   /// exclusive upper bound of a bucket (exposed for tests).
   static size_t BucketIndex(uint64_t micros);

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -11,6 +12,8 @@
 namespace lake::serve {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /// Order-insensitive hash of a value multiset (join queries are sets; the
 /// caller's value order must not fragment the cache).
@@ -65,12 +68,114 @@ const char* KindName(QueryKind kind) {
   return "unknown";
 }
 
+const char* JoinMethodName(JoinMethod method) {
+  switch (method) {
+    case JoinMethod::kExactJaccard:
+      return "exact_jaccard";
+    case JoinMethod::kExactContainment:
+      return "exact_containment";
+    case JoinMethod::kLshEnsemble:
+      return "lsh_ensemble";
+    case JoinMethod::kJosie:
+      return "josie";
+    case JoinMethod::kPexeso:
+      return "pexeso";
+  }
+  return "unknown";
+}
+
+const char* UnionMethodName(UnionMethod method) {
+  switch (method) {
+    case UnionMethod::kTus:
+      return "tus";
+    case UnionMethod::kSantos:
+      return "santos";
+    case UnionMethod::kStarmie:
+      return "starmie";
+    case UnionMethod::kD3l:
+      return "d3l";
+  }
+  return "unknown";
+}
+
+std::string ModalityNameFor(QueryKind kind, JoinMethod join_method,
+                            UnionMethod union_method) {
+  switch (kind) {
+    case QueryKind::kKeyword:
+      return "keyword";
+    case QueryKind::kCorrelated:
+      return "correlated";
+    case QueryKind::kJoin:
+      return std::string("join.") + JoinMethodName(join_method);
+    case QueryKind::kUnion:
+      return std::string("union.") + UnionMethodName(union_method);
+  }
+  return "unknown";
+}
+
+/// Should this outcome count against the modality's circuit breaker?
+/// Timeouts, internal/I/O errors, and an unbuilt or quarantined index all
+/// mean the modality cannot currently serve. Cancellation is the caller's
+/// choice and says nothing about the dependency.
+bool BreakerFailure(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kInternal:
+    case StatusCode::kIoError:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void RecordOutcome(CircuitBreaker* breaker, const Status& status,
+                   Clock::time_point now) {
+  if (breaker == nullptr) return;
+  if (status.ok()) {
+    breaker->RecordSuccess(now);
+  } else if (BreakerFailure(status)) {
+    breaker->RecordFailure(now);
+  } else {
+    breaker->RecordNeutral(now);
+  }
+}
+
+/// The serving layer's admission defaults derive from its own options:
+/// the AIMD limit lives under the hard max_pending cap, and when queries
+/// carry a default deadline, unset targets are tied to it (latency target
+/// = deadline/2, CoDel sojourn target = deadline/10) so the controller
+/// sheds exactly the work that would die in the queue anyway.
+AdmissionController::Options DeriveAdmission(
+    const QueryService::Options& options) {
+  AdmissionController::Options a = options.admission;
+  a.max_limit = std::min(a.max_limit, std::max<size_t>(1, options.max_pending));
+  a.min_limit = std::min(a.min_limit, a.max_limit);
+  if (a.initial_limit != 0) {
+    a.initial_limit = std::min(a.initial_limit, a.max_limit);
+  }
+  if (options.default_deadline.count() > 0) {
+    if (a.latency_target_ms == 0) {
+      a.latency_target_ms =
+          static_cast<double>(options.default_deadline.count()) / 2.0;
+    }
+    if (a.codel_target.count() == 0) {
+      a.codel_target = options.default_deadline / 10;
+    }
+  }
+  return a;
+}
+
 }  // namespace
 
 QueryService::QueryService(const DiscoveryEngine* engine, Options options)
     : engine_(engine),
       options_(std::move(options)),
       cache_(options_.cache),
+      admission_(
+          std::make_unique<AdmissionController>(DeriveAdmission(options_))),
+      breakers_(options_.breaker),
       queries_admitted_(metrics_.GetCounter("serve.queries.admitted")),
       queries_rejected_(metrics_.GetCounter("serve.queries.rejected")),
       queries_deadline_exceeded_(
@@ -78,8 +183,19 @@ QueryService::QueryService(const DiscoveryEngine* engine, Options options)
       queries_cancelled_(metrics_.GetCounter("serve.queries.cancelled")),
       queries_failed_(metrics_.GetCounter("serve.queries.failed")),
       queries_unavailable_(metrics_.GetCounter("serve.queries.unavailable")),
+      shed_limit_(metrics_.GetCounter("serve.shed.limit")),
+      shed_batch_(metrics_.GetCounter("serve.shed.batch")),
+      shed_codel_(metrics_.GetCounter("serve.shed.codel")),
+      brownout_total_(metrics_.GetCounter("serve.brownout")),
+      brownout_union_(metrics_.GetCounter("serve.brownout.union")),
+      brownout_join_(metrics_.GetCounter("serve.brownout.join")),
+      breaker_fast_fail_(metrics_.GetCounter("serve.breaker.fast_fail")),
       degraded_gauge_(metrics_.GetGauge("serve.degraded")),
       quarantined_gauge_(metrics_.GetGauge("serve.quarantined_sections")),
+      admission_limit_gauge_(metrics_.GetGauge("serve.admission.limit")),
+      admission_in_flight_gauge_(
+          metrics_.GetGauge("serve.admission.in_flight")),
+      breakers_open_gauge_(metrics_.GetGauge("serve.breakers.open")),
       cache_hits_(metrics_.GetCounter("serve.cache.hits")),
       cache_misses_(metrics_.GetCounter("serve.cache.misses")),
       josie_postings_read_(
@@ -91,6 +207,7 @@ QueryService::QueryService(const DiscoveryEngine* engine, Options options)
     latency_by_kind_[KindIndex(kind)] = metrics_.GetHistogram(
         std::string("serve.latency.") + KindName(kind));
   }
+  admission_limit_gauge_->Set(admission_->limit());
 }
 
 QueryService::~QueryService() = default;
@@ -117,9 +234,20 @@ Status QueryService::Validate(const QueryRequest& request) const {
         return Status::InvalidArgument(
             "correlated query requires key values and a numeric column");
       }
+      if (request.values.size() != request.numeric_values.size()) {
+        return Status::InvalidArgument(StrFormat(
+            "correlated query requires aligned columns: %zu key values vs "
+            "%zu numeric values",
+            request.values.size(), request.numeric_values.size()));
+      }
       return Status::OK();
   }
   return Status::InvalidArgument("unknown query kind");
+}
+
+std::string QueryService::ModalityName(const QueryRequest& request) {
+  return ModalityNameFor(request.kind, request.join_method,
+                         request.union_method);
 }
 
 uint64_t QueryService::CacheKey(const QueryRequest& request) const {
@@ -150,23 +278,51 @@ uint64_t QueryService::CacheKey(const QueryRequest& request) const {
 Result<SubmittedQuery> QueryService::Submit(QueryRequest request) {
   LAKE_RETURN_IF_ERROR(Validate(request));
 
-  // Bounded admission: reserve a slot or reject. CAS (not fetch_add) so a
-  // burst of rejected queries cannot overshoot the pending count.
-  size_t pending = pending_.load(std::memory_order_relaxed);
-  for (;;) {
-    if (pending >= options_.max_pending) {
+  if (options_.adaptive_admission) {
+    // Door policy: while CoDel is dropping and a queue exists, refuse new
+    // arrivals immediately — they would only age in a queue that is
+    // already shedding at dequeue. The queue-non-empty gate keeps a
+    // low-sojourn dequeue reachable so the dropping state can clear.
+    if (admission_->dropping() &&
+        pending_.load(std::memory_order_relaxed) > options_.num_workers) {
       queries_rejected_->Add();
-      return Status::Overloaded("admission queue full");
+      shed_codel_->Add();
+      return Status::Overloaded("admission: shedding on queue delay");
     }
-    if (pending_.compare_exchange_weak(pending, pending + 1,
-                                       std::memory_order_relaxed)) {
-      break;
+    switch (admission_->TryAdmit(request.priority)) {
+      case AdmissionController::Decision::kAdmit:
+        break;
+      case AdmissionController::Decision::kShedBatch:
+        queries_rejected_->Add();
+        shed_batch_->Add();
+        return Status::Overloaded("admission: batch headroom exhausted");
+      case AdmissionController::Decision::kShedLimit:
+        queries_rejected_->Add();
+        shed_limit_->Add();
+        return Status::Overloaded(
+            "admission: adaptive concurrency limit reached");
+    }
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Fixed bound: reserve a slot or reject. CAS (not fetch_add) so a
+    // burst of rejected queries cannot overshoot the pending count.
+    size_t pending = pending_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (pending >= options_.max_pending) {
+        queries_rejected_->Add();
+        shed_limit_->Add();
+        return Status::Overloaded("admission queue full");
+      }
+      if (pending_.compare_exchange_weak(pending, pending + 1,
+                                         std::memory_order_relaxed)) {
+        break;
+      }
     }
   }
   queries_admitted_->Add();
 
   auto cancel = std::make_shared<CancelToken>();
-  const auto admitted = std::chrono::steady_clock::now();
+  const auto admitted = Clock::now();
   if (request.deadline.has_value()) {
     cancel->SetDeadline(admitted + *request.deadline);
   } else if (options_.default_deadline.count() > 0) {
@@ -176,6 +332,7 @@ Result<SubmittedQuery> QueryService::Submit(QueryRequest request) {
   std::future<QueryResponse> future = pool_.Async(
       [this, request = std::move(request), cancel, admitted]() {
         QueryResponse response = Run(request, cancel.get(), admitted);
+        if (options_.adaptive_admission) admission_->Release();
         pending_.fetch_sub(1, std::memory_order_relaxed);
         return response;
       });
@@ -209,9 +366,34 @@ QueryService::HealthSnapshot QueryService::Health() {
     health.sections_loaded = options_.recovery->sections_loaded();
     health.recovered_generation = options_.recovery->recovered_generation();
   }
-  health.ok = !health.degraded;
+
+  if (options_.adaptive_admission) {
+    health.admission_limit = admission_->limit();
+    health.admission_in_flight = admission_->in_flight();
+  } else {
+    health.admission_limit = options_.max_pending;
+    health.admission_in_flight = pending();
+  }
+
+  const auto now = Clock::now();
+  for (const auto& [name, breaker] : breakers_.All()) {
+    BreakerStatus bs;
+    bs.modality = name;
+    bs.state = breaker->state(now);
+    bs.failure_rate = breaker->failure_rate(now);
+    bs.trips = breaker->trips();
+    if (bs.state == CircuitBreaker::State::kOpen) ++health.open_breakers;
+    metrics_.GetGauge("serve.breaker." + name + ".state")
+        ->Set(static_cast<uint64_t>(bs.state));
+    health.breakers.push_back(std::move(bs));
+  }
+
+  health.ok = !health.degraded && health.open_breakers == 0;
   degraded_gauge_->Set(health.degraded ? 1 : 0);
   quarantined_gauge_->Set(health.quarantined.size());
+  admission_limit_gauge_->Set(health.admission_limit);
+  admission_in_flight_gauge_->Set(health.admission_in_flight);
+  breakers_open_gauge_->Set(health.open_breakers);
   return health;
 }
 
@@ -220,87 +402,90 @@ void QueryService::InvalidateCache() {
   cache_.Clear();
 }
 
-QueryResponse QueryService::Run(
-    const QueryRequest& request, const CancelToken* cancel,
-    std::chrono::steady_clock::time_point admitted) {
-  const auto started = std::chrono::steady_clock::now();
-  queue_wait_->Record(
-      std::chrono::duration<double, std::micro>(started - admitted).count());
-
-  if (options_.pre_execute_hook) options_.pre_execute_hook(request);
-
-  QueryResponse response;
-  const bool use_cache = options_.enable_cache && !request.bypass_cache;
-  const uint64_t key = use_cache ? CacheKey(request) : 0;
-
-  // A query that spent its whole budget queued fails before touching the
-  // engine (and before counting a cache miss).
-  Status live = cancel->Check();
-  if (live.ok() && use_cache) {
-    CachedResult hit;
-    if (cache_.Lookup(key, &hit)) {
-      cache_hits_->Add();
-      response.tables = std::move(hit.tables);
-      response.columns = std::move(hit.columns);
-      response.cache_hit = true;
-    } else {
-      cache_misses_->Add();
-    }
+std::optional<QueryService::Fallback> QueryService::FallbackFor(
+    const QueryRequest& request) const {
+  // The survey's accuracy/latency pairs: the expensive high-recall method
+  // falls back to the cheap sketch/embedding-average alternative.
+  if (request.kind == QueryKind::kUnion &&
+      request.union_method == UnionMethod::kStarmie &&
+      engine_->tus() != nullptr) {
+    return Fallback{request.join_method, UnionMethod::kTus, "union.tus",
+                    brownout_union_};
   }
+  if (request.kind == QueryKind::kJoin &&
+      request.join_method == JoinMethod::kJosie &&
+      engine_->lsh_join() != nullptr) {
+    return Fallback{JoinMethod::kLshEnsemble, request.union_method,
+                    "join.lsh_ensemble", brownout_join_};
+  }
+  return std::nullopt;
+}
 
-  if (!live.ok()) {
-    response.status = live;
-  } else if (!response.cache_hit) {
+void QueryService::ExecuteEngine(const QueryRequest& request,
+                                 JoinMethod join_method,
+                                 UnionMethod union_method,
+                                 const std::string& modality,
+                                 const CancelToken* cancel,
+                                 QueryResponse* response) {
+  const auto exec_start = Clock::now();
+  response->served_by = modality;
+
+  // Chaos-test fault site: a hung (kDelay) or erroring dependency for
+  // exactly this (kind, method) modality.
+  const Status injected = ExecFailpoint("serve.exec." + modality, cancel);
+  if (!injected.ok()) {
+    response->status = injected;
+  } else {
     switch (request.kind) {
       case QueryKind::kKeyword:
-        response.tables = engine_->Keyword(request.keyword, request.k);
+        response->tables = engine_->Keyword(request.keyword, request.k);
         break;
       case QueryKind::kJoin: {
         Result<std::vector<ColumnResult>> result =
-            request.join_method == JoinMethod::kJosie &&
+            join_method == JoinMethod::kJosie &&
                     engine_->josie_join() != nullptr
                 ? JosieWithStats(request, cancel)
-                : engine_->Joinable(request.values, request.join_method,
-                                    request.k, cancel);
+                : engine_->Joinable(request.values, join_method, request.k,
+                                    cancel);
         if (result.ok()) {
-          response.columns = std::move(result).value();
+          response->columns = std::move(result).value();
         } else {
-          response.status = result.status();
+          response->status = result.status();
         }
         break;
       }
       case QueryKind::kUnion: {
         Result<std::vector<TableResult>> result =
-            engine_->Unionable(*request.union_table, request.union_method,
-                               request.k, request.exclude, cancel);
+            engine_->Unionable(*request.union_table, union_method, request.k,
+                               request.exclude, cancel);
         if (result.ok()) {
-          response.tables = std::move(result).value();
+          response->tables = std::move(result).value();
         } else {
-          response.status = result.status();
+          response->status = result.status();
         }
         break;
       }
       case QueryKind::kCorrelated: {
         const CorrelatedJoinSearch* correlated = engine_->correlated_join();
         if (correlated == nullptr) {
-          response.status =
+          response->status =
               Status::FailedPrecondition("correlated index not built");
           break;
         }
         Status check = cancel->Check();
         if (!check.ok()) {
-          response.status = check;
+          response->status = check;
           break;
         }
         Result<std::vector<CorrelatedJoinSearch::CorrelatedResult>> result =
             correlated->Search(request.values, request.numeric_values,
                                request.k);
         if (!result.ok()) {
-          response.status = result.status();
+          response->status = result.status();
           break;
         }
         for (const auto& r : result.value()) {
-          response.columns.push_back(ColumnResult{
+          response->columns.push_back(ColumnResult{
               ColumnRef{r.table_id, r.numeric_column}, r.score,
               StrFormat("corr=%.3f containment=%.3f", r.est_correlation,
                         r.est_containment)});
@@ -308,11 +493,148 @@ QueryResponse QueryService::Run(
         break;
       }
     }
-    // A query expired mid-execution must not populate the cache: the
-    // engine may have unwound with partial work, and the cancelled status
-    // is the contract.
-    if (response.status.ok() && use_cache && cancel->Check().ok()) {
-      cache_.Insert(key, CachedResult{response.tables, response.columns});
+  }
+
+  // Execution-only latency (excludes queue wait); its upper quantiles
+  // drive the brownout budget check for this modality.
+  metrics_.GetHistogram("serve.exec." + modality)
+      ->Record(std::chrono::duration<double, std::micro>(Clock::now() -
+                                                         exec_start)
+                   .count());
+}
+
+void QueryService::ExecutePlan(const QueryRequest& request,
+                               const CancelToken* cancel,
+                               QueryResponse* response) {
+  const std::string primary = ModalityName(request);
+  CircuitBreaker* breaker =
+      options_.enable_breakers ? breakers_.Get(primary) : nullptr;
+  const CircuitBreaker::Permit permit =
+      breaker != nullptr ? breaker->Allow(Clock::now())
+                         : CircuitBreaker::Permit::kAllowed;
+
+  std::optional<Fallback> fallback = FallbackFor(request);
+  if (!options_.enable_brownout || request.require_exact_method) {
+    fallback.reset();
+  }
+
+  // Serve the query with the cheaper method and flag it degraded. Returns
+  // false when there is no fallback or its own breaker refuses.
+  auto run_fallback = [&]() {
+    if (!fallback.has_value()) return false;
+    CircuitBreaker* fb =
+        options_.enable_breakers ? breakers_.Get(fallback->modality) : nullptr;
+    const CircuitBreaker::Permit fpermit =
+        fb != nullptr ? fb->Allow(Clock::now())
+                      : CircuitBreaker::Permit::kAllowed;
+    if (fpermit == CircuitBreaker::Permit::kDenied) return false;
+    QueryResponse alt;
+    ExecuteEngine(request, fallback->join_method, fallback->union_method,
+                  fallback->modality, cancel, &alt);
+    RecordOutcome(fb, alt.status, Clock::now());
+    response->status = alt.status;
+    response->tables = std::move(alt.tables);
+    response->columns = std::move(alt.columns);
+    response->served_by = std::move(alt.served_by);
+    response->degraded = true;
+    brownout_total_->Add();
+    if (fallback->counter != nullptr) fallback->counter->Add();
+    return true;
+  };
+
+  if (permit == CircuitBreaker::Permit::kDenied) {
+    breaker_fast_fail_->Add();
+    if (!run_fallback()) {
+      response->status =
+          Status::Unavailable("circuit breaker open for " + primary);
+    }
+    return;
+  }
+
+  // Budget brownout, only from the closed state (a granted half-open
+  // probe must execute the primary so the breaker can learn): when the
+  // remaining deadline budget is below the method's tracked upper
+  // quantile, don't even start the expensive method.
+  if (permit == CircuitBreaker::Permit::kAllowed && fallback.has_value() &&
+      cancel->has_deadline()) {
+    LatencyHistogram* hist = metrics_.GetHistogram("serve.exec." + primary);
+    if (hist->count() >= options_.brownout_min_samples) {
+      const double budget_us =
+          std::chrono::duration<double, std::micro>(cancel->Remaining())
+              .count();
+      if (budget_us < hist->Percentile(options_.brownout_quantile) &&
+          run_fallback()) {
+        return;
+      }
+    }
+  }
+
+  ExecuteEngine(request, request.join_method, request.union_method, primary,
+                cancel, response);
+  RecordOutcome(breaker, response->status, Clock::now());
+
+  // Failure brownout: the primary failed for a breaker-worthy reason
+  // (hung past a timeout, internal error, quarantined index) and there is
+  // budget left — answer with the cheap method rather than the error.
+  if (!response->status.ok() && BreakerFailure(response->status) &&
+      cancel->Remaining() > std::chrono::nanoseconds::zero()) {
+    QueryResponse failed = std::move(*response);
+    *response = QueryResponse{};
+    if (!run_fallback()) *response = std::move(failed);
+  }
+}
+
+QueryResponse QueryService::Run(
+    const QueryRequest& request, const CancelToken* cancel,
+    std::chrono::steady_clock::time_point admitted) {
+  const auto started = Clock::now();
+  const auto sojourn = started - admitted;
+  queue_wait_->Record(
+      std::chrono::duration<double, std::micro>(sojourn).count());
+
+  if (options_.pre_execute_hook) options_.pre_execute_hook(request);
+
+  QueryResponse response;
+
+  // CoDel shed at dequeue: persistent queue sojourn above target means
+  // queued work is dying of old age — fail it fast instead of executing.
+  if (options_.adaptive_admission &&
+      admission_->ShouldDrop(request.priority, sojourn, started)) {
+    shed_codel_->Add();
+    response.status =
+        Status::Overloaded("shed at dequeue: queue sojourn over CoDel target");
+  }
+
+  const bool use_cache = options_.enable_cache && !request.bypass_cache;
+  const uint64_t key = use_cache ? CacheKey(request) : 0;
+
+  if (response.status.ok()) {
+    // A query that spent its whole budget queued fails before touching the
+    // engine (and before counting a cache miss).
+    Status live = cancel->Check();
+    if (live.ok() && use_cache) {
+      CachedResult hit;
+      if (cache_.Lookup(key, &hit)) {
+        cache_hits_->Add();
+        response.tables = std::move(hit.tables);
+        response.columns = std::move(hit.columns);
+        response.cache_hit = true;
+      } else {
+        cache_misses_->Add();
+      }
+    }
+
+    if (!live.ok()) {
+      response.status = live;
+    } else if (!response.cache_hit) {
+      ExecutePlan(request, cancel, &response);
+      // A query that expired mid-execution must not populate the cache
+      // (the engine may have unwound with partial work), and a degraded
+      // brownout answer must not shadow the full-quality method's entry.
+      if (response.status.ok() && use_cache && !response.degraded &&
+          cancel->Check().ok()) {
+        cache_.Insert(key, CachedResult{response.tables, response.columns});
+      }
     }
   }
 
@@ -326,18 +648,32 @@ QueryResponse QueryService::Run(
       queries_cancelled_->Add();
       break;
     case StatusCode::kFailedPrecondition:
+    case StatusCode::kUnavailable:
       queries_unavailable_->Add();
       break;
+    case StatusCode::kOverloaded:
+      break;  // counted at the shed site
     default:
       queries_failed_->Add();
       break;
   }
 
-  const auto finished = std::chrono::steady_clock::now();
+  const auto finished = Clock::now();
   response.latency_ms =
       std::chrono::duration<double, std::milli>(finished - admitted).count();
   latency_by_kind_[KindIndex(request.kind)]->Record(
       std::chrono::duration<double, std::micro>(finished - admitted).count());
+
+  // AIMD feedback: deadline death and CoDel sheds force the decrease
+  // path; cancellation is the caller's choice and teaches nothing.
+  if (options_.adaptive_admission &&
+      response.status.code() != StatusCode::kCancelled) {
+    const bool congested =
+        response.status.code() == StatusCode::kDeadlineExceeded ||
+        response.status.code() == StatusCode::kOverloaded;
+    admission_->OnCompletion(response.latency_ms, congested, finished);
+    admission_limit_gauge_->Set(admission_->limit());
+  }
   return response;
 }
 

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "search/discovery_engine.h"
+#include "serve/admission.h"
+#include "serve/circuit_breaker.h"
 #include "serve/metrics.h"
 #include "serve/result_cache.h"
 #include "store/recovery.h"
@@ -44,6 +46,10 @@ struct QueryRequest {
   /// Exclude a self-match by table id (union search).
   int64_t exclude = -1;
 
+  /// Scheduling class: under overload, batch queries are shed before any
+  /// interactive query is touched.
+  Priority priority = Priority::kInteractive;
+
   /// Per-query budget; unset means Options::default_deadline (whose zero
   /// default means no deadline), while an explicit 0ms expires
   /// immediately. The budget covers queue wait + execution, so an
@@ -51,6 +57,9 @@ struct QueryRequest {
   std::optional<std::chrono::milliseconds> deadline;
   /// Skip cache lookup AND result insertion for this query.
   bool bypass_cache = false;
+  /// Refuse brownout for this query: if the requested method cannot serve
+  /// it, fail (kUnavailable) rather than answer with a cheaper method.
+  bool require_exact_method = false;
 };
 
 /// Outcome of one query. Exactly one of `tables` / `columns` is populated
@@ -60,6 +69,13 @@ struct QueryResponse {
   std::vector<TableResult> tables;   // keyword / union
   std::vector<ColumnResult> columns; // join / correlated
   bool cache_hit = false;
+  /// True when a brownout fallback (e.g. Starmie -> TUS) answered instead
+  /// of the requested method; results are best-effort, not the requested
+  /// quality tier.
+  bool degraded = false;
+  /// Modality that actually produced the answer ("union.tus",
+  /// "join.josie", ...); empty for cache hits and unexecuted failures.
+  std::string served_by;
   double latency_ms = 0;  // admission to completion, incl. queue wait
 };
 
@@ -72,19 +88,47 @@ struct SubmittedQuery {
 };
 
 /// The serving layer of Figure 1's discovery system: wraps a read-only
-/// DiscoveryEngine behind a thread-pool executor with a bounded admission
-/// queue (explicit kOverloaded backpressure instead of unbounded latency),
-/// per-query deadlines with cooperative cancellation, a sharded LRU result
-/// cache keyed by canonical query hashes, and a MetricsRegistry every
+/// DiscoveryEngine behind a thread-pool executor with adaptive admission
+/// control (AIMD concurrency limit + CoDel dequeue shedding, batch shed
+/// first), per-query deadlines with cooperative cancellation, a sharded
+/// LRU result cache keyed by canonical query hashes, per-modality circuit
+/// breakers with graceful brownout to the survey's cheap methods
+/// (Starmie -> TUS, JOSIE -> LSH Ensemble), and a MetricsRegistry every
 /// component reports into. The engine's indexes are immutable after
 /// construction, so worker threads query them concurrently without locks.
 class QueryService {
  public:
   struct Options {
     size_t num_workers = 4;
-    /// Max queries admitted but not yet finished; Submit beyond this
-    /// returns kOverloaded immediately (backpressure to the caller).
+    /// Hard cap on queries admitted but not yet finished; the adaptive
+    /// limit lives in [admission.min_limit, max_pending]. Submit beyond
+    /// the live limit returns kOverloaded immediately (backpressure to
+    /// the caller).
     size_t max_pending = 256;
+
+    /// Adaptive admission (AIMD + CoDel). When false the fixed
+    /// max_pending bound of the original design applies. Unset
+    /// (zero) admission.initial_limit / latency target / CoDel target are
+    /// derived at construction: initial limit = max_pending, and when
+    /// default_deadline is set, latency target = deadline / 2 and CoDel
+    /// target = deadline / 10.
+    bool adaptive_admission = true;
+    AdmissionController::Options admission;
+
+    /// Per-modality circuit breakers keyed by (QueryKind, method).
+    bool enable_breakers = true;
+    CircuitBreaker::Options breaker;
+
+    /// Brownout: when the requested method's breaker refuses, or the
+    /// remaining deadline budget is below the method's tracked latency
+    /// quantile, serve the cheaper surveyed method and flag the response
+    /// degraded instead of failing.
+    bool enable_brownout = true;
+    double brownout_quantile = 0.95;
+    /// Minimum samples in a method's latency histogram before the budget
+    /// check trusts its quantile.
+    uint64_t brownout_min_samples = 32;
+
     bool enable_cache = true;
     ResultCache::Options cache;
     std::chrono::milliseconds default_deadline{0};  // 0 = none
@@ -106,9 +150,9 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Admits a query for asynchronous execution. Fails fast with
-  /// kOverloaded when `max_pending` queries are already in flight and
-  /// with kInvalidArgument for malformed requests (e.g. kUnion without a
-  /// table). Never blocks.
+  /// kOverloaded when the live admission limit is reached (batch sheds
+  /// first) and with kInvalidArgument for malformed requests (e.g. kUnion
+  /// without a table). Never blocks.
   Result<SubmittedQuery> Submit(QueryRequest request);
 
   /// Synchronous convenience wrapper: admits, waits, returns. Overload and
@@ -128,20 +172,41 @@ class QueryService {
   /// same join query share one entry.
   uint64_t CacheKey(const QueryRequest& request) const;
 
-  /// Degraded-mode health: which snapshot sections are quarantined and
-  /// how far recovery has progressed. `ok` means every registered section
-  /// loaded (vacuously true without a RecoveryManager).
+  /// Modality key of a request — "<kind>" or "<kind>.<method>", e.g.
+  /// "union.starmie" — naming its circuit breaker, its execution-latency
+  /// histogram (serve.exec.<modality>) and its failpoint site
+  /// (serve.exec.<modality>).
+  static std::string ModalityName(const QueryRequest& request);
+
+  /// One breaker's externally visible state.
+  struct BreakerStatus {
+    std::string modality;
+    CircuitBreaker::State state = CircuitBreaker::State::kClosed;
+    double failure_rate = 0;
+    uint64_t trips = 0;
+  };
+
+  /// Service health: degraded-mode recovery state plus overload state —
+  /// which breakers are open, the live admission limit, and in-flight
+  /// count. `ok` means every snapshot section loaded AND every breaker is
+  /// closed.
   struct HealthSnapshot {
     bool ok = true;
     bool degraded = false;
     uint64_t sections_loaded = 0;
     uint64_t recovered_generation = 0;
     std::vector<store::RecoveryManager::QuarantineEntry> quarantined;
+
+    size_t admission_limit = 0;
+    size_t admission_in_flight = 0;
+    size_t open_breakers = 0;
+    std::vector<BreakerStatus> breakers;
   };
 
-  /// Snapshot of degraded-mode state; also refreshes the serve.degraded
-  /// and serve.quarantined_sections gauges, so exporting metrics after
-  /// Health() reflects the current quarantine.
+  /// Snapshot of health state; also refreshes the serve.degraded,
+  /// serve.quarantined_sections, serve.admission.*, serve.breakers.open
+  /// and per-breaker state gauges, so exporting metrics after Health()
+  /// reflects the current picture.
   HealthSnapshot Health();
 
   /// Queries admitted and not yet completed.
@@ -149,12 +214,30 @@ class QueryService {
 
   MetricsRegistry& metrics() { return metrics_; }
   ResultCache& cache() { return cache_; }
+  AdmissionController& admission() { return *admission_; }
+  BreakerSet& breakers() { return breakers_; }
   const Options& options() const { return options_; }
 
  private:
   QueryResponse Run(const QueryRequest& request, const CancelToken* cancel,
                     std::chrono::steady_clock::time_point admitted);
   Status Validate(const QueryRequest& request) const;
+  /// Breaker + brownout dispatch: picks the modality (requested or
+  /// fallback), executes it, and feeds outcomes back into the breakers.
+  void ExecutePlan(const QueryRequest& request, const CancelToken* cancel,
+                   QueryResponse* response);
+  /// Executes one concrete (kind, method) modality against the engine.
+  void ExecuteEngine(const QueryRequest& request, JoinMethod join_method,
+                     UnionMethod union_method, const std::string& modality,
+                     const CancelToken* cancel, QueryResponse* response);
+  /// The cheaper surveyed fallback for a modality, if the engine has it.
+  struct Fallback {
+    JoinMethod join_method;
+    UnionMethod union_method;
+    std::string modality;
+    Counter* counter = nullptr;  // serve.brownout.<kind>
+  };
+  std::optional<Fallback> FallbackFor(const QueryRequest& request) const;
   /// JOSIE path with the engine hook: harvests the index's per-query work
   /// counters (postings read) into the registry.
   Result<std::vector<ColumnResult>> JosieWithStats(
@@ -164,6 +247,8 @@ class QueryService {
   Options options_;
   MetricsRegistry metrics_;
   ResultCache cache_;
+  std::unique_ptr<AdmissionController> admission_;
+  BreakerSet breakers_;
   std::atomic<uint64_t> epoch_{0};
   std::atomic<size_t> pending_{0};
 
@@ -173,11 +258,21 @@ class QueryService {
   Counter* queries_deadline_exceeded_;
   Counter* queries_cancelled_;
   Counter* queries_failed_;
-  /// FailedPrecondition outcomes: the modality's index is unbuilt or
-  /// quarantined — the degraded-mode signal, distinct from other failures.
+  /// FailedPrecondition / breaker-open outcomes: the modality cannot serve
+  /// — the degraded-mode signal, distinct from other failures.
   Counter* queries_unavailable_;
+  Counter* shed_limit_;
+  Counter* shed_batch_;
+  Counter* shed_codel_;
+  Counter* brownout_total_;
+  Counter* brownout_union_;
+  Counter* brownout_join_;
+  Counter* breaker_fast_fail_;
   Gauge* degraded_gauge_;
   Gauge* quarantined_gauge_;
+  Gauge* admission_limit_gauge_;
+  Gauge* admission_in_flight_gauge_;
+  Gauge* breakers_open_gauge_;
   Counter* cache_hits_;
   Counter* cache_misses_;
   Counter* josie_postings_read_;
@@ -185,7 +280,7 @@ class QueryService {
   LatencyHistogram* latency_by_kind_[4];
 
   // Last member: destroyed (and therefore drained) first, while the
-  // cache/metrics the workers report into are still alive.
+  // cache/metrics/admission state the workers report into are still alive.
   ThreadPool pool_;
 };
 

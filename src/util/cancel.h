@@ -45,6 +45,16 @@ class CancelToken {
     return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
   }
 
+  /// Budget left until the armed deadline (possibly negative once past
+  /// it); nanoseconds::max() when no deadline is armed. Control paths use
+  /// this to decide whether a slow method still fits the budget.
+  std::chrono::nanoseconds Remaining() const {
+    const int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d == kNoDeadline) return std::chrono::nanoseconds::max();
+    return std::chrono::nanoseconds(
+        d - Clock::now().time_since_epoch().count());
+  }
+
   /// True once cancelled or past the deadline.
   bool Expired() const {
     if (cancelled()) return true;

@@ -31,11 +31,25 @@ std::optional<FaultSpec> FailpointRegistry::Hit(const std::string& name) {
   const uint64_t hit = hit_counts_[name]++;
   auto it = armed_.find(name);
   if (it == armed_.end()) return std::nullopt;
-  if (hit - it->second.hits_when_armed != it->second.spec.after_hits) {
-    return std::nullopt;
+  Armed& armed = it->second;
+  if (hit - armed.hits_when_armed < armed.spec.after_hits) return std::nullopt;
+  if (armed.spec.probability < 1.0) {
+    // xorshift64* draw from the registry-seeded state: flaky faults stay
+    // reproducible for a fixed arm/hit sequence.
+    rng_state_ ^= rng_state_ << 13;
+    rng_state_ ^= rng_state_ >> 7;
+    rng_state_ ^= rng_state_ << 17;
+    const double draw =
+        static_cast<double>((rng_state_ * 0x2545f4914f6cdd1dULL) >> 11) *
+        0x1.0p-53;
+    if (draw >= armed.spec.probability) return std::nullopt;
   }
-  FaultSpec spec = it->second.spec;
-  armed_.erase(it);  // one-shot: fires exactly once
+  FaultSpec spec = armed.spec;
+  ++armed.fired;
+  ++fire_counts_[name];
+  if (armed.spec.max_fires != 0 && armed.fired >= armed.spec.max_fires) {
+    armed_.erase(it);  // fire budget exhausted: disarm
+  }
   return spec;
 }
 
@@ -43,6 +57,37 @@ uint64_t FailpointRegistry::hits(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = hit_counts_.find(name);
   return it == hit_counts_.end() ? 0 : it->second;
+}
+
+uint64_t FailpointRegistry::fires(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fire_counts_.find(name);
+  return it == fire_counts_.end() ? 0 : it->second;
+}
+
+void FailpointRegistry::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_state_ = seed != 0 ? seed : 0x9e3779b97f4a7c15ULL;
+}
+
+Status ExecFailpoint(const std::string& name, const CancelToken* cancel) {
+  std::optional<FaultSpec> fault = FailpointRegistry::Instance().Hit(name);
+  if (!fault.has_value()) return Status::OK();
+  switch (fault->kind) {
+    case FaultSpec::Kind::kDelay: {
+      // Cancellable stall: holds the calling thread like a hung dependency
+      // would, but unwinds at the caller's deadline instead of forever.
+      const auto until = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(fault->arg);
+      while (std::chrono::steady_clock::now() < until) {
+        if (cancel != nullptr) LAKE_RETURN_IF_ERROR(cancel->Check());
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::Internal("injected fault at " + name);
+  }
 }
 
 // --- FaultInjectingStreambuf --------------------------------------------
@@ -95,7 +140,8 @@ std::streamsize FaultInjectingStreambuf::xsputn(const char* s,
         break;
       }
       case FaultSpec::Kind::kShortRead:
-        active_.reset();  // read fault armed on a write site: ignore
+      case FaultSpec::Kind::kDelay:
+        active_.reset();  // read/exec fault armed on a write site: ignore
         break;
     }
   }
@@ -146,7 +192,8 @@ std::streamsize FaultInjectingStreambuf::xsgetn(char* s, std::streamsize n) {
         break;  // applied below, after the read
       case FaultSpec::Kind::kTornWrite:
       case FaultSpec::Kind::kEnospc:
-        active_.reset();  // write fault armed on a read site: ignore
+      case FaultSpec::Kind::kDelay:
+        active_.reset();  // write/exec fault armed on a read site: ignore
         break;
     }
   }

@@ -2,6 +2,7 @@
 #define LAKE_UTIL_FAILPOINT_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <istream>
 #include <map>
@@ -10,12 +11,20 @@
 #include <ostream>
 #include <streambuf>
 #include <string>
+#include <thread>
+
+#include "util/cancel.h"
+#include "util/status.h"
 
 namespace lake {
 
-/// What an armed failpoint injects when it fires. Faults are deterministic:
-/// a failpoint fires exactly once, on hit number `after_hits + 1`, so every
-/// recovery path can be driven by tests instead of hoped-for.
+/// What an armed failpoint injects when it fires. The default spec is the
+/// deterministic one-shot of the original design: it fires exactly once,
+/// on hit number `after_hits + 1`, so every recovery path can be driven by
+/// tests instead of hoped-for. Chaos tests loosen that with `max_fires`
+/// (multi-shot: a fault that keeps firing until disarmed, e.g. a hung
+/// index) and `probability` (flaky faults drawn from the registry's seeded
+/// RNG, so runs are still reproducible).
 struct FaultSpec {
   enum class Kind {
     kError,      // the operation reports a generic I/O failure
@@ -23,13 +32,20 @@ struct FaultSpec {
     kTornWrite,  // only `arg` bytes of the write persist, then the sink dies
     kShortRead,  // only `arg` bytes are returned, then premature EOF
     kBitFlip,    // the byte at stream offset `arg` has its low bit flipped
+    kDelay,      // the operation stalls for `arg` milliseconds (hung index)
   };
   Kind kind = Kind::kError;
-  /// Fires on hit number `after_hits + 1` of the named failpoint.
+  /// Eligible to fire starting at hit number `after_hits + 1`.
   uint64_t after_hits = 0;
-  /// Kind-specific: bytes kept (kTornWrite/kShortRead) or the byte offset
-  /// of the flipped bit (kBitFlip), both relative to the guarded stream.
+  /// Kind-specific: bytes kept (kTornWrite/kShortRead), the byte offset of
+  /// the flipped bit (kBitFlip), or the stall in milliseconds (kDelay).
   uint64_t arg = 0;
+  /// Max number of times this armed spec fires; 0 = unlimited (fires on
+  /// every eligible hit until disarmed).
+  uint64_t max_fires = 1;
+  /// Chance each eligible hit fires (seeded registry RNG; deterministic
+  /// for a fixed arm/hit sequence). 1.0 = always.
+  double probability = 1.0;
 };
 
 /// Process-wide registry of named failpoints. Production code declares
@@ -45,28 +61,45 @@ class FailpointRegistry {
   /// Disarms everything (test teardown).
   void Clear();
 
-  /// Records one hit of `name`; returns the armed spec iff this hit is the
-  /// one that fires. After firing, the failpoint disarms itself.
+  /// Records one hit of `name`; returns the armed spec iff this hit fires
+  /// (past `after_hits`, within `max_fires`, and passing the probability
+  /// draw). A spec whose fire budget is exhausted disarms itself.
   std::optional<FaultSpec> Hit(const std::string& name);
 
   /// Lifetime hit count of `name` (armed or not), for test assertions.
   uint64_t hits(const std::string& name);
+  /// Lifetime fire count of `name`, for chaos-test assertions.
+  uint64_t fires(const std::string& name);
+
+  /// Reseeds the probability RNG (test setup; default seed is fixed).
+  void Reseed(uint64_t seed);
 
  private:
   struct Armed {
     FaultSpec spec;
     uint64_t hits_when_armed = 0;
+    uint64_t fired = 0;
   };
 
   std::mutex mu_;
   std::map<std::string, Armed> armed_;
   std::map<std::string, uint64_t> hit_counts_;
+  std::map<std::string, uint64_t> fire_counts_;
+  uint64_t rng_state_ = 0x9e3779b97f4a7c15ULL;
 };
 
 /// Convenience: returns the firing spec for one hit of `name`, or nullopt.
 inline std::optional<FaultSpec> FailpointHit(const std::string& name) {
   return FailpointRegistry::Instance().Hit(name);
 }
+
+/// Execution-path fault site for chaos tests: records one hit of `name`
+/// and applies whatever fired — kDelay stalls the calling thread (polling
+/// `cancel` so a deadline still unwinds it, like a hung index under a
+/// query timeout), any other kind surfaces as kInternal. Returns OK when
+/// nothing fired, so production paths call it unconditionally.
+Status ExecFailpoint(const std::string& name,
+                     const CancelToken* cancel = nullptr);
 
 /// RAII armer for tests: arms on construction, disarms on destruction.
 class ScopedFailpoint {

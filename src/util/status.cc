@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kOverloaded:
       return "OVERLOADED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -24,6 +24,10 @@ enum class StatusCode {
   kDeadlineExceeded,
   kCancelled,
   kOverloaded,
+  /// A dependency is temporarily refusing work (e.g. an open circuit
+  /// breaker); retry after backoff, unlike kOverloaded which signals the
+  /// caller itself is sending too much.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -70,6 +74,9 @@ class Status {
   }
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,587 @@
+// Overload-resilience chaos tests: the admission controller and circuit
+// breaker state machines driven with synthetic clocks, then end-to-end
+// fault injection through QueryService — a hung or erroring modality must
+// trip its breaker, leave every other modality answering within deadline,
+// brown out to the survey's cheap fallback, and re-close once the fault
+// clears.
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "lakegen/generator.h"
+#include "search/discovery_engine.h"
+#include "serve/admission.h"
+#include "serve/circuit_breaker.h"
+#include "serve/query_service.h"
+#include "util/failpoint.h"
+
+namespace lake::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+// Synthetic steady_clock instants: both state machines take explicit `now`
+// so tests never sleep. Offsets start at 1s because the epoch value is the
+// machines' "not set" sentinel.
+AdmissionController::Clock::time_point At(int64_t ms) {
+  return AdmissionController::Clock::time_point{} + milliseconds(1000 + ms);
+}
+
+// ------------------------------------------------------------- admission
+
+TEST(AdmissionControllerTest, ZeroInitialLimitStartsAtMax) {
+  AdmissionController::Options opts;
+  opts.initial_limit = 0;
+  opts.max_limit = 32;
+  AdmissionController admission(opts);
+  EXPECT_EQ(admission.limit(), 32u);
+}
+
+TEST(AdmissionControllerTest, AdmitsUpToLimitThenSheds) {
+  AdmissionController::Options opts;
+  opts.initial_limit = 3;
+  opts.min_limit = 1;
+  opts.batch_headroom = 1.0;  // no batch distinction in this test
+  AdmissionController admission(opts);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(admission.TryAdmit(Priority::kInteractive),
+              AdmissionController::Decision::kAdmit);
+  }
+  EXPECT_EQ(admission.TryAdmit(Priority::kInteractive),
+            AdmissionController::Decision::kShedLimit);
+  EXPECT_EQ(admission.in_flight(), 3u);
+  admission.Release();
+  EXPECT_EQ(admission.TryAdmit(Priority::kInteractive),
+            AdmissionController::Decision::kAdmit);
+}
+
+TEST(AdmissionControllerTest, BatchHeadroomShedsBatchBeforeInteractive) {
+  AdmissionController::Options opts;
+  opts.initial_limit = 4;
+  opts.min_limit = 1;
+  opts.batch_headroom = 0.5;  // batch may hold at most 2 of the 4 slots
+  AdmissionController admission(opts);
+  EXPECT_EQ(admission.TryAdmit(Priority::kBatch),
+            AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(admission.TryAdmit(Priority::kBatch),
+            AdmissionController::Decision::kAdmit);
+  // Batch headroom exhausted while interactive capacity remains.
+  EXPECT_EQ(admission.TryAdmit(Priority::kBatch),
+            AdmissionController::Decision::kShedBatch);
+  EXPECT_EQ(admission.TryAdmit(Priority::kInteractive),
+            AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(admission.TryAdmit(Priority::kInteractive),
+            AdmissionController::Decision::kAdmit);
+  // Fully saturated: everyone sheds on the hard limit now.
+  EXPECT_EQ(admission.TryAdmit(Priority::kInteractive),
+            AdmissionController::Decision::kShedLimit);
+  EXPECT_EQ(admission.TryAdmit(Priority::kBatch),
+            AdmissionController::Decision::kShedLimit);
+}
+
+TEST(AdmissionControllerTest, AimdDecreasesOnCongestionWithCooldown) {
+  AdmissionController::Options opts;
+  opts.initial_limit = 100;
+  opts.min_limit = 4;
+  opts.max_limit = 256;
+  opts.latency_target_ms = 50;
+  opts.decrease_factor = 0.5;
+  opts.decrease_cooldown = milliseconds(100);
+  AdmissionController admission(opts);
+
+  admission.OnCompletion(/*latency_ms=*/200, /*congested=*/false, At(0));
+  EXPECT_EQ(admission.limit(), 50u);  // over target: multiplicative decrease
+  admission.OnCompletion(200, false, At(50));
+  EXPECT_EQ(admission.limit(), 50u);  // within cooldown: no second decrease
+  admission.OnCompletion(10, true, At(200));
+  EXPECT_EQ(admission.limit(), 25u);  // congested flag forces the decrease
+  for (int i = 0; i < 20; ++i) {
+    admission.OnCompletion(200, true, At(300 + 200 * i));
+  }
+  EXPECT_EQ(admission.limit(), opts.min_limit);  // floor holds
+}
+
+TEST(AdmissionControllerTest, AimdGrowsAdditivelyOnGoodCompletions) {
+  AdmissionController::Options opts;
+  opts.initial_limit = 4;
+  opts.min_limit = 4;
+  opts.max_limit = 8;
+  opts.latency_target_ms = 50;
+  AdmissionController admission(opts);
+  for (int i = 0; i < 200; ++i) {
+    admission.OnCompletion(/*latency_ms=*/1.0, /*congested=*/false, At(i));
+  }
+  EXPECT_EQ(admission.limit(), 8u);  // grew ~1/limit per completion to cap
+}
+
+TEST(AdmissionControllerTest, CodelDropsAfterSustainedSojournAboveTarget) {
+  AdmissionController::Options opts;
+  opts.initial_limit = 16;
+  opts.codel_target = milliseconds(10);
+  opts.codel_interval = milliseconds(100);
+  AdmissionController admission(opts);
+  const auto over = milliseconds(20);
+
+  // Under target: never drops.
+  EXPECT_FALSE(admission.ShouldDrop(Priority::kInteractive, milliseconds(5),
+                                    At(0)));
+  // First excursion above target arms the interval, no drop yet.
+  EXPECT_FALSE(admission.ShouldDrop(Priority::kInteractive, over, At(0)));
+  EXPECT_FALSE(admission.ShouldDrop(Priority::kInteractive, over, At(50)));
+  // Sojourn stayed above target for a full interval: dropping starts.
+  EXPECT_TRUE(admission.ShouldDrop(Priority::kInteractive, over, At(100)));
+  // While dropping, every batch query sheds...
+  EXPECT_TRUE(admission.ShouldDrop(Priority::kBatch, over, At(101)));
+  // ...but interactive only sheds on the sqrt-control-law cadence.
+  EXPECT_FALSE(admission.ShouldDrop(Priority::kInteractive, over, At(150)));
+  EXPECT_TRUE(admission.ShouldDrop(Priority::kInteractive, over, At(200)));
+  // Sojourn back under target: dropping stops immediately.
+  EXPECT_FALSE(admission.ShouldDrop(Priority::kInteractive, milliseconds(5),
+                                    At(250)));
+  EXPECT_FALSE(admission.ShouldDrop(Priority::kBatch, milliseconds(5),
+                                    At(251)));
+  // A fresh excursion needs a fresh interval before dropping again.
+  EXPECT_FALSE(admission.ShouldDrop(Priority::kInteractive, over, At(300)));
+}
+
+// dropping() mirrors the CoDel state so the serving layer can refuse new
+// arrivals at the door while the queue is already shedding at dequeue.
+TEST(AdmissionControllerTest, DroppingStateIsVisibleForDoorShedding) {
+  AdmissionController::Options opts;
+  opts.initial_limit = 16;
+  opts.codel_target = milliseconds(10);
+  opts.codel_interval = milliseconds(100);
+  AdmissionController admission(opts);
+  const auto over = milliseconds(20);
+
+  EXPECT_FALSE(admission.dropping());
+  admission.ShouldDrop(Priority::kInteractive, over, At(0));  // arms interval
+  EXPECT_FALSE(admission.dropping());
+  admission.ShouldDrop(Priority::kInteractive, over, At(100));  // trips
+  EXPECT_TRUE(admission.dropping());
+  // A low-sojourn dequeue clears the state — which is why door shedding
+  // must leave the queue drainable.
+  admission.ShouldDrop(Priority::kInteractive, milliseconds(5), At(150));
+  EXPECT_FALSE(admission.dropping());
+}
+
+// --------------------------------------------------------------- breaker
+
+CircuitBreaker::Options FastBreaker() {
+  CircuitBreaker::Options opts;
+  opts.window_buckets = 4;
+  opts.bucket_width = milliseconds(250);
+  opts.min_volume = 4;
+  opts.failure_threshold = 0.5;
+  opts.open_base = milliseconds(100);
+  opts.open_max = milliseconds(400);
+  opts.half_open_max_probes = 1;
+  opts.close_after_successes = 2;
+  return opts;
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowMinVolume) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(At(i));
+  EXPECT_EQ(breaker.state(At(10)), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.Allow(At(10)), CircuitBreaker::Permit::kAllowed);
+  EXPECT_EQ(breaker.failure_rate(At(10)), 0.0);  // below min_volume
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(CircuitBreakerTest, TripsAtThresholdAndDeniesWhileOpen) {
+  CircuitBreaker breaker(FastBreaker());
+  breaker.RecordSuccess(At(0));
+  breaker.RecordSuccess(At(1));
+  breaker.RecordFailure(At(2));
+  EXPECT_EQ(breaker.state(At(3)), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(At(3));  // 2 failures / 4 outcomes = threshold
+  EXPECT_EQ(breaker.state(At(4)), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_EQ(breaker.Allow(At(50)), CircuitBreaker::Permit::kDenied);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbesThenCloses) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure(At(i));
+  ASSERT_EQ(breaker.state(At(5)), CircuitBreaker::State::kOpen);
+
+  // Backoff (open_base = 100ms) elapses: one probe slot, not two.
+  EXPECT_EQ(breaker.Allow(At(110)), CircuitBreaker::Permit::kProbe);
+  EXPECT_EQ(breaker.Allow(At(111)), CircuitBreaker::Permit::kDenied);
+  breaker.RecordSuccess(At(120));
+  EXPECT_EQ(breaker.state(At(121)), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.Allow(At(122)), CircuitBreaker::Permit::kProbe);
+  breaker.RecordSuccess(At(130));  // second success closes
+  EXPECT_EQ(breaker.state(At(131)), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.Allow(At(132)), CircuitBreaker::Permit::kAllowed);
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensWithLongerBackoff) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure(At(i));
+  ASSERT_EQ(breaker.Allow(At(110)), CircuitBreaker::Permit::kProbe);
+  breaker.RecordFailure(At(115));  // failed probe: reopen, backoff doubles
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_EQ(breaker.Allow(At(115 + 150)),
+            CircuitBreaker::Permit::kDenied);  // 200ms backoff still running
+  EXPECT_EQ(breaker.Allow(At(115 + 210)), CircuitBreaker::Permit::kProbe);
+  // Backoff is capped at open_max even after many reopens.
+  breaker.RecordFailure(At(330));
+  breaker.Allow(At(330 + 410));  // 400ms cap (not 800ms)
+  EXPECT_EQ(breaker.state(At(330 + 411)), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, NeutralOutcomeReleasesProbeWithoutJudging) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure(At(i));
+  ASSERT_EQ(breaker.Allow(At(110)), CircuitBreaker::Permit::kProbe);
+  breaker.RecordNeutral(At(112));  // caller cancelled: says nothing
+  EXPECT_EQ(breaker.state(At(113)), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.Allow(At(114)), CircuitBreaker::Permit::kProbe);
+  breaker.RecordSuccess(At(115));
+  breaker.Allow(At(116));
+  breaker.RecordSuccess(At(117));
+  EXPECT_EQ(breaker.state(At(118)), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, OldOutcomesAgeOutOfTheWindow) {
+  CircuitBreaker breaker(FastBreaker());
+  // Three failures, then a long quiet gap: the window (4 x 250ms) clears,
+  // so later sparse failures cannot combine with the stale ones to trip.
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(At(i));
+  breaker.RecordFailure(At(5000));
+  EXPECT_EQ(breaker.state(At(5001)), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+// ---------------------------------------------------- end-to-end chaos
+
+/// Lake + engine with both quality tiers of each modality pair built:
+/// Starmie and its TUS fallback for union, JOSIE and its LSH-Ensemble
+/// fallback for join.
+class ServeChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorOptions opts;
+    opts.seed = 23;
+    opts.num_domains = 6;
+    opts.num_templates = 3;
+    opts.tables_per_template = 4;
+    opts.min_rows = 30;
+    opts.max_rows = 60;
+    lake_ = new GeneratedLake(LakeGenerator(opts).Generate());
+
+    DiscoveryEngine::Options eopts;
+    eopts.build_pexeso = false;
+    eopts.build_mate = false;
+    eopts.build_santos = false;
+    eopts.build_d3l = false;
+    eopts.build_correlated = false;
+    eopts.synthesize_kb = false;
+    eopts.train_annotator = false;
+    engine_ = new DiscoveryEngine(&lake_->catalog, &lake_->kb, eopts);
+  }
+
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete lake_;
+    engine_ = nullptr;
+    lake_ = nullptr;
+  }
+
+  void TearDown() override { FailpointRegistry::Instance().Clear(); }
+
+  static QueryRequest JosieJoin() {
+    QueryRequest req;
+    req.kind = QueryKind::kJoin;
+    req.join_method = JoinMethod::kJosie;
+    req.values = lake_->catalog.table(0).column(0).DistinctStrings();
+    req.k = 5;
+    req.bypass_cache = true;  // every query must reach the breakers
+    return req;
+  }
+
+  static QueryRequest StarmieUnion() {
+    QueryRequest req;
+    req.kind = QueryKind::kUnion;
+    req.union_method = UnionMethod::kStarmie;
+    req.union_table = &lake_->catalog.table(0);
+    req.exclude = 0;
+    req.k = 5;
+    req.bypass_cache = true;
+    return req;
+  }
+
+  static QueryRequest Keyword() {
+    QueryRequest req;
+    req.kind = QueryKind::kKeyword;
+    req.keyword = lake_->topic_of[0];
+    req.k = 5;
+    req.bypass_cache = true;
+    return req;
+  }
+
+  static const QueryService::BreakerStatus* FindBreaker(
+      const QueryService::HealthSnapshot& health, const std::string& name) {
+    for (const auto& b : health.breakers) {
+      if (b.modality == name) return &b;
+    }
+    return nullptr;
+  }
+
+  static GeneratedLake* lake_;
+  static DiscoveryEngine* engine_;
+};
+
+GeneratedLake* ServeChaosTest::lake_ = nullptr;
+DiscoveryEngine* ServeChaosTest::engine_ = nullptr;
+
+TEST_F(ServeChaosTest, ErrorFaultBrownsOutJoinThenBreakerRecloses) {
+  QueryService::Options opts;
+  opts.num_workers = 2;
+  opts.breaker.window_buckets = 4;
+  opts.breaker.bucket_width = milliseconds(500);
+  opts.breaker.min_volume = 3;
+  opts.breaker.failure_threshold = 0.5;
+  opts.breaker.open_base = milliseconds(250);
+  opts.breaker.open_max = milliseconds(1000);
+  opts.breaker.close_after_successes = 1;
+  QueryService service(engine_, opts);
+
+  // 100% error fault on the JOSIE modality: every call fails instantly.
+  FailpointRegistry::Instance().Arm(
+      "serve.exec.join.josie",
+      FaultSpec{FaultSpec::Kind::kError, 0, 0, /*max_fires=*/0, 1.0});
+
+  // Failure brownout: the primary errors, budget remains, so LSH Ensemble
+  // answers and the response is flagged degraded.
+  uint64_t degraded_seen = 0;
+  for (int i = 0; i < 3; ++i) {
+    const QueryResponse response = service.Execute(JosieJoin());
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    EXPECT_TRUE(response.degraded);
+    EXPECT_EQ(response.served_by, "join.lsh_ensemble");
+    EXPECT_FALSE(response.columns.empty());
+    ++degraded_seen;
+  }
+
+  // Three straight failures tripped the breaker; while open, queries never
+  // touch JOSIE (fast-fail straight into the fallback).
+  QueryService::HealthSnapshot health = service.Health();
+  EXPECT_FALSE(health.ok);
+  EXPECT_EQ(health.open_breakers, 1u);
+  const QueryService::BreakerStatus* josie =
+      FindBreaker(health, "join.josie");
+  ASSERT_NE(josie, nullptr);
+  EXPECT_EQ(josie->state, CircuitBreaker::State::kOpen);
+  EXPECT_GE(josie->trips, 1u);
+
+  const uint64_t fired_before =
+      FailpointRegistry::Instance().fires("serve.exec.join.josie");
+  const QueryResponse fast = service.Execute(JosieJoin());
+  ASSERT_TRUE(fast.status.ok()) << fast.status;
+  EXPECT_TRUE(fast.degraded);
+  EXPECT_EQ(fast.served_by, "join.lsh_ensemble");
+  ++degraded_seen;
+  EXPECT_EQ(FailpointRegistry::Instance().fires("serve.exec.join.josie"),
+            fired_before);  // open breaker: primary not even attempted
+  EXPECT_GE(service.metrics().GetCounter("serve.breaker.fast_fail")->value(),
+            1u);
+
+  // A client that insists on the exact method gets kUnavailable instead of
+  // a silent downgrade.
+  QueryRequest exact = JosieJoin();
+  exact.require_exact_method = true;
+  EXPECT_EQ(service.Execute(exact).status.code(), StatusCode::kUnavailable);
+  EXPECT_GE(service.metrics().GetCounter("serve.queries.unavailable")->value(),
+            1u);
+
+  // Isolation: unrelated modalities are untouched by the open breaker.
+  const QueryResponse keyword = service.Execute(Keyword());
+  ASSERT_TRUE(keyword.status.ok());
+  EXPECT_FALSE(keyword.degraded);
+  const QueryResponse union_query = service.Execute(StarmieUnion());
+  ASSERT_TRUE(union_query.status.ok());
+  EXPECT_FALSE(union_query.degraded);
+  EXPECT_EQ(union_query.served_by, "union.starmie");
+
+  // The brownout counters match the degraded responses exactly.
+  EXPECT_EQ(service.metrics().GetCounter("serve.brownout")->value(),
+            degraded_seen);
+  EXPECT_EQ(service.metrics().GetCounter("serve.brownout.join")->value(),
+            degraded_seen);
+  EXPECT_EQ(service.metrics().GetCounter("serve.brownout.union")->value(), 0u);
+
+  // Fault clears; after the backoff a probe reaches JOSIE, succeeds, and
+  // closes the breaker — full-quality serving resumes.
+  FailpointRegistry::Instance().Disarm("serve.exec.join.josie");
+  std::this_thread::sleep_for(milliseconds(300));
+  const QueryResponse probe = service.Execute(JosieJoin());
+  ASSERT_TRUE(probe.status.ok()) << probe.status;
+  EXPECT_FALSE(probe.degraded);
+  EXPECT_EQ(probe.served_by, "join.josie");
+  health = service.Health();
+  EXPECT_TRUE(health.ok);
+  EXPECT_EQ(health.open_breakers, 0u);
+  const QueryService::BreakerStatus* recovered =
+      FindBreaker(health, "join.josie");
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->state, CircuitBreaker::State::kClosed);
+}
+
+TEST_F(ServeChaosTest, LatencyFaultIsIsolatedAndBrownsOutUnion) {
+  QueryService::Options opts;
+  opts.num_workers = 2;
+  opts.breaker.window_buckets = 4;
+  opts.breaker.bucket_width = milliseconds(500);
+  opts.breaker.min_volume = 2;
+  opts.breaker.failure_threshold = 0.5;
+  opts.breaker.open_base = milliseconds(400);
+  opts.breaker.open_max = milliseconds(1000);
+  opts.breaker.close_after_successes = 2;
+  QueryService service(engine_, opts);
+
+  const auto deadline = milliseconds(100);
+
+  // 100% latency fault: every Starmie call hangs for 5s — far past any
+  // query deadline — until disarmed.
+  FailpointRegistry::Instance().Arm(
+      "serve.exec.union.starmie",
+      FaultSpec{FaultSpec::Kind::kDelay, 0, /*arg=*/5000, /*max_fires=*/0,
+                1.0});
+
+  // A hung Starmie query occupies one worker; the other modality answers
+  // within its deadline on the other worker (isolation), and the hung
+  // query unwinds at ITS deadline, not after the full 5s stall.
+  QueryRequest hung = StarmieUnion();
+  hung.deadline = deadline;
+  Result<SubmittedQuery> submitted = service.Submit(std::move(hung));
+  ASSERT_TRUE(submitted.ok());
+
+  QueryRequest join = JosieJoin();
+  join.deadline = deadline;
+  const QueryResponse join_response = service.Execute(std::move(join));
+  ASSERT_TRUE(join_response.status.ok()) << join_response.status;
+  EXPECT_FALSE(join_response.degraded);
+  EXPECT_LT(join_response.latency_ms, 100.0);
+
+  const QueryResponse hung_response = submitted->response.get();
+  EXPECT_EQ(hung_response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(hung_response.latency_ms, 1000.0);  // unwound at the deadline
+
+  // A second deadline death reaches min_volume and trips the breaker.
+  QueryRequest second = StarmieUnion();
+  second.deadline = deadline;
+  EXPECT_EQ(service.Execute(std::move(second)).status.code(),
+            StatusCode::kDeadlineExceeded);
+  QueryService::HealthSnapshot health = service.Health();
+  const QueryService::BreakerStatus* starmie =
+      FindBreaker(health, "union.starmie");
+  ASSERT_NE(starmie, nullptr);
+  EXPECT_EQ(starmie->state, CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(health.ok);
+
+  // While open: brownout serves TUS, degraded, comfortably inside the
+  // deadline (the hung primary is never attempted).
+  QueryRequest browned = StarmieUnion();
+  browned.deadline = deadline;
+  const QueryResponse degraded = service.Execute(std::move(browned));
+  ASSERT_TRUE(degraded.status.ok()) << degraded.status;
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_EQ(degraded.served_by, "union.tus");
+  EXPECT_FALSE(degraded.tables.empty());
+  EXPECT_LT(degraded.latency_ms, 90.0);
+  EXPECT_EQ(service.metrics().GetCounter("serve.brownout.union")->value(),
+            1u);
+  EXPECT_EQ(service.metrics().GetCounter("serve.brownout")->value(), 1u);
+  EXPECT_GE(FailpointRegistry::Instance().fires("serve.exec.union.starmie"),
+            2u);
+
+  // Fault clears; the breaker needs two probe successes to close.
+  FailpointRegistry::Instance().Disarm("serve.exec.union.starmie");
+  std::this_thread::sleep_for(milliseconds(450));
+  for (int i = 0; i < 2; ++i) {
+    const QueryResponse probe = service.Execute(StarmieUnion());
+    ASSERT_TRUE(probe.status.ok()) << probe.status;
+    EXPECT_FALSE(probe.degraded);
+    EXPECT_EQ(probe.served_by, "union.starmie");
+  }
+  health = service.Health();
+  EXPECT_TRUE(health.ok);
+  const QueryService::BreakerStatus* recovered =
+      FindBreaker(health, "union.starmie");
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->state, CircuitBreaker::State::kClosed);
+}
+
+TEST_F(ServeChaosTest, ProbabilisticFaultIsSeededAndBounded) {
+  // A flaky fault (30%, 5 fires max) drawn from the seeded registry RNG:
+  // the exact fire pattern is reproducible for a fixed seed, and the fire
+  // budget stops it without a disarm.
+  FailpointRegistry::Instance().Reseed(42);
+  FailpointRegistry::Instance().Arm(
+      "chaos.flaky",
+      FaultSpec{FaultSpec::Kind::kError, 0, 0, /*max_fires=*/5, 0.3});
+  int fired = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!ExecFailpoint("chaos.flaky").ok()) ++fired;
+  }
+  EXPECT_EQ(fired, 5);  // budget exhausted despite 200 eligible hits
+  EXPECT_EQ(FailpointRegistry::Instance().fires("chaos.flaky"), 5u);
+
+  // Same seed, same arm: same hit indices fire.
+  FailpointRegistry::Instance().Reseed(42);
+  FailpointRegistry::Instance().Arm(
+      "chaos.flaky2",
+      FaultSpec{FaultSpec::Kind::kError, 0, 0, /*max_fires=*/0, 0.3});
+  std::vector<int> pattern;
+  for (int i = 0; i < 50; ++i) {
+    if (!ExecFailpoint("chaos.flaky2").ok()) pattern.push_back(i);
+  }
+  FailpointRegistry::Instance().Reseed(42);
+  FailpointRegistry::Instance().Arm(
+      "chaos.flaky3",
+      FaultSpec{FaultSpec::Kind::kError, 0, 0, /*max_fires=*/0, 0.3});
+  std::vector<int> replay;
+  for (int i = 0; i < 50; ++i) {
+    if (!ExecFailpoint("chaos.flaky3").ok()) replay.push_back(i);
+  }
+  EXPECT_EQ(pattern, replay);
+  EXPECT_FALSE(pattern.empty());
+}
+
+TEST_F(ServeChaosTest, AdaptiveLimitShrinksUnderDeadlineDeaths) {
+  // Under a 100%-latency fault with tight deadlines, every completion is a
+  // deadline death: the AIMD loop must walk the concurrency limit down
+  // from max_pending toward min_limit.
+  QueryService::Options opts;
+  opts.num_workers = 2;
+  opts.max_pending = 64;
+  opts.admission.min_limit = 4;
+  opts.admission.decrease_factor = 0.5;
+  opts.admission.decrease_cooldown = milliseconds(10);
+  opts.enable_brownout = false;  // keep every query on the hung primary
+  opts.enable_breakers = false;  // isolate the AIMD signal
+  QueryService service(engine_, opts);
+  ASSERT_EQ(service.admission().limit(), 64u);
+
+  FailpointRegistry::Instance().Arm(
+      "serve.exec.union.starmie",
+      FaultSpec{FaultSpec::Kind::kDelay, 0, /*arg=*/5000, /*max_fires=*/0,
+                1.0});
+  for (int i = 0; i < 6; ++i) {
+    QueryRequest req = StarmieUnion();
+    req.deadline = milliseconds(30);
+    EXPECT_EQ(service.Execute(std::move(req)).status.code(),
+              StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_LT(service.admission().limit(), 64u);
+  EXPECT_GE(service.admission().limit(),
+            opts.admission.min_limit);
+}
+
+}  // namespace
+}  // namespace lake::serve

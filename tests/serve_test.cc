@@ -45,6 +45,36 @@ TEST(LatencyHistogramTest, QuantilesOfUniformSamples) {
   EXPECT_NEAR(snap.mean(), 500.5, 1.0);
 }
 
+TEST(LatencyHistogramTest, PercentileOfEmptyHistogramIsZero) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentileOfSingleBucketIsBoundedBySample) {
+  LatencyHistogram hist;
+  hist.Record(5000);
+  EXPECT_EQ(hist.count(), 1u);
+  for (double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_LE(hist.Percentile(q), 5000.0) << "q=" << q;
+    EXPECT_GT(hist.Percentile(q), 4000.0) << "q=" << q;  // same bucket
+  }
+}
+
+TEST(LatencyHistogramTest, PercentileInterpolatesAcrossBuckets) {
+  LatencyHistogram hist;
+  for (int i = 1; i <= 1000; ++i) hist.Record(static_cast<double>(i));
+  EXPECT_EQ(hist.count(), 1000u);
+  // Matches Snapshot::Quantile (same code path) within the log-bucket
+  // resolution, and quantiles are monotone in q.
+  EXPECT_NEAR(hist.Percentile(0.5), 500.0, 150.0);
+  EXPECT_NEAR(hist.Percentile(0.95), 950.0, 200.0);
+  EXPECT_LE(hist.Percentile(0.5), hist.Percentile(0.9));
+  EXPECT_LE(hist.Percentile(0.9), hist.Percentile(0.99));
+  EXPECT_LE(hist.Percentile(0.99), 1000.0);
+}
+
 TEST(LatencyHistogramTest, SingleSampleQuantiles) {
   LatencyHistogram hist;
   hist.Record(5000);
@@ -470,6 +500,54 @@ TEST_F(QueryServiceTest, InvalidRequestsRejectedUpfront) {
   no_table.kind = QueryKind::kUnion;
   EXPECT_EQ(service.Submit(std::move(no_table)).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryServiceTest, JoinWithoutValuesRejected) {
+  QueryService service(engine_, QueryService::Options{});
+  QueryRequest req;
+  req.kind = QueryKind::kJoin;
+  const Result<SubmittedQuery> submitted = service.Submit(std::move(req));
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryServiceTest, CorrelatedWithoutEitherColumnRejected) {
+  QueryService service(engine_, QueryService::Options{});
+  QueryRequest no_numeric;
+  no_numeric.kind = QueryKind::kCorrelated;
+  no_numeric.values = {"a", "b"};
+  EXPECT_EQ(service.Submit(std::move(no_numeric)).status().code(),
+            StatusCode::kInvalidArgument);
+  QueryRequest no_keys;
+  no_keys.kind = QueryKind::kCorrelated;
+  no_keys.numeric_values = {1.0, 2.0};
+  EXPECT_EQ(service.Submit(std::move(no_keys)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryServiceTest, CorrelatedMismatchedColumnLengthsRejected) {
+  QueryService service(engine_, QueryService::Options{});
+  QueryRequest req;
+  req.kind = QueryKind::kCorrelated;
+  req.values = {"a", "b", "c"};
+  req.numeric_values = {1.0, 2.0};
+  const Result<SubmittedQuery> submitted = service.Submit(std::move(req));
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kInvalidArgument);
+  // The message names both lengths so the caller can fix the request.
+  EXPECT_NE(submitted.status().message().find("3"), std::string::npos);
+  EXPECT_NE(submitted.status().message().find("2"), std::string::npos);
+}
+
+TEST_F(QueryServiceTest, RejectedRequestsNeverReachExecutionOrMetrics) {
+  QueryService service(engine_, QueryService::Options{});
+  QueryRequest bad;
+  bad.kind = QueryKind::kCorrelated;
+  bad.values = {"a"};
+  ASSERT_FALSE(service.Submit(std::move(bad)).ok());
+  EXPECT_EQ(service.metrics().GetCounter("serve.queries.admitted")->value(),
+            0u);
+  EXPECT_EQ(service.pending(), 0u);
 }
 
 TEST_F(QueryServiceTest, ConcurrentMixedWorkloadIsConsistent) {
