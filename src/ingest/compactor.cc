@@ -1,0 +1,77 @@
+#include "ingest/compactor.h"
+
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace lake::ingest {
+
+Compactor::Compactor(LiveEngine* engine, Options options)
+    : engine_(engine), options_(options) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+Compactor::~Compactor() { Stop(); }
+
+void Compactor::TriggerNow() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    trigger_ = true;
+  }
+  cv_.notify_one();
+}
+
+void Compactor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_one();
+  thread_.join();
+}
+
+uint64_t Compactor::runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_;
+}
+
+uint64_t Compactor::failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failures_;
+}
+
+LiveEngine::CompactionStats Compactor::last_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_stats_;
+}
+
+void Compactor::Loop() {
+  while (true) {
+    bool forced = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock,
+                   std::chrono::milliseconds(options_.poll_interval_ms),
+                   [this] { return stop_ || trigger_; });
+      if (stop_) return;
+      forced = trigger_;
+      trigger_ = false;
+    }
+    if (!forced && !engine_->CompactionNeeded(options_.max_delta_tables,
+                                              options_.max_tombstone_ratio)) {
+      continue;
+    }
+    Result<LiveEngine::CompactionStats> stats = engine_->Compact();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stats.ok()) {
+      ++runs_;
+      last_stats_ = stats.value();
+    } else {
+      ++failures_;
+      LAKE_LOG(Warning) << "compaction failed: " << stats.status().ToString();
+    }
+  }
+}
+
+}  // namespace lake::ingest

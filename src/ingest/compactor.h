@@ -1,0 +1,68 @@
+#ifndef LAKE_INGEST_COMPACTOR_H_
+#define LAKE_INGEST_COMPACTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "ingest/live_engine.h"
+
+namespace lake::ingest {
+
+/// Background compaction policy thread: watches the engine's delta size
+/// and tombstone ratio and folds the delta into a fresh base when either
+/// threshold trips (LiveEngine::Compact — the heavy build runs off the
+/// serving path; queries and ingestion continue against the old
+/// generation until the atomic swap). One compactor per engine.
+class Compactor {
+ public:
+  struct Options {
+    /// Compact when the delta holds at least this many tables.
+    size_t max_delta_tables = 64;
+    /// ...or when tombstones exceed this fraction of the base.
+    double max_tombstone_ratio = 0.2;
+    /// Threshold poll cadence.
+    uint64_t poll_interval_ms = 50;
+  };
+
+  /// `engine` must outlive the compactor.
+  Compactor(LiveEngine* engine, Options options);
+  explicit Compactor(LiveEngine* engine) : Compactor(engine, Options{}) {}
+  ~Compactor();
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  /// Requests an immediate compaction regardless of thresholds and wakes
+  /// the thread; returns without waiting for it to finish.
+  void TriggerNow();
+
+  /// Stops the thread (idempotent; also run by the destructor). An
+  /// in-progress compaction finishes first.
+  void Stop();
+
+  uint64_t runs() const;
+  uint64_t failures() const;
+  LiveEngine::CompactionStats last_stats() const;
+
+ private:
+  void Loop();
+
+  LiveEngine* engine_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool trigger_ = false;
+  uint64_t runs_ = 0;
+  uint64_t failures_ = 0;
+  LiveEngine::CompactionStats last_stats_;
+
+  std::thread thread_;
+};
+
+}  // namespace lake::ingest
+
+#endif  // LAKE_INGEST_COMPACTOR_H_

@@ -1,0 +1,703 @@
+#include "ingest/live_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <unordered_set>
+
+#include "table/csv.h"
+#include "table/table_meta.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
+
+namespace lake::ingest {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Merges two ranked lists (already filtered/remapped) into one top-k.
+/// Stable sort with base first makes score ties prefer the base side.
+template <typename R>
+std::vector<R> MergeTopK(std::vector<R> base, std::vector<R> delta,
+                         size_t k) {
+  base.reserve(base.size() + delta.size());
+  for (R& r : delta) base.push_back(std::move(r));
+  std::stable_sort(base.begin(), base.end(),
+                   [](const R& a, const R& b) { return a.score > b.score; });
+  if (base.size() > k) base.resize(k);
+  return base;
+}
+
+constexpr uint64_t kStateFormatVersion = 1;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Generation: id resolution
+// ---------------------------------------------------------------------------
+
+Result<std::string> Generation::TableName(TableId id) const {
+  LAKE_ASSIGN_OR_RETURN(const Table* table, FindTableById(id));
+  return table->name();
+}
+
+Result<const Table*> Generation::FindTableById(TableId id) const {
+  const size_t base_count = base_table_count();
+  if (id < base_count) {
+    if (delta_->tombstones.count(id)) {
+      return Status::NotFound("table id " + std::to_string(id) +
+                              " is tombstoned");
+    }
+    return &base_catalog_->table(id);
+  }
+  const size_t local = id - base_count;
+  if (delta_->catalog == nullptr || local >= delta_->catalog->num_tables()) {
+    return Status::NotFound("table id " + std::to_string(id) +
+                            " out of range");
+  }
+  return &delta_->catalog->table(static_cast<TableId>(local));
+}
+
+Result<TableId> Generation::FindTable(const std::string& name) const {
+  if (delta_->catalog != nullptr) {
+    Result<TableId> local = delta_->catalog->FindTable(name);
+    if (local.ok()) {
+      return static_cast<TableId>(base_table_count() + local.value());
+    }
+  }
+  LAKE_ASSIGN_OR_RETURN(TableId id, base_catalog_->FindTable(name));
+  if (delta_->tombstones.count(id)) {
+    return Status::NotFound("table " + name + " (removed)");
+  }
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Merged queries
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Drops tombstoned base hits and counts survivors into `stats`.
+std::vector<TableResult> FilterBaseTables(std::vector<TableResult> results,
+                                          const DeltaPart& delta,
+                                          MergeStats* stats) {
+  std::vector<TableResult> out;
+  out.reserve(results.size());
+  for (TableResult& r : results) {
+    if (delta.tombstones.count(r.table_id)) {
+      if (stats != nullptr) ++stats->tombstone_filtered;
+      continue;
+    }
+    out.push_back(std::move(r));
+  }
+  if (stats != nullptr) stats->base_results += out.size();
+  return out;
+}
+
+std::vector<ColumnResult> FilterBaseColumns(std::vector<ColumnResult> results,
+                                            const DeltaPart& delta,
+                                            MergeStats* stats) {
+  std::vector<ColumnResult> out;
+  out.reserve(results.size());
+  for (ColumnResult& r : results) {
+    if (delta.tombstones.count(r.column.table_id)) {
+      if (stats != nullptr) ++stats->tombstone_filtered;
+      continue;
+    }
+    out.push_back(std::move(r));
+  }
+  if (stats != nullptr) stats->base_results += out.size();
+  return out;
+}
+
+/// Over-fetch factor for the base side: tombstoned hits are filtered
+/// post-hoc, so ask for enough extras to still fill k.
+size_t BaseK(const Generation& gen, size_t k) {
+  return k + gen.delta().tombstones.size();
+}
+
+}  // namespace
+
+std::vector<TableResult> MergedKeyword(const Generation& gen,
+                                       const std::string& query, size_t k,
+                                       MergeStats* stats) {
+  std::vector<TableResult> base = FilterBaseTables(
+      gen.base().Keyword(query, BaseK(gen, k)), gen.delta(), stats);
+  std::vector<TableResult> delta;
+  if (gen.has_delta()) {
+    delta = gen.delta().engine->Keyword(query, k);
+    const TableId offset = static_cast<TableId>(gen.base_table_count());
+    for (TableResult& r : delta) r.table_id += offset;
+    if (stats != nullptr) stats->delta_results += delta.size();
+  }
+  return MergeTopK(std::move(base), std::move(delta), k);
+}
+
+Result<std::vector<ColumnResult>> MergedJoinable(
+    const Generation& gen, const std::vector<std::string>& query_values,
+    JoinMethod method, size_t k, const CancelToken* cancel,
+    MergeStats* stats) {
+  LAKE_ASSIGN_OR_RETURN(
+      std::vector<ColumnResult> raw,
+      gen.base().Joinable(query_values, method, BaseK(gen, k), cancel));
+  std::vector<ColumnResult> base =
+      FilterBaseColumns(std::move(raw), gen.delta(), stats);
+
+  std::vector<ColumnResult> delta;
+  if (gen.has_delta()) {
+    Result<std::vector<ColumnResult>> delta_result =
+        gen.delta().engine->Joinable(query_values, method, k, cancel);
+    if (delta_result.ok()) {
+      delta = std::move(delta_result).value();
+      const TableId offset = static_cast<TableId>(gen.base_table_count());
+      for (ColumnResult& r : delta) r.column.table_id += offset;
+      if (stats != nullptr) stats->delta_results += delta.size();
+    } else if (delta_result.status().code() !=
+               StatusCode::kFailedPrecondition) {
+      // FailedPrecondition means the memtable does not build this method
+      // (serve base-only until compaction); anything else is a real error.
+      return delta_result.status();
+    }
+  }
+  return MergeTopK(std::move(base), std::move(delta), k);
+}
+
+Result<std::vector<TableResult>> MergedUnionable(
+    const Generation& gen, const Table& query, UnionMethod method, size_t k,
+    int64_t exclude, const CancelToken* cancel, MergeStats* stats) {
+  const int64_t base_count = static_cast<int64_t>(gen.base_table_count());
+  const int64_t base_exclude = exclude < base_count ? exclude : -1;
+  const int64_t delta_exclude =
+      exclude >= base_count ? exclude - base_count : -1;
+
+  LAKE_ASSIGN_OR_RETURN(std::vector<TableResult> raw,
+                        gen.base().Unionable(query, method, BaseK(gen, k),
+                                             base_exclude, cancel));
+  std::vector<TableResult> base =
+      FilterBaseTables(std::move(raw), gen.delta(), stats);
+
+  std::vector<TableResult> delta;
+  if (gen.has_delta()) {
+    Result<std::vector<TableResult>> delta_result =
+        gen.delta().engine->Unionable(query, method, k, delta_exclude,
+                                      cancel);
+    if (delta_result.ok()) {
+      delta = std::move(delta_result).value();
+      const TableId offset = static_cast<TableId>(base_count);
+      for (TableResult& r : delta) r.table_id += offset;
+      if (stats != nullptr) stats->delta_results += delta.size();
+    } else if (delta_result.status().code() !=
+               StatusCode::kFailedPrecondition) {
+      return delta_result.status();
+    }
+  }
+  return MergeTopK(std::move(base), std::move(delta), k);
+}
+
+// ---------------------------------------------------------------------------
+// LiveEngine
+// ---------------------------------------------------------------------------
+
+DiscoveryEngine::Options LiveEngine::Options::DefaultDeltaOptions() {
+  DiscoveryEngine::Options opts;
+  // Memtable modalities whose scores merge against the base: exact
+  // overlap/containment (JOSIE, exact join, LSH Ensemble), BM25 keyword,
+  // and the shared-embedding-space union methods (TUS, Starmie).
+  opts.build_pexeso = false;
+  opts.build_mate = false;
+  opts.build_correlated = false;
+  opts.build_santos = false;
+  opts.build_d3l = false;
+  // No per-batch KB synthesis or annotator training: both are O(lake)
+  // analysis passes, not serving structures.
+  opts.synthesize_kb = false;
+  opts.train_annotator = false;
+  return opts;
+}
+
+LiveEngine::LiveEngine(std::shared_ptr<const DataLakeCatalog> base_catalog,
+                       std::shared_ptr<const DiscoveryEngine> base_engine,
+                       Options options)
+    : options_(std::move(options)),
+      base_catalog_(std::move(base_catalog)),
+      base_engine_(std::move(base_engine)) {
+  options_.delta_options.embedding_dim = options_.base_options.embedding_dim;
+  InitMetrics();
+  std::lock_guard<std::mutex> lock(mu_);
+  Publish();
+}
+
+LiveEngine::LiveEngine(std::shared_ptr<const DataLakeCatalog> base_catalog,
+                       Options options)
+    : LiveEngine(base_catalog,
+                 std::make_shared<const DiscoveryEngine>(
+                     base_catalog.get(), options.kb, options.base_options),
+                 options) {}
+
+void LiveEngine::InitMetrics() {
+  if (options_.metrics == nullptr) return;
+  serve::MetricsRegistry& m = *options_.metrics;
+  tables_added_ = m.GetCounter("ingest.tables.added");
+  tables_removed_ = m.GetCounter("ingest.tables.removed");
+  publishes_ = m.GetCounter("ingest.publishes");
+  compactions_counter_ = m.GetCounter("ingest.compactions");
+  compaction_failures_ = m.GetCounter("ingest.compaction.failures");
+  delta_tables_gauge_ = m.GetGauge("ingest.delta.tables");
+  tombstones_gauge_ = m.GetGauge("ingest.tombstones");
+  generation_gauge_ = m.GetGauge("ingest.generation");
+  publish_latency_ = m.GetHistogram("ingest.publish_ms");
+  compaction_latency_ = m.GetHistogram("ingest.compaction_ms");
+}
+
+std::shared_ptr<const DeltaPart> LiveEngine::BuildDeltaPart() const {
+  auto delta = std::make_shared<DeltaPart>();
+  delta->catalog = std::make_unique<DataLakeCatalog>();
+  for (const std::shared_ptr<const Table>& table : delta_tables_) {
+    // Names were validated unique at AddTable time; a failure here would
+    // mean the invariant broke, so surface it loudly in debug builds.
+    Result<TableId> id = delta->catalog->AddTable(*table);
+    LAKE_CHECK(id.ok());
+  }
+  if (delta->catalog->num_tables() > 0) {
+    delta->engine = std::make_unique<DiscoveryEngine>(
+        delta->catalog.get(), options_.kb, options_.delta_options);
+  }
+  for (const std::string& name : tombstone_names_) {
+    Result<TableId> id = base_catalog_->FindTable(name);
+    // Names not (or no longer) in the base carry no filter work; they are
+    // kept in tombstone_names_ until a compaction retires them.
+    if (id.ok()) delta->tombstones.insert(id.value());
+    delta->tombstone_names.push_back(name);
+  }
+  return delta;
+}
+
+void LiveEngine::Publish() {
+  const auto start = Clock::now();
+  ++version_;
+  auto generation = std::shared_ptr<const Generation>(
+      new Generation(number_, version_, base_catalog_, base_engine_,
+                     BuildDeltaPart()));
+  current_.store(generation, std::memory_order_release);
+  version_published_.store(version_, std::memory_order_release);
+  if (publishes_ != nullptr) {
+    publishes_->Add();
+    delta_tables_gauge_->Set(delta_tables_.size());
+    tombstones_gauge_->Set(tombstone_names_.size());
+    generation_gauge_->Set(number_);
+    publish_latency_->Record(MsSince(start) * 1000.0);
+  }
+}
+
+LiveEngine::BatchOutcome LiveEngine::ApplyBatch(Batch batch) {
+  BatchOutcome outcome;
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Crash/abort site for the generation swap: the whole batch is rejected
+  // before any state mutates, so a "failed publish" is atomic.
+  if (std::optional<FaultSpec> fault = FailpointHit("ingest.publish.swap")) {
+    const Status injected =
+        Status::IoError("injected fault at ingest.publish.swap");
+    outcome.adds.assign(batch.adds.size(), injected);
+    outcome.removes.assign(batch.removes.size(), injected);
+    return outcome;
+  }
+
+  auto in_delta = [&](const std::string& name) {
+    return std::find_if(delta_tables_.begin(), delta_tables_.end(),
+                        [&](const std::shared_ptr<const Table>& t) {
+                          return t->name() == name;
+                        });
+  };
+
+  for (const std::string& name : batch.removes) {
+    auto it = in_delta(name);
+    if (it != delta_tables_.end()) {
+      delta_tables_.erase(it);
+      // Keep a tombstone anyway: if an in-flight compaction already
+      // consumed this table, the tombstone masks it in the new base.
+      tombstone_names_.insert(name);
+      outcome.removes.push_back(Status::OK());
+    } else if (base_catalog_->FindTable(name).ok() &&
+               !tombstone_names_.count(name)) {
+      tombstone_names_.insert(name);
+      outcome.removes.push_back(Status::OK());
+    } else {
+      outcome.removes.push_back(Status::NotFound("table " + name));
+    }
+    if (outcome.removes.back().ok() && tables_removed_ != nullptr) {
+      tables_removed_->Add();
+    }
+  }
+
+  std::vector<size_t> added_indices;  // into delta_tables_, per accepted add
+  for (Table& table : batch.adds) {
+    const std::string& name = table.name();
+    if (name.empty() || name.find('/') != std::string::npos) {
+      outcome.adds.push_back(
+          Status::InvalidArgument("invalid table name: " + name));
+      continue;
+    }
+    if (in_delta(name) != delta_tables_.end() ||
+        (base_catalog_->FindTable(name).ok() &&
+         !tombstone_names_.count(name))) {
+      outcome.adds.push_back(Status::AlreadyExists("table " + name));
+      continue;
+    }
+    added_indices.push_back(delta_tables_.size());
+    outcome.adds.push_back(Result<TableId>(0));  // id filled in below
+    delta_tables_.push_back(std::make_shared<const Table>(std::move(table)));
+    if (tables_added_ != nullptr) tables_added_->Add();
+  }
+
+  // Lake-visible delta ids are base_count + local position.
+  const TableId base_count = static_cast<TableId>(base_catalog_->num_tables());
+  size_t next = 0;
+  for (Result<TableId>& id : outcome.adds) {
+    if (id.ok()) {
+      id = Result<TableId>(
+          static_cast<TableId>(base_count + added_indices[next++]));
+    }
+  }
+
+  Publish();
+  outcome.published = true;
+  return outcome;
+}
+
+Result<TableId> LiveEngine::AddTable(Table table) {
+  Batch batch;
+  batch.adds.push_back(std::move(table));
+  BatchOutcome outcome = ApplyBatch(std::move(batch));
+  return outcome.adds[0];
+}
+
+Status LiveEngine::RemoveTable(const std::string& name) {
+  Batch batch;
+  batch.removes.push_back(name);
+  BatchOutcome outcome = ApplyBatch(std::move(batch));
+  return outcome.removes[0];
+}
+
+bool LiveEngine::CompactionNeeded(size_t max_delta_tables,
+                                  double max_tombstone_ratio) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (delta_tables_.size() >= max_delta_tables && max_delta_tables > 0) {
+    return true;
+  }
+  if (tombstone_names_.empty()) return false;
+  const double base = static_cast<double>(
+      std::max<size_t>(1, base_catalog_->num_tables()));
+  return static_cast<double>(tombstone_names_.size()) / base >
+         max_tombstone_ratio;
+}
+
+Result<LiveEngine::CompactionStats> LiveEngine::Compact() {
+  const auto start = Clock::now();
+
+  // Snapshot the compaction input: surviving base tables + current delta.
+  std::shared_ptr<const DataLakeCatalog> old_catalog;
+  std::vector<std::shared_ptr<const Table>> consumed;
+  std::set<std::string> consumed_tombstones;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    old_catalog = base_catalog_;
+    consumed = delta_tables_;
+    consumed_tombstones = tombstone_names_;
+  }
+
+  if (FailpointHit("ingest.compact.build")) {
+    if (compaction_failures_ != nullptr) compaction_failures_->Add();
+    return Status::IoError("injected fault at ingest.compact.build");
+  }
+
+  CompactionStats stats;
+  stats.input_base_tables = old_catalog->num_tables();
+  stats.input_delta_tables = consumed.size();
+  stats.tombstones_cleared = consumed_tombstones.size();
+
+  // Merge: copy survivors, sorted by name, into a fresh catalog — the
+  // exact corpus (and id assignment) a cold rebuild over the surviving
+  // tables would see, which is what makes post-compaction answers
+  // bit-identical to a full rebuild.
+  std::vector<const Table*> survivors;
+  survivors.reserve(old_catalog->num_tables() + consumed.size());
+  for (TableId id : old_catalog->AllTables()) {
+    const Table& table = old_catalog->table(id);
+    if (!consumed_tombstones.count(table.name())) survivors.push_back(&table);
+  }
+  for (const std::shared_ptr<const Table>& table : consumed) {
+    survivors.push_back(table.get());
+  }
+  std::sort(survivors.begin(), survivors.end(),
+            [](const Table* a, const Table* b) { return a->name() < b->name(); });
+
+  auto merged = std::make_shared<DataLakeCatalog>();
+  for (const Table* table : survivors) {
+    Result<TableId> id = merged->AddTable(*table);
+    if (!id.ok()) {
+      if (compaction_failures_ != nullptr) compaction_failures_->Add();
+      return Status::Internal("compaction merge rejected " + table->name() +
+                              ": " + id.status().ToString());
+    }
+  }
+  stats.output_tables = merged->num_tables();
+
+  // The expensive part — a full index build — runs with no lock held, so
+  // ingestion and queries proceed against the old generation meanwhile.
+  auto engine = std::make_shared<const DiscoveryEngine>(
+      merged.get(), options_.kb, options_.base_options);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Crash/abort site for the base swap: nothing below mutates until the
+    // failpoint passes, so an aborted compaction leaves state untouched.
+    if (FailpointHit("ingest.compact.swap")) {
+      if (compaction_failures_ != nullptr) compaction_failures_->Add();
+      return Status::IoError("injected fault at ingest.compact.swap");
+    }
+    // Residual delta: tables that arrived while the build ran. Consumed
+    // entries are identified by pointer, so a same-named table added
+    // after the snapshot survives as delta.
+    std::unordered_set<const Table*> consumed_set;
+    for (const std::shared_ptr<const Table>& t : consumed) {
+      consumed_set.insert(t.get());
+    }
+    std::vector<std::shared_ptr<const Table>> residual;
+    for (std::shared_ptr<const Table>& t : delta_tables_) {
+      if (!consumed_set.count(t.get())) residual.push_back(std::move(t));
+    }
+    delta_tables_ = std::move(residual);
+    for (const std::string& name : consumed_tombstones) {
+      tombstone_names_.erase(name);
+    }
+    base_catalog_ = std::move(merged);
+    base_engine_ = std::move(engine);
+    ++number_;
+    stats.generation = number_;
+    Publish();
+  }
+
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  if (compactions_counter_ != nullptr) {
+    compactions_counter_->Add();
+    compaction_latency_->Record(MsSince(start) * 1000.0);
+  }
+
+  if (options_.store != nullptr && options_.persist_after_compact) {
+    // Best-effort: a crash (or injected fault) between swap and persist
+    // loses the compaction on disk, never consistency — recovery replays
+    // the previous committed generation.
+    Status persisted = Checkpoint();
+    if (!persisted.ok()) {
+      LAKE_LOG(Warning) << "post-compaction checkpoint failed: "
+                        << persisted.ToString();
+    }
+  }
+
+  stats.duration_ms = MsSince(start);
+  return stats;
+}
+
+Status LiveEngine::Checkpoint() {
+  if (options_.store == nullptr) {
+    return Status::FailedPrecondition("no snapshot store configured");
+  }
+  store::SnapshotWriter writer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LAKE_RETURN_IF_ERROR(base_catalog_->SaveSnapshot(&writer));
+    LAKE_RETURN_IF_ERROR(base_engine_->SaveIndexSections(&writer));
+
+    if (FailpointHit("ingest.delta.persist")) {
+      return Status::IoError("injected fault at ingest.delta.persist");
+    }
+    for (const std::shared_ptr<const Table>& table : delta_tables_) {
+      writer.AddSection(std::string(kDeltaPrefix) + table->name(),
+                        WriteCsvString(*table));
+      if (HasMetadata(table->metadata())) {
+        writer.AddSection(std::string(kDeltaMetaPrefix) + table->name(),
+                          SerializeTableMetadata(table->metadata()));
+      }
+    }
+    LAKE_RETURN_IF_ERROR(writer.AddSection(
+        kStateSection, [&](BinaryWriter* w) {
+          w->WriteVarint(kStateFormatVersion);
+          w->WriteVarint(delta_tables_.size());
+          for (const std::shared_ptr<const Table>& table : delta_tables_) {
+            w->WriteString(table->name());
+          }
+          w->WriteVarint(tombstone_names_.size());
+          for (const std::string& name : tombstone_names_) {
+            w->WriteString(name);
+          }
+          return Status::OK();
+        }));
+  }
+  LAKE_ASSIGN_OR_RETURN(uint64_t generation, options_.store->Commit(writer));
+  (void)generation;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<LiveEngine>> LiveEngine::Recover(
+    store::SnapshotStore* store, Options options, RecoveryReport* report) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("null snapshot store");
+  }
+  // Recovering from a store implies persisting to it: later Checkpoint /
+  // post-compaction commits go to the same place the state came from.
+  options.store = store;
+  RecoveryReport local_report;
+  RecoveryReport& rep = report != nullptr ? *report : local_report;
+
+  LAKE_ASSIGN_OR_RETURN(store::SnapshotStore::Opened opened,
+                        store->OpenLatest());
+  rep.snapshot_generation = opened.generation;
+  const store::SnapshotReader& reader = opened.reader;
+
+  // Base catalog from the committed envelope (corrupt table sections are
+  // quarantined by LoadSnapshot; SnapshotStore commits are atomic, so in
+  // practice the committed generation parses whole).
+  auto catalog = std::make_shared<DataLakeCatalog>();
+  LAKE_ASSIGN_OR_RETURN(std::vector<TableId> loaded,
+                        catalog->LoadSnapshot(reader));
+  rep.tables_loaded = loaded.size();
+
+  // Base indexes: prefer the persisted sections (skips the O(lake)
+  // build); a section that is missing, corrupt, or fails validation
+  // forces a fresh build of ALL base indexes from the loaded tables, so
+  // the recovered base is never quarantined or degraded.
+  DiscoveryEngine::Options deferred = options.base_options;
+  deferred.defer_index_build = true;
+  auto engine = std::make_unique<DiscoveryEngine>(catalog.get(), options.kb,
+                                                  deferred);
+  bool all_sections_loaded = true;
+  for (const std::string& section : engine->PendingIndexSections()) {
+    Result<std::string> payload = reader.ReadSection(section);
+    Status status = payload.ok()
+                        ? engine->LoadIndexSection(section, payload.value())
+                        : payload.status();
+    if (status.ok()) {
+      ++rep.index_sections_loaded;
+    } else {
+      LAKE_LOG(Warning) << "index section " << section
+                        << " unusable, rebuilding: " << status.ToString();
+      ++rep.index_sections_rebuilt;
+      all_sections_loaded = false;
+    }
+  }
+  if (!all_sections_loaded) {
+    engine = std::make_unique<DiscoveryEngine>(catalog.get(), options.kb,
+                                               options.base_options);
+  }
+
+  auto live = std::unique_ptr<LiveEngine>(
+      new LiveEngine(catalog, std::shared_ptr<const DiscoveryEngine>(
+                                  std::move(engine)),
+                     std::move(options)));
+  live->number_ = opened.generation;
+
+  // Replay the persisted delta. A missing state section is a pre-ingest
+  // snapshot (empty delta); a corrupt one drops the whole delta — the
+  // base is still consistent, recovery just loses the uncompacted tail.
+  if (!reader.has_section(kStateSection)) {
+    std::lock_guard<std::mutex> lock(live->mu_);
+    live->Publish();  // refresh generation number
+    return live;
+  }
+  Batch replay;
+  Result<std::string> state = reader.ReadSection(kStateSection);
+  if (state.ok()) {
+    std::istringstream in(state.value());
+    BinaryReader r(&in);
+    auto parse = [&]() -> Status {
+      LAKE_ASSIGN_OR_RETURN(uint64_t format, r.ReadVarint());
+      if (format != kStateFormatVersion) {
+        return Status::IoError("unknown ingest state version " +
+                               std::to_string(format));
+      }
+      LAKE_ASSIGN_OR_RETURN(uint64_t num_deltas, r.ReadVarint());
+      for (uint64_t i = 0; i < num_deltas; ++i) {
+        LAKE_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+        Result<std::string> csv =
+            reader.ReadSection(std::string(kDeltaPrefix) + name);
+        if (!csv.ok()) {
+          LAKE_LOG(Warning) << "dropping delta table " << name << ": "
+                            << csv.status().ToString();
+          ++rep.deltas_dropped;
+          continue;
+        }
+        Result<Table> table = ReadCsvString(csv.value(), name);
+        if (!table.ok()) {
+          LAKE_LOG(Warning) << "dropping delta table " << name << ": "
+                            << table.status().ToString();
+          ++rep.deltas_dropped;
+          continue;
+        }
+        // Companion metadata (see table_meta.h); damage costs the
+        // metadata, never the table.
+        const std::string meta_section = std::string(kDeltaMetaPrefix) + name;
+        if (reader.has_section(meta_section)) {
+          Result<std::string> meta_bytes = reader.ReadSection(meta_section);
+          Result<TableMetadata> meta =
+              meta_bytes.ok() ? ParseTableMetadata(*meta_bytes)
+                              : Result<TableMetadata>(meta_bytes.status());
+          if (meta.ok()) {
+            table->metadata() = std::move(meta).value();
+          } else {
+            LAKE_LOG(Warning) << "dropping metadata of delta table " << name
+                              << ": " << meta.status().ToString();
+          }
+        }
+        replay.adds.push_back(std::move(table).value());
+      }
+      LAKE_ASSIGN_OR_RETURN(uint64_t num_tombstones, r.ReadVarint());
+      for (uint64_t i = 0; i < num_tombstones; ++i) {
+        LAKE_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+        replay.removes.push_back(std::move(name));
+      }
+      return Status::OK();
+    };
+    Status parsed = parse();
+    if (!parsed.ok()) {
+      LAKE_LOG(Warning) << "ingest state unreadable, dropping delta: "
+                        << parsed.ToString();
+      rep.deltas_dropped += replay.adds.size();
+      replay = Batch{};
+    }
+  } else {
+    LAKE_LOG(Warning) << "ingest state section corrupt, dropping delta: "
+                      << state.status().ToString();
+  }
+  rep.tombstones_replayed = replay.removes.size();
+  const size_t attempted = replay.adds.size();
+  BatchOutcome outcome = live->ApplyBatch(std::move(replay));
+  for (const Result<TableId>& add : outcome.adds) {
+    if (add.ok()) {
+      ++rep.deltas_replayed;
+    } else {
+      ++rep.deltas_dropped;
+    }
+  }
+  (void)attempted;
+  return live;
+}
+
+size_t LiveEngine::num_delta_tables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delta_tables_.size();
+}
+
+size_t LiveEngine::num_tombstones() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tombstone_names_.size();
+}
+
+}  // namespace lake::ingest

@@ -1,0 +1,232 @@
+#ifndef LAKE_INGEST_LIVE_ENGINE_H_
+#define LAKE_INGEST_LIVE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ingest/generation.h"
+#include "serve/metrics.h"
+#include "store/snapshot.h"
+#include "util/status.h"
+
+namespace lake::ingest {
+
+/// Online ingestion over a DiscoveryEngine: the survey's frozen-corpus
+/// indexes made dynamic with an LSM-style base+delta split.
+///
+///   - The *base* is an immutable catalog + fully-indexed DiscoveryEngine
+///     (JOSIE postings, LSH-Ensemble buckets, HNSW graph, ...), exactly
+///     what a cold build produces.
+///   - The *delta* is a bounded memtable: tables added since the last
+///     compaction, indexed by a small DiscoveryEngine built over only
+///     those tables (O(delta) per publish, never O(lake)), plus
+///     tombstones masking removed base tables.
+///   - Every mutation publishes a fresh immutable Generation via an
+///     atomic shared_ptr swap; readers Acquire() and query without locks
+///     while the swapped-out generation drains RCU-style.
+///   - Compact() folds the delta into a fresh base off the serving path
+///     and swaps generations; the result is bit-identical to a cold
+///     rebuild over the surviving corpus (tables sorted by name), so
+///     compaction restores exact single-index answers.
+///
+/// Thread-safety: any number of reader threads may Acquire()/query
+/// concurrently with one another and with mutators. Mutations
+/// (AddTable/RemoveTable/ApplyBatch/Compact/Checkpoint) are serialized
+/// internally; the heavy compaction build runs outside that lock.
+class LiveEngine {
+ public:
+  struct Options {
+    /// Options for the base engine (compaction rebuilds, Recover). Must
+    /// match the options the initial base engine was built with.
+    DiscoveryEngine::Options base_options;
+    /// Options for the delta memtable engine. The default keeps the
+    /// mergeable modalities (keyword, exact join, LSH Ensemble, JOSIE,
+    /// TUS, Starmie) and drops the heavyweight long tail; embedding_dim
+    /// is copied from base_options at construction so base and delta
+    /// score in the same embedding space.
+    DiscoveryEngine::Options delta_options = DefaultDeltaOptions();
+    /// Optional curated KB handed to every engine build.
+    const KnowledgeBase* kb = nullptr;
+    /// Optional durability: Checkpoint() and post-compaction persistence
+    /// commit through this store. Not owned.
+    store::SnapshotStore* store = nullptr;
+    /// Optional metrics sink (ingest.* counters/gauges/histograms).
+    serve::MetricsRegistry* metrics = nullptr;
+    /// Checkpoint automatically after every successful compaction (only
+    /// meaningful with a store).
+    bool persist_after_compact = true;
+
+    static DiscoveryEngine::Options DefaultDeltaOptions();
+  };
+
+  /// Wraps an already-built base. `base_engine` must have been built over
+  /// `*base_catalog` with options equal to `options.base_options`.
+  LiveEngine(std::shared_ptr<const DataLakeCatalog> base_catalog,
+             std::shared_ptr<const DiscoveryEngine> base_engine,
+             Options options);
+
+  /// Builds the base engine from the catalog (cold start convenience).
+  LiveEngine(std::shared_ptr<const DataLakeCatalog> base_catalog,
+             Options options);
+
+  /// Snapshot section names of the ingest state (alongside the base's
+  /// "table/<name>" and "index/..." sections).
+  static constexpr const char* kStateSection = "ingest/state";
+  static constexpr const char* kDeltaPrefix = "ingest/delta/";
+
+  // --- Read path --------------------------------------------------------
+
+  /// Current generation; queries run against the acquired snapshot (see
+  /// MergedKeyword / MergedJoinable / MergedUnionable) and never block
+  /// ingestion or compaction.
+  std::shared_ptr<const Generation> Acquire() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Publish sequence of the current generation (cache-key ingredient).
+  uint64_t version() const {
+    return version_published_.load(std::memory_order_acquire);
+  }
+
+  // --- Mutations --------------------------------------------------------
+
+  struct Batch {
+    std::vector<Table> adds;
+    std::vector<std::string> removes;
+  };
+  struct BatchOutcome {
+    /// Lake-visible id per add, in Batch order (ids are generation-scoped).
+    std::vector<Result<TableId>> adds;
+    std::vector<Status> removes;
+    bool published = false;
+  };
+
+  /// Applies removes then adds, then publishes ONE new generation. Failed
+  /// entries (duplicate name, unknown remove) are reported individually
+  /// and do not block the rest of the batch. Failpoint
+  /// "ingest.publish.swap" rejects the whole batch atomically.
+  BatchOutcome ApplyBatch(Batch batch);
+
+  /// Single-table conveniences over ApplyBatch.
+  Result<TableId> AddTable(Table table);
+  Status RemoveTable(const std::string& name);
+
+  // --- Compaction -------------------------------------------------------
+
+  struct CompactionStats {
+    uint64_t generation = 0;  // generation number after the swap
+    size_t input_base_tables = 0;
+    size_t input_delta_tables = 0;
+    size_t tombstones_cleared = 0;
+    size_t output_tables = 0;
+    double duration_ms = 0;
+  };
+
+  /// Folds the delta into a fresh immutable base: copies the surviving
+  /// tables (base minus tombstones plus delta) into a new catalog in
+  /// sorted-name order, builds a full DiscoveryEngine over it off the
+  /// serving path, and atomically swaps generations. Tables ingested
+  /// while the build ran stay in the residual delta. Failpoints
+  /// "ingest.compact.build" (before the build) and "ingest.compact.swap"
+  /// (before the swap) abort with the engine state unchanged. With a
+  /// store and persist_after_compact, the new generation is checkpointed
+  /// after the swap (a crash between swap and persist costs only the
+  /// compaction, never consistency).
+  Result<CompactionStats> Compact();
+
+  /// True when the delta size or tombstone ratio warrants a compaction.
+  bool CompactionNeeded(size_t max_delta_tables,
+                        double max_tombstone_ratio) const;
+
+  // --- Durability -------------------------------------------------------
+
+  /// Commits the full live state — base catalog ("table/<name>"), base
+  /// index sections ("index/..."), delta tables ("ingest/delta/<name>"),
+  /// and tombstones + delta order ("ingest/state") — as one snapshot
+  /// generation. On any failure (failpoint "ingest.delta.persist"
+  /// included) the store keeps its previous generation. FailedPrecondition
+  /// without a store.
+  Status Checkpoint();
+
+  struct RecoveryReport {
+    uint64_t snapshot_generation = 0;
+    size_t tables_loaded = 0;
+    size_t index_sections_loaded = 0;
+    /// Base index sections that failed to load and forced a fresh build.
+    size_t index_sections_rebuilt = 0;
+    size_t deltas_replayed = 0;
+    size_t deltas_dropped = 0;
+    size_t tombstones_replayed = 0;
+  };
+
+  /// Rebuilds a LiveEngine from the newest committed snapshot generation:
+  /// loads the base catalog and index sections from one envelope (a
+  /// section that fails its CRC or validation forces a fresh base index
+  /// build from the loaded tables — recovery never serves a quarantined
+  /// base), then replays the persisted delta tables and tombstones;
+  /// corrupt delta sections are dropped, costing staleness, not startup.
+  /// Pre-ingest (PR 2 era) snapshots without ingest sections recover to
+  /// an empty delta.
+  static Result<std::unique_ptr<LiveEngine>> Recover(
+      store::SnapshotStore* store, Options options,
+      RecoveryReport* report = nullptr);
+
+  // --- Introspection ----------------------------------------------------
+
+  size_t num_delta_tables() const;
+  size_t num_tombstones() const;
+  uint64_t compactions() const {
+    return compactions_.load(std::memory_order_relaxed);
+  }
+  const Options& options() const { return options_; }
+
+ private:
+  /// Builds a DeltaPart from the mutable state and resolves tombstone
+  /// names against `base_catalog`. Caller holds mu_.
+  std::shared_ptr<const DeltaPart> BuildDeltaPart() const;
+  /// Publishes a new generation from the current state. Caller holds mu_.
+  void Publish();
+  void InitMetrics();
+
+  Options options_;
+
+  /// Serializes mutations; readers never take it.
+  mutable std::mutex mu_;
+  // --- state under mu_ --------------------------------------------------
+  std::shared_ptr<const DataLakeCatalog> base_catalog_;
+  std::shared_ptr<const DiscoveryEngine> base_engine_;
+  /// Master copies of live delta tables, arrival order. shared_ptr so a
+  /// compaction snapshot can identify consumed entries by pointer even if
+  /// a name is removed and re-added while the build runs.
+  std::vector<std::shared_ptr<const Table>> delta_tables_;
+  /// Names removed since the compaction that will physically drop them.
+  std::set<std::string> tombstone_names_;
+  uint64_t number_ = 0;   // compaction generation
+  uint64_t version_ = 0;  // publish sequence
+  // ----------------------------------------------------------------------
+
+  std::atomic<std::shared_ptr<const Generation>> current_;
+  std::atomic<uint64_t> version_published_{0};
+  std::atomic<uint64_t> compactions_{0};
+
+  // Metric handles (null without a registry).
+  serve::Counter* tables_added_ = nullptr;
+  serve::Counter* tables_removed_ = nullptr;
+  serve::Counter* publishes_ = nullptr;
+  serve::Counter* compactions_counter_ = nullptr;
+  serve::Counter* compaction_failures_ = nullptr;
+  serve::Gauge* delta_tables_gauge_ = nullptr;
+  serve::Gauge* tombstones_gauge_ = nullptr;
+  serve::Gauge* generation_gauge_ = nullptr;
+  serve::LatencyHistogram* publish_latency_ = nullptr;
+  serve::LatencyHistogram* compaction_latency_ = nullptr;
+};
+
+}  // namespace lake::ingest
+
+#endif  // LAKE_INGEST_LIVE_ENGINE_H_

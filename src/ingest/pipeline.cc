@@ -1,0 +1,228 @@
+#include "ingest/pipeline.h"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "table/csv.h"
+#include "util/logging.h"
+
+namespace lake::ingest {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+IngestPipeline::IngestPipeline(LiveEngine* engine, Options options)
+    : engine_(engine), options_(options) {
+  if (engine_->options().metrics != nullptr) {
+    serve::MetricsRegistry& m = *engine_->options().metrics;
+    queue_depth_gauge_ = m.GetGauge("ingest.queue.depth");
+    parse_latency_ = m.GetHistogram("ingest.parse_ms");
+  }
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+IngestPipeline::~IngestPipeline() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  worker_.join();
+  // Remaining queued items never published; resolve their futures so no
+  // waiter hangs on destruction.
+  for (Item& item : queue_) {
+    const Status aborted = Status::Cancelled("ingest pipeline shut down");
+    if (item.kind == Item::Kind::kRemove) {
+      item.remove_promise.set_value(aborted);
+    } else {
+      item.add_promise.set_value(aborted);
+    }
+  }
+}
+
+bool IngestPipeline::TryEnqueue(Item item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ || queue_.size() >= options_.queue_capacity) return false;
+    queue_.push_back(std::move(item));
+    if (queue_depth_gauge_ != nullptr) queue_depth_gauge_->Set(queue_.size());
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+std::future<Result<TableId>> IngestPipeline::SubmitCsvFile(std::string path) {
+  Item item;
+  item.kind = Item::Kind::kCsvFile;
+  item.payload = std::move(path);
+  std::future<Result<TableId>> future = item.add_promise.get_future();
+  if (!TryEnqueue(std::move(item))) {
+    std::promise<Result<TableId>> rejected;
+    rejected.set_value(Status::Overloaded("ingest queue full"));
+    return rejected.get_future();
+  }
+  return future;
+}
+
+std::future<Result<TableId>> IngestPipeline::SubmitCsvString(
+    std::string csv, std::string table_name) {
+  Item item;
+  item.kind = Item::Kind::kCsvString;
+  item.payload = std::move(csv);
+  item.name = std::move(table_name);
+  std::future<Result<TableId>> future = item.add_promise.get_future();
+  if (!TryEnqueue(std::move(item))) {
+    std::promise<Result<TableId>> rejected;
+    rejected.set_value(Status::Overloaded("ingest queue full"));
+    return rejected.get_future();
+  }
+  return future;
+}
+
+std::future<Result<TableId>> IngestPipeline::SubmitTable(Table table) {
+  Item item;
+  item.kind = Item::Kind::kTable;
+  item.table = std::move(table);
+  std::future<Result<TableId>> future = item.add_promise.get_future();
+  if (!TryEnqueue(std::move(item))) {
+    std::promise<Result<TableId>> rejected;
+    rejected.set_value(Status::Overloaded("ingest queue full"));
+    return rejected.get_future();
+  }
+  return future;
+}
+
+std::future<Status> IngestPipeline::SubmitRemove(std::string name) {
+  Item item;
+  item.kind = Item::Kind::kRemove;
+  item.payload = std::move(name);
+  std::future<Status> future = item.remove_promise.get_future();
+  if (!TryEnqueue(std::move(item))) {
+    std::promise<Status> rejected;
+    rejected.set_value(Status::Overloaded("ingest queue full"));
+    return rejected.get_future();
+  }
+  return future;
+}
+
+void IngestPipeline::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return (queue_.empty() && in_flight_ == 0) || stop_;
+  });
+}
+
+size_t IngestPipeline::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+uint64_t IngestPipeline::batches_applied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_applied_;
+}
+
+bool IngestPipeline::NextBatch(std::vector<Item>* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // stop with nothing left to drain
+
+  // Coalesce: give stragglers up to batch_max_delay_ms to join, capped at
+  // batch_max_tables per publish.
+  if (queue_.size() < options_.batch_max_tables &&
+      options_.batch_max_delay_ms > 0 && !stop_) {
+    queue_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.batch_max_delay_ms),
+        [this] {
+          return stop_ || queue_.size() >= options_.batch_max_tables;
+        });
+  }
+  const size_t n = std::min(queue_.size(), options_.batch_max_tables);
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  in_flight_ += n;
+  if (queue_depth_gauge_ != nullptr) queue_depth_gauge_->Set(queue_.size());
+  return true;
+}
+
+void IngestPipeline::ApplyBatch(std::vector<Item> items) {
+  // Parse phase (worker thread, no locks): raw CSV → Table. Parse
+  // failures resolve their own futures and drop out of the batch.
+  LiveEngine::Batch batch;
+  std::vector<Item*> add_items;   // aligned with batch.adds
+  std::vector<Item*> remove_items;  // aligned with batch.removes
+  for (Item& item : items) {
+    switch (item.kind) {
+      case Item::Kind::kCsvFile:
+      case Item::Kind::kCsvString: {
+        const auto start = Clock::now();
+        Result<Table> parsed =
+            item.kind == Item::Kind::kCsvFile
+                ? ReadCsvFile(item.payload)
+                : ReadCsvString(item.payload, item.name);
+        if (parse_latency_ != nullptr) {
+          parse_latency_->Record(
+              std::chrono::duration<double, std::micro>(Clock::now() - start)
+                  .count());
+        }
+        if (!parsed.ok()) {
+          item.add_promise.set_value(parsed.status());
+          continue;
+        }
+        batch.adds.push_back(std::move(parsed).value());
+        add_items.push_back(&item);
+        break;
+      }
+      case Item::Kind::kTable:
+        batch.adds.push_back(std::move(item.table));
+        add_items.push_back(&item);
+        break;
+      case Item::Kind::kRemove:
+        batch.removes.push_back(std::move(item.payload));
+        remove_items.push_back(&item);
+        break;
+    }
+  }
+
+  LiveEngine::BatchOutcome outcome = engine_->ApplyBatch(std::move(batch));
+  for (size_t i = 0; i < add_items.size(); ++i) {
+    add_items[i]->add_promise.set_value(std::move(outcome.adds[i]));
+  }
+  for (size_t i = 0; i < remove_items.size(); ++i) {
+    remove_items[i]->remove_promise.set_value(std::move(outcome.removes[i]));
+  }
+
+  bool checkpoint = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_ -= items.size();
+    ++batches_applied_;
+    checkpoint = options_.checkpoint_every_batches > 0 &&
+                 batches_applied_ % options_.checkpoint_every_batches == 0;
+  }
+  idle_cv_.notify_all();
+
+  if (checkpoint) {
+    Status persisted = engine_->Checkpoint();
+    if (!persisted.ok()) {
+      LAKE_LOG(Warning) << "periodic ingest checkpoint failed: "
+                        << persisted.ToString();
+    }
+  }
+}
+
+void IngestPipeline::WorkerLoop() {
+  std::vector<Item> batch;
+  while (true) {
+    batch.clear();
+    if (!NextBatch(&batch)) break;
+    ApplyBatch(std::move(batch));
+    batch = std::vector<Item>();
+  }
+}
+
+}  // namespace lake::ingest

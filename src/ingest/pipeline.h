@@ -1,0 +1,119 @@
+#ifndef LAKE_INGEST_PIPELINE_H_
+#define LAKE_INGEST_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "ingest/live_engine.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace lake::ingest {
+
+/// Asynchronous front door of the ingest subsystem: accepts raw CSVs (file
+/// or text) or pre-built Tables, and runs parse → type inference → stats →
+/// index append on ONE worker thread so serving threads never pay for
+/// ingestion. Consecutive submissions are coalesced into batches (up to
+/// `batch_max_tables`, waiting at most `batch_max_delay_ms` for stragglers)
+/// so a burst of N tables costs one generation publish, not N.
+///
+/// The queue is bounded and fail-fast: Submit* returns Overloaded
+/// immediately when the queue is full, mirroring the serving layer's
+/// admission policy — backpressure belongs at the edge, not in an
+/// unbounded buffer.
+class IngestPipeline {
+ public:
+  struct Options {
+    /// Maximum queued submissions before Submit* fails fast.
+    size_t queue_capacity = 1024;
+    /// Batch coalescing: publish after this many tables...
+    size_t batch_max_tables = 8;
+    /// ...or after the oldest queued submission has waited this long.
+    uint64_t batch_max_delay_ms = 20;
+    /// Checkpoint through the engine's store every N applied batches
+    /// (0 = never; failures are logged, not fatal).
+    size_t checkpoint_every_batches = 0;
+  };
+
+  /// `engine` must outlive the pipeline.
+  IngestPipeline(LiveEngine* engine, Options options);
+  explicit IngestPipeline(LiveEngine* engine)
+      : IngestPipeline(engine, Options{}) {}
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  // --- Submission (any thread, non-blocking) ----------------------------
+  //
+  // The future resolves once the table is published (discoverable) or
+  // rejected. Overloaded futures resolve immediately.
+
+  /// Parse `path` on the worker; table name = basename without extension.
+  std::future<Result<TableId>> SubmitCsvFile(std::string path);
+
+  /// Parse CSV text on the worker.
+  std::future<Result<TableId>> SubmitCsvString(std::string csv,
+                                               std::string table_name);
+
+  /// Ingest an already-parsed table (stats/annotation still run on the
+  /// worker via the engine's catalog add).
+  std::future<Result<TableId>> SubmitTable(Table table);
+
+  /// Remove a table by name (base tables are tombstoned until compaction).
+  std::future<Status> SubmitRemove(std::string name);
+
+  /// Blocks until everything submitted before the call is published.
+  void Flush();
+
+  // --- Introspection ----------------------------------------------------
+
+  size_t queue_depth() const;
+  uint64_t batches_applied() const;
+  const Options& options() const { return options_; }
+
+ private:
+  struct Item {
+    enum class Kind { kCsvFile, kCsvString, kTable, kRemove };
+    Kind kind;
+    std::string payload;  // path | csv text | (unused) | remove name
+    std::string name;     // table name for kCsvString
+    Table table;          // kTable only
+    std::promise<Result<TableId>> add_promise;   // add kinds
+    std::promise<Status> remove_promise;         // kRemove
+  };
+
+  /// Enqueues or fails fast; wakes the worker.
+  bool TryEnqueue(Item item);
+  void WorkerLoop();
+  /// Drains up to batch_max_tables items (FIFO) into `out`; returns false
+  /// when shutting down with an empty queue. Called on the worker.
+  bool NextBatch(std::vector<Item>* out);
+  void ApplyBatch(std::vector<Item> items);
+
+  LiveEngine* engine_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  // worker waits for work/shutdown
+  std::condition_variable idle_cv_;   // Flush waits for drain
+  std::deque<Item> queue_;
+  size_t in_flight_ = 0;  // items popped but not yet published
+  bool stop_ = false;
+  uint64_t batches_applied_ = 0;
+
+  serve::Gauge* queue_depth_gauge_ = nullptr;
+  serve::LatencyHistogram* parse_latency_ = nullptr;
+
+  std::thread worker_;
+};
+
+}  // namespace lake::ingest
+
+#endif  // LAKE_INGEST_PIPELINE_H_

@@ -42,6 +42,11 @@ void LatencyHistogram::Record(double micros) {
          !max_micros_.compare_exchange_weak(prev, us,
                                             std::memory_order_relaxed)) {
   }
+  uint64_t prev_min = min_micros_.load(std::memory_order_relaxed);
+  while (prev_min > us &&
+         !min_micros_.compare_exchange_weak(prev_min, us,
+                                            std::memory_order_relaxed)) {
+  }
 }
 
 LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
@@ -49,6 +54,8 @@ LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
   s.count = count_.load(std::memory_order_relaxed);
   s.sum_micros =
       static_cast<double>(sum_micros_.load(std::memory_order_relaxed));
+  const uint64_t min = min_micros_.load(std::memory_order_relaxed);
+  s.min_micros = min == UINT64_MAX ? 0 : static_cast<double>(min);
   s.max_micros =
       static_cast<double>(max_micros_.load(std::memory_order_relaxed));
   for (size_t i = 0; i < kNumBuckets; ++i) {
@@ -59,7 +66,11 @@ LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
 
 double LatencyHistogram::Snapshot::Quantile(double q) const {
   if (count == 0) return 0;
+  if (std::isnan(q)) q = 0;
   q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly; interpolation would only blur them.
+  if (q <= 0.0) return min_micros;
+  if (q >= 1.0) return max_micros;
   const double target = q * static_cast<double>(count);
   uint64_t cum = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
@@ -72,7 +83,8 @@ double LatencyHistogram::Snapshot::Quantile(double q) const {
                             : max_micros;
       const double frac =
           (target - static_cast<double>(cum)) / static_cast<double>(buckets[i]);
-      return std::min(lo + (hi - lo) * frac, max_micros);
+      // Never extrapolate past an observed sample.
+      return std::clamp(lo + (hi - lo) * frac, min_micros, max_micros);
     }
     cum = next;
   }

@@ -50,11 +50,17 @@ class LatencyHistogram {
   struct Snapshot {
     uint64_t count = 0;
     double sum_micros = 0;
+    double min_micros = 0;  // exact smallest sample; 0 when empty
     double max_micros = 0;
     std::array<uint64_t, kNumBuckets> buckets{};
 
     double mean() const { return count == 0 ? 0 : sum_micros / count; }
     /// Quantile in microseconds by interpolation inside the hit bucket.
+    /// Edge cases are exact, not interpolated: an empty histogram returns
+    /// 0 for every q, q<=0 returns the tracked minimum, q>=1 (and any
+    /// out-of-range q) the tracked maximum, NaN is treated as 0, and
+    /// interior quantiles are clamped into [min, max] so interpolation
+    /// never extrapolates past an observed sample.
     double Quantile(double q) const;
     double p50() const { return Quantile(0.50); }
     double p95() const { return Quantile(0.95); }
@@ -82,6 +88,7 @@ class LatencyHistogram {
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_micros_{0};
+  std::atomic<uint64_t> min_micros_{UINT64_MAX};  // UINT64_MAX = no samples
   std::atomic<uint64_t> max_micros_{0};
 };
 

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "ingest/live_engine.h"
 #include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/string_util.h"
@@ -200,6 +201,8 @@ QueryService::QueryService(const DiscoveryEngine* engine, Options options)
       cache_misses_(metrics_.GetCounter("serve.cache.misses")),
       josie_postings_read_(
           metrics_.GetCounter("engine.josie.postings_read")),
+      ingest_base_hits_(metrics_.GetCounter("serve.ingest.base_hits")),
+      ingest_delta_hits_(metrics_.GetCounter("serve.ingest.delta_hits")),
       queue_wait_(metrics_.GetHistogram("serve.queue_wait")),
       pool_(std::max<size_t>(1, options_.num_workers)) {
   for (QueryKind kind : {QueryKind::kKeyword, QueryKind::kJoin,
@@ -208,6 +211,12 @@ QueryService::QueryService(const DiscoveryEngine* engine, Options options)
         std::string("serve.latency.") + KindName(kind));
   }
   admission_limit_gauge_->Set(admission_->limit());
+}
+
+QueryService::QueryService(const ingest::LiveEngine* live, Options options)
+    : QueryService(static_cast<const DiscoveryEngine*>(nullptr),
+                   std::move(options)) {
+  live_ = live;
 }
 
 QueryService::~QueryService() = default;
@@ -251,8 +260,17 @@ std::string QueryService::ModalityName(const QueryRequest& request) {
 }
 
 uint64_t QueryService::CacheKey(const QueryRequest& request) const {
+  return CacheKeyWithVersion(request,
+                             live_ != nullptr ? live_->version() : 0);
+}
+
+uint64_t QueryService::CacheKeyWithVersion(const QueryRequest& request,
+                                           uint64_t version) const {
   uint64_t h = Hash64(static_cast<uint64_t>(request.kind), /*seed=*/3);
   h = HashCombine(h, epoch());
+  // Live mode: every publish bumps the generation version, logically
+  // invalidating all entries cached against the previous corpus.
+  h = HashCombine(h, version);
   h = HashCombine(h, request.k);
   h = HashCombine(h, static_cast<uint64_t>(request.exclude));
   switch (request.kind) {
@@ -350,12 +368,18 @@ QueryResponse QueryService::Execute(QueryRequest request) {
 }
 
 Result<std::vector<ColumnResult>> QueryService::JosieWithStats(
-    const QueryRequest& request, const CancelToken* cancel) {
+    const QueryRequest& request, const CancelToken* cancel,
+    const DiscoveryEngine& engine) {
   JosieIndex::QueryStats stats;
   Result<std::vector<ColumnResult>> result =
-      engine_->josie_join()->Search(request.values, request.k, &stats, cancel);
+      engine.josie_join()->Search(request.values, request.k, &stats, cancel);
   josie_postings_read_->Add(stats.posting_entries_read);
   return result;
+}
+
+void QueryService::RecordMergeStats(const ingest::MergeStats& stats) {
+  ingest_base_hits_->Add(stats.base_results);
+  ingest_delta_hits_->Add(stats.delta_results);
 }
 
 QueryService::HealthSnapshot QueryService::Health() {
@@ -403,18 +427,18 @@ void QueryService::InvalidateCache() {
 }
 
 std::optional<QueryService::Fallback> QueryService::FallbackFor(
-    const QueryRequest& request) const {
+    const QueryRequest& request, const DiscoveryEngine& engine) const {
   // The survey's accuracy/latency pairs: the expensive high-recall method
   // falls back to the cheap sketch/embedding-average alternative.
   if (request.kind == QueryKind::kUnion &&
       request.union_method == UnionMethod::kStarmie &&
-      engine_->tus() != nullptr) {
+      engine.tus() != nullptr) {
     return Fallback{request.join_method, UnionMethod::kTus, "union.tus",
                     brownout_union_};
   }
   if (request.kind == QueryKind::kJoin &&
       request.join_method == JoinMethod::kJosie &&
-      engine_->lsh_join() != nullptr) {
+      engine.lsh_join() != nullptr) {
     return Fallback{JoinMethod::kLshEnsemble, request.union_method,
                     "join.lsh_ensemble", brownout_join_};
   }
@@ -425,6 +449,7 @@ void QueryService::ExecuteEngine(const QueryRequest& request,
                                  JoinMethod join_method,
                                  UnionMethod union_method,
                                  const std::string& modality,
+                                 const ExecContext& ctx,
                                  const CancelToken* cancel,
                                  QueryResponse* response) {
   const auto exec_start = Clock::now();
@@ -438,15 +463,31 @@ void QueryService::ExecuteEngine(const QueryRequest& request,
   } else {
     switch (request.kind) {
       case QueryKind::kKeyword:
-        response->tables = engine_->Keyword(request.keyword, request.k);
+        if (ctx.gen != nullptr) {
+          ingest::MergeStats merge;
+          response->tables = ingest::MergedKeyword(*ctx.gen, request.keyword,
+                                                   request.k, &merge);
+          RecordMergeStats(merge);
+        } else {
+          response->tables = ctx.engine->Keyword(request.keyword, request.k);
+        }
         break;
       case QueryKind::kJoin: {
-        Result<std::vector<ColumnResult>> result =
-            join_method == JoinMethod::kJosie &&
-                    engine_->josie_join() != nullptr
-                ? JosieWithStats(request, cancel)
-                : engine_->Joinable(request.values, join_method, request.k,
-                                    cancel);
+        Result<std::vector<ColumnResult>> result = [&] {
+          if (ctx.gen != nullptr) {
+            ingest::MergeStats merge;
+            Result<std::vector<ColumnResult>> merged = ingest::MergedJoinable(
+                *ctx.gen, request.values, join_method, request.k, cancel,
+                &merge);
+            if (merged.ok()) RecordMergeStats(merge);
+            return merged;
+          }
+          return join_method == JoinMethod::kJosie &&
+                         ctx.engine->josie_join() != nullptr
+                     ? JosieWithStats(request, cancel, *ctx.engine)
+                     : ctx.engine->Joinable(request.values, join_method,
+                                            request.k, cancel);
+        }();
         if (result.ok()) {
           response->columns = std::move(result).value();
         } else {
@@ -455,9 +496,18 @@ void QueryService::ExecuteEngine(const QueryRequest& request,
         break;
       }
       case QueryKind::kUnion: {
-        Result<std::vector<TableResult>> result =
-            engine_->Unionable(*request.union_table, union_method, request.k,
-                               request.exclude, cancel);
+        Result<std::vector<TableResult>> result = [&] {
+          if (ctx.gen != nullptr) {
+            ingest::MergeStats merge;
+            Result<std::vector<TableResult>> merged = ingest::MergedUnionable(
+                *ctx.gen, *request.union_table, union_method, request.k,
+                request.exclude, cancel, &merge);
+            if (merged.ok()) RecordMergeStats(merge);
+            return merged;
+          }
+          return ctx.engine->Unionable(*request.union_table, union_method,
+                                       request.k, request.exclude, cancel);
+        }();
         if (result.ok()) {
           response->tables = std::move(result).value();
         } else {
@@ -466,7 +516,10 @@ void QueryService::ExecuteEngine(const QueryRequest& request,
         break;
       }
       case QueryKind::kCorrelated: {
-        const CorrelatedJoinSearch* correlated = engine_->correlated_join();
+        // Correlated search has no delta memtable; it serves from the
+        // (possibly generation-pinned) base until compaction folds the
+        // delta in.
+        const CorrelatedJoinSearch* correlated = ctx.engine->correlated_join();
         if (correlated == nullptr) {
           response->status =
               Status::FailedPrecondition("correlated index not built");
@@ -504,6 +557,7 @@ void QueryService::ExecuteEngine(const QueryRequest& request,
 }
 
 void QueryService::ExecutePlan(const QueryRequest& request,
+                               const ExecContext& ctx,
                                const CancelToken* cancel,
                                QueryResponse* response) {
   const std::string primary = ModalityName(request);
@@ -513,7 +567,7 @@ void QueryService::ExecutePlan(const QueryRequest& request,
       breaker != nullptr ? breaker->Allow(Clock::now())
                          : CircuitBreaker::Permit::kAllowed;
 
-  std::optional<Fallback> fallback = FallbackFor(request);
+  std::optional<Fallback> fallback = FallbackFor(request, *ctx.engine);
   if (!options_.enable_brownout || request.require_exact_method) {
     fallback.reset();
   }
@@ -530,7 +584,7 @@ void QueryService::ExecutePlan(const QueryRequest& request,
     if (fpermit == CircuitBreaker::Permit::kDenied) return false;
     QueryResponse alt;
     ExecuteEngine(request, fallback->join_method, fallback->union_method,
-                  fallback->modality, cancel, &alt);
+                  fallback->modality, ctx, cancel, &alt);
     RecordOutcome(fb, alt.status, Clock::now());
     response->status = alt.status;
     response->tables = std::move(alt.tables);
@@ -570,7 +624,7 @@ void QueryService::ExecutePlan(const QueryRequest& request,
   }
 
   ExecuteEngine(request, request.join_method, request.union_method, primary,
-                cancel, response);
+                ctx, cancel, response);
   RecordOutcome(breaker, response->status, Clock::now());
 
   // Failure brownout: the primary failed for a breaker-worthy reason
@@ -605,8 +659,24 @@ QueryResponse QueryService::Run(
         Status::Overloaded("shed at dequeue: queue sojourn over CoDel target");
   }
 
+  // Pin the engine snapshot for this query's whole execution BEFORE
+  // computing the cache key, so the key's version always matches the
+  // generation the results come from (a publish racing with this query
+  // can make us a stale-but-correctly-keyed entry, never a mismatched
+  // one).
+  ExecContext ctx;
+  if (live_ != nullptr) {
+    ctx.gen = live_->Acquire();
+    ctx.engine = &ctx.gen->base();
+  } else {
+    ctx.engine = engine_;
+  }
+
   const bool use_cache = options_.enable_cache && !request.bypass_cache;
-  const uint64_t key = use_cache ? CacheKey(request) : 0;
+  const uint64_t key =
+      use_cache ? CacheKeyWithVersion(
+                      request, ctx.gen != nullptr ? ctx.gen->version() : 0)
+                : 0;
 
   if (response.status.ok()) {
     // A query that spent its whole budget queued fails before touching the
@@ -627,7 +697,7 @@ QueryResponse QueryService::Run(
     if (!live.ok()) {
       response.status = live;
     } else if (!response.cache_hit) {
-      ExecutePlan(request, cancel, &response);
+      ExecutePlan(request, ctx, cancel, &response);
       // A query that expired mid-execution must not populate the cache
       // (the engine may have unwound with partial work), and a degraded
       // brownout answer must not shadow the full-quality method's entry.

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "ingest/generation.h"
 #include "search/discovery_engine.h"
 #include "serve/admission.h"
 #include "serve/circuit_breaker.h"
@@ -19,6 +20,10 @@
 #include "store/recovery.h"
 #include "util/cancel.h"
 #include "util/thread_pool.h"
+
+namespace lake::ingest {
+class LiveEngine;
+}  // namespace lake::ingest
 
 namespace lake::serve {
 
@@ -143,6 +148,15 @@ class QueryService {
   };
 
   QueryService(const DiscoveryEngine* engine, Options options);
+
+  /// Serves a live (online-ingesting) engine instead of a frozen one:
+  /// every query acquires the current generation RCU-style and answers
+  /// keyword/join/union with base+delta merged top-k, so tables added
+  /// through the ingest pipeline are discoverable without a restart and
+  /// removed tables disappear immediately. Cache keys mix the generation's
+  /// publish version, so a publish logically invalidates stale entries.
+  QueryService(const ingest::LiveEngine* live, Options options);
+
   /// Drains in-flight queries before returning.
   ~QueryService();
 
@@ -219,17 +233,29 @@ class QueryService {
   const Options& options() const { return options_; }
 
  private:
+  /// Engine snapshot one query executes against. In live mode `gen` pins
+  /// the acquired generation (RCU: the swapped-out state stays alive until
+  /// this query drains) and `engine` points at its base; in frozen mode
+  /// `gen` is null and `engine` is the constructor's engine.
+  struct ExecContext {
+    const DiscoveryEngine* engine = nullptr;
+    std::shared_ptr<const ingest::Generation> gen;
+  };
+
   QueryResponse Run(const QueryRequest& request, const CancelToken* cancel,
                     std::chrono::steady_clock::time_point admitted);
   Status Validate(const QueryRequest& request) const;
+  uint64_t CacheKeyWithVersion(const QueryRequest& request,
+                               uint64_t version) const;
   /// Breaker + brownout dispatch: picks the modality (requested or
   /// fallback), executes it, and feeds outcomes back into the breakers.
-  void ExecutePlan(const QueryRequest& request, const CancelToken* cancel,
-                   QueryResponse* response);
+  void ExecutePlan(const QueryRequest& request, const ExecContext& ctx,
+                   const CancelToken* cancel, QueryResponse* response);
   /// Executes one concrete (kind, method) modality against the engine.
   void ExecuteEngine(const QueryRequest& request, JoinMethod join_method,
                      UnionMethod union_method, const std::string& modality,
-                     const CancelToken* cancel, QueryResponse* response);
+                     const ExecContext& ctx, const CancelToken* cancel,
+                     QueryResponse* response);
   /// The cheaper surveyed fallback for a modality, if the engine has it.
   struct Fallback {
     JoinMethod join_method;
@@ -237,13 +263,17 @@ class QueryService {
     std::string modality;
     Counter* counter = nullptr;  // serve.brownout.<kind>
   };
-  std::optional<Fallback> FallbackFor(const QueryRequest& request) const;
+  std::optional<Fallback> FallbackFor(const QueryRequest& request,
+                                      const DiscoveryEngine& engine) const;
   /// JOSIE path with the engine hook: harvests the index's per-query work
   /// counters (postings read) into the registry.
   Result<std::vector<ColumnResult>> JosieWithStats(
-      const QueryRequest& request, const CancelToken* cancel);
+      const QueryRequest& request, const CancelToken* cancel,
+      const DiscoveryEngine& engine);
+  void RecordMergeStats(const ingest::MergeStats& stats);
 
   const DiscoveryEngine* engine_;
+  const ingest::LiveEngine* live_ = nullptr;
   Options options_;
   MetricsRegistry metrics_;
   ResultCache cache_;
@@ -276,6 +306,10 @@ class QueryService {
   Counter* cache_hits_;
   Counter* cache_misses_;
   Counter* josie_postings_read_;
+  /// Merged-query provenance: results served from the immutable base vs
+  /// the ingest delta (live mode only; zero when serving a frozen engine).
+  Counter* ingest_base_hits_;
+  Counter* ingest_delta_hits_;
   LatencyHistogram* queue_wait_;
   LatencyHistogram* latency_by_kind_[4];
 

@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include "table/csv.h"
+#include "table/table_meta.h"
 #include "util/logging.h"
 
 namespace lake {
@@ -33,12 +34,25 @@ Result<std::vector<TableId>> DataLakeCatalog::LoadDirectory(
     return Status::IoError("not a directory: " + dir);
   }
   std::vector<std::string> paths;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot list " + dir + ": " + ec.message());
+  }
+  for (const auto& entry : it) {
     if (entry.is_regular_file() && entry.path().extension() == ".csv") {
       paths.push_back(entry.path().string());
     }
   }
-  std::sort(paths.begin(), paths.end());  // deterministic ingest order
+  // Deterministic ingest order: directory_iterator order is
+  // filesystem-specific, so sort by byte-wise filename (not the full
+  // path, whose spelling of `dir` — trailing slash, "./" prefix — must
+  // not influence table id assignment).
+  std::sort(paths.begin(), paths.end(),
+            [](const std::string& a, const std::string& b) {
+              const std::string fa = fs::path(a).filename().string();
+              const std::string fb = fs::path(b).filename().string();
+              return fa != fb ? fa < fb : a < b;
+            });
   quarantined_.clear();
   std::vector<TableId> ids;
   for (const std::string& path : paths) {
@@ -64,6 +78,12 @@ Result<std::vector<TableId>> DataLakeCatalog::LoadDirectory(
 Status DataLakeCatalog::SaveSnapshot(store::SnapshotWriter* snapshot) const {
   for (const Table& table : tables_) {
     snapshot->AddSection("table/" + table.name(), WriteCsvString(table));
+    // CSV loses the free-text metadata keyword search scores over, so a
+    // companion section carries it (see table_meta.h).
+    if (HasMetadata(table.metadata())) {
+      snapshot->AddSection(kTableMetaPrefix + table.name(),
+                           SerializeTableMetadata(table.metadata()));
+    }
   }
   return Status::OK();
 }
@@ -88,6 +108,22 @@ Result<std::vector<TableId>> DataLakeCatalog::LoadSnapshot(
                         << table.status().ToString();
       quarantined_.push_back(QuarantinedFile{section.name, table.status()});
       continue;
+    }
+    // Companion metadata, when present. A damaged metadata section costs
+    // the metadata, never the table.
+    const std::string meta_section = kTableMetaPrefix + name;
+    if (reader.has_section(meta_section)) {
+      Result<std::string> meta_bytes = reader.ReadSection(meta_section);
+      Result<TableMetadata> meta =
+          meta_bytes.ok() ? ParseTableMetadata(*meta_bytes)
+                          : Result<TableMetadata>(meta_bytes.status());
+      if (meta.ok()) {
+        table->metadata() = std::move(meta).value();
+      } else {
+        LAKE_LOG(Warning) << "quarantining " << meta_section << ": "
+                          << meta.status().ToString();
+        quarantined_.push_back(QuarantinedFile{meta_section, meta.status()});
+      }
     }
     Result<TableId> id = AddTable(std::move(table).value());
     if (!id.ok()) {

@@ -1,0 +1,48 @@
+#include "table/table_meta.h"
+
+#include <sstream>
+
+#include "util/serialize.h"
+
+namespace lake {
+
+namespace {
+constexpr uint64_t kVersion = 1;
+}  // namespace
+
+bool HasMetadata(const TableMetadata& meta) {
+  return !meta.description.empty() || !meta.tags.empty() ||
+         !meta.source.empty();
+}
+
+std::string SerializeTableMetadata(const TableMetadata& meta) {
+  std::ostringstream buf;
+  BinaryWriter w(&buf);
+  w.WriteVarint(kVersion);
+  w.WriteString(meta.description);
+  w.WriteVarint(meta.tags.size());
+  for (const std::string& tag : meta.tags) w.WriteString(tag);
+  w.WriteString(meta.source);
+  return std::move(buf).str();
+}
+
+Result<TableMetadata> ParseTableMetadata(const std::string& bytes) {
+  std::istringstream in(bytes);
+  BinaryReader r(&in);
+  LAKE_ASSIGN_OR_RETURN(uint64_t version, r.ReadVarint());
+  if (version != kVersion) {
+    return Status::IoError("unknown table metadata version");
+  }
+  TableMetadata meta;
+  LAKE_ASSIGN_OR_RETURN(meta.description, r.ReadString());
+  LAKE_ASSIGN_OR_RETURN(uint64_t num_tags, r.ReadVarint());
+  meta.tags.reserve(num_tags);
+  for (uint64_t i = 0; i < num_tags; ++i) {
+    LAKE_ASSIGN_OR_RETURN(std::string tag, r.ReadString());
+    meta.tags.push_back(std::move(tag));
+  }
+  LAKE_ASSIGN_OR_RETURN(meta.source, r.ReadString());
+  return meta;
+}
+
+}  // namespace lake

@@ -1,0 +1,31 @@
+#ifndef LAKE_TABLE_TABLE_META_H_
+#define LAKE_TABLE_TABLE_META_H_
+
+#include <string>
+
+#include "table/table.h"
+#include "util/status.h"
+
+namespace lake {
+
+/// Binary round-trip for TableMetadata (description, tags, source).
+///
+/// CSV carries a table's cells but not its free-text metadata, and keyword
+/// search scores over that metadata — so a catalog persisted as CSV alone
+/// answers keyword queries differently after recovery. Snapshots therefore
+/// pair every "table/<name>" (and "ingest/delta/<name>") section that has
+/// metadata with a companion section holding this encoding.
+constexpr const char* kTableMetaPrefix = "tablemeta/";
+constexpr const char* kDeltaMetaPrefix = "ingest/deltameta/";
+
+bool HasMetadata(const TableMetadata& meta);
+
+std::string SerializeTableMetadata(const TableMetadata& meta);
+
+/// Errors (never aborts) on truncated or over-versioned payloads; callers
+/// drop the metadata and keep the table.
+Result<TableMetadata> ParseTableMetadata(const std::string& bytes);
+
+}  // namespace lake
+
+#endif  // LAKE_TABLE_TABLE_META_H_

@@ -1,0 +1,321 @@
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ingest/compactor.h"
+#include "ingest/live_engine.h"
+#include "ingest/pipeline.h"
+#include "lakegen/generator.h"
+#include "serve/query_service.h"
+#include "store/snapshot.h"
+#include "table/csv.h"
+#include "util/failpoint.h"
+#include "util/string_util.h"
+
+namespace lake::ingest {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/lake_ingest_chaos_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+DiscoveryEngine::Options BaseOptions() {
+  DiscoveryEngine::Options eopts;
+  eopts.build_pexeso = false;
+  eopts.build_mate = false;
+  eopts.build_correlated = false;
+  eopts.build_santos = false;
+  eopts.build_d3l = false;
+  eopts.synthesize_kb = false;
+  eopts.train_annotator = false;
+  return eopts;
+}
+
+/// Smaller lake than ingest_test: every scenario here runs threads against
+/// repeated engine builds, so the corpus is the cost multiplier.
+class IngestChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorOptions opts;
+    opts.seed = 23;
+    opts.num_domains = 4;
+    opts.num_templates = 2;
+    opts.tables_per_template = 3;
+    opts.min_rows = 20;
+    opts.max_rows = 40;
+    lake_ = new GeneratedLake(LakeGenerator(opts).Generate());
+    catalog_ = new std::shared_ptr<const DataLakeCatalog>(
+        std::make_shared<DataLakeCatalog>(std::move(lake_->catalog)));
+    engine_ = new std::shared_ptr<const DiscoveryEngine>(
+        std::make_shared<DiscoveryEngine>(catalog_->get(), &lake_->kb,
+                                          BaseOptions()));
+  }
+
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete catalog_;
+    delete lake_;
+    engine_ = nullptr;
+    catalog_ = nullptr;
+    lake_ = nullptr;
+  }
+
+  void TearDown() override { FailpointRegistry::Instance().Clear(); }
+
+  static const DataLakeCatalog& base() { return **catalog_; }
+
+  static LiveEngine::Options LiveOptions() {
+    LiveEngine::Options opts;
+    opts.base_options = BaseOptions();
+    opts.kb = &lake_->kb;
+    return opts;
+  }
+
+  static std::unique_ptr<LiveEngine> MakeLive(LiveEngine::Options opts) {
+    return std::make_unique<LiveEngine>(*catalog_, *engine_, std::move(opts));
+  }
+
+  static Table Derived(TableId origin, const std::string& name) {
+    Table copy = base().table(origin);
+    copy.set_name(name);
+    return copy;
+  }
+
+  static GeneratedLake* lake_;
+  static std::shared_ptr<const DataLakeCatalog>* catalog_;
+  static std::shared_ptr<const DiscoveryEngine>* engine_;
+};
+
+GeneratedLake* IngestChaosTest::lake_ = nullptr;
+std::shared_ptr<const DataLakeCatalog>* IngestChaosTest::catalog_ = nullptr;
+std::shared_ptr<const DiscoveryEngine>* IngestChaosTest::engine_ = nullptr;
+
+/// Readers run lock-free merged queries nonstop while a writer streams
+/// tables through the pipeline and a compactor folds them in. Every
+/// acquired generation must be internally consistent: any table id a
+/// merged result names must resolve within that same generation.
+TEST_F(IngestChaosTest, ConcurrentQueriesDuringIngestAndCompaction) {
+  auto live = MakeLive(LiveOptions());
+  IngestPipeline::Options popts;
+  popts.batch_max_tables = 4;
+  popts.batch_max_delay_ms = 1;
+  IngestPipeline pipeline(live.get(), popts);
+  Compactor::Options copts;
+  copts.max_delta_tables = 4;
+  copts.poll_interval_ms = 2;
+  Compactor compactor(live.get(), copts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries_ok{0};
+  std::atomic<bool> consistent{true};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      const std::string topic = lake_->topic_of[t % lake_->topic_of.size()];
+      const std::vector<std::string> values =
+          base().table(0).column(0).DistinctStrings();
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto gen = live->Acquire();
+        for (const TableResult& r : MergedKeyword(*gen, topic, 10)) {
+          if (!gen->TableName(r.table_id).ok()) {
+            consistent.store(false, std::memory_order_relaxed);
+          }
+        }
+        Result<std::vector<ColumnResult>> join =
+            MergedJoinable(*gen, values, JoinMethod::kJosie, 10);
+        if (join.ok()) {
+          for (const ColumnResult& r : join.value()) {
+            if (!gen->TableName(r.column.table_id).ok()) {
+              consistent.store(false, std::memory_order_relaxed);
+            }
+          }
+        }
+        queries_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  constexpr int kTables = 24;
+  std::vector<std::future<Result<TableId>>> futures;
+  futures.reserve(kTables);
+  for (int i = 0; i < kTables; ++i) {
+    futures.push_back(pipeline.SubmitTable(
+        Derived(static_cast<TableId>(i % base().num_tables()),
+                StrFormat("chaos_%03d", i))));
+    if (i % 5 == 4) {
+      // Interleave removes of previously streamed tables.
+      std::future<Status> removed =
+          pipeline.SubmitRemove(StrFormat("chaos_%03d", i - 2));
+      EXPECT_TRUE(removed.get().ok());
+    }
+  }
+  size_t accepted = 0;
+  for (auto& f : futures) {
+    if (f.get().ok()) ++accepted;
+  }
+  pipeline.Flush();
+  compactor.TriggerNow();
+  // Wait for the triggered compaction to drain the remaining delta.
+  for (int i = 0; i < 1000 && live->num_delta_tables() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    compactor.TriggerNow();
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  compactor.Stop();
+
+  EXPECT_TRUE(consistent.load());
+  EXPECT_GT(queries_ok.load(), 0u);
+  EXPECT_EQ(accepted, futures.size());  // queue never overflowed
+  EXPECT_GE(live->compactions(), 1u);
+  EXPECT_EQ(live->num_delta_tables(), 0u);
+
+  // 24 adds, 4 of them removed again: the final lake holds base + 20.
+  auto gen = live->Acquire();
+  EXPECT_EQ(gen->visible_table_count(), base().num_tables() + kTables - 4);
+  EXPECT_FALSE(gen->has_delta());
+}
+
+/// The serving layer under concurrent load while the lake mutates: no
+/// served answer may name a table that did not exist in some published
+/// generation, and the service must never deadlock against the compactor.
+TEST_F(IngestChaosTest, QueryServiceConcurrentWithMutations) {
+  auto live = MakeLive(LiveOptions());
+  serve::QueryService::Options sopts;
+  sopts.num_workers = 3;
+  serve::QueryService service(live.get(), sopts);
+  Compactor::Options copts;
+  copts.max_delta_tables = 3;
+  copts.poll_interval_ms = 2;
+  Compactor compactor(live.get(), copts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> served{0};
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t] {
+      serve::QueryRequest req;
+      req.kind = serve::QueryKind::kKeyword;
+      req.keyword = lake_->topic_of[t % lake_->topic_of.size()];
+      req.k = 20;
+      while (!stop.load(std::memory_order_relaxed)) {
+        serve::QueryResponse resp = service.Execute(req);
+        if (resp.status.ok()) {
+          served.fetch_add(1, std::memory_order_relaxed);
+        } else if (resp.status.code() != StatusCode::kOverloaded) {
+          ok.store(false, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (int i = 0; i < 12; ++i) {
+    Result<TableId> added = live->AddTable(
+        Derived(static_cast<TableId>(i % base().num_tables()),
+                StrFormat("svc_chaos_%02d", i)));
+    EXPECT_TRUE(added.ok()) << added.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (int i = 0; i < 1000 && live->num_delta_tables() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    compactor.TriggerNow();
+  }
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  compactor.Stop();
+
+  EXPECT_TRUE(ok.load());
+  EXPECT_GT(served.load(), 0u);
+  EXPECT_EQ(live->Acquire()->visible_table_count(),
+            base().num_tables() + 12);
+}
+
+/// Crash-during-compaction drill: the swap failpoint kills a compaction
+/// after the expensive build, the "process" restarts from the last
+/// checkpoint, and recovery must land on a consistent generation with the
+/// full delta intact — the crash cost the compaction, nothing else.
+TEST_F(IngestChaosTest, CompactionCrashThenRecoveryIsConsistent) {
+  const std::string dir = TestDir("compact_crash");
+  store::SnapshotStore store(dir);
+  LiveEngine::Options opts = LiveOptions();
+  opts.store = &store;
+  auto live = MakeLive(opts);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        live->AddTable(Derived(0, StrFormat("crash_%d", i))).ok());
+  }
+  ASSERT_TRUE(live->RemoveTable(base().table(1).name()).ok());
+  ASSERT_TRUE(live->Checkpoint().ok());
+
+  FailpointRegistry::Instance().Arm("ingest.compact.swap",
+                                    FaultSpec{FaultSpec::Kind::kError});
+  EXPECT_FALSE(live->Compact().ok());
+  live.reset();  // the crash
+
+  LiveEngine::RecoveryReport report;
+  Result<std::unique_ptr<LiveEngine>> recovered =
+      LiveEngine::Recover(&store, opts, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(report.index_sections_rebuilt, 0u);  // base sections healthy
+  EXPECT_EQ(report.deltas_replayed, 3u);
+  EXPECT_EQ(report.tombstones_replayed, 1u);
+  auto gen = (*recovered)->Acquire();
+  EXPECT_EQ(gen->visible_table_count(), base().num_tables() + 3 - 1);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(gen->FindTable(StrFormat("crash_%d", i)).ok());
+  }
+  EXPECT_FALSE(gen->FindTable(base().table(1).name()).ok());
+
+  // And the recovered engine can finish what the crash interrupted.
+  ASSERT_TRUE((*recovered)->Compact().ok());
+  EXPECT_EQ((*recovered)->num_delta_tables(), 0u);
+  EXPECT_EQ((*recovered)->num_tombstones(), 0u);
+}
+
+/// Crash between compaction swap and the post-compaction checkpoint: the
+/// in-memory engine has the new base, the store still has the old
+/// generation — recovery serves the pre-compaction state (stale but
+/// consistent), and every streamed table is still present via the replayed
+/// delta.
+TEST_F(IngestChaosTest, PersistCrashAfterCompactionLosesNoTables) {
+  const std::string dir = TestDir("persist_crash");
+  store::SnapshotStore store(dir);
+  LiveEngine::Options opts = LiveOptions();
+  opts.store = &store;
+  auto live = MakeLive(opts);
+  ASSERT_TRUE(live->AddTable(Derived(0, "survivor_a")).ok());
+  ASSERT_TRUE(live->AddTable(Derived(1, "survivor_b")).ok());
+  ASSERT_TRUE(live->Checkpoint().ok());
+
+  // The compaction itself succeeds; only its follow-up persistence dies.
+  FailpointRegistry::Instance().Arm("ingest.delta.persist",
+                                    FaultSpec{FaultSpec::Kind::kError});
+  Result<LiveEngine::CompactionStats> stats = live->Compact();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  live.reset();  // the crash
+
+  LiveEngine::RecoveryReport report;
+  Result<std::unique_ptr<LiveEngine>> recovered =
+      LiveEngine::Recover(&store, opts, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(report.deltas_replayed, 2u);  // pre-compaction checkpoint
+  auto gen = (*recovered)->Acquire();
+  EXPECT_TRUE(gen->FindTable("survivor_a").ok());
+  EXPECT_TRUE(gen->FindTable("survivor_b").ok());
+  EXPECT_EQ(gen->visible_table_count(), base().num_tables() + 2);
+}
+
+}  // namespace
+}  // namespace lake::ingest

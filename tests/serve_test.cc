@@ -1,5 +1,6 @@
 #include <chrono>
 #include <future>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <thread>
@@ -82,6 +83,40 @@ TEST(LatencyHistogramTest, SingleSampleQuantiles) {
   EXPECT_LE(snap.Quantile(0.5), 5000.0);
   EXPECT_GT(snap.Quantile(0.5), 4000.0);  // same bucket as the sample
   EXPECT_LE(snap.Quantile(0.99), 5000.0);
+}
+
+TEST(LatencyHistogramTest, QuantileEdgeCasesAreExactExtremes) {
+  LatencyHistogram hist;
+  hist.Record(37);
+  hist.Record(5000);
+  hist.Record(120);
+  const LatencyHistogram::Snapshot snap = hist.Snap();
+  // q<=0 is the exact tracked minimum, q>=1 (and out-of-range q) the
+  // exact tracked maximum — no bucket interpolation at the extremes.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 37.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(-1.0), 37.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 5000.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(2.0), 5000.0);
+  EXPECT_DOUBLE_EQ(snap.min_micros, 37.0);
+  EXPECT_DOUBLE_EQ(snap.max_micros, 5000.0);
+  // Interior quantiles never extrapolate past an observed sample.
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_GE(snap.Quantile(q), 37.0) << "q=" << q;
+    EXPECT_LE(snap.Quantile(q), 5000.0) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantileOfNanIsMinNotGarbage) {
+  LatencyHistogram hist;
+  hist.Record(100);
+  const LatencyHistogram::Snapshot snap = hist.Snap();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(snap.Quantile(nan), 100.0);  // NaN treated as q=0
+  // And an empty histogram stays 0 for every q, NaN included.
+  LatencyHistogram empty;
+  EXPECT_DOUBLE_EQ(empty.Snap().Quantile(nan), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Snap().Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Snap().Quantile(1.0), 0.0);
 }
 
 TEST(MetricsRegistryTest, CountersAndStablePointers) {

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "store/snapshot.h"
 #include "table/catalog.h"
 #include "table/column.h"
 #include "table/csv.h"
@@ -297,6 +298,70 @@ TEST(CatalogTest, LoadDirectory) {
   EXPECT_TRUE(cat.FindTable("two").ok());
   EXPECT_FALSE(cat.LoadDirectory((dir / "one.csv").string()).ok());
   fs::remove_all(dir);
+}
+
+TEST(CatalogTest, LoadDirectoryOrderIsSortedNotFilesystemOrder) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "lakefind_order_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  // Create in reverse and shuffled order: table ids must come out sorted
+  // by filename regardless of what order the directory iterator yields.
+  for (const char* name : {"zulu", "mike", "alpha", "yankee", "bravo"}) {
+    std::ofstream f(dir / (std::string(name) + ".csv"));
+    f << "col\n" << name << "\n";
+  }
+  DataLakeCatalog cat;
+  auto ids = cat.LoadDirectory(dir.string());
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), 5u);
+  const std::vector<std::string> expected = {"alpha", "bravo", "mike",
+                                             "yankee", "zulu"};
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(cat.table((*ids)[i]).name(), expected[i]) << i;
+    EXPECT_EQ((*ids)[i], static_cast<TableId>(i));
+  }
+  // A second load into a fresh catalog assigns identical ids: snapshot
+  // compaction and cold rebuilds depend on this determinism.
+  DataLakeCatalog again;
+  auto ids2 = again.LoadDirectory(dir.string());
+  ASSERT_TRUE(ids2.ok());
+  ASSERT_EQ(ids2->size(), 5u);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(again.table((*ids2)[i]).name(), expected[i]) << i;
+  }
+  // A nonexistent directory is an explicit error, not an empty load.
+  DataLakeCatalog missing;
+  EXPECT_FALSE(missing.LoadDirectory((dir / "nope").string()).ok());
+  fs::remove_all(dir);
+}
+
+TEST(CatalogTest, SnapshotPreservesTableMetadata) {
+  DataLakeCatalog cat;
+  Table t = SmallTable("documented");
+  t.metadata().description = "quarterly sales extract";
+  t.metadata().tags = {"sales", "quarterly"};
+  t.metadata().source = "portal://finance";
+  ASSERT_TRUE(cat.AddTable(std::move(t)).ok());
+  ASSERT_TRUE(cat.AddTable(SmallTable("bare")).ok());
+
+  store::SnapshotWriter writer;
+  ASSERT_TRUE(cat.SaveSnapshot(&writer).ok());
+  Result<store::SnapshotReader> reader =
+      store::SnapshotReader::Parse(writer.Serialize());
+  ASSERT_TRUE(reader.ok());
+  // Only the table with metadata gets a companion section.
+  EXPECT_TRUE(reader->has_section("tablemeta/documented"));
+  EXPECT_FALSE(reader->has_section("tablemeta/bare"));
+
+  DataLakeCatalog reloaded;
+  ASSERT_TRUE(reloaded.LoadSnapshot(*reader).ok());
+  const TableId id = reloaded.FindTable("documented").value();
+  EXPECT_EQ(reloaded.table(id).metadata().description,
+            "quarterly sales extract");
+  EXPECT_EQ(reloaded.table(id).metadata().tags,
+            (std::vector<std::string>{"sales", "quarterly"}));
+  EXPECT_EQ(reloaded.table(id).metadata().source, "portal://finance");
 }
 
 }  // namespace

@@ -1,0 +1,139 @@
+// Regenerates the checked-in back-compat golden artifacts in tests/data:
+//
+//   pre_ingest_snap.lks  — a PR 2 era snapshot envelope ("LKS1"): catalog
+//                          table/ sections plus index/josie and
+//                          index/starmie.hnsw, and NO ingest/ sections.
+//   metrics_v2.bin       — a serialized metrics snapshot ("LSM2") with
+//                          hand-picked values.
+//
+// store_compat_test pins today's readers to these bytes, so a format
+// change that breaks old snapshots fails a test instead of a restart.
+// Only regenerate the goldens for an INTENTIONAL format break:
+//
+//   ./build/tools/make_compat_golden tests/data
+//
+// The corpus is hand-written literals (no generator dependency) so the
+// artifacts are reproducible from this file alone.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "search/discovery_engine.h"
+#include "serve/metrics.h"
+#include "store/snapshot.h"
+#include "table/catalog.h"
+#include "table/csv.h"
+#include "util/serialize.h"
+
+namespace {
+
+constexpr const char* kCsvs[][2] = {
+    {"city_population",
+     "city,country,population\n"
+     "oslo,norway,700000\n"
+     "bergen,norway,290000\n"
+     "aarhus,denmark,280000\n"
+     "malmo,sweden,350000\n"
+     "espoo,finland,290000\n"
+     "tromso,norway,77000\n"},
+    {"city_weather",
+     "city,season,avg_temp\n"
+     "oslo,winter,-4.3\n"
+     "bergen,winter,1.5\n"
+     "aarhus,summer,17.2\n"
+     "malmo,summer,18.1\n"
+     "espoo,winter,-5.0\n"
+     "tromso,winter,-3.8\n"},
+    {"country_codes",
+     "country,iso,calling_code\n"
+     "norway,NO,47\n"
+     "denmark,DK,45\n"
+     "sweden,SE,46\n"
+     "finland,FI,358\n"
+     "iceland,IS,354\n"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 1;
+  }
+  const std::string out_dir = argv[1];
+
+  lake::DataLakeCatalog catalog;
+  for (const auto& [name, csv] : kCsvs) {
+    auto table = lake::ReadCsvString(csv, name);
+    if (!table.ok()) {
+      std::fprintf(stderr, "parse %s: %s\n", name,
+                   table.status().ToString().c_str());
+      return 1;
+    }
+    auto id = catalog.AddTable(std::move(table).value());
+    if (!id.ok()) {
+      std::fprintf(stderr, "add %s: %s\n", name,
+                   id.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // The options store_compat_test mirrors: persistable indexes (JOSIE,
+  // Starmie) on, the heavyweight long tail off.
+  lake::DiscoveryEngine::Options eopts;
+  eopts.build_pexeso = false;
+  eopts.build_mate = false;
+  eopts.build_correlated = false;
+  eopts.build_santos = false;
+  eopts.build_d3l = false;
+  eopts.synthesize_kb = false;
+  eopts.train_annotator = false;
+  lake::DiscoveryEngine engine(&catalog, nullptr, eopts);
+
+  lake::store::SnapshotWriter snapshot;
+  lake::Status status = catalog.SaveSnapshot(&snapshot);
+  if (status.ok()) status = engine.SaveIndexSections(&snapshot);
+  if (!status.ok()) {
+    std::fprintf(stderr, "snapshot: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  {
+    const std::string bytes = snapshot.Serialize();
+    std::ofstream out(out_dir + "/pre_ingest_snap.lks", std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      std::fprintf(stderr, "cannot write pre_ingest_snap.lks\n");
+      return 1;
+    }
+  }
+
+  // Metrics golden: literal values only, so the bytes are a pure function
+  // of the serialization code.
+  lake::serve::MetricsRegistry::Snapshot metrics;
+  metrics.counters = {{"serve.cache.hits", 41}, {"serve.queries", 1297}};
+  metrics.gauges = {{"serve.degraded", 0}, {"serve.quarantined_sections", 2}};
+  metrics.histograms.push_back(lake::serve::MetricsRegistry::HistogramRow{
+      "serve.latency.keyword", 512, 133.5, 120.0, 240.0, 310.5, 402.25});
+  {
+    std::ostringstream buf;
+    lake::BinaryWriter writer(&buf);
+    status = lake::serve::WriteSnapshot(metrics, &writer);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    const std::string bytes = std::move(buf).str();
+    std::ofstream out(out_dir + "/metrics_v2.bin", std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics_v2.bin\n");
+      return 1;
+    }
+  }
+
+  std::printf("wrote %s/pre_ingest_snap.lks (%zu sections) and metrics_v2.bin\n",
+              out_dir.c_str(), snapshot.num_sections());
+  return 0;
+}
