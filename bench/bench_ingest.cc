@@ -21,6 +21,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,6 +33,8 @@
 #include "lakegen/generator.h"
 #include "search/discovery_engine.h"
 #include "serve/query_service.h"
+#include "store/snapshot.h"
+#include "store/wal.h"
 #include "util/string_util.h"
 
 namespace {
@@ -252,6 +255,94 @@ void PrintRow(const char* mode, double rate, const Row& row) {
                 static_cast<unsigned long long>(row.delta_hits)));
 }
 
+// --- WAL durability: acknowledgement overhead per sync policy -----------
+
+constexpr int kWalAppends = 150;
+
+struct WalRow {
+  double p50_ms = 0;
+  double p95_ms = 0;
+  uint64_t fsyncs = 0;
+  uint64_t wal_bytes = 0;
+};
+
+/// Times AddTable acknowledgement latency with the WAL in the write path.
+/// Each timed add is followed by an untimed remove so the delta — and with
+/// it the publish cost — stays flat while the log keeps growing; the
+/// difference between rows is the append + sync cost, not delta size.
+WalRow RunWalAppendScenario(const GeneratedLake& lake,
+                            std::shared_ptr<const DataLakeCatalog> catalog,
+                            std::shared_ptr<const DiscoveryEngine> base,
+                            bool enable_wal,
+                            lake::store::WalWriter::SyncPolicy sync,
+                            const char* tag, std::string* dir_out) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / (std::string("lake_bench_wal_") + tag))
+          .string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  lake::store::SnapshotStore store(dir);
+  lake::serve::MetricsRegistry metrics;
+  LiveEngine::Options lopts;
+  lopts.base_options = BaseOptions();
+  lopts.kb = &lake.kb;
+  lopts.store = &store;
+  lopts.metrics = &metrics;
+  lopts.enable_wal = enable_wal;
+  lopts.wal_options.sync = sync;
+  LiveEngine live(catalog, base, lopts);
+  // Commit a baseline snapshot (durable LSN 0) so the scenario directory
+  // is recoverable for the replay measurement: every logged record is
+  // past the checkpoint and gets replayed.
+  if (!live.Checkpoint().ok()) {
+    std::fprintf(stderr, "  wal %s: baseline checkpoint failed\n", tag);
+  }
+
+  std::vector<double> lat;
+  lat.reserve(kWalAppends);
+  for (int i = 0; i < kWalAppends; ++i) {
+    Table copy =
+        catalog->table(static_cast<TableId>(i % catalog->num_tables()));
+    const std::string name = StrFormat("wal_%s_%04d", tag, i);
+    copy.set_name(name);
+    const auto start = std::chrono::steady_clock::now();
+    auto id = live.AddTable(std::move(copy));
+    lat.push_back(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
+    if (!id.ok()) {
+      std::fprintf(stderr, "  wal %s: add failed: %s\n", tag,
+                   id.status().ToString().c_str());
+    }
+    live.RemoveTable(name);
+  }
+  std::sort(lat.begin(), lat.end());
+  WalRow row;
+  row.p50_ms = Percentile(lat, 0.50);
+  row.p95_ms = Percentile(lat, 0.95);
+  row.fsyncs = metrics.GetCounter("ingest.wal.fsyncs")->value();
+  row.wal_bytes = metrics.GetCounter("ingest.wal.bytes")->value();
+  if (dir_out != nullptr) *dir_out = dir;
+  return row;
+}
+
+void PrintWalRow(const char* policy, const WalRow& row) {
+  std::printf(
+      "  wal %-8s p50=%7.3fms  p95=%7.3fms  fsyncs=%-5llu wal_bytes=%llu\n",
+      policy, row.p50_ms, row.p95_ms,
+      static_cast<unsigned long long>(row.fsyncs),
+      static_cast<unsigned long long>(row.wal_bytes));
+  lake::bench::PrintJsonLine(
+      "E19_ingest",
+      StrFormat("\"mode\":\"wal_append\",\"policy\":\"%s\",\"p50_ms\":%.3f,"
+                "\"p95_ms\":%.3f,\"appends\":%d,\"fsyncs\":%llu,"
+                "\"wal_bytes\":%llu",
+                policy, row.p50_ms, row.p95_ms, 2 * kWalAppends,
+                static_cast<unsigned long long>(row.fsyncs),
+                static_cast<unsigned long long>(row.wal_bytes)));
+}
+
 }  // namespace
 
 int main() {
@@ -326,5 +417,86 @@ int main() {
       StrFormat("\"mode\":\"summary\",\"p95_ratio_1x\":%.3f,"
                 "\"within_2x\":%s",
                 ratio, ratio <= 2.0 ? "true" : "false"));
+
+  // --- WAL durability: append overhead per sync policy, then replay -----
+  {
+    using lake::store::WalWriter;
+    std::string fsync_dir;
+    const WalRow no_wal = RunWalAppendScenario(
+        lake, catalog, base, false, WalWriter::SyncPolicy::kNone, "no_wal",
+        nullptr);
+    const WalRow none = RunWalAppendScenario(
+        lake, catalog, base, true, WalWriter::SyncPolicy::kNone, "none",
+        nullptr);
+    const WalRow group = RunWalAppendScenario(
+        lake, catalog, base, true, WalWriter::SyncPolicy::kGroupCommit,
+        "group", nullptr);
+    const WalRow fsync = RunWalAppendScenario(
+        lake, catalog, base, true, WalWriter::SyncPolicy::kEveryAppend,
+        "fsync", &fsync_dir);
+    PrintWalRow("no_wal", no_wal);
+    PrintWalRow("none", none);
+    PrintWalRow("group", group);
+    PrintWalRow("fsync", fsync);
+    const double wal_ratio =
+        no_wal.p95_ms > 0 ? group.p95_ms / no_wal.p95_ms : 0;
+    std::printf("  group-commit p95 / no-WAL p95 = %.2fx %s\n", wal_ratio,
+                wal_ratio <= 1.3 ? "(within 1.3x bound)"
+                                 : "(EXCEEDS 1.3x bound)");
+    lake::bench::PrintJsonLine(
+        "E19_ingest",
+        StrFormat("\"mode\":\"wal_summary\",\"group_p95_over_no_wal\":%.3f,"
+                  "\"within_1p3x\":%s",
+                  wal_ratio, wal_ratio <= 1.3 ? "true" : "false"));
+
+    // Replay throughput over the fsync scenario's log: raw record parse
+    // rate first, then a full engine recovery (snapshot load + replay of
+    // every logged batch through ApplyBatch).
+    uint64_t raw_records = 0;
+    uint64_t raw_bytes = 0;
+    const auto raw_start = std::chrono::steady_clock::now();
+    auto raw = lake::store::WalReader::Replay(
+        fsync_dir + "/wal", 0, [&](uint64_t, std::string_view payload) {
+          ++raw_records;
+          raw_bytes += payload.size();
+          return lake::Status::OK();
+        });
+    const double raw_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - raw_start)
+                              .count();
+    lake::store::SnapshotStore store(fsync_dir);
+    LiveEngine::Options ropts;
+    ropts.base_options = BaseOptions();
+    ropts.kb = &lake.kb;
+    ropts.enable_wal = true;
+    LiveEngine::RecoveryReport report;
+    const auto rec_start = std::chrono::steady_clock::now();
+    auto recovered = LiveEngine::Recover(&store, ropts, &report);
+    const double rec_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - rec_start)
+                              .count();
+    const double raw_rate =
+        raw_ms > 0 ? static_cast<double>(raw_records) / (raw_ms / 1000.0) : 0;
+    const double rec_rate =
+        rec_ms > 0
+            ? static_cast<double>(report.wal_records_replayed) / (rec_ms / 1000.0)
+            : 0;
+    std::printf(
+        "  wal replay: raw parse %llu recs (%.1f KB) at %.0f rec/s; engine "
+        "recovery replayed %llu recs in %.1fms (%.0f rec/s)%s\n",
+        static_cast<unsigned long long>(raw_records),
+        static_cast<double>(raw_bytes) / 1024.0, raw_rate,
+        static_cast<unsigned long long>(report.wal_records_replayed), rec_ms,
+        rec_rate,
+        raw.ok() && recovered.ok() ? "" : " [ERROR]");
+    lake::bench::PrintJsonLine(
+        "E19_ingest",
+        StrFormat("\"mode\":\"wal_replay\",\"raw_records\":%llu,"
+                  "\"raw_records_per_sec\":%.0f,\"replayed_records\":%llu,"
+                  "\"recover_ms\":%.1f,\"replay_records_per_sec\":%.0f",
+                  static_cast<unsigned long long>(raw_records), raw_rate,
+                  static_cast<unsigned long long>(report.wal_records_replayed),
+                  rec_ms, rec_rate));
+  }
   return 0;
 }

@@ -35,6 +35,9 @@ std::vector<R> MergeTopK(std::vector<R> base, std::vector<R> delta,
 }
 
 constexpr uint64_t kStateFormatVersion = 1;
+/// Format of the "ingest/wal" snapshot section (varint format, varint
+/// durable LSN) and of each WAL record payload.
+constexpr uint64_t kWalFormatVersion = 1;
 
 }  // namespace
 
@@ -205,6 +208,68 @@ Result<std::vector<TableResult>> MergedUnionable(
 // LiveEngine
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// WAL record payload — exactly one *accepted* mutation batch:
+///
+///   varint format (= kWalFormatVersion)
+///   varint num_removes, then per remove: string name
+///   varint num_adds,    then per add:    string name, string csv,
+///                                        varint has_meta, (string meta)?
+///
+/// Only accepted ops are logged: replaying the record through ApplyBatch
+/// re-derives the same decisions, and rejected ops carried no state.
+std::string EncodeWalBatch(const std::vector<std::string>& removes,
+                           const std::vector<const Table*>& adds) {
+  std::ostringstream out;
+  BinaryWriter w(&out);
+  w.WriteVarint(kWalFormatVersion);
+  w.WriteVarint(removes.size());
+  for (const std::string& name : removes) w.WriteString(name);
+  w.WriteVarint(adds.size());
+  for (const Table* table : adds) {
+    w.WriteString(table->name());
+    w.WriteString(WriteCsvString(*table));
+    const bool has_meta = HasMetadata(table->metadata());
+    w.WriteVarint(has_meta ? 1 : 0);
+    if (has_meta) w.WriteString(SerializeTableMetadata(table->metadata()));
+  }
+  return std::move(out).str();
+}
+
+Result<LiveEngine::Batch> DecodeWalBatch(std::string_view payload) {
+  std::istringstream in{std::string(payload)};
+  BinaryReader r(&in);
+  LiveEngine::Batch batch;
+  LAKE_ASSIGN_OR_RETURN(uint64_t format, r.ReadVarint());
+  if (format != kWalFormatVersion) {
+    return Status::IoError("unknown WAL batch format " +
+                           std::to_string(format));
+  }
+  LAKE_ASSIGN_OR_RETURN(uint64_t num_removes, r.ReadVarint());
+  for (uint64_t i = 0; i < num_removes; ++i) {
+    LAKE_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    batch.removes.push_back(std::move(name));
+  }
+  LAKE_ASSIGN_OR_RETURN(uint64_t num_adds, r.ReadVarint());
+  for (uint64_t i = 0; i < num_adds; ++i) {
+    LAKE_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    LAKE_ASSIGN_OR_RETURN(std::string csv, r.ReadString());
+    LAKE_ASSIGN_OR_RETURN(Table table, ReadCsvString(csv, name));
+    LAKE_ASSIGN_OR_RETURN(uint64_t has_meta, r.ReadVarint());
+    if (has_meta != 0) {
+      LAKE_ASSIGN_OR_RETURN(std::string meta_bytes, r.ReadString());
+      LAKE_ASSIGN_OR_RETURN(TableMetadata meta,
+                            ParseTableMetadata(meta_bytes));
+      table.metadata() = std::move(meta);
+    }
+    batch.adds.push_back(std::move(table));
+  }
+  return batch;
+}
+
+}  // namespace
+
 DiscoveryEngine::Options LiveEngine::Options::DefaultDeltaOptions() {
   DiscoveryEngine::Options opts;
   // Memtable modalities whose scores merge against the base: exact
@@ -230,6 +295,15 @@ LiveEngine::LiveEngine(std::shared_ptr<const DataLakeCatalog> base_catalog,
       base_engine_(std::move(base_engine)) {
   options_.delta_options.embedding_dim = options_.base_options.embedding_dim;
   InitMetrics();
+  if (options_.enable_wal) {
+    // Fail-stop on an unopenable log: wal_ stays null and every mutation
+    // is rejected, rather than acknowledging work a crash would lose.
+    Status opened = OpenWal(/*next_lsn=*/0);
+    if (!opened.ok()) {
+      LAKE_LOG(Warning) << "WAL open failed (mutations fail-stop): "
+                        << opened.ToString();
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   Publish();
 }
@@ -254,6 +328,57 @@ void LiveEngine::InitMetrics() {
   generation_gauge_ = m.GetGauge("ingest.generation");
   publish_latency_ = m.GetHistogram("ingest.publish_ms");
   compaction_latency_ = m.GetHistogram("ingest.compaction_ms");
+  wal_appends_ = m.GetCounter("ingest.wal.appends");
+  wal_bytes_ = m.GetCounter("ingest.wal.bytes");
+  wal_fsyncs_ = m.GetCounter("ingest.wal.fsyncs");
+  wal_replayed_ = m.GetCounter("ingest.wal.replayed_records");
+  wal_truncated_bytes_ = m.GetCounter("ingest.wal.truncated_tail_bytes");
+  wal_unsynced_gauge_ = m.GetGauge("ingest.wal.unsynced_records");
+}
+
+std::string LiveEngine::WalDir() const {
+  return options_.store != nullptr ? options_.store->dir() + "/wal"
+                                   : std::string();
+}
+
+Status LiveEngine::OpenWal(uint64_t next_lsn) {
+  if (options_.store == nullptr) {
+    return Status::FailedPrecondition("WAL requires a snapshot store");
+  }
+  Result<std::unique_ptr<store::WalWriter>> writer =
+      next_lsn == 0
+          ? store::WalWriter::Open(WalDir(), options_.wal_options)
+          : store::WalWriter::OpenAt(WalDir(), options_.wal_options,
+                                     next_lsn);
+  if (!writer.ok()) return writer.status();
+  wal_ = std::move(writer).value();
+  wal_exported_ = store::WalWriter::Stats{};
+  return Status::OK();
+}
+
+void LiveEngine::ExportWalMetrics() {
+  if (wal_ == nullptr) return;
+  if (wal_unsynced_gauge_ != nullptr) {
+    wal_unsynced_gauge_->Set(wal_->unsynced_records());
+  }
+  if (wal_appends_ == nullptr) return;
+  const store::WalWriter::Stats& s = wal_->stats();
+  wal_appends_->Add(s.appends - wal_exported_.appends);
+  wal_bytes_->Add(s.bytes_appended - wal_exported_.bytes_appended);
+  wal_fsyncs_->Add(s.fsyncs - wal_exported_.fsyncs);
+  wal_exported_ = s;
+}
+
+LiveEngine::WalStatus LiveEngine::wal_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalStatus status;
+  status.enabled = options_.enable_wal;
+  if (wal_ != nullptr) {
+    status.last_lsn = wal_->last_lsn();
+    status.durable_lsn = wal_->durable_lsn();
+    status.unsynced_records = wal_->unsynced_records();
+  }
+  return status;
 }
 
 std::shared_ptr<const DeltaPart> LiveEngine::BuildDeltaPart() const {
@@ -317,54 +442,97 @@ LiveEngine::BatchOutcome LiveEngine::ApplyBatch(Batch batch) {
                         });
   };
 
+  // Phase 1 — decide. Acceptance is computed against a simulated view of
+  // the post-batch state WITHOUT mutating anything: with a WAL the
+  // accepted ops must be on disk before the first real mutation
+  // (log-before-apply), so the decisions come first and phase 3 replays
+  // them. Removes are processed before adds, as before.
+  std::set<std::string> removed_names;  // accepted removes (all tombstone)
+  std::set<std::string> batch_added;    // accepted add names so far
+  std::vector<std::string> accepted_removes;
   for (const std::string& name : batch.removes) {
-    auto it = in_delta(name);
-    if (it != delta_tables_.end()) {
-      delta_tables_.erase(it);
-      // Keep a tombstone anyway: if an in-flight compaction already
-      // consumed this table, the tombstone masks it in the new base.
-      tombstone_names_.insert(name);
+    const bool delta_live =
+        in_delta(name) != delta_tables_.end() && !removed_names.count(name);
+    const bool base_live = base_catalog_->FindTable(name).ok() &&
+                           !tombstone_names_.count(name) &&
+                           !removed_names.count(name);
+    if (delta_live || base_live) {
       outcome.removes.push_back(Status::OK());
-    } else if (base_catalog_->FindTable(name).ok() &&
-               !tombstone_names_.count(name)) {
-      tombstone_names_.insert(name);
-      outcome.removes.push_back(Status::OK());
+      accepted_removes.push_back(name);
+      removed_names.insert(name);
     } else {
       outcome.removes.push_back(Status::NotFound("table " + name));
     }
-    if (outcome.removes.back().ok() && tables_removed_ != nullptr) {
-      tables_removed_->Add();
-    }
   }
-
-  std::vector<size_t> added_indices;  // into delta_tables_, per accepted add
-  for (Table& table : batch.adds) {
+  std::vector<size_t> accepted_adds;  // indices into batch.adds
+  for (size_t i = 0; i < batch.adds.size(); ++i) {
+    const Table& table = batch.adds[i];
     const std::string& name = table.name();
     if (name.empty() || name.find('/') != std::string::npos) {
       outcome.adds.push_back(
           Status::InvalidArgument("invalid table name: " + name));
       continue;
     }
-    if (in_delta(name) != delta_tables_.end() ||
-        (base_catalog_->FindTable(name).ok() &&
-         !tombstone_names_.count(name))) {
+    const bool delta_live = (in_delta(name) != delta_tables_.end() &&
+                             !removed_names.count(name)) ||
+                            batch_added.count(name);
+    const bool base_live = base_catalog_->FindTable(name).ok() &&
+                           !tombstone_names_.count(name) &&
+                           !removed_names.count(name);
+    if (delta_live || base_live) {
       outcome.adds.push_back(Status::AlreadyExists("table " + name));
       continue;
     }
-    added_indices.push_back(delta_tables_.size());
-    outcome.adds.push_back(Result<TableId>(0));  // id filled in below
-    delta_tables_.push_back(std::make_shared<const Table>(std::move(table)));
-    if (tables_added_ != nullptr) tables_added_->Add();
+    batch_added.insert(name);
+    accepted_adds.push_back(i);
+    outcome.adds.push_back(Result<TableId>(0));  // id assigned in phase 3
   }
 
+  // Phase 2 — log. The accepted ops hit the WAL (and the device, per sync
+  // policy) before anything mutates or publishes; a failed append rejects
+  // the whole accepted set so "acknowledged" always implies "recoverable".
+  if (options_.enable_wal &&
+      (!accepted_removes.empty() || !accepted_adds.empty())) {
+    std::vector<const Table*> add_ptrs;
+    add_ptrs.reserve(accepted_adds.size());
+    for (size_t i : accepted_adds) add_ptrs.push_back(&batch.adds[i]);
+    Status logged =
+        wal_ != nullptr
+            ? wal_->Append(EncodeWalBatch(accepted_removes, add_ptrs))
+                  .status()
+            : Status::FailedPrecondition(
+                  "WAL enabled but unavailable (fail-stop)");
+    ExportWalMetrics();
+    if (!logged.ok()) {
+      for (Status& s : outcome.removes) {
+        if (s.ok()) s = logged;
+      }
+      for (Result<TableId>& a : outcome.adds) {
+        if (a.ok()) a = logged;
+      }
+      return outcome;
+    }
+  }
+
+  // Phase 3 — apply the accepted decisions and publish once.
+  for (const std::string& name : accepted_removes) {
+    auto it = in_delta(name);
+    if (it != delta_tables_.end()) delta_tables_.erase(it);
+    // Tombstone even delta removes: if an in-flight compaction already
+    // consumed this table, the tombstone masks it in the new base.
+    tombstone_names_.insert(name);
+    if (tables_removed_ != nullptr) tables_removed_->Add();
+  }
   // Lake-visible delta ids are base_count + local position.
   const TableId base_count = static_cast<TableId>(base_catalog_->num_tables());
-  size_t next = 0;
+  size_t next_add = 0;
   for (Result<TableId>& id : outcome.adds) {
-    if (id.ok()) {
-      id = Result<TableId>(
-          static_cast<TableId>(base_count + added_indices[next++]));
-    }
+    if (!id.ok()) continue;
+    id = Result<TableId>(
+        static_cast<TableId>(base_count + delta_tables_.size()));
+    delta_tables_.push_back(std::make_shared<const Table>(
+        std::move(batch.adds[accepted_adds[next_add++]])));
+    if (tables_added_ != nullptr) tables_added_->Add();
   }
 
   Publish();
@@ -511,6 +679,10 @@ Status LiveEngine::Checkpoint() {
     return Status::FailedPrecondition("no snapshot store configured");
   }
   store::SnapshotWriter writer;
+  // LSN this snapshot covers: serialization happens under mu_, so every
+  // record at or below wal_->last_lsn() is reflected in the sections.
+  uint64_t checkpoint_lsn = 0;
+  bool advance_wal = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     LAKE_RETURN_IF_ERROR(base_catalog_->SaveSnapshot(&writer));
@@ -540,9 +712,32 @@ Status LiveEngine::Checkpoint() {
           }
           return Status::OK();
         }));
+    if (options_.enable_wal && wal_ != nullptr) {
+      checkpoint_lsn = wal_->last_lsn();
+      advance_wal = true;
+      LAKE_RETURN_IF_ERROR(
+          writer.AddSection(kWalSection, [&](BinaryWriter* w) {
+            w->WriteVarint(kWalFormatVersion);
+            w->WriteVarint(checkpoint_lsn);
+            return Status::OK();
+          }));
+    }
   }
   LAKE_ASSIGN_OR_RETURN(uint64_t generation, options_.store->Commit(writer));
   (void)generation;
+  if (advance_wal) {
+    // The snapshot is the commit point: records up to checkpoint_lsn are
+    // durable through it, so the floor advances and covered segments go.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (wal_ != nullptr) {
+      wal_->set_durable_lsn(checkpoint_lsn);
+      Status gc = wal_->GarbageCollect(checkpoint_lsn);
+      if (!gc.ok()) {
+        LAKE_LOG(Warning) << "WAL GC failed: " << gc.ToString();
+      }
+      ExportWalMetrics();
+    }
+  }
   return Status::OK();
 }
 
@@ -554,6 +749,11 @@ Result<std::unique_ptr<LiveEngine>> LiveEngine::Recover(
   // Recovering from a store implies persisting to it: later Checkpoint /
   // post-compaction commits go to the same place the state came from.
   options.store = store;
+  // Replay (snapshot delta and WAL records alike) goes through ApplyBatch
+  // and must not be re-logged; the writer is opened only once the log has
+  // been fully consumed, so the flag stays off until then.
+  const bool wal_enabled = options.enable_wal;
+  options.enable_wal = false;
   RecoveryReport local_report;
   RecoveryReport& rep = report != nullptr ? *report : local_report;
 
@@ -608,9 +808,11 @@ Result<std::unique_ptr<LiveEngine>> LiveEngine::Recover(
   // snapshot (empty delta); a corrupt one drops the whole delta — the
   // base is still consistent, recovery just loses the uncompacted tail.
   if (!reader.has_section(kStateSection)) {
-    std::lock_guard<std::mutex> lock(live->mu_);
-    live->Publish();  // refresh generation number
-    return live;
+    {
+      std::lock_guard<std::mutex> lock(live->mu_);
+      live->Publish();  // refresh generation number
+    }
+    return FinishRecovery(std::move(live), reader, wal_enabled, &rep);
   }
   Batch replay;
   Result<std::string> state = reader.ReadSection(kStateSection);
@@ -687,6 +889,82 @@ Result<std::unique_ptr<LiveEngine>> LiveEngine::Recover(
     }
   }
   (void)attempted;
+  return FinishRecovery(std::move(live), reader, wal_enabled, &rep);
+}
+
+Result<std::unique_ptr<LiveEngine>> LiveEngine::FinishRecovery(
+    std::unique_ptr<LiveEngine> live, const store::SnapshotReader& reader,
+    bool wal_enabled, RecoveryReport* rep) {
+  // Durable LSN from the checkpoint: records at or below it are already
+  // part of the loaded state. Missing section = pre-WAL snapshot; an
+  // unreadable one conservatively replays the whole log (ApplyBatch
+  // rejects already-present adds individually, so over-replay degrades to
+  // per-op AlreadyExists/NotFound, not corruption).
+  uint64_t durable_lsn = 0;
+  if (reader.has_section(kWalSection)) {
+    Result<std::string> wal_state = reader.ReadSection(kWalSection);
+    auto parse_lsn = [&]() -> Result<uint64_t> {
+      std::istringstream in(wal_state.value());
+      BinaryReader r(&in);
+      LAKE_ASSIGN_OR_RETURN(uint64_t format, r.ReadVarint());
+      if (format != kWalFormatVersion) {
+        return Status::IoError("unknown ingest/wal section format " +
+                               std::to_string(format));
+      }
+      return r.ReadVarint();
+    };
+    Result<uint64_t> lsn =
+        wal_state.ok() ? parse_lsn() : Result<uint64_t>(wal_state.status());
+    if (lsn.ok()) {
+      durable_lsn = lsn.value();
+    } else {
+      LAKE_LOG(Warning) << "ingest/wal section unreadable; replaying the "
+                           "whole log: "
+                        << lsn.status().ToString();
+    }
+  }
+  rep->wal_durable_lsn = durable_lsn;
+  if (!wal_enabled) return live;
+
+  Result<store::WalReader::ReplayStats> replayed = store::WalReader::Replay(
+      live->WalDir(), durable_lsn,
+      [&](uint64_t lsn, std::string_view payload) -> Status {
+        Result<Batch> decoded = DecodeWalBatch(payload);
+        if (!decoded.ok()) {
+          // CRC-valid but undecodable: a future format or a writer bug,
+          // not a torn tail. Skip the record rather than refuse to start.
+          LAKE_LOG(Warning) << "skipping undecodable WAL record " << lsn
+                            << ": " << decoded.status().ToString();
+          return Status::OK();
+        }
+        live->ApplyBatch(std::move(decoded).value());
+        ++rep->wal_records_replayed;
+        return Status::OK();
+      });
+  if (!replayed.ok()) return replayed.status();
+  rep->wal_truncated_bytes = replayed.value().truncated_bytes;
+  rep->wal_last_lsn = std::max(replayed.value().last_lsn, durable_lsn);
+  if (!replayed.value().clean) {
+    LAKE_LOG(Warning) << "WAL torn tail: truncated "
+                      << replayed.value().truncated_bytes
+                      << " bytes after LSN " << replayed.value().last_lsn;
+  }
+
+  std::lock_guard<std::mutex> lock(live->mu_);
+  live->options_.enable_wal = true;
+  // Reopen past everything seen, on a fresh segment: a torn tail is never
+  // appended after.
+  Status opened = live->OpenWal(rep->wal_last_lsn + 1);
+  if (!opened.ok()) {
+    LAKE_LOG(Warning) << "WAL reopen failed (mutations fail-stop): "
+                      << opened.ToString();
+  }
+  if (live->wal_ != nullptr) live->wal_->set_durable_lsn(durable_lsn);
+  if (live->wal_replayed_ != nullptr) {
+    live->wal_replayed_->Add(rep->wal_records_replayed);
+    live->wal_truncated_bytes_->Add(rep->wal_truncated_bytes);
+  }
+  live->ExportWalMetrics();
   return live;
 }
 

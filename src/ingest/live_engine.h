@@ -12,6 +12,7 @@
 #include "ingest/generation.h"
 #include "serve/metrics.h"
 #include "store/snapshot.h"
+#include "store/wal.h"
 #include "util/status.h"
 
 namespace lake::ingest {
@@ -60,6 +61,15 @@ class LiveEngine {
     /// Checkpoint automatically after every successful compaction (only
     /// meaningful with a store).
     bool persist_after_compact = true;
+    /// Write-ahead logging (requires a store; segments live in
+    /// "<store dir>/wal"). Every accepted mutation batch is appended —
+    /// and synced, per wal_options.sync — BEFORE it is applied and
+    /// acknowledged, so Recover() replays acknowledged work a crash
+    /// would otherwise lose between checkpoints. If the log cannot be
+    /// opened or appended, the batch is rejected (fail-stop), never
+    /// acknowledged-but-volatile.
+    bool enable_wal = false;
+    store::WalWriter::Options wal_options;
 
     static DiscoveryEngine::Options DefaultDeltaOptions();
   };
@@ -78,6 +88,11 @@ class LiveEngine {
   /// "table/<name>" and "index/..." sections).
   static constexpr const char* kStateSection = "ingest/state";
   static constexpr const char* kDeltaPrefix = "ingest/delta/";
+  /// Durable-LSN marker: records at or below it are covered by this
+  /// snapshot; Recover() replays only WAL records past it. A separate
+  /// section (not a state-format bump) so pre-WAL readers still parse
+  /// every WAL-era snapshot.
+  static constexpr const char* kWalSection = "ingest/wal";
 
   // --- Read path --------------------------------------------------------
 
@@ -162,6 +177,14 @@ class LiveEngine {
     size_t deltas_replayed = 0;
     size_t deltas_dropped = 0;
     size_t tombstones_replayed = 0;
+    /// WAL records (mutation batches) replayed past the checkpoint LSN.
+    uint64_t wal_records_replayed = 0;
+    /// Bytes cut from the log's torn/corrupt tail (0 on a clean log).
+    uint64_t wal_truncated_bytes = 0;
+    /// LSN the checkpoint declared durable; replay starts after it.
+    uint64_t wal_durable_lsn = 0;
+    /// Highest valid LSN found in the log.
+    uint64_t wal_last_lsn = 0;
   };
 
   /// Rebuilds a LiveEngine from the newest committed snapshot generation:
@@ -185,6 +208,17 @@ class LiveEngine {
   }
   const Options& options() const { return options_; }
 
+  /// Point-in-time WAL health (all zero when the WAL is disabled).
+  /// unsynced_records is the live loss window: acknowledged mutations a
+  /// crash right now would lose (always 0 under SyncPolicy::kEveryAppend).
+  struct WalStatus {
+    bool enabled = false;
+    uint64_t last_lsn = 0;
+    uint64_t durable_lsn = 0;
+    uint64_t unsynced_records = 0;
+  };
+  WalStatus wal_status() const;
+
  private:
   /// Builds a DeltaPart from the mutable state and resolves tombstone
   /// names against `base_catalog`. Caller holds mu_.
@@ -192,6 +226,20 @@ class LiveEngine {
   /// Publishes a new generation from the current state. Caller holds mu_.
   void Publish();
   void InitMetrics();
+
+  /// "<store dir>/wal"; empty without a store.
+  std::string WalDir() const;
+  /// Recover() tail: reads the checkpoint's durable LSN, replays WAL
+  /// records past it, and opens the writer on a fresh segment.
+  static Result<std::unique_ptr<LiveEngine>> FinishRecovery(
+      std::unique_ptr<LiveEngine> live, const store::SnapshotReader& reader,
+      bool wal_enabled, RecoveryReport* rep);
+  /// Opens the writer per options_ (fail-stop: an unopenable log disables
+  /// acknowledgement, not durability). Caller holds mu_.
+  Status OpenWal(uint64_t next_lsn);
+  /// Diffs writer stats into the monotonic ingest.wal.* counters and
+  /// refreshes the unsynced-records gauge. Caller holds mu_.
+  void ExportWalMetrics();
 
   Options options_;
 
@@ -208,6 +256,9 @@ class LiveEngine {
   std::set<std::string> tombstone_names_;
   uint64_t number_ = 0;   // compaction generation
   uint64_t version_ = 0;  // publish sequence
+  /// Log-before-apply journal (null when disabled or the open failed —
+  /// then every mutation is rejected fail-stop while enable_wal is set).
+  std::unique_ptr<store::WalWriter> wal_;
   // ----------------------------------------------------------------------
 
   std::atomic<std::shared_ptr<const Generation>> current_;
@@ -225,6 +276,15 @@ class LiveEngine {
   serve::Gauge* generation_gauge_ = nullptr;
   serve::LatencyHistogram* publish_latency_ = nullptr;
   serve::LatencyHistogram* compaction_latency_ = nullptr;
+  serve::Counter* wal_appends_ = nullptr;
+  serve::Counter* wal_bytes_ = nullptr;
+  serve::Counter* wal_fsyncs_ = nullptr;
+  serve::Counter* wal_replayed_ = nullptr;
+  serve::Counter* wal_truncated_bytes_ = nullptr;
+  serve::Gauge* wal_unsynced_gauge_ = nullptr;
+  /// Writer stats already exported to the counters (counters are
+  /// monotonic; writer stats reset when the writer is reopened).
+  store::WalWriter::Stats wal_exported_;
 };
 
 }  // namespace lake::ingest

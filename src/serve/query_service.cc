@@ -412,6 +412,19 @@ QueryService::HealthSnapshot QueryService::Health() {
     health.breakers.push_back(std::move(bs));
   }
 
+  if (live_ != nullptr) {
+    // wal_status() exports its numbers here so operators see the live
+    // loss window (unsynced acknowledged records) next to overload state;
+    // the ingest.wal.unsynced_records gauge is refreshed alongside.
+    const ingest::LiveEngine::WalStatus wal = live_->wal_status();
+    health.wal_enabled = wal.enabled;
+    health.wal_last_lsn = wal.last_lsn;
+    health.wal_durable_lsn = wal.durable_lsn;
+    health.wal_unsynced_records = wal.unsynced_records;
+    metrics_.GetGauge("ingest.wal.unsynced_records")
+        ->Set(wal.unsynced_records);
+  }
+
   health.ok = !health.degraded && health.open_breakers == 0;
   degraded_gauge_->Set(health.degraded ? 1 : 0);
   quarantined_gauge_->Set(health.quarantined.size());

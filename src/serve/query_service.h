@@ -215,6 +215,14 @@ class QueryService {
     size_t admission_in_flight = 0;
     size_t open_breakers = 0;
     std::vector<BreakerStatus> breakers;
+
+    /// Live-mode WAL state (all zero in frozen mode or with the WAL
+    /// disabled). wal_unsynced_records is the acknowledged-but-volatile
+    /// loss window — 0 under per-append fsync.
+    bool wal_enabled = false;
+    uint64_t wal_last_lsn = 0;
+    uint64_t wal_durable_lsn = 0;
+    uint64_t wal_unsynced_records = 0;
   };
 
   /// Snapshot of health state; also refreshes the serve.degraded,

@@ -13,6 +13,7 @@
 
 #include "util/crc32c.h"
 #include "util/failpoint.h"
+#include "util/io.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -66,11 +67,8 @@ Status AtomicWriteFile(const std::string& path, std::string_view bytes,
       default:
         break;
     }
-    size_t off = 0;
-    while (off < to_write) {
-      const ssize_t n = ::write(fd, bytes.data() + off, to_write - off);
-      if (n < 0) return CloseAndError(fd, tmp, "write failed: " + tmp);
-      off += static_cast<size_t>(n);
+    if (!FullWrite(fd, bytes.data(), to_write).ok()) {
+      return CloseAndError(fd, tmp, "write failed: " + tmp);
     }
     ::close(fd);
     // The torn temp file is deliberately left on disk: it simulates a
@@ -81,20 +79,15 @@ Status AtomicWriteFile(const std::string& path, std::string_view bytes,
             : "torn write (injected): " + tmp);
   }
 
-  size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
-    if (n < 0) {
-      const bool enospc = errno == ENOSPC;
-      return CloseAndError(fd, tmp,
-                           (enospc ? "no space left on device: " :
-                                     "write failed: ") + tmp);
-    }
-    off += static_cast<size_t>(n);
+  // EINTR-safe full write: POSIX lets ::write persist a prefix; treating
+  // that as success would commit a torn file under a valid rename.
+  Status written = FullWrite(fd, bytes.data(), bytes.size());
+  if (!written.ok()) {
+    return CloseAndError(fd, tmp, written.message() + ": " + tmp);
   }
 
   if (FailpointHit(failpoint_prefix + ".fsync").has_value() ||
-      ::fsync(fd) != 0) {
+      !FsyncRetry(fd).ok()) {
     return CloseAndError(fd, tmp, "fsync failed: " + tmp);
   }
   if (::close(fd) != 0) {
@@ -290,16 +283,44 @@ std::vector<uint64_t> SnapshotStore::ReadManifest() const {
 std::vector<uint64_t> SnapshotStore::ScanDirectory() const {
   std::vector<uint64_t> generations;
   std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
-    const std::string name = entry.path().filename().string();
-    unsigned long long gen = 0;
-    if (std::sscanf(name.c_str(), "snap-%llu.lks", &gen) == 1 &&
-        name == SnapshotFileName(gen)) {
-      generations.push_back(gen);
+  fs::directory_iterator it(dir_, ec);
+  Status scan_status = Status::OK();
+  if (ec) {
+    // A store we cannot list is not the same as an empty one: recovery
+    // deciding "no snapshot exists" off a permissions error would start a
+    // fresh lineage and shadow every committed generation.
+    scan_status = Status::IoError("cannot scan snapshot dir " + dir_ + ": " +
+                                  ec.message());
+    LAKE_LOG(Warning) << scan_status.ToString();
+  } else {
+    const fs::directory_iterator end;
+    while (it != end) {
+      const std::string name = it->path().filename().string();
+      unsigned long long gen = 0;
+      if (std::sscanf(name.c_str(), "snap-%llu.lks", &gen) == 1 &&
+          name == SnapshotFileName(gen)) {
+        generations.push_back(gen);
+      }
+      it.increment(ec);
+      if (ec) {
+        scan_status = Status::IoError("snapshot dir scan failed mid-walk in " +
+                                      dir_ + ": " + ec.message());
+        LAKE_LOG(Warning) << scan_status.ToString();
+        break;
+      }
     }
+  }
+  {
+    std::lock_guard<std::mutex> lock(scan_mu_);
+    last_scan_status_ = scan_status;
   }
   std::sort(generations.begin(), generations.end());
   return generations;
+}
+
+Status SnapshotStore::last_scan_status() const {
+  std::lock_guard<std::mutex> lock(scan_mu_);
+  return last_scan_status_;
 }
 
 std::vector<uint64_t> SnapshotStore::Generations() const {
@@ -367,6 +388,12 @@ Result<SnapshotStore::Opened> SnapshotStore::OpenLatest() const {
     LAKE_LOG(Warning) << "snapshot generation " << *it
                       << " unreadable, falling back: "
                       << reader.status().ToString();
+  }
+  if (generations.empty()) {
+    // "Nothing found" via an unscannable directory is an I/O failure, not
+    // an empty store — callers must not cold-start over it.
+    Status scan = last_scan_status();
+    if (!scan.ok()) return scan;
   }
   return Status::NotFound("no committed snapshot in " + dir_);
 }

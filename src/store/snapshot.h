@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -157,6 +158,13 @@ class SnapshotStore {
   /// ascending. Entries are not validated beyond listing.
   std::vector<uint64_t> Generations() const;
 
+  /// Outcome of the most recent directory scan (Generations/OpenLatest
+  /// fall back to a scan when the MANIFEST is missing or garbled). A
+  /// failed scan — permissions, deleted directory, I/O error — used to be
+  /// silently indistinguishable from an empty store; now it is logged and
+  /// surfaced here, and OpenLatest reports IoError instead of NotFound.
+  Status last_scan_status() const;
+
   const std::string& dir() const { return dir_; }
 
   static std::string SnapshotFileName(uint64_t generation);
@@ -166,10 +174,14 @@ class SnapshotStore {
   std::string SnapshotPath(uint64_t generation) const;
   /// Parses MANIFEST lines into generations (malformed lines skipped).
   std::vector<uint64_t> ReadManifest() const;
+  /// Lists snap-*.lks generations; records iteration failures in
+  /// last_scan_status_ instead of pretending the store is empty.
   std::vector<uint64_t> ScanDirectory() const;
 
   std::string dir_;
   Options options_;
+  mutable std::mutex scan_mu_;
+  mutable Status last_scan_status_;
 };
 
 }  // namespace lake::store

@@ -1,0 +1,406 @@
+#include "store/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32c.h"
+#include "util/failpoint.h"
+#include "util/io.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace lake::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void PutLe32(char* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void PutLe64(char* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+uint32_t GetLe32(const char* in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetLe64(const char* in) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+/// CRC over the whole frame: length and LSN first (as written), then the
+/// payload, so a lying length prefix fails the check.
+uint32_t RecordCrc(uint32_t payload_len, uint64_t lsn,
+                   std::string_view payload) {
+  char head[12];
+  PutLe32(head, payload_len);
+  PutLe64(head + 4, lsn);
+  uint32_t crc = Crc32cExtend(0, head, sizeof(head));
+  return Crc32cExtend(crc, payload.data(), payload.size());
+}
+
+/// One frame, ready for a single FullWrite.
+std::string EncodeRecord(uint64_t lsn, std::string_view payload) {
+  std::string frame(kWalRecordHeaderBytes + payload.size(), '\0');
+  PutLe32(frame.data(), static_cast<uint32_t>(payload.size()));
+  PutLe64(frame.data() + 4, lsn);
+  PutLe32(frame.data() + 12,
+          RecordCrc(static_cast<uint32_t>(payload.size()), lsn, payload));
+  std::memcpy(frame.data() + kWalRecordHeaderBytes, payload.data(),
+              payload.size());
+  return frame;
+}
+
+/// Sanity cap on one record; the framing CRC catches random corruption,
+/// this catches a "valid-looking" huge length before any allocation.
+constexpr uint32_t kMaxRecordPayload = 1u << 30;
+
+}  // namespace
+
+// --- WalWriter -----------------------------------------------------------
+
+std::string WalWriter::SegmentFileName(uint64_t first_lsn) {
+  return StrFormat("wal-%020llu.log",
+                   static_cast<unsigned long long>(first_lsn));
+}
+
+std::vector<std::pair<uint64_t, std::string>> WalWriter::ListSegments(
+    const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return segments;
+  const fs::directory_iterator end;
+  while (it != end) {
+    const std::string name = it->path().filename().string();
+    unsigned long long first = 0;
+    if (std::sscanf(name.c_str(), "wal-%llu.log", &first) == 1 &&
+        name == SegmentFileName(first)) {
+      segments.emplace_back(first, it->path().string());
+    }
+    it.increment(ec);
+    if (ec) break;
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(std::string dir,
+                                                   Options options) {
+  const uint64_t max_lsn = WalReader::MaxLsn(dir);
+  return OpenAt(std::move(dir), options, max_lsn + 1);
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::OpenAt(std::string dir,
+                                                     Options options,
+                                                     uint64_t next_lsn) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create WAL dir " + dir + ": " +
+                           ec.message());
+  }
+  auto writer = std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(dir), options, std::max<uint64_t>(1, next_lsn)));
+  writer->synced_lsn_ = writer->next_lsn_ - 1;  // nothing pending yet
+  writer->last_sync_time_ = std::chrono::steady_clock::now();
+  // Segments at/past the restart point are dead: replay decided their
+  // records are unusable (or they are empty crash leftovers). Removing
+  // them now keeps them from shadowing the segment the next Append
+  // creates under the same or a lower first-LSN name.
+  for (const auto& [first, path] : ListSegments(writer->dir_)) {
+    if (first >= writer->next_lsn_) {
+      std::error_code remove_ec;
+      fs::remove(path, remove_ec);
+      if (remove_ec) {
+        return Status::IoError("cannot remove dead WAL segment " + path +
+                               ": " + remove_ec.message());
+      }
+    }
+  }
+  // The segment is opened lazily on first Append: recovery can hold a
+  // writer without leaving an empty segment behind.
+  return writer;
+}
+
+WalWriter::~WalWriter() { CloseSegment(); }
+
+Status WalWriter::OpenSegment() {
+  const std::string path = dir_ + "/" + SegmentFileName(next_lsn_);
+  // O_TRUNC: an empty segment left by a crash right after rotation (or a
+  // recovery that replayed everything) is safely overwritten — its name
+  // means "first LSN", and that LSN has not been written anywhere else.
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Status::IoError("cannot create WAL segment " + path + ": " +
+                           std::strerror(errno));
+  }
+  segment_bytes_ = 0;
+  return Status::OK();
+}
+
+void WalWriter::CloseSegment() {
+  if (fd_ < 0) return;
+  if (synced_lsn_ < last_lsn()) {
+    (void)FsyncRetry(fd_);  // best effort; destructor cannot report
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void WalWriter::RollbackTo(uint64_t offset) {
+  if (fd_ >= 0 && ::ftruncate(fd_, static_cast<off_t>(offset)) == 0) {
+    segment_bytes_ = offset;
+    return;
+  }
+  // The segment may now hold a torn record we cannot remove; appending
+  // after it would hide valid records behind the tear at replay. Refuse
+  // all further appends instead.
+  dead_ = true;
+  LAKE_LOG(Error) << "WAL rollback failed; writer is now dead: " << dir_;
+}
+
+Result<uint64_t> WalWriter::Append(std::string_view payload) {
+  if (dead_) {
+    return Status::IoError("WAL writer is dead (earlier torn append)");
+  }
+  if (payload.size() > kMaxRecordPayload) {
+    return Status::InvalidArgument("WAL record too large");
+  }
+
+  const std::string frame = EncodeRecord(next_lsn_, payload);
+
+  // Size-based rotation, before the write so a record never spans
+  // segments. Rotation syncs and closes the old segment uncondition-
+  // ally — its records must not regress when the new segment appears.
+  if (fd_ >= 0 && segment_bytes_ > 0 &&
+      segment_bytes_ + frame.size() > options_.segment_max_bytes) {
+    if (FailpointHit("wal.rotate").has_value()) {
+      return Status::IoError("injected fault at wal.rotate");
+    }
+    LAKE_RETURN_IF_ERROR(Sync());
+    ::close(fd_);
+    fd_ = -1;
+    ++stats_.rotations;
+  }
+  if (fd_ < 0) {
+    LAKE_RETURN_IF_ERROR(OpenSegment());
+  }
+
+  const uint64_t pre_append = segment_bytes_;
+
+  // Failpoint: torn write (a prefix persists and the writer dies, like a
+  // crash mid-write), ENOSPC, or generic error (both transient — nothing
+  // persists and the writer survives, like a real failed write after its
+  // rollback).
+  if (std::optional<FaultSpec> fault = FailpointHit("wal.append.write")) {
+    if (fault->kind == FaultSpec::Kind::kTornWrite) {
+      const size_t keep = std::min<size_t>(frame.size(), fault->arg);
+      if (keep > 0) {
+        (void)FullWrite(fd_, frame.data(), keep);
+        segment_bytes_ += keep;
+      }
+      // The torn bytes stay on disk and the writer refuses all further
+      // appends — replay must see exactly what a SIGKILL here leaves.
+      dead_ = true;
+      return Status::IoError("injected torn write at wal.append.write");
+    }
+    return Status::IoError(
+        fault->kind == FaultSpec::Kind::kEnospc
+            ? "no space left on device (injected): WAL append"
+            : "injected fault at wal.append.write");
+  }
+
+  Status written = FullWrite(fd_, frame.data(), frame.size());
+  if (!written.ok()) {
+    RollbackTo(pre_append);
+    return written;
+  }
+  segment_bytes_ += frame.size();
+
+  const uint64_t lsn = next_lsn_++;
+  ++stats_.appends;
+  stats_.bytes_appended += frame.size();
+
+  // Sync policy. A failed sync un-acknowledges the record: it is rolled
+  // back so a crash cannot resurrect a batch the caller saw fail.
+  Status synced = Status::OK();
+  switch (options_.sync) {
+    case SyncPolicy::kNone:
+      break;
+    case SyncPolicy::kEveryAppend:
+      synced = Sync();
+      break;
+    case SyncPolicy::kGroupCommit: {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_sync_time_ >= options_.group_commit_interval) {
+        synced = Sync();
+      }
+      break;
+    }
+  }
+  if (!synced.ok()) {
+    --next_lsn_;
+    --stats_.appends;
+    stats_.bytes_appended -= frame.size();
+    RollbackTo(pre_append);
+    return synced;
+  }
+  return lsn;
+}
+
+Status WalWriter::Sync() {
+  if (fd_ < 0 || synced_lsn_ >= last_lsn()) {
+    last_sync_time_ = std::chrono::steady_clock::now();
+    return Status::OK();
+  }
+  if (FailpointHit("wal.append.fsync").has_value()) {
+    return Status::IoError("injected fault at wal.append.fsync");
+  }
+  LAKE_RETURN_IF_ERROR(FsyncRetry(fd_));
+  ++stats_.fsyncs;
+  synced_lsn_ = last_lsn();
+  last_sync_time_ = std::chrono::steady_clock::now();
+  return Status::OK();
+}
+
+uint64_t WalWriter::unsynced_records() const {
+  const uint64_t floor = std::max(synced_lsn_, durable_lsn_);
+  return last_lsn() > floor ? last_lsn() - floor : 0;
+}
+
+void WalWriter::set_durable_lsn(uint64_t lsn) {
+  durable_lsn_ = std::max(durable_lsn_, lsn);
+}
+
+Status WalWriter::GarbageCollect(uint64_t durable_lsn) {
+  set_durable_lsn(durable_lsn);
+  std::vector<std::pair<uint64_t, std::string>> segments = ListSegments(dir_);
+  // Segment i's records all precede segment i+1's first LSN; the last
+  // segment is (potentially) active and always survives.
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    if (segments[i + 1].first <= durable_lsn + 1) {
+      std::error_code ec;
+      fs::remove(segments[i].second, ec);
+      if (ec) {
+        LAKE_LOG(Warning) << "WAL GC: cannot remove " << segments[i].second
+                          << ": " << ec.message();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// --- WalReader -----------------------------------------------------------
+
+Result<WalReader::ReplayStats> WalReader::Replay(
+    const std::string& dir, uint64_t after_lsn,
+    const std::function<Status(uint64_t, std::string_view)>& fn) {
+  ReplayStats stats;
+  const std::vector<std::pair<uint64_t, std::string>> segments =
+      WalWriter::ListSegments(dir);
+
+  // LSNs are assigned densely, so a valid log is one unbroken +1 chain
+  // anchored at the first segment's name (its declared first LSN). A
+  // parse failure ends the current *segment* (its tail is torn), but the
+  // next segment may legitimately continue the chain: a writer that
+  // reopened after a crash starts a fresh segment past the torn tail.
+  // A chain break (gap or regression) ends the whole log — records past
+  // a gap cannot be applied without the missing mutations. Anchoring at
+  // the declared first LSN (not "whatever parses first") means a fully
+  // destroyed first segment kills the rest of the log too, instead of
+  // letting a later segment restart the chain at an arbitrary LSN.
+  uint64_t prev_lsn = segments.empty() ? 0 : segments[0].first - 1;
+  bool dead = false;
+  for (size_t s = 0; s < segments.size(); ++s) {
+    if (dead) {
+      std::error_code ec;
+      const uint64_t size = fs::file_size(segments[s].second, ec);
+      stats.truncated_bytes += ec ? 0 : size;
+      continue;
+    }
+
+    std::ifstream file(segments[s].second, std::ios::binary);
+    if (!file) {
+      return Status::IoError("cannot open WAL segment " + segments[s].second);
+    }
+    // Fault-injecting wrapper: the "wal.replay.read" failpoint turns this
+    // read into a short read, bit flip, or hard error.
+    FaultInjectingIStream in(&file, "wal.replay.read");
+    std::string bytes;
+    {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      bytes = std::move(buf).str();
+    }
+    if (file.bad()) {
+      return Status::IoError("read failed: " + segments[s].second);
+    }
+    ++stats.segments_read;
+
+    size_t off = 0;
+    while (off < bytes.size()) {
+      if (bytes.size() - off < kWalRecordHeaderBytes) {
+        break;  // torn header: end of this segment's trusted bytes
+      }
+      const uint32_t len = GetLe32(bytes.data() + off);
+      const uint64_t lsn = GetLe64(bytes.data() + off + 4);
+      const uint32_t crc = GetLe32(bytes.data() + off + 12);
+      if (len > kMaxRecordPayload ||
+          bytes.size() - off - kWalRecordHeaderBytes < len) {
+        break;  // torn payload (or lying length; checked before hashing)
+      }
+      const std::string_view payload(bytes.data() + off +
+                                         kWalRecordHeaderBytes,
+                                     len);
+      if (RecordCrc(len, lsn, payload) != crc) {
+        break;  // corrupt record: end of this segment's trusted bytes
+      }
+      if (lsn != prev_lsn + 1) {
+        dead = true;  // chain break: the rest of the log is unusable
+        break;
+      }
+      prev_lsn = lsn;
+      stats.last_lsn = lsn;
+      if (lsn > after_lsn) {
+        LAKE_RETURN_IF_ERROR(fn(lsn, payload));
+        ++stats.records_replayed;
+      } else {
+        ++stats.records_skipped;
+      }
+      off += kWalRecordHeaderBytes + len;
+    }
+    stats.truncated_bytes += bytes.size() - off;
+  }
+  stats.clean = stats.truncated_bytes == 0;
+  return stats;
+}
+
+uint64_t WalReader::MaxLsn(const std::string& dir) {
+  Result<ReplayStats> stats =
+      Replay(dir, UINT64_MAX, [](uint64_t, std::string_view) {
+        return Status::OK();
+      });
+  return stats.ok() ? stats->last_lsn : 0;
+}
+
+}  // namespace lake::store

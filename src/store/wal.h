@@ -1,0 +1,189 @@
+#ifndef LAKE_STORE_WAL_H_
+#define LAKE_STORE_WAL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lake::store {
+
+/// Write-ahead log closing the snapshot store's one loss window: every
+/// mutation acknowledged between two checkpoints used to live only in
+/// memory, so a crash silently lost acknowledged ingest work. With the
+/// WAL, a mutation is appended (and synced, per policy) *before* it is
+/// applied and acknowledged; recovery replays the records past the last
+/// checkpoint's durable LSN on top of the loaded snapshot.
+///
+/// On-disk layout: a directory of segment files
+///
+///   <dir>/wal-<first_lsn>.log
+///
+/// each a sequence of records framed as (integers little-endian):
+///
+///   fixed32 payload_len
+///   fixed64 lsn
+///   fixed32 crc = CRC32C(le32(payload_len) || le64(lsn) || payload)
+///   payload bytes
+///
+/// The CRC covers the framing, so a flipped bit in the length prefix is
+/// detected instead of walking the reader into garbage. LSNs are assigned
+/// densely (1, 2, 3, ...) and must be strictly increasing within a
+/// replay; the first record that fails its CRC, runs past the end of the
+/// segment, or breaks monotonicity ends the log — everything before it
+/// replays, everything after is a torn tail and is discarded. That makes
+/// a crash mid-append recover to exactly the last complete record.
+constexpr uint32_t kWalRecordHeaderBytes = 4 + 8 + 4;
+
+/// Appends records to segment files. NOT thread-safe: the owner (e.g.
+/// LiveEngine, which already serializes mutations) must serialize calls.
+class WalWriter {
+ public:
+  /// When an appended record becomes durable.
+  enum class SyncPolicy {
+    /// Never fsync on append (only on rotation/close). Max loss window:
+    /// everything since the last checkpoint. Cheapest.
+    kNone,
+    /// fsync after every append. Zero acknowledged loss; each append pays
+    /// a device flush.
+    kEveryAppend,
+    /// fsync when `group_commit_interval` has elapsed since the last
+    /// sync. Max loss window: one interval of acknowledged records.
+    kGroupCommit,
+  };
+
+  struct Options {
+    SyncPolicy sync = SyncPolicy::kEveryAppend;
+    /// Size-based rotation threshold; a record never spans segments.
+    uint64_t segment_max_bytes = 8ull << 20;
+    std::chrono::milliseconds group_commit_interval{5};
+  };
+
+  /// Counters for metrics export; monotonic within one writer.
+  struct Stats {
+    uint64_t appends = 0;
+    uint64_t bytes_appended = 0;  // framing + payload
+    uint64_t fsyncs = 0;
+    uint64_t rotations = 0;
+  };
+
+  /// Opens `dir` (created if missing) and positions the writer after the
+  /// highest LSN found in existing segments (torn tails tolerated), so a
+  /// reopened log continues the sequence. Appends go to a fresh segment —
+  /// an existing torn tail is never appended after.
+  static Result<std::unique_ptr<WalWriter>> Open(std::string dir,
+                                                 Options options);
+
+  /// Opens with an explicit next LSN (recovery already scanned the log).
+  static Result<std::unique_ptr<WalWriter>> OpenAt(std::string dir,
+                                                   Options options,
+                                                   uint64_t next_lsn);
+
+  /// Best-effort final fsync, then closes the segment.
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record and applies the sync policy; returns its LSN.
+  /// On any failure (injected via failpoints "wal.append.write",
+  /// "wal.append.fsync", "wal.rotate", or real I/O errors) the record is
+  /// rolled back (the segment is truncated to its pre-append size) so an
+  /// unacknowledged record is never replayed; if the rollback itself
+  /// fails the writer goes dead and every later Append fails — the log
+  /// never interleaves valid records after a torn one.
+  Result<uint64_t> Append(std::string_view payload);
+
+  /// Forces everything appended so far to disk (no-op when clean).
+  Status Sync();
+
+  /// Deletes segments whose every record is <= `durable_lsn` (covered by
+  /// a committed snapshot). The active segment is never deleted.
+  Status GarbageCollect(uint64_t durable_lsn);
+
+  /// Records acknowledged but not yet fsynced — the live loss-window
+  /// gauge. Records at or below the durable (checkpoint) LSN are excluded:
+  /// the snapshot covers them even if the log was never synced.
+  uint64_t unsynced_records() const;
+
+  /// Checkpoint floor: records at or below it are durable via the
+  /// snapshot store regardless of log syncs.
+  void set_durable_lsn(uint64_t lsn);
+  uint64_t durable_lsn() const { return durable_lsn_; }
+
+  uint64_t last_lsn() const { return next_lsn_ - 1; }
+  const Stats& stats() const { return stats_; }
+  const std::string& dir() const { return dir_; }
+  bool dead() const { return dead_; }
+
+  static std::string SegmentFileName(uint64_t first_lsn);
+  /// (first_lsn, path) per segment in `dir`, ascending by first LSN.
+  static std::vector<std::pair<uint64_t, std::string>> ListSegments(
+      const std::string& dir);
+
+ private:
+  WalWriter(std::string dir, Options options, uint64_t next_lsn)
+      : dir_(std::move(dir)), options_(options), next_lsn_(next_lsn) {}
+
+  /// Opens a fresh segment named by next_lsn_.
+  Status OpenSegment();
+  /// Closes the active segment (best-effort fsync first).
+  void CloseSegment();
+  /// Undoes a partially appended record; a failed rollback kills the
+  /// writer (see Append).
+  void RollbackTo(uint64_t offset);
+
+  std::string dir_;
+  Options options_;
+  uint64_t next_lsn_ = 1;
+
+  int fd_ = -1;
+  uint64_t segment_bytes_ = 0;
+  uint64_t synced_lsn_ = 0;   // highest LSN known flushed to disk
+  uint64_t durable_lsn_ = 0;  // highest LSN covered by a checkpoint
+  std::chrono::steady_clock::time_point last_sync_time_{};
+  bool dead_ = false;
+  Stats stats_;
+};
+
+/// Replays a WAL directory. Stateless; all methods are static.
+class WalReader {
+ public:
+  struct ReplayStats {
+    uint64_t records_replayed = 0;  // delivered to the callback
+    uint64_t records_skipped = 0;   // valid but <= after_lsn
+    uint64_t segments_read = 0;
+    uint64_t last_lsn = 0;          // LSN of the last valid record
+    /// Bytes discarded at/after the first invalid record (torn tail).
+    uint64_t truncated_bytes = 0;
+    /// False when a torn/corrupt tail was cut (truncated_bytes > 0).
+    bool clean = true;
+  };
+
+  /// Walks every segment in order and invokes `fn(lsn, payload)` for each
+  /// valid record with lsn > after_lsn. Stops at the first invalid record
+  /// (CRC/length/monotonicity failure): the remainder of the log is
+  /// counted into `truncated_bytes`, never delivered, and never an error
+  /// — a torn tail is an expected crash artifact, not corruption of
+  /// replayed state. A non-OK status from `fn` aborts the replay and is
+  /// returned. Reads pass through failpoint "wal.replay.read" (short
+  /// read, bit flip, error). A missing directory replays zero records.
+  static Result<ReplayStats> Replay(
+      const std::string& dir, uint64_t after_lsn,
+      const std::function<Status(uint64_t lsn, std::string_view payload)>&
+          fn);
+
+  /// Highest valid LSN present in `dir` (0 when empty/missing); used by
+  /// WalWriter::Open to continue the sequence.
+  static uint64_t MaxLsn(const std::string& dir);
+};
+
+}  // namespace lake::store
+
+#endif  // LAKE_STORE_WAL_H_

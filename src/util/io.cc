@@ -1,0 +1,55 @@
+#include "util/io.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace lake {
+
+Status FullWrite(int fd, const char* data, size_t size,
+                 int max_zero_progress) {
+  size_t off = 0;
+  int stalls = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        if (++stalls > max_zero_progress) {
+          return Status::IoError("write: too many EINTR retries");
+        }
+        continue;
+      }
+      if (errno == ENOSPC) {
+        return Status::IoError("no space left on device");
+      }
+      return Status::IoError(std::string("write failed: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      // A zero-byte ::write on a regular file is legal but means no
+      // progress; bounded retries keep a wedged fd from spinning forever.
+      if (++stalls > max_zero_progress) {
+        return Status::IoError("write made no progress");
+      }
+      continue;
+    }
+    stalls = 0;
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FsyncRetry(int fd, int max_retries) {
+  for (int i = 0; i <= max_retries; ++i) {
+    if (::fsync(fd) == 0) return Status::OK();
+    if (errno != EINTR) {
+      return Status::IoError(std::string("fsync failed: ") +
+                             std::strerror(errno));
+    }
+  }
+  return Status::IoError("fsync: too many EINTR retries");
+}
+
+}  // namespace lake

@@ -1,0 +1,28 @@
+#ifndef LAKE_UTIL_IO_H_
+#define LAKE_UTIL_IO_H_
+
+#include <cstddef>
+
+#include "util/status.h"
+
+namespace lake {
+
+/// Writes all `size` bytes of `data` to `fd`, retrying short writes and
+/// EINTR. POSIX allows ::write to transfer fewer bytes than asked (signal
+/// delivery, pipe buffers, quota edges); callers that treat one call as
+/// all-or-nothing silently persist a prefix. Retries are bounded (a write
+/// that makes no progress `max_zero_progress` consecutive times fails)
+/// so a wedged descriptor cannot spin forever. ENOSPC is surfaced
+/// distinctly so durability layers can report "disk full" instead of a
+/// generic failure.
+Status FullWrite(int fd, const char* data, size_t size,
+                 int max_zero_progress = 8);
+
+/// fsync(fd) retrying EINTR a bounded number of times. Any other error is
+/// surfaced: after a failed fsync the kernel may have dropped dirty
+/// pages, so callers must treat the data as not durable.
+Status FsyncRetry(int fd, int max_retries = 8);
+
+}  // namespace lake
+
+#endif  // LAKE_UTIL_IO_H_

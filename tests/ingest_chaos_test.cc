@@ -317,5 +317,197 @@ TEST_F(IngestChaosTest, PersistCrashAfterCompactionLosesNoTables) {
   EXPECT_EQ(gen->visible_table_count(), base().num_tables() + 2);
 }
 
+/// The WAL acceptance drill: N batches acknowledged under per-batch
+/// fsync, a checkpoint partway through, then a torn-write kill mid-stream.
+/// Recovery must surface EVERY acknowledged batch — the ones covered by
+/// the checkpoint from the snapshot, the rest from the log — and must not
+/// surface the batch that was never acknowledged.
+TEST_F(IngestChaosTest, WalZeroAcknowledgedLossAcrossCrash) {
+  const std::string dir = TestDir("wal_zero_loss");
+  store::SnapshotStore store(dir);
+  LiveEngine::Options opts = LiveOptions();
+  opts.store = &store;
+  opts.enable_wal = true;
+  opts.wal_options.sync = store::WalWriter::SyncPolicy::kEveryAppend;
+  auto live = MakeLive(opts);
+
+  constexpr int kBatches = 8;
+  for (int i = 0; i < kBatches; ++i) {
+    ASSERT_TRUE(live->AddTable(Derived(i % 4, StrFormat("acked_%d", i))).ok());
+    if (i == 2) ASSERT_TRUE(live->Checkpoint().ok());  // durable LSN = 3
+  }
+  EXPECT_EQ(live->wal_status().last_lsn, static_cast<uint64_t>(kBatches));
+  EXPECT_EQ(live->wal_status().durable_lsn, 3u);
+  EXPECT_EQ(live->wal_status().unsynced_records, 0u);  // per-append fsync
+
+  // SIGKILL mid-append: a torn prefix persists, the batch is NOT
+  // acknowledged, and the writer fail-stops.
+  FaultSpec torn;
+  torn.kind = FaultSpec::Kind::kTornWrite;
+  torn.arg = 10;
+  FailpointRegistry::Instance().Arm("wal.append.write", torn);
+  EXPECT_FALSE(live->AddTable(Derived(0, "never_acked")).ok());
+  EXPECT_FALSE(live->AddTable(Derived(1, "fail_stop")).ok());  // dead writer
+  live.reset();  // the crash
+
+  LiveEngine::RecoveryReport report;
+  Result<std::unique_ptr<LiveEngine>> recovered =
+      LiveEngine::Recover(&store, opts, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(report.wal_durable_lsn, 3u);
+  EXPECT_EQ(report.wal_records_replayed,
+            static_cast<uint64_t>(kBatches - 3));  // LSNs 4..8
+  EXPECT_GT(report.wal_truncated_bytes, 0u);  // the torn prefix
+  EXPECT_EQ(report.wal_last_lsn, static_cast<uint64_t>(kBatches));
+
+  auto gen = (*recovered)->Acquire();
+  for (int i = 0; i < kBatches; ++i) {
+    EXPECT_TRUE(gen->FindTable(StrFormat("acked_%d", i)).ok())
+        << "acknowledged batch " << i << " lost";
+  }
+  EXPECT_FALSE(gen->FindTable("never_acked").ok());
+  EXPECT_EQ(gen->visible_table_count(), base().num_tables() + kBatches);
+
+  // The recovered engine keeps ingesting (fresh segment past the tear)
+  // and survives a second crash/recovery round-trip losing nothing.
+  ASSERT_TRUE((*recovered)->AddTable(Derived(2, "after_recovery")).ok());
+  recovered->reset();
+  Result<std::unique_ptr<LiveEngine>> again =
+      LiveEngine::Recover(&store, opts, &report);
+  ASSERT_TRUE(again.ok()) << again.status();
+  gen = (*again)->Acquire();
+  EXPECT_TRUE(gen->FindTable("after_recovery").ok());
+  EXPECT_EQ(gen->visible_table_count(), base().num_tables() + kBatches + 1);
+}
+
+/// Removes and re-adds must replay with the same semantics they were
+/// acknowledged with: WAL records carry the accepted ops of each batch in
+/// order, so a remove→re-add chain survives a crash.
+TEST_F(IngestChaosTest, WalReplaysRemovesAndReAdds) {
+  const std::string dir = TestDir("wal_removes");
+  store::SnapshotStore store(dir);
+  LiveEngine::Options opts = LiveOptions();
+  opts.store = &store;
+  opts.enable_wal = true;
+  auto live = MakeLive(opts);
+  ASSERT_TRUE(live->Checkpoint().ok());  // empty-delta baseline snapshot
+
+  const std::string base_name = base().table(1).name();
+  ASSERT_TRUE(live->AddTable(Derived(0, "added")).ok());
+  ASSERT_TRUE(live->RemoveTable(base_name).ok());
+  ASSERT_TRUE(live->RemoveTable("added").ok());
+  ASSERT_TRUE(live->AddTable(Derived(2, "added")).ok());  // re-add
+  live.reset();  // crash with every mutation only in the WAL
+
+  LiveEngine::RecoveryReport report;
+  Result<std::unique_ptr<LiveEngine>> recovered =
+      LiveEngine::Recover(&store, opts, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(report.wal_records_replayed, 4u);
+  auto gen = (*recovered)->Acquire();
+  EXPECT_TRUE(gen->FindTable("added").ok());
+  EXPECT_FALSE(gen->FindTable(base_name).ok());
+  EXPECT_EQ(gen->visible_table_count(), base().num_tables());  // +1 −1
+}
+
+/// Fail-stop: when the WAL cannot accept an append, the batch must be
+/// rejected — never acknowledged-but-volatile. A transient fault rejects
+/// one batch; the writer survives and the next batch lands.
+TEST_F(IngestChaosTest, WalAppendFailureRejectsBatchAtomically) {
+  const std::string dir = TestDir("wal_fail_stop");
+  store::SnapshotStore store(dir);
+  LiveEngine::Options opts = LiveOptions();
+  opts.store = &store;
+  opts.enable_wal = true;
+  auto live = MakeLive(opts);
+
+  FailpointRegistry::Instance().Arm("wal.append.write",
+                                    FaultSpec{FaultSpec::Kind::kEnospc});
+  LiveEngine::Batch batch;
+  batch.adds.push_back(Derived(0, "victim_a"));
+  batch.adds.push_back(Derived(1, "victim_b"));
+  LiveEngine::BatchOutcome outcome = live->ApplyBatch(std::move(batch));
+  EXPECT_FALSE(outcome.published);
+  ASSERT_EQ(outcome.adds.size(), 2u);
+  EXPECT_FALSE(outcome.adds[0].ok());
+  EXPECT_FALSE(outcome.adds[1].ok());
+  // Nothing leaked into the live state and readers never saw the batch.
+  EXPECT_EQ(live->num_delta_tables(), 0u);
+  EXPECT_FALSE(live->Acquire()->FindTable("victim_a").ok());
+
+  // Transient fault cleared: the same tables are accepted now, and a
+  // recovery sees exactly the acknowledged state.
+  ASSERT_TRUE(live->AddTable(Derived(0, "victim_a")).ok());
+  ASSERT_TRUE(live->Checkpoint().ok());
+  live.reset();
+  Result<std::unique_ptr<LiveEngine>> recovered =
+      LiveEngine::Recover(&store, opts, nullptr);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE((*recovered)->Acquire()->FindTable("victim_a").ok());
+}
+
+/// Checkpoints advance the durable LSN and garbage-collect covered
+/// segments; recovery after the checkpoint replays only the tail.
+TEST_F(IngestChaosTest, WalCheckpointAdvancesDurableLsnAndCollectsSegments) {
+  const std::string dir = TestDir("wal_gc");
+  store::SnapshotStore store(dir);
+  LiveEngine::Options opts = LiveOptions();
+  opts.store = &store;
+  opts.enable_wal = true;
+  opts.wal_options.sync = store::WalWriter::SyncPolicy::kNone;
+  opts.wal_options.segment_max_bytes = 1;  // rotate on every append
+  auto live = MakeLive(opts);
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(live->AddTable(Derived(i, StrFormat("seg_%d", i))).ok());
+  }
+  const std::string wal_dir = dir + "/wal";
+  EXPECT_EQ(store::WalWriter::ListSegments(wal_dir).size(), 4u);
+
+  ASSERT_TRUE(live->Checkpoint().ok());
+  EXPECT_EQ(live->wal_status().durable_lsn, 4u);
+  // All four records are snapshot-covered: only the active segment stays.
+  EXPECT_EQ(store::WalWriter::ListSegments(wal_dir).size(), 1u);
+  EXPECT_EQ(live->wal_status().unsynced_records, 0u);  // covered by floor
+
+  ASSERT_TRUE(live->AddTable(Derived(0, "tail")).ok());
+  live.reset();
+  LiveEngine::RecoveryReport report;
+  Result<std::unique_ptr<LiveEngine>> recovered =
+      LiveEngine::Recover(&store, opts, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(report.deltas_replayed, 4u);       // from the snapshot
+  EXPECT_EQ(report.wal_records_replayed, 1u);  // just the tail
+  EXPECT_TRUE((*recovered)->Acquire()->FindTable("tail").ok());
+}
+
+/// QueryService::Health surfaces the WAL loss window so operators can see
+/// acknowledged-but-volatile records next to overload state.
+TEST_F(IngestChaosTest, HealthReportsWalLossWindow) {
+  const std::string dir = TestDir("wal_health");
+  store::SnapshotStore store(dir);
+  LiveEngine::Options opts = LiveOptions();
+  opts.store = &store;
+  opts.enable_wal = true;
+  opts.wal_options.sync = store::WalWriter::SyncPolicy::kNone;
+  auto live = MakeLive(opts);
+  ASSERT_TRUE(live->AddTable(Derived(0, "volatile_a")).ok());
+  ASSERT_TRUE(live->AddTable(Derived(1, "volatile_b")).ok());
+
+  serve::QueryService service(live.get(), serve::QueryService::Options{});
+  serve::QueryService::HealthSnapshot health = service.Health();
+  EXPECT_TRUE(health.wal_enabled);
+  EXPECT_EQ(health.wal_last_lsn, 2u);
+  EXPECT_EQ(health.wal_durable_lsn, 0u);
+  EXPECT_EQ(health.wal_unsynced_records, 2u);  // kNone never fsyncs
+  EXPECT_EQ(service.metrics().GetGauge("ingest.wal.unsynced_records")->value(),
+            2u);
+
+  ASSERT_TRUE(live->Checkpoint().ok());  // floor covers both records
+  health = service.Health();
+  EXPECT_EQ(health.wal_durable_lsn, 2u);
+  EXPECT_EQ(health.wal_unsynced_records, 0u);
+}
+
 }  // namespace
 }  // namespace lake::ingest

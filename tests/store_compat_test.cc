@@ -76,6 +76,15 @@ std::string MakeStoreDir(const std::string& name, const std::string& bytes) {
   return dir;
 }
 
+/// Copies the checked-in wal_era store directory (snapshot + MANIFEST +
+/// wal/ segment) into a scratch dir, since recovery appends to the WAL.
+std::string CopyWalEraDir(const std::string& name) {
+  const std::string dir = TestDir(name);
+  fs::copy(std::string(LAKE_TEST_DATA_DIR) + "/wal_era", dir,
+           fs::copy_options::recursive | fs::copy_options::overwrite_existing);
+  return dir;
+}
+
 TEST(StoreCompatTest, PreIngestEnvelopeParsesWithExpectedSections) {
   Result<store::SnapshotReader> reader =
       store::SnapshotReader::Parse(GoldenBytes("pre_ingest_snap.lks"));
@@ -201,6 +210,105 @@ TEST(StoreCompatTest, CorruptTableSectionIsQuarantinedNotFatal) {
   auto gen = (*live)->Acquire();
   EXPECT_EQ(gen->visible_table_count(), 2u);
   EXPECT_FALSE(gen->base().Keyword("city", 10).empty());
+}
+
+// --- WAL-era store golden (PR 5) ----------------------------------------
+//
+// The wal_era directory holds snapshot generation 1 (base + delta table
+// "wal_covered", durable LSN 1 in the ingest/wal section) next to a WAL
+// segment whose tail record (LSN 2) adds "wal_tail". The snapshot must
+// stay readable to recovery with the WAL feature off — the tail batch is
+// simply invisible — and WAL-aware recovery must replay it.
+
+TEST(StoreCompatTest, WalEraStoreRecoversWithWalFeatureDisabled) {
+  const std::string dir = CopyWalEraDir("wal_era_off");
+  store::SnapshotStore store(dir);
+  ingest::LiveEngine::Options opts;
+  opts.base_options = GoldenOptions();
+  opts.enable_wal = false;
+
+  ingest::LiveEngine::RecoveryReport report;
+  Result<std::unique_ptr<ingest::LiveEngine>> live =
+      ingest::LiveEngine::Recover(&store, opts, &report);
+  ASSERT_TRUE(live.ok()) << live.status();
+  EXPECT_EQ(report.snapshot_generation, 1u);
+  EXPECT_EQ(report.tables_loaded, 3u);
+  EXPECT_EQ(report.deltas_replayed, 1u);
+  // The durable-LSN marker parses even when replay is off; the tail
+  // record is ignored, not an error.
+  EXPECT_EQ(report.wal_durable_lsn, 1u);
+  EXPECT_EQ(report.wal_records_replayed, 0u);
+
+  auto gen = (*live)->Acquire();
+  EXPECT_EQ(gen->visible_table_count(), 4u);
+  EXPECT_TRUE(gen->FindTable("wal_covered").ok());
+  EXPECT_FALSE(gen->FindTable("wal_tail").ok());
+  EXPECT_FALSE((*live)->wal_status().enabled);
+}
+
+TEST(StoreCompatTest, WalEraStoreReplaysTailBatchWithWalFeatureEnabled) {
+  const std::string dir = CopyWalEraDir("wal_era_on");
+  store::SnapshotStore store(dir);
+  ingest::LiveEngine::Options opts;
+  opts.base_options = GoldenOptions();
+  opts.enable_wal = true;
+
+  ingest::LiveEngine::RecoveryReport report;
+  Result<std::unique_ptr<ingest::LiveEngine>> live =
+      ingest::LiveEngine::Recover(&store, opts, &report);
+  ASSERT_TRUE(live.ok()) << live.status();
+  EXPECT_EQ(report.snapshot_generation, 1u);
+  EXPECT_EQ(report.deltas_replayed, 1u);
+  EXPECT_EQ(report.wal_durable_lsn, 1u);
+  EXPECT_EQ(report.wal_records_replayed, 1u);
+  EXPECT_EQ(report.wal_last_lsn, 2u);
+  EXPECT_EQ(report.wal_truncated_bytes, 0u);
+
+  auto gen = (*live)->Acquire();
+  EXPECT_EQ(gen->visible_table_count(), 5u);
+  EXPECT_TRUE(gen->FindTable("wal_covered").ok());
+  EXPECT_TRUE(gen->FindTable("wal_tail").ok());
+
+  const ingest::LiveEngine::WalStatus wal = (*live)->wal_status();
+  EXPECT_TRUE(wal.enabled);
+  EXPECT_EQ(wal.last_lsn, 2u);
+  EXPECT_EQ(wal.durable_lsn, 1u);
+
+  // The recovered engine keeps logging: a checkpoint advances the durable
+  // floor past the replayed tail and commits a new generation.
+  ASSERT_TRUE((*live)->Checkpoint().ok());
+  EXPECT_EQ((*live)->wal_status().durable_lsn, 2u);
+  Result<store::SnapshotStore::Opened> upgraded = store.OpenLatest();
+  ASSERT_TRUE(upgraded.ok());
+  EXPECT_EQ(upgraded->generation, 2u);
+}
+
+TEST(StoreCompatTest, PreWalSnapshotRecoversWithWalFeatureEnabled) {
+  // Turning the WAL on over a pre-WAL store must be a clean upgrade: no
+  // wal/ dir and no ingest/wal section recover to LSN 0 with an empty log.
+  const std::string dir =
+      MakeStoreDir("prewal_walon", GoldenBytes("pre_ingest_snap.lks"));
+  store::SnapshotStore store(dir);
+  ingest::LiveEngine::Options opts;
+  opts.base_options = GoldenOptions();
+  opts.enable_wal = true;
+
+  ingest::LiveEngine::RecoveryReport report;
+  Result<std::unique_ptr<ingest::LiveEngine>> live =
+      ingest::LiveEngine::Recover(&store, opts, &report);
+  ASSERT_TRUE(live.ok()) << live.status();
+  EXPECT_EQ(report.tables_loaded, 3u);
+  EXPECT_EQ(report.wal_durable_lsn, 0u);
+  EXPECT_EQ(report.wal_records_replayed, 0u);
+  EXPECT_EQ(report.wal_truncated_bytes, 0u);
+
+  // First mutation after the upgrade is logged at LSN 1.
+  Table extra = (*live)->Acquire()->base_catalog().table(0);
+  extra.set_name("first_logged");
+  ASSERT_TRUE((*live)->AddTable(std::move(extra)).ok());
+  const ingest::LiveEngine::WalStatus wal = (*live)->wal_status();
+  EXPECT_TRUE(wal.enabled);
+  EXPECT_EQ(wal.last_lsn, 1u);
 }
 
 TEST(StoreCompatTest, MetricsSnapshotV2RoundTrips) {

@@ -1,0 +1,471 @@
+#include "store/wal.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/failpoint.h"
+#include "util/string_util.h"
+
+namespace lake::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/lake_wal_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+WalWriter::Options NoSync() {
+  WalWriter::Options opts;
+  opts.sync = WalWriter::SyncPolicy::kNone;
+  return opts;
+}
+
+/// Replays `dir` from scratch and collects (lsn, payload) pairs.
+std::pair<WalReader::ReplayStats, std::vector<std::pair<uint64_t, std::string>>>
+ReplayAll(const std::string& dir, uint64_t after_lsn = 0) {
+  std::vector<std::pair<uint64_t, std::string>> records;
+  Result<WalReader::ReplayStats> stats = WalReader::Replay(
+      dir, after_lsn, [&](uint64_t lsn, std::string_view payload) {
+        records.emplace_back(lsn, std::string(payload));
+        return Status::OK();
+      });
+  EXPECT_TRUE(stats.ok()) << stats.status();
+  return {stats.ok() ? stats.value() : WalReader::ReplayStats{},
+          std::move(records)};
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Instance().Clear(); }
+};
+
+TEST_F(WalTest, AppendReplayRoundtrip) {
+  const std::string dir = TestDir("roundtrip");
+  Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, NoSync());
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  for (int i = 0; i < 5; ++i) {
+    Result<uint64_t> lsn = (*writer)->Append(StrFormat("payload-%d", i));
+    ASSERT_TRUE(lsn.ok()) << lsn.status();
+    EXPECT_EQ(lsn.value(), static_cast<uint64_t>(i + 1));  // dense from 1
+  }
+  EXPECT_EQ((*writer)->last_lsn(), 5u);
+  writer->reset();
+
+  auto [stats, records] = ReplayAll(dir);
+  EXPECT_TRUE(stats.clean);
+  EXPECT_EQ(stats.records_replayed, 5u);
+  EXPECT_EQ(stats.last_lsn, 5u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+  ASSERT_EQ(records.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(records[i].first, static_cast<uint64_t>(i + 1));
+    EXPECT_EQ(records[i].second, StrFormat("payload-%d", i));
+  }
+
+  // Replay past a checkpoint LSN skips covered records.
+  auto [after, tail] = ReplayAll(dir, /*after_lsn=*/3);
+  EXPECT_EQ(after.records_replayed, 2u);
+  EXPECT_EQ(after.records_skipped, 3u);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].first, 4u);
+}
+
+TEST_F(WalTest, EmptyPayloadAndEmptyDir) {
+  const std::string dir = TestDir("empty");
+  EXPECT_EQ(WalReader::MaxLsn(dir + "/missing"), 0u);
+  auto [stats, records] = ReplayAll(dir + "/missing");
+  EXPECT_EQ(stats.records_replayed, 0u);
+  EXPECT_TRUE(stats.clean);
+
+  Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, NoSync());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("").ok());  // zero-byte payload is a record
+  writer->reset();
+  auto [stats2, records2] = ReplayAll(dir);
+  ASSERT_EQ(records2.size(), 1u);
+  EXPECT_EQ(records2[0].second, "");
+}
+
+TEST_F(WalTest, RotationSplitsSegmentsAndReplayCrossesThem) {
+  const std::string dir = TestDir("rotation");
+  WalWriter::Options opts = NoSync();
+  opts.segment_max_bytes = 64;  // a few records per segment
+  Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, opts);
+  ASSERT_TRUE(writer.ok());
+  const std::string payload(20, 'x');  // 36-byte frames
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*writer)->Append(payload).ok());
+  }
+  EXPECT_GT((*writer)->stats().rotations, 0u);
+  writer->reset();
+
+  const auto segments = WalWriter::ListSegments(dir);
+  ASSERT_GT(segments.size(), 2u);
+  for (size_t i = 1; i < segments.size(); ++i) {
+    EXPECT_GT(segments[i].first, segments[i - 1].first);  // ascending
+  }
+  auto [stats, records] = ReplayAll(dir);
+  EXPECT_TRUE(stats.clean);
+  EXPECT_EQ(stats.records_replayed, 10u);
+  EXPECT_EQ(stats.segments_read, segments.size());
+}
+
+TEST_F(WalTest, ReopenContinuesLsnSequenceInFreshSegment) {
+  const std::string dir = TestDir("reopen");
+  {
+    Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, NoSync());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("one").ok());
+    ASSERT_TRUE((*writer)->Append("two").ok());
+  }
+  EXPECT_EQ(WalReader::MaxLsn(dir), 2u);
+  {
+    Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, NoSync());
+    ASSERT_TRUE(writer.ok());
+    EXPECT_EQ((*writer)->last_lsn(), 2u);
+    Result<uint64_t> lsn = (*writer)->Append("three");
+    ASSERT_TRUE(lsn.ok());
+    EXPECT_EQ(lsn.value(), 3u);
+  }
+  EXPECT_EQ(WalWriter::ListSegments(dir).size(), 2u);  // fresh segment
+  auto [stats, records] = ReplayAll(dir);
+  EXPECT_EQ(stats.records_replayed, 3u);
+  EXPECT_TRUE(stats.clean);
+}
+
+TEST_F(WalTest, GarbageCollectDropsCoveredSegmentsKeepsActive) {
+  const std::string dir = TestDir("gc");
+  WalWriter::Options opts = NoSync();
+  opts.segment_max_bytes = 64;
+  Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, opts);
+  ASSERT_TRUE(writer.ok());
+  const std::string payload(20, 'x');
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE((*writer)->Append(payload).ok());
+  const auto before = WalWriter::ListSegments(dir);
+  ASSERT_GT(before.size(), 2u);
+
+  // Durable floor below everything: nothing may be deleted.
+  ASSERT_TRUE((*writer)->GarbageCollect(0).ok());
+  EXPECT_EQ(WalWriter::ListSegments(dir).size(), before.size());
+
+  // Everything durable: only the active (last) segment survives, and
+  // replay past the floor is empty but healthy.
+  ASSERT_TRUE((*writer)->GarbageCollect(10).ok());
+  const auto after = WalWriter::ListSegments(dir);
+  EXPECT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].first, before.back().first);
+  EXPECT_EQ((*writer)->unsynced_records(), 0u);  // floor covers them
+  auto [stats, records] = ReplayAll(dir, /*after_lsn=*/10);
+  EXPECT_EQ(stats.records_replayed, 0u);
+
+  // The surviving writer keeps appending past the GC.
+  Result<uint64_t> lsn = (*writer)->Append(payload);
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(lsn.value(), 11u);
+}
+
+/// Acceptance sweep: truncate the log after every byte length that cuts
+/// into the tail record. Replay must always succeed and recover exactly
+/// the complete records — never an error, never a partial record.
+TEST_F(WalTest, TruncationSweepOverTailRecordNeverErrors) {
+  const std::string dir = TestDir("sweep");
+  const std::string payloads[3] = {"alpha-record", "bravo-record",
+                                   "gamma-record"};
+  {
+    Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, NoSync());
+    ASSERT_TRUE(writer.ok());
+    for (const std::string& p : payloads) ASSERT_TRUE((*writer)->Append(p).ok());
+  }
+  const auto segments = WalWriter::ListSegments(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  const std::string intact = ReadFile(segments[0].second);
+  const size_t record_bytes = kWalRecordHeaderBytes + payloads[0].size();
+  ASSERT_EQ(intact.size(), 3 * record_bytes);  // equal-size payloads
+  const size_t tail_start = 2 * record_bytes;
+
+  for (size_t cut = tail_start; cut <= intact.size(); ++cut) {
+    WriteFile(segments[0].second, intact.substr(0, cut));
+    auto [stats, records] = ReplayAll(dir);
+    const bool complete = cut == intact.size();
+    ASSERT_EQ(records.size(), complete ? 3u : 2u) << "cut=" << cut;
+    EXPECT_EQ(stats.last_lsn, complete ? 3u : 2u) << "cut=" << cut;
+    EXPECT_EQ(stats.truncated_bytes, complete ? 0u : cut - tail_start)
+        << "cut=" << cut;
+    // A cut exactly between records leaves a shorter but CLEAN log.
+    EXPECT_EQ(stats.clean, complete || cut == tail_start) << "cut=" << cut;
+    EXPECT_EQ(records[1].second, payloads[1]);
+  }
+}
+
+TEST_F(WalTest, CorruptMiddleRecordTruncatesTheRest) {
+  const std::string dir = TestDir("corrupt_middle");
+  {
+    Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, NoSync());
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*writer)->Append(StrFormat("record-%d", i)).ok());
+    }
+  }
+  const auto segments = WalWriter::ListSegments(dir);
+  std::string bytes = ReadFile(segments[0].second);
+  const size_t record_bytes = kWalRecordHeaderBytes + 8;  // "record-N"
+  // Flip one payload bit of the SECOND record.
+  bytes[record_bytes + kWalRecordHeaderBytes + 2] ^= 1;
+  WriteFile(segments[0].second, bytes);
+
+  auto [stats, records] = ReplayAll(dir);
+  ASSERT_EQ(records.size(), 1u);  // only the first record survives
+  EXPECT_EQ(records[0].second, "record-0");
+  EXPECT_FALSE(stats.clean);
+  EXPECT_EQ(stats.truncated_bytes, 2 * record_bytes);
+}
+
+/// A lying length prefix (larger than the remaining bytes, or absurd)
+/// must be rejected by framing checks before any allocation.
+TEST_F(WalTest, LyingLengthPrefixIsTornTailNotCrash) {
+  const std::string dir = TestDir("lying_len");
+  {
+    Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, NoSync());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("good").ok());
+    ASSERT_TRUE((*writer)->Append("bad").ok());
+  }
+  const auto segments = WalWriter::ListSegments(dir);
+  std::string bytes = ReadFile(segments[0].second);
+  const size_t second = kWalRecordHeaderBytes + 4;
+  bytes[second + 3] = '\x7f';  // second record's length becomes huge
+  WriteFile(segments[0].second, bytes);
+
+  auto [stats, records] = ReplayAll(dir);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].second, "good");
+  EXPECT_FALSE(stats.clean);
+}
+
+/// A reopened-after-crash log: segment 1 ends in a torn tail, segment 2
+/// continues the dense LSN chain. Replay must deliver both sides.
+TEST_F(WalTest, ReplayChainsAcrossTornTailIntoNextSegment) {
+  const std::string dir = TestDir("chain");
+  {
+    Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, NoSync());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("one").ok());
+    ASSERT_TRUE((*writer)->Append("two").ok());
+  }
+  const auto segments = WalWriter::ListSegments(dir);
+  ASSERT_EQ(segments.size(), 1u);
+  // Torn tail: half a header of garbage at the end of segment 1.
+  {
+    std::ofstream tail(segments[0].second, std::ios::binary | std::ios::app);
+    tail.write("\x03\x00\x00", 3);
+  }
+  // The writer reopens (as recovery does) and continues with LSN 3 in a
+  // fresh segment.
+  {
+    Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, NoSync());
+    ASSERT_TRUE(writer.ok());
+    EXPECT_EQ((*writer)->last_lsn(), 2u);  // torn tail tolerated
+    ASSERT_TRUE((*writer)->Append("three").ok());
+  }
+  auto [stats, records] = ReplayAll(dir);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[2].first, 3u);
+  EXPECT_EQ(records[2].second, "three");
+  EXPECT_FALSE(stats.clean);
+  EXPECT_EQ(stats.truncated_bytes, 3u);
+}
+
+/// A gap in the LSN chain (missing segment) kills everything after it:
+/// records past a gap cannot be applied without the missing mutations.
+TEST_F(WalTest, LsnGapTruncatesEverythingAfter) {
+  const std::string dir = TestDir("gap");
+  {
+    Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, NoSync());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("one").ok());
+    ASSERT_TRUE((*writer)->Append("two").ok());
+  }
+  {
+    // Simulates a lost middle segment: the next segment starts at LSN 5.
+    Result<std::unique_ptr<WalWriter>> writer =
+        WalWriter::OpenAt(dir, NoSync(), /*next_lsn=*/5);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("five").ok());
+    ASSERT_TRUE((*writer)->Append("six").ok());
+  }
+  auto [stats, records] = ReplayAll(dir);
+  ASSERT_EQ(records.size(), 2u);  // only the pre-gap prefix
+  EXPECT_EQ(stats.last_lsn, 2u);
+  EXPECT_FALSE(stats.clean);
+  EXPECT_GT(stats.truncated_bytes, 0u);
+}
+
+TEST_F(WalTest, TornWriteFailpointLeavesTornTailAndKillsWriter) {
+  const std::string dir = TestDir("torn_fp");
+  Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, NoSync());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("acknowledged").ok());
+
+  FaultSpec torn;
+  torn.kind = FaultSpec::Kind::kTornWrite;
+  torn.arg = 9;  // part of the header persists
+  FailpointRegistry::Instance().Arm("wal.append.write", torn);
+  EXPECT_FALSE((*writer)->Append("never-acked").ok());
+  EXPECT_TRUE((*writer)->dead());
+  // Dead writer: fail-stop, no interleaving after the tear.
+  EXPECT_FALSE((*writer)->Append("after-death").ok());
+  writer->reset();
+
+  auto [stats, records] = ReplayAll(dir);
+  ASSERT_EQ(records.size(), 1u);  // the acknowledged record survives
+  EXPECT_EQ(records[0].second, "acknowledged");
+  EXPECT_FALSE(stats.clean);
+  EXPECT_EQ(stats.truncated_bytes, 9u);
+}
+
+TEST_F(WalTest, TransientWriteErrorRollsBackAndWriterSurvives) {
+  const std::string dir = TestDir("transient");
+  Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, NoSync());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("first").ok());
+
+  FailpointRegistry::Instance().Arm("wal.append.write",
+                                    FaultSpec{FaultSpec::Kind::kEnospc});
+  Result<uint64_t> failed = (*writer)->Append("rejected");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().message().find("no space"), std::string::npos);
+  EXPECT_FALSE((*writer)->dead());
+
+  // The failed LSN is reused: acknowledged LSNs stay dense.
+  Result<uint64_t> next = (*writer)->Append("second");
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value(), 2u);
+  writer->reset();
+  auto [stats, records] = ReplayAll(dir);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].second, "second");
+  EXPECT_TRUE(stats.clean);
+}
+
+TEST_F(WalTest, FailedFsyncUnacknowledgesTheRecord) {
+  const std::string dir = TestDir("fsync_fail");
+  WalWriter::Options opts;
+  opts.sync = WalWriter::SyncPolicy::kEveryAppend;
+  Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, opts);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("durable").ok());
+  EXPECT_EQ((*writer)->unsynced_records(), 0u);  // per-append fsync
+  EXPECT_EQ((*writer)->stats().fsyncs, 1u);
+
+  FailpointRegistry::Instance().Arm("wal.append.fsync",
+                                    FaultSpec{FaultSpec::Kind::kError});
+  EXPECT_FALSE((*writer)->Append("not-durable").ok());
+  // Rolled back: a crash cannot resurrect a record the caller saw fail.
+  EXPECT_EQ((*writer)->last_lsn(), 1u);
+  writer->reset();
+  auto [stats, records] = ReplayAll(dir);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].second, "durable");
+}
+
+TEST_F(WalTest, SyncPolicyNoneTracksUnsyncedRecords) {
+  const std::string dir = TestDir("unsynced");
+  Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, NoSync());
+  ASSERT_TRUE(writer.ok());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE((*writer)->Append("r").ok());
+  EXPECT_EQ((*writer)->unsynced_records(), 4u);  // the live loss window
+  EXPECT_EQ((*writer)->stats().fsyncs, 0u);
+  ASSERT_TRUE((*writer)->Sync().ok());
+  EXPECT_EQ((*writer)->unsynced_records(), 0u);
+  EXPECT_EQ((*writer)->stats().fsyncs, 1u);
+}
+
+TEST_F(WalTest, RotateFailpointFailsAppendWithoutTearing) {
+  const std::string dir = TestDir("rotate_fp");
+  WalWriter::Options opts = NoSync();
+  opts.segment_max_bytes = 48;
+  Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, opts);
+  ASSERT_TRUE(writer.ok());
+  const std::string payload(24, 'x');
+  ASSERT_TRUE((*writer)->Append(payload).ok());
+
+  FailpointRegistry::Instance().Arm("wal.rotate",
+                                    FaultSpec{FaultSpec::Kind::kError});
+  EXPECT_FALSE((*writer)->Append(payload).ok());  // rotation needed → fault
+  // Disarmed (one-shot): the retry rotates and lands in a new segment.
+  Result<uint64_t> lsn = (*writer)->Append(payload);
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(lsn.value(), 2u);
+  writer->reset();
+  auto [stats, records] = ReplayAll(dir);
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_TRUE(stats.clean);
+}
+
+TEST_F(WalTest, ReplayReadFaultsDegradeToTruncationNotError) {
+  const std::string dir = TestDir("read_fault");
+  {
+    Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, NoSync());
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*writer)->Append(StrFormat("record-%d", i)).ok());
+    }
+  }
+  // Bit flip mid-stream: the affected record fails its CRC and ends the
+  // log there; earlier records still replay.
+  FaultSpec flip;
+  flip.kind = FaultSpec::Kind::kBitFlip;
+  flip.arg = kWalRecordHeaderBytes + 8 + kWalRecordHeaderBytes + 1;
+  FailpointRegistry::Instance().Arm("wal.replay.read", flip);
+  auto [stats, records] = ReplayAll(dir);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(stats.clean);
+
+  // Short read: the stream ends early; the cut record is a torn tail.
+  FaultSpec short_read;
+  short_read.kind = FaultSpec::Kind::kShortRead;
+  short_read.arg = kWalRecordHeaderBytes + 8 + 5;
+  FailpointRegistry::Instance().Arm("wal.replay.read", short_read);
+  auto [stats2, records2] = ReplayAll(dir);
+  ASSERT_EQ(records2.size(), 1u);
+  EXPECT_FALSE(stats2.clean);
+}
+
+TEST_F(WalTest, OversizedPayloadRejected) {
+  const std::string dir = TestDir("oversize");
+  Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(dir, NoSync());
+  ASSERT_TRUE(writer.ok());
+  // Cannot allocate >1 GiB in a test; exercise the boundary via a view
+  // with a lying size is UB, so just check the writer survives a large
+  // (but allocatable) payload and replays it intact.
+  const std::string big(1 << 20, 'b');
+  Result<uint64_t> lsn = (*writer)->Append(big);
+  ASSERT_TRUE(lsn.ok());
+  writer->reset();
+  auto [stats, records] = ReplayAll(dir);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].second.size(), big.size());
+}
+
+}  // namespace
+}  // namespace lake::store

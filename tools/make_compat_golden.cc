@@ -5,6 +5,13 @@
 //                          index/starmie.hnsw, and NO ingest/ sections.
 //   metrics_v2.bin       — a serialized metrics snapshot ("LSM2") with
 //                          hand-picked values.
+//   wal_era/             — a PR 5 era committed store directory: snapshot
+//                          generation 1 covering the base plus one delta
+//                          table ("wal_covered") with an ingest/wal
+//                          durable-LSN section, alongside a wal/ segment
+//                          holding the covered batch (LSN 1) and one
+//                          acknowledged-but-unchecked tail batch (LSN 2,
+//                          adds "wal_tail").
 //
 // store_compat_test pins today's readers to these bytes, so a format
 // change that breaks old snapshots fails a test instead of a restart.
@@ -16,13 +23,17 @@
 // artifacts are reproducible from this file alone.
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
+#include "ingest/live_engine.h"
 #include "search/discovery_engine.h"
 #include "serve/metrics.h"
 #include "store/snapshot.h"
+#include "store/wal.h"
 #include "table/catalog.h"
 #include "table/csv.h"
 #include "util/serialize.h"
@@ -54,6 +65,21 @@ constexpr const char* kCsvs[][2] = {
      "finland,FI,358\n"
      "iceland,IS,354\n"},
 };
+
+// Mutations logged into the wal_era golden: "wal_covered" lands in the
+// checkpointed snapshot (WAL LSN 1, at or below the durable LSN), while
+// "wal_tail" exists only as the WAL's tail record (LSN 2) — visible to
+// WAL-aware recovery, invisible (but harmless) to pre-WAL readers.
+constexpr const char* kWalCoveredCsv =
+    "city,landmark,year_built\n"
+    "oslo,opera_house,2008\n"
+    "bergen,bryggen,1702\n"
+    "tromso,arctic_cathedral,1965\n";
+constexpr const char* kWalTailCsv =
+    "city,airport,iata\n"
+    "oslo,gardermoen,OSL\n"
+    "bergen,flesland,BGO\n"
+    "aarhus,tirstrup,AAR\n";
 
 }  // namespace
 
@@ -133,7 +159,54 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("wrote %s/pre_ingest_snap.lks (%zu sections) and metrics_v2.bin\n",
-              out_dir.c_str(), snapshot.num_sections());
+  // WAL-era store directory golden: a real committed SnapshotStore dir
+  // with a live WAL, produced by the engine itself so the bytes track the
+  // actual write path. Layout after this block:
+  //   wal_era/MANIFEST, wal_era/<snapshot gen 1>,
+  //   wal_era/wal/wal-00000000000000000001.log  (LSN 1 covered, LSN 2 tail)
+  const std::string wal_dir = out_dir + "/wal_era";
+  std::filesystem::remove_all(wal_dir);
+  std::filesystem::create_directories(wal_dir);
+  {
+    auto live_catalog = std::make_shared<lake::DataLakeCatalog>();
+    for (const auto& [name, csv] : kCsvs) {
+      auto table = lake::ReadCsvString(csv, name);
+      if (!table.ok() ||
+          !live_catalog->AddTable(std::move(table).value()).ok()) {
+        std::fprintf(stderr, "wal_era: cannot rebuild base catalog\n");
+        return 1;
+      }
+    }
+    lake::store::SnapshotStore store(wal_dir);
+    lake::ingest::LiveEngine::Options lopts;
+    lopts.base_options = eopts;
+    lopts.store = &store;
+    lopts.enable_wal = true;
+    lopts.wal_options.sync = lake::store::WalWriter::SyncPolicy::kNone;
+    lake::ingest::LiveEngine live(live_catalog, lopts);
+
+    auto covered = lake::ReadCsvString(kWalCoveredCsv, "wal_covered");
+    if (!covered.ok() ||
+        !live.AddTable(std::move(covered).value()).ok()) {  // WAL LSN 1
+      std::fprintf(stderr, "wal_era: covered add failed\n");
+      return 1;
+    }
+    status = live.Checkpoint();  // durable LSN 1, snapshot generation 1
+    if (!status.ok()) {
+      std::fprintf(stderr, "wal_era checkpoint: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    auto tail = lake::ReadCsvString(kWalTailCsv, "wal_tail");
+    if (!tail.ok() || !live.AddTable(std::move(tail).value()).ok()) {
+      std::fprintf(stderr, "wal_era: tail add failed\n");  // WAL LSN 2
+      return 1;
+    }
+  }
+
+  std::printf(
+      "wrote %s/pre_ingest_snap.lks (%zu sections), metrics_v2.bin, "
+      "and wal_era/\n",
+      out_dir.c_str(), snapshot.num_sections());
   return 0;
 }
