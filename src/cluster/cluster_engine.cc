@@ -1,0 +1,940 @@
+#include "cluster/cluster_engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <future>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "cluster/topk_merge.h"
+#include "ingest/generation.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
+
+namespace lake::cluster {
+namespace {
+
+using Clock = ClusterEngine::Clock;
+
+std::string FailpointName(uint32_t shard, size_t replica) {
+  return "cluster.exec." + std::to_string(shard) + "." +
+         std::to_string(replica);
+}
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Same failure taxonomy as the serving layer's breaker accounting:
+/// infrastructure-shaped errors trip the replica's breaker, a caller's
+/// cancellation does not.
+bool IsBreakerFailure(StatusCode code) {
+  switch (code) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kInternal:
+    case StatusCode::kIoError:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One shard's contribution to a scattered query.
+template <typename Answer>
+struct ShardOutcome {
+  uint32_t shard = 0;
+  Status status;
+  Answer answer{};
+  ShardTrace trace;
+};
+
+/// Runs `fn` against one replica of `rs`, failing over to a sibling on an
+/// infrastructure error (up to `max_attempts` total attempts). Each attempt
+/// passes through the per-replica failpoint — the chaos-injection surface.
+template <typename Answer, typename ShardFn>
+void RunShardWithFailover(ReplicaSet& rs, size_t max_attempts,
+                          const CancelToken* cancel, const ShardFn& fn,
+                          ShardOutcome<Answer>* out) {
+  size_t exclude = std::numeric_limits<size_t>::max();
+  out->status = Status::Unavailable("shard " + std::to_string(rs.shard_id()) +
+                                    ": no live replica admits the call");
+  out->trace.status = out->status;
+  for (size_t attempt = 0; attempt < std::max<size_t>(1, max_attempts);
+       ++attempt) {
+    ReplicaSet::Route route;
+    if (!rs.Pick(ReplicaSet::Clock::now(), exclude, &route)) return;
+    ++out->trace.attempts;
+    out->trace.replica = route.replica;
+    Status st = ExecFailpoint(FailpointName(rs.shard_id(), route.replica),
+                              cancel);
+    if (st.ok()) {
+      Result<Answer> r = fn(*route.engine, cancel, rs.shard_id());
+      st = r.ok() ? Status::OK() : r.status();
+      if (r.ok()) out->answer = std::move(r).value();
+    }
+    const auto now = ReplicaSet::Clock::now();
+    out->status = st;
+    out->trace.status = st;
+    if (st.ok()) {
+      rs.RecordOutcome(route.replica, true, now);
+      return;
+    }
+    if (st.code() == StatusCode::kCancelled) return;  // caller's doing
+    if (IsBreakerFailure(st.code())) {
+      rs.RecordOutcome(route.replica, false, now);
+    }
+    exclude = route.replica;
+  }
+}
+
+/// Fans `fn` out to every shard on the pool and gathers the per-shard
+/// outcomes. Each shard gets its own CancelToken whose deadline is the
+/// tighter of the caller's remaining budget and `shard_deadline`; a shard
+/// that overruns is cancelled, given a short grace to unwind at its next
+/// polling point, and then abandoned — the gather returns without it
+/// (partial results), never hangs on it. Abandoned tasks own everything
+/// they touch (ReplicaSet shared_ptr, token, a copy of `fn`), so they can
+/// finish harmlessly after the query has returned.
+template <typename Answer, typename ShardFn>
+std::vector<ShardOutcome<Answer>> ScatterToShards(
+    ThreadPool& pool, const std::vector<std::shared_ptr<ReplicaSet>>& shards,
+    size_t max_attempts, std::chrono::milliseconds shard_deadline,
+    const CancelToken* cancel, const ShardFn& fn) {
+  const Clock::time_point start = Clock::now();
+  Clock::time_point deadline = Clock::time_point::max();
+  bool has_deadline = false;
+  if (cancel != nullptr && cancel->has_deadline()) {
+    deadline =
+        start + std::chrono::duration_cast<Clock::duration>(cancel->Remaining());
+    has_deadline = true;
+  }
+  if (shard_deadline.count() > 0) {
+    const Clock::time_point d = start + shard_deadline;
+    deadline = has_deadline ? std::min(deadline, d) : d;
+    has_deadline = true;
+  }
+
+  struct Pending {
+    uint32_t shard;
+    std::shared_ptr<CancelToken> token;
+    std::future<ShardOutcome<Answer>> future;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(shards.size());
+  for (const std::shared_ptr<ReplicaSet>& rs : shards) {
+    auto token = std::make_shared<CancelToken>();
+    if (has_deadline) token->SetDeadline(deadline);
+    const bool cancelled_upstream = cancel != nullptr && cancel->cancelled();
+    if (cancelled_upstream) token->Cancel();
+    auto future =
+        pool.Async([set = rs, token, max_attempts, fn]() {
+          ShardOutcome<Answer> out;
+          out.shard = set->shard_id();
+          out.trace.shard = set->shard_id();
+          const Clock::time_point t0 = Clock::now();
+          RunShardWithFailover(*set, max_attempts, token.get(), fn, &out);
+          out.trace.latency_ms = MsSince(t0);
+          return out;
+        });
+    pending.push_back(Pending{rs->shard_id(), std::move(token),
+                              std::move(future)});
+  }
+
+  std::vector<ShardOutcome<Answer>> outcomes;
+  outcomes.reserve(pending.size());
+  for (Pending& p : pending) {
+    bool ready = true;
+    if (has_deadline &&
+        p.future.wait_until(deadline) != std::future_status::ready) {
+      p.token->Cancel();
+      ready = p.future.wait_for(std::chrono::milliseconds(250)) ==
+              std::future_status::ready;
+    }
+    if (!ready) {
+      ShardOutcome<Answer> timed_out;
+      timed_out.shard = p.shard;
+      timed_out.status = Status::DeadlineExceeded(
+          "shard " + std::to_string(p.shard) +
+          " exceeded its deadline budget");
+      timed_out.trace.shard = p.shard;
+      timed_out.trace.status = timed_out.status;
+      timed_out.trace.latency_ms = MsSince(start);
+      outcomes.push_back(std::move(timed_out));
+      continue;
+    }
+    outcomes.push_back(p.future.get());
+  }
+  return outcomes;
+}
+
+// --- Hit mapping and merge glue -----------------------------------------
+
+struct TableAnswer {
+  std::vector<TableHit> hits;
+  size_t delta_hits = 0;
+};
+struct ColumnAnswer {
+  std::vector<ColumnHit> hits;
+  size_t delta_hits = 0;
+};
+
+std::vector<TableHit> ToTableHits(const ingest::Generation& gen,
+                                  uint32_t shard,
+                                  const std::vector<TableResult>& results) {
+  std::vector<TableHit> hits;
+  hits.reserve(results.size());
+  for (const TableResult& r : results) {
+    Result<std::string> name = gen.TableName(r.table_id);
+    if (!name.ok()) continue;
+    hits.push_back(
+        TableHit{std::move(name).value(), r.score, r.why, shard, r.table_id});
+  }
+  return hits;
+}
+
+std::vector<ColumnHit> ToColumnHits(const ingest::Generation& gen,
+                                    uint32_t shard,
+                                    const std::vector<ColumnResult>& results) {
+  std::vector<ColumnHit> hits;
+  hits.reserve(results.size());
+  for (const ColumnResult& r : results) {
+    Result<std::string> name = gen.TableName(r.column.table_id);
+    if (!name.ok()) continue;
+    hits.push_back(ColumnHit{std::move(name).value(), r.column.column_index,
+                             r.score, r.why, shard, r.column.table_id});
+  }
+  return hits;
+}
+
+/// Deterministic cross-shard tie order: equal scores break by table name
+/// (and column index), never by which shard answered first. This is what
+/// makes the merged ranking independent of the partitioning.
+bool HitTieLess(const TableHit& a, const TableHit& b) {
+  return a.table < b.table;
+}
+bool HitTieLess(const ColumnHit& a, const ColumnHit& b) {
+  if (a.table != b.table) return a.table < b.table;
+  return a.column_index < b.column_index;
+}
+
+std::string HitKey(const TableHit& h) { return h.table; }
+std::string HitKey(const ColumnHit& h) {
+  return h.table + "\x1f" + std::to_string(h.column_index);
+}
+
+/// Merges per-shard outcomes into one response: N-way ranked merge, then
+/// dedup by table identity (keep-first — during a rebalance hand-off a
+/// moved table can briefly answer from two shards with identical scores),
+/// then cut to k. Failed shards become missing-shard provenance and flip
+/// `degraded`; only a total wipeout turns into an error status.
+template <typename Hit, typename Answer>
+ScatterResponse<Hit> BuildResponse(std::vector<ShardOutcome<Answer>> outcomes,
+                                   size_t k) {
+  ScatterResponse<Hit> resp;
+  std::vector<std::vector<Hit>> lists;
+  Status first_error;
+  size_t failed = 0;
+  for (ShardOutcome<Answer>& o : outcomes) {
+    o.trace.results = o.answer.hits.size();
+    resp.traces.push_back(o.trace);
+    if (o.status.ok()) {
+      lists.push_back(std::move(o.answer.hits));
+    } else {
+      ++failed;
+      resp.degraded = true;
+      resp.missing_shards.push_back(o.shard);
+      if (first_error.ok()) first_error = o.status;
+    }
+  }
+  std::sort(resp.missing_shards.begin(), resp.missing_shards.end());
+  if (!outcomes.empty() && failed == outcomes.size()) {
+    resp.status = first_error;
+    return resp;
+  }
+  // Merge unbounded, dedup, then cut: a duplicate inside the first k must
+  // not evict a distinct hit just past it.
+  std::vector<Hit> merged = MergeRankedTopK(
+      std::move(lists), std::numeric_limits<size_t>::max(),
+      [](const Hit& a, const Hit& b) { return HitTieLess(a, b); });
+  std::unordered_set<std::string> seen;
+  seen.reserve(merged.size());
+  resp.hits.reserve(std::min(k, merged.size()));
+  for (Hit& h : merged) {
+    if (!seen.insert(HitKey(h)).second) continue;
+    resp.hits.push_back(std::move(h));
+    if (resp.hits.size() >= k) break;
+  }
+  return resp;
+}
+
+/// The cluster's per-query metric handles (all optional), snapped out of
+/// the engine so the recording helper can stay a file-local template over
+/// the answer type.
+struct ScatterMetrics {
+  serve::Counter* total = nullptr;
+  serve::Counter* degraded = nullptr;
+  serve::Counter* failovers = nullptr;
+  serve::CounterFamily* shard_queries = nullptr;
+  serve::CounterFamily* shard_failovers = nullptr;
+  serve::CounterFamily* shard_missing = nullptr;
+  serve::CounterFamily* shard_delta_hits = nullptr;
+};
+
+template <typename Answer>
+void RecordScatterMetrics(const ScatterMetrics& m,
+                          const std::vector<ShardOutcome<Answer>>& outcomes) {
+  if (m.total != nullptr) m.total->Add();
+  bool degraded = false;
+  for (const ShardOutcome<Answer>& o : outcomes) {
+    if (m.shard_queries != nullptr) m.shard_queries->WithLabel(o.shard)->Add();
+    const size_t retries = o.trace.attempts > 1 ? o.trace.attempts - 1 : 0;
+    if (retries > 0) {
+      if (m.failovers != nullptr) m.failovers->Add(retries);
+      if (m.shard_failovers != nullptr) {
+        m.shard_failovers->WithLabel(o.shard)->Add(retries);
+      }
+    }
+    if (!o.status.ok()) {
+      degraded = true;
+      if (m.shard_missing != nullptr) m.shard_missing->WithLabel(o.shard)->Add();
+    } else if (m.shard_delta_hits != nullptr && o.answer.delta_hits > 0) {
+      m.shard_delta_hits->WithLabel(o.shard)->Add(o.answer.delta_hits);
+    }
+  }
+  if (degraded && m.degraded != nullptr) m.degraded->Add();
+}
+
+bool ParseIndexSuffix(const std::string& name, const std::string& prefix,
+                      uint32_t* out) {
+  if (name.size() <= prefix.size() || name.rfind(prefix, 0) != 0) return false;
+  uint32_t value = 0;
+  for (size_t i = prefix.size(); i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint32_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+// --- Construction --------------------------------------------------------
+
+ReplicaSet* ClusterEngine::Topology::Find(uint32_t shard_id) const {
+  for (const std::shared_ptr<ReplicaSet>& rs : shards) {
+    if (rs->shard_id() == shard_id) return rs.get();
+  }
+  return nullptr;
+}
+
+ClusterEngine::ClusterEngine(Options options) : options_(std::move(options)) {
+  options_.num_shards = std::max<size_t>(1, options_.num_shards);
+  options_.num_replicas = std::max<size_t>(1, options_.num_replicas);
+  options_.max_failover_attempts =
+      std::max<size_t>(1, options_.max_failover_attempts);
+  const size_t workers =
+      options_.num_workers > 0 ? options_.num_workers : options_.num_shards;
+  pool_ = std::make_unique<ThreadPool>(workers);
+  InitMetrics();
+}
+
+ClusterEngine::ClusterEngine(const DataLakeCatalog& lake, Options options)
+    : ClusterEngine(std::move(options)) {
+  const size_t n = options_.num_shards;
+  auto topo = std::make_shared<Topology>();
+  topo->ring = HashRing(options_.ring);
+  for (uint32_t s = 0; s < n; ++s) topo->ring.AddShard(s);
+  next_shard_id_ = static_cast<uint32_t>(n);
+
+  // Partition the lake by ring owner. Each slice is sorted by name before
+  // indexing — the same invariant a compacted single-node base keeps — so
+  // shard builds are deterministic functions of their content.
+  std::vector<std::vector<TableId>> slices(n);
+  for (TableId id : lake.AllTables()) {
+    slices[topo->ring.OwnerOf(lake.table(id).name())].push_back(id);
+  }
+  std::vector<std::shared_ptr<const DataLakeCatalog>> catalogs(n);
+  for (size_t s = 0; s < n; ++s) {
+    std::sort(slices[s].begin(), slices[s].end(),
+              [&lake](TableId a, TableId b) {
+                return lake.table(a).name() < lake.table(b).name();
+              });
+    auto catalog = std::make_shared<DataLakeCatalog>();
+    for (TableId id : slices[s]) catalog->AddTable(lake.table(id));
+    catalogs[s] = std::move(catalog);
+  }
+
+  // Store/option wiring is serial (it mutates stores_); the expensive
+  // per-shard index builds run in parallel on the pool.
+  std::vector<ReplicaSet::Options> replica_options;
+  replica_options.reserve(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    replica_options.push_back(ReplicaOptions(s));
+  }
+  topo->shards.resize(n);
+  pool_->ParallelFor(n, [&](size_t s) {
+    topo->shards[s] = std::make_shared<ReplicaSet>(
+        static_cast<uint32_t>(s), catalogs[s],
+        std::move(replica_options[s]));
+  });
+  Publish(std::move(topo));
+}
+
+ClusterEngine::~ClusterEngine() = default;
+
+void ClusterEngine::Publish(std::shared_ptr<const Topology> topo) {
+  topology_.store(std::move(topo), std::memory_order_release);
+}
+
+store::SnapshotStore* ClusterEngine::StoreFor(uint32_t shard, size_t replica) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(options_.store_root) /
+                       ("shard-" + std::to_string(shard)) /
+                       ("replica-" + std::to_string(replica));
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  stores_.push_back(std::make_unique<store::SnapshotStore>(dir.string()));
+  return stores_.back().get();
+}
+
+ReplicaSet::Options ClusterEngine::ReplicaOptions(uint32_t shard) {
+  ReplicaSet::Options ro;
+  ro.num_replicas = options_.num_replicas;
+  ro.engine = options_.engine;
+  ro.breaker = options_.breaker;
+  if (!options_.store_root.empty()) {
+    ro.replica_stores.reserve(ro.num_replicas);
+    for (size_t r = 0; r < ro.num_replicas; ++r) {
+      ro.replica_stores.push_back(StoreFor(shard, r));
+    }
+  }
+  return ro;
+}
+
+void ClusterEngine::InitMetrics() {
+  serve::MetricsRegistry* m = options_.metrics;
+  if (m == nullptr) return;
+  queries_total_ = m->GetCounter("cluster.queries");
+  queries_degraded_ = m->GetCounter("cluster.queries.degraded");
+  failovers_total_ = m->GetCounter("cluster.failovers");
+  shard_queries_ = m->GetCounterFamily("cluster.shard.queries", "shard");
+  shard_failovers_ = m->GetCounterFamily("cluster.shard.failovers", "shard");
+  shard_missing_ = m->GetCounterFamily("cluster.shard.missing", "shard");
+  shard_delta_hits_ =
+      m->GetCounterFamily("cluster.shard.delta_hits", "shard");
+  shard_tables_ = m->GetGaugeFamily("cluster.shard.tables", "shard");
+  shard_replicas_alive_ =
+      m->GetGaugeFamily("cluster.shard.replicas_alive", "shard");
+}
+
+Result<std::unique_ptr<ClusterEngine>> ClusterEngine::Recover(
+    Options options) {
+  namespace fs = std::filesystem;
+  if (options.store_root.empty()) {
+    return Status::FailedPrecondition("cluster Recover requires store_root");
+  }
+  std::error_code ec;
+  if (!fs::is_directory(options.store_root, ec)) {
+    return Status::NotFound("cluster store_root does not exist: " +
+                            options.store_root);
+  }
+  std::vector<uint32_t> shard_ids;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(options.store_root, ec)) {
+    uint32_t id = 0;
+    if (ParseIndexSuffix(entry.path().filename().string(), "shard-", &id)) {
+      shard_ids.push_back(id);
+    }
+  }
+  if (ec) {
+    return Status::IoError("scanning " + options.store_root + ": " +
+                           ec.message());
+  }
+  if (shard_ids.empty()) {
+    return Status::NotFound("no shard directories under " +
+                            options.store_root);
+  }
+  std::sort(shard_ids.begin(), shard_ids.end());
+
+  std::unique_ptr<ClusterEngine> cluster(
+      new ClusterEngine(std::move(options)));
+  auto topo = std::make_shared<Topology>();
+  topo->ring = HashRing(cluster->options_.ring);
+  size_t max_replicas = 1;
+  for (uint32_t id : shard_ids) {
+    std::vector<std::unique_ptr<ingest::LiveEngine>> replicas;
+    for (size_t r = 0;; ++r) {
+      const fs::path dir = fs::path(cluster->options_.store_root) /
+                           ("shard-" + std::to_string(id)) /
+                           ("replica-" + std::to_string(r));
+      if (!fs::is_directory(dir, ec)) break;
+      store::SnapshotStore* store = cluster->StoreFor(id, r);
+      ingest::LiveEngine::Options engine_options = cluster->options_.engine;
+      engine_options.store = store;
+      Result<std::unique_ptr<ingest::LiveEngine>> live =
+          ingest::LiveEngine::Recover(store, std::move(engine_options));
+      if (!live.ok()) return live.status();
+      replicas.push_back(std::move(live).value());
+    }
+    if (replicas.empty()) {
+      return Status::IoError("shard-" + std::to_string(id) +
+                             " has no replica directories");
+    }
+    max_replicas = std::max(max_replicas, replicas.size());
+    topo->ring.AddShard(id);
+    topo->shards.push_back(std::make_shared<ReplicaSet>(
+        id, std::move(replicas), cluster->options_.breaker));
+  }
+  cluster->options_.num_shards = shard_ids.size();
+  cluster->options_.num_replicas = max_replicas;
+  cluster->next_shard_id_ = shard_ids.back() + 1;
+  cluster->Publish(std::move(topo));
+  return std::move(cluster);
+}
+
+// --- Queries -------------------------------------------------------------
+
+TableQueryResponse ClusterEngine::Keyword(const std::string& query, size_t k,
+                                          const CancelToken* cancel) const {
+  auto topo = topology();
+
+  // Phase A (distributed IDF, step 1): pin one generation per shard and
+  // gather its BM25 corpus contribution. This is the failure surface —
+  // replica pick, failpoints, failover all happen here.
+  struct Pinned {
+    std::shared_ptr<const ingest::Generation> gen;
+    Bm25Index::CorpusStats stats;
+  };
+  auto pinned = ScatterToShards<Pinned>(
+      *pool_, topo->shards, options_.max_failover_attempts,
+      options_.shard_deadline, cancel,
+      [query](const ingest::LiveEngine& engine, const CancelToken* token,
+              uint32_t /*shard*/) -> Result<Pinned> {
+        Pinned p;
+        p.gen = engine.Acquire();
+        p.stats = ingest::GatherKeywordStats(*p.gen, query);
+        if (token != nullptr) {
+          Status st = token->Check();
+          if (!st.ok()) return st;
+        }
+        return p;
+      });
+
+  // Phase A (step 2): merge the per-shard stats into the global corpus
+  // view every shard will score against.
+  Bm25Index::CorpusStats global;
+  for (const ShardOutcome<Pinned>& o : pinned) {
+    if (o.status.ok()) global.Merge(o.answer.stats);
+  }
+
+  // Phase B: score each pinned generation with the global stats. Pure
+  // compute over already-pinned immutable state — it cannot fail, so no
+  // failover or deadline machinery here, and the scores come out
+  // bit-identical to a single engine over the whole lake.
+  std::vector<ShardOutcome<TableAnswer>> outcomes(pinned.size());
+  std::vector<std::future<void>> scoring;
+  scoring.reserve(pinned.size());
+  for (size_t i = 0; i < pinned.size(); ++i) {
+    ShardOutcome<Pinned>& in = pinned[i];
+    ShardOutcome<TableAnswer>& out = outcomes[i];
+    out.shard = in.shard;
+    out.status = in.status;
+    out.trace = in.trace;
+    if (!in.status.ok()) continue;
+    scoring.push_back(pool_->Async([&in, &out, &global, &query, k]() {
+      ingest::MergeStats ms;
+      std::vector<TableResult> results =
+          ingest::MergedKeyword(*in.answer.gen, query, k, &ms, &global);
+      out.answer.hits = ToTableHits(*in.answer.gen, in.shard, results);
+      out.answer.delta_hits = ms.delta_results;
+    }));
+  }
+  for (std::future<void>& f : scoring) f.get();
+
+  RecordScatterMetrics(
+      ScatterMetrics{queries_total_, queries_degraded_, failovers_total_,
+                     shard_queries_, shard_failovers_, shard_missing_,
+                     shard_delta_hits_},
+      outcomes);
+  return BuildResponse<TableHit>(std::move(outcomes), k);
+}
+
+ColumnQueryResponse ClusterEngine::Joinable(
+    const std::vector<std::string>& query_values, JoinMethod method, size_t k,
+    const CancelToken* cancel) const {
+  auto topo = topology();
+  auto outcomes = ScatterToShards<ColumnAnswer>(
+      *pool_, topo->shards, options_.max_failover_attempts,
+      options_.shard_deadline, cancel,
+      [query_values, method, k](const ingest::LiveEngine& engine,
+                                const CancelToken* token,
+                                uint32_t shard) -> Result<ColumnAnswer> {
+        std::shared_ptr<const ingest::Generation> gen = engine.Acquire();
+        ingest::MergeStats ms;
+        LAKE_ASSIGN_OR_RETURN(
+            std::vector<ColumnResult> results,
+            ingest::MergedJoinable(*gen, query_values, method, k, token, &ms));
+        ColumnAnswer a;
+        a.hits = ToColumnHits(*gen, shard, results);
+        a.delta_hits = ms.delta_results;
+        return a;
+      });
+  RecordScatterMetrics(
+      ScatterMetrics{queries_total_, queries_degraded_, failovers_total_,
+                     shard_queries_, shard_failovers_, shard_missing_,
+                     shard_delta_hits_},
+      outcomes);
+  return BuildResponse<ColumnHit>(std::move(outcomes), k);
+}
+
+TableQueryResponse ClusterEngine::Unionable(const Table& query,
+                                            UnionMethod method, size_t k,
+                                            const std::string& exclude_name,
+                                            const CancelToken* cancel) const {
+  auto topo = topology();
+  auto outcomes = ScatterToShards<TableAnswer>(
+      *pool_, topo->shards, options_.max_failover_attempts,
+      options_.shard_deadline, cancel,
+      [query, exclude_name, method, k](
+          const ingest::LiveEngine& engine, const CancelToken* token,
+          uint32_t shard) -> Result<TableAnswer> {
+        std::shared_ptr<const ingest::Generation> gen = engine.Acquire();
+        // Resolve the excluded name to this shard's local id; only the
+        // owning shard will find it.
+        int64_t exclude = -1;
+        if (!exclude_name.empty()) {
+          Result<TableId> id = gen->FindTable(exclude_name);
+          if (id.ok()) exclude = static_cast<int64_t>(*id);
+        }
+        ingest::MergeStats ms;
+        LAKE_ASSIGN_OR_RETURN(
+            std::vector<TableResult> results,
+            ingest::MergedUnionable(*gen, query, method, k, exclude, token,
+                                    &ms));
+        TableAnswer a;
+        a.hits = ToTableHits(*gen, shard, results);
+        a.delta_hits = ms.delta_results;
+        return a;
+      });
+  RecordScatterMetrics(
+      ScatterMetrics{queries_total_, queries_degraded_, failovers_total_,
+                     shard_queries_, shard_failovers_, shard_missing_,
+                     shard_delta_hits_},
+      outcomes);
+  return BuildResponse<TableHit>(std::move(outcomes), k);
+}
+
+ColumnQueryResponse ClusterEngine::Correlated(
+    const std::vector<std::string>& key_values,
+    const std::vector<double>& numeric_values, size_t k,
+    const CancelToken* cancel) const {
+  auto topo = topology();
+  auto outcomes = ScatterToShards<ColumnAnswer>(
+      *pool_, topo->shards, options_.max_failover_attempts,
+      options_.shard_deadline, cancel,
+      [key_values, numeric_values, k](
+          const ingest::LiveEngine& engine, const CancelToken* /*token*/,
+          uint32_t shard) -> Result<ColumnAnswer> {
+        std::shared_ptr<const ingest::Generation> gen = engine.Acquire();
+        const CorrelatedJoinSearch* corr = gen->base().correlated_join();
+        if (corr == nullptr) {
+          return Status::FailedPrecondition(
+              "correlated join index not built on shard " +
+              std::to_string(shard));
+        }
+        LAKE_ASSIGN_OR_RETURN(
+            std::vector<CorrelatedJoinSearch::CorrelatedResult> results,
+            corr->Search(key_values, numeric_values, k));
+        ColumnAnswer a;
+        a.hits.reserve(results.size());
+        for (const CorrelatedJoinSearch::CorrelatedResult& r : results) {
+          if (gen->delta().tombstones.count(r.table_id) != 0) continue;
+          Result<std::string> name = gen->TableName(r.table_id);
+          if (!name.ok()) continue;
+          a.hits.push_back(ColumnHit{std::move(name).value(),
+                                     r.numeric_column, r.score,
+                                     "correlated join", shard, r.table_id});
+        }
+        return a;
+      });
+  RecordScatterMetrics(
+      ScatterMetrics{queries_total_, queries_degraded_, failovers_total_,
+                     shard_queries_, shard_failovers_, shard_missing_,
+                     shard_delta_hits_},
+      outcomes);
+  return BuildResponse<ColumnHit>(std::move(outcomes), k);
+}
+
+// --- Ingest --------------------------------------------------------------
+
+ingest::LiveEngine::BatchOutcome ClusterEngine::ApplyBatch(
+    ingest::LiveEngine::Batch batch) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  auto topo = topology();
+
+  struct Sub {
+    ingest::LiveEngine::Batch batch;
+    std::vector<size_t> add_index;
+    std::vector<size_t> remove_index;
+  };
+  std::unordered_map<uint32_t, Sub> subs;
+  for (size_t i = 0; i < batch.adds.size(); ++i) {
+    Sub& sub = subs[topo->ring.OwnerOf(batch.adds[i].name())];
+    sub.batch.adds.push_back(std::move(batch.adds[i]));
+    sub.add_index.push_back(i);
+  }
+  for (size_t i = 0; i < batch.removes.size(); ++i) {
+    Sub& sub = subs[topo->ring.OwnerOf(batch.removes[i])];
+    sub.batch.removes.push_back(std::move(batch.removes[i]));
+    sub.remove_index.push_back(i);
+  }
+
+  std::vector<std::pair<uint32_t, Sub*>> flat;
+  flat.reserve(subs.size());
+  for (auto& [shard, sub] : subs) flat.push_back({shard, &sub});
+
+  std::vector<std::optional<Result<TableId>>> adds(batch.adds.size());
+  std::vector<Status> removes(batch.removes.size(), Status::OK());
+  bool published = false;
+  std::mutex out_mu;
+  pool_->ParallelFor(flat.size(), [&](size_t i) {
+    auto [shard, sub] = flat[i];
+    ReplicaSet* rs = topo->Find(shard);
+    ingest::LiveEngine::BatchOutcome outcome =
+        rs->ApplyBatch(std::move(sub->batch));
+    std::lock_guard<std::mutex> out_lock(out_mu);
+    for (size_t j = 0; j < sub->add_index.size(); ++j) {
+      adds[sub->add_index[j]] = std::move(outcome.adds[j]);
+    }
+    for (size_t j = 0; j < sub->remove_index.size(); ++j) {
+      removes[sub->remove_index[j]] = std::move(outcome.removes[j]);
+    }
+    if (outcome.published) published = true;
+  });
+
+  ingest::LiveEngine::BatchOutcome out;
+  out.adds.reserve(adds.size());
+  for (std::optional<Result<TableId>>& a : adds) {
+    out.adds.push_back(std::move(*a));
+  }
+  out.removes = std::move(removes);
+  out.published = published;
+  BumpVersion();
+  return out;
+}
+
+// --- Topology changes ----------------------------------------------------
+
+Result<ClusterEngine::RebalanceStats> ClusterEngine::AddShard() {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  const Clock::time_point start = Clock::now();
+  auto old_topo = topology();
+  const uint32_t id = next_shard_id_++;
+  HashRing new_ring = old_topo->ring;
+  new_ring.AddShard(id);
+
+  RebalanceStats stats;
+  stats.shard = id;
+
+  // Collect the tables whose owning arc moved to the new shard.
+  std::vector<Table> moved;
+  std::vector<std::pair<ReplicaSet*, std::vector<std::string>>> donors;
+  for (const std::shared_ptr<ReplicaSet>& rs : old_topo->shards) {
+    std::vector<Table> tables = rs->VisibleTables();
+    std::vector<std::string> names;
+    for (Table& t : tables) {
+      ++stats.tables_total;
+      if (new_ring.OwnerOf(t.name()) != id) continue;
+      names.push_back(t.name());
+      moved.push_back(std::move(t));
+    }
+    if (!names.empty()) donors.push_back({rs.get(), std::move(names)});
+  }
+  stats.tables_moved = moved.size();
+
+  // Build the new shard off the serving path (sorted by name, like every
+  // shard base), then publish it alongside the donors.
+  std::sort(moved.begin(), moved.end(), [](const Table& a, const Table& b) {
+    return a.name() < b.name();
+  });
+  auto catalog = std::make_shared<DataLakeCatalog>();
+  for (Table& t : moved) catalog->AddTable(std::move(t));
+  auto added = std::make_shared<ReplicaSet>(
+      id, std::shared_ptr<const DataLakeCatalog>(catalog), ReplicaOptions(id));
+
+  auto topo = std::make_shared<Topology>();
+  topo->ring = std::move(new_ring);
+  topo->shards = old_topo->shards;
+  topo->shards.push_back(std::move(added));
+  Publish(topo);
+  BumpVersion();
+
+  // Drop the moved tables from their donors. Until this finishes a moved
+  // table answers from both owners with identical scores; the gather's
+  // by-name dedup hides the overlap, and no moment exists where it
+  // answers from neither.
+  for (auto& [rs, names] : donors) {
+    ingest::LiveEngine::Batch b;
+    b.removes = std::move(names);
+    rs->ApplyBatch(std::move(b));
+  }
+  BumpVersion();
+  stats.duration_ms = MsSince(start);
+  return stats;
+}
+
+Result<ClusterEngine::RebalanceStats> ClusterEngine::RemoveShard(
+    uint32_t shard) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  const Clock::time_point start = Clock::now();
+  auto old_topo = topology();
+  ReplicaSet* victim = old_topo->Find(shard);
+  if (victim == nullptr) {
+    return Status::NotFound("no such shard: " + std::to_string(shard));
+  }
+  if (old_topo->shards.size() <= 1) {
+    return Status::FailedPrecondition("cannot remove the last shard");
+  }
+  HashRing new_ring = old_topo->ring;
+  new_ring.RemoveShard(shard);
+
+  RebalanceStats stats;
+  stats.shard = shard;
+  for (const std::shared_ptr<ReplicaSet>& rs : old_topo->shards) {
+    stats.tables_total += rs->replica(0)->Acquire()->visible_table_count();
+  }
+
+  // Re-home the victim's tables BEFORE retiring it: each moved table is
+  // briefly visible on two shards (dedup hides it), never on none.
+  std::vector<Table> tables = victim->VisibleTables();
+  stats.tables_moved = tables.size();
+  std::unordered_map<uint32_t, ingest::LiveEngine::Batch> batches;
+  for (Table& t : tables) {
+    batches[new_ring.OwnerOf(t.name())].adds.push_back(std::move(t));
+  }
+  for (auto& [owner, b] : batches) {
+    old_topo->Find(owner)->ApplyBatch(std::move(b));
+  }
+
+  auto topo = std::make_shared<Topology>();
+  topo->ring = std::move(new_ring);
+  for (const std::shared_ptr<ReplicaSet>& rs : old_topo->shards) {
+    if (rs->shard_id() != shard) topo->shards.push_back(rs);
+  }
+  Publish(topo);
+  BumpVersion();
+  stats.duration_ms = MsSince(start);
+  return stats;
+}
+
+// --- Health / chaos ------------------------------------------------------
+
+Status ClusterEngine::KillReplica(uint32_t shard, size_t replica) {
+  auto topo = topology();
+  ReplicaSet* rs = topo->Find(shard);
+  if (rs == nullptr) {
+    return Status::NotFound("no such shard: " + std::to_string(shard));
+  }
+  if (replica >= rs->num_replicas()) {
+    return Status::OutOfRange("no such replica: " + std::to_string(replica));
+  }
+  rs->Kill(replica);
+  return Status::OK();
+}
+
+Status ClusterEngine::ReviveReplica(uint32_t shard, size_t replica) {
+  auto topo = topology();
+  ReplicaSet* rs = topo->Find(shard);
+  if (rs == nullptr) {
+    return Status::NotFound("no such shard: " + std::to_string(shard));
+  }
+  if (replica >= rs->num_replicas()) {
+    return Status::OutOfRange("no such replica: " + std::to_string(replica));
+  }
+  rs->Revive(replica);
+  return Status::OK();
+}
+
+std::vector<ClusterEngine::ShardHealth> ClusterEngine::Health() const {
+  auto topo = topology();
+  std::vector<ShardHealth> out;
+  if (topo == nullptr) return out;
+  const auto now = serve::CircuitBreaker::Clock::now();
+  out.reserve(topo->shards.size());
+  for (const std::shared_ptr<ReplicaSet>& rs : topo->shards) {
+    ShardHealth h;
+    h.shard = rs->shard_id();
+    h.tables = rs->replica(0)->Acquire()->visible_table_count();
+    h.replicas_alive = rs->num_alive();
+    h.replicas.reserve(rs->num_replicas());
+    for (size_t r = 0; r < rs->num_replicas(); ++r) {
+      ReplicaHealth rh;
+      rh.replica = r;
+      rh.alive = rs->alive(r);
+      rh.breaker_state = rs->breaker(r)->state(now);
+      rh.breaker_trips = rs->breaker(r)->trips();
+      h.replicas.push_back(rh);
+    }
+    if (shard_tables_ != nullptr) {
+      shard_tables_->WithLabel(h.shard)->Set(h.tables);
+    }
+    if (shard_replicas_alive_ != nullptr) {
+      shard_replicas_alive_->WithLabel(h.shard)->Set(h.replicas_alive);
+    }
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+// --- Durability ----------------------------------------------------------
+
+Status ClusterEngine::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  if (options_.store_root.empty()) {
+    return Status::FailedPrecondition("cluster has no store_root");
+  }
+  auto topo = topology();
+  std::vector<Status> statuses(topo->shards.size(), Status::OK());
+  pool_->ParallelFor(topo->shards.size(), [&](size_t i) {
+    ReplicaSet& rs = *topo->shards[i];
+    for (size_t r = 0; r < rs.num_replicas(); ++r) {
+      Status st = rs.replica(r)->Checkpoint();
+      if (!st.ok() && statuses[i].ok()) statuses[i] = st;
+    }
+  });
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+// --- Introspection -------------------------------------------------------
+
+size_t ClusterEngine::num_shards() const {
+  auto topo = topology();
+  return topo == nullptr ? 0 : topo->shards.size();
+}
+
+size_t ClusterEngine::TotalVisibleTables() const {
+  auto topo = topology();
+  if (topo == nullptr) return 0;
+  size_t total = 0;
+  for (const std::shared_ptr<ReplicaSet>& rs : topo->shards) {
+    total += rs->replica(0)->Acquire()->visible_table_count();
+  }
+  return total;
+}
+
+uint32_t ClusterEngine::OwnerOf(const std::string& name) const {
+  return topology()->ring.OwnerOf(name);
+}
+
+}  // namespace lake::cluster

@@ -1,0 +1,281 @@
+#ifndef LAKE_CLUSTER_CLUSTER_ENGINE_H_
+#define LAKE_CLUSTER_CLUSTER_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/replica_set.h"
+#include "cluster/ring.h"
+#include "ingest/live_engine.h"
+#include "serve/metrics.h"
+#include "util/cancel.h"
+#include "util/thread_pool.h"
+
+namespace lake::cluster {
+
+/// A ranked table hit with cluster provenance. Tables are identified by
+/// name (the stable identity — ids are shard- and generation-local);
+/// `local_id` is the lake-visible id within the owning shard's generation.
+struct TableHit {
+  std::string table;
+  double score = 0;
+  std::string why;
+  uint32_t shard = 0;
+  TableId local_id = 0;
+};
+
+/// A ranked column hit with cluster provenance.
+struct ColumnHit {
+  std::string table;
+  size_t column_index = 0;
+  double score = 0;
+  std::string why;
+  uint32_t shard = 0;
+  TableId local_id = 0;
+};
+
+/// Per-shard execution record of one scattered query.
+struct ShardTrace {
+  uint32_t shard = 0;
+  size_t replica = 0;  // replica of the final attempt
+  size_t attempts = 0; // 1 = no failover
+  Status status;
+  size_t results = 0;
+  double latency_ms = 0;
+};
+
+/// One scattered query's merged answer. `degraded` is true when at least
+/// one shard could not answer in time (its id is in `missing_shards`) and
+/// the hits are therefore partial; status stays OK unless EVERY shard
+/// failed. This is the "slow shard costs coverage, never a hung query"
+/// contract.
+template <typename Hit>
+struct ScatterResponse {
+  Status status;
+  std::vector<Hit> hits;
+  bool degraded = false;
+  std::vector<uint32_t> missing_shards;
+  std::vector<ShardTrace> traces;
+};
+
+using TableQueryResponse = ScatterResponse<TableHit>;
+using ColumnQueryResponse = ScatterResponse<ColumnHit>;
+
+/// Sharded, replicated serving over N in-process LiveEngine shards — the
+/// scale-out layer the survey's future-directions section calls for.
+///
+///   - *Partitioning*: a consistent-hash ring over table names assigns
+///     each table to exactly one shard; the shard indexes only its slice,
+///     so index build parallelizes across shards and each shard's indexes
+///     stay small.
+///   - *Replication*: R replicas per shard, content-identical (mutations
+///     apply to all), each guarded by a circuit breaker; reads round-robin
+///     across healthy replicas and fail over on error (hedged retry on a
+///     sibling), so one dead replica costs nothing but a retry.
+///   - *Scatter-gather*: queries fan out to every shard on a thread pool
+///     with a per-shard deadline budget, per-shard top-k lists come back,
+///     and the N-way merge in topk_merge.h (score desc, ties by table
+///     name) produces an answer identical to one unpartitioned engine over
+///     the same lake. Keyword search runs the distributed-IDF two-phase
+///     protocol (gather per-shard BM25 corpus stats, merge, score with the
+///     global stats) so even corpus-dependent BM25 scores match exactly.
+///   - *Topology as RCU*: the ring + replica sets are published as one
+///     immutable Topology snapshot behind an atomic shared_ptr; queries
+///     acquire it once and never observe a half-rebalanced cluster.
+class ClusterEngine {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    size_t num_shards = 2;
+    size_t num_replicas = 1;
+    HashRing::Options ring;
+    /// LiveEngine options template for every replica (store/WAL wiring is
+    /// overridden per replica when `store_root` is set).
+    ingest::LiveEngine::Options engine;
+    /// Scatter/build pool width; 0 = one worker per shard.
+    size_t num_workers = 0;
+    /// Per-(shard,replica) breaker options.
+    serve::CircuitBreaker::Options breaker;
+    /// Budget each shard gets per query (also capped by the caller's
+    /// remaining deadline); 0 = caller's deadline only. A shard that
+    /// exceeds it is reported missing and the query degrades to partial.
+    std::chrono::milliseconds shard_deadline{0};
+    /// Max attempts per shard per query (1 = no failover).
+    size_t max_failover_attempts = 2;
+    /// Durability root: per-replica SnapshotStores (checkpoints + WAL) at
+    /// "<store_root>/shard-<s>/replica-<r>". Empty = none.
+    std::string store_root;
+    /// Optional metrics sink (cluster.* metrics, per-shard labeled
+    /// families).
+    serve::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Builds a cluster over `lake`: partitions the tables by ring owner and
+  /// builds every shard's indexes in parallel on the pool.
+  ClusterEngine(const DataLakeCatalog& lake, Options options);
+
+  /// Rebuilds a cluster from per-replica snapshot stores under
+  /// `options.store_root` (written by Checkpoint of a cluster built with
+  /// the same store_root). Shard directories are discovered by scanning.
+  static Result<std::unique_ptr<ClusterEngine>> Recover(Options options);
+
+  ~ClusterEngine();
+
+  ClusterEngine(const ClusterEngine&) = delete;
+  ClusterEngine& operator=(const ClusterEngine&) = delete;
+
+  // --- Query surface (mirrors LiveEngine's merged queries) --------------
+
+  TableQueryResponse Keyword(const std::string& query, size_t k,
+                             const CancelToken* cancel = nullptr) const;
+
+  ColumnQueryResponse Joinable(const std::vector<std::string>& query_values,
+                               JoinMethod method, size_t k,
+                               const CancelToken* cancel = nullptr) const;
+
+  /// `exclude_name` drops a self-match by table name (empty = none) —
+  /// cluster callers cannot use ids, which are shard-local.
+  TableQueryResponse Unionable(const Table& query, UnionMethod method,
+                               size_t k, const std::string& exclude_name = "",
+                               const CancelToken* cancel = nullptr) const;
+
+  /// Correlated numeric search, scattered to every shard's base engine
+  /// (base-only, like single-node serving).
+  ColumnQueryResponse Correlated(const std::vector<std::string>& key_values,
+                                 const std::vector<double>& numeric_values,
+                                 size_t k,
+                                 const CancelToken* cancel = nullptr) const;
+
+  // --- Ingest -----------------------------------------------------------
+
+  /// Routes each op to its owning shard (by table name) and applies the
+  /// per-shard sub-batches in parallel; every replica of a shard applies
+  /// its sub-batch. The outcome is stitched back into Batch order.
+  ingest::LiveEngine::BatchOutcome ApplyBatch(ingest::LiveEngine::Batch batch);
+
+  // --- Topology ---------------------------------------------------------
+
+  struct RebalanceStats {
+    uint32_t shard = 0;      // shard added or removed
+    size_t tables_moved = 0;
+    size_t tables_total = 0; // visible tables cluster-wide before the move
+    double duration_ms = 0;
+  };
+
+  /// Adds one shard and migrates the tables the new ring assigns to it
+  /// (~1/N of the lake). Queries keep serving throughout; during the brief
+  /// hand-off window a moved table may be visible on both shards, which
+  /// the gather's by-name dedup hides.
+  Result<RebalanceStats> AddShard();
+
+  /// Removes a shard, redistributing its tables to the survivors.
+  Result<RebalanceStats> RemoveShard(uint32_t shard);
+
+  // --- Health / chaos ---------------------------------------------------
+
+  /// Marks one replica dead for the read path (mutations still apply, so
+  /// Revive needs no resync).
+  Status KillReplica(uint32_t shard, size_t replica);
+  Status ReviveReplica(uint32_t shard, size_t replica);
+
+  struct ReplicaHealth {
+    size_t replica = 0;
+    bool alive = true;
+    serve::CircuitBreaker::State breaker_state =
+        serve::CircuitBreaker::State::kClosed;
+    uint64_t breaker_trips = 0;
+  };
+  struct ShardHealth {
+    uint32_t shard = 0;
+    size_t tables = 0;          // visible tables on the shard
+    size_t replicas_alive = 0;
+    std::vector<ReplicaHealth> replicas;
+  };
+
+  /// Per-shard health; also refreshes the cluster.shard.* labeled gauges.
+  std::vector<ShardHealth> Health() const;
+
+  // --- Durability -------------------------------------------------------
+
+  /// Checkpoints every replica through its own store (shard-parallel).
+  /// FailedPrecondition without a store_root.
+  Status Checkpoint();
+
+  // --- Introspection ----------------------------------------------------
+
+  size_t num_shards() const;
+  size_t num_replicas() const { return options_.num_replicas; }
+  /// Visible tables across all shards.
+  size_t TotalVisibleTables() const;
+  /// Owning shard of a table name under the current topology.
+  uint32_t OwnerOf(const std::string& name) const;
+  /// Mutation/topology sequence, mixed into serving-layer cache keys.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+  const Options& options() const { return options_; }
+
+ private:
+  /// One immutable published topology (RCU like LiveEngine generations).
+  struct Topology {
+    HashRing ring;
+    std::vector<std::shared_ptr<ReplicaSet>> shards;
+
+    ReplicaSet* Find(uint32_t shard_id) const;
+  };
+
+  explicit ClusterEngine(Options options);  // Recover() shell
+
+  std::shared_ptr<const Topology> topology() const {
+    return topology_.load(std::memory_order_acquire);
+  }
+  void Publish(std::shared_ptr<const Topology> topo);
+
+  /// Creates (and owns) the SnapshotStore for one replica directory; null
+  /// when store_root is empty.
+  store::SnapshotStore* StoreFor(uint32_t shard, size_t replica);
+
+  ReplicaSet::Options ReplicaOptions(uint32_t shard);
+  void InitMetrics();
+  void BumpVersion() {
+    version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  Options options_;
+
+  /// Serializes mutations and topology changes (ApplyBatch, Add/Remove
+  /// Shard, Checkpoint); queries only read the published topology.
+  mutable std::mutex mutate_mu_;
+  uint32_t next_shard_id_ = 0;
+  /// Owned per-replica stores, keyed "shard-<s>/replica-<r>" (stores must
+  /// outlive the engines using them; never shrunk).
+  std::vector<std::unique_ptr<store::SnapshotStore>> stores_;
+
+  std::atomic<std::shared_ptr<const Topology>> topology_;
+  std::atomic<uint64_t> version_{0};
+
+  // Metric handles (null without a registry).
+  serve::Counter* queries_total_ = nullptr;
+  serve::Counter* queries_degraded_ = nullptr;
+  serve::Counter* failovers_total_ = nullptr;
+  serve::CounterFamily* shard_queries_ = nullptr;
+  serve::CounterFamily* shard_failovers_ = nullptr;
+  serve::CounterFamily* shard_missing_ = nullptr;
+  serve::CounterFamily* shard_delta_hits_ = nullptr;
+  serve::GaugeFamily* shard_tables_ = nullptr;
+  serve::GaugeFamily* shard_replicas_alive_ = nullptr;
+
+  /// Scatter/build/ingest pool. Last member: drained before the replica
+  /// sets and stores it references are torn down.
+  mutable std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace lake::cluster
+
+#endif  // LAKE_CLUSTER_CLUSTER_ENGINE_H_

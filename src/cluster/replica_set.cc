@@ -1,0 +1,113 @@
+#include "cluster/replica_set.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lake::cluster {
+
+ReplicaSet::ReplicaSet(uint32_t shard_id,
+                       std::shared_ptr<const DataLakeCatalog> catalog,
+                       Options options)
+    : shard_id_(shard_id) {
+  const size_t r = std::max<size_t>(1, options.num_replicas);
+  // One shared immutable base engine: replicas are content-identical by
+  // construction, so indexing the shard once is enough. Each replica keeps
+  // its own delta/WAL state on top.
+  auto base = std::make_shared<const DiscoveryEngine>(
+      catalog.get(), options.engine.kb, options.engine.base_options);
+  replicas_.reserve(r);
+  for (size_t i = 0; i < r; ++i) {
+    ingest::LiveEngine::Options engine_options = options.engine;
+    engine_options.store = i < options.replica_stores.size()
+                               ? options.replica_stores[i]
+                               : nullptr;
+    engine_options.enable_wal =
+        engine_options.enable_wal && engine_options.store != nullptr;
+    replicas_.push_back(std::make_unique<ingest::LiveEngine>(
+        catalog, base, std::move(engine_options)));
+  }
+  breakers_.reserve(r);
+  alive_.reserve(r);
+  for (size_t i = 0; i < r; ++i) {
+    breakers_.push_back(
+        std::make_unique<serve::CircuitBreaker>(options.breaker));
+    alive_.push_back(std::make_unique<std::atomic<bool>>(true));
+  }
+}
+
+ReplicaSet::ReplicaSet(
+    uint32_t shard_id,
+    std::vector<std::unique_ptr<ingest::LiveEngine>> replicas,
+    serve::CircuitBreaker::Options breaker)
+    : shard_id_(shard_id), replicas_(std::move(replicas)) {
+  breakers_.reserve(replicas_.size());
+  alive_.reserve(replicas_.size());
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    breakers_.push_back(std::make_unique<serve::CircuitBreaker>(breaker));
+    alive_.push_back(std::make_unique<std::atomic<bool>>(true));
+  }
+}
+
+bool ReplicaSet::Pick(Clock::time_point now, size_t exclude, Route* route) {
+  const size_t r = replicas_.size();
+  const size_t start = next_replica_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < r; ++i) {
+    const size_t candidate = (start + i) % r;
+    if (candidate == exclude || !alive(candidate)) continue;
+    const serve::CircuitBreaker::Permit permit =
+        breakers_[candidate]->Allow(now);
+    if (permit == serve::CircuitBreaker::Permit::kDenied) continue;
+    route->replica = candidate;
+    route->engine = replicas_[candidate].get();
+    route->permit = permit;
+    return true;
+  }
+  return false;
+}
+
+void ReplicaSet::RecordOutcome(size_t replica, bool success,
+                               Clock::time_point now) {
+  if (success) {
+    breakers_[replica]->RecordSuccess(now);
+  } else {
+    breakers_[replica]->RecordFailure(now);
+  }
+}
+
+size_t ReplicaSet::num_alive() const {
+  size_t n = 0;
+  for (const auto& a : alive_) {
+    if (a->load()) ++n;
+  }
+  return n;
+}
+
+ingest::LiveEngine::BatchOutcome ReplicaSet::ApplyBatch(
+    ingest::LiveEngine::Batch batch) {
+  // Secondary replicas get copies; the primary consumes the original.
+  for (size_t i = 1; i < replicas_.size(); ++i) {
+    ingest::LiveEngine::Batch copy;
+    copy.adds = batch.adds;
+    copy.removes = batch.removes;
+    replicas_[i]->ApplyBatch(std::move(copy));
+  }
+  return replicas_[0]->ApplyBatch(std::move(batch));
+}
+
+std::vector<Table> ReplicaSet::VisibleTables() const {
+  std::shared_ptr<const ingest::Generation> gen = replicas_[0]->Acquire();
+  std::vector<Table> out;
+  out.reserve(gen->visible_table_count());
+  const DataLakeCatalog& base = gen->base_catalog();
+  for (TableId id : base.AllTables()) {
+    if (gen->delta().tombstones.count(id)) continue;
+    out.push_back(base.table(id));
+  }
+  if (gen->delta().catalog != nullptr) {
+    const DataLakeCatalog& delta = *gen->delta().catalog;
+    for (TableId id : delta.AllTables()) out.push_back(delta.table(id));
+  }
+  return out;
+}
+
+}  // namespace lake::cluster

@@ -1,0 +1,113 @@
+#ifndef LAKE_CLUSTER_REPLICA_SET_H_
+#define LAKE_CLUSTER_REPLICA_SET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ingest/live_engine.h"
+#include "serve/circuit_breaker.h"
+
+namespace lake::cluster {
+
+/// R replicas of one shard: identical LiveEngines over the shard's slice
+/// of the lake, each guarded by its own circuit breaker and a liveness
+/// flag. The read path picks one healthy replica per query (round-robin
+/// across queries) and fails over to a sibling when an attempt fails; the
+/// write path applies every accepted mutation to every replica, so
+/// replicas only ever diverge in health, never in content.
+///
+/// Kill/Revive model *serving-path* failure (a replica that stops
+/// answering): a killed replica is skipped by Pick but still applies
+/// mutations, so revival needs no resync. Durability of the data itself is
+/// the WAL/checkpoint layer's job (per-replica SnapshotStores).
+class ReplicaSet {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    size_t num_replicas = 1;
+    /// LiveEngine options template. `engine.store` is ignored; per-replica
+    /// stores arrive via `replica_stores`.
+    ingest::LiveEngine::Options engine;
+    /// Per-replica SnapshotStores (checkpoints + WAL), parallel to replica
+    /// index; empty or null entries disable durability for that replica.
+    /// Not owned.
+    std::vector<store::SnapshotStore*> replica_stores;
+    serve::CircuitBreaker::Options breaker;
+  };
+
+  /// Builds R replicas over `catalog` (one shared immutable cold-start
+  /// base engine, so construction cost is one index build, not R).
+  ReplicaSet(uint32_t shard_id, std::shared_ptr<const DataLakeCatalog> catalog,
+             Options options);
+
+  /// Wraps already-recovered engines (ClusterEngine::Recover).
+  ReplicaSet(uint32_t shard_id,
+             std::vector<std::unique_ptr<ingest::LiveEngine>> replicas,
+             serve::CircuitBreaker::Options breaker);
+
+  ReplicaSet(const ReplicaSet&) = delete;
+  ReplicaSet& operator=(const ReplicaSet&) = delete;
+
+  uint32_t shard_id() const { return shard_id_; }
+  size_t num_replicas() const { return replicas_.size(); }
+
+  // --- Read path --------------------------------------------------------
+
+  struct Route {
+    size_t replica = 0;
+    const ingest::LiveEngine* engine = nullptr;
+    serve::CircuitBreaker::Permit permit =
+        serve::CircuitBreaker::Permit::kAllowed;
+  };
+
+  /// Picks a live replica whose breaker admits a call, rotating the
+  /// starting replica across calls so load spreads. `exclude` skips one
+  /// replica (the one that just failed; SIZE_MAX = none). False when no
+  /// replica is available — the shard is effectively down for this query.
+  bool Pick(Clock::time_point now, size_t exclude, Route* route);
+
+  /// Feeds an attempt's outcome into the routed replica's breaker.
+  void RecordOutcome(size_t replica, bool success, Clock::time_point now);
+
+  // --- Health -----------------------------------------------------------
+
+  void Kill(size_t replica) { alive_[replica]->store(false); }
+  void Revive(size_t replica) { alive_[replica]->store(true); }
+  bool alive(size_t replica) const { return alive_[replica]->load(); }
+  size_t num_alive() const;
+
+  serve::CircuitBreaker* breaker(size_t replica) {
+    return breakers_[replica].get();
+  }
+  ingest::LiveEngine* replica(size_t i) { return replicas_[i].get(); }
+  const ingest::LiveEngine* replica(size_t i) const {
+    return replicas_[i].get();
+  }
+
+  // --- Write path -------------------------------------------------------
+
+  /// Applies the batch to every replica (killed ones included — see class
+  /// comment) and returns replica 0's outcome; replicas accept and reject
+  /// identically because their state is identical.
+  ingest::LiveEngine::BatchOutcome ApplyBatch(ingest::LiveEngine::Batch batch);
+
+  /// Visible tables of this shard (replica 0's current generation),
+  /// copied; rebalance and tests use this as the shard's authoritative
+  /// content.
+  std::vector<Table> VisibleTables() const;
+
+ private:
+  uint32_t shard_id_;
+  std::vector<std::unique_ptr<ingest::LiveEngine>> replicas_;
+  std::vector<std::unique_ptr<serve::CircuitBreaker>> breakers_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> alive_;
+  std::atomic<size_t> next_replica_{0};
+};
+
+}  // namespace lake::cluster
+
+#endif  // LAKE_CLUSTER_REPLICA_SET_H_

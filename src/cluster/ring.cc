@@ -1,0 +1,65 @@
+#include "cluster/ring.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace lake::cluster {
+
+void HashRing::AddShard(uint32_t shard) {
+  if (!shards_.insert(shard).second) return;
+  points_.reserve(points_.size() + options_.virtual_nodes);
+  for (size_t v = 0; v < options_.virtual_nodes; ++v) {
+    const uint64_t h = Hash64(
+        HashCombine(Hash64(static_cast<uint64_t>(shard), options_.seed), v));
+    points_.push_back(Point{h, shard});
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              if (a.hash != b.hash) return a.hash < b.hash;
+              return a.shard < b.shard;
+            });
+}
+
+void HashRing::RemoveShard(uint32_t shard) {
+  if (shards_.erase(shard) == 0) return;
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [shard](const Point& p) {
+                                 return p.shard == shard;
+                               }),
+                points_.end());
+}
+
+uint32_t HashRing::OwnerOf(std::string_view name) const {
+  LAKE_CHECK(!points_.empty());
+  const uint64_t h = Hash64(name, options_.seed);
+  auto it = std::lower_bound(points_.begin(), points_.end(), h,
+                             [](const Point& p, uint64_t value) {
+                               return p.hash < value;
+                             });
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->shard;
+}
+
+std::vector<double> HashRing::OwnershipFractions() const {
+  std::vector<double> fractions(shards_.size(), 0.0);
+  if (points_.empty()) return fractions;
+  const std::vector<uint32_t> ids = shards();
+  auto index_of = [&ids](uint32_t shard) {
+    return static_cast<size_t>(
+        std::lower_bound(ids.begin(), ids.end(), shard) - ids.begin());
+  };
+  constexpr double kSpace = 18446744073709551616.0;  // 2^64
+  // A point owns the arc ending at it; the first point also owns the
+  // wraparound arc from the last point.
+  uint64_t prev = points_.back().hash;
+  for (const Point& p : points_) {
+    const uint64_t arc = p.hash - prev;  // mod 2^64 via unsigned wrap
+    fractions[index_of(p.shard)] += static_cast<double>(arc) / kSpace;
+    prev = p.hash;
+  }
+  return fractions;
+}
+
+}  // namespace lake::cluster

@@ -1,0 +1,74 @@
+#ifndef LAKE_CLUSTER_TOPK_MERGE_H_
+#define LAKE_CLUSTER_TOPK_MERGE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace lake::cluster {
+
+/// N-way merge of ranked result lists into one top-k, shared by the
+/// ingest base+delta merge (N = 2) and the cluster scatter-gather merge
+/// (N = shards). Results only need a `double score` member (TableResult,
+/// ColumnResult, and the cluster hit types all qualify).
+///
+/// Ordering invariant: descending score; equal scores keep *source order*
+/// — list i beats list j for i < j, and within one list the original
+/// order is preserved. The base+delta merge relies on this to prefer the
+/// base side on ties (its corpus statistics are the better-calibrated
+/// side).
+template <typename R>
+std::vector<R> MergeRankedTopK(std::vector<std::vector<R>> lists, size_t k) {
+  std::vector<R> all;
+  size_t total = 0;
+  for (const std::vector<R>& l : lists) total += l.size();
+  all.reserve(total);
+  for (std::vector<R>& l : lists) {
+    for (R& r : l) all.push_back(std::move(r));
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const R& a, const R& b) { return a.score > b.score; });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+/// Tie-broken variant: equal scores are ordered by `tie_less` instead of
+/// source order, so the merged ranking is independent of how results were
+/// partitioned across sources. The cluster merge uses table-name
+/// tie-break, which makes an N-shard scatter-gather answer byte-identical
+/// to the same query over one unpartitioned engine regardless of shard
+/// count or gather completion order.
+template <typename R, typename TieLess>
+std::vector<R> MergeRankedTopK(std::vector<std::vector<R>> lists, size_t k,
+                               TieLess tie_less) {
+  std::vector<R> all;
+  size_t total = 0;
+  for (const std::vector<R>& l : lists) total += l.size();
+  all.reserve(total);
+  for (std::vector<R>& l : lists) {
+    for (R& r : l) all.push_back(std::move(r));
+  }
+  std::sort(all.begin(), all.end(), [&](const R& a, const R& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return tie_less(a, b);
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+/// Two-way convenience wrapper preserving the original base+delta call
+/// shape: ties prefer `first`, then `second`.
+template <typename R>
+std::vector<R> MergeRankedTopK(std::vector<R> first, std::vector<R> second,
+                               size_t k) {
+  std::vector<std::vector<R>> lists;
+  lists.reserve(2);
+  lists.push_back(std::move(first));
+  lists.push_back(std::move(second));
+  return MergeRankedTopK(std::move(lists), k);
+}
+
+}  // namespace lake::cluster
+
+#endif  // LAKE_CLUSTER_TOPK_MERGE_H_

@@ -109,13 +109,26 @@ struct MergeStats {
 /// Base+delta merged top-k queries over one acquired generation. Base
 /// results are filtered against the tombstone set, delta results are
 /// remapped into the lake-visible id range, and the two ranked lists are
-/// merged by score (ties prefer base — its corpus statistics are the
-/// better-calibrated side). Methods the delta engine does not build (the
-/// heavyweight long tail: PEXESO, SANTOS, D3L, ...) serve base-only until
-/// the next compaction folds the delta in.
-std::vector<TableResult> MergedKeyword(const Generation& gen,
-                                       const std::string& query, size_t k,
-                                       MergeStats* stats = nullptr);
+/// merged by score via the shared N-way merge in cluster/topk_merge.h
+/// (ties prefer base — its corpus statistics are the better-calibrated
+/// side). Methods the delta engine does not build (the heavyweight long
+/// tail: PEXESO, SANTOS, D3L, ...) serve base-only until the next
+/// compaction folds the delta in.
+///
+/// `corpus` (optional) scores both sides against external BM25 corpus
+/// statistics — the cluster's distributed-IDF protocol; null keeps each
+/// side's own stats (the single-node behavior).
+std::vector<TableResult> MergedKeyword(
+    const Generation& gen, const std::string& query, size_t k,
+    MergeStats* stats = nullptr,
+    const Bm25Index::CorpusStats* corpus = nullptr);
+
+/// This generation's BM25 corpus contribution for `query`: base plus
+/// delta stats summed. Tombstoned base tables still count (they leave the
+/// corpus only at compaction), so exact cross-shard score equality holds
+/// on compacted generations.
+Bm25Index::CorpusStats GatherKeywordStats(const Generation& gen,
+                                          const std::string& query);
 
 Result<std::vector<ColumnResult>> MergedJoinable(
     const Generation& gen, const std::vector<std::string>& query_values,

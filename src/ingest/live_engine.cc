@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "cluster/topk_merge.h"
 #include "table/csv.h"
 #include "table/table_meta.h"
 #include "util/failpoint.h"
@@ -21,18 +22,10 @@ double MsSince(Clock::time_point start) {
       .count();
 }
 
-/// Merges two ranked lists (already filtered/remapped) into one top-k.
-/// Stable sort with base first makes score ties prefer the base side.
-template <typename R>
-std::vector<R> MergeTopK(std::vector<R> base, std::vector<R> delta,
-                         size_t k) {
-  base.reserve(base.size() + delta.size());
-  for (R& r : delta) base.push_back(std::move(r));
-  std::stable_sort(base.begin(), base.end(),
-                   [](const R& a, const R& b) { return a.score > b.score; });
-  if (base.size() > k) base.resize(k);
-  return base;
-}
+/// Merges two ranked lists (already filtered/remapped) into one top-k via
+/// the shared N-way merge; list order (base first) makes score ties prefer
+/// the base side.
+using cluster::MergeRankedTopK;
 
 constexpr uint64_t kStateFormatVersion = 1;
 /// Format of the "ingest/wal" snapshot section (varint format, varint
@@ -130,17 +123,25 @@ size_t BaseK(const Generation& gen, size_t k) {
 
 std::vector<TableResult> MergedKeyword(const Generation& gen,
                                        const std::string& query, size_t k,
-                                       MergeStats* stats) {
+                                       MergeStats* stats,
+                                       const Bm25Index::CorpusStats* corpus) {
   std::vector<TableResult> base = FilterBaseTables(
-      gen.base().Keyword(query, BaseK(gen, k)), gen.delta(), stats);
+      gen.base().Keyword(query, BaseK(gen, k), corpus), gen.delta(), stats);
   std::vector<TableResult> delta;
   if (gen.has_delta()) {
-    delta = gen.delta().engine->Keyword(query, k);
+    delta = gen.delta().engine->Keyword(query, k, corpus);
     const TableId offset = static_cast<TableId>(gen.base_table_count());
     for (TableResult& r : delta) r.table_id += offset;
     if (stats != nullptr) stats->delta_results += delta.size();
   }
-  return MergeTopK(std::move(base), std::move(delta), k);
+  return MergeRankedTopK(std::move(base), std::move(delta), k);
+}
+
+Bm25Index::CorpusStats GatherKeywordStats(const Generation& gen,
+                                          const std::string& query) {
+  Bm25Index::CorpusStats stats = gen.base().KeywordStats(query);
+  if (gen.has_delta()) stats.Merge(gen.delta().engine->KeywordStats(query));
+  return stats;
 }
 
 Result<std::vector<ColumnResult>> MergedJoinable(
@@ -169,7 +170,7 @@ Result<std::vector<ColumnResult>> MergedJoinable(
       return delta_result.status();
     }
   }
-  return MergeTopK(std::move(base), std::move(delta), k);
+  return MergeRankedTopK(std::move(base), std::move(delta), k);
 }
 
 Result<std::vector<TableResult>> MergedUnionable(
@@ -201,7 +202,7 @@ Result<std::vector<TableResult>> MergedUnionable(
       return delta_result.status();
     }
   }
-  return MergeTopK(std::move(base), std::move(delta), k);
+  return MergeRankedTopK(std::move(base), std::move(delta), k);
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,28 @@
 
 namespace lake {
 
+namespace {
+
+/// Deduplicate query terms; repeated query terms add no evidence for
+/// metadata-scale documents. Sorted order also fixes the floating-point
+/// accumulation order, so two indexes scoring with the same CorpusStats
+/// produce bit-identical sums.
+std::vector<std::string> CanonicalTerms(
+    const std::vector<std::string>& query_tokens) {
+  std::vector<std::string> terms = query_tokens;
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  return terms;
+}
+
+}  // namespace
+
+void Bm25Index::CorpusStats::Merge(const CorpusStats& other) {
+  num_docs += other.num_docs;
+  total_length += other.total_length;
+  for (const auto& [term, df] : other.doc_freq) doc_freq[term] += df;
+}
+
 void Bm25Index::AddDocument(uint64_t id,
                             const std::vector<std::string>& tokens) {
   const uint32_t doc_index = static_cast<uint32_t>(doc_ids_.size());
@@ -21,24 +43,48 @@ void Bm25Index::AddDocument(uint64_t id,
   }
 }
 
+Bm25Index::CorpusStats Bm25Index::GatherStats(
+    const std::vector<std::string>& query_tokens) const {
+  CorpusStats stats;
+  stats.num_docs = doc_lengths_.size();
+  stats.total_length = total_length_;
+  for (const std::string& term : CanonicalTerms(query_tokens)) {
+    auto it = postings_.find(term);
+    if (it != postings_.end()) stats.doc_freq[term] = it->second.size();
+  }
+  return stats;
+}
+
 std::vector<std::pair<uint64_t, double>> Bm25Index::Search(
     const std::vector<std::string>& query_tokens, size_t k) const {
-  const size_t n = doc_lengths_.size();
-  if (n == 0 || k == 0) return {};
-  const double avg_len =
-      static_cast<double>(total_length_) / static_cast<double>(n);
+  return Search(query_tokens, k, nullptr);
+}
 
-  // Deduplicate query terms; repeated query terms add no evidence for
-  // metadata-scale documents.
-  std::vector<std::string> terms = query_tokens;
-  std::sort(terms.begin(), terms.end());
-  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+std::vector<std::pair<uint64_t, double>> Bm25Index::Search(
+    const std::vector<std::string>& query_tokens, size_t k,
+    const CorpusStats* stats) const {
+  const uint64_t n =
+      stats != nullptr ? stats->num_docs : doc_lengths_.size();
+  if (n == 0 || doc_lengths_.empty() || k == 0) return {};
+  const uint64_t corpus_length =
+      stats != nullptr ? stats->total_length : total_length_;
+  const double avg_len =
+      static_cast<double>(corpus_length) / static_cast<double>(n);
+
+  const std::vector<std::string> terms = CanonicalTerms(query_tokens);
 
   std::unordered_map<uint32_t, double> scores;
   for (const std::string& term : terms) {
     auto it = postings_.find(term);
     if (it == postings_.end()) continue;
-    const double df = static_cast<double>(it->second.size());
+    double df = static_cast<double>(it->second.size());
+    if (stats != nullptr) {
+      auto global = stats->doc_freq.find(term);
+      df = global != stats->doc_freq.end()
+               ? static_cast<double>(global->second)
+               : 0.0;
+      if (df == 0.0) continue;
+    }
     const double idf =
         std::log(1.0 + (static_cast<double>(n) - df + 0.5) / (df + 0.5));
     for (const Posting& p : it->second) {

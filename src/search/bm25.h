@@ -23,6 +23,22 @@ class Bm25Index {
   Bm25Index() : Bm25Index(Params{}) {}
   explicit Bm25Index(Params params) : params_(params) {}
 
+  /// Corpus-level statistics BM25 scoring depends on (document count,
+  /// average length, per-term document frequency). A single index scores
+  /// with its own; a partitioned corpus gathers each partition's stats,
+  /// merges them, and scores every partition with the merged totals
+  /// (distributed IDF), which makes partitioned scores identical to an
+  /// unpartitioned index over the same documents.
+  struct CorpusStats {
+    uint64_t num_docs = 0;
+    uint64_t total_length = 0;
+    /// Document frequency per queried term (only terms the gather was
+    /// asked about; absent means df 0).
+    std::unordered_map<std::string, uint64_t> doc_freq;
+
+    void Merge(const CorpusStats& other);
+  };
+
   /// Indexes a document (pre-tokenized). Ids are caller-defined and must
   /// be unique.
   void AddDocument(uint64_t id, const std::vector<std::string>& tokens);
@@ -30,6 +46,16 @@ class Bm25Index {
   /// Top-k documents by BM25 score (descending; zero-score docs omitted).
   std::vector<std::pair<uint64_t, double>> Search(
       const std::vector<std::string>& query_tokens, size_t k) const;
+
+  /// Search scored against external corpus statistics instead of this
+  /// index's own (null falls back to local stats). Only documents in this
+  /// index are candidates; `stats` supplies n, avg_len and df.
+  std::vector<std::pair<uint64_t, double>> Search(
+      const std::vector<std::string>& query_tokens, size_t k,
+      const CorpusStats* stats) const;
+
+  /// This index's contribution to a distributed-IDF gather for one query.
+  CorpusStats GatherStats(const std::vector<std::string>& query_tokens) const;
 
   size_t num_documents() const { return doc_lengths_.size(); }
 

@@ -161,6 +161,19 @@ std::vector<TableResult> DiscoveryEngine::Keyword(const std::string& query,
   return keyword_->Search(query, k);
 }
 
+std::vector<TableResult> DiscoveryEngine::Keyword(
+    const std::string& query, size_t k,
+    const Bm25Index::CorpusStats* stats) const {
+  if (keyword_ == nullptr) return {};
+  return keyword_->Search(query, k, stats);
+}
+
+Bm25Index::CorpusStats DiscoveryEngine::KeywordStats(
+    const std::string& query) const {
+  if (keyword_ == nullptr) return {};
+  return keyword_->GatherStats(query);
+}
+
 Result<std::vector<ColumnResult>> DiscoveryEngine::Joinable(
     const std::vector<std::string>& query_values, JoinMethod method, size_t k,
     const CancelToken* cancel) const {

@@ -95,6 +95,17 @@ class DiscoveryEngine {
   /// Keyword/metadata search.
   std::vector<TableResult> Keyword(const std::string& query, size_t k) const;
 
+  /// Keyword search scored against external corpus statistics (the
+  /// cluster's distributed-IDF two-phase protocol: gather per-shard stats
+  /// with KeywordStats, merge, score every shard with the merged totals).
+  /// Null stats fall back to this engine's own corpus.
+  std::vector<TableResult> Keyword(const std::string& query, size_t k,
+                                   const Bm25Index::CorpusStats* stats) const;
+
+  /// This engine's BM25 corpus contribution for `query` (empty when the
+  /// keyword index is not built).
+  Bm25Index::CorpusStats KeywordStats(const std::string& query) const;
+
   /// Joinable-column search with a chosen strategy. For kLshEnsemble the
   /// containment threshold is 0.5. `cancel` (optional) is checked at
   /// dispatch for every method and polled inside the JOSIE and

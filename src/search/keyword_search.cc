@@ -39,13 +39,24 @@ KeywordSearchEngine::KeywordSearchEngine(const DataLakeCatalog* catalog,
 
 std::vector<TableResult> KeywordSearchEngine::Search(const std::string& query,
                                                      size_t k) const {
+  return Search(query, k, nullptr);
+}
+
+std::vector<TableResult> KeywordSearchEngine::Search(
+    const std::string& query, size_t k,
+    const Bm25Index::CorpusStats* stats) const {
   std::vector<TableResult> out;
   for (const auto& [id, score] :
-       index_.Search(TokenizeWordsNoStopwords(query), k)) {
+       index_.Search(TokenizeWordsNoStopwords(query), k, stats)) {
     out.push_back(TableResult{static_cast<TableId>(id), score,
                               "bm25 metadata match"});
   }
   return out;
+}
+
+Bm25Index::CorpusStats KeywordSearchEngine::GatherStats(
+    const std::string& query) const {
+  return index_.GatherStats(TokenizeWordsNoStopwords(query));
 }
 
 }  // namespace lake

@@ -30,6 +30,14 @@ class KeywordSearchEngine {
   /// Top-k tables for a free-text query.
   std::vector<TableResult> Search(const std::string& query, size_t k) const;
 
+  /// Search scored against external (e.g. cluster-merged) corpus
+  /// statistics; null falls back to this engine's own corpus.
+  std::vector<TableResult> Search(const std::string& query, size_t k,
+                                  const Bm25Index::CorpusStats* stats) const;
+
+  /// This engine's contribution to a distributed-IDF gather for `query`.
+  Bm25Index::CorpusStats GatherStats(const std::string& query) const;
+
  private:
   const DataLakeCatalog* catalog_;
   Options options_;

@@ -118,6 +118,76 @@ LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return it->second.get();
 }
 
+std::string MetricsRegistry::FlatName(const std::string& name,
+                                      const std::string& label_key,
+                                      const std::string& value) {
+  return name + "{" + label_key + "=" + value + "}";
+}
+
+CounterFamily* MetricsRegistry::GetCounterFamily(
+    const std::string& name, const std::string& label_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = name + "\x1f" + label_key;
+  auto it = counter_families_.find(key);
+  if (it == counter_families_.end()) {
+    it = counter_families_
+             .emplace(key, std::unique_ptr<CounterFamily>(
+                               new CounterFamily(this, name, label_key)))
+             .first;
+  }
+  return it->second.get();
+}
+
+GaugeFamily* MetricsRegistry::GetGaugeFamily(const std::string& name,
+                                             const std::string& label_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = name + "\x1f" + label_key;
+  auto it = gauge_families_.find(key);
+  if (it == gauge_families_.end()) {
+    it = gauge_families_
+             .emplace(key, std::unique_ptr<GaugeFamily>(
+                               new GaugeFamily(this, name, label_key)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Counter* CounterFamily::WithLabel(const std::string& value) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_label_.find(value);
+    if (it != by_label_.end()) return it->second;
+  }
+  // Resolve outside our lock: the registry lock nests inside nothing here
+  // (GetCounterFamily never calls back into a family).
+  Counter* counter = registry_->GetCounter(
+      MetricsRegistry::FlatName(name_, label_key_, value));
+  std::lock_guard<std::mutex> lock(mu_);
+  by_label_.emplace(value, counter);
+  return counter;
+}
+
+Counter* CounterFamily::WithLabel(uint64_t value) {
+  return WithLabel(std::to_string(value));
+}
+
+Gauge* GaugeFamily::WithLabel(const std::string& value) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_label_.find(value);
+    if (it != by_label_.end()) return it->second;
+  }
+  Gauge* gauge = registry_->GetGauge(
+      MetricsRegistry::FlatName(name_, label_key_, value));
+  std::lock_guard<std::mutex> lock(mu_);
+  by_label_.emplace(value, gauge);
+  return gauge;
+}
+
+Gauge* GaugeFamily::WithLabel(uint64_t value) {
+  return WithLabel(std::to_string(value));
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
   Snapshot out;
   std::lock_guard<std::mutex> lock(mu_);

@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "util/serialize.h"
@@ -92,6 +93,57 @@ class LatencyHistogram {
   std::atomic<uint64_t> max_micros_{0};
 };
 
+class MetricsRegistry;
+
+/// A family of counters sharing one name and distinguished by a label
+/// value (e.g. cluster.shard.queries labeled by shard id) — the supported
+/// way to emit per-shard / per-replica metrics instead of concatenating
+/// names at every call site. WithLabel creates on first use and returns a
+/// stable pointer callers cache; each labeled member is exported through
+/// the owning registry as `name{label_key=value}`, so every existing
+/// snapshot/text/JSON/binary consumer sees it as a plain counter.
+class CounterFamily {
+ public:
+  Counter* WithLabel(const std::string& value);
+  /// Convenience for integer labels (shard/replica indexes).
+  Counter* WithLabel(uint64_t value);
+
+ private:
+  friend class MetricsRegistry;
+  CounterFamily(MetricsRegistry* registry, std::string name,
+                std::string label_key)
+      : registry_(registry),
+        name_(std::move(name)),
+        label_key_(std::move(label_key)) {}
+
+  MetricsRegistry* registry_;
+  std::string name_;
+  std::string label_key_;
+  std::mutex mu_;
+  std::unordered_map<std::string, Counter*> by_label_;
+};
+
+/// Labeled gauges, same contract as CounterFamily.
+class GaugeFamily {
+ public:
+  Gauge* WithLabel(const std::string& value);
+  Gauge* WithLabel(uint64_t value);
+
+ private:
+  friend class MetricsRegistry;
+  GaugeFamily(MetricsRegistry* registry, std::string name,
+              std::string label_key)
+      : registry_(registry),
+        name_(std::move(name)),
+        label_key_(std::move(label_key)) {}
+
+  MetricsRegistry* registry_;
+  std::string name_;
+  std::string label_key_;
+  std::mutex mu_;
+  std::unordered_map<std::string, Gauge*> by_label_;
+};
+
 /// Registry of named counters and latency histograms the serving layer
 /// (executor, cache, engine hooks) reports into. Get* creates on first use
 /// and returns a stable pointer callers cache; snapshots are consistent
@@ -118,6 +170,20 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   LatencyHistogram* GetHistogram(const std::string& name);
 
+  /// Labeled families. The (name, label_key) pair identifies one family;
+  /// members flatten into the registry as `name{label_key=value}` (see
+  /// FlatName), so exports and the binary snapshot need no new schema.
+  CounterFamily* GetCounterFamily(const std::string& name,
+                                  const std::string& label_key);
+  GaugeFamily* GetGaugeFamily(const std::string& name,
+                              const std::string& label_key);
+
+  /// Flattened export name of one family member:
+  /// `cluster.shard.queries{shard=3}`.
+  static std::string FlatName(const std::string& name,
+                              const std::string& label_key,
+                              const std::string& value);
+
   Snapshot Snap() const;
 
   /// Human-readable dump, one metric per line.
@@ -130,6 +196,10 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  /// Families keyed by "name\x1f[label_key]"; members live in the plain
+  /// maps above under their flattened names.
+  std::map<std::string, std::unique_ptr<CounterFamily>> counter_families_;
+  std::map<std::string, std::unique_ptr<GaugeFamily>> gauge_families_;
 };
 
 /// Binary round-trip of a registry snapshot (BinaryWriter/BinaryReader),

@@ -197,6 +197,8 @@ QueryService::QueryService(const DiscoveryEngine* engine, Options options)
       admission_in_flight_gauge_(
           metrics_.GetGauge("serve.admission.in_flight")),
       breakers_open_gauge_(metrics_.GetGauge("serve.breakers.open")),
+      breaker_state_gauges_(
+          metrics_.GetGaugeFamily("serve.breaker.state", "modality")),
       cache_hits_(metrics_.GetCounter("serve.cache.hits")),
       cache_misses_(metrics_.GetCounter("serve.cache.misses")),
       josie_postings_read_(
@@ -217,6 +219,13 @@ QueryService::QueryService(const ingest::LiveEngine* live, Options options)
     : QueryService(static_cast<const DiscoveryEngine*>(nullptr),
                    std::move(options)) {
   live_ = live;
+}
+
+QueryService::QueryService(const cluster::ClusterEngine* cluster,
+                           Options options)
+    : QueryService(static_cast<const DiscoveryEngine*>(nullptr),
+                   std::move(options)) {
+  cluster_ = cluster;
 }
 
 QueryService::~QueryService() = default;
@@ -260,8 +269,13 @@ std::string QueryService::ModalityName(const QueryRequest& request) {
 }
 
 uint64_t QueryService::CacheKey(const QueryRequest& request) const {
-  return CacheKeyWithVersion(request,
-                             live_ != nullptr ? live_->version() : 0);
+  uint64_t version = 0;
+  if (cluster_ != nullptr) {
+    version = cluster_->version();
+  } else if (live_ != nullptr) {
+    version = live_->version();
+  }
+  return CacheKeyWithVersion(request, version);
 }
 
 uint64_t QueryService::CacheKeyWithVersion(const QueryRequest& request,
@@ -284,6 +298,9 @@ uint64_t QueryService::CacheKeyWithVersion(const QueryRequest& request,
     case QueryKind::kUnion:
       h = HashCombine(h, static_cast<uint64_t>(request.union_method));
       h = HashCombine(h, HashTable(*request.union_table));
+      if (!request.exclude_name.empty()) {
+        h = HashCombine(h, Hash64(request.exclude_name, /*seed=*/7));
+      }
       break;
     case QueryKind::kCorrelated:
       h = HashCombine(h, HashValuesUnordered(request.values));
@@ -407,8 +424,8 @@ QueryService::HealthSnapshot QueryService::Health() {
     bs.failure_rate = breaker->failure_rate(now);
     bs.trips = breaker->trips();
     if (bs.state == CircuitBreaker::State::kOpen) ++health.open_breakers;
-    metrics_.GetGauge("serve.breaker." + name + ".state")
-        ->Set(static_cast<uint64_t>(bs.state));
+    breaker_state_gauges_->WithLabel(name)->Set(
+        static_cast<uint64_t>(bs.state));
     health.breakers.push_back(std::move(bs));
   }
 
@@ -423,6 +440,15 @@ QueryService::HealthSnapshot QueryService::Health() {
     health.wal_unsynced_records = wal.unsynced_records;
     metrics_.GetGauge("ingest.wal.unsynced_records")
         ->Set(wal.unsynced_records);
+  }
+
+  if (cluster_ != nullptr) {
+    health.shards = cluster_->Health();
+    for (const auto& shard : health.shards) {
+      // A shard with no live replica cannot answer its partition: every
+      // query is at best partial until a replica is revived.
+      if (shard.replicas_alive == 0) health.degraded = true;
+    }
   }
 
   health.ok = !health.degraded && health.open_breakers == 0;
@@ -440,22 +466,84 @@ void QueryService::InvalidateCache() {
 }
 
 std::optional<QueryService::Fallback> QueryService::FallbackFor(
-    const QueryRequest& request, const DiscoveryEngine& engine) const {
+    const QueryRequest& request, const ExecContext& ctx) const {
   // The survey's accuracy/latency pairs: the expensive high-recall method
-  // falls back to the cheap sketch/embedding-average alternative.
+  // falls back to the cheap sketch/embedding-average alternative. In
+  // cluster mode the shards were all built with the same options, so the
+  // build flags say what indexes exist; single-engine mode asks the
+  // engine directly.
+  bool has_tus = false;
+  bool has_lsh_join = false;
+  if (ctx.cluster != nullptr) {
+    const DiscoveryEngine::Options& base =
+        ctx.cluster->options().engine.base_options;
+    has_tus = base.build_tus;
+    has_lsh_join = base.build_lsh_join;
+  } else {
+    has_tus = ctx.engine->tus() != nullptr;
+    has_lsh_join = ctx.engine->lsh_join() != nullptr;
+  }
   if (request.kind == QueryKind::kUnion &&
-      request.union_method == UnionMethod::kStarmie &&
-      engine.tus() != nullptr) {
+      request.union_method == UnionMethod::kStarmie && has_tus) {
     return Fallback{request.join_method, UnionMethod::kTus, "union.tus",
                     brownout_union_};
   }
   if (request.kind == QueryKind::kJoin &&
-      request.join_method == JoinMethod::kJosie &&
-      engine.lsh_join() != nullptr) {
+      request.join_method == JoinMethod::kJosie && has_lsh_join) {
     return Fallback{JoinMethod::kLshEnsemble, request.union_method,
                     "join.lsh_ensemble", brownout_join_};
   }
   return std::nullopt;
+}
+
+void QueryService::ExecuteCluster(const QueryRequest& request,
+                                  JoinMethod join_method,
+                                  UnionMethod union_method,
+                                  const CancelToken* cancel,
+                                  QueryResponse* response) {
+  // Scatter-gather to all shards. A slow or dead shard yields a partial
+  // answer flagged degraded (and therefore never cached) rather than a
+  // hung query; the surviving hits carry (shard, stable name) provenance.
+  auto take_tables = [&](cluster::TableQueryResponse r) {
+    response->status = r.status;
+    response->degraded |= r.degraded;
+    response->missing_shards = std::move(r.missing_shards);
+    for (const cluster::TableHit& h : r.hits) {
+      response->tables.push_back(TableResult{h.local_id, h.score, h.why});
+      response->table_names.push_back(h.table);
+      response->shards.push_back(h.shard);
+    }
+  };
+  auto take_columns = [&](cluster::ColumnQueryResponse r) {
+    response->status = r.status;
+    response->degraded |= r.degraded;
+    response->missing_shards = std::move(r.missing_shards);
+    for (const cluster::ColumnHit& h : r.hits) {
+      response->columns.push_back(ColumnResult{
+          ColumnRef{h.local_id, static_cast<uint32_t>(h.column_index)},
+          h.score, h.why});
+      response->table_names.push_back(h.table);
+      response->shards.push_back(h.shard);
+    }
+  };
+  switch (request.kind) {
+    case QueryKind::kKeyword:
+      take_tables(cluster_->Keyword(request.keyword, request.k, cancel));
+      break;
+    case QueryKind::kJoin:
+      take_columns(
+          cluster_->Joinable(request.values, join_method, request.k, cancel));
+      break;
+    case QueryKind::kUnion:
+      take_tables(cluster_->Unionable(*request.union_table, union_method,
+                                      request.k, request.exclude_name,
+                                      cancel));
+      break;
+    case QueryKind::kCorrelated:
+      take_columns(cluster_->Correlated(request.values, request.numeric_values,
+                                        request.k, cancel));
+      break;
+  }
 }
 
 void QueryService::ExecuteEngine(const QueryRequest& request,
@@ -473,6 +561,8 @@ void QueryService::ExecuteEngine(const QueryRequest& request,
   const Status injected = ExecFailpoint("serve.exec." + modality, cancel);
   if (!injected.ok()) {
     response->status = injected;
+  } else if (ctx.cluster != nullptr) {
+    ExecuteCluster(request, join_method, union_method, cancel, response);
   } else {
     switch (request.kind) {
       case QueryKind::kKeyword:
@@ -580,7 +670,7 @@ void QueryService::ExecutePlan(const QueryRequest& request,
       breaker != nullptr ? breaker->Allow(Clock::now())
                          : CircuitBreaker::Permit::kAllowed;
 
-  std::optional<Fallback> fallback = FallbackFor(request, *ctx.engine);
+  std::optional<Fallback> fallback = FallbackFor(request, ctx);
   if (!options_.enable_brownout || request.require_exact_method) {
     fallback.reset();
   }
@@ -602,6 +692,9 @@ void QueryService::ExecutePlan(const QueryRequest& request,
     response->status = alt.status;
     response->tables = std::move(alt.tables);
     response->columns = std::move(alt.columns);
+    response->table_names = std::move(alt.table_names);
+    response->shards = std::move(alt.shards);
+    response->missing_shards = std::move(alt.missing_shards);
     response->served_by = std::move(alt.served_by);
     response->degraded = true;
     brownout_total_->Add();
@@ -678,18 +771,23 @@ QueryResponse QueryService::Run(
   // can make us a stale-but-correctly-keyed entry, never a mismatched
   // one).
   ExecContext ctx;
-  if (live_ != nullptr) {
+  uint64_t version = 0;
+  if (cluster_ != nullptr) {
+    // Cluster mode pins no single generation (each shard pins its own at
+    // scatter time); the cluster's topology/ingest version keys the cache
+    // so any ApplyBatch or rebalance routes around stale entries.
+    ctx.cluster = cluster_;
+    version = cluster_->version();
+  } else if (live_ != nullptr) {
     ctx.gen = live_->Acquire();
     ctx.engine = &ctx.gen->base();
+    version = ctx.gen->version();
   } else {
     ctx.engine = engine_;
   }
 
   const bool use_cache = options_.enable_cache && !request.bypass_cache;
-  const uint64_t key =
-      use_cache ? CacheKeyWithVersion(
-                      request, ctx.gen != nullptr ? ctx.gen->version() : 0)
-                : 0;
+  const uint64_t key = use_cache ? CacheKeyWithVersion(request, version) : 0;
 
   if (response.status.ok()) {
     // A query that spent its whole budget queued fails before touching the
@@ -701,6 +799,8 @@ QueryResponse QueryService::Run(
         cache_hits_->Add();
         response.tables = std::move(hit.tables);
         response.columns = std::move(hit.columns);
+        response.table_names = std::move(hit.table_names);
+        response.shards = std::move(hit.shards);
         response.cache_hit = true;
       } else {
         cache_misses_->Add();
@@ -716,7 +816,9 @@ QueryResponse QueryService::Run(
       // brownout answer must not shadow the full-quality method's entry.
       if (response.status.ok() && use_cache && !response.degraded &&
           cancel->Check().ok()) {
-        cache_.Insert(key, CachedResult{response.tables, response.columns});
+        cache_.Insert(key,
+                      CachedResult{response.tables, response.columns,
+                                   response.table_names, response.shards});
       }
     }
   }

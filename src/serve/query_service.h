@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_engine.h"
 #include "ingest/generation.h"
 #include "search/discovery_engine.h"
 #include "serve/admission.h"
@@ -48,8 +49,12 @@ struct QueryRequest {
   JoinMethod join_method = JoinMethod::kJosie;
   UnionMethod union_method = UnionMethod::kStarmie;
   size_t k = 10;
-  /// Exclude a self-match by table id (union search).
+  /// Exclude a self-match by table id (union search, single-engine modes).
   int64_t exclude = -1;
+  /// Exclude a self-match by table name (union search, cluster mode —
+  /// table ids are shard-local there, so names are the only stable way to
+  /// address a table). Ignored in single-engine modes.
+  std::string exclude_name;
 
   /// Scheduling class: under overload, batch queries are shed before any
   /// interactive query is touched.
@@ -81,6 +86,13 @@ struct QueryResponse {
   /// Modality that actually produced the answer ("union.tus",
   /// "join.josie", ...); empty for cache hits and unexecuted failures.
   std::string served_by;
+  /// Cluster-mode provenance, parallel to tables/columns (empty in
+  /// single-engine modes): each hit's stable table name and owning shard.
+  std::vector<std::string> table_names;
+  std::vector<uint32_t> shards;
+  /// Cluster mode: shards that failed to answer within their deadline
+  /// budget. Non-empty implies `degraded` — the hits are partial coverage.
+  std::vector<uint32_t> missing_shards;
   double latency_ms = 0;  // admission to completion, incl. queue wait
 };
 
@@ -157,6 +169,13 @@ class QueryService {
   /// publish version, so a publish logically invalidates stale entries.
   QueryService(const ingest::LiveEngine* live, Options options);
 
+  /// Serves a sharded cluster: queries scatter to every shard and gather
+  /// through the cluster's N-way merge; per-query provenance
+  /// (table_names/shards/missing_shards) reports where each hit lives. A
+  /// response missing shards is flagged degraded and never cached. Cache
+  /// keys mix the cluster's mutation version.
+  QueryService(const cluster::ClusterEngine* cluster, Options options);
+
   /// Drains in-flight queries before returning.
   ~QueryService();
 
@@ -223,6 +242,10 @@ class QueryService {
     uint64_t wal_last_lsn = 0;
     uint64_t wal_durable_lsn = 0;
     uint64_t wal_unsynced_records = 0;
+
+    /// Cluster mode: per-shard replica/breaker health (empty otherwise).
+    /// A shard with zero live replicas marks the service degraded.
+    std::vector<cluster::ClusterEngine::ShardHealth> shards;
   };
 
   /// Snapshot of health state; also refreshes the serve.degraded,
@@ -244,10 +267,13 @@ class QueryService {
   /// Engine snapshot one query executes against. In live mode `gen` pins
   /// the acquired generation (RCU: the swapped-out state stays alive until
   /// this query drains) and `engine` points at its base; in frozen mode
-  /// `gen` is null and `engine` is the constructor's engine.
+  /// `gen` is null and `engine` is the constructor's engine; in cluster
+  /// mode `cluster` is set and `engine`/`gen` stay null (the cluster pins
+  /// per-shard generations internally).
   struct ExecContext {
     const DiscoveryEngine* engine = nullptr;
     std::shared_ptr<const ingest::Generation> gen;
+    const cluster::ClusterEngine* cluster = nullptr;
   };
 
   QueryResponse Run(const QueryRequest& request, const CancelToken* cancel,
@@ -272,7 +298,12 @@ class QueryService {
     Counter* counter = nullptr;  // serve.brownout.<kind>
   };
   std::optional<Fallback> FallbackFor(const QueryRequest& request,
-                                      const DiscoveryEngine& engine) const;
+                                      const ExecContext& ctx) const;
+  /// Cluster-mode dispatch: scatter-gather through the cluster engine and
+  /// translate hits into the response (ids + names + shards + missing).
+  void ExecuteCluster(const QueryRequest& request, JoinMethod join_method,
+                      UnionMethod union_method, const CancelToken* cancel,
+                      QueryResponse* response);
   /// JOSIE path with the engine hook: harvests the index's per-query work
   /// counters (postings read) into the registry.
   Result<std::vector<ColumnResult>> JosieWithStats(
@@ -282,6 +313,7 @@ class QueryService {
 
   const DiscoveryEngine* engine_;
   const ingest::LiveEngine* live_ = nullptr;
+  const cluster::ClusterEngine* cluster_ = nullptr;
   Options options_;
   MetricsRegistry metrics_;
   ResultCache cache_;
@@ -311,6 +343,10 @@ class QueryService {
   Gauge* admission_limit_gauge_;
   Gauge* admission_in_flight_gauge_;
   Gauge* breakers_open_gauge_;
+  /// Per-modality breaker state as one labeled family
+  /// (serve.breaker.state{modality=...}) instead of a gauge per
+  /// concatenated name.
+  GaugeFamily* breaker_state_gauges_;
   Counter* cache_hits_;
   Counter* cache_misses_;
   Counter* josie_postings_read_;

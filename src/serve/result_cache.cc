@@ -13,6 +13,10 @@ size_t CachedResult::ApproxBytes() const {
   for (const ColumnResult& c : columns) {
     bytes += sizeof(ColumnResult) + c.why.capacity();
   }
+  for (const std::string& n : table_names) {
+    bytes += sizeof(std::string) + n.capacity();
+  }
+  bytes += shards.capacity() * sizeof(uint32_t);
   return bytes;
 }
 

@@ -19,6 +19,11 @@ namespace lake::serve {
 struct CachedResult {
   std::vector<TableResult> tables;
   std::vector<ColumnResult> columns;
+  /// Cluster-mode provenance, parallel to tables/columns (empty when the
+  /// answer came from a single engine): the stable table names and the
+  /// shard each hit came from.
+  std::vector<std::string> table_names;
+  std::vector<uint32_t> shards;
 
   /// Approximate heap footprint, used for the cache's memory bound.
   size_t ApproxBytes() const;
