@@ -36,6 +36,7 @@
 #include "serve/query_service.h"
 #include "store/recovery.h"
 #include "store/snapshot.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace {
@@ -394,6 +395,113 @@ std::vector<QueryRequest> ClusterWorkload(
   return out;
 }
 
+// ------------------------------------------- anti-entropy cells (E21)
+
+/// E21: the cost of replica consistency. Two cells: (1) scrub overhead —
+/// the same workload replayed with the background scrubber off vs on at
+/// an aggressive cadence (the steady-state pass is R digest loads per
+/// shard, so the p95s should be statistically indistinguishable); (2)
+/// repair convergence — every replica 1 misses one mutation batch
+/// (injected apply failure), and the wall time from the divergent ack to
+/// cluster-wide digest equality is the time the lake serves with reduced
+/// redundancy.
+int RunAntiEntropy(const GeneratedLake& lake,
+                   const DiscoveryEngine::Options& eopts,
+                   const std::vector<QueryRequest>& workload) {
+  using lake::cluster::ClusterEngine;
+  using lake::cluster::ReplicaSet;
+  std::printf(
+      "\nE21: anti-entropy — scrub overhead and repair convergence\n");
+
+  auto cluster_options = [&](bool scrub_on) {
+    ClusterEngine::Options copts;
+    copts.num_shards = 2;
+    copts.num_replicas = 2;
+    copts.write_quorum = 1;  // R=2: one replica down must not block acks
+    copts.engine.base_options = eopts;
+    copts.engine.kb = &lake.kb;
+    copts.enable_scrubber = scrub_on;
+    copts.scrub_interval_ms = 10;  // worst-case cadence for the overhead cell
+    return copts;
+  };
+
+  // Cell 1: query tail with the scrubber off vs hammering every 10ms.
+  double p95_off = 0;
+  double p95_on = 0;
+  for (const bool scrub_on : {false, true}) {
+    ClusterEngine cluster(lake.catalog, cluster_options(scrub_on));
+    QueryService::Options sopts;
+    sopts.num_workers = 4;
+    sopts.max_pending = 4096;
+    QueryService service(&cluster, sopts);
+    const PassResult r = Replay(service, workload, /*bypass_cache=*/true);
+    (scrub_on ? p95_on : p95_off) = r.p95_ms;
+    std::printf("scrubber %-3s (2 shards x 2 replicas, 10ms cadence): "
+                "qps %.1f  p50 %.3fms  p95 %.3fms\n",
+                scrub_on ? "on" : "off", r.qps, r.p50_ms, r.p95_ms);
+  }
+  const double overhead =
+      p95_off > 0 ? (p95_on - p95_off) / p95_off * 100.0 : 0;
+  std::printf("scrub overhead: p95 %.3fms -> %.3fms (%+.1f%%)\n", p95_off,
+              p95_on, overhead);
+  lake::bench::PrintJsonLine(
+      "E21:bench_serve:scrub_overhead",
+      StrFormat("\"shards\":2,\"replicas\":2,\"scrub_interval_ms\":10,"
+                "\"p95_off_ms\":%.3f,\"p95_on_ms\":%.3f,"
+                "\"overhead_pct\":%.1f",
+                p95_off, p95_on, overhead));
+
+  // Cell 2: inject divergence, time the background repair. Replica 1 of
+  // both shards misses one 16-table batch; convergence is Health showing
+  // digest equality and zero stale replicas again.
+  ClusterEngine::Options copts = cluster_options(true);
+  copts.scrub_interval_ms = 25;
+  ClusterEngine cluster(lake.catalog, copts);
+  constexpr size_t kDivergentTables = 16;
+  lake::ingest::LiveEngine::Batch batch;
+  for (size_t i = 0; i < kDivergentTables; ++i) {
+    lake::Table derived =
+        lake.catalog.table(static_cast<lake::TableId>(i));
+    derived.set_name("repair_probe_" + std::to_string(i));
+    batch.adds.push_back(std::move(derived));
+  }
+  for (uint32_t s = 0; s < 2; ++s) {
+    lake::FaultSpec spec;
+    spec.max_fires = 1;
+    lake::FailpointRegistry::Instance().Arm(
+        ReplicaSet::ApplyFailpointName(s, 1), spec);
+  }
+  const auto diverge_start = std::chrono::steady_clock::now();
+  size_t acked = 0;
+  for (const auto& add : cluster.ApplyBatch(std::move(batch)).adds) {
+    if (add.ok()) ++acked;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  bool converged = false;
+  while (!converged && std::chrono::steady_clock::now() < deadline) {
+    converged = true;
+    for (const ClusterEngine::ShardHealth& sh : cluster.Health()) {
+      if (!sh.digests_agree || sh.replicas_stale != 0) converged = false;
+    }
+    if (!converged) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const double convergence_ms = ElapsedMs(diverge_start);
+  lake::FailpointRegistry::Instance().Clear();
+  std::printf(
+      "repair convergence: %zu/%zu adds acked with replica 1 down on both "
+      "shards; background scrub (25ms cadence) restored digest equality "
+      "in %.1fms (converged=%d)\n",
+      acked, kDivergentTables, convergence_ms, converged ? 1 : 0);
+  lake::bench::PrintJsonLine(
+      "E21:bench_serve:repair",
+      StrFormat("\"shards\":2,\"replicas\":2,\"divergent_tables\":%zu,"
+                "\"acked\":%zu,\"scrub_interval_ms\":25,"
+                "\"convergence_ms\":%.1f,\"converged\":%d",
+                kDivergentTables, acked, convergence_ms, converged ? 1 : 0));
+  return converged ? 0 : 1;
+}
+
 /// E20: scatter-gather serving over N shards — shard-parallel index build
 /// and per-shard top-k, then a failover cell (4 shards, 2 replicas, every
 /// primary killed) that must stay exact and keep its tail bounded.
@@ -504,7 +612,8 @@ int RunShardSweep(const GeneratedLake& lake,
       StrFormat("\"shards\":4,\"replicas\":2,\"healthy_p95_ms\":%.3f,"
                 "\"failover_p95_ms\":%.3f,\"tail_ratio\":%.2f,\"exact\":%d",
                 healthy.p95_ms, failover.p95_ms, tail_ratio, exact ? 1 : 0));
-  return 0;
+
+  return RunAntiEntropy(lake, eopts, workload);
 }
 
 }  // namespace

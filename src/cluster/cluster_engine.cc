@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "cluster/scrubber.h"
 #include "cluster/topk_merge.h"
 #include "ingest/generation.h"
 #include "util/failpoint.h"
@@ -386,9 +387,20 @@ ClusterEngine::ClusterEngine(const DataLakeCatalog& lake, Options options)
         std::move(replica_options[s]));
   });
   Publish(std::move(topo));
+  StartScrubber();
 }
 
-ClusterEngine::~ClusterEngine() = default;
+ClusterEngine::~ClusterEngine() {
+  // Stop the scrub thread before the topology/pool it walks goes away.
+  if (scrubber_ != nullptr) scrubber_->Stop();
+}
+
+void ClusterEngine::StartScrubber() {
+  if (!options_.enable_scrubber) return;
+  Scrubber::Options so;
+  so.poll_interval_ms = options_.scrub_interval_ms;
+  scrubber_ = std::make_unique<Scrubber>(this, so);
+}
 
 void ClusterEngine::Publish(std::shared_ptr<const Topology> topo) {
   topology_.store(std::move(topo), std::memory_order_release);
@@ -410,6 +422,8 @@ ReplicaSet::Options ClusterEngine::ReplicaOptions(uint32_t shard) {
   ro.num_replicas = options_.num_replicas;
   ro.engine = options_.engine;
   ro.breaker = options_.breaker;
+  ro.write_quorum = options_.write_quorum;
+  ro.metrics = options_.metrics;
   if (!options_.store_root.empty()) {
     ro.replica_stores.reserve(ro.num_replicas);
     for (size_t r = 0; r < ro.num_replicas; ++r) {
@@ -433,6 +447,16 @@ void ClusterEngine::InitMetrics() {
   shard_tables_ = m->GetGaugeFamily("cluster.shard.tables", "shard");
   shard_replicas_alive_ =
       m->GetGaugeFamily("cluster.shard.replicas_alive", "shard");
+  shard_replicas_serving_ =
+      m->GetGaugeFamily("cluster.shard.replicas_serving", "shard");
+  scrub_passes_ = m->GetCounter("cluster.repair.scrub_passes");
+  repair_replicas_ =
+      m->GetCounterFamily("cluster.repair.replicas_repaired", "shard");
+  repair_tables_copied_ =
+      m->GetCounterFamily("cluster.repair.tables_copied", "shard");
+  repair_tables_dropped_ =
+      m->GetCounterFamily("cluster.repair.tables_dropped", "shard");
+  repair_failures_ = m->GetCounterFamily("cluster.repair.failures", "shard");
 }
 
 Result<std::unique_ptr<ClusterEngine>> ClusterEngine::Recover(
@@ -490,13 +514,18 @@ Result<std::unique_ptr<ClusterEngine>> ClusterEngine::Recover(
     }
     max_replicas = std::max(max_replicas, replicas.size());
     topo->ring.AddShard(id);
+    ReplicaSet::Options ro;
+    ro.breaker = cluster->options_.breaker;
+    ro.write_quorum = cluster->options_.write_quorum;
+    ro.metrics = cluster->options_.metrics;
     topo->shards.push_back(std::make_shared<ReplicaSet>(
-        id, std::move(replicas), cluster->options_.breaker));
+        id, std::move(replicas), std::move(ro)));
   }
   cluster->options_.num_shards = shard_ids.size();
   cluster->options_.num_replicas = max_replicas;
   cluster->next_shard_id_ = shard_ids.back() + 1;
   cluster->Publish(std::move(topo));
+  cluster->StartScrubber();
   return std::move(cluster);
 }
 
@@ -879,8 +908,20 @@ std::vector<ClusterEngine::ShardHealth> ClusterEngine::Health() const {
       ReplicaHealth rh;
       rh.replica = r;
       rh.alive = rs->alive(r);
+      rh.stale = rs->stale(r);
+      rh.content_digest = rs->replica(r)->content_digest();
       rh.breaker_state = rs->breaker(r)->state(now);
       rh.breaker_trips = rs->breaker(r)->trips();
+      // Pick's actual eligibility: dead, stale, and breaker-open replicas
+      // are all skipped, so none of them may report as serving.
+      rh.serving = rh.alive && !rh.stale &&
+                   rh.breaker_state != serve::CircuitBreaker::State::kOpen;
+      if (rh.serving) ++h.replicas_serving;
+      if (rh.stale) ++h.replicas_stale;
+      if (!h.replicas.empty() &&
+          rh.content_digest != h.replicas.front().content_digest) {
+        h.digests_agree = false;
+      }
       h.replicas.push_back(rh);
     }
     if (shard_tables_ != nullptr) {
@@ -889,9 +930,148 @@ std::vector<ClusterEngine::ShardHealth> ClusterEngine::Health() const {
     if (shard_replicas_alive_ != nullptr) {
       shard_replicas_alive_->WithLabel(h.shard)->Set(h.replicas_alive);
     }
+    if (shard_replicas_serving_ != nullptr) {
+      shard_replicas_serving_->WithLabel(h.shard)->Set(h.replicas_serving);
+    }
     out.push_back(std::move(h));
   }
   return out;
+}
+
+// --- Anti-entropy --------------------------------------------------------
+
+ClusterEngine::ScrubReport ClusterEngine::ScrubOnce() {
+  const Clock::time_point start = Clock::now();
+  ScrubReport report;
+  auto topo = topology();
+  if (topo == nullptr) return report;
+  for (const std::shared_ptr<ReplicaSet>& rs : topo->shards) {
+    ++report.shards_checked;
+    // Cheap pre-check without the write lock: no stale flags and all
+    // digests equal is the steady state, and costs R atomic loads.
+    bool suspect = rs->num_stale() > 0;
+    const uint64_t first = rs->replica(0)->content_digest();
+    for (size_t i = 1; !suspect && i < rs->num_replicas(); ++i) {
+      if (rs->replica(i)->content_digest() != first) suspect = true;
+    }
+    if (!suspect) continue;
+    ++report.shards_divergent;
+    // Serialize with the write path (and other scrub passes) so repair
+    // diffs a quiescent shard; queries keep reading the published
+    // generations throughout.
+    std::lock_guard<std::mutex> lock(mutate_mu_);
+    RepairShard(*rs, &report);
+  }
+  if (scrub_passes_ != nullptr) scrub_passes_->Add();
+  report.duration_ms = MsSince(start);
+  return report;
+}
+
+void ClusterEngine::RepairShard(ReplicaSet& rs, ScrubReport* report) {
+  const size_t r = rs.num_replicas();
+  std::vector<uint64_t> digests(r);
+  for (size_t i = 0; i < r; ++i) {
+    digests[i] = rs.replica(i)->content_digest();
+  }
+
+  // Canonical digest = majority vote among non-stale replicas (quorum
+  // writes keep them digest-equal, so the vote is only load-bearing after
+  // divergent recoveries), ties toward the lowest replica index. An
+  // all-stale shard — unreachable through the public write path — falls
+  // back to voting among everyone rather than repairing toward nothing.
+  std::vector<size_t> voters;
+  for (size_t i = 0; i < r; ++i) {
+    if (!rs.stale(i)) voters.push_back(i);
+  }
+  if (voters.empty()) {
+    for (size_t i = 0; i < r; ++i) voters.push_back(i);
+  }
+  std::map<uint64_t, size_t> counts;
+  for (size_t i : voters) ++counts[digests[i]];
+  size_t source = voters.front();
+  for (size_t i : voters) {
+    if (counts[digests[i]] > counts[digests[source]]) source = i;
+  }
+  const uint64_t canonical = digests[source];
+
+  for (size_t d = 0; d < r; ++d) {
+    if (digests[d] == canonical) {
+      // Content already matches the canonical copy (e.g. a stale replica
+      // that kept receiving writes and caught back up): re-admit.
+      if (rs.stale(d)) {
+        rs.ClearStale(d);
+        ++report->replicas_repaired;
+        if (repair_replicas_ != nullptr) {
+          repair_replicas_->WithLabel(rs.shard_id())->Add();
+        }
+      }
+      continue;
+    }
+    // Exclude the divergent replica from reads BEFORE touching it — a
+    // divergence found by digest comparison (bit-flipped recovery, dropped
+    // delta section) was never marked by the write path.
+    rs.MarkStale(d);
+
+    // Drill down to per-table digests and build the minimal repair batch:
+    // drop tables the canonical copy lacks, re-copy tables whose digest
+    // differs or that are missing. Removes run before adds within one
+    // LiveEngine batch, so a stale copy is replaced in a single publish.
+    const std::map<std::string, uint32_t> want =
+        rs.replica(source)->TableDigests();
+    const std::map<std::string, uint32_t> have = rs.replica(d)->TableDigests();
+    ingest::LiveEngine::Batch fix;
+    std::vector<std::string> copies;
+    for (const auto& [name, digest] : have) {
+      if (want.count(name) == 0) fix.removes.push_back(name);
+    }
+    for (const auto& [name, digest] : want) {
+      auto it = have.find(name);
+      if (it != have.end() && it->second == digest) continue;
+      if (it != have.end()) fix.removes.push_back(name);
+      copies.push_back(name);
+    }
+    // Copy-then-publish: read the tables from the canonical replica's
+    // published generation (RCU — no locks against its readers), apply to
+    // the divergent replica as one batch through its own publish path.
+    std::shared_ptr<const ingest::Generation> gen =
+        rs.replica(source)->Acquire();
+    for (const std::string& name : copies) {
+      Result<TableId> id = gen->FindTable(name);
+      if (!id.ok()) continue;
+      Result<const Table*> table = gen->FindTableById(id.value());
+      if (!table.ok()) continue;
+      fix.adds.push_back(*table.value());
+    }
+    const size_t copied = fix.adds.size();
+    const size_t dropped = fix.removes.size();
+    report->tables_dropped += dropped;
+    report->tables_copied += copied;
+    if (repair_tables_dropped_ != nullptr) {
+      repair_tables_dropped_->WithLabel(rs.shard_id())->Add(dropped);
+      repair_tables_copied_->WithLabel(rs.shard_id())->Add(copied);
+    }
+    rs.replica(d)->ApplyBatch(std::move(fix));
+
+    // Verify before re-admitting; a replica that still disagrees stays
+    // stale and the next pass retries (counted as a repair failure).
+    if (rs.replica(d)->content_digest() == canonical) {
+      rs.ClearStale(d);
+      ++report->replicas_repaired;
+      if (repair_replicas_ != nullptr) {
+        repair_replicas_->WithLabel(rs.shard_id())->Add();
+      }
+      LAKE_LOG(Info) << "shard " << rs.shard_id() << ": repaired replica "
+                     << d << " (" << copied << " copied, " << dropped
+                     << " dropped)";
+    } else {
+      ++report->replicas_unrepaired;
+      if (repair_failures_ != nullptr) {
+        repair_failures_->WithLabel(rs.shard_id())->Add();
+      }
+      LAKE_LOG(Warning) << "shard " << rs.shard_id() << ": replica " << d
+                        << " still divergent after repair; will retry";
+    }
+  }
 }
 
 // --- Durability ----------------------------------------------------------

@@ -18,6 +18,8 @@
 
 namespace lake::cluster {
 
+class Scrubber;
+
 /// A ranked table hit with cluster provenance. Tables are identified by
 /// name (the stable identity — ids are shard- and generation-local);
 /// `local_id` is the lake-visible id within the owning shard's generation.
@@ -111,6 +113,14 @@ class ClusterEngine {
     /// Durability root: per-replica SnapshotStores (checkpoints + WAL) at
     /// "<store_root>/shard-<s>/replica-<r>". Empty = none.
     std::string store_root;
+    /// Replicas per shard that must apply (and agree on) a mutation batch
+    /// before it acks; 0 = majority (R/2 + 1). See ReplicaSet::Options.
+    size_t write_quorum = 0;
+    /// Run the background anti-entropy scrubber (digest comparison +
+    /// divergence repair) on this cadence. Off by default; ScrubOnce() is
+    /// always available for explicit passes.
+    bool enable_scrubber = false;
+    uint64_t scrub_interval_ms = 100;
     /// Optional metrics sink (cluster.* metrics, per-shard labeled
     /// families).
     serve::MetricsRegistry* metrics = nullptr;
@@ -187,6 +197,15 @@ class ClusterEngine {
   struct ReplicaHealth {
     size_t replica = 0;
     bool alive = true;
+    /// Content diverged from the quorum; excluded from reads until the
+    /// scrubber repairs it (see ReplicaSet::MarkStale).
+    bool stale = false;
+    /// Actually eligible for Pick right now: alive, not stale, and the
+    /// breaker is not open. THIS is the health signal — `alive` alone
+    /// reports a breaker-tripped replica as healthy while Pick skips it.
+    bool serving = true;
+    /// Rolled-up content digest (LiveEngine::content_digest).
+    uint64_t content_digest = 0;
     serve::CircuitBreaker::State breaker_state =
         serve::CircuitBreaker::State::kClosed;
     uint64_t breaker_trips = 0;
@@ -195,11 +214,43 @@ class ClusterEngine {
     uint32_t shard = 0;
     size_t tables = 0;          // visible tables on the shard
     size_t replicas_alive = 0;
+    size_t replicas_serving = 0;
+    size_t replicas_stale = 0;
+    /// All replica content digests are equal (replication is converged).
+    bool digests_agree = true;
     std::vector<ReplicaHealth> replicas;
   };
 
   /// Per-shard health; also refreshes the cluster.shard.* labeled gauges.
   std::vector<ShardHealth> Health() const;
+
+  // --- Anti-entropy ------------------------------------------------------
+
+  struct ScrubReport {
+    size_t shards_checked = 0;
+    /// Shards where stale flags or digest disagreement triggered repair.
+    size_t shards_divergent = 0;
+    /// Replicas brought back to digest equality and re-admitted to reads.
+    size_t replicas_repaired = 0;
+    /// Replicas still divergent after repair (left stale; next pass
+    /// retries).
+    size_t replicas_unrepaired = 0;
+    size_t tables_copied = 0;   // repaired by copy from the canonical peer
+    size_t tables_dropped = 0;  // extra/outdated copies removed
+    double duration_ms = 0;
+  };
+
+  /// One anti-entropy pass: per shard, compare replica content digests
+  /// (plus stale flags); on disagreement drill down to per-table digests
+  /// and repair each divergent replica by copying only the differing
+  /// tables from a majority-agreeing peer (copy-then-publish through the
+  /// replica's own RCU generation path), then re-admit it once its digest
+  /// matches. Runs on the Scrubber's cadence when enable_scrubber is set;
+  /// tests and operators call it directly for deterministic passes.
+  ScrubReport ScrubOnce();
+
+  /// Background scrubber (null unless options.enable_scrubber).
+  Scrubber* scrubber() { return scrubber_.get(); }
 
   // --- Durability -------------------------------------------------------
 
@@ -243,6 +294,11 @@ class ClusterEngine {
 
   ReplicaSet::Options ReplicaOptions(uint32_t shard);
   void InitMetrics();
+  /// Starts the background scrubber when options_.enable_scrubber.
+  void StartScrubber();
+  /// Repairs every divergent replica of one shard toward the canonical
+  /// (majority non-stale) digest. Caller holds mutate_mu_.
+  void RepairShard(ReplicaSet& rs, ScrubReport* report);
   void BumpVersion() {
     version_.fetch_add(1, std::memory_order_acq_rel);
   }
@@ -270,10 +326,18 @@ class ClusterEngine {
   serve::CounterFamily* shard_delta_hits_ = nullptr;
   serve::GaugeFamily* shard_tables_ = nullptr;
   serve::GaugeFamily* shard_replicas_alive_ = nullptr;
+  serve::GaugeFamily* shard_replicas_serving_ = nullptr;
+  serve::Counter* scrub_passes_ = nullptr;
+  serve::CounterFamily* repair_replicas_ = nullptr;
+  serve::CounterFamily* repair_tables_copied_ = nullptr;
+  serve::CounterFamily* repair_tables_dropped_ = nullptr;
+  serve::CounterFamily* repair_failures_ = nullptr;
 
-  /// Scatter/build/ingest pool. Last member: drained before the replica
-  /// sets and stores it references are torn down.
+  /// Scatter/build/ingest pool. Drained before the replica sets and
+  /// stores it references are torn down.
   mutable std::unique_ptr<ThreadPool> pool_;
+  /// Last member: the scrub thread stops before anything it touches dies.
+  std::unique_ptr<Scrubber> scrubber_;
 };
 
 }  // namespace lake::cluster

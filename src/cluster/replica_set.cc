@@ -1,14 +1,48 @@
 #include "cluster/replica_set.h"
 
 #include <algorithm>
+#include <map>
+#include <sstream>
 #include <utility>
 
+#include "util/failpoint.h"
+#include "util/logging.h"
+
 namespace lake::cluster {
+
+namespace {
+
+/// Canonical signature of a BatchOutcome: per-op accept/reject decisions
+/// and assigned ids. Replicas in identical states decide identically, so
+/// any signature difference is divergence (and vice versa: a replica that
+/// silently diverged earlier betrays itself by deciding differently).
+std::string OutcomeSignature(const ingest::LiveEngine::BatchOutcome& o) {
+  std::ostringstream sig;
+  for (const Result<TableId>& add : o.adds) {
+    if (add.ok()) {
+      sig << '+' << add.value() << ';';
+    } else {
+      sig << '!' << static_cast<int>(add.status().code()) << ';';
+    }
+  }
+  sig << '|';
+  for (const Status& remove : o.removes) {
+    sig << (remove.ok() ? 0 : static_cast<int>(remove.code())) << ';';
+  }
+  return std::move(sig).str();
+}
+
+}  // namespace
+
+std::string ReplicaSet::ApplyFailpointName(uint32_t shard, size_t replica) {
+  return "cluster.apply." + std::to_string(shard) + "." +
+         std::to_string(replica);
+}
 
 ReplicaSet::ReplicaSet(uint32_t shard_id,
                        std::shared_ptr<const DataLakeCatalog> catalog,
                        Options options)
-    : shard_id_(shard_id) {
+    : shard_id_(shard_id), write_quorum_option_(options.write_quorum) {
   const size_t r = std::max<size_t>(1, options.num_replicas);
   // One shared immutable base engine: replicas are content-identical by
   // construction, so indexing the shard once is enough. Each replica keeps
@@ -28,24 +62,50 @@ ReplicaSet::ReplicaSet(uint32_t shard_id,
   }
   breakers_.reserve(r);
   alive_.reserve(r);
+  stale_.reserve(r);
   for (size_t i = 0; i < r; ++i) {
     breakers_.push_back(
         std::make_unique<serve::CircuitBreaker>(options.breaker));
     alive_.push_back(std::make_unique<std::atomic<bool>>(true));
+    stale_.push_back(std::make_unique<std::atomic<bool>>(false));
   }
+  InitMetrics(options.metrics);
 }
 
 ReplicaSet::ReplicaSet(
     uint32_t shard_id,
     std::vector<std::unique_ptr<ingest::LiveEngine>> replicas,
-    serve::CircuitBreaker::Options breaker)
-    : shard_id_(shard_id), replicas_(std::move(replicas)) {
+    Options options)
+    : shard_id_(shard_id),
+      write_quorum_option_(options.write_quorum),
+      replicas_(std::move(replicas)) {
   breakers_.reserve(replicas_.size());
   alive_.reserve(replicas_.size());
+  stale_.reserve(replicas_.size());
   for (size_t i = 0; i < replicas_.size(); ++i) {
-    breakers_.push_back(std::make_unique<serve::CircuitBreaker>(breaker));
+    breakers_.push_back(
+        std::make_unique<serve::CircuitBreaker>(options.breaker));
     alive_.push_back(std::make_unique<std::atomic<bool>>(true));
+    stale_.push_back(std::make_unique<std::atomic<bool>>(false));
   }
+  InitMetrics(options.metrics);
+}
+
+void ReplicaSet::InitMetrics(serve::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  outcome_mismatch_ = metrics->GetCounter("cluster.apply.outcome_mismatch");
+  replica_failures_ =
+      metrics->GetCounterFamily("cluster.apply.replica_failures", "shard")
+          ->WithLabel(static_cast<uint64_t>(shard_id_));
+  quorum_failures_ =
+      metrics->GetCounterFamily("cluster.apply.quorum_failures", "shard")
+          ->WithLabel(static_cast<uint64_t>(shard_id_));
+  stale_gauge_ = metrics->GetGaugeFamily("serve.replica.stale", "shard")
+                     ->WithLabel(static_cast<uint64_t>(shard_id_));
+}
+
+void ReplicaSet::ExportStaleGauge() {
+  if (stale_gauge_ != nullptr) stale_gauge_->Set(num_stale());
 }
 
 bool ReplicaSet::Pick(Clock::time_point now, size_t exclude, Route* route) {
@@ -53,7 +113,9 @@ bool ReplicaSet::Pick(Clock::time_point now, size_t exclude, Route* route) {
   const size_t start = next_replica_.fetch_add(1, std::memory_order_relaxed);
   for (size_t i = 0; i < r; ++i) {
     const size_t candidate = (start + i) % r;
-    if (candidate == exclude || !alive(candidate)) continue;
+    if (candidate == exclude || !alive(candidate) || stale(candidate)) {
+      continue;
+    }
     const serve::CircuitBreaker::Permit permit =
         breakers_[candidate]->Allow(now);
     if (permit == serve::CircuitBreaker::Permit::kDenied) continue;
@@ -82,20 +144,168 @@ size_t ReplicaSet::num_alive() const {
   return n;
 }
 
+void ReplicaSet::MarkStale(size_t replica) {
+  stale_[replica]->store(true);
+  ExportStaleGauge();
+}
+
+void ReplicaSet::ClearStale(size_t replica) {
+  stale_[replica]->store(false);
+  ExportStaleGauge();
+}
+
+size_t ReplicaSet::num_stale() const {
+  size_t n = 0;
+  for (const auto& s : stale_) {
+    if (s->load()) ++n;
+  }
+  return n;
+}
+
+size_t ReplicaSet::write_quorum() const {
+  const size_t r = replicas_.size();
+  const size_t w =
+      write_quorum_option_ == 0 ? r / 2 + 1 : write_quorum_option_;
+  return std::min(std::max<size_t>(1, w), r);
+}
+
 ingest::LiveEngine::BatchOutcome ReplicaSet::ApplyBatch(
     ingest::LiveEngine::Batch batch) {
-  // Secondary replicas get copies; the primary consumes the original.
-  for (size_t i = 1; i < replicas_.size(); ++i) {
+  const size_t r = replicas_.size();
+
+  struct Attempt {
+    bool applied = false;  // engine accepted and published the batch
+    bool voter = false;    // was non-stale going in, counts toward quorum
+    ingest::LiveEngine::BatchOutcome outcome;
+    uint64_t digest = 0;  // post-apply content digest
+  };
+  std::vector<Attempt> attempts(r);
+
+  for (size_t i = 0; i < r; ++i) {
+    Attempt& attempt = attempts[i];
+    attempt.voter = !stale(i);
+    // Injected per-replica apply failure: the replica misses the batch
+    // entirely, as if its apply thread died mid-write.
+    if (FailpointHit(ApplyFailpointName(shard_id_, i))) {
+      if (attempt.voter && replica_failures_ != nullptr) {
+        replica_failures_->Add();
+      }
+      continue;
+    }
     ingest::LiveEngine::Batch copy;
-    copy.adds = batch.adds;
-    copy.removes = batch.removes;
-    replicas_[i]->ApplyBatch(std::move(copy));
+    if (i + 1 < r) {
+      copy.adds = batch.adds;
+      copy.removes = batch.removes;
+    } else {
+      copy = std::move(batch);  // last replica consumes the original
+    }
+    attempt.outcome = replicas_[i]->ApplyBatch(std::move(copy));
+    // published == false means the engine rejected the whole batch
+    // atomically (WAL fail-stop, injected publish fault) — a real apply
+    // failure, not a per-op rejection.
+    attempt.applied = attempt.outcome.published;
+    if (attempt.applied) {
+      attempt.digest = replicas_[i]->content_digest();
+    } else if (attempt.voter && replica_failures_ != nullptr) {
+      replica_failures_->Add();
+    }
   }
-  return replicas_[0]->ApplyBatch(std::move(batch));
+
+  // Group the voters that applied by (outcome signature, digest); the
+  // winning group is the largest, ties broken toward the group containing
+  // the lowest replica index (so a 1-vs-1 split trusts replica 0, and the
+  // mismatch still fires in R=2 configs).
+  std::map<std::string, std::vector<size_t>> groups;
+  for (size_t i = 0; i < r; ++i) {
+    if (!attempts[i].voter || !attempts[i].applied) continue;
+    groups[OutcomeSignature(attempts[i].outcome) + '#' +
+           std::to_string(attempts[i].digest)]
+        .push_back(i);
+  }
+  std::vector<size_t> winners;
+  for (const auto& [key, members] : groups) {
+    if (members.size() > winners.size() ||
+        (members.size() == winners.size() && !winners.empty() &&
+         members.front() < winners.front())) {
+      winners = members;
+    }
+  }
+  if (groups.size() > 1) {
+    size_t disagreeing = 0;
+    for (const auto& [key, members] : groups) {
+      if (members != winners) disagreeing += members.size();
+    }
+    if (outcome_mismatch_ != nullptr) outcome_mismatch_->Add(disagreeing);
+    LAKE_LOG(Warning) << "shard " << shard_id_ << ": " << disagreeing
+                      << " replica(s) returned a divergent batch outcome; "
+                         "marking stale";
+  }
+
+  // All-replica failure: no voter applied, so every replica still agrees
+  // on the OLD state — fail-stop the write, mark nobody stale.
+  if (winners.empty()) {
+    if (quorum_failures_ != nullptr) quorum_failures_->Add();
+    const Status failed = Status::Unavailable(
+        "shard " + std::to_string(shard_id_) +
+        ": batch applied on no replica (write path fail-stopped)");
+    ingest::LiveEngine::BatchOutcome outcome;
+    // `batch` may have been consumed by the last replica's attempt; size
+    // the statuses from whichever attempt recorded them, else the batch.
+    const Attempt& shape = attempts[r - 1];
+    const size_t num_adds =
+        shape.outcome.adds.empty() ? batch.adds.size()
+                                   : shape.outcome.adds.size();
+    const size_t num_removes = shape.outcome.removes.empty()
+                                   ? batch.removes.size()
+                                   : shape.outcome.removes.size();
+    outcome.adds.assign(num_adds, failed);
+    outcome.removes.assign(num_removes, failed);
+    return outcome;
+  }
+
+  // Everyone who voted but is not in the winning group — failed applies
+  // and divergent outcomes alike — is now stale: excluded from reads until
+  // the scrubber repairs it back to the winners' digest.
+  std::vector<bool> winner(r, false);
+  for (size_t i : winners) winner[i] = true;
+  for (size_t i = 0; i < r; ++i) {
+    if (attempts[i].voter && !winner[i]) MarkStale(i);
+  }
+
+  const size_t w = write_quorum();
+  if (winners.size() < w) {
+    // Too few agreeing replicas to ack. The winners keep the unacked
+    // write (they are the largest agreeing group, so anti-entropy will
+    // converge the others TO them — an unacknowledged write may surface
+    // later, it is never silently half-applied across the quorum).
+    if (quorum_failures_ != nullptr) quorum_failures_->Add();
+    const Status failed = Status::Unavailable(
+        "shard " + std::to_string(shard_id_) + ": write quorum not met (" +
+        std::to_string(winners.size()) + " of " + std::to_string(r) +
+        " agree, need " + std::to_string(w) + ")");
+    ingest::LiveEngine::BatchOutcome outcome;
+    const ingest::LiveEngine::BatchOutcome& won =
+        attempts[winners.front()].outcome;
+    outcome.adds.assign(won.adds.size(), failed);
+    outcome.removes.assign(won.removes.size(), failed);
+    return outcome;
+  }
+
+  return std::move(attempts[winners.front()].outcome);
 }
 
 std::vector<Table> ReplicaSet::VisibleTables() const {
-  std::shared_ptr<const ingest::Generation> gen = replicas_[0]->Acquire();
+  // Prefer a non-stale replica as the authoritative copy; all-stale (not
+  // reachable through the public write path) falls back to replica 0.
+  size_t source = 0;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (!stale(i)) {
+      source = i;
+      break;
+    }
+  }
+  std::shared_ptr<const ingest::Generation> gen =
+      replicas_[source]->Acquire();
   std::vector<Table> out;
   out.reserve(gen->visible_table_count());
   const DataLakeCatalog& base = gen->base_catalog();

@@ -5,19 +5,30 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ingest/live_engine.h"
 #include "serve/circuit_breaker.h"
+#include "serve/metrics.h"
 
 namespace lake::cluster {
 
 /// R replicas of one shard: identical LiveEngines over the shard's slice
 /// of the lake, each guarded by its own circuit breaker and a liveness
 /// flag. The read path picks one healthy replica per query (round-robin
-/// across queries) and fails over to a sibling when an attempt fails; the
-/// write path applies every accepted mutation to every replica, so
-/// replicas only ever diverge in health, never in content.
+/// across queries) and fails over to a sibling when an attempt fails.
+///
+/// The write path is a quorum protocol, not blind fan-out: every replica
+/// attempts the batch (failpoint "cluster.apply.<shard>.<replica>" injects
+/// per-replica apply failures), the per-replica outcomes + post-apply
+/// content digests are compared, and the largest agreeing group wins. The
+/// batch acks iff that group has at least W members (write_quorum, default
+/// majority). A replica that failed to apply or disagreed with the winning
+/// group is marked *stale*: excluded from Pick like a dead replica until
+/// the anti-entropy scrubber repairs it back to digest equality and
+/// re-admits it. The serving invariant this buys: every replica a query
+/// can read is digest-equal to the winning group's content.
 ///
 /// Kill/Revive model *serving-path* failure (a replica that stops
 /// answering): a killed replica is skipped by Pick but still applies
@@ -37,6 +48,13 @@ class ReplicaSet {
     /// Not owned.
     std::vector<store::SnapshotStore*> replica_stores;
     serve::CircuitBreaker::Options breaker;
+    /// Replicas that must apply a batch — and agree on its outcome and
+    /// post-apply digest — before it acks. 0 = majority (R/2 + 1); values
+    /// above R clamp to R. 1 turns quorum off (any single success acks).
+    size_t write_quorum = 0;
+    /// Optional metrics sink (cluster.apply.* counters,
+    /// serve.replica.stale gauge). Not owned.
+    serve::MetricsRegistry* metrics = nullptr;
   };
 
   /// Builds R replicas over `catalog` (one shared immutable cold-start
@@ -44,16 +62,22 @@ class ReplicaSet {
   ReplicaSet(uint32_t shard_id, std::shared_ptr<const DataLakeCatalog> catalog,
              Options options);
 
-  /// Wraps already-recovered engines (ClusterEngine::Recover).
+  /// Wraps already-recovered engines (ClusterEngine::Recover);
+  /// `options.num_replicas` / `engine` / `replica_stores` are ignored —
+  /// the engines arrive fully built.
   ReplicaSet(uint32_t shard_id,
              std::vector<std::unique_ptr<ingest::LiveEngine>> replicas,
-             serve::CircuitBreaker::Options breaker);
+             Options options);
 
   ReplicaSet(const ReplicaSet&) = delete;
   ReplicaSet& operator=(const ReplicaSet&) = delete;
 
   uint32_t shard_id() const { return shard_id_; }
   size_t num_replicas() const { return replicas_.size(); }
+
+  /// Write-path failpoint of one replica: "cluster.apply.<shard>.<replica>"
+  /// (the read path's sibling is "cluster.exec.<shard>.<replica>").
+  static std::string ApplyFailpointName(uint32_t shard, size_t replica);
 
   // --- Read path --------------------------------------------------------
 
@@ -64,10 +88,11 @@ class ReplicaSet {
         serve::CircuitBreaker::Permit::kAllowed;
   };
 
-  /// Picks a live replica whose breaker admits a call, rotating the
-  /// starting replica across calls so load spreads. `exclude` skips one
-  /// replica (the one that just failed; SIZE_MAX = none). False when no
-  /// replica is available — the shard is effectively down for this query.
+  /// Picks a live, non-stale replica whose breaker admits a call, rotating
+  /// the starting replica across calls so load spreads. `exclude` skips
+  /// one replica (the one that just failed; SIZE_MAX = none). False when
+  /// no replica is available — the shard is effectively down for this
+  /// query.
   bool Pick(Clock::time_point now, size_t exclude, Route* route);
 
   /// Feeds an attempt's outcome into the routed replica's breaker.
@@ -80,6 +105,16 @@ class ReplicaSet {
   bool alive(size_t replica) const { return alive_[replica]->load(); }
   size_t num_alive() const;
 
+  /// Stale = content diverged from the quorum (failed/disagreeing apply,
+  /// or a digest mismatch found by the scrubber): excluded from Pick and
+  /// from quorum votes until repair verifies digest equality and clears
+  /// the flag. Stale replicas still receive writes best-effort so repair
+  /// diffs stay small.
+  void MarkStale(size_t replica);
+  void ClearStale(size_t replica);
+  bool stale(size_t replica) const { return stale_[replica]->load(); }
+  size_t num_stale() const;
+
   serve::CircuitBreaker* breaker(size_t replica) {
     return breakers_[replica].get();
   }
@@ -90,22 +125,41 @@ class ReplicaSet {
 
   // --- Write path -------------------------------------------------------
 
-  /// Applies the batch to every replica (killed ones included — see class
-  /// comment) and returns replica 0's outcome; replicas accept and reject
-  /// identically because their state is identical.
+  /// Effective W: options.write_quorum clamped to [1, R]; 0 = majority.
+  size_t write_quorum() const;
+
+  /// Quorum write (see class comment). Every replica — killed and stale
+  /// ones included — attempts the batch; non-stale replicas vote with
+  /// (outcome, post-apply digest); the largest agreeing group wins ties by
+  /// lowest replica index. Acks with the winning group's outcome when the
+  /// group reaches W; otherwise every op reports kUnavailable and nothing
+  /// is acknowledged (all-replica failure fail-stops the write path with
+  /// no replica marked stale — they all still agree on the old state).
+  /// Voters outside the winning group are marked stale either way.
   ingest::LiveEngine::BatchOutcome ApplyBatch(ingest::LiveEngine::Batch batch);
 
-  /// Visible tables of this shard (replica 0's current generation),
-  /// copied; rebalance and tests use this as the shard's authoritative
-  /// content.
+  /// Visible tables of this shard (the first non-stale replica's current
+  /// generation), copied; rebalance and tests use this as the shard's
+  /// authoritative content.
   std::vector<Table> VisibleTables() const;
 
  private:
+  void InitMetrics(serve::MetricsRegistry* metrics);
+  void ExportStaleGauge();
+
   uint32_t shard_id_;
+  size_t write_quorum_option_ = 0;
   std::vector<std::unique_ptr<ingest::LiveEngine>> replicas_;
   std::vector<std::unique_ptr<serve::CircuitBreaker>> breakers_;
   std::vector<std::unique_ptr<std::atomic<bool>>> alive_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> stale_;
   std::atomic<size_t> next_replica_{0};
+
+  // Metric handles (null without a registry).
+  serve::Counter* outcome_mismatch_ = nullptr;
+  serve::Counter* replica_failures_ = nullptr;
+  serve::Counter* quorum_failures_ = nullptr;
+  serve::Gauge* stale_gauge_ = nullptr;
 };
 
 }  // namespace lake::cluster

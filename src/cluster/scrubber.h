@@ -1,0 +1,71 @@
+#ifndef LAKE_CLUSTER_SCRUBBER_H_
+#define LAKE_CLUSTER_SCRUBBER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "cluster/cluster_engine.h"
+
+namespace lake::cluster {
+
+/// Background anti-entropy thread (the cluster-layer sibling of
+/// ingest::Compactor): runs ClusterEngine::ScrubOnce on a fixed cadence —
+/// compare replica content digests per shard, drill down to per-table
+/// digests on mismatch, repair divergent replicas from a majority-agreeing
+/// peer, re-admit them. One scrubber per cluster; the steady-state pass is
+/// R atomic digest loads per shard, so the cadence can be aggressive.
+class Scrubber {
+ public:
+  struct Options {
+    /// Pass cadence.
+    uint64_t poll_interval_ms = 100;
+  };
+
+  /// `cluster` must outlive the scrubber.
+  Scrubber(ClusterEngine* cluster, Options options);
+  explicit Scrubber(ClusterEngine* cluster) : Scrubber(cluster, Options{}) {}
+  ~Scrubber();
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  /// Requests an immediate pass and wakes the thread; returns without
+  /// waiting for it to finish.
+  void TriggerNow();
+
+  /// Triggers a pass that STARTS after this call (an in-flight pass may
+  /// have missed just-injected divergence), blocks until it completes,
+  /// and returns its report. Deterministic convergence wait for tests
+  /// and benches.
+  ClusterEngine::ScrubReport RunPassAndWait();
+
+  /// Stops the thread (idempotent; also run by the destructor). An
+  /// in-progress pass finishes first.
+  void Stop();
+
+  uint64_t passes() const;
+  ClusterEngine::ScrubReport last_report() const;
+
+ private:
+  void Loop();
+
+  ClusterEngine* cluster_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // wakes the loop (trigger/stop)
+  std::condition_variable pass_cv_;  // signals pass completion to waiters
+  bool stop_ = false;
+  bool trigger_ = false;
+  bool running_ = false;  // a pass is executing outside the lock
+  uint64_t passes_ = 0;
+  ClusterEngine::ScrubReport last_report_;
+
+  std::thread thread_;
+};
+
+}  // namespace lake::cluster
+
+#endif  // LAKE_CLUSTER_SCRUBBER_H_

@@ -8,6 +8,7 @@
 #include "cluster/topk_merge.h"
 #include "table/csv.h"
 #include "table/table_meta.h"
+#include "util/crc32c.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 
@@ -32,7 +33,34 @@ constexpr uint64_t kStateFormatVersion = 1;
 /// durable LSN) and of each WAL record payload.
 constexpr uint64_t kWalFormatVersion = 1;
 
+/// One visible table's contribution to the rollup: 64 bits derived from
+/// (name, digest) so the rollup can XOR contributions in and out in any
+/// order. The name is folded in twice (with different chaining) so
+/// swapping the digests of two tables cannot cancel out.
+uint64_t MixTableDigest(const std::string& name, uint32_t digest) {
+  const unsigned char le[4] = {
+      static_cast<unsigned char>(digest & 0xff),
+      static_cast<unsigned char>((digest >> 8) & 0xff),
+      static_cast<unsigned char>((digest >> 16) & 0xff),
+      static_cast<unsigned char>((digest >> 24) & 0xff)};
+  const uint32_t lo = Crc32cExtend(Crc32c(name.data(), name.size()), le, 4);
+  const uint32_t hi = Crc32cExtend(lo, name.data(), name.size());
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
 }  // namespace
+
+uint32_t TableContentDigest(const Table& table) {
+  const std::string& name = table.name();
+  uint32_t crc = Crc32c(name.data(), name.size());
+  const std::string csv = WriteCsvString(table);
+  crc = Crc32cExtend(crc, csv.data(), csv.size());
+  if (HasMetadata(table.metadata())) {
+    const std::string meta = SerializeTableMetadata(table.metadata());
+    crc = Crc32cExtend(crc, meta.data(), meta.size());
+  }
+  return crc;
+}
 
 // ---------------------------------------------------------------------------
 // Generation: id resolution
@@ -296,6 +324,11 @@ LiveEngine::LiveEngine(std::shared_ptr<const DataLakeCatalog> base_catalog,
       base_engine_(std::move(base_engine)) {
   options_.delta_options.embedding_dim = options_.base_options.embedding_dim;
   InitMetrics();
+  // Seed the content digest from the base: one O(lake) pass here, then
+  // every mutation maintains it incrementally.
+  for (TableId id : base_catalog_->AllTables()) {
+    AddTableDigest(base_catalog_->table(id));
+  }
   if (options_.enable_wal) {
     // Fail-stop on an unopenable log: wal_ stays null and every mutation
     // is rejected, rather than acknowledging work a crash would lose.
@@ -382,6 +415,38 @@ LiveEngine::WalStatus LiveEngine::wal_status() const {
   return status;
 }
 
+void LiveEngine::AddTableDigest(const Table& table) {
+  const uint32_t digest = TableContentDigest(table);
+  table_digests_[table.name()] = digest;
+  digest_rollup_ ^= MixTableDigest(table.name(), digest);
+}
+
+void LiveEngine::DropTableDigest(const std::string& name) {
+  auto it = table_digests_.find(name);
+  if (it == table_digests_.end()) return;
+  digest_rollup_ ^= MixTableDigest(name, it->second);
+  table_digests_.erase(it);
+}
+
+std::map<std::string, uint32_t> LiveEngine::TableDigests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_digests_;
+}
+
+uint64_t LiveEngine::RecomputeContentDigest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t rollup = 0;
+  for (TableId id : base_catalog_->AllTables()) {
+    const Table& table = base_catalog_->table(id);
+    if (tombstone_names_.count(table.name())) continue;
+    rollup ^= MixTableDigest(table.name(), TableContentDigest(table));
+  }
+  for (const std::shared_ptr<const Table>& table : delta_tables_) {
+    rollup ^= MixTableDigest(table->name(), TableContentDigest(*table));
+  }
+  return rollup;
+}
+
 std::shared_ptr<const DeltaPart> LiveEngine::BuildDeltaPart() const {
   auto delta = std::make_shared<DeltaPart>();
   delta->catalog = std::make_unique<DataLakeCatalog>();
@@ -413,6 +478,7 @@ void LiveEngine::Publish() {
                      BuildDeltaPart()));
   current_.store(generation, std::memory_order_release);
   version_published_.store(version_, std::memory_order_release);
+  digest_published_.store(digest_rollup_, std::memory_order_release);
   if (publishes_ != nullptr) {
     publishes_->Add();
     delta_tables_gauge_->Set(delta_tables_.size());
@@ -522,6 +588,7 @@ LiveEngine::BatchOutcome LiveEngine::ApplyBatch(Batch batch) {
     // Tombstone even delta removes: if an in-flight compaction already
     // consumed this table, the tombstone masks it in the new base.
     tombstone_names_.insert(name);
+    DropTableDigest(name);
     if (tables_removed_ != nullptr) tables_removed_->Add();
   }
   // Lake-visible delta ids are base_count + local position.
@@ -533,6 +600,7 @@ LiveEngine::BatchOutcome LiveEngine::ApplyBatch(Batch batch) {
         static_cast<TableId>(base_count + delta_tables_.size()));
     delta_tables_.push_back(std::make_shared<const Table>(
         std::move(batch.adds[accepted_adds[next_add++]])));
+    AddTableDigest(*delta_tables_.back());
     if (tables_added_ != nullptr) tables_added_->Add();
   }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -16,6 +17,13 @@
 #include "util/status.h"
 
 namespace lake::ingest {
+
+/// Deterministic digest of one table: CRC32C chained over the canonical
+/// serialization (name, CSV bytes, then metadata when present — the same
+/// bytes the WAL and snapshot delta sections persist). Two tables with
+/// identical visible content digest identically regardless of how they
+/// were ingested (cold build, delta add, WAL replay, repair copy).
+uint32_t TableContentDigest(const Table& table);
 
 /// Online ingestion over a DiscoveryEngine: the survey's frozen-corpus
 /// indexes made dynamic with an LSM-style base+delta split.
@@ -107,6 +115,30 @@ class LiveEngine {
   uint64_t version() const {
     return version_published_.load(std::memory_order_acquire);
   }
+
+  // --- Content digests ---------------------------------------------------
+
+  /// Rolled-up digest of the *visible* content (base minus tombstones plus
+  /// delta): an order-independent combination of per-table digests, so two
+  /// engines with the same visible tables report the same value no matter
+  /// how the content is split between base and delta or in what order it
+  /// arrived. Compaction therefore never changes it; divergence (a missed
+  /// write, a dropped delta section, a bit-flipped recovery) always does.
+  /// 0 for an empty lake. Maintained incrementally (O(changed tables) per
+  /// mutation) and published with each generation; lock-free to read.
+  uint64_t content_digest() const {
+    return digest_published_.load(std::memory_order_acquire);
+  }
+
+  /// Per-table digests of every visible table, keyed by name — the
+  /// drill-down side of content_digest(): two engines whose rollups
+  /// disagree diff these maps to find exactly which tables diverged.
+  std::map<std::string, uint32_t> TableDigests() const;
+
+  /// Recomputes the rollup from scratch over the current generation's
+  /// visible tables (O(lake)); tests use it to prove the incremental
+  /// maintenance never drifts.
+  uint64_t RecomputeContentDigest() const;
 
   // --- Mutations --------------------------------------------------------
 
@@ -223,6 +255,10 @@ class LiveEngine {
   /// Builds a DeltaPart from the mutable state and resolves tombstone
   /// names against `base_catalog`. Caller holds mu_.
   std::shared_ptr<const DeltaPart> BuildDeltaPart() const;
+  /// Folds one table into / out of the incremental rollup. Caller holds
+  /// mu_ (or is the constructor).
+  void AddTableDigest(const Table& table);
+  void DropTableDigest(const std::string& name);
   /// Publishes a new generation from the current state. Caller holds mu_.
   void Publish();
   void InitMetrics();
@@ -256,6 +292,10 @@ class LiveEngine {
   std::set<std::string> tombstone_names_;
   uint64_t number_ = 0;   // compaction generation
   uint64_t version_ = 0;  // publish sequence
+  /// Per-visible-table content digests + their order-independent rollup,
+  /// maintained incrementally alongside the visible set.
+  std::map<std::string, uint32_t> table_digests_;
+  uint64_t digest_rollup_ = 0;
   /// Log-before-apply journal (null when disabled or the open failed —
   /// then every mutation is rejected fail-stop while enable_wal is set).
   std::unique_ptr<store::WalWriter> wal_;
@@ -263,6 +303,7 @@ class LiveEngine {
 
   std::atomic<std::shared_ptr<const Generation>> current_;
   std::atomic<uint64_t> version_published_{0};
+  std::atomic<uint64_t> digest_published_{0};
   std::atomic<uint64_t> compactions_{0};
 
   // Metric handles (null without a registry).

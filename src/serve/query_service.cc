@@ -445,10 +445,16 @@ QueryService::HealthSnapshot QueryService::Health() {
   if (cluster_ != nullptr) {
     health.shards = cluster_->Health();
     for (const auto& shard : health.shards) {
-      // A shard with no live replica cannot answer its partition: every
-      // query is at best partial until a replica is revived.
-      if (shard.replicas_alive == 0) health.degraded = true;
+      // A shard with no SERVING replica (alive, non-stale, breaker not
+      // open — Pick's eligibility, not the bare alive_ flag) cannot answer
+      // its partition: every query is at best partial until a replica is
+      // revived, repaired, or its breaker closes.
+      if (shard.replicas_serving == 0) health.degraded = true;
+      health.stale_replicas += shard.replicas_stale;
+      if (!shard.digests_agree) health.replicas_divergent = true;
     }
+    metrics_.GetGauge("serve.replica.stale.total")
+        ->Set(health.stale_replicas);
   }
 
   health.ok = !health.degraded && health.open_breakers == 0;

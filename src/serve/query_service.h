@@ -244,8 +244,17 @@ class QueryService {
     uint64_t wal_unsynced_records = 0;
 
     /// Cluster mode: per-shard replica/breaker health (empty otherwise).
-    /// A shard with zero live replicas marks the service degraded.
+    /// A shard with zero *serving* replicas (alive, non-stale, breaker not
+    /// open — exactly the replicas Pick may return) marks the service
+    /// degraded.
     std::vector<cluster::ClusterEngine::ShardHealth> shards;
+    /// Replicas excluded from reads because their content diverged from
+    /// the write quorum (anti-entropy repairs and re-admits them).
+    size_t stale_replicas = 0;
+    /// At least one shard's replicas disagree on their content digest —
+    /// replication is converging (or a repair is pending), answers from
+    /// non-stale replicas are still correct.
+    bool replicas_divergent = false;
   };
 
   /// Snapshot of health state; also refreshes the serve.degraded,

@@ -1,0 +1,719 @@
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_engine.h"
+#include "cluster/replica_set.h"
+#include "cluster/scrubber.h"
+#include "ingest/live_engine.h"
+#include "lakegen/generator.h"
+#include "serve/metrics.h"
+#include "serve/query_service.h"
+#include "store/snapshot.h"
+#include "util/failpoint.h"
+
+namespace lake::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+DiscoveryEngine::Options BaseOptions() {
+  DiscoveryEngine::Options eopts;
+  eopts.build_pexeso = false;
+  eopts.build_mate = false;
+  eopts.build_correlated = false;
+  eopts.build_santos = false;
+  eopts.build_d3l = false;
+  eopts.synthesize_kb = false;
+  eopts.train_annotator = false;
+  return eopts;
+}
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/lake_repair_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Replica-consistency suite: content digests, quorum writes with
+/// stale-marking, and anti-entropy repair back to digest equality. Each
+/// test owns its cluster/replica set — faults mutate health state.
+class ClusterRepairTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorOptions opts;
+    opts.seed = 11;
+    opts.num_domains = 6;
+    opts.num_templates = 3;
+    opts.tables_per_template = 4;
+    opts.min_rows = 30;
+    opts.max_rows = 60;
+    lake_ = new GeneratedLake(LakeGenerator(opts).Generate());
+  }
+
+  static void TearDownTestSuite() {
+    delete lake_;
+    lake_ = nullptr;
+  }
+
+  void TearDown() override { FailpointRegistry::Instance().Clear(); }
+
+  static const DataLakeCatalog& lake() { return lake_->catalog; }
+
+  /// Fresh catalog holding copies of the first `n` lake tables (catalogs
+  /// are move-only, so sharing the suite's lake needs a copy anyway).
+  static std::shared_ptr<const DataLakeCatalog> CopyCatalog(size_t n) {
+    auto catalog = std::make_shared<DataLakeCatalog>();
+    n = std::min<size_t>(n, lake().num_tables());
+    for (TableId id = 0; id < n; ++id) {
+      EXPECT_TRUE(catalog->AddTable(lake().table(id)).ok());
+    }
+    return catalog;
+  }
+
+  static ingest::LiveEngine::Options EngineOptions() {
+    ingest::LiveEngine::Options opts;
+    opts.base_options = BaseOptions();
+    opts.kb = &lake_->kb;
+    return opts;
+  }
+
+  static ReplicaSet::Options ReplicaOptions(size_t replicas,
+                                            serve::MetricsRegistry* metrics) {
+    ReplicaSet::Options opts;
+    opts.num_replicas = replicas;
+    opts.engine = EngineOptions();
+    opts.metrics = metrics;
+    return opts;
+  }
+
+  static ClusterEngine::Options ClusterOptions(size_t shards,
+                                               size_t replicas) {
+    ClusterEngine::Options opts;
+    opts.num_shards = shards;
+    opts.num_replicas = replicas;
+    opts.engine.base_options = BaseOptions();
+    opts.engine.kb = &lake_->kb;
+    return opts;
+  }
+
+  static size_t FullK() { return lake().num_tables() + 16; }
+
+  static ingest::LiveEngine::Batch AddBatch(const std::string& name,
+                                            TableId origin = 0) {
+    Table derived = lake().table(origin);
+    derived.set_name(name);
+    ingest::LiveEngine::Batch batch;
+    batch.adds.push_back(std::move(derived));
+    return batch;
+  }
+
+  struct NamedHit {
+    std::string name;
+    double score = 0;
+  };
+
+  static std::vector<NamedHit> Canon(const std::vector<TableHit>& hits) {
+    std::vector<NamedHit> out;
+    for (const TableHit& h : hits) out.push_back({h.table, h.score});
+    std::sort(out.begin(), out.end(),
+              [](const NamedHit& a, const NamedHit& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.name < b.name;
+              });
+    return out;
+  }
+
+  static void ExpectSameHits(const std::vector<NamedHit>& expected,
+                             const std::vector<NamedHit>& actual,
+                             const std::string& context) {
+    ASSERT_EQ(expected.size(), actual.size()) << context;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i].name, actual[i].name) << context << " rank " << i;
+      EXPECT_DOUBLE_EQ(expected[i].score, actual[i].score)
+          << context << " rank " << i << " (" << expected[i].name << ")";
+    }
+  }
+
+  static GeneratedLake* lake_;
+};
+
+GeneratedLake* ClusterRepairTest::lake_ = nullptr;
+
+// ------------------------------------------------------- content digests
+
+TEST_F(ClusterRepairTest, TableDigestIsDeterministicAndContentSensitive) {
+  const Table& original = lake().table(0);
+  const Table copy = original;  // identical content -> identical digest
+  EXPECT_EQ(ingest::TableContentDigest(original),
+            ingest::TableContentDigest(copy));
+
+  // The name is part of the identity the digest covers.
+  Table renamed = original;
+  renamed.set_name("digest_rename_probe");
+  EXPECT_NE(ingest::TableContentDigest(original),
+            ingest::TableContentDigest(renamed));
+
+  // Same name, different cells: the digest sees through the name to the
+  // content (a repaired copy must match bytes, not labels).
+  Table impostor = lake().table(1);
+  impostor.set_name(original.name());
+  EXPECT_NE(ingest::TableContentDigest(original),
+            ingest::TableContentDigest(impostor));
+}
+
+TEST_F(ClusterRepairTest, EngineDigestIncrementalMatchesRecompute) {
+  ingest::LiveEngine live(CopyCatalog(4), EngineOptions());
+  EXPECT_NE(live.content_digest(), 0u);
+  EXPECT_EQ(live.content_digest(), live.RecomputeContentDigest());
+  EXPECT_EQ(live.TableDigests().size(), 4u);
+
+  // Mutations keep the incremental rollup in lockstep with a full
+  // recompute (adds, removes, and a remove of a just-added delta table).
+  const uint64_t before = live.content_digest();
+  ASSERT_TRUE(live.ApplyBatch(AddBatch("digest_probe_a", 4)).published);
+  EXPECT_NE(live.content_digest(), before);
+  EXPECT_EQ(live.content_digest(), live.RecomputeContentDigest());
+
+  ingest::LiveEngine::Batch mixed;
+  mixed.removes.push_back(lake().table(1).name());
+  mixed.removes.push_back("digest_probe_a");
+  Table add = lake().table(5);
+  add.set_name("digest_probe_b");
+  mixed.adds.push_back(std::move(add));
+  ASSERT_TRUE(live.ApplyBatch(std::move(mixed)).published);
+  EXPECT_EQ(live.content_digest(), live.RecomputeContentDigest());
+  EXPECT_EQ(live.TableDigests().size(), 4u);  // 4 - 1 + 1
+}
+
+TEST_F(ClusterRepairTest, EngineDigestIsInvariantAcrossCompaction) {
+  // Two engines with the same visible content must digest identically no
+  // matter how it is split between base and delta: one built cold over
+  // the final corpus, one that ingested its way there.
+  ingest::LiveEngine grown(CopyCatalog(3), EngineOptions());
+  ingest::LiveEngine::Batch batch;
+  Table added = lake().table(3);
+  added.set_name("compaction_probe");
+  batch.adds.push_back(std::move(added));
+  batch.removes.push_back(lake().table(1).name());
+  ASSERT_TRUE(grown.ApplyBatch(std::move(batch)).published);
+
+  auto cold_catalog = std::make_shared<DataLakeCatalog>();
+  Table cold_added = lake().table(3);
+  cold_added.set_name("compaction_probe");
+  ASSERT_TRUE(cold_catalog->AddTable(lake().table(0)).ok());
+  ASSERT_TRUE(cold_catalog->AddTable(lake().table(2)).ok());
+  ASSERT_TRUE(cold_catalog->AddTable(std::move(cold_added)).ok());
+  ingest::LiveEngine cold(std::move(cold_catalog), EngineOptions());
+
+  EXPECT_EQ(grown.content_digest(), cold.content_digest());
+
+  // Compaction rearranges base/delta but never the visible content.
+  const uint64_t before = grown.content_digest();
+  ASSERT_TRUE(grown.Compact().ok());
+  EXPECT_EQ(grown.content_digest(), before);
+  EXPECT_EQ(grown.content_digest(), grown.RecomputeContentDigest());
+}
+
+// ---------------------------------------------------------- quorum writes
+
+TEST_F(ClusterRepairTest, QuorumAcksAndMarksFailedReplicaStale) {
+  serve::MetricsRegistry metrics;
+  ReplicaSet rs(/*shard_id=*/7, CopyCatalog(8), ReplicaOptions(3, &metrics));
+  EXPECT_EQ(rs.write_quorum(), 2u);  // default: majority of 3
+
+  FailpointRegistry::Instance().Arm(ReplicaSet::ApplyFailpointName(7, 2),
+                                    FaultSpec{});
+  const ingest::LiveEngine::BatchOutcome outcome =
+      rs.ApplyBatch(AddBatch("quorum_ack_probe"));
+
+  // 2 of 3 applied and agree: the batch acks with the winners' outcome.
+  ASSERT_EQ(outcome.adds.size(), 1u);
+  EXPECT_TRUE(outcome.adds[0].ok()) << outcome.adds[0].status();
+  EXPECT_TRUE(outcome.published);
+
+  // The failed replica is stale and digest-divergent; the winners agree.
+  EXPECT_FALSE(rs.stale(0));
+  EXPECT_FALSE(rs.stale(1));
+  EXPECT_TRUE(rs.stale(2));
+  EXPECT_EQ(rs.replica(0)->content_digest(), rs.replica(1)->content_digest());
+  EXPECT_NE(rs.replica(2)->content_digest(), rs.replica(0)->content_digest());
+
+  // Pick never routes a query to the stale replica.
+  const auto now = ReplicaSet::Clock::now();
+  for (int i = 0; i < 12; ++i) {
+    ReplicaSet::Route route;
+    ASSERT_TRUE(rs.Pick(now, SIZE_MAX, &route));
+    EXPECT_NE(route.replica, 2u);
+  }
+
+  EXPECT_EQ(metrics.GetCounterFamily("cluster.apply.replica_failures", "shard")
+                ->WithLabel(uint64_t{7})
+                ->value(),
+            1u);
+  EXPECT_EQ(metrics.GetGaugeFamily("serve.replica.stale", "shard")
+                ->WithLabel(uint64_t{7})
+                ->value(),
+            1u);
+
+  // Stale replicas still receive writes best-effort (small repair diffs),
+  // but stay excluded until the scrubber verifies digest equality.
+  ASSERT_TRUE(rs.ApplyBatch(AddBatch("quorum_ack_probe_2", 1)).published);
+  EXPECT_TRUE(rs.stale(2));
+  EXPECT_NE(rs.replica(2)->content_digest(), rs.replica(0)->content_digest());
+}
+
+TEST_F(ClusterRepairTest, AllReplicaFailureFailStopsTheWrite) {
+  serve::MetricsRegistry metrics;
+  ReplicaSet rs(/*shard_id=*/3, CopyCatalog(6), ReplicaOptions(3, &metrics));
+  const uint64_t digest_before = rs.replica(0)->content_digest();
+  for (size_t r = 0; r < 3; ++r) {
+    FailpointRegistry::Instance().Arm(ReplicaSet::ApplyFailpointName(3, r),
+                                      FaultSpec{});
+  }
+
+  ingest::LiveEngine::Batch batch = AddBatch("failstop_probe");
+  batch.removes.push_back(lake().table(0).name());
+  const ingest::LiveEngine::BatchOutcome outcome =
+      rs.ApplyBatch(std::move(batch));
+
+  // Nothing applied anywhere: every op reports kUnavailable, nothing is
+  // acknowledged, and — critically — nobody is stale: all replicas still
+  // agree (on the old state), so reads keep serving it.
+  EXPECT_FALSE(outcome.published);
+  ASSERT_EQ(outcome.adds.size(), 1u);
+  ASSERT_EQ(outcome.removes.size(), 1u);
+  EXPECT_EQ(outcome.adds[0].status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(outcome.removes[0].code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rs.num_stale(), 0u);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(rs.replica(r)->content_digest(), digest_before);
+  }
+  EXPECT_GE(metrics.GetCounterFamily("cluster.apply.quorum_failures", "shard")
+                ->WithLabel(uint64_t{3})
+                ->value(),
+            1u);
+}
+
+TEST_F(ClusterRepairTest, OutcomeMismatchFiresInATwoReplicaConfig) {
+  serve::MetricsRegistry metrics;
+  ReplicaSet::Options opts = ReplicaOptions(2, &metrics);
+  opts.write_quorum = 1;  // R=2 with quorum off: any single success acks
+  ReplicaSet rs(/*shard_id=*/0, CopyCatalog(6), opts);
+
+  // Diverge replica 1 behind the quorum protocol's back (models a lost
+  // write): the next quorum write sees a 1-vs-1 digest split.
+  ASSERT_TRUE(rs.replica(1)->ApplyBatch(AddBatch("silent_divergence"))
+                  .published);
+
+  const ingest::LiveEngine::BatchOutcome outcome =
+      rs.ApplyBatch(AddBatch("mismatch_probe", 2));
+
+  // Ties trust replica 0, so the write still acks under W=1, the
+  // divergent replica is caught (stale), and the mismatch counter fires —
+  // detection must not need R >= 3.
+  ASSERT_EQ(outcome.adds.size(), 1u);
+  EXPECT_TRUE(outcome.adds[0].ok()) << outcome.adds[0].status();
+  EXPECT_FALSE(rs.stale(0));
+  EXPECT_TRUE(rs.stale(1));
+  EXPECT_GE(metrics.GetCounter("cluster.apply.outcome_mismatch")->value(),
+            1u);
+}
+
+TEST_F(ClusterRepairTest, SubQuorumWinnersKeepTheUnackedWrite) {
+  serve::MetricsRegistry metrics;
+  ReplicaSet::Options opts = ReplicaOptions(3, &metrics);
+  opts.write_quorum = 3;  // W=R: any failure blocks the ack
+  ReplicaSet rs(/*shard_id=*/1, CopyCatalog(6), opts);
+  FailpointRegistry::Instance().Arm(ReplicaSet::ApplyFailpointName(1, 1),
+                                    FaultSpec{});
+
+  const ingest::LiveEngine::BatchOutcome outcome =
+      rs.ApplyBatch(AddBatch("unacked_probe"));
+
+  // 2 of 3 agree but W=3: no ack. The winners keep the write (they are
+  // canonical; anti-entropy converges the loser TO them), the failed
+  // replica alone is stale — unacknowledged is not rolled back.
+  ASSERT_EQ(outcome.adds.size(), 1u);
+  EXPECT_EQ(outcome.adds[0].status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(rs.stale(0));
+  EXPECT_TRUE(rs.stale(1));
+  EXPECT_FALSE(rs.stale(2));
+  EXPECT_EQ(rs.replica(0)->content_digest(), rs.replica(2)->content_digest());
+  EXPECT_NE(rs.replica(1)->content_digest(), rs.replica(0)->content_digest());
+  EXPECT_GE(metrics.GetCounterFamily("cluster.apply.quorum_failures", "shard")
+                ->WithLabel(uint64_t{1})
+                ->value(),
+            1u);
+}
+
+// ------------------------------------------------------- pick exhaustion
+
+TEST_F(ClusterRepairTest, PickFailsWhenEveryReplicaIsKilled) {
+  ReplicaSet rs(/*shard_id=*/0, CopyCatalog(4), ReplicaOptions(3, nullptr));
+  for (size_t r = 0; r < 3; ++r) rs.Kill(r);
+  ReplicaSet::Route route;
+  EXPECT_FALSE(rs.Pick(ReplicaSet::Clock::now(), SIZE_MAX, &route));
+  // Reviving one is enough to serve again.
+  rs.Revive(1);
+  ASSERT_TRUE(rs.Pick(ReplicaSet::Clock::now(), SIZE_MAX, &route));
+  EXPECT_EQ(route.replica, 1u);
+}
+
+TEST_F(ClusterRepairTest, PickFailsWhenEveryBreakerIsOpen) {
+  ReplicaSet::Options opts = ReplicaOptions(2, nullptr);
+  opts.breaker.min_volume = 1;  // one failure trips
+  ReplicaSet rs(/*shard_id=*/0, CopyCatalog(4), opts);
+  const auto now = ReplicaSet::Clock::now();
+  for (size_t r = 0; r < 2; ++r) rs.RecordOutcome(r, /*success=*/false, now);
+  ReplicaSet::Route route;
+  // Same instant: both breakers are open and their backoff has not
+  // elapsed, so the shard is down for this query.
+  EXPECT_FALSE(rs.Pick(now, SIZE_MAX, &route));
+}
+
+TEST_F(ClusterRepairTest, PickFailsWhenExcludeIsTheOnlyLiveReplica) {
+  ReplicaSet rs(/*shard_id=*/0, CopyCatalog(4), ReplicaOptions(2, nullptr));
+  rs.Kill(0);
+  ReplicaSet::Route route;
+  const auto now = ReplicaSet::Clock::now();
+  // The one live replica just failed this query (exclude=1): no failover
+  // target remains.
+  EXPECT_FALSE(rs.Pick(now, /*exclude=*/1, &route));
+  ASSERT_TRUE(rs.Pick(now, /*exclude=*/0, &route));
+  EXPECT_EQ(route.replica, 1u);
+}
+
+TEST_F(ClusterRepairTest, PickRotatesFairlyAcrossHealthyReplicas) {
+  ReplicaSet rs(/*shard_id=*/0, CopyCatalog(4), ReplicaOptions(3, nullptr));
+  std::map<size_t, size_t> picked;
+  const auto now = ReplicaSet::Clock::now();
+  for (int i = 0; i < 99; ++i) {
+    ReplicaSet::Route route;
+    ASSERT_TRUE(rs.Pick(now, SIZE_MAX, &route));
+    ++picked[route.replica];
+  }
+  // Round-robin: an exact three-way split, not merely "roughly balanced".
+  ASSERT_EQ(picked.size(), 3u);
+  for (const auto& [replica, count] : picked) {
+    EXPECT_EQ(count, 33u) << "replica " << replica;
+  }
+}
+
+// --------------------------------------------------- breaker-aware health
+
+TEST_F(ClusterRepairTest, HealthReportsBreakerTrippedReplicaAsNotServing) {
+  ClusterEngine::Options opts = ClusterOptions(1, /*replicas=*/1);
+  opts.breaker.min_volume = 1;  // one failed query trips the breaker
+  opts.max_failover_attempts = 1;
+  ClusterEngine cluster(lake(), opts);
+  serve::QueryService service(&cluster, serve::QueryService::Options{});
+
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kError;
+  FailpointRegistry::Instance().Arm("cluster.exec.0.0", spec);
+  const TableQueryResponse failed = cluster.Keyword(lake_->topic_of[0], 5);
+  EXPECT_FALSE(failed.status.ok());
+
+  // The replica is alive — Kill was never called — but its breaker is
+  // open, so it is NOT serving. Health must say so instead of reporting
+  // a shard Pick refuses to route to as healthy.
+  const std::vector<ClusterEngine::ShardHealth> health = cluster.Health();
+  ASSERT_EQ(health.size(), 1u);
+  ASSERT_EQ(health[0].replicas.size(), 1u);
+  EXPECT_EQ(health[0].replicas_alive, 1u);
+  EXPECT_EQ(health[0].replicas_serving, 0u);
+  EXPECT_TRUE(health[0].replicas[0].alive);
+  EXPECT_FALSE(health[0].replicas[0].serving);
+  EXPECT_EQ(health[0].replicas[0].breaker_state,
+            serve::CircuitBreaker::State::kOpen);
+
+  const serve::QueryService::HealthSnapshot snapshot = service.Health();
+  EXPECT_TRUE(snapshot.degraded);
+}
+
+// ---------------------------------------------- anti-entropy convergence
+
+TEST_F(ClusterRepairTest, QuorumStaleExclusionAndScrubConvergence) {
+  // The acceptance scenario: a replica's apply fails mid-stream. The
+  // batch still acks (W-of-R), the failed replica is stale and never
+  // picked, the scrubber repairs it, and post-repair every replica is
+  // digest-equal with top-k answers bit-identical to a never-failed
+  // single engine.
+  serve::MetricsRegistry metrics;
+  ClusterEngine::Options opts = ClusterOptions(2, /*replicas=*/3);
+  opts.metrics = &metrics;
+  ClusterEngine cluster(lake(), opts);
+  ClusterEngine single(lake(), ClusterOptions(1, /*replicas=*/1));
+  serve::QueryService service(&cluster, serve::QueryService::Options{});
+
+  // A healthy write lands everywhere before the fault.
+  ASSERT_TRUE(cluster.ApplyBatch(AddBatch("stream_0", 0)).adds[0].ok());
+  ASSERT_TRUE(single.ApplyBatch(AddBatch("stream_0", 0)).adds[0].ok());
+
+  // Mid-stream fault: replica 2 of stream_1's owner shard misses the
+  // batch. Quorum (2 of 3) still acks it.
+  const uint32_t victim_shard = cluster.OwnerOf("stream_1");
+  constexpr size_t kVictimReplica = 2;
+  FailpointRegistry::Instance().Arm(
+      ReplicaSet::ApplyFailpointName(victim_shard, kVictimReplica),
+      FaultSpec{});
+  ASSERT_TRUE(cluster.ApplyBatch(AddBatch("stream_1", 1)).adds[0].ok());
+  ASSERT_TRUE(single.ApplyBatch(AddBatch("stream_1", 1)).adds[0].ok());
+
+  // The stream keeps flowing after the fault; the stale replica receives
+  // this write best-effort but stays divergent (it missed stream_1).
+  ASSERT_TRUE(cluster.ApplyBatch(AddBatch("stream_2", 2)).adds[0].ok());
+  ASSERT_TRUE(single.ApplyBatch(AddBatch("stream_2", 2)).adds[0].ok());
+
+  // Health sees the divergence exactly where it was injected.
+  bool checked = false;
+  for (const ClusterEngine::ShardHealth& sh : cluster.Health()) {
+    if (sh.shard != victim_shard) {
+      EXPECT_EQ(sh.replicas_stale, 0u) << "shard " << sh.shard;
+      EXPECT_TRUE(sh.digests_agree) << "shard " << sh.shard;
+      continue;
+    }
+    checked = true;
+    EXPECT_EQ(sh.replicas_alive, 3u);
+    EXPECT_EQ(sh.replicas_serving, 2u);
+    EXPECT_EQ(sh.replicas_stale, 1u);
+    EXPECT_FALSE(sh.digests_agree);
+    EXPECT_TRUE(sh.replicas[kVictimReplica].stale);
+    EXPECT_FALSE(sh.replicas[kVictimReplica].serving);
+  }
+  ASSERT_TRUE(checked);
+  const serve::QueryService::HealthSnapshot degraded_health =
+      service.Health();
+  EXPECT_EQ(degraded_health.stale_replicas, 1u);
+  EXPECT_TRUE(degraded_health.replicas_divergent);
+
+  // While stale: queries never read the divergent replica, and answers
+  // stay bit-identical to the never-failed engine (the stale copy cannot
+  // leak stale hits into the merge).
+  for (size_t t = 0; t < lake_->topic_of.size(); ++t) {
+    const TableQueryResponse expected =
+        single.Keyword(lake_->topic_of[t], FullK());
+    ASSERT_TRUE(expected.status.ok()) << expected.status;
+    for (int round = 0; round < 4; ++round) {
+      const TableQueryResponse got =
+          cluster.Keyword(lake_->topic_of[t], FullK());
+      ASSERT_TRUE(got.status.ok()) << got.status;
+      EXPECT_FALSE(got.degraded);
+      for (const ShardTrace& trace : got.traces) {
+        if (trace.shard == victim_shard) {
+          EXPECT_NE(trace.replica, kVictimReplica);
+        }
+      }
+      ExpectSameHits(Canon(expected.hits), Canon(got.hits),
+                     "stale topic " + std::to_string(t));
+    }
+  }
+
+  // One scrub pass repairs the replica by copying the missed table from
+  // a majority-agreeing peer and re-admits it.
+  const ClusterEngine::ScrubReport report = cluster.ScrubOnce();
+  EXPECT_EQ(report.shards_checked, 2u);
+  EXPECT_EQ(report.shards_divergent, 1u);
+  EXPECT_EQ(report.replicas_repaired, 1u);
+  EXPECT_EQ(report.replicas_unrepaired, 0u);
+  EXPECT_GE(report.tables_copied, 1u);
+
+  // Converged: all R replicas digest-equal, nobody stale, and the
+  // repaired replica is back in the read rotation.
+  for (const ClusterEngine::ShardHealth& sh : cluster.Health()) {
+    EXPECT_EQ(sh.replicas_stale, 0u) << "shard " << sh.shard;
+    EXPECT_EQ(sh.replicas_serving, 3u) << "shard " << sh.shard;
+    EXPECT_TRUE(sh.digests_agree) << "shard " << sh.shard;
+    for (const ClusterEngine::ReplicaHealth& rh : sh.replicas) {
+      EXPECT_EQ(rh.content_digest, sh.replicas.front().content_digest);
+    }
+  }
+  const serve::QueryService::HealthSnapshot healed_health = service.Health();
+  EXPECT_EQ(healed_health.stale_replicas, 0u);
+  EXPECT_FALSE(healed_health.replicas_divergent);
+
+  // A second pass finds a clean cluster.
+  const ClusterEngine::ScrubReport idle = cluster.ScrubOnce();
+  EXPECT_EQ(idle.shards_divergent, 0u);
+
+  // Post-repair answers are still bit-identical to the never-failed
+  // engine, now with every replica eligible.
+  bool victim_served = false;
+  for (size_t t = 0; t < lake_->topic_of.size(); ++t) {
+    const TableQueryResponse expected =
+        single.Keyword(lake_->topic_of[t], FullK());
+    ASSERT_TRUE(expected.status.ok()) << expected.status;
+    for (int round = 0; round < 3; ++round) {
+      const TableQueryResponse got =
+          cluster.Keyword(lake_->topic_of[t], FullK());
+      ASSERT_TRUE(got.status.ok()) << got.status;
+      for (const ShardTrace& trace : got.traces) {
+        if (trace.shard == victim_shard &&
+            trace.replica == kVictimReplica) {
+          victim_served = true;
+        }
+      }
+      ExpectSameHits(Canon(expected.hits), Canon(got.hits),
+                     "healed topic " + std::to_string(t));
+    }
+  }
+  EXPECT_TRUE(victim_served);  // re-admitted, not just digest-equal
+
+  EXPECT_GE(metrics.GetCounterFamily("cluster.repair.replicas_repaired",
+                                     "shard")
+                ->WithLabel(static_cast<uint64_t>(victim_shard))
+                ->value(),
+            1u);
+  EXPECT_GE(metrics.GetCounterFamily("cluster.repair.tables_copied", "shard")
+                ->WithLabel(static_cast<uint64_t>(victim_shard))
+                ->value(),
+            1u);
+  EXPECT_GE(metrics.GetCounter("cluster.repair.scrub_passes")->value(), 2u);
+}
+
+TEST_F(ClusterRepairTest, BitFlippedRecoveryDivergenceIsRepaired) {
+  // Divergence the write path never saw: one replica recovers from a
+  // checkpoint whose delta section was bit-flipped on disk (recovery
+  // drops the corrupt section, costing that table). Only the digest
+  // comparison can catch it; the scrubber must repair and re-admit.
+  const std::string root = TestDir("bitflip");
+  ClusterEngine::Options opts = ClusterOptions(1, /*replicas=*/2);
+  opts.store_root = root;
+
+  std::vector<NamedHit> expected;
+  {
+    ClusterEngine cluster(lake(), opts);
+    ASSERT_TRUE(cluster.ApplyBatch(AddBatch("durable_probe", 2))
+                    .adds[0]
+                    .ok());
+    ASSERT_TRUE(cluster.Checkpoint().ok());
+    const TableQueryResponse before =
+        cluster.Keyword(lake_->topic_of[0], FullK());
+    ASSERT_TRUE(before.status.ok()) << before.status;
+    expected = Canon(before.hits);
+  }
+
+  // Flip one payload byte of replica 1's persisted delta table.
+  const std::string replica_dir = root + "/shard-0/replica-1";
+  const std::vector<uint64_t> generations =
+      store::SnapshotStore(replica_dir).Generations();
+  ASSERT_FALSE(generations.empty());
+  const std::string path =
+      replica_dir + "/" +
+      store::SnapshotStore::SnapshotFileName(generations.back());
+  auto reader = store::SnapshotReader::OpenFile(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  bool corrupted = false;
+  for (const auto& info : reader->sections()) {
+    if (info.name != std::string(ingest::LiveEngine::kDeltaPrefix) +
+                         "durable_probe") {
+      continue;
+    }
+    std::string bytes = ReadFileBytes(path);
+    ASSERT_LT(info.offset + 5, bytes.size());
+    bytes[info.offset + 5] ^= 1;
+    WriteFileBytes(path, bytes);
+    corrupted = true;
+  }
+  ASSERT_TRUE(corrupted);
+
+  Result<std::unique_ptr<ClusterEngine>> recovered =
+      ClusterEngine::Recover(opts);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+
+  // Replica 1 came back without the probe table: digests disagree.
+  {
+    const std::vector<ClusterEngine::ShardHealth> health =
+        (*recovered)->Health();
+    ASSERT_EQ(health.size(), 1u);
+    EXPECT_FALSE(health[0].digests_agree);
+  }
+
+  const ClusterEngine::ScrubReport report = (*recovered)->ScrubOnce();
+  EXPECT_EQ(report.shards_divergent, 1u);
+  EXPECT_EQ(report.replicas_repaired, 1u);
+  EXPECT_GE(report.tables_copied, 1u);
+
+  const std::vector<ClusterEngine::ShardHealth> health =
+      (*recovered)->Health();
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_TRUE(health[0].digests_agree);
+  EXPECT_EQ(health[0].replicas_stale, 0u);
+  ASSERT_EQ(health[0].replicas.size(), 2u);
+  EXPECT_EQ(health[0].replicas[0].content_digest,
+            health[0].replicas[1].content_digest);
+
+  // Answers match the pre-crash cluster exactly, probe table included.
+  const TableQueryResponse after =
+      (*recovered)->Keyword(lake_->topic_of[0], FullK());
+  ASSERT_TRUE(after.status.ok()) << after.status;
+  ExpectSameHits(expected, Canon(after.hits), "recovered keyword");
+  fs::remove_all(root);
+}
+
+TEST_F(ClusterRepairTest, BackgroundScrubberRepairsWithoutBeingAsked) {
+  ClusterEngine::Options opts = ClusterOptions(1, /*replicas=*/2);
+  opts.write_quorum = 1;  // let the single healthy replica ack
+  opts.enable_scrubber = true;
+  // A cadence slow enough that no background pass can sneak in between
+  // the injected divergence and RunPassAndWait's triggered pass — that
+  // pass must be the one doing the repair.
+  opts.scrub_interval_ms = 1000;
+  ClusterEngine cluster(lake(), opts);
+  ASSERT_NE(cluster.scrubber(), nullptr);
+
+  FailpointRegistry::Instance().Arm(ReplicaSet::ApplyFailpointName(0, 1),
+                                    FaultSpec{});
+  ASSERT_TRUE(cluster.ApplyBatch(AddBatch("scrubbed_probe", 3))
+                  .adds[0]
+                  .ok());
+
+  // RunPassAndWait starts a pass strictly after the divergence above, so
+  // its report must already show the repair.
+  const ClusterEngine::ScrubReport report =
+      cluster.scrubber()->RunPassAndWait();
+  EXPECT_EQ(report.replicas_repaired + report.replicas_unrepaired, 1u);
+  EXPECT_EQ(report.replicas_repaired, 1u);
+
+  const std::vector<ClusterEngine::ShardHealth> health = cluster.Health();
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_TRUE(health[0].digests_agree);
+  EXPECT_EQ(health[0].replicas_stale, 0u);
+
+  // The cadence keeps ticking on its own (bounded wait, generous budget).
+  const uint64_t passes = cluster.scrubber()->passes();
+  const auto deadline = steady_clock::now() + milliseconds(5000);
+  while (cluster.scrubber()->passes() <= passes &&
+         steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  EXPECT_GT(cluster.scrubber()->passes(), passes);
+}
+
+}  // namespace
+}  // namespace lake::cluster
