@@ -1,0 +1,138 @@
+#include "chaos/explorer.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace lake::chaos {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool StillFails(const ChaosPlan& plan, const RunOptions& run) {
+  return !RunChaos(plan, run).ok;
+}
+
+}  // namespace
+
+ChaosPlan ShrinkPlan(const ChaosPlan& failing, const RunOptions& run,
+                     size_t max_runs) {
+  ChaosPlan best = failing;
+  size_t runs = 0;
+
+  // Pass 1: drop faults one at a time (fewest moving parts first — a
+  // repro with one fault reads better than one with six).
+  for (size_t i = 0; i < best.faults.size() && runs < max_runs;) {
+    ChaosPlan candidate = best;
+    candidate.faults.erase(candidate.faults.begin() + i);
+    ++runs;
+    if (StillFails(candidate, run)) {
+      best = std::move(candidate);  // fault was irrelevant; keep it dropped
+    } else {
+      ++i;  // fault is load-bearing; keep it and try the next
+    }
+  }
+
+  // Pass 2: truncate the op tail in halving steps. Faults arming at or
+  // past the new end can never fire mid-run; drop them too.
+  while (best.ops.size() > 1 && runs < max_runs) {
+    bool progressed = false;
+    for (size_t cut = best.ops.size() / 2; cut >= 1 && runs < max_runs;
+         cut /= 2) {
+      ChaosPlan candidate = best;
+      candidate.ops.resize(best.ops.size() - cut);
+      candidate.faults.clear();
+      for (const FaultEvent& f : best.faults) {
+        if (f.arm_at_op < candidate.ops.size()) {
+          candidate.faults.push_back(f);
+        }
+      }
+      ++runs;
+      if (StillFails(candidate, run)) {
+        best = std::move(candidate);
+        progressed = true;
+        break;
+      }
+    }
+    if (!progressed) break;
+  }
+
+  // Pass 3: a shorter run may have made more faults irrelevant.
+  for (size_t i = 0; i < best.faults.size() && runs < max_runs;) {
+    ChaosPlan candidate = best;
+    candidate.faults.erase(candidate.faults.begin() + i);
+    ++runs;
+    if (StillFails(candidate, run)) {
+      best = std::move(candidate);
+    } else {
+      ++i;
+    }
+  }
+  return best;
+}
+
+Result<std::string> WriteRepro(const Failure& failure,
+                               const std::string& out_dir) {
+  std::error_code ec;
+  fs::create_directories(out_dir, ec);
+  const std::string path =
+      (fs::path(out_dir) / ("seed-" + std::to_string(failure.seed) + ".plan"))
+          .string();
+  std::ostringstream body;
+  body << "# chaos repro: seed " << failure.seed << "\n";
+  for (const std::string& v : failure.violations) {
+    body << "# violation: " << v << "\n";
+  }
+  body << failure.plan.Serialize();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot write repro file: " + path);
+  out << body.str();
+  out.close();
+  if (!out) return Status::IoError("failed writing repro file: " + path);
+  return path;
+}
+
+SweepReport SweepSeeds(const SweepOptions& options) {
+  SweepReport report;
+  for (size_t i = 0; i < options.num_seeds; ++i) {
+    const uint64_t seed = options.first_seed + i;
+    const ChaosPlan plan = MakePlan(seed, options.shape);
+
+    RunOptions run = options.run;
+    run.scratch_dir = (fs::path(options.run.scratch_dir) /
+                       ("seed-" + std::to_string(seed)))
+                          .string();
+    if (options.verbose) {
+      std::fprintf(stderr,
+                   "chaos: seed %llu (%zu ops, %zu faults, %ux%u, wal=%d, "
+                   "bg=%d)\n",
+                   static_cast<unsigned long long>(seed), plan.ops.size(),
+                   plan.faults.size(), plan.num_shards, plan.num_replicas,
+                   plan.enable_wal ? 1 : 0, plan.background ? 1 : 0);
+    }
+    ChaosReport result = RunChaos(plan, run);
+    ++report.seeds_run;
+    if (result.ok) continue;
+
+    ++report.seeds_failed;
+    Failure failure;
+    failure.seed = seed;
+    failure.plan = options.shrink ? ShrinkPlan(plan, run) : plan;
+    // Report the violations of the plan we ship (the shrunk plan can
+    // violate a different — usually smaller — set than the original).
+    failure.violations = options.shrink
+                             ? RunChaos(failure.plan, run).violations
+                             : std::move(result.violations);
+    if (failure.violations.empty()) failure.violations = result.violations;
+    if (!options.out_dir.empty()) {
+      auto written = WriteRepro(failure, options.out_dir);
+      if (written.ok()) failure.repro_path = written.value();
+    }
+    report.failures.push_back(std::move(failure));
+    if (options.stop_on_failure) break;
+  }
+  return report;
+}
+
+}  // namespace lake::chaos

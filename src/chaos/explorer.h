@@ -1,0 +1,69 @@
+#ifndef LAKE_CHAOS_EXPLORER_H_
+#define LAKE_CHAOS_EXPLORER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/plan.h"
+#include "chaos/workload.h"
+
+namespace lake::chaos {
+
+/// One failing seed from a sweep, with its (possibly shrunk) plan and the
+/// violations the minimal plan still produces.
+struct Failure {
+  uint64_t seed = 0;
+  ChaosPlan plan;
+  std::vector<std::string> violations;
+  /// Path of the repro file, when the sweep was given an output dir.
+  std::string repro_path;
+};
+
+/// Aggregate verdict of SweepSeeds.
+struct SweepReport {
+  size_t seeds_run = 0;
+  size_t seeds_failed = 0;
+  std::vector<Failure> failures;
+};
+
+struct SweepOptions {
+  uint64_t first_seed = 1;
+  size_t num_seeds = 20;
+  PlanShape shape;
+  /// Harness knobs for each run; scratch_dir is used as a parent — each
+  /// seed runs in "<scratch_dir>/seed-<n>".
+  RunOptions run;
+  /// Shrink each failing plan to a minimal repro before reporting.
+  bool shrink = true;
+  /// Where to write one repro file per failure (empty = don't write).
+  std::string out_dir;
+  /// Stop the sweep at the first failure.
+  bool stop_on_failure = false;
+  bool verbose = false;
+};
+
+/// Greedy schedule minimization: repeatedly re-runs the plan with one
+/// fault dropped, then with the op tail truncated (binary steps), keeping
+/// every mutation that still fails. The result is the smallest schedule
+/// this procedure can reach that still violates an invariant — small
+/// enough to read, step through, and pin as a regression. Deterministic
+/// replay (plan.h contract) is what makes this sound: a kept mutation
+/// failed on its actual content, not on scheduling noise.
+ChaosPlan ShrinkPlan(const ChaosPlan& failing, const RunOptions& run,
+                     size_t max_runs = 64);
+
+/// Runs `num_seeds` consecutive seeds through MakePlan + RunChaos,
+/// shrinking and recording each failure. The workhorse behind
+/// tools/chaos_explorer and the CI sweep.
+SweepReport SweepSeeds(const SweepOptions& options);
+
+/// Writes `failure` as a self-contained repro file: the serialized plan
+/// plus `# violation:` comment lines (ignored by the parser) naming what
+/// broke. Returns the path written.
+Result<std::string> WriteRepro(const Failure& failure,
+                               const std::string& out_dir);
+
+}  // namespace lake::chaos
+
+#endif  // LAKE_CHAOS_EXPLORER_H_

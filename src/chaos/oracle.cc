@@ -1,0 +1,117 @@
+#include "chaos/oracle.h"
+
+#include <sstream>
+
+#include "ingest/live_engine.h"
+
+namespace lake::chaos {
+
+void WorkloadOracle::NoteInitial(const Table& table) {
+  Entry& e = entries_[table.name()];
+  e.can_be_absent = false;
+  e.allowed = {ingest::TableContentDigest(table)};
+  e.last_content = std::make_shared<const Table>(table);
+}
+
+void WorkloadOracle::AckAdd(const Table& table) {
+  Entry& e = entries_[table.name()];
+  e.can_be_absent = false;
+  e.allowed = {ingest::TableContentDigest(table)};
+  e.last_content = std::make_shared<const Table>(table);
+}
+
+void WorkloadOracle::AckRemove(const std::string& name) {
+  Entry& e = entries_[name];
+  e.can_be_absent = true;
+  e.allowed.clear();
+  e.last_content.reset();
+}
+
+void WorkloadOracle::IndeterminateAdd(const Table& table) {
+  Entry& e = entries_[table.name()];
+  e.allowed.insert(ingest::TableContentDigest(table));
+  e.last_content = std::make_shared<const Table>(table);
+}
+
+void WorkloadOracle::IndeterminateRemove(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  it->second.can_be_absent = true;
+}
+
+bool WorkloadOracle::DefinitelyNotApplied(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kInvalidArgument:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<std::string> WorkloadOracle::Violations(
+    const std::map<std::string, uint32_t>& lake) const {
+  std::vector<std::string> out;
+  for (const auto& [name, e] : entries_) {
+    auto it = lake.find(name);
+    if (it == lake.end()) {
+      if (!e.can_be_absent) {
+        out.push_back("acknowledged loss: table '" + name +
+                      "' was acked but is missing from the recovered lake");
+      }
+      continue;
+    }
+    if (e.allowed.empty()) {
+      // Only an acked remove empties the digest set.
+      out.push_back("resurrected table: '" + name +
+                    "' was acked removed but is present");
+      continue;
+    }
+    if (e.allowed.count(it->second) == 0) {
+      std::ostringstream msg;
+      msg << "content mismatch: table '" << name << "' has digest "
+          << it->second << ", expected one of {";
+      bool first = true;
+      for (uint32_t d : e.allowed) {
+        if (!first) msg << ", ";
+        msg << d;
+        first = false;
+      }
+      msg << "}";
+      out.push_back(msg.str());
+    }
+  }
+  for (const auto& [name, digest] : lake) {
+    (void)digest;
+    if (entries_.find(name) == entries_.end()) {
+      out.push_back("phantom table: '" + name +
+                    "' is present but was never ingested");
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> WorkloadOracle::PresentNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, e] : entries_) {
+    if (!e.can_be_absent) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> WorkloadOracle::PossiblyPresentNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, e] : entries_) {
+    if (!e.allowed.empty()) out.push_back(name);
+  }
+  return out;
+}
+
+const Table* WorkloadOracle::LastContent(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  return it->second.last_content.get();
+}
+
+}  // namespace lake::chaos

@@ -1,0 +1,83 @@
+#ifndef LAKE_CHAOS_ORACLE_H_
+#define LAKE_CHAOS_ORACLE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+#include "util/status.h"
+
+namespace lake::chaos {
+
+/// In-memory ground truth of what the cluster MUST contain, built from the
+/// driver's acknowledged operations. Quorum systems make unacknowledged
+/// mutations *indeterminate* — a batch that failed with kUnavailable may
+/// still have been applied by a sub-quorum winner group — so each table
+/// tracks a three-valued constraint instead of a boolean:
+///
+///   - must be present, with a digest from `allowed` (acked add);
+///   - must be absent (acked remove);
+///   - may be either (an indeterminate mutation touched it), in which
+///     case presence requires a digest from `allowed`.
+///
+/// Definitive rejections (kNotFound, kAlreadyExists, kInvalidArgument —
+/// the engine validated and refused before any replica mutated) leave the
+/// constraint unchanged; every other failure widens it.
+class WorkloadOracle {
+ public:
+  /// A table present in the initial lake (before any workload ran).
+  void NoteInitial(const Table& table);
+
+  /// The cluster ACKNOWLEDGED this add: the table must now be present
+  /// with exactly this content.
+  void AckAdd(const Table& table);
+
+  /// The cluster ACKNOWLEDGED this remove: the table must now be absent.
+  void AckRemove(const std::string& name);
+
+  /// An add failed indeterminately: the table may additionally exist with
+  /// this content.
+  void IndeterminateAdd(const Table& table);
+
+  /// A remove failed indeterminately: absence becomes possible.
+  void IndeterminateRemove(const std::string& name);
+
+  /// True when `status` proves the engine refused the op before mutating
+  /// anything (safe to leave the oracle unchanged).
+  static bool DefinitelyNotApplied(const Status& status);
+
+  /// Checks a recovered lake (name → content digest) against every
+  /// constraint. Returns one human-readable violation per broken
+  /// constraint: acknowledged loss, resurrected table, phantom table, or
+  /// content mismatch. Empty = consistent.
+  std::vector<std::string> Violations(
+      const std::map<std::string, uint32_t>& lake) const;
+
+  /// Names that MUST be present right now (acked, never indeterminate
+  /// since). The driver picks remove targets and query subjects here.
+  std::vector<std::string> PresentNames() const;
+
+  /// Names that may be present (must-present plus indeterminate).
+  std::vector<std::string> PossiblyPresentNames() const;
+
+  /// The most recent content this oracle saw for `name` (the last add
+  /// attempt), or null. Query generation reads columns from it.
+  const Table* LastContent(const std::string& name) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    bool can_be_absent = true;
+    std::set<uint32_t> allowed;  // legal digests when present
+    std::shared_ptr<const Table> last_content;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace lake::chaos
+
+#endif  // LAKE_CHAOS_ORACLE_H_

@@ -1,0 +1,323 @@
+#include "chaos/plan.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/random.h"
+
+namespace lake::chaos {
+namespace {
+
+constexpr const char* kHeader = "chaosplan v1";
+
+const char* const kOpNames[] = {
+    "ingest",     "remove",  "keyword", "join",    "union",
+    "burst",      "checkpoint", "compact", "scrub", "kill",
+    "revive",     "addshard", "removeshard", "crash",
+};
+constexpr size_t kNumOpKinds = sizeof(kOpNames) / sizeof(kOpNames[0]);
+
+bool ParseOpKind(const std::string& name, OpKind* out) {
+  for (size_t i = 0; i < kNumOpKinds; ++i) {
+    if (name == kOpNames[i]) {
+      *out = static_cast<OpKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Fault kinds that are legal (i.e. meaningful) at one failpoint site,
+/// derived from the site's name. Arming an illegal kind is harmless but
+/// wastes a fault slot, so generation draws from the legal set.
+std::vector<FaultSpec::Kind> LegalKinds(const std::string& site) {
+  const auto ends_with = [&site](const char* suffix) {
+    const size_t n = std::char_traits<char>::length(suffix);
+    return site.size() >= n && site.compare(site.size() - n, n, suffix) == 0;
+  };
+  if (ends_with(".write")) {
+    return {FaultSpec::Kind::kError, FaultSpec::Kind::kEnospc,
+            FaultSpec::Kind::kTornWrite};
+  }
+  if (ends_with(".fsync")) {
+    return {FaultSpec::Kind::kError, FaultSpec::Kind::kEnospc};
+  }
+  if (ends_with(".rename")) return {FaultSpec::Kind::kError};
+  if (site.find(".exec.") != std::string::npos) {
+    return {FaultSpec::Kind::kError, FaultSpec::Kind::kDelay};
+  }
+  return {FaultSpec::Kind::kError};
+}
+
+}  // namespace
+
+bool FaultEvent::operator==(const FaultEvent& o) const {
+  return arm_at_op == o.arm_at_op && disarm_at_op == o.disarm_at_op &&
+         failpoint == o.failpoint && spec.kind == o.spec.kind &&
+         spec.after_hits == o.spec.after_hits && spec.arg == o.spec.arg &&
+         spec.max_fires == o.spec.max_fires &&
+         spec.probability == o.spec.probability;
+}
+
+bool ChaosPlan::operator==(const ChaosPlan& o) const {
+  return Serialize() == o.Serialize();
+}
+
+const char* OpKindName(OpKind kind) {
+  const size_t i = static_cast<size_t>(kind);
+  return i < kNumOpKinds ? kOpNames[i] : "?";
+}
+
+std::string ChaosPlan::Serialize() const {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  out << "seed " << seed << "\n";
+  out << "lake_seed " << lake_seed << "\n";
+  out << "shards " << num_shards << "\n";
+  out << "replicas " << num_replicas << "\n";
+  out << "quorum " << write_quorum << "\n";
+  out << "wal " << (enable_wal ? 1 : 0) << "\n";
+  out << "background " << (background ? 1 : 0) << "\n";
+  out << "final_crash " << (final_crash ? 1 : 0) << "\n";
+  for (const ChaosOp& op : ops) {
+    out << "op " << OpKindName(op.kind) << " " << op.a << " " << op.b << "\n";
+  }
+  for (const FaultEvent& f : faults) {
+    // Probability as integer millionths: float round-trips byte-exactly.
+    const uint64_t prob_millionths =
+        static_cast<uint64_t>(f.spec.probability * 1e6 + 0.5);
+    out << "fault " << f.arm_at_op << " " << f.disarm_at_op << " "
+        << static_cast<uint32_t>(f.spec.kind) << " " << f.spec.after_hits
+        << " " << f.spec.arg << " " << f.spec.max_fires << " "
+        << prob_millionths << " " << f.failpoint << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Result<ChaosPlan> ChaosPlan::Parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  // Repro files carry "# violation:" annotations above the header.
+  while (std::getline(in, line) && (line.empty() || line[0] == '#')) {
+  }
+  if (line != kHeader) {
+    return Status::InvalidArgument("chaos plan: bad header");
+  }
+  ChaosPlan plan;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;  // repro-file annotations
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "end") {
+      saw_end = true;
+      break;
+    } else if (key == "seed") {
+      ls >> plan.seed;
+    } else if (key == "lake_seed") {
+      ls >> plan.lake_seed;
+    } else if (key == "shards") {
+      ls >> plan.num_shards;
+    } else if (key == "replicas") {
+      ls >> plan.num_replicas;
+    } else if (key == "quorum") {
+      ls >> plan.write_quorum;
+    } else if (key == "wal") {
+      int v = 0;
+      ls >> v;
+      plan.enable_wal = v != 0;
+    } else if (key == "background") {
+      int v = 0;
+      ls >> v;
+      plan.background = v != 0;
+    } else if (key == "final_crash") {
+      int v = 0;
+      ls >> v;
+      plan.final_crash = v != 0;
+    } else if (key == "op") {
+      std::string name;
+      ChaosOp op;
+      ls >> name >> op.a >> op.b;
+      if (!ParseOpKind(name, &op.kind)) {
+        return Status::InvalidArgument("chaos plan: unknown op '" + name +
+                                       "'");
+      }
+      plan.ops.push_back(op);
+    } else if (key == "fault") {
+      FaultEvent f;
+      uint32_t kind = 0;
+      uint64_t prob_millionths = 0;
+      ls >> f.arm_at_op >> f.disarm_at_op >> kind >> f.spec.after_hits >>
+          f.spec.arg >> f.spec.max_fires >> prob_millionths >> f.failpoint;
+      if (kind > static_cast<uint32_t>(FaultSpec::Kind::kDelay) ||
+          f.failpoint.empty()) {
+        return Status::InvalidArgument("chaos plan: bad fault line: " + line);
+      }
+      f.spec.kind = static_cast<FaultSpec::Kind>(kind);
+      f.spec.probability = static_cast<double>(prob_millionths) / 1e6;
+      plan.faults.push_back(std::move(f));
+    } else {
+      return Status::InvalidArgument("chaos plan: unknown key '" + key + "'");
+    }
+    if (ls.fail()) {
+      return Status::InvalidArgument("chaos plan: malformed line: " + line);
+    }
+  }
+  if (!saw_end) return Status::InvalidArgument("chaos plan: missing 'end'");
+  if (plan.num_shards == 0 || plan.num_replicas == 0) {
+    return Status::InvalidArgument("chaos plan: zero shards or replicas");
+  }
+  return plan;
+}
+
+Result<ChaosPlan> ChaosPlan::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open chaos plan " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str());
+}
+
+Status ChaosPlan::WriteToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot write chaos plan " + path);
+  out << Serialize();
+  out.close();
+  if (!out) return Status::IoError("short write of chaos plan " + path);
+  return Status::OK();
+}
+
+std::vector<std::string> RegisterFailpointCatalog(uint32_t num_shards,
+                                                  uint32_t num_replicas) {
+  std::vector<std::string> sites;
+  // Single-engine ingest/persistence sites (every replica shares them —
+  // failpoints are process-global, so one armed name fires on whichever
+  // replica hits it next; that *is* the interesting nondeterminism, and
+  // the probability RNG keeps it reproducible for a fixed hit sequence).
+  sites.push_back("ingest.publish.swap");
+  sites.push_back("ingest.compact.build");
+  sites.push_back("ingest.compact.swap");
+  sites.push_back("ingest.delta.persist");
+  sites.push_back("wal.rotate");
+  sites.push_back("wal.append.write");
+  sites.push_back("wal.append.fsync");
+  sites.push_back("snapshot.write");
+  sites.push_back("snapshot.fsync");
+  sites.push_back("snapshot.rename");
+  // Per-(shard, replica) cluster sites. Cover a few shard ids past the
+  // initial count so faults can land on shards created by AddShard.
+  const uint32_t max_shard = num_shards + 2;
+  for (uint32_t s = 0; s < max_shard; ++s) {
+    for (uint32_t r = 0; r < num_replicas; ++r) {
+      sites.push_back("cluster.exec." + std::to_string(s) + "." +
+                      std::to_string(r));
+      sites.push_back("cluster.apply." + std::to_string(s) + "." +
+                      std::to_string(r));
+    }
+  }
+  std::sort(sites.begin(), sites.end());
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  for (const std::string& site : sites) registry.Register(site);
+  return sites;
+}
+
+ChaosPlan MakePlan(uint64_t seed, const PlanShape& shape) {
+  Rng rng(seed);
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.lake_seed = 11 + rng.NextBounded(5);
+  plan.num_shards = shape.num_shards != 0
+                        ? shape.num_shards
+                        : static_cast<uint32_t>(2 + rng.NextBounded(2));
+  plan.num_replicas = shape.num_replicas != 0
+                          ? shape.num_replicas
+                          : static_cast<uint32_t>(1 + rng.NextBounded(3));
+  plan.write_quorum = 0;  // majority
+  plan.enable_wal = true;
+  plan.background = shape.background;
+  plan.final_crash = shape.final_crash;
+
+  // Op mix: weighted toward ingest + queries (the steady-state workload),
+  // with a tail of maintenance, chaos, and topology ops.
+  struct Choice {
+    OpKind kind;
+    double weight;
+  };
+  std::vector<Choice> mix = {
+      {OpKind::kIngest, 22},      {OpKind::kRemove, 8},
+      {OpKind::kKeywordQuery, 14}, {OpKind::kJoinQuery, 7},
+      {OpKind::kUnionQuery, 7},    {OpKind::kQueryBurst, 5},
+      {OpKind::kCheckpoint, 9},    {OpKind::kCompact, 6},
+      {OpKind::kScrub, 5},         {OpKind::kKillReplica, 5},
+      {OpKind::kReviveReplica, 5},
+  };
+  if (shape.allow_topology_ops) {
+    mix.push_back({OpKind::kAddShard, 3});
+    mix.push_back({OpKind::kRemoveShard, 2});
+  }
+  if (shape.allow_crash_ops) mix.push_back({OpKind::kCrashRestart, 4});
+  std::vector<double> weights;
+  for (const Choice& c : mix) weights.push_back(c.weight);
+
+  Rng op_rng = rng.Fork("ops");
+  for (uint32_t i = 0; i < shape.num_ops; ++i) {
+    ChaosOp op;
+    op.kind = mix[op_rng.NextWeighted(weights)].kind;
+    op.a = static_cast<uint32_t>(op_rng.NextBounded(1u << 16));
+    op.b = static_cast<uint32_t>(op_rng.NextBounded(1u << 16));
+    plan.ops.push_back(op);
+  }
+
+  // Fault events drawn from the site catalog of this environment shape.
+  const std::vector<std::string> sites =
+      RegisterFailpointCatalog(plan.num_shards, plan.num_replicas);
+  Rng fault_rng = rng.Fork("faults");
+  const uint32_t num_faults =
+      shape.max_faults == 0
+          ? 0
+          : static_cast<uint32_t>(fault_rng.NextBounded(shape.max_faults + 1));
+  for (uint32_t i = 0; i < num_faults; ++i) {
+    FaultEvent f;
+    f.failpoint = sites[fault_rng.NextBounded(sites.size())];
+    const std::vector<FaultSpec::Kind> kinds = LegalKinds(f.failpoint);
+    f.spec.kind = kinds[fault_rng.NextBounded(kinds.size())];
+    switch (f.spec.kind) {
+      case FaultSpec::Kind::kTornWrite:
+        f.spec.arg = fault_rng.NextBounded(512);
+        break;
+      case FaultSpec::Kind::kDelay:
+        f.spec.arg = 2 + fault_rng.NextBounded(20);  // ms
+        break;
+      default:
+        f.spec.arg = 0;
+    }
+    f.spec.after_hits = fault_rng.NextBounded(3);
+    f.spec.max_fires = 1 + fault_rng.NextBounded(3);
+    const double probs[] = {1.0, 1.0, 0.5, 0.25};
+    f.spec.probability = probs[fault_rng.NextBounded(4)];
+    f.arm_at_op =
+        static_cast<uint32_t>(fault_rng.NextBounded(shape.num_ops));
+    // Half the faults disarm after a short window; the rest stay armed
+    // until quiesce (long-lived degraded hardware).
+    if (fault_rng.NextBool(0.5)) {
+      const uint32_t window =
+          1 + static_cast<uint32_t>(fault_rng.NextBounded(8));
+      f.disarm_at_op = std::min(shape.num_ops, f.arm_at_op + window);
+    }
+    plan.faults.push_back(std::move(f));
+  }
+  // Deterministic order for arming: by (arm_at_op, site, kind).
+  std::sort(plan.faults.begin(), plan.faults.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.arm_at_op != b.arm_at_op) return a.arm_at_op < b.arm_at_op;
+              if (a.failpoint != b.failpoint) return a.failpoint < b.failpoint;
+              return static_cast<uint32_t>(a.spec.kind) <
+                     static_cast<uint32_t>(b.spec.kind);
+            });
+  return plan;
+}
+
+}  // namespace lake::chaos

@@ -1,0 +1,125 @@
+#ifndef LAKE_CHAOS_PLAN_H_
+#define LAKE_CHAOS_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/failpoint.h"
+#include "util/status.h"
+
+namespace lake::chaos {
+
+/// DETERMINISM CONTRACT (all of lake::chaos): every run of a ChaosPlan
+/// must produce the byte-identical schedule and the identical invariant
+/// verdict, on any machine, forever. All randomness therefore derives
+/// from ChaosPlan::seed through Rng::Next*/Rng::Fork — never from wall
+/// clocks, std::random_device, pointer values, thread ids, or iteration
+/// order of unordered containers. Time may be *waited on* (watchdogs,
+/// backoff) but never *sampled into* a decision that shapes the schedule.
+
+/// One scheduled fault: arm `failpoint` with `spec` just before executing
+/// op `arm_at_op`, disarm it just before op `disarm_at_op` (0 = leave
+/// armed until quiesce clears everything).
+struct FaultEvent {
+  uint32_t arm_at_op = 0;
+  uint32_t disarm_at_op = 0;
+  std::string failpoint;
+  FaultSpec spec;
+
+  bool operator==(const FaultEvent& o) const;
+};
+
+/// Workload vocabulary of the driver. `a`/`b` are kind-specific operands
+/// (batch sizes, name selectors, shard/replica selectors) reduced modulo
+/// the live range at execution time, so one plan stays valid as topology
+/// changes mid-run.
+enum class OpKind : uint32_t {
+  kIngest = 0,     // a = extra tables in the batch (1 + a%3 adds)
+  kRemove,         // a = name selector, b = extra removes (1 + b%2)
+  kKeywordQuery,   // a = topic selector, b&1 = direct cluster vs service
+  kJoinQuery,      // a = source-table selector, b&1 = method
+  kUnionQuery,     // a = source-table selector, b&1 = method
+  kQueryBurst,     // a = topic base; 3 concurrent service queries
+  kCheckpoint,
+  kCompact,        // ClusterEngine::CompactAll
+  kScrub,          // ClusterEngine::ScrubOnce
+  kKillReplica,    // a = shard selector, b = replica selector
+  kReviveReplica,  // a = shard selector, b = replica selector
+  kAddShard,
+  kRemoveShard,    // a = victim selector
+  kCrashRestart,   // tear the whole stack down, ClusterEngine::Recover
+};
+
+/// Stable textual name used by the plan serialization ("ingest", ...).
+const char* OpKindName(OpKind kind);
+
+struct ChaosOp {
+  OpKind kind = OpKind::kIngest;
+  uint32_t a = 0;
+  uint32_t b = 0;
+
+  bool operator==(const ChaosOp& o) const {
+    return kind == o.kind && a == o.a && b == o.b;
+  }
+};
+
+/// A complete, self-contained chaos schedule: environment shape, the op
+/// sequence, and the fault events. Serializes to a line-based text format
+/// ("chaosplan v1") that round-trips byte-identically — the repro-file
+/// format the explorer emits and the regression corpus pins.
+struct ChaosPlan {
+  uint64_t seed = 0;
+  uint64_t lake_seed = 11;  // seed of the initial lakegen lake
+  uint32_t num_shards = 2;
+  uint32_t num_replicas = 2;
+  uint32_t write_quorum = 0;  // 0 = majority
+  bool enable_wal = true;
+  /// Run the background scrubber and a background compaction thread
+  /// during the workload (more interleavings, same quiesce verdict).
+  bool background = false;
+  /// Crash-restart once more AFTER the invariants pass and re-check —
+  /// the recovered system must satisfy them too.
+  bool final_crash = true;
+  std::vector<ChaosOp> ops;
+  std::vector<FaultEvent> faults;
+
+  std::string Serialize() const;
+  static Result<ChaosPlan> Parse(const std::string& text);
+  static Result<ChaosPlan> Load(const std::string& path);
+  Status WriteToFile(const std::string& path) const;
+
+  bool operator==(const ChaosPlan& o) const;
+};
+
+/// Knobs of MakePlan — what a generated schedule may contain.
+struct PlanShape {
+  uint32_t num_ops = 40;
+  uint32_t max_faults = 6;
+  /// 0 = draw from the seed (2..3 shards, 1..3 replicas).
+  uint32_t num_shards = 0;
+  uint32_t num_replicas = 0;
+  bool allow_topology_ops = true;  // AddShard / RemoveShard
+  bool allow_crash_ops = true;     // mid-run CrashRestart
+  bool background = false;
+  bool final_crash = true;
+};
+
+/// The failpoint sites a chaos run over `num_shards` x `num_replicas` can
+/// reach, sorted. Also Register()s each name with the global registry so
+/// operators can enumerate the catalog via ListRegistered(). MakePlan
+/// draws from the *returned* list (a pure function of the shape), not from
+/// the process-global registry, so plan generation is independent of what
+/// else ran in this process.
+std::vector<std::string> RegisterFailpointCatalog(uint32_t num_shards,
+                                                  uint32_t num_replicas);
+
+/// Deterministically expands `seed` into a full schedule: environment
+/// shape, op mix, and fault events with kinds drawn from each site's
+/// legal fault set (torn writes only on write sites, delays only on exec
+/// sites, ...). Same (seed, shape) ⇒ byte-identical plan.
+ChaosPlan MakePlan(uint64_t seed, const PlanShape& shape);
+
+}  // namespace lake::chaos
+
+#endif  // LAKE_CHAOS_PLAN_H_

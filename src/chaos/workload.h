@@ -1,0 +1,48 @@
+#ifndef LAKE_CHAOS_WORKLOAD_H_
+#define LAKE_CHAOS_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/plan.h"
+
+namespace lake::chaos {
+
+/// Execution knobs of one chaos run (everything schedule-shaping lives in
+/// the ChaosPlan; these only control harness plumbing).
+struct RunOptions {
+  /// Scratch directory for the run's stores. Created if missing, removed
+  /// afterwards unless keep_scratch. Required.
+  std::string scratch_dir;
+  /// Hang budget: the run aborts the process (watchdog) if it does not
+  /// finish within this many milliseconds. I4 — liveness.
+  uint64_t watchdog_budget_ms = 120'000;
+  bool keep_scratch = false;
+  /// Narrate every op to stderr (debugging a repro).
+  bool verbose = false;
+};
+
+/// Verdict of one chaos run. `ok` iff no invariant was violated; the
+/// violations are human-readable and name the invariant that broke.
+struct ChaosReport {
+  bool ok = false;
+  std::vector<std::string> violations;
+  size_t ops_executed = 0;
+  size_t faults_armed = 0;
+  size_t crashes = 0;  // mid-run crash-restarts + the final one
+};
+
+/// Executes one plan end to end: builds the replicated cluster over a
+/// seeded lake, drives the op schedule with faults armed per the plan,
+/// then quiesces (clear faults, revive replicas, scrub to convergence,
+/// sweep strays, compact, checkpoint) and checks every invariant in the
+/// catalog (invariants.h) — including rankings bit-identical to a freshly
+/// built single-node engine over the surviving corpus, and a final
+/// crash-restart re-check when the plan asks for one. Deterministic: same
+/// plan ⇒ same verdict (see the determinism contract in plan.h).
+ChaosReport RunChaos(const ChaosPlan& plan, const RunOptions& options);
+
+}  // namespace lake::chaos
+
+#endif  // LAKE_CHAOS_WORKLOAD_H_

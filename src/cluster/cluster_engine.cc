@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <limits>
 #include <optional>
@@ -325,6 +326,29 @@ bool ParseIndexSuffix(const std::string& name, const std::string& prefix,
   return true;
 }
 
+/// Marker file RemoveShard leaves in a retired shard's store directory so
+/// Recover never resurrects it with stale content.
+constexpr const char* kRetiredMarker = "RETIRED";
+
+/// True when one replica directory holds any recoverable state: a snapshot
+/// envelope or a WAL segment. A replica that was constructed but never
+/// checkpointed (an AddShard that died before its first checkpoint) has
+/// neither — WAL segments are created lazily on first append.
+bool ReplicaDirHasData(const std::filesystem::path& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir, ec)) {
+    if (e.path().filename().string().rfind("snap-", 0) == 0) return true;
+  }
+  const fs::path wal = dir / "wal";
+  if (fs::is_directory(wal, ec)) {
+    for (const fs::directory_entry& e : fs::directory_iterator(wal, ec)) {
+      if (e.path().filename().string().rfind("wal-", 0) == 0) return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 // --- Construction --------------------------------------------------------
@@ -488,12 +512,46 @@ Result<std::unique_ptr<ClusterEngine>> ClusterEngine::Recover(
   }
   std::sort(shard_ids.begin(), shard_ids.end());
 
+  // Filter to the shards that are actually part of the cluster: skip
+  // retired directories (RemoveShard completed) and directories where no
+  // replica ever persisted anything (AddShard died before its first
+  // checkpoint — the shard was never visible durably). Skipped ids still
+  // advance the shard-id sequence below, so ids are never reused.
+  std::vector<uint32_t> live_ids;
+  for (uint32_t id : shard_ids) {
+    const fs::path shard_dir =
+        fs::path(options.store_root) / ("shard-" + std::to_string(id));
+    if (fs::exists(shard_dir / kRetiredMarker, ec)) {
+      LAKE_LOG(Info) << "cluster recover: skipping retired shard-" << id;
+      continue;
+    }
+    bool any_data = false;
+    for (size_t r = 0;; ++r) {
+      const fs::path dir = shard_dir / ("replica-" + std::to_string(r));
+      if (!fs::is_directory(dir, ec)) break;
+      if (ReplicaDirHasData(dir)) {
+        any_data = true;
+        break;
+      }
+    }
+    if (!any_data) {
+      LAKE_LOG(Info) << "cluster recover: skipping empty shard-" << id
+                     << " (aborted add)";
+      continue;
+    }
+    live_ids.push_back(id);
+  }
+  if (live_ids.empty()) {
+    return Status::NotFound("no live shard directories under " +
+                            options.store_root);
+  }
+
   std::unique_ptr<ClusterEngine> cluster(
       new ClusterEngine(std::move(options)));
   auto topo = std::make_shared<Topology>();
   topo->ring = HashRing(cluster->options_.ring);
   size_t max_replicas = 1;
-  for (uint32_t id : shard_ids) {
+  for (uint32_t id : live_ids) {
     std::vector<std::unique_ptr<ingest::LiveEngine>> replicas;
     for (size_t r = 0;; ++r) {
       const fs::path dir = fs::path(cluster->options_.store_root) /
@@ -521,10 +579,20 @@ Result<std::unique_ptr<ClusterEngine>> ClusterEngine::Recover(
     topo->shards.push_back(std::make_shared<ReplicaSet>(
         id, std::move(replicas), std::move(ro)));
   }
-  cluster->options_.num_shards = shard_ids.size();
+  cluster->options_.num_shards = live_ids.size();
   cluster->options_.num_replicas = max_replicas;
   cluster->next_shard_id_ = shard_ids.back() + 1;
   cluster->Publish(std::move(topo));
+
+  // Migration-crash cleanup: a crash mid-rebalance can strand a table on a
+  // shard the recovered ring does not assign it to (AddShard died between
+  // the new shard's checkpoint and the donor removes; RemoveShard died
+  // between the survivor copies and the RETIRED marker). The rebalance
+  // ordering makes the ring owner's copy durable before any donor drop, so
+  // completing the migration is always safe. Without this, duplicated
+  // tables double-count in the distributed BM25 corpus statistics.
+  cluster->SweepStrayCopies();
+
   cluster->StartScrubber();
   return std::move(cluster);
 }
@@ -799,6 +867,25 @@ Result<ClusterEngine::RebalanceStats> ClusterEngine::AddShard() {
   auto added = std::make_shared<ReplicaSet>(
       id, std::shared_ptr<const DataLakeCatalog>(catalog), ReplicaOptions(id));
 
+  // Make the new shard durable BEFORE it becomes the ring owner and the
+  // donors shed their copies. Without this, a crash after the donor
+  // removes would recover a cluster whose only copy of the moved tables
+  // was the new shard's never-persisted memory — acknowledged loss. On
+  // failure the topology is unchanged (the old ring keeps serving) and
+  // the orphan replica directories are skipped by Recover, since no
+  // checkpoint committed.
+  if (!options_.store_root.empty()) {
+    for (size_t r = 0; r < added->num_replicas(); ++r) {
+      Status persisted = added->replica(r)->Checkpoint();
+      if (!persisted.ok()) {
+        return Status::IoError(
+            "add-shard checkpoint of shard-" + std::to_string(id) +
+            " replica " + std::to_string(r) +
+            " failed (topology unchanged): " + persisted.ToString());
+      }
+    }
+  }
+
   auto topo = std::make_shared<Topology>();
   topo->ring = std::move(new_ring);
   topo->shards = old_topo->shards;
@@ -809,11 +896,29 @@ Result<ClusterEngine::RebalanceStats> ClusterEngine::AddShard() {
   // Drop the moved tables from their donors. Until this finishes a moved
   // table answers from both owners with identical scores; the gather's
   // by-name dedup hides the overlap, and no moment exists where it
-  // answers from neither.
+  // answers from neither. A donor remove that fails its quorum leaves a
+  // duplicate, not a loss (the new owner serves it), so failures retry
+  // and then fall through to the stray-copy sweep instead of aborting.
   for (auto& [rs, names] : donors) {
-    ingest::LiveEngine::Batch b;
-    b.removes = std::move(names);
-    rs->ApplyBatch(std::move(b));
+    std::vector<std::string> pending = std::move(names);
+    for (int attempt = 0; attempt < 3 && !pending.empty(); ++attempt) {
+      ingest::LiveEngine::Batch b;
+      b.removes = pending;
+      ingest::LiveEngine::BatchOutcome outcome = rs->ApplyBatch(std::move(b));
+      std::vector<std::string> still;
+      for (size_t i = 0; i < outcome.removes.size(); ++i) {
+        const Status& st = outcome.removes[i];
+        if (st.ok() || st.code() == StatusCode::kNotFound) continue;
+        still.push_back(pending[i]);
+      }
+      pending = std::move(still);
+    }
+    if (!pending.empty()) {
+      LAKE_LOG(Warning) << "add-shard: donor shard " << rs->shard_id()
+                        << " kept " << pending.size()
+                        << " duplicate table(s); SweepStrayCopies will "
+                           "reclaim them";
+    }
   }
   BumpVersion();
   stats.duration_ms = MsSince(start);
@@ -849,8 +954,77 @@ Result<ClusterEngine::RebalanceStats> ClusterEngine::RemoveShard(
   for (Table& t : tables) {
     batches[new_ring.OwnerOf(t.name())].adds.push_back(std::move(t));
   }
+  // Every re-home must be ACKNOWLEDGED by its receiving quorum before the
+  // victim may retire — an unacked copy would silently vanish with the
+  // victim. On any failure the whole removal aborts: already-acked copies
+  // are rolled back best-effort (a leftover duplicate is harmless — the
+  // gather dedups it and SweepStrayCopies/Recover reclaims it), the ring
+  // keeps the victim, and nothing was lost.
+  std::vector<uint32_t> receivers;
+  std::vector<std::pair<uint32_t, std::vector<std::string>>> acked_copies;
+  Status rehome_failure = Status::OK();
   for (auto& [owner, b] : batches) {
-    old_topo->Find(owner)->ApplyBatch(std::move(b));
+    receivers.push_back(owner);
+    std::vector<std::string> names;
+    for (const Table& t : b.adds) names.push_back(t.name());
+    ingest::LiveEngine::BatchOutcome outcome =
+        old_topo->Find(owner)->ApplyBatch(std::move(b));
+    std::vector<std::string> acked;
+    for (size_t i = 0; i < outcome.adds.size(); ++i) {
+      const Result<TableId>& r = outcome.adds[i];
+      if (r.ok() || r.status().code() == StatusCode::kAlreadyExists) {
+        acked.push_back(names[i]);
+      } else if (rehome_failure.ok()) {
+        rehome_failure = r.status();
+      }
+    }
+    if (!acked.empty()) acked_copies.push_back({owner, std::move(acked)});
+    if (!rehome_failure.ok()) break;
+  }
+  if (!rehome_failure.ok()) {
+    for (auto& [owner, names] : acked_copies) {
+      ingest::LiveEngine::Batch undo;
+      undo.removes = std::move(names);
+      old_topo->Find(owner)->ApplyBatch(std::move(undo));
+    }
+    return Status::Unavailable(
+        "remove-shard re-home was not acknowledged (topology unchanged): " +
+        rehome_failure.ToString());
+  }
+
+  if (!options_.store_root.empty()) {
+    // Durability ordering: (1) the survivors' copies become durable, then
+    // (2) the victim's directory is marked RETIRED, then (3) the topology
+    // publishes. A crash after (1) but before (2) recovers the victim as
+    // owner and drops the survivor copies (migration undone, nothing
+    // lost); a crash after (2) recovers without the victim and the
+    // survivors own their copies. No window loses a table or resurrects
+    // the removed shard.
+    for (uint32_t owner : receivers) {
+      ReplicaSet* rs = old_topo->Find(owner);
+      for (size_t r = 0; r < rs->num_replicas(); ++r) {
+        Status persisted = rs->replica(r)->Checkpoint();
+        if (!persisted.ok()) {
+          return Status::IoError(
+              "remove-shard checkpoint of survivor shard-" +
+              std::to_string(owner) + " replica " + std::to_string(r) +
+              " failed (topology unchanged): " + persisted.ToString());
+        }
+      }
+    }
+    namespace fs = std::filesystem;
+    const fs::path marker = fs::path(options_.store_root) /
+                            ("shard-" + std::to_string(shard)) /
+                            kRetiredMarker;
+    std::ofstream out(marker, std::ios::trunc);
+    out << "retired by RemoveShard\n";
+    out.close();
+    if (!out) {
+      return Status::IoError("cannot write retirement marker " +
+                             marker.string() +
+                             " (topology unchanged; duplicate copies will "
+                             "be dropped on recovery)");
+    }
   }
 
   auto topo = std::make_shared<Topology>();
@@ -1094,6 +1268,93 @@ Status ClusterEngine::Checkpoint() {
     if (!st.ok()) return st;
   }
   return Status::OK();
+}
+
+Status ClusterEngine::CompactAll() {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  auto topo = topology();
+  if (topo == nullptr) return Status::OK();
+  std::vector<Status> statuses(topo->shards.size(), Status::OK());
+  pool_->ParallelFor(topo->shards.size(), [&](size_t i) {
+    ReplicaSet& rs = *topo->shards[i];
+    for (size_t r = 0; r < rs.num_replicas(); ++r) {
+      Result<ingest::LiveEngine::CompactionStats> stats =
+          rs.replica(r)->Compact();
+      if (!stats.ok() && statuses[i].ok()) statuses[i] = stats.status();
+    }
+  });
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+std::vector<Table> ClusterEngine::VisibleTables() const {
+  std::vector<Table> out;
+  auto topo = topology();
+  if (topo == nullptr) return out;
+  std::unordered_set<std::string> seen;
+  for (const std::shared_ptr<ReplicaSet>& rs : topo->shards) {
+    for (Table& t : rs->VisibleTables()) {
+      if (seen.insert(t.name()).second) out.push_back(std::move(t));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Table& a, const Table& b) {
+    return a.name() < b.name();
+  });
+  return out;
+}
+
+size_t ClusterEngine::SweepStrayCopies() {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  auto topo = topology();
+  if (topo == nullptr) return 0;
+  size_t swept = 0;
+  for (const std::shared_ptr<ReplicaSet>& rs : topo->shards) {
+    std::vector<Table> tables = rs->VisibleTables();
+    ingest::LiveEngine::Batch drop;
+    for (Table& t : tables) {
+      const uint32_t owner = topo->ring.OwnerOf(t.name());
+      if (owner == rs->shard_id()) continue;
+      if (topo->Find(owner) == nullptr) continue;  // ring only maps live shards
+      // Drop unconditionally. Acked adds are durable on the owner before
+      // any donor sheds its copy, so if the owner lacks this table it was
+      // removed after the stray was orphaned; moving it back would
+      // resurrect an acknowledged remove.
+      drop.removes.push_back(t.name());
+    }
+    if (!drop.removes.empty()) {
+      LAKE_LOG(Info) << "cluster: shard " << rs->shard_id() << " dropping "
+                     << drop.removes.size()
+                     << " stray table(s) from an interrupted rebalance";
+      swept += drop.removes.size();
+      rs->ApplyBatch(std::move(drop));
+    }
+  }
+  if (swept > 0) BumpVersion();
+  return swept;
+}
+
+std::map<std::string, uint32_t> ClusterEngine::VisibleTableDigests() const {
+  std::map<std::string, uint32_t> out;
+  auto topo = topology();
+  if (topo == nullptr) return out;
+  for (const std::shared_ptr<ReplicaSet>& rs : topo->shards) {
+    // Authoritative copy: the first non-stale replica (same rule as
+    // ReplicaSet::VisibleTables); an all-stale shard falls back to
+    // replica 0.
+    size_t source = 0;
+    for (size_t r = 0; r < rs->num_replicas(); ++r) {
+      if (!rs->stale(r)) {
+        source = r;
+        break;
+      }
+    }
+    for (const auto& [name, digest] : rs->replica(source)->TableDigests()) {
+      out[name] = digest;
+    }
+  }
+  return out;
 }
 
 // --- Introspection -------------------------------------------------------

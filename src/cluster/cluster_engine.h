@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -132,7 +133,15 @@ class ClusterEngine {
 
   /// Rebuilds a cluster from per-replica snapshot stores under
   /// `options.store_root` (written by Checkpoint of a cluster built with
-  /// the same store_root). Shard directories are discovered by scanning.
+  /// the same store_root). Shard directories are discovered by scanning;
+  /// directories holding a RETIRED marker (RemoveShard) or containing no
+  /// committed snapshot and no WAL in any replica (an AddShard that died
+  /// before its first checkpoint) are skipped, though their ids still
+  /// advance the shard-id sequence so ids are never reused. After the
+  /// topology is rebuilt, tables stranded on a non-owner shard by a crash
+  /// mid-rebalance are dropped (the ring owner always holds a durable copy
+  /// first, so this completes the migration instead of double-counting
+  /// BM25 corpus statistics).
   static Result<std::unique_ptr<ClusterEngine>> Recover(Options options);
 
   ~ClusterEngine();
@@ -181,10 +190,17 @@ class ClusterEngine {
   /// Adds one shard and migrates the tables the new ring assigns to it
   /// (~1/N of the lake). Queries keep serving throughout; during the brief
   /// hand-off window a moved table may be visible on both shards, which
-  /// the gather's by-name dedup hides.
+  /// the gather's by-name dedup hides. With a store_root the new shard is
+  /// checkpointed BEFORE it is published and the donors shed their copies,
+  /// so a crash at any point recovers to a consistent topology (either the
+  /// move never happened, or the new shard owns its slice durably).
   Result<RebalanceStats> AddShard();
 
-  /// Removes a shard, redistributing its tables to the survivors.
+  /// Removes a shard, redistributing its tables to the survivors. With a
+  /// store_root the receiving survivors are checkpointed and then the
+  /// victim's store directory is marked RETIRED before the new topology
+  /// publishes — Recover skips retired directories, so a removed shard can
+  /// never resurrect with stale content.
   Result<RebalanceStats> RemoveShard(uint32_t shard);
 
   // --- Health / chaos ---------------------------------------------------
@@ -257,6 +273,36 @@ class ClusterEngine {
   /// Checkpoints every replica through its own store (shard-parallel).
   /// FailedPrecondition without a store_root.
   Status Checkpoint();
+
+  /// Compacts every replica of every shard (shard-parallel): folds each
+  /// delta into a fresh base built over the survivors, which also restores
+  /// exact single-engine BM25 statistics after removes. Returns the first
+  /// failure but attempts every replica regardless — a replica whose
+  /// compaction fails keeps serving its current generation.
+  Status CompactAll();
+
+  /// Name → content digest of every visible table cluster-wide (each
+  /// shard's authoritative copy, from its first non-stale replica). The
+  /// chaos invariant checker diffs this against its oracle; rebalance
+  /// dual-visibility windows collapse because the map is keyed by name.
+  std::map<std::string, uint32_t> VisibleTableDigests() const;
+
+  /// Copies of every visible table cluster-wide, sorted by name and
+  /// deduplicated (a table mid-migration counts once). The chaos checker
+  /// builds its single-node oracle engine from exactly this corpus.
+  std::vector<Table> VisibleTables() const;
+
+  /// Drops tables stranded on a shard the current ring does not assign
+  /// them to (a rebalance that was interrupted by a crash or a failed
+  /// quorum write). Strays are dropped unconditionally: every acknowledged
+  /// add is durable on its ring owner before any donor sheds its copy
+  /// (AddShard checkpoints the new shard before publishing the ring;
+  /// RemoveShard re-homes with quorum acks before the RETIRED marker), so
+  /// an owner that lacks a stray's table proves the table was removed
+  /// after the stray was orphaned — re-adding it would resurrect an
+  /// acknowledged remove. Returns the number of stray copies dropped.
+  /// Recover runs it automatically; the chaos harness runs it at quiesce.
+  size_t SweepStrayCopies();
 
   // --- Introspection ----------------------------------------------------
 

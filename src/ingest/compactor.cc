@@ -1,5 +1,6 @@
 #include "ingest/compactor.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "util/logging.h"
@@ -46,6 +47,11 @@ LiveEngine::CompactionStats Compactor::last_stats() const {
   return last_stats_;
 }
 
+uint64_t Compactor::backoff_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backoff_ms_;
+}
+
 void Compactor::Loop() {
   while (true) {
     bool forced = false;
@@ -57,6 +63,15 @@ void Compactor::Loop() {
       if (stop_) return;
       forced = trigger_;
       trigger_ = false;
+      // Graceful degradation after a failed build (ENOSPC, injected
+      // fault): the old generation keeps serving and retries are spaced
+      // by capped exponential backoff instead of hammering a full disk
+      // every poll tick. An explicit TriggerNow() bypasses the gate so
+      // tests and operators can force a retry.
+      if (!forced && backoff_ms_ != 0 &&
+          std::chrono::steady_clock::now() < next_attempt_) {
+        continue;
+      }
     }
     if (!forced && !engine_->CompactionNeeded(options_.max_delta_tables,
                                               options_.max_tombstone_ratio)) {
@@ -67,9 +82,16 @@ void Compactor::Loop() {
     if (stats.ok()) {
       ++runs_;
       last_stats_ = stats.value();
+      backoff_ms_ = 0;
     } else {
       ++failures_;
-      LAKE_LOG(Warning) << "compaction failed: " << stats.status().ToString();
+      backoff_ms_ = backoff_ms_ == 0
+                        ? options_.backoff_initial_ms
+                        : std::min(options_.backoff_max_ms, backoff_ms_ * 2);
+      next_attempt_ = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(backoff_ms_);
+      LAKE_LOG(Warning) << "compaction failed (retry in " << backoff_ms_
+                        << " ms): " << stats.status().ToString();
     }
   }
 }

@@ -1,6 +1,7 @@
 #ifndef LAKE_INGEST_COMPACTOR_H_
 #define LAKE_INGEST_COMPACTOR_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -24,6 +25,13 @@ class Compactor {
     double max_tombstone_ratio = 0.2;
     /// Threshold poll cadence.
     uint64_t poll_interval_ms = 50;
+    /// First retry delay after a failed compaction (e.g. ENOSPC during the
+    /// build). Doubles per consecutive failure up to `backoff_max_ms`, and
+    /// resets on the first success. The current generation keeps serving
+    /// the whole time — a failed build never publishes anything.
+    uint64_t backoff_initial_ms = 100;
+    /// Retry delay ceiling.
+    uint64_t backoff_max_ms = 5000;
   };
 
   /// `engine` must outlive the compactor.
@@ -45,6 +53,8 @@ class Compactor {
   uint64_t runs() const;
   uint64_t failures() const;
   LiveEngine::CompactionStats last_stats() const;
+  /// Current retry delay; 0 when the last attempt succeeded (no backoff).
+  uint64_t backoff_ms() const;
 
  private:
   void Loop();
@@ -59,6 +69,8 @@ class Compactor {
   uint64_t runs_ = 0;
   uint64_t failures_ = 0;
   LiveEngine::CompactionStats last_stats_;
+  uint64_t backoff_ms_ = 0;  // 0 = healthy, else current retry delay
+  std::chrono::steady_clock::time_point next_attempt_{};  // gate while backing off
 
   std::thread thread_;
 };

@@ -390,6 +390,31 @@ Status LiveEngine::OpenWal(uint64_t next_lsn) {
   return Status::OK();
 }
 
+// A torn append kills the WalWriter permanently (fail-stop: the torn bytes
+// stay on disk and that writer never appends again). Without intervention
+// the engine would keep serving reads but reject every later mutation —
+// un-repairable by the scrubber and indistinguishable from a stuck replica.
+// Roll the log instead: reopen with a directory scan, which tolerates the
+// torn tail and continues the dense LSN chain in a fresh segment, exactly
+// as crash recovery would. Replay chains across the torn tail (see
+// wal_test ReplayChainsAcrossTornTailIntoNextSegment), so no acknowledged
+// record is at risk. The batch that hit the torn write stays rejected.
+void LiveEngine::RollWal() {
+  const uint64_t durable = wal_->durable_lsn();
+  wal_.reset();
+  Status reopened = OpenWal(/*next_lsn=*/0);
+  if (!reopened.ok()) {
+    // Fail-stop per batch: wal_ stays null and later batches are rejected
+    // with FailedPrecondition until a checkpoint/recover cycle reopens it.
+    LAKE_LOG(Warning) << "ingest: WAL roll after dead writer failed: "
+                      << reopened.ToString();
+    return;
+  }
+  wal_->set_durable_lsn(durable);
+  LAKE_LOG(Warning)
+      << "ingest: WAL writer died (torn append); rolled to a fresh segment";
+}
+
 void LiveEngine::ExportWalMetrics() {
   if (wal_ == nullptr) return;
   if (wal_unsynced_gauge_ != nullptr) {
@@ -571,6 +596,7 @@ LiveEngine::BatchOutcome LiveEngine::ApplyBatch(Batch batch) {
                   "WAL enabled but unavailable (fail-stop)");
     ExportWalMetrics();
     if (!logged.ok()) {
+      if (wal_ != nullptr && wal_->dead()) RollWal();
       for (Status& s : outcome.removes) {
         if (s.ok()) s = logged;
       }
@@ -810,6 +836,31 @@ Status LiveEngine::Checkpoint() {
   return Status::OK();
 }
 
+namespace {
+
+// Replay applies records that were acknowledged and durably logged, so
+// over-replay is the only benign rejection (AlreadyExists adds, NotFound
+// removes — ApplyBatch re-validating what the checkpoint already holds).
+// Any other rejection — a transient publish failure, ENOSPC, an injected
+// fault — must abort recovery: continuing past it silently drops an
+// acknowledged mutation, which reads as loss (dropped add) or
+// resurrection (dropped remove) once the engine serves again.
+Status FatalReplayError(const LiveEngine::BatchOutcome& outcome) {
+  auto benign = [](const Status& s) {
+    return s.code() == StatusCode::kAlreadyExists ||
+           s.code() == StatusCode::kNotFound;
+  };
+  for (const Status& s : outcome.removes) {
+    if (!s.ok() && !benign(s)) return s;
+  }
+  for (const Result<TableId>& a : outcome.adds) {
+    if (!a.ok() && !benign(a.status())) return a.status();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<std::unique_ptr<LiveEngine>> LiveEngine::Recover(
     store::SnapshotStore* store, Options options, RecoveryReport* report) {
   if (store == nullptr) {
@@ -950,6 +1001,11 @@ Result<std::unique_ptr<LiveEngine>> LiveEngine::Recover(
   rep.tombstones_replayed = replay.removes.size();
   const size_t attempted = replay.adds.size();
   BatchOutcome outcome = live->ApplyBatch(std::move(replay));
+  Status delta_fatal = FatalReplayError(outcome);
+  if (!delta_fatal.ok()) {
+    return Status::IoError("replaying checkpointed delta failed: " +
+                           delta_fatal.ToString());
+  }
   for (const Result<TableId>& add : outcome.adds) {
     if (add.ok()) {
       ++rep.deltas_replayed;
@@ -1006,7 +1062,13 @@ Result<std::unique_ptr<LiveEngine>> LiveEngine::FinishRecovery(
                             << ": " << decoded.status().ToString();
           return Status::OK();
         }
-        live->ApplyBatch(std::move(decoded).value());
+        BatchOutcome applied = live->ApplyBatch(std::move(decoded).value());
+        Status fatal = FatalReplayError(applied);
+        if (!fatal.ok()) {
+          return Status::IoError("replaying WAL record " +
+                                 std::to_string(lsn) +
+                                 " failed: " + fatal.ToString());
+        }
         ++rep->wal_records_replayed;
         return Status::OK();
       });

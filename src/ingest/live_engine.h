@@ -273,6 +273,7 @@ class LiveEngine {
   /// Opens the writer per options_ (fail-stop: an unopenable log disables
   /// acknowledgement, not durability). Caller holds mu_.
   Status OpenWal(uint64_t next_lsn);
+  void RollWal();
   /// Diffs writer stats into the monotonic ingest.wal.* counters and
   /// refreshes the unsynced-records gauge. Caller holds mu_.
   void ExportWalMetrics();

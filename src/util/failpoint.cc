@@ -13,6 +13,9 @@ FailpointRegistry& FailpointRegistry::Instance() {
 
 void FailpointRegistry::Arm(const std::string& name, FaultSpec spec) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Arming makes the name part of the durable catalog: ListRegistered()
+  // keeps reporting it after ClearAll() wipes the run-state.
+  registered_.insert(name);
   armed_[name] = Armed{spec, hit_counts_[name]};
 }
 
@@ -24,6 +27,27 @@ void FailpointRegistry::Disarm(const std::string& name) {
 void FailpointRegistry::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   armed_.clear();
+}
+
+void FailpointRegistry::ClearAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+  hit_counts_.clear();
+  fire_counts_.clear();
+  rng_state_ = 0x9e3779b97f4a7c15ULL;
+}
+
+void FailpointRegistry::Register(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registered_.insert(name);
+}
+
+std::vector<std::string> FailpointRegistry::ListRegistered() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<std::string> names = registered_;
+  for (const auto& [name, armed] : armed_) names.insert(name);
+  for (const auto& [name, count] : hit_counts_) names.insert(name);
+  return std::vector<std::string>(names.begin(), names.end());
 }
 
 std::optional<FaultSpec> FailpointRegistry::Hit(const std::string& name) {

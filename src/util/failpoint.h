@@ -9,9 +9,11 @@
 #include <mutex>
 #include <optional>
 #include <ostream>
+#include <set>
 #include <streambuf>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "util/cancel.h"
 #include "util/status.h"
@@ -58,8 +60,27 @@ class FailpointRegistry {
 
   void Arm(const std::string& name, FaultSpec spec);
   void Disarm(const std::string& name);
-  /// Disarms everything (test teardown).
+  /// Disarms everything but keeps lifetime hit/fire counters and the
+  /// registered-name set. Prefer ClearAll() in test teardown.
   void Clear();
+
+  /// Full state reset: disarms every site AND zeroes the lifetime hit/fire
+  /// counters, so `hits()`/`fires()` assertions in one test can never be
+  /// polluted by an earlier test in the same process. The registered-name
+  /// set survives (registration describes the binary, not a run). This is
+  /// the canonical chaos/corruption-test teardown.
+  void ClearAll();
+
+  /// Declares that `name` is a fault site, without arming or hitting it.
+  /// Production sites self-register on first Hit; chaos harnesses register
+  /// their target catalog up front so schedule generation can enumerate
+  /// every armable site before anything has executed.
+  void Register(const std::string& name);
+
+  /// Every failpoint name this registry knows: explicitly Register()ed,
+  /// ever Arm()ed, or ever Hit(). Sorted, so schedules drawn from the list
+  /// with a seeded RNG are deterministic.
+  std::vector<std::string> ListRegistered();
 
   /// Records one hit of `name`; returns the armed spec iff this hit fires
   /// (past `after_hits`, within `max_fires`, and passing the probability
@@ -85,6 +106,7 @@ class FailpointRegistry {
   std::map<std::string, Armed> armed_;
   std::map<std::string, uint64_t> hit_counts_;
   std::map<std::string, uint64_t> fire_counts_;
+  std::set<std::string> registered_;
   uint64_t rng_state_ = 0x9e3779b97f4a7c15ULL;
 };
 

@@ -85,6 +85,17 @@ size_t Rng::NextWeighted(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
+Rng Rng::Fork(std::string_view tag) const {
+  // Fold the full 256-bit state down to one word, then perturb it with the
+  // tag hash. Reading (not advancing) the state keeps Fork const and makes
+  // fork order irrelevant to the parent's own draws.
+  uint64_t folded = s_[0];
+  folded = Mix64(folded ^ RotL(s_[1], 13));
+  folded = Mix64(folded ^ RotL(s_[2], 29));
+  folded = Mix64(folded ^ RotL(s_[3], 43));
+  return Rng(Hash64(tag, folded));
+}
+
 ZipfSampler::ZipfSampler(size_t n, double s) {
   assert(n > 0);
   cdf_.resize(n);

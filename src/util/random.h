@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/hash.h"
@@ -49,6 +50,18 @@ class Rng {
 
   /// Picks one index according to non-negative weights (sum must be > 0).
   size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Splittable seeded stream: derives an independent child generator from
+  /// the current state and `tag` WITHOUT consuming any parent randomness,
+  /// so forking never perturbs the parent's sequence. Two forks with the
+  /// same tag at the same parent state are identical; distinct tags give
+  /// decorrelated streams. This is how multi-threaded deterministic code
+  /// (the chaos WorkloadDriver's burst threads) hands each worker its own
+  /// fully seed-determined stream: fork by a stable tag, never share one
+  /// Rng across threads. Determinism contract: chaos/simulation code must
+  /// derive ALL randomness from one seed via Next*/Fork — never from wall
+  /// clocks, `std::random_device`, pointer values, or thread ids.
+  Rng Fork(std::string_view tag) const;
 
  private:
   uint64_t s_[4];

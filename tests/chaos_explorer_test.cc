@@ -1,0 +1,206 @@
+// Unit + smoke tests of the deterministic chaos explorer (src/chaos):
+// the workload oracle's three-valued constraints, the plan format's
+// byte-identical round trip, MakePlan determinism, and a real (small)
+// RunChaos sweep that must come back clean twice with the same verdict.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "chaos/explorer.h"
+#include "chaos/plan.h"
+#include "chaos/oracle.h"
+#include "chaos/workload.h"
+#include "ingest/live_engine.h"
+#include "table/table.h"
+#include "util/failpoint.h"
+#include "util/random.h"
+
+namespace lake::chaos {
+namespace {
+
+namespace fs = std::filesystem;
+
+Table Tbl(const std::string& name, int64_t salt) {
+  Table t(name);
+  t.AddColumn(Column("k", DataType::kInt, {Value(salt), Value(salt + 1)}));
+  return t;
+}
+
+uint32_t Digest(const Table& t) { return ingest::TableContentDigest(t); }
+
+class ChaosExplorerTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Instance().ClearAll(); }
+
+  std::string Scratch(const std::string& leaf) {
+    fs::path dir = fs::temp_directory_path() /
+                   ("chaos_explorer_test_" + std::to_string(::getpid())) /
+                   leaf;
+    fs::remove_all(dir);
+    return dir.string();
+  }
+};
+
+// ---------------------------------------------------------------- oracle
+
+TEST_F(ChaosExplorerTest, OracleFlagsAcknowledgedLoss) {
+  WorkloadOracle oracle;
+  oracle.AckAdd(Tbl("t1", 7));
+  const auto violations = oracle.Violations({});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("acknowledged loss"), std::string::npos);
+  EXPECT_NE(violations[0].find("t1"), std::string::npos);
+}
+
+TEST_F(ChaosExplorerTest, OracleFlagsResurrectionAfterAckedRemove) {
+  WorkloadOracle oracle;
+  const Table t = Tbl("t1", 7);
+  oracle.AckAdd(t);
+  oracle.AckRemove("t1");
+  EXPECT_TRUE(oracle.Violations({}).empty());
+  const auto violations = oracle.Violations({{"t1", Digest(t)}});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("resurrected"), std::string::npos);
+}
+
+TEST_F(ChaosExplorerTest, OracleFlagsContentMismatchAndPhantoms) {
+  WorkloadOracle oracle;
+  oracle.AckAdd(Tbl("t1", 7));
+  const auto mismatch =
+      oracle.Violations({{"t1", Digest(Tbl("t1", 8))}});
+  ASSERT_EQ(mismatch.size(), 1u);
+  EXPECT_NE(mismatch[0].find("content mismatch"), std::string::npos);
+
+  const auto phantom = oracle.Violations(
+      {{"t1", Digest(Tbl("t1", 7))}, {"ghost", 123u}});
+  ASSERT_EQ(phantom.size(), 1u);
+  EXPECT_NE(phantom[0].find("phantom"), std::string::npos);
+}
+
+TEST_F(ChaosExplorerTest, OracleIndeterminateOpsWidenTheConstraint) {
+  WorkloadOracle oracle;
+  const Table v1 = Tbl("t1", 7);
+  const Table v2 = Tbl("t1", 8);
+  oracle.AckAdd(v1);
+  // A failed re-add with different content: either version (or, after the
+  // indeterminate remove below, absence) is now legal.
+  oracle.IndeterminateAdd(v2);
+  EXPECT_TRUE(oracle.Violations({{"t1", Digest(v1)}}).empty());
+  EXPECT_TRUE(oracle.Violations({{"t1", Digest(v2)}}).empty());
+  EXPECT_FALSE(oracle.Violations({}).empty());  // still must be present
+
+  oracle.IndeterminateRemove("t1");
+  EXPECT_TRUE(oracle.Violations({}).empty());
+  EXPECT_TRUE(oracle.Violations({{"t1", Digest(v2)}}).empty());
+}
+
+TEST_F(ChaosExplorerTest, OracleDefinitiveRejectionsLeaveStateUnchanged) {
+  EXPECT_TRUE(WorkloadOracle::DefinitelyNotApplied(
+      Status::NotFound("no such table")));
+  EXPECT_TRUE(WorkloadOracle::DefinitelyNotApplied(
+      Status::AlreadyExists("duplicate")));
+  EXPECT_TRUE(WorkloadOracle::DefinitelyNotApplied(
+      Status::InvalidArgument("bad name")));
+  EXPECT_FALSE(WorkloadOracle::DefinitelyNotApplied(
+      Status::Unavailable("quorum lost")));
+  EXPECT_FALSE(
+      WorkloadOracle::DefinitelyNotApplied(Status::IoError("disk")));
+}
+
+TEST_F(ChaosExplorerTest, OraclePresentNamesTracksOnlyMustPresent) {
+  WorkloadOracle oracle;
+  oracle.AckAdd(Tbl("sure", 1));
+  oracle.IndeterminateAdd(Tbl("maybe", 2));
+  EXPECT_EQ(oracle.PresentNames(),
+            std::vector<std::string>{"sure"});
+  const auto possible = oracle.PossiblyPresentNames();
+  EXPECT_EQ(possible, (std::vector<std::string>{"maybe", "sure"}));
+}
+
+// ------------------------------------------------------------------ plan
+
+TEST_F(ChaosExplorerTest, PlanSerializeParseRoundTripsByteIdentically) {
+  const ChaosPlan plan = MakePlan(42, PlanShape{});
+  const std::string text = plan.Serialize();
+  Result<ChaosPlan> parsed = ChaosPlan::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value() == plan);
+  EXPECT_EQ(parsed.value().Serialize(), text);
+}
+
+TEST_F(ChaosExplorerTest, PlanParseSkipsLeadingComments) {
+  // Repro files carry "# violation: ..." headers above the format line.
+  const ChaosPlan plan = MakePlan(7, PlanShape{});
+  const std::string annotated =
+      "# chaos repro: seed 7\n# violation: something\n" + plan.Serialize();
+  Result<ChaosPlan> parsed = ChaosPlan::Parse(annotated);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value() == plan);
+}
+
+TEST_F(ChaosExplorerTest, MakePlanIsDeterministicAndSeedSensitive) {
+  PlanShape shape;
+  shape.num_ops = 30;
+  EXPECT_EQ(MakePlan(5, shape).Serialize(), MakePlan(5, shape).Serialize());
+  EXPECT_NE(MakePlan(5, shape).Serialize(), MakePlan(6, shape).Serialize());
+}
+
+TEST_F(ChaosExplorerTest, MakePlanDrawsFaultsFromTheCatalogOnly) {
+  const std::vector<std::string> catalog = RegisterFailpointCatalog(3, 3);
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const ChaosPlan plan = MakePlan(seed, PlanShape{});
+    for (const FaultEvent& f : plan.faults) {
+      EXPECT_TRUE(std::find(catalog.begin(), catalog.end(), f.failpoint) !=
+                  catalog.end())
+          << "seed " << seed << " armed unknown site " << f.failpoint;
+    }
+  }
+}
+
+// ------------------------------------------------------------- workload
+
+TEST_F(ChaosExplorerTest, SameSeedSameVerdictTwiceAndCleanOnFixedTree) {
+  // A real end-to-end run, small enough for a unit suite: same plan twice
+  // must execute the same number of ops and reach the same verdict, and
+  // on the current tree the verdict must be "no violations".
+  PlanShape shape;
+  shape.num_ops = 14;
+  shape.max_faults = 2;
+  const ChaosPlan plan = MakePlan(3, shape);
+
+  RunOptions run;
+  run.scratch_dir = Scratch("verdict_a");
+  const ChaosReport first = RunChaos(plan, run);
+  run.scratch_dir = Scratch("verdict_b");
+  const ChaosReport second = RunChaos(plan, run);
+
+  EXPECT_TRUE(first.ok) << (first.violations.empty()
+                                ? "?"
+                                : first.violations[0]);
+  EXPECT_EQ(first.ok, second.ok);
+  EXPECT_EQ(first.violations, second.violations);
+  EXPECT_EQ(first.ops_executed, second.ops_executed);
+  EXPECT_EQ(first.faults_armed, second.faults_armed);
+  EXPECT_EQ(first.crashes, second.crashes);
+}
+
+TEST_F(ChaosExplorerTest, SweepOfAFewSeedsIsCleanAndWritesNoRepros) {
+  SweepOptions sweep;
+  sweep.first_seed = 1;
+  sweep.num_seeds = 2;
+  sweep.shape.num_ops = 12;
+  sweep.shape.max_faults = 2;
+  sweep.run.scratch_dir = Scratch("sweep");
+  sweep.out_dir = Scratch("sweep_out");
+  const SweepReport report = SweepSeeds(sweep);
+  EXPECT_EQ(report.seeds_run, 2u);
+  EXPECT_EQ(report.seeds_failed, 0u)
+      << (report.failures.empty() ? "?" : report.failures[0].violations[0]);
+  EXPECT_TRUE(report.failures.empty());
+}
+
+}  // namespace
+}  // namespace lake::chaos

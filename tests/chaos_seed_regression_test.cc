@@ -1,0 +1,67 @@
+// Replays every pinned chaos schedule in tests/data/chaos_seeds/ and
+// requires a clean verdict. Each .plan file is a minimized repro of a
+// real bug the explorer found (the bug is named in the file's comment
+// header); a regression resurfacing re-fails the exact schedule that
+// caught it. To pin a new one: shrink with tools/chaos_explorer, fix the
+// bug, and copy the emitted repro file here — it must replay green on
+// the fixed tree before it lands.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "chaos/plan.h"
+#include "chaos/workload.h"
+#include "util/failpoint.h"
+
+namespace lake::chaos {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> PinnedPlans() {
+  std::vector<std::string> out;
+  const fs::path dir = fs::path(LAKE_TEST_DATA_DIR) / "chaos_seeds";
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".plan") out.push_back(e.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class ChaosSeedRegressionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Instance().ClearAll(); }
+};
+
+TEST_F(ChaosSeedRegressionTest, CorpusIsNotEmpty) {
+  EXPECT_GE(PinnedPlans().size(), 3u);
+}
+
+TEST_F(ChaosSeedRegressionTest, EveryPinnedScheduleReplaysClean) {
+  const fs::path scratch =
+      fs::temp_directory_path() /
+      ("chaos_seed_regression_" + std::to_string(::getpid()));
+  fs::remove_all(scratch);
+  for (const std::string& path : PinnedPlans()) {
+    SCOPED_TRACE(path);
+    Result<ChaosPlan> plan = ChaosPlan::Load(path);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+    RunOptions run;
+    run.scratch_dir =
+        (scratch / fs::path(path).stem().string()).string();
+    const ChaosReport report = RunChaos(plan.value(), run);
+    EXPECT_TRUE(report.ok);
+    for (const std::string& v : report.violations) {
+      ADD_FAILURE() << "pinned schedule violated: " << v;
+    }
+    EXPECT_GT(report.ops_executed, 0u);
+  }
+  fs::remove_all(scratch);
+}
+
+}  // namespace
+}  // namespace lake::chaos

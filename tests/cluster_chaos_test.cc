@@ -51,7 +51,7 @@ class ClusterChaosTest : public ::testing::Test {
     lake_ = nullptr;
   }
 
-  void TearDown() override { FailpointRegistry::Instance().Clear(); }
+  void TearDown() override { FailpointRegistry::Instance().ClearAll(); }
 
   static const DataLakeCatalog& lake() { return lake_->catalog; }
 

@@ -80,7 +80,7 @@ class ClusterRepairTest : public ::testing::Test {
     lake_ = nullptr;
   }
 
-  void TearDown() override { FailpointRegistry::Instance().Clear(); }
+  void TearDown() override { FailpointRegistry::Instance().ClearAll(); }
 
   static const DataLakeCatalog& lake() { return lake_->catalog; }
 

@@ -206,7 +206,7 @@ class DegradedServingTest : public ::testing::Test {
     lake_ = nullptr;
   }
 
-  void TearDown() override { FailpointRegistry::Instance().Clear(); }
+  void TearDown() override { FailpointRegistry::Instance().ClearAll(); }
 
   static DiscoveryEngine::Options EngineOptions(bool defer) {
     DiscoveryEngine::Options eopts;

@@ -70,7 +70,7 @@ class LiveEngineTest : public ::testing::Test {
     lake_ = nullptr;
   }
 
-  void TearDown() override { FailpointRegistry::Instance().Clear(); }
+  void TearDown() override { FailpointRegistry::Instance().ClearAll(); }
 
   static const DataLakeCatalog& base() { return **catalog_; }
 

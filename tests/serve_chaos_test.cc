@@ -292,7 +292,7 @@ class ServeChaosTest : public ::testing::Test {
     lake_ = nullptr;
   }
 
-  void TearDown() override { FailpointRegistry::Instance().Clear(); }
+  void TearDown() override { FailpointRegistry::Instance().ClearAll(); }
 
   static QueryRequest JosieJoin() {
     QueryRequest req;

@@ -37,7 +37,7 @@ void WriteFileBytes(const std::string& path, const std::string& bytes) {
 
 class FailpointFixture : public ::testing::Test {
  protected:
-  void TearDown() override { FailpointRegistry::Instance().Clear(); }
+  void TearDown() override { FailpointRegistry::Instance().ClearAll(); }
 };
 
 // ----------------------------------------------------------------- crc32c

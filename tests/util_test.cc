@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <set>
 #include <sstream>
 #include <thread>
 
+#include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/random.h"
 #include "util/serialize.h"
@@ -359,6 +361,84 @@ TEST(TimerTest, MeasuresElapsed) {
   EXPECT_GE(t.ElapsedMillis(), 5.0);
   t.Restart();
   EXPECT_LT(t.ElapsedMillis(), 10.0);
+}
+
+TEST(RngForkTest, SameTagSameParentIsDeterministic) {
+  Rng parent(42);
+  Rng a = parent.Fork("workload");
+  Rng b = parent.Fork("workload");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngForkTest, DifferentTagsProduceIndependentStreams) {
+  Rng parent(42);
+  Rng a = parent.Fork("ops");
+  Rng b = parent.Fork("faults");
+  size_t same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0u);
+}
+
+TEST(RngForkTest, ForkDoesNotAdvanceTheParent) {
+  Rng with_fork(7), without(7);
+  with_fork.Fork("side");
+  with_fork.Fork("other");
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(with_fork.Next(), without.Next());
+}
+
+TEST(RngForkTest, ForkTracksParentState) {
+  // Forking after the parent advanced must give a different stream than
+  // forking at the start — the fold reads the parent's current state.
+  Rng parent(9);
+  const uint64_t before = parent.Fork("tag").Next();
+  parent.Next();
+  const uint64_t after = parent.Fork("tag").Next();
+  EXPECT_NE(before, after);
+}
+
+TEST(FailpointRegistryTest, ClearAllResetsCountersAndDisarms) {
+  auto& registry = FailpointRegistry::Instance();
+  registry.ClearAll();
+  FaultSpec spec;
+  spec.max_fires = 0;
+  registry.Arm("util_test.site", spec);
+  EXPECT_TRUE(registry.Hit("util_test.site").has_value());
+  EXPECT_EQ(registry.hits("util_test.site"), 1u);
+  EXPECT_EQ(registry.fires("util_test.site"), 1u);
+
+  registry.ClearAll();
+  EXPECT_EQ(registry.hits("util_test.site"), 0u);
+  EXPECT_EQ(registry.fires("util_test.site"), 0u);
+  EXPECT_FALSE(registry.Hit("util_test.site").has_value());  // disarmed
+  registry.ClearAll();
+}
+
+TEST(FailpointRegistryTest, ListRegisteredIsSortedAndSurvivesClearAll) {
+  auto& registry = FailpointRegistry::Instance();
+  registry.ClearAll();
+  registry.Register("util_test.zeta");
+  registry.Register("util_test.alpha");
+  registry.Arm("util_test.armed", FaultSpec{});
+
+  const std::vector<std::string> names = registry.ListRegistered();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  auto has = [&names](const char* n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("util_test.zeta"));
+  EXPECT_TRUE(has("util_test.alpha"));
+  EXPECT_TRUE(has("util_test.armed"));
+
+  registry.ClearAll();
+  const std::vector<std::string> after = registry.ListRegistered();
+  auto still = [&after](const char* n) {
+    return std::find(after.begin(), after.end(), n) != after.end();
+  };
+  // Registration describes the binary, not a run: it survives ClearAll.
+  EXPECT_TRUE(still("util_test.zeta"));
+  EXPECT_TRUE(still("util_test.armed"));
 }
 
 }  // namespace

@@ -56,7 +56,7 @@ ReplayAll(const std::string& dir, uint64_t after_lsn = 0) {
 
 class WalTest : public ::testing::Test {
  protected:
-  void TearDown() override { FailpointRegistry::Instance().Clear(); }
+  void TearDown() override { FailpointRegistry::Instance().ClearAll(); }
 };
 
 TEST_F(WalTest, AppendReplayRoundtrip) {

@@ -1,0 +1,256 @@
+// Deterministic whole-system chaos explorer (FoundationDB-style seeded
+// fault search over the replicated serving stack). Each seed expands into
+// one ChaosPlan — a replicated cluster shape, an op schedule (ingest,
+// removes, queries, checkpoints, compactions, scrubs, replica kills,
+// shard add/remove, crash-restarts), and a set of failpoint fault events
+// — which RunChaos executes and then checks the invariant catalog
+// (src/chaos/invariants.h) at quiesce. Failing seeds are shrunk to
+// minimal repros and written as .plan files a later run can --replay.
+//
+//   ./build/tools/chaos_explorer --seeds 200          # sweep seeds 1..200
+//   ./build/tools/chaos_explorer --seed 42 --print-plan --dry-run
+//   ./build/tools/chaos_explorer --replay seed-42.plan --verbose
+//
+// Exit status: 0 when every seed upheld every invariant, 1 otherwise.
+// Prints one machine-readable summary line:
+//   CHAOS_RESULT seeds=<n> violations=<m>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "chaos/explorer.h"
+#include "chaos/plan.h"
+#include "chaos/workload.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using lake::chaos::ChaosPlan;
+using lake::chaos::ChaosReport;
+using lake::chaos::PlanShape;
+using lake::chaos::RunOptions;
+using lake::chaos::SweepOptions;
+using lake::chaos::SweepReport;
+
+struct Args {
+  uint64_t first_seed = 1;
+  size_t num_seeds = 20;
+  uint64_t single_seed = 0;  // 0 = sweep
+  bool has_single_seed = false;
+  uint32_t num_ops = 0;       // 0 = PlanShape default
+  uint32_t num_shards = 0;    // 0 = seed-drawn
+  uint32_t num_replicas = 0;  // 0 = seed-drawn
+  bool background = false;
+  std::string replay_path;
+  std::string out_dir = "chaos_repros";
+  std::string scratch_dir;
+  bool print_plan = false;
+  bool dry_run = false;
+  bool no_shrink = false;
+  bool stop_on_failure = false;
+  bool keep_scratch = false;
+  bool verbose = false;
+  uint64_t watchdog_ms = 120'000;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: chaos_explorer [options]\n"
+      "  --seeds N          sweep N consecutive seeds (default 20)\n"
+      "  --first-seed N     first seed of the sweep (default 1)\n"
+      "  --seed N           run exactly one seed\n"
+      "  --replay FILE      run a saved .plan repro instead of a seed\n"
+      "  --ops N            ops per generated plan (default 40)\n"
+      "  --shards N         pin the shard count (default: seed-drawn)\n"
+      "  --replicas N       pin the replica count (default: seed-drawn)\n"
+      "  --background       enable background scrubber + compaction\n"
+      "  --out DIR          where failing repros are written\n"
+      "  --scratch DIR      scratch root for run stores\n"
+      "  --print-plan       print the generated plan to stdout\n"
+      "  --dry-run          generate/print plans but do not execute\n"
+      "  --no-shrink        report failing plans without minimizing\n"
+      "  --stop-on-failure  stop the sweep at the first failing seed\n"
+      "  --keep-scratch     keep run stores for post-mortem\n"
+      "  --watchdog-ms N    per-run hang budget (default 120000)\n"
+      "  --verbose          narrate ops and seeds to stderr\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  auto need_value = [&](int i) { return i + 1 < argc; };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--seeds" && need_value(i)) {
+      args->num_seeds = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--first-seed" && need_value(i)) {
+      args->first_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--seed" && need_value(i)) {
+      args->single_seed = std::strtoull(argv[++i], nullptr, 10);
+      args->has_single_seed = true;
+    } else if (a == "--replay" && need_value(i)) {
+      args->replay_path = argv[++i];
+    } else if (a == "--ops" && need_value(i)) {
+      args->num_ops = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (a == "--shards" && need_value(i)) {
+      args->num_shards =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (a == "--replicas" && need_value(i)) {
+      args->num_replicas =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (a == "--background") {
+      args->background = true;
+    } else if (a == "--out" && need_value(i)) {
+      args->out_dir = argv[++i];
+    } else if (a == "--scratch" && need_value(i)) {
+      args->scratch_dir = argv[++i];
+    } else if (a == "--print-plan") {
+      args->print_plan = true;
+    } else if (a == "--dry-run") {
+      args->dry_run = true;
+    } else if (a == "--no-shrink") {
+      args->no_shrink = true;
+    } else if (a == "--stop-on-failure") {
+      args->stop_on_failure = true;
+    } else if (a == "--keep-scratch") {
+      args->keep_scratch = true;
+    } else if (a == "--watchdog-ms" && need_value(i)) {
+      args->watchdog_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--verbose") {
+      args->verbose = true;
+    } else if (a == "--help" || a == "-h") {
+      Usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      Usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+PlanShape ShapeFromArgs(const Args& args) {
+  PlanShape shape;
+  if (args.num_ops != 0) shape.num_ops = args.num_ops;
+  shape.num_shards = args.num_shards;
+  shape.num_replicas = args.num_replicas;
+  shape.background = args.background;
+  return shape;
+}
+
+int ReportViolations(const ChaosReport& report, uint64_t seed) {
+  for (const std::string& v : report.violations) {
+    std::fprintf(stderr, "seed %llu VIOLATION: %s\n",
+                 static_cast<unsigned long long>(seed), v.c_str());
+  }
+  return report.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  // Scratch default: a per-process directory under the system temp root.
+  // (The determinism contract covers plan generation and execution; the
+  // scratch path never shapes the schedule.)
+  if (args.scratch_dir.empty()) {
+    args.scratch_dir =
+        (fs::temp_directory_path() /
+         ("chaos_explorer_" + std::to_string(::getpid())))
+            .string();
+  }
+
+  RunOptions run;
+  run.scratch_dir = args.scratch_dir;
+  run.watchdog_budget_ms = args.watchdog_ms;
+  run.keep_scratch = args.keep_scratch;
+  run.verbose = args.verbose;
+
+  // --replay: run one saved plan, no generation involved.
+  if (!args.replay_path.empty()) {
+    auto loaded = ChaosPlan::Load(args.replay_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", args.replay_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    const ChaosPlan& plan = loaded.value();
+    if (args.print_plan) std::fputs(plan.Serialize().c_str(), stdout);
+    if (args.dry_run) {
+      std::printf("CHAOS_RESULT seeds=0 violations=0\n");
+      return 0;
+    }
+    run.scratch_dir = (fs::path(args.scratch_dir) / "replay").string();
+    const ChaosReport report = lake::chaos::RunChaos(plan, run);
+    const int rc = ReportViolations(report, plan.seed);
+    std::printf("CHAOS_RESULT seeds=1 violations=%zu\n",
+                report.violations.size());
+    return rc;
+  }
+
+  // --seed: one generated plan.
+  if (args.has_single_seed) {
+    const ChaosPlan plan =
+        lake::chaos::MakePlan(args.single_seed, ShapeFromArgs(args));
+    if (args.print_plan) std::fputs(plan.Serialize().c_str(), stdout);
+    if (args.dry_run) {
+      std::printf("CHAOS_RESULT seeds=0 violations=0\n");
+      return 0;
+    }
+    run.scratch_dir =
+        (fs::path(args.scratch_dir) / ("seed-" + std::to_string(plan.seed)))
+            .string();
+    const ChaosReport report = lake::chaos::RunChaos(plan, run);
+    const int rc = ReportViolations(report, plan.seed);
+    std::printf("CHAOS_RESULT seeds=1 violations=%zu\n",
+                report.violations.size());
+    return rc;
+  }
+
+  // Sweep.
+  SweepOptions sweep;
+  sweep.first_seed = args.first_seed;
+  sweep.num_seeds = args.num_seeds;
+  sweep.shape = ShapeFromArgs(args);
+  sweep.run = run;
+  sweep.shrink = !args.no_shrink;
+  sweep.out_dir = args.out_dir;
+  sweep.stop_on_failure = args.stop_on_failure;
+  sweep.verbose = args.verbose;
+  if (args.print_plan) {
+    for (size_t i = 0; i < sweep.num_seeds; ++i) {
+      const ChaosPlan plan =
+          lake::chaos::MakePlan(sweep.first_seed + i, sweep.shape);
+      std::fputs(plan.Serialize().c_str(), stdout);
+    }
+  }
+  if (args.dry_run) {
+    std::printf("CHAOS_RESULT seeds=0 violations=0\n");
+    return 0;
+  }
+
+  const SweepReport report = lake::chaos::SweepSeeds(sweep);
+  size_t violations = 0;
+  for (const auto& failure : report.failures) {
+    violations += failure.violations.size();
+    std::fprintf(stderr, "seed %llu FAILED (%zu ops, %zu faults after shrink)\n",
+                 static_cast<unsigned long long>(failure.seed),
+                 failure.plan.ops.size(), failure.plan.faults.size());
+    for (const std::string& v : failure.violations) {
+      std::fprintf(stderr, "  violation: %s\n", v.c_str());
+    }
+    if (!failure.repro_path.empty()) {
+      std::fprintf(stderr, "  repro: %s\n", failure.repro_path.c_str());
+    }
+  }
+  std::printf("CHAOS_RESULT seeds=%zu violations=%zu\n", report.seeds_run,
+              violations);
+  return report.seeds_failed == 0 ? 0 : 1;
+}
