@@ -1,0 +1,127 @@
+#include "approx/oracle.h"
+
+#include <algorithm>
+
+#include "text/normalizer.h"
+#include "util/top_k.h"
+
+namespace lake::approx {
+
+namespace {
+
+std::set<std::string> NormalizedSet(const std::vector<std::string>& values) {
+  std::set<std::string> out;
+  for (const std::string& v : values) {
+    std::string norm = NormalizeValue(v);
+    if (!norm.empty()) out.insert(std::move(norm));
+  }
+  return out;
+}
+
+size_t CountIn(const std::set<std::string>& a, const std::set<std::string>& b,
+               size_t* probes) {
+  size_t matches = 0;
+  for (const std::string& v : a) {
+    if (probes != nullptr) ++*probes;
+    if (b.count(v) != 0) ++matches;
+  }
+  return matches;
+}
+
+}  // namespace
+
+DiscoveryOracle::DiscoveryOracle(const DataLakeCatalog* catalog) {
+  // Eligibility mirrors ApproxEstimator's defaults (>= 2 distinct values,
+  // numeric columns included) so oracle and estimator rank the same pool.
+  catalog->ForEachColumn([&](const ColumnRef& ref, const Column& col) {
+    std::set<std::string> values = NormalizedSet(col.DistinctStrings());
+    if (values.size() < 2) return;
+    refs_.push_back(ref);
+    columns_.push_back(std::move(values));
+  });
+}
+
+size_t DiscoveryOracle::ExactDistinct(const std::vector<std::string>& values) {
+  return NormalizedSet(values).size();
+}
+
+double DiscoveryOracle::ExactJaccard(const std::vector<std::string>& a,
+                                     const std::vector<std::string>& b) {
+  const std::set<std::string> sa = NormalizedSet(a);
+  const std::set<std::string> sb = NormalizedSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  const size_t inter = CountIn(sa, sb, nullptr);
+  const size_t uni = sa.size() + sb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double DiscoveryOracle::ExactContainment(const std::vector<std::string>& a,
+                                         const std::vector<std::string>& b) {
+  const std::set<std::string> sa = NormalizedSet(a);
+  if (sa.empty()) return 0;
+  const std::set<std::string> sb = NormalizedSet(b);
+  return static_cast<double>(CountIn(sa, sb, nullptr)) /
+         static_cast<double>(sa.size());
+}
+
+size_t DiscoveryOracle::ExactOverlap(const std::vector<std::string>& a,
+                                     const std::vector<std::string>& b) {
+  return CountIn(NormalizedSet(a), NormalizedSet(b), nullptr);
+}
+
+std::vector<ColumnResult> DiscoveryOracle::TopKByContainment(
+    const std::vector<std::string>& query_values, size_t k,
+    Stats* stats) const {
+  Stats local;
+  const std::set<std::string> query = NormalizedSet(query_values);
+  TopK<size_t> top(k);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    ++local.candidates_checked;
+    double score = 0;
+    if (!query.empty()) {
+      score = static_cast<double>(
+                  CountIn(query, columns_[i], &local.probes)) /
+              static_cast<double>(query.size());
+    }
+    if (score <= 0) continue;
+    top.Push(score, i);
+  }
+  std::vector<ColumnResult> results;
+  for (auto& [score, index] : top.Take()) {
+    results.push_back(
+        ColumnResult{refs_[index], score, "oracle containment"});
+  }
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+std::vector<ColumnResult> DiscoveryOracle::TopKByOverlap(
+    const std::vector<std::string>& query_values, size_t k,
+    Stats* stats) const {
+  Stats local;
+  const std::set<std::string> query = NormalizedSet(query_values);
+  TopK<size_t> top(k);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    ++local.candidates_checked;
+    const double score =
+        static_cast<double>(CountIn(query, columns_[i], &local.probes));
+    if (score <= 0) continue;
+    top.Push(score, i);
+  }
+  std::vector<ColumnResult> results;
+  for (auto& [score, index] : top.Take()) {
+    results.push_back(ColumnResult{refs_[index], score, "oracle overlap"});
+  }
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+double DiscoveryOracle::ContainmentOf(
+    const std::vector<std::string>& query_values, size_t index) const {
+  const std::set<std::string> query = NormalizedSet(query_values);
+  if (query.empty()) return 0;
+  return static_cast<double>(CountIn(query, columns_[index], nullptr)) /
+         static_cast<double>(query.size());
+}
+
+}  // namespace lake::approx

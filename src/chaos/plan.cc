@@ -207,6 +207,11 @@ std::vector<std::string> RegisterFailpointCatalog(uint32_t num_shards,
   sites.push_back("snapshot.write");
   sites.push_back("snapshot.fsync");
   sites.push_back("snapshot.rename");
+  // Approximate-tier sites: per estimate round and before each exact
+  // fallback, so plans can hang or fail both phases of adaptive
+  // verification.
+  sites.push_back("approx.sample");
+  sites.push_back("approx.verify");
   // Per-(shard, replica) cluster sites. Cover a few shard ids past the
   // initial count so faults can land on shards created by AddShard.
   const uint32_t max_shard = num_shards + 2;

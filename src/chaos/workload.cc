@@ -369,6 +369,9 @@ class WorkloadDriver {
     req.kind = serve::QueryKind::kJoin;
     req.join_method = (op.b & 1) ? JoinMethod::kLshEnsemble
                                  : JoinMethod::kJosie;
+    // A deterministic slice of join traffic opts into the sampling tier,
+    // so the approx.* failpoints sit on an exercised path.
+    req.approx_ok = (op.b & 2) != 0;
     req.k = 16;
     for (const Column& c : t->columns()) {
       if (c.type() == DataType::kString) {

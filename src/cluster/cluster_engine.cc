@@ -666,19 +666,20 @@ TableQueryResponse ClusterEngine::Keyword(const std::string& query, size_t k,
 
 ColumnQueryResponse ClusterEngine::Joinable(
     const std::vector<std::string>& query_values, JoinMethod method, size_t k,
-    const CancelToken* cancel) const {
+    const CancelToken* cancel, double error_budget) const {
   auto topo = topology();
   auto outcomes = ScatterToShards<ColumnAnswer>(
       *pool_, topo->shards, options_.max_failover_attempts,
       options_.shard_deadline, cancel,
-      [query_values, method, k](const ingest::LiveEngine& engine,
-                                const CancelToken* token,
-                                uint32_t shard) -> Result<ColumnAnswer> {
+      [query_values, method, k, error_budget](
+          const ingest::LiveEngine& engine, const CancelToken* token,
+          uint32_t shard) -> Result<ColumnAnswer> {
         std::shared_ptr<const ingest::Generation> gen = engine.Acquire();
         ingest::MergeStats ms;
         LAKE_ASSIGN_OR_RETURN(
             std::vector<ColumnResult> results,
-            ingest::MergedJoinable(*gen, query_values, method, k, token, &ms));
+            ingest::MergedJoinable(*gen, query_values, method, k, token, &ms,
+                                   error_budget));
         ColumnAnswer a;
         a.hits = ToColumnHits(*gen, shard, results);
         a.delta_hits = ms.delta_results;

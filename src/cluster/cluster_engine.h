@@ -154,9 +154,13 @@ class ClusterEngine {
   TableQueryResponse Keyword(const std::string& query, size_t k,
                              const CancelToken* cancel = nullptr) const;
 
+  /// `error_budget` applies to JoinMethod::kApprox only: each shard's
+  /// approximate tier sizes its confidence intervals with it (<= 0 keeps
+  /// the engine default).
   ColumnQueryResponse Joinable(const std::vector<std::string>& query_values,
                                JoinMethod method, size_t k,
-                               const CancelToken* cancel = nullptr) const;
+                               const CancelToken* cancel = nullptr,
+                               double error_budget = -1) const;
 
   /// `exclude_name` drops a self-match by table name (empty = none) —
   /// cluster callers cannot use ids, which are shard-local.

@@ -130,10 +130,14 @@ std::vector<TableResult> MergedKeyword(
 Bm25Index::CorpusStats GatherKeywordStats(const Generation& gen,
                                           const std::string& query);
 
+/// `error_budget` and `approx_stats` apply to JoinMethod::kApprox only and
+/// are forwarded to both sides' approximate tiers (see
+/// DiscoveryEngine::Joinable).
 Result<std::vector<ColumnResult>> MergedJoinable(
     const Generation& gen, const std::vector<std::string>& query_values,
     JoinMethod method, size_t k, const CancelToken* cancel = nullptr,
-    MergeStats* stats = nullptr);
+    MergeStats* stats = nullptr, double error_budget = -1,
+    approx::ApproxQueryStats* approx_stats = nullptr);
 
 Result<std::vector<TableResult>> MergedUnionable(
     const Generation& gen, const Table& query, UnionMethod method, size_t k,

@@ -174,18 +174,20 @@ Bm25Index::CorpusStats GatherKeywordStats(const Generation& gen,
 
 Result<std::vector<ColumnResult>> MergedJoinable(
     const Generation& gen, const std::vector<std::string>& query_values,
-    JoinMethod method, size_t k, const CancelToken* cancel,
-    MergeStats* stats) {
+    JoinMethod method, size_t k, const CancelToken* cancel, MergeStats* stats,
+    double error_budget, approx::ApproxQueryStats* approx_stats) {
   LAKE_ASSIGN_OR_RETURN(
       std::vector<ColumnResult> raw,
-      gen.base().Joinable(query_values, method, BaseK(gen, k), cancel));
+      gen.base().Joinable(query_values, method, BaseK(gen, k), cancel,
+                          error_budget, approx_stats));
   std::vector<ColumnResult> base =
       FilterBaseColumns(std::move(raw), gen.delta(), stats);
 
   std::vector<ColumnResult> delta;
   if (gen.has_delta()) {
     Result<std::vector<ColumnResult>> delta_result =
-        gen.delta().engine->Joinable(query_values, method, k, cancel);
+        gen.delta().engine->Joinable(query_values, method, k, cancel,
+                                     error_budget, approx_stats);
     if (delta_result.ok()) {
       delta = std::move(delta_result).value();
       const TableId offset = static_cast<TableId>(gen.base_table_count());

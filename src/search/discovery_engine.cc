@@ -27,6 +27,9 @@ DiscoveryEngine::DiscoveryEngine(const DataLakeCatalog* catalog,
   if (options_.build_josie && !options_.defer_index_build) {
     josie_ = std::make_unique<JosieJoinSearch>(catalog_);
   }
+  if (options_.build_approx) {
+    approx_join_ = std::make_unique<approx::ApproxJoinSearch>(catalog_);
+  }
   if (options_.build_pexeso) {
     pexeso_ = std::make_unique<PexesoJoinSearch>(catalog_, &words_);
   }
@@ -176,7 +179,8 @@ Bm25Index::CorpusStats DiscoveryEngine::KeywordStats(
 
 Result<std::vector<ColumnResult>> DiscoveryEngine::Joinable(
     const std::vector<std::string>& query_values, JoinMethod method, size_t k,
-    const CancelToken* cancel) const {
+    const CancelToken* cancel, double error_budget,
+    approx::ApproxQueryStats* approx_stats) const {
   if (cancel != nullptr) LAKE_RETURN_IF_ERROR(cancel->Check());
   switch (method) {
     case JoinMethod::kExactJaccard:
@@ -204,6 +208,12 @@ Result<std::vector<ColumnResult>> DiscoveryEngine::Joinable(
         return Status::FailedPrecondition("PEXESO index not built");
       }
       return pexeso_->Search(query_values, k);
+    case JoinMethod::kApprox:
+      if (approx_join_ == nullptr) {
+        return Status::FailedPrecondition("approx sample index not built");
+      }
+      return approx_join_->Search(query_values, k, error_budget, approx_stats,
+                                  cancel);
   }
   return Status::InvalidArgument("unknown join method");
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "annotate/kb_synthesis.h"
+#include "approx/approx_search.h"
 #include "annotate/semantic_type_detector.h"
 #include "annotate/knowledge_base.h"
 #include "embed/column_encoder.h"
@@ -37,6 +38,7 @@ enum class JoinMethod {
   kLshEnsemble,      // Zhu et al. 2016
   kJosie,            // Zhu et al. 2019, exact top-k overlap
   kPexeso,           // Dong et al. 2021, fuzzy embedding join
+  kApprox,           // sampling-based tier with confidence intervals
 };
 
 /// Unionable-search strategies (§2.5 lineage).
@@ -61,6 +63,9 @@ class DiscoveryEngine {
     bool build_lsh_join = true;
     bool build_josie = true;
     bool build_pexeso = true;
+    /// Sampling-based approximate join tier (src/approx): bottom-k value
+    /// samples per column, interval answers, exact fallback on straddle.
+    bool build_approx = true;
     bool build_mate = true;
     bool build_correlated = true;
     bool build_tus = true;
@@ -108,11 +113,16 @@ class DiscoveryEngine {
 
   /// Joinable-column search with a chosen strategy. For kLshEnsemble the
   /// containment threshold is 0.5. `cancel` (optional) is checked at
-  /// dispatch for every method and polled inside the JOSIE and
-  /// LSH-Ensemble search loops.
+  /// dispatch for every method and polled inside the JOSIE, LSH-Ensemble,
+  /// and approximate search loops. `error_budget` applies to kApprox only
+  /// (<= 0 means the engine default, 0.1) and sizes that method's
+  /// confidence intervals; `approx_stats`, when non-null, accumulates the
+  /// approximate tier's work accounting (kApprox only).
   Result<std::vector<ColumnResult>> Joinable(
       const std::vector<std::string>& query_values, JoinMethod method,
-      size_t k, const CancelToken* cancel = nullptr) const;
+      size_t k, const CancelToken* cancel = nullptr,
+      double error_budget = -1,
+      approx::ApproxQueryStats* approx_stats = nullptr) const;
 
   /// Unionable-table search with a chosen strategy. `cancel` (optional) is
   /// checked at dispatch for every method and polled inside the Starmie
@@ -178,6 +188,9 @@ class DiscoveryEngine {
   const ExactSetJoinSearch* exact_join() const { return exact_join_.get(); }
   const LshEnsembleJoinSearch* lsh_join() const { return lsh_join_.get(); }
   const JosieJoinSearch* josie_join() const { return josie_.get(); }
+  const approx::ApproxJoinSearch* approx_join() const {
+    return approx_join_.get();
+  }
   const PexesoJoinSearch* pexeso_join() const { return pexeso_.get(); }
   const MateJoinSearch* mate_join() const { return mate_.get(); }
   const CorrelatedJoinSearch* correlated_join() const {
@@ -201,6 +214,7 @@ class DiscoveryEngine {
   std::unique_ptr<ExactSetJoinSearch> exact_join_;
   std::unique_ptr<LshEnsembleJoinSearch> lsh_join_;
   std::unique_ptr<JosieJoinSearch> josie_;
+  std::unique_ptr<approx::ApproxJoinSearch> approx_join_;
   std::unique_ptr<PexesoJoinSearch> pexeso_;
   std::unique_ptr<MateJoinSearch> mate_;
   std::unique_ptr<CorrelatedJoinSearch> correlated_;

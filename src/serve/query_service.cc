@@ -81,6 +81,8 @@ const char* JoinMethodName(JoinMethod method) {
       return "josie";
     case JoinMethod::kPexeso:
       return "pexeso";
+    case JoinMethod::kApprox:
+      return "approx";
   }
   return "unknown";
 }
@@ -203,6 +205,13 @@ QueryService::QueryService(const DiscoveryEngine* engine, Options options)
       cache_misses_(metrics_.GetCounter("serve.cache.misses")),
       josie_postings_read_(
           metrics_.GetCounter("engine.josie.postings_read")),
+      approx_queries_(metrics_.GetCounter("approx.queries")),
+      approx_estimates_(metrics_.GetCounter("approx.estimates")),
+      approx_exact_fallbacks_(metrics_.GetCounter("approx.exact_fallbacks")),
+      approx_interval_decisions_(
+          metrics_.GetCounter("approx.interval_decisions")),
+      approx_interval_width_(metrics_.GetHistogram("approx.interval_width")),
+      approx_sample_size_(metrics_.GetHistogram("approx.sample_size")),
       ingest_base_hits_(metrics_.GetCounter("serve.ingest.base_hits")),
       ingest_delta_hits_(metrics_.GetCounter("serve.ingest.delta_hits")),
       queue_wait_(metrics_.GetHistogram("serve.queue_wait")),
@@ -240,6 +249,11 @@ Status QueryService::Validate(const QueryRequest& request) const {
     case QueryKind::kJoin:
       if (request.values.empty()) {
         return Status::InvalidArgument("join query requires values");
+      }
+      if (request.error_budget >= 1) {
+        return Status::InvalidArgument(
+            "error budget must be below 1 (interval confidence is "
+            "1 - budget)");
       }
       return Status::OK();
     case QueryKind::kUnion:
@@ -294,6 +308,17 @@ uint64_t QueryService::CacheKeyWithVersion(const QueryRequest& request,
     case QueryKind::kJoin:
       h = HashCombine(h, static_cast<uint64_t>(request.join_method));
       h = HashCombine(h, HashValuesUnordered(request.values));
+      if (request.join_method == JoinMethod::kApprox) {
+        // Approximate answers at different budgets are different results;
+        // the budget is canonicalized (<= 0 means the engine default) so
+        // "default" spelled two ways shares one entry.
+        const double eb =
+            request.error_budget > 0 ? request.error_budget : 0.1;
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(eb));
+        std::memcpy(&bits, &eb, sizeof(bits));
+        h = HashCombine(h, bits);
+      }
       break;
     case QueryKind::kUnion:
       h = HashCombine(h, static_cast<uint64_t>(request.union_method));
@@ -310,8 +335,49 @@ uint64_t QueryService::CacheKeyWithVersion(const QueryRequest& request,
   return h;
 }
 
+bool QueryService::ApproxAvailable() const {
+  if (cluster_ != nullptr) {
+    // All shards are built with the same options, so the build flag says
+    // whether every shard carries the sample tier.
+    return cluster_->options().engine.base_options.build_approx;
+  }
+  if (live_ != nullptr) {
+    return live_->Acquire()->base().approx_join() != nullptr;
+  }
+  return engine_ != nullptr && engine_->approx_join() != nullptr;
+}
+
+void QueryService::RecordApproxStats(const approx::ApproxQueryStats& stats) {
+  approx_estimates_->Add(stats.estimates);
+  approx_exact_fallbacks_->Add(stats.exact_fallbacks);
+  approx_interval_decisions_->Add(stats.interval_decisions);
+  if (stats.interval_decisions > 0) {
+    // Mean final width across this query's interval-settled candidates,
+    // in basis points (width 0.05 records as 500).
+    approx_interval_width_->Record(stats.sum_width /
+                                   static_cast<double>(
+                                       stats.interval_decisions) *
+                                   1e4);
+  }
+  if (stats.decisions() > 0) {
+    approx_sample_size_->Record(static_cast<double>(stats.sum_sample_size) /
+                                static_cast<double>(stats.decisions()));
+  }
+}
+
 Result<SubmittedQuery> QueryService::Submit(QueryRequest request) {
   LAKE_RETURN_IF_ERROR(Validate(request));
+
+  // Approximate-tier routing, decided at admission so the cache key, the
+  // modality (breaker, latency histogram, failpoint site), and the
+  // brownout plan all see the effective method. require_exact_method
+  // pins the requested method, and a request that already asks for
+  // kApprox needs no rewrite.
+  if (request.kind == QueryKind::kJoin && request.approx_ok &&
+      !request.require_exact_method &&
+      request.join_method != JoinMethod::kApprox && ApproxAvailable()) {
+    request.join_method = JoinMethod::kApprox;
+  }
 
   if (options_.adaptive_admission) {
     // Door policy: while CoDel is dropping and a queue exists, refuse new
@@ -480,14 +546,17 @@ std::optional<QueryService::Fallback> QueryService::FallbackFor(
   // engine directly.
   bool has_tus = false;
   bool has_lsh_join = false;
+  bool has_approx_join = false;
   if (ctx.cluster != nullptr) {
     const DiscoveryEngine::Options& base =
         ctx.cluster->options().engine.base_options;
     has_tus = base.build_tus;
     has_lsh_join = base.build_lsh_join;
+    has_approx_join = base.build_approx;
   } else {
     has_tus = ctx.engine->tus() != nullptr;
     has_lsh_join = ctx.engine->lsh_join() != nullptr;
+    has_approx_join = ctx.engine->approx_join() != nullptr;
   }
   if (request.kind == QueryKind::kUnion &&
       request.union_method == UnionMethod::kStarmie && has_tus) {
@@ -495,10 +564,21 @@ std::optional<QueryService::Fallback> QueryService::FallbackFor(
                     brownout_union_};
   }
   if (request.kind == QueryKind::kJoin &&
-      request.join_method == JoinMethod::kJosie && has_lsh_join) {
-    return Fallback{JoinMethod::kLshEnsemble, request.union_method,
-                    "join.lsh_ensemble", brownout_join_};
+      request.join_method == JoinMethod::kJosie) {
+    // The sampling tier is the preferred brownout for exact top-k overlap:
+    // same ranking measure, an interval on every answer, and exact
+    // fallback only where the interval cannot settle the top-k. The LSH
+    // sketch tier remains for engines built without it.
+    if (has_approx_join) {
+      return Fallback{JoinMethod::kApprox, request.union_method,
+                      "join.approx", brownout_join_};
+    }
+    if (has_lsh_join) {
+      return Fallback{JoinMethod::kLshEnsemble, request.union_method,
+                      "join.lsh_ensemble", brownout_join_};
+    }
   }
+  // kApprox itself is the floor of the join tier ladder: no fallback.
   return std::nullopt;
 }
 
@@ -537,8 +617,8 @@ void QueryService::ExecuteCluster(const QueryRequest& request,
       take_tables(cluster_->Keyword(request.keyword, request.k, cancel));
       break;
     case QueryKind::kJoin:
-      take_columns(
-          cluster_->Joinable(request.values, join_method, request.k, cancel));
+      take_columns(cluster_->Joinable(request.values, join_method, request.k,
+                                      cancel, request.error_budget));
       break;
     case QueryKind::kUnion:
       take_tables(cluster_->Unionable(*request.union_table, union_method,
@@ -582,12 +662,15 @@ void QueryService::ExecuteEngine(const QueryRequest& request,
         }
         break;
       case QueryKind::kJoin: {
+        approx::ApproxQueryStats approx_stats;
+        approx::ApproxQueryStats* approx_out =
+            join_method == JoinMethod::kApprox ? &approx_stats : nullptr;
         Result<std::vector<ColumnResult>> result = [&] {
           if (ctx.gen != nullptr) {
             ingest::MergeStats merge;
             Result<std::vector<ColumnResult>> merged = ingest::MergedJoinable(
                 *ctx.gen, request.values, join_method, request.k, cancel,
-                &merge);
+                &merge, request.error_budget, approx_out);
             if (merged.ok()) RecordMergeStats(merge);
             return merged;
           }
@@ -595,10 +678,12 @@ void QueryService::ExecuteEngine(const QueryRequest& request,
                          ctx.engine->josie_join() != nullptr
                      ? JosieWithStats(request, cancel, *ctx.engine)
                      : ctx.engine->Joinable(request.values, join_method,
-                                            request.k, cancel);
+                                            request.k, cancel,
+                                            request.error_budget, approx_out);
         }();
         if (result.ok()) {
           response->columns = std::move(result).value();
+          if (approx_out != nullptr) RecordApproxStats(*approx_out);
         } else {
           response->status = result.status();
         }
@@ -657,6 +742,15 @@ void QueryService::ExecuteEngine(const QueryRequest& request,
     }
   }
 
+  // An answer from the sampling tier is flagged so consumers know every
+  // score carries an interval (and the cluster path, which cannot thread
+  // per-shard estimator stats back, still counts the query).
+  if (request.kind == QueryKind::kJoin &&
+      join_method == JoinMethod::kApprox && response->status.ok()) {
+    response->approx = true;
+    approx_queries_->Add();
+  }
+
   // Execution-only latency (excludes queue wait); its upper quantiles
   // drive the brownout budget check for this modality.
   metrics_.GetHistogram("serve.exec." + modality)
@@ -702,6 +796,7 @@ void QueryService::ExecutePlan(const QueryRequest& request,
     response->shards = std::move(alt.shards);
     response->missing_shards = std::move(alt.missing_shards);
     response->served_by = std::move(alt.served_by);
+    response->approx = alt.approx;
     response->degraded = true;
     brownout_total_->Add();
     if (fallback->counter != nullptr) fallback->counter->Add();
@@ -808,6 +903,11 @@ QueryResponse QueryService::Run(
         response.table_names = std::move(hit.table_names);
         response.shards = std::move(hit.shards);
         response.cache_hit = true;
+        // Approx routing is decided at admission, so an entry under a
+        // kApprox key can only hold an approximate answer (degraded
+        // results are never cached) — the flag survives the cache.
+        response.approx = request.kind == QueryKind::kJoin &&
+                          request.join_method == JoinMethod::kApprox;
       } else {
         cache_misses_->Add();
       }

@@ -69,7 +69,21 @@ struct QueryRequest {
   bool bypass_cache = false;
   /// Refuse brownout for this query: if the requested method cannot serve
   /// it, fail (kUnavailable) rather than answer with a cheaper method.
+  /// Also vetoes approx_ok routing.
   bool require_exact_method = false;
+
+  /// Opt into the sampling-based approximate tier (kJoin only): the
+  /// service may rewrite join_method to JoinMethod::kApprox at admission
+  /// when the engine built the sample index. Approximate answers carry a
+  /// confidence interval in each result's `why` and set
+  /// QueryResponse::approx; candidates whose interval cannot settle the
+  /// ranking are verified exactly before they are returned.
+  bool approx_ok = false;
+  /// Per-estimate error budget delta for the approximate tier: intervals
+  /// cover the truth with probability >= 1 - delta. <= 0 means the engine
+  /// default (0.1); values >= 1 are rejected. Ignored unless the query is
+  /// served by JoinMethod::kApprox.
+  double error_budget = -1;
 };
 
 /// Outcome of one query. Exactly one of `tables` / `columns` is populated
@@ -86,6 +100,10 @@ struct QueryResponse {
   /// Modality that actually produced the answer ("union.tus",
   /// "join.josie", ...); empty for cache hits and unexecuted failures.
   std::string served_by;
+  /// True when the sampling-based approximate tier produced the answer
+  /// (approx_ok routing or join brownout); every result's `why` then
+  /// carries its confidence interval or the exact-fallback value.
+  bool approx = false;
   /// Cluster-mode provenance, parallel to tables/columns (empty in
   /// single-engine modes): each hit's stable table name and owning shard.
   std::vector<std::string> table_names;
@@ -319,6 +337,12 @@ class QueryService {
       const QueryRequest& request, const CancelToken* cancel,
       const DiscoveryEngine& engine);
   void RecordMergeStats(const ingest::MergeStats& stats);
+  /// True when the served engine(s) built the approximate sample tier —
+  /// the admission-time gate for approx_ok routing.
+  bool ApproxAvailable() const;
+  /// Harvests one approximate query's work accounting into the approx.*
+  /// metrics (estimates, fallback/interval decisions, widths, samples).
+  void RecordApproxStats(const approx::ApproxQueryStats& stats);
 
   const DiscoveryEngine* engine_;
   const ingest::LiveEngine* live_ = nullptr;
@@ -359,6 +383,17 @@ class QueryService {
   Counter* cache_hits_;
   Counter* cache_misses_;
   Counter* josie_postings_read_;
+  /// Approximate-tier accounting: queries served by join.approx, estimator
+  /// invocations, and how each candidate was settled (interval vs exact
+  /// fallback — the fallback rate is exact_fallbacks / decisions).
+  Counter* approx_queries_;
+  Counter* approx_estimates_;
+  Counter* approx_exact_fallbacks_;
+  Counter* approx_interval_decisions_;
+  /// Final interval widths (recorded as width * 1e4, i.e. basis points)
+  /// and final per-candidate sample sizes.
+  LatencyHistogram* approx_interval_width_;
+  LatencyHistogram* approx_sample_size_;
   /// Merged-query provenance: results served from the immutable base vs
   /// the ingest delta (live mode only; zero when serving a frozen engine).
   Counter* ingest_base_hits_;

@@ -1,0 +1,268 @@
+// Statistical calibration of every estimator in the system against the
+// brute-force DiscoveryOracle: the sketch estimators from src/sketch (HLL
+// cardinality, KMV cardinality/Jaccard/containment, MinHash
+// Jaccard/containment) and the approximate tier's interval estimator.
+// Each estimator gets >= 1000 seeded trials; acceptance checks that
+// empirical error stays within the advertised bound for >= 95% of trials,
+// that ApproxEstimator's intervals cover the truth at least as often as
+// advertised (1 - error_budget), and that approximate top-k search keeps
+// recall@k >= 0.95 against the oracle at the default budget.
+//
+// Everything is seeded: a failure here is a real calibration regression,
+// not flakiness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "approx/approx_search.h"
+#include "approx/estimator.h"
+#include "approx/oracle.h"
+#include "lakegen/benchmark_lakes.h"
+#include "sketch/hll.h"
+#include "sketch/kmv.h"
+#include "sketch/minhash.h"
+#include "table/catalog.h"
+#include "table/table.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace lake {
+namespace {
+
+using approx::ApproxEstimator;
+using approx::ApproxJoinSearch;
+using approx::DiscoveryOracle;
+using approx::IntervalEstimate;
+
+constexpr size_t kTrials = 1000;
+
+/// Contiguous slice of the value universe: exactly `n` distinct values,
+/// so set overlaps are controlled by offsets alone.
+std::vector<std::string> Range(size_t offset, size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back("u" + std::to_string(offset + i));
+  }
+  return out;
+}
+
+/// One seeded trial's operand pair: |A| = n, |B| = m, overlapping by
+/// whatever the offsets imply (possibly nothing).
+struct TrialSets {
+  std::vector<std::string> a;
+  std::vector<std::string> b;
+};
+
+TrialSets MakeTrial(Rng& rng, size_t min_size, size_t max_size) {
+  const size_t n = static_cast<size_t>(rng.NextInt(
+      static_cast<int64_t>(min_size), static_cast<int64_t>(max_size)));
+  const size_t m = static_cast<size_t>(rng.NextInt(
+      static_cast<int64_t>(min_size), static_cast<int64_t>(max_size)));
+  const size_t a_off = rng.NextBounded(1u << 20);
+  // B starts somewhere in [a_off, a_off + n]: overlap ranges from full
+  // (shift 0) to empty (shift n), covering the whole containment range.
+  const size_t b_off = a_off + rng.NextBounded(n + 1);
+  return TrialSets{Range(a_off, n), Range(b_off, m)};
+}
+
+// --- HLL cardinality ------------------------------------------------------
+
+TEST(SketchCalibrationTest, HllCardinalityWithinAdvertisedError) {
+  // Advertised relative standard error for precision p: 1.04 / sqrt(2^p).
+  const int precision = 12;
+  const double rse = 1.04 / std::sqrt(static_cast<double>(1 << precision));
+  Rng rng(0xca11b001);
+  size_t within = 0;
+  double sum_rel_err = 0;
+  for (size_t t = 0; t < kTrials; ++t) {
+    const size_t n = static_cast<size_t>(rng.NextInt(200, 6000));
+    const std::vector<std::string> values = Range(rng.NextBounded(1u << 20), n);
+    const double est = HllSketch::Build(values, precision).Estimate();
+    const double exact =
+        static_cast<double>(DiscoveryOracle::ExactDistinct(values));
+    const double rel_err = std::abs(est - exact) / exact;
+    sum_rel_err += rel_err;
+    if (rel_err <= 3.0 * rse) ++within;
+  }
+  // 3 sigma holds ~99.7% of a well-calibrated estimator's trials; 95% is
+  // the regression floor.
+  EXPECT_GE(within, kTrials * 95 / 100) << "within-3sigma count";
+  EXPECT_LE(sum_rel_err / kTrials, 2.0 * rse) << "mean relative error";
+}
+
+// --- KMV cardinality / Jaccard / containment ------------------------------
+
+TEST(SketchCalibrationTest, KmvEstimatesWithinAdvertisedError) {
+  const size_t k = 256;
+  // Cardinality RSE ~ 1/sqrt(k - 2); Jaccard sd <= sqrt(0.25 / k).
+  const double card_rse = 1.0 / std::sqrt(static_cast<double>(k - 2));
+  const double jac_sd = std::sqrt(0.25 / static_cast<double>(k));
+  Rng rng(0xca11b002);
+  size_t card_within = 0, jac_within = 0, cont_within = 0;
+  for (size_t t = 0; t < kTrials; ++t) {
+    const TrialSets sets = MakeTrial(rng, 600, 6000);
+    const KmvSketch ka = KmvSketch::Build(sets.a, k);
+    const KmvSketch kb = KmvSketch::Build(sets.b, k);
+
+    const double exact_a =
+        static_cast<double>(DiscoveryOracle::ExactDistinct(sets.a));
+    if (std::abs(ka.EstimateDistinct() - exact_a) / exact_a <= 3.0 * card_rse) {
+      ++card_within;
+    }
+
+    const double jac = ka.EstimateJaccard(kb).value();
+    if (std::abs(jac - DiscoveryOracle::ExactJaccard(sets.a, sets.b)) <=
+        3.0 * jac_sd) {
+      ++jac_within;
+    }
+
+    // Containment compounds the Jaccard and two cardinality estimates, so
+    // its bound is looser: 3 Jaccard sigmas plus the cardinality slack.
+    const double cont = ka.EstimateContainment(kb).value();
+    if (std::abs(cont - DiscoveryOracle::ExactContainment(sets.a, sets.b)) <=
+        3.0 * jac_sd + 3.0 * card_rse) {
+      ++cont_within;
+    }
+  }
+  EXPECT_GE(card_within, kTrials * 95 / 100);
+  EXPECT_GE(jac_within, kTrials * 95 / 100);
+  EXPECT_GE(cont_within, kTrials * 95 / 100);
+}
+
+// --- MinHash Jaccard / containment ----------------------------------------
+
+TEST(SketchCalibrationTest, MinHashEstimatesWithinAdvertisedError) {
+  const size_t num_hashes = 128;
+  // Each signature position is an i.i.d. Bernoulli(J) match, so the
+  // Jaccard estimator's sd is sqrt(J(1-J)/h) <= sqrt(0.25/h).
+  const double jac_sd = std::sqrt(0.25 / static_cast<double>(num_hashes));
+  Rng rng(0xca11b003);
+  size_t jac_within = 0, cont_within = 0;
+  for (size_t t = 0; t < kTrials; ++t) {
+    const TrialSets sets = MakeTrial(rng, 200, 1200);
+    const MinHashSignature ma = MinHashSignature::Build(sets.a, num_hashes);
+    const MinHashSignature mb = MinHashSignature::Build(sets.b, num_hashes);
+
+    const double jac = ma.EstimateJaccard(mb).value();
+    if (std::abs(jac - DiscoveryOracle::ExactJaccard(sets.a, sets.b)) <=
+        3.0 * jac_sd) {
+      ++jac_within;
+    }
+
+    // Containment uses exact cardinalities, so the only noise is the
+    // Jaccard estimate pushed through |A∩B| = J/(1+J)(|A|+|B|); the
+    // derivative of that map is bounded by ~2 at J near 0, hence 2x.
+    const size_t card_a = DiscoveryOracle::ExactDistinct(sets.a);
+    const size_t card_b = DiscoveryOracle::ExactDistinct(sets.b);
+    const double cont = ma.EstimateContainment(mb, card_a, card_b).value();
+    if (std::abs(cont - DiscoveryOracle::ExactContainment(sets.a, sets.b)) <=
+        2.0 * 3.0 * jac_sd) {
+      ++cont_within;
+    }
+  }
+  EXPECT_GE(jac_within, kTrials * 95 / 100);
+  EXPECT_GE(cont_within, kTrials * 95 / 100);
+}
+
+// --- ApproxEstimator interval coverage ------------------------------------
+
+class ApproxCalibrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SkewedSetsOptions opts;
+    opts.seed = 43;
+    opts.num_sets = 150;
+    opts.min_set_size = 32;
+    opts.max_set_size = 4096;
+    opts.num_queries = 12;
+    opts.query_size = 128;
+    opts.universe_size = 30000;
+    workload_ = new SkewedSetsWorkload(MakeSkewedSetsWorkload(opts));
+    catalog_ = new DataLakeCatalog();
+    for (size_t s = 0; s < workload_->sets.size(); ++s) {
+      Table t("set" + std::to_string(s));
+      Column c("values", DataType::kString);
+      for (const auto& v : workload_->sets[s]) c.Append(Value(v));
+      LAKE_CHECK(t.AddColumn(std::move(c)).ok());
+      LAKE_CHECK(catalog_->AddTable(std::move(t)).ok());
+    }
+    oracle_ = new DiscoveryOracle(catalog_);
+  }
+  static void TearDownTestSuite() {
+    delete oracle_;
+    delete catalog_;
+    delete workload_;
+    oracle_ = nullptr;
+    catalog_ = nullptr;
+    workload_ = nullptr;
+  }
+
+  static SkewedSetsWorkload* workload_;
+  static DataLakeCatalog* catalog_;
+  static DiscoveryOracle* oracle_;
+};
+
+SkewedSetsWorkload* ApproxCalibrationTest::workload_ = nullptr;
+DataLakeCatalog* ApproxCalibrationTest::catalog_ = nullptr;
+DiscoveryOracle* ApproxCalibrationTest::oracle_ = nullptr;
+
+TEST_F(ApproxCalibrationTest, IntervalCoverageMeetsAdvertisedConfidence) {
+  ApproxEstimator::Options opts;
+  opts.max_sample = 256;
+  ApproxEstimator est(catalog_, opts);
+  ASSERT_EQ(est.num_indexed_columns(), oracle_->num_indexed_columns());
+  const double error_budget = 0.1;  // advertised coverage >= 0.9
+  size_t interval_trials = 0;
+  size_t covered = 0;
+  for (const auto& query_values : workload_->queries) {
+    const HashedSet query = est.QuerySet(query_values);
+    for (size_t i = 0; i < est.num_indexed_columns(); ++i) {
+      // Small sample prefix: forces genuine (non-exhaustive) intervals on
+      // the large columns while small columns degenerate to exact.
+      const IntervalEstimate e =
+          est.EstimateContainment(query, i, 64, error_budget);
+      if (e.exact) continue;  // degenerate: no probability statement made
+      ++interval_trials;
+      const double truth = oracle_->ContainmentOf(query_values, i);
+      if (e.lo - 1e-12 <= truth && truth <= e.hi + 1e-12) ++covered;
+    }
+  }
+  ASSERT_GE(interval_trials, kTrials)
+      << "workload too small for a calibration claim";
+  const double coverage =
+      static_cast<double>(covered) / static_cast<double>(interval_trials);
+  // Hoeffding is conservative, so empirical coverage should sit well above
+  // the advertised floor, not near it.
+  EXPECT_GE(coverage, 1.0 - error_budget)
+      << covered << "/" << interval_trials;
+}
+
+TEST_F(ApproxCalibrationTest, TopKRecallAtDefaultBudget) {
+  ApproxJoinSearch search(catalog_);  // default options: budget 0.1
+  const size_t k = 10;
+  double recall_sum = 0;
+  size_t queries = 0;
+  for (const auto& query_values : workload_->queries) {
+    const auto approx_top = search.Search(query_values, k).value();
+    const auto exact_top = oracle_->TopKByContainment(query_values, k);
+    if (exact_top.empty()) continue;
+    std::set<TableId> got;
+    for (const ColumnResult& r : approx_top) got.insert(r.column.table_id);
+    size_t hit = 0;
+    for (const ColumnResult& r : exact_top) {
+      if (got.count(r.column.table_id)) ++hit;
+    }
+    recall_sum +=
+        static_cast<double>(hit) / static_cast<double>(exact_top.size());
+    ++queries;
+  }
+  ASSERT_GT(queries, 0u);
+  EXPECT_GE(recall_sum / static_cast<double>(queries), 0.95);
+}
+
+}  // namespace
+}  // namespace lake

@@ -212,6 +212,9 @@ class DegradedServingTest : public ::testing::Test {
     DiscoveryEngine::Options eopts;
     eopts.build_exact_join = false;
     eopts.build_lsh_join = false;
+    // No approx tier either: ServesDegradedThenRecovers needs a join
+    // modality with no brownout fallback at all.
+    eopts.build_approx = false;
     eopts.build_pexeso = false;
     eopts.build_mate = false;
     eopts.build_correlated = false;

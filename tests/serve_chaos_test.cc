@@ -363,7 +363,10 @@ TEST_F(ServeChaosTest, ErrorFaultBrownsOutJoinThenBreakerRecloses) {
     const QueryResponse response = service.Execute(JosieJoin());
     ASSERT_TRUE(response.status.ok()) << response.status;
     EXPECT_TRUE(response.degraded);
-    EXPECT_EQ(response.served_by, "join.lsh_ensemble");
+    // The sampling tier is the preferred join brownout; its answers are
+    // flagged approximate on top of degraded.
+    EXPECT_EQ(response.served_by, "join.approx");
+    EXPECT_TRUE(response.approx);
     EXPECT_FALSE(response.columns.empty());
     ++degraded_seen;
   }
@@ -384,7 +387,7 @@ TEST_F(ServeChaosTest, ErrorFaultBrownsOutJoinThenBreakerRecloses) {
   const QueryResponse fast = service.Execute(JosieJoin());
   ASSERT_TRUE(fast.status.ok()) << fast.status;
   EXPECT_TRUE(fast.degraded);
-  EXPECT_EQ(fast.served_by, "join.lsh_ensemble");
+  EXPECT_EQ(fast.served_by, "join.approx");
   ++degraded_seen;
   EXPECT_EQ(FailpointRegistry::Instance().fires("serve.exec.join.josie"),
             fired_before);  // open breaker: primary not even attempted
