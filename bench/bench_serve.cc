@@ -616,12 +616,200 @@ int RunShardSweep(const GeneratedLake& lake,
   return RunAntiEntropy(lake, eopts, workload);
 }
 
+// ------------------------------------------- tail-tolerance cell (E23)
+
+/// Ranked (name, score) signature of one response, order-normalized the
+/// same way the cluster tests canonicalize hits.
+std::vector<std::pair<std::string, double>> HitSignature(
+    const lake::cluster::TableQueryResponse& resp) {
+  std::vector<std::pair<std::string, double>> sig;
+  sig.reserve(resp.hits.size());
+  for (const auto& h : resp.hits) sig.emplace_back(h.table, h.score);
+  std::sort(sig.begin(), sig.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return sig;
+}
+
+struct TailRun {
+  std::vector<double> ms;  // per-query wall latency, unsorted
+  std::vector<std::vector<std::pair<std::string, double>>> sigs;
+};
+
+/// Replays `warmup + n` keyword queries (cycling the template topics)
+/// against the cluster. The first `warmup` queries run but are excluded
+/// from the latency sample: the cell measures steady state, not the
+/// transient while the latency windows fill, the ejector converges, and
+/// the retry budget's volume builds (the budget deliberately starves
+/// hedges on a cold start — that bound is asserted separately via
+/// TailStats, which spans the whole run). Result signatures come from
+/// the first topic cycle regardless.
+TailRun ReplayTail(lake::cluster::ClusterEngine& cluster,
+                   const std::vector<std::string>& topics, size_t warmup,
+                   size_t n) {
+  TailRun run;
+  run.ms.reserve(n);
+  for (size_t i = 0; i < warmup + n; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto resp = cluster.Keyword(topics[i % topics.size()], kTopK);
+    if (i >= warmup) run.ms.push_back(ElapsedMs(start));
+    if (i < topics.size()) run.sigs.push_back(HitSignature(resp));
+  }
+  return run;
+}
+
+/// E23: tail tolerance under a persistently slow replica. One replica of
+/// shard 0 is slowed ~10x (persistent kDelay failpoint); the same
+/// keyword workload replays against a plain failover cluster and against
+/// one with hedged reads + latency-outlier ejection. The claims checked:
+/// hedged p99 <= 0.5x unhedged p99, hedged results bit-identical to a
+/// healthy run, and duplicated sub-queries (hedges + funded retries)
+/// within the retry budget's ratio-plus-floor allowance.
+int RunTailCell(const GeneratedLake& lake,
+                const DiscoveryEngine::Options& eopts) {
+  using lake::cluster::ClusterEngine;
+  lake::bench::PrintHeader(
+      "E23: bench_serve --tail",
+      "hedged reads cap the tail a slow replica would otherwise impose: "
+      "p99 with hedging <= 0.5x without, results bit-identical, "
+      "duplicated work within the retry budget");
+
+  std::vector<std::string> topics = lake.topic_of;
+  constexpr size_t kTailWarmup = 150;
+  constexpr size_t kTailQueries = 300;
+
+  auto base_options = [&] {
+    ClusterEngine::Options copts;
+    copts.num_shards = 2;
+    copts.num_replicas = 2;
+    copts.engine.base_options = eopts;
+    copts.engine.kb = &lake.kb;
+    return copts;
+  };
+
+  // Healthy anchor (no fault, no tail features): result signatures and
+  // the p50 the slow replica is scaled from.
+  std::vector<std::vector<std::pair<std::string, double>>> healthy_sigs;
+  double healthy_p50_ms = 0;
+  {
+    ClusterEngine healthy(lake.catalog, base_options());
+    TailRun run = ReplayTail(healthy, topics, /*warmup=*/0, 100);
+    healthy_sigs = std::move(run.sigs);
+    std::sort(run.ms.begin(), run.ms.end());
+    healthy_p50_ms = Percentile(run.ms, 0.50);
+  }
+  const uint64_t delay_ms =
+      std::max<uint64_t>(20, static_cast<uint64_t>(10.0 * healthy_p50_ms));
+
+  auto arm_slow_replica = [delay_ms] {
+    lake::FaultSpec spec;
+    spec.kind = lake::FaultSpec::Kind::kDelay;
+    spec.arg = delay_ms;
+    spec.max_fires = 0;  // persistent: every sub-query on this replica
+    lake::FailpointRegistry::Instance().Arm("cluster.exec.0.0", spec);
+  };
+
+  // Without hedging: failover-only cluster eats the full delay whenever
+  // round-robin lands the slow primary.
+  double p99_without = 0;
+  {
+    ClusterEngine plain(lake.catalog, base_options());
+    arm_slow_replica();
+    TailRun run = ReplayTail(plain, topics, kTailWarmup, kTailQueries);
+    lake::FailpointRegistry::Instance().ClearAll();
+    std::sort(run.ms.begin(), run.ms.end());
+    p99_without = Percentile(run.ms, 0.99);
+  }
+
+  // With the tail layer: hedges race the fast sibling while the slow
+  // outlier accumulates samples, then ejection takes it out of the
+  // rotation entirely.
+  ClusterEngine::Options tail_opts = base_options();
+  tail_opts.tail.enable_hedging = true;
+  tail_opts.tail.hedge_min_delay = std::chrono::milliseconds(1);
+  tail_opts.tail.hedge_max_delay = std::chrono::milliseconds(
+      std::max<uint64_t>(2, delay_ms / 4));
+  tail_opts.tail.eject_multiple = 3.0;
+  tail_opts.tail.eject_min_samples = 16;
+  ClusterEngine hedged(lake.catalog, tail_opts);
+  arm_slow_replica();
+  TailRun hedged_run = ReplayTail(hedged, topics, kTailWarmup, kTailQueries);
+  lake::FailpointRegistry::Instance().ClearAll();
+
+  bool exact = hedged_run.sigs.size() == healthy_sigs.size();
+  for (size_t i = 0; exact && i < healthy_sigs.size(); ++i) {
+    exact = hedged_run.sigs[i] == healthy_sigs[i];
+  }
+  std::sort(hedged_run.ms.begin(), hedged_run.ms.end());
+  const double p99_with = Percentile(hedged_run.ms, 0.99);
+  const double p99_ratio = p99_without > 0 ? p99_with / p99_without : 0;
+
+  const ClusterEngine::TailStats stats = hedged.tail_stats();
+  const double hedge_win_rate =
+      stats.hedges_dispatched > 0
+          ? static_cast<double>(stats.hedges_won) /
+                static_cast<double>(stats.hedges_dispatched)
+          : 0;
+  // Duplicated sub-queries (hedges + budget-funded retries) as a fraction
+  // of primary volume; the budget bounds this at ratio (0.1) plus the
+  // min_tokens floor amortized over the run's windows.
+  const double dup_fraction =
+      stats.budget_requests > 0
+          ? static_cast<double>(stats.budget_acquired) /
+                static_cast<double>(stats.budget_requests)
+          : 0;
+  const bool dup_ok = dup_fraction <= 0.15;
+  size_t ejections = 0;
+  for (const auto& sh : hedged.Health()) {
+    for (const auto& rh : sh.replicas) ejections += rh.slow_ejections;
+  }
+
+  std::printf(
+      "slow replica (shard 0, +%llums per sub-query, ~10x healthy p50 "
+      "%.3fms): p99 without hedging %.3fms -> with %.3fms (%.2fx)\n"
+      "hedges %llu dispatched, %llu won (win rate %.2f); budget: %llu/%llu "
+      "extras granted (dup fraction %.3f, denied %llu); ejections %zu; "
+      "results exact=%d\n",
+      static_cast<unsigned long long>(delay_ms), healthy_p50_ms, p99_without,
+      p99_with, p99_ratio,
+      static_cast<unsigned long long>(stats.hedges_dispatched),
+      static_cast<unsigned long long>(stats.hedges_won), hedge_win_rate,
+      static_cast<unsigned long long>(stats.budget_acquired),
+      static_cast<unsigned long long>(stats.budget_requests), dup_fraction,
+      static_cast<unsigned long long>(stats.budget_denied), ejections,
+      exact ? 1 : 0);
+  lake::bench::PrintJsonLine(
+      "E23:bench_serve:tail",
+      StrFormat("\"shards\":2,\"replicas\":2,\"slow_delay_ms\":%llu,"
+                "\"p99_without_ms\":%.3f,\"p99_with_ms\":%.3f,"
+                "\"p99_ratio\":%.2f,\"hedges\":%llu,\"hedge_wins\":%llu,"
+                "\"hedge_win_rate\":%.2f,\"dup_fraction\":%.3f,"
+                "\"budget_denied\":%llu,\"ejections\":%zu,\"exact\":%d",
+                static_cast<unsigned long long>(delay_ms), p99_without,
+                p99_with, p99_ratio,
+                static_cast<unsigned long long>(stats.hedges_dispatched),
+                static_cast<unsigned long long>(stats.hedges_won),
+                hedge_win_rate, dup_fraction,
+                static_cast<unsigned long long>(stats.budget_denied),
+                ejections, exact ? 1 : 0));
+
+  const bool pass = p99_ratio <= 0.5 && exact && dup_ok;
+  std::printf("\nE23 %s: p99 ratio %.2f (need <= 0.5), exact=%d, "
+              "dup fraction %.3f (need <= 0.15)\n",
+              pass ? "PASS" : "FAIL", p99_ratio, exact ? 1 : 0, dup_fraction);
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool shard_mode = false;
+  bool tail_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--shards") shard_mode = true;
+    if (std::string(argv[i]) == "--tail") tail_mode = true;
   }
 
   GeneratorOptions gopts;
@@ -644,6 +832,7 @@ int main(int argc, char** argv) {
   eopts.train_annotator = false;
 
   if (shard_mode) return RunShardSweep(lake, eopts);
+  if (tail_mode) return RunTailCell(lake, eopts);
 
   lake::bench::PrintHeader(
       "E18: bench_serve",

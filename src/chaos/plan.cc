@@ -301,6 +301,12 @@ ChaosPlan MakePlan(uint64_t seed, const PlanShape& shape) {
     }
     f.spec.after_hits = fault_rng.NextBounded(3);
     f.spec.max_fires = 1 + fault_rng.NextBounded(3);
+    // A quarter of the delay faults become *persistently* slow replicas
+    // (max_fires = 0 = unlimited): the shape that exercises hedged reads
+    // and latency-outlier ejection rather than one-shot failover.
+    if (f.spec.kind == FaultSpec::Kind::kDelay && fault_rng.NextBool(0.25)) {
+      f.spec.max_fires = 0;
+    }
     const double probs[] = {1.0, 1.0, 0.5, 0.25};
     f.spec.probability = probs[fault_rng.NextBounded(4)];
     f.arm_at_op =

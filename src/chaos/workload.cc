@@ -160,6 +160,18 @@ class ChaosEnv {
     opts.engine.enable_wal = plan_.enable_wal;
     opts.enable_scrubber = plan_.background;
     opts.scrub_interval_ms = 50;
+    // Tail tolerance runs in every chaos exploration (hedged reads +
+    // slow-outlier ejection): persistent kDelay faults produce exactly
+    // the slow-replica shape these paths exist for, and the invariant
+    // checker proves hedged answers stay bit-identical to the oracle's.
+    // Short windows/backoffs so the state machines cycle within a run.
+    opts.tail.enable_hedging = true;
+    opts.tail.hedge_max_delay = milliseconds(20);
+    opts.tail.eject_multiple = 3.0;
+    opts.tail.eject_min_samples = 8;
+    opts.tail.eject_base = milliseconds(100);
+    opts.tail.eject_max = milliseconds(400);
+    opts.tail.latency_window.slice_width = milliseconds(250);
     return opts;
   }
 

@@ -1,10 +1,12 @@
 #include "cluster/cluster_engine.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -57,42 +59,239 @@ struct ShardOutcome {
   ShardTrace trace;
 };
 
+/// Runs one attempt against a routed replica and settles its breaker +
+/// latency accounting: success and infrastructure failures feed the
+/// breaker and the latency window; a cancelled attempt records neutrally
+/// (a hedge loser's unwind time is not a service-latency sample, and the
+/// caller's cancellation is not the replica's fault).
+template <typename Answer, typename ShardFn>
+Status RunAttempt(ReplicaSet& rs, const ReplicaSet::Route& route,
+                  const CancelToken* cancel, const ShardFn& fn,
+                  Answer* answer) {
+  const Clock::time_point t0 = Clock::now();
+  Status st = ExecFailpoint(FailpointName(rs.shard_id(), route.replica),
+                            cancel);
+  if (st.ok()) {
+    Result<Answer> r = fn(*route.engine, cancel, rs.shard_id());
+    st = r.ok() ? Status::OK() : r.status();
+    if (r.ok()) *answer = std::move(r).value();
+  }
+  const auto now = ReplicaSet::Clock::now();
+  const double latency_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+  if (st.ok()) {
+    rs.RecordOutcome(route.replica, true, now, latency_us);
+  } else if (st.code() == StatusCode::kCancelled) {
+    rs.RecordNeutral(route.replica, now);
+  } else if (IsBreakerFailure(st.code())) {
+    rs.RecordOutcome(route.replica, false, now, latency_us);
+  }
+  return st;
+}
+
+/// Shared state of one hedged attempt: the primary runs on the hedge pool
+/// against its own CancelToken and parks its result here; the shard
+/// worker either consumes it or, once the hedge wins, cancels it. The
+/// race owns everything the primary touches except the ReplicaSet (whose
+/// shared_ptr the primary lambda holds), so an abandoned primary finishes
+/// harmlessly after the query has returned.
+template <typename Answer>
+struct HedgeRace {
+  std::mutex mu;
+  std::condition_variable cv;
+  CancelToken token;  // the primary's private token
+  bool done = false;
+  Status status;
+  Answer answer{};
+};
+
+/// Whether the first attempt of this sub-query should be hedged, and with
+/// what delay. The delay is the primary's tracked `hedge_quantile`
+/// latency clamped to [hedge_min_delay, hedge_max_delay]; with too few
+/// samples it is hedge_max_delay (pessimistic: a cold replica earns no
+/// early duplicates). Never hedge when the remaining deadline budget is
+/// below the delay — the duplicate could not beat the deadline anyway.
+bool HedgeEligible(const ReplicaSet& rs, const TailContext& tail,
+                   const ReplicaSet::Route& route, const CancelToken* cancel,
+                   std::chrono::nanoseconds* delay) {
+  if (tail.hedge_pool == nullptr || rs.num_replicas() < 2) return false;
+  const auto now = ReplicaSet::Clock::now();
+  std::chrono::nanoseconds d = tail.hedge_max_delay;
+  if (rs.LatencySamples(route.replica, now) >= tail.hedge_min_samples) {
+    const double p_us =
+        rs.LatencyQuantile(route.replica, tail.hedge_quantile, now);
+    d = std::clamp(
+        std::chrono::nanoseconds(static_cast<int64_t>(p_us * 1000.0)),
+        tail.hedge_min_delay, tail.hedge_max_delay);
+  }
+  if (cancel != nullptr && cancel->has_deadline() && cancel->Remaining() <= d) {
+    return false;
+  }
+  *delay = d;
+  return true;
+}
+
+/// One hedged first attempt. The primary runs on the hedge pool; if it
+/// has not answered within `hedge_delay`, the same read-only sub-query is
+/// dispatched to a sibling replica (budget permitting) on the calling
+/// shard worker. First successful response wins; the loser is cancelled
+/// via its CancelToken. Both attempts record their own breaker/latency
+/// outcomes, so the losing replica's slowness still lands in its window —
+/// that is what the ejection machinery feeds on.
+template <typename Answer, typename ShardFn>
+Status RunHedgedAttempt(const std::shared_ptr<ReplicaSet>& rs,
+                        const TailContext& tail,
+                        std::chrono::nanoseconds hedge_delay,
+                        const CancelToken* cancel, const ShardFn& fn,
+                        const ReplicaSet::Route& primary, Answer* answer,
+                        ShardTrace* trace) {
+  auto race = std::make_shared<HedgeRace<Answer>>();
+  if (cancel != nullptr && cancel->has_deadline()) {
+    race->token.SetDeadline(Clock::now() + cancel->Remaining());
+  }
+  if (cancel != nullptr && cancel->cancelled()) race->token.Cancel();
+  tail.hedge_pool->Async([race, rs, primary, fn] {
+    Answer ans{};
+    const Status st = RunAttempt(*rs, primary, &race->token, fn, &ans);
+    {
+      std::lock_guard<std::mutex> lock(race->mu);
+      race->done = true;
+      race->status = st;
+      race->answer = std::move(ans);
+    }
+    race->cv.notify_all();
+  });
+
+  // Waits for the primary until `until`, propagating the caller's
+  // cancellation/deadline into the primary's token as it goes.
+  auto wait_until = [&](Clock::time_point until) {
+    std::unique_lock<std::mutex> lock(race->mu);
+    while (!race->done && Clock::now() < until) {
+      if (cancel != nullptr && (cancel->cancelled() || cancel->Expired())) {
+        race->token.Cancel();
+      }
+      race->cv.wait_for(lock, std::chrono::milliseconds(10),
+                        [&] { return race->done; });
+    }
+    return race->done;
+  };
+  auto consume_primary = [&]() {
+    std::lock_guard<std::mutex> lock(race->mu);
+    *answer = std::move(race->answer);
+    return race->status;
+  };
+
+  if (wait_until(Clock::now() + hedge_delay)) return consume_primary();
+
+  // Primary is slow: hedge, if the budget and a sibling permit.
+  ReplicaSet::Route sibling;
+  const auto pick_now = ReplicaSet::Clock::now();
+  if (tail.budget != nullptr && tail.budget->TryAcquire(pick_now)) {
+    if (rs->Pick(pick_now, primary.replica, &sibling)) {
+      trace->hedged = true;
+      if (tail.hedges_dispatched != nullptr) {
+        tail.hedges_dispatched->fetch_add(1, std::memory_order_relaxed);
+      }
+      if (tail.hedge_counter != nullptr) tail.hedge_counter->Add();
+      CancelToken hedge_token;
+      if (cancel != nullptr && cancel->has_deadline()) {
+        hedge_token.SetDeadline(Clock::now() + cancel->Remaining());
+      }
+      Answer hedge_answer{};
+      const Status hedge_status =
+          RunAttempt(*rs, sibling, &hedge_token, fn, &hedge_answer);
+      if (hedge_status.ok()) {
+        // First response wins. If the primary finished OK while the hedge
+        // ran, it already won the race; results are bit-identical either
+        // way (same generation-pinned read over content-equal replicas),
+        // only the accounting differs.
+        std::unique_lock<std::mutex> lock(race->mu);
+        if (race->done && race->status.ok()) {
+          *answer = std::move(race->answer);
+          return race->status;
+        }
+        race->token.Cancel();  // the losing primary unwinds at its next poll
+        lock.unlock();
+        if (tail.hedges_won != nullptr) {
+          tail.hedges_won->fetch_add(1, std::memory_order_relaxed);
+        }
+        if (tail.hedge_win_counter != nullptr) tail.hedge_win_counter->Add();
+        trace->hedge_won = true;
+        trace->replica = sibling.replica;
+        *answer = std::move(hedge_answer);
+        return Status::OK();
+      }
+      // Hedge lost (error or cancellation): fall through and collect the
+      // primary, which may still answer.
+    }
+  } else if (tail.budget_denied_counter != nullptr) {
+    tail.budget_denied_counter->Add();
+  }
+
+  Clock::time_point until = Clock::time_point::max();
+  if (cancel != nullptr && cancel->has_deadline()) {
+    until = Clock::now() + cancel->Remaining();
+  }
+  bool done = wait_until(until);
+  if (!done) {
+    race->token.Cancel();
+    done = wait_until(Clock::now() + std::chrono::milliseconds(250));
+  }
+  if (!done) {
+    // Abandon the primary; it finishes into the race it owns.
+    return Status::DeadlineExceeded("shard " + std::to_string(rs->shard_id()) +
+                                    ": hedged primary exceeded its deadline");
+  }
+  return consume_primary();
+}
+
 /// Runs `fn` against one replica of `rs`, failing over to a sibling on an
 /// infrastructure error (up to `max_attempts` total attempts). Each attempt
 /// passes through the per-replica failpoint — the chaos-injection surface.
+/// Tail tolerance hooks in at two points: every failover retry (attempt
+/// > 0) draws from the shared retry/hedge budget and silently degrades —
+/// exactly like an exhausted loop — when the budget refuses; and the first
+/// attempt of a read is hedged when enabled (see RunHedgedAttempt).
+/// Mutations never reach this path (ApplyBatch has its own quorum plan).
 template <typename Answer, typename ShardFn>
-void RunShardWithFailover(ReplicaSet& rs, size_t max_attempts,
+void RunShardWithFailover(const std::shared_ptr<ReplicaSet>& rs,
+                          const TailContext& tail, size_t max_attempts,
                           const CancelToken* cancel, const ShardFn& fn,
                           ShardOutcome<Answer>* out) {
   size_t exclude = std::numeric_limits<size_t>::max();
-  out->status = Status::Unavailable("shard " + std::to_string(rs.shard_id()) +
+  out->status = Status::Unavailable("shard " + std::to_string(rs->shard_id()) +
                                     ": no live replica admits the call");
   out->trace.status = out->status;
+  if (tail.budget != nullptr) {
+    tail.budget->RecordRequest(RetryBudget::Clock::now());
+  }
   for (size_t attempt = 0; attempt < std::max<size_t>(1, max_attempts);
        ++attempt) {
+    if (attempt > 0 && tail.budget != nullptr &&
+        !tail.budget->TryAcquire(RetryBudget::Clock::now())) {
+      if (tail.budget_denied_counter != nullptr) {
+        tail.budget_denied_counter->Add();
+      }
+      return;  // degrade exactly as an exhausted failover loop does
+    }
     ReplicaSet::Route route;
-    if (!rs.Pick(ReplicaSet::Clock::now(), exclude, &route)) return;
+    if (!rs->Pick(ReplicaSet::Clock::now(), exclude, &route)) return;
     ++out->trace.attempts;
     out->trace.replica = route.replica;
-    Status st = ExecFailpoint(FailpointName(rs.shard_id(), route.replica),
-                              cancel);
-    if (st.ok()) {
-      Result<Answer> r = fn(*route.engine, cancel, rs.shard_id());
-      st = r.ok() ? Status::OK() : r.status();
-      if (r.ok()) out->answer = std::move(r).value();
+
+    Status st;
+    std::chrono::nanoseconds hedge_delay{0};
+    if (attempt == 0 && HedgeEligible(*rs, tail, route, cancel, &hedge_delay)) {
+      st = RunHedgedAttempt(rs, tail, hedge_delay, cancel, fn, route,
+                            &out->answer, &out->trace);
+    } else {
+      st = RunAttempt(*rs, route, cancel, fn, &out->answer);
     }
-    const auto now = ReplicaSet::Clock::now();
     out->status = st;
     out->trace.status = st;
-    if (st.ok()) {
-      rs.RecordOutcome(route.replica, true, now);
-      return;
-    }
+    if (st.ok()) return;
     if (st.code() == StatusCode::kCancelled) return;  // caller's doing
-    if (IsBreakerFailure(st.code())) {
-      rs.RecordOutcome(route.replica, false, now);
-    }
-    exclude = route.replica;
+    exclude = out->trace.replica;
   }
 }
 
@@ -107,8 +306,9 @@ void RunShardWithFailover(ReplicaSet& rs, size_t max_attempts,
 template <typename Answer, typename ShardFn>
 std::vector<ShardOutcome<Answer>> ScatterToShards(
     ThreadPool& pool, const std::vector<std::shared_ptr<ReplicaSet>>& shards,
-    size_t max_attempts, std::chrono::milliseconds shard_deadline,
-    const CancelToken* cancel, const ShardFn& fn) {
+    const TailContext& tail, size_t max_attempts,
+    std::chrono::milliseconds shard_deadline, const CancelToken* cancel,
+    const ShardFn& fn) {
   const Clock::time_point start = Clock::now();
   Clock::time_point deadline = Clock::time_point::max();
   bool has_deadline = false;
@@ -136,12 +336,13 @@ std::vector<ShardOutcome<Answer>> ScatterToShards(
     const bool cancelled_upstream = cancel != nullptr && cancel->cancelled();
     if (cancelled_upstream) token->Cancel();
     auto future =
-        pool.Async([set = rs, token, max_attempts, fn]() {
+        pool.Async([set = rs, token, tail, max_attempts, fn]() {
           ShardOutcome<Answer> out;
           out.shard = set->shard_id();
           out.trace.shard = set->shard_id();
           const Clock::time_point t0 = Clock::now();
-          RunShardWithFailover(*set, max_attempts, token.get(), fn, &out);
+          RunShardWithFailover(set, tail, max_attempts, token.get(), fn,
+                               &out);
           out.trace.latency_ms = MsSince(t0);
           return out;
         });
@@ -365,6 +566,18 @@ ClusterEngine::ClusterEngine(Options options) : options_(std::move(options)) {
   options_.num_replicas = std::max<size_t>(1, options_.num_replicas);
   options_.max_failover_attempts =
       std::max<size_t>(1, options_.max_failover_attempts);
+  RetryBudget::Options bo;
+  bo.ratio = options_.tail.budget_ratio;
+  bo.min_tokens = options_.tail.budget_min_tokens;
+  bo.window_slices = options_.tail.budget_window_slices;
+  bo.slice_width = options_.tail.budget_slice_width;
+  retry_budget_ = std::make_unique<RetryBudget>(bo);
+  if (options_.tail.enable_hedging) {
+    // Hedged primaries run here, one slot per shard: even with every
+    // scatter worker blocked in a hedge wait, the primaries make progress.
+    hedge_pool_ =
+        std::make_unique<ThreadPool>(std::max<size_t>(2, options_.num_shards));
+  }
   const size_t workers =
       options_.num_workers > 0 ? options_.num_workers : options_.num_shards;
   pool_ = std::make_unique<ThreadPool>(workers);
@@ -448,6 +661,7 @@ ReplicaSet::Options ClusterEngine::ReplicaOptions(uint32_t shard) {
   ro.breaker = options_.breaker;
   ro.write_quorum = options_.write_quorum;
   ro.metrics = options_.metrics;
+  ro.tail = ReplicaTailOptions();
   if (!options_.store_root.empty()) {
     ro.replica_stores.reserve(ro.num_replicas);
     for (size_t r = 0; r < ro.num_replicas; ++r) {
@@ -455,6 +669,46 @@ ReplicaSet::Options ClusterEngine::ReplicaOptions(uint32_t shard) {
     }
   }
   return ro;
+}
+
+ReplicaSet::Options::Tail ClusterEngine::ReplicaTailOptions() const {
+  ReplicaSet::Options::Tail t;
+  t.latency_window = options_.tail.latency_window;
+  t.eject_multiple = options_.tail.eject_multiple;
+  t.eject_quantile = options_.tail.eject_quantile;
+  t.eject_min_samples = options_.tail.eject_min_samples;
+  t.eject_base = options_.tail.eject_base;
+  t.eject_max = options_.tail.eject_max;
+  t.eject_probes = options_.tail.eject_probes;
+  return t;
+}
+
+TailContext ClusterEngine::TailCtx() const {
+  TailContext t;
+  t.budget = retry_budget_.get();
+  t.hedge_pool = hedge_pool_.get();
+  t.hedge_quantile = options_.tail.hedge_quantile;
+  t.hedge_min_delay = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      options_.tail.hedge_min_delay);
+  t.hedge_max_delay = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      options_.tail.hedge_max_delay);
+  t.hedge_min_samples = options_.tail.hedge_min_samples;
+  t.hedges_dispatched = &hedges_dispatched_;
+  t.hedges_won = &hedges_won_;
+  t.hedge_counter = hedge_counter_;
+  t.hedge_win_counter = hedge_win_counter_;
+  t.budget_denied_counter = budget_denied_counter_;
+  return t;
+}
+
+ClusterEngine::TailStats ClusterEngine::tail_stats() const {
+  TailStats s;
+  s.budget_requests = retry_budget_->requests();
+  s.budget_acquired = retry_budget_->acquired();
+  s.budget_denied = retry_budget_->denied();
+  s.hedges_dispatched = hedges_dispatched_.load(std::memory_order_relaxed);
+  s.hedges_won = hedges_won_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void ClusterEngine::InitMetrics() {
@@ -481,6 +735,9 @@ void ClusterEngine::InitMetrics() {
   repair_tables_dropped_ =
       m->GetCounterFamily("cluster.repair.tables_dropped", "shard");
   repair_failures_ = m->GetCounterFamily("cluster.repair.failures", "shard");
+  hedge_counter_ = m->GetCounter("cluster.tail.hedges");
+  hedge_win_counter_ = m->GetCounter("cluster.tail.hedge_wins");
+  budget_denied_counter_ = m->GetCounter("cluster.tail.budget_denied");
 }
 
 Result<std::unique_ptr<ClusterEngine>> ClusterEngine::Recover(
@@ -576,6 +833,7 @@ Result<std::unique_ptr<ClusterEngine>> ClusterEngine::Recover(
     ro.breaker = cluster->options_.breaker;
     ro.write_quorum = cluster->options_.write_quorum;
     ro.metrics = cluster->options_.metrics;
+    ro.tail = cluster->ReplicaTailOptions();
     topo->shards.push_back(std::make_shared<ReplicaSet>(
         id, std::move(replicas), std::move(ro)));
   }
@@ -611,7 +869,7 @@ TableQueryResponse ClusterEngine::Keyword(const std::string& query, size_t k,
     Bm25Index::CorpusStats stats;
   };
   auto pinned = ScatterToShards<Pinned>(
-      *pool_, topo->shards, options_.max_failover_attempts,
+      *pool_, topo->shards, TailCtx(), options_.max_failover_attempts,
       options_.shard_deadline, cancel,
       [query](const ingest::LiveEngine& engine, const CancelToken* token,
               uint32_t /*shard*/) -> Result<Pinned> {
@@ -669,7 +927,7 @@ ColumnQueryResponse ClusterEngine::Joinable(
     const CancelToken* cancel, double error_budget) const {
   auto topo = topology();
   auto outcomes = ScatterToShards<ColumnAnswer>(
-      *pool_, topo->shards, options_.max_failover_attempts,
+      *pool_, topo->shards, TailCtx(), options_.max_failover_attempts,
       options_.shard_deadline, cancel,
       [query_values, method, k, error_budget](
           const ingest::LiveEngine& engine, const CancelToken* token,
@@ -699,7 +957,7 @@ TableQueryResponse ClusterEngine::Unionable(const Table& query,
                                             const CancelToken* cancel) const {
   auto topo = topology();
   auto outcomes = ScatterToShards<TableAnswer>(
-      *pool_, topo->shards, options_.max_failover_attempts,
+      *pool_, topo->shards, TailCtx(), options_.max_failover_attempts,
       options_.shard_deadline, cancel,
       [query, exclude_name, method, k](
           const ingest::LiveEngine& engine, const CancelToken* token,
@@ -736,7 +994,7 @@ ColumnQueryResponse ClusterEngine::Correlated(
     const CancelToken* cancel) const {
   auto topo = topology();
   auto outcomes = ScatterToShards<ColumnAnswer>(
-      *pool_, topo->shards, options_.max_failover_attempts,
+      *pool_, topo->shards, TailCtx(), options_.max_failover_attempts,
       options_.shard_deadline, cancel,
       [key_values, numeric_values, k](
           const ingest::LiveEngine& engine, const CancelToken* /*token*/,
@@ -1087,6 +1345,12 @@ std::vector<ClusterEngine::ShardHealth> ClusterEngine::Health() const {
       rh.content_digest = rs->replica(r)->content_digest();
       rh.breaker_state = rs->breaker(r)->state(now);
       rh.breaker_trips = rs->breaker(r)->trips();
+      const auto tail_now = ReplicaSet::Clock::now();
+      rh.latency_p95_us = rs->LatencyQuantile(r, 0.95, tail_now);
+      rh.latency_samples = rs->LatencySamples(r, tail_now);
+      rh.slow_ejected = rs->slow_ejected(r);
+      rh.slow_ejections = rs->slow_ejections(r);
+      if (rh.slow_ejected) ++h.replicas_ejected;
       // Pick's actual eligibility: dead, stale, and breaker-open replicas
       // are all skipped, so none of them may report as serving.
       rh.serving = rh.alive && !rh.stale &&

@@ -11,15 +11,38 @@
 #include <vector>
 
 #include "cluster/replica_set.h"
+#include "cluster/retry_budget.h"
 #include "cluster/ring.h"
 #include "ingest/live_engine.h"
 #include "serve/metrics.h"
 #include "util/cancel.h"
 #include "util/thread_pool.h"
+#include "util/windowed_quantile.h"
 
 namespace lake::cluster {
 
 class Scrubber;
+
+/// Hedging/budget state one scattered query carries into its per-shard
+/// tasks (snapped out of the engine like the metric handles, so the shard
+/// runners stay free templates in the .cc). Pointers alias engine members
+/// that outlive the scatter pool — abandoned shard tasks may touch them
+/// after the query returns, never after the engine dies.
+struct TailContext {
+  RetryBudget* budget = nullptr;
+  /// Non-null iff hedging is enabled; primaries of hedged attempts run
+  /// here so a saturated scatter pool cannot starve its own hedges.
+  ThreadPool* hedge_pool = nullptr;
+  double hedge_quantile = 0.95;
+  std::chrono::nanoseconds hedge_min_delay{0};
+  std::chrono::nanoseconds hedge_max_delay{0};
+  uint64_t hedge_min_samples = 0;
+  std::atomic<uint64_t>* hedges_dispatched = nullptr;
+  std::atomic<uint64_t>* hedges_won = nullptr;
+  serve::Counter* hedge_counter = nullptr;
+  serve::Counter* hedge_win_counter = nullptr;
+  serve::Counter* budget_denied_counter = nullptr;
+};
 
 /// A ranked table hit with cluster provenance. Tables are identified by
 /// name (the stable identity — ids are shard- and generation-local);
@@ -45,11 +68,13 @@ struct ColumnHit {
 /// Per-shard execution record of one scattered query.
 struct ShardTrace {
   uint32_t shard = 0;
-  size_t replica = 0;  // replica of the final attempt
-  size_t attempts = 0; // 1 = no failover
+  size_t replica = 0;  // replica of the final attempt (or winning hedge)
+  size_t attempts = 0; // 1 = no failover (a hedge is not a failover)
   Status status;
   size_t results = 0;
   double latency_ms = 0;
+  bool hedged = false;     // a duplicate read was dispatched to a sibling
+  bool hedge_won = false;  // ... and its answer was the one used
 };
 
 /// One scattered query's merged answer. `degraded` is true when at least
@@ -125,6 +150,43 @@ class ClusterEngine {
     /// Optional metrics sink (cluster.* metrics, per-shard labeled
     /// families).
     serve::MetricsRegistry* metrics = nullptr;
+
+    /// Tail tolerance. Per-replica latency tracking and the retry/hedge
+    /// budget are always on (cheap); hedged reads and slow-outlier
+    /// ejection are opt-in.
+    struct Tail {
+      /// Hedged reads: when a read sub-query's primary replica has not
+      /// answered within a delay derived from its tracked p95, dispatch
+      /// the same sub-query to a sibling replica; first response wins and
+      /// the loser is cancelled. Mutations never pass through this path.
+      bool enable_hedging = false;
+      /// Quantile of the primary's tracked latency that sets the hedge
+      /// delay.
+      double hedge_quantile = 0.95;
+      /// Clamp for the derived hedge delay. Until the primary has
+      /// hedge_min_samples in its window, the delay is hedge_max_delay.
+      std::chrono::milliseconds hedge_min_delay{1};
+      std::chrono::milliseconds hedge_max_delay{50};
+      uint64_t hedge_min_samples = 16;
+      /// Retry/hedge budget (shared by hedges and failover retries):
+      /// extra attempts allowed per primary sub-query over the rolling
+      /// window, plus a burst floor. See RetryBudget.
+      double budget_ratio = 0.1;
+      uint64_t budget_min_tokens = 10;
+      size_t budget_window_slices = 8;
+      std::chrono::milliseconds budget_slice_width{1000};
+      /// Slow-outlier ejection knobs, forwarded to every ReplicaSet
+      /// (see ReplicaSet::Options::Tail). 0 disables ejection.
+      double eject_multiple = 0;
+      double eject_quantile = 0.95;
+      uint64_t eject_min_samples = 32;
+      std::chrono::milliseconds eject_base{1000};
+      std::chrono::milliseconds eject_max{8000};
+      size_t eject_probes = 3;
+      /// Per-replica latency window shape, forwarded to every ReplicaSet.
+      WindowedQuantile::Options latency_window;
+    };
+    Tail tail;
   };
 
   /// Builds a cluster over `lake`: partitions the tables by ring owner and
@@ -229,6 +291,15 @@ class ClusterEngine {
     serve::CircuitBreaker::State breaker_state =
         serve::CircuitBreaker::State::kClosed;
     uint64_t breaker_trips = 0;
+    /// Tracked service-latency p95 (microseconds) over the decayed
+    /// window; 0 when the window is empty.
+    double latency_p95_us = 0;
+    uint64_t latency_samples = 0;
+    /// Ejected (or probing) by the slow-outlier state machine; skipped by
+    /// Pick's first pass but still a last-resort fallback, so `serving`
+    /// stays true — ejection trims the tail, it never removes capacity.
+    bool slow_ejected = false;
+    uint64_t slow_ejections = 0;
   };
   struct ShardHealth {
     uint32_t shard = 0;
@@ -236,6 +307,7 @@ class ClusterEngine {
     size_t replicas_alive = 0;
     size_t replicas_serving = 0;
     size_t replicas_stale = 0;
+    size_t replicas_ejected = 0;  // slow-outlier ejected/probing
     /// All replica content digests are equal (replication is converged).
     bool digests_agree = true;
     std::vector<ReplicaHealth> replicas;
@@ -243,6 +315,16 @@ class ClusterEngine {
 
   /// Per-shard health; also refreshes the cluster.shard.* labeled gauges.
   std::vector<ShardHealth> Health() const;
+
+  /// Lifetime tail-tolerance counters (tests, bench, health surface).
+  struct TailStats {
+    uint64_t budget_requests = 0;  // primary sub-queries accounted
+    uint64_t budget_acquired = 0;  // extra attempts granted (hedge+retry)
+    uint64_t budget_denied = 0;    // extra attempts refused by the budget
+    uint64_t hedges_dispatched = 0;
+    uint64_t hedges_won = 0;
+  };
+  TailStats tail_stats() const;
 
   // --- Anti-entropy ------------------------------------------------------
 
@@ -343,6 +425,10 @@ class ClusterEngine {
   store::SnapshotStore* StoreFor(uint32_t shard, size_t replica);
 
   ReplicaSet::Options ReplicaOptions(uint32_t shard);
+  /// Tail knobs forwarded into every ReplicaSet (both build paths).
+  ReplicaSet::Options::Tail ReplicaTailOptions() const;
+  /// Snapshot of the tail-tolerance state one scattered query carries.
+  TailContext TailCtx() const;
   void InitMetrics();
   /// Starts the background scrubber when options_.enable_scrubber.
   void StartScrubber();
@@ -382,6 +468,19 @@ class ClusterEngine {
   serve::CounterFamily* repair_tables_copied_ = nullptr;
   serve::CounterFamily* repair_tables_dropped_ = nullptr;
   serve::CounterFamily* repair_failures_ = nullptr;
+  serve::Counter* hedge_counter_ = nullptr;
+  serve::Counter* hedge_win_counter_ = nullptr;
+  serve::Counter* budget_denied_counter_ = nullptr;
+
+  /// Tail tolerance: the shared retry/hedge budget, the dedicated hedge
+  /// pool (hedged primaries run here so a saturated scatter pool cannot
+  /// starve its own hedges), and lifetime hedge counters. Declared before
+  /// pool_: abandoned scatter tasks drain with pool_ and may still touch
+  /// these during teardown.
+  std::unique_ptr<RetryBudget> retry_budget_;
+  std::unique_ptr<ThreadPool> hedge_pool_;
+  mutable std::atomic<uint64_t> hedges_dispatched_{0};
+  mutable std::atomic<uint64_t> hedges_won_{0};
 
   /// Scatter/build/ingest pool. Drained before the replica sets and
   /// stores it references are torn down.

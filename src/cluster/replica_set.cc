@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "util/backoff.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 
@@ -42,7 +43,9 @@ std::string ReplicaSet::ApplyFailpointName(uint32_t shard, size_t replica) {
 ReplicaSet::ReplicaSet(uint32_t shard_id,
                        std::shared_ptr<const DataLakeCatalog> catalog,
                        Options options)
-    : shard_id_(shard_id), write_quorum_option_(options.write_quorum) {
+    : shard_id_(shard_id),
+      write_quorum_option_(options.write_quorum),
+      tail_options_(options.tail) {
   const size_t r = std::max<size_t>(1, options.num_replicas);
   // One shared immutable base engine: replicas are content-identical by
   // construction, so indexing the shard once is enough. Each replica keeps
@@ -68,6 +71,7 @@ ReplicaSet::ReplicaSet(uint32_t shard_id,
         std::make_unique<serve::CircuitBreaker>(options.breaker));
     alive_.push_back(std::make_unique<std::atomic<bool>>(true));
     stale_.push_back(std::make_unique<std::atomic<bool>>(false));
+    tail_.push_back(std::make_unique<TailState>(tail_options_.latency_window));
   }
   InitMetrics(options.metrics);
 }
@@ -78,6 +82,7 @@ ReplicaSet::ReplicaSet(
     Options options)
     : shard_id_(shard_id),
       write_quorum_option_(options.write_quorum),
+      tail_options_(options.tail),
       replicas_(std::move(replicas)) {
   breakers_.reserve(replicas_.size());
   alive_.reserve(replicas_.size());
@@ -87,6 +92,7 @@ ReplicaSet::ReplicaSet(
         std::make_unique<serve::CircuitBreaker>(options.breaker));
     alive_.push_back(std::make_unique<std::atomic<bool>>(true));
     stale_.push_back(std::make_unique<std::atomic<bool>>(false));
+    tail_.push_back(std::make_unique<TailState>(tail_options_.latency_window));
   }
   InitMetrics(options.metrics);
 }
@@ -102,38 +108,225 @@ void ReplicaSet::InitMetrics(serve::MetricsRegistry* metrics) {
           ->WithLabel(static_cast<uint64_t>(shard_id_));
   stale_gauge_ = metrics->GetGaugeFamily("serve.replica.stale", "shard")
                      ->WithLabel(static_cast<uint64_t>(shard_id_));
+  eject_counter_ = metrics->GetCounterFamily("cluster.tail.ejections", "shard")
+                       ->WithLabel(static_cast<uint64_t>(shard_id_));
+  ejected_gauge_ =
+      metrics->GetGaugeFamily("cluster.replica.ejected", "shard")
+          ->WithLabel(static_cast<uint64_t>(shard_id_));
 }
 
 void ReplicaSet::ExportStaleGauge() {
   if (stale_gauge_ != nullptr) stale_gauge_->Set(num_stale());
 }
 
+void ReplicaSet::ExportEjectedGaugeLocked() {
+  if (ejected_gauge_ == nullptr) return;
+  size_t n = 0;
+  for (const auto& t : tail_) {
+    if (t->state != TailState::Eject::kAdmitted) ++n;
+  }
+  ejected_gauge_->Set(n);
+}
+
 bool ReplicaSet::Pick(Clock::time_point now, size_t exclude, Route* route) {
   const size_t r = replicas_.size();
   const size_t start = next_replica_.fetch_add(1, std::memory_order_relaxed);
-  for (size_t i = 0; i < r; ++i) {
-    const size_t candidate = (start + i) % r;
-    if (candidate == exclude || !alive(candidate) || stale(candidate)) {
-      continue;
+  // Pass 1 skips slow-ejected replicas; pass 2 is the availability floor:
+  // when only ejected replicas remain, a slow answer beats no answer.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < r; ++i) {
+      const size_t candidate = (start + i) % r;
+      if (candidate == exclude || !alive(candidate) || stale(candidate)) {
+        continue;
+      }
+      bool tail_probe = false;
+      if (pass == 0) {
+        const TailPermit tail_permit = TailAllow(candidate, now);
+        if (tail_permit == TailPermit::kSkip) continue;
+        tail_probe = tail_permit == TailPermit::kProbe;
+      }
+      const serve::CircuitBreaker::Permit permit =
+          breakers_[candidate]->Allow(now);
+      if (permit == serve::CircuitBreaker::Permit::kDenied) {
+        if (tail_probe) TailReleaseProbe(candidate);
+        continue;
+      }
+      route->replica = candidate;
+      route->engine = replicas_[candidate].get();
+      route->permit = permit;
+      return true;
     }
-    const serve::CircuitBreaker::Permit permit =
-        breakers_[candidate]->Allow(now);
-    if (permit == serve::CircuitBreaker::Permit::kDenied) continue;
-    route->replica = candidate;
-    route->engine = replicas_[candidate].get();
-    route->permit = permit;
-    return true;
+    if (tail_options_.eject_multiple <= 0) break;  // pass 2 can't differ
   }
   return false;
 }
 
+ReplicaSet::TailPermit ReplicaSet::TailAllow(size_t candidate,
+                                             Clock::time_point now) {
+  if (tail_options_.eject_multiple <= 0) return TailPermit::kGranted;
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  TailState& t = *tail_[candidate];
+  switch (t.state) {
+    case TailState::Eject::kAdmitted:
+      return TailPermit::kGranted;
+    case TailState::Eject::kEjected:
+      if (now < t.readmit_at) return TailPermit::kSkip;
+      // Ejection served: start probing from a clean window so the
+      // re-admit verdict judges probe samples, not the old slowness.
+      t.state = TailState::Eject::kProbing;
+      t.probes_in_flight = 1;
+      t.probe_successes = 0;
+      t.latency.Reset();
+      return TailPermit::kProbe;
+    case TailState::Eject::kProbing:
+      if (t.probes_in_flight >= 1) return TailPermit::kSkip;
+      ++t.probes_in_flight;
+      return TailPermit::kProbe;
+  }
+  return TailPermit::kGranted;
+}
+
+void ReplicaSet::TailReleaseProbe(size_t replica) {
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  TailState& t = *tail_[replica];
+  if (t.probes_in_flight > 0) --t.probes_in_flight;
+}
+
+double ReplicaSet::PeerMedianLocked(size_t replica,
+                                    Clock::time_point now) const {
+  std::vector<double> peer_quantiles;
+  for (size_t j = 0; j < replicas_.size(); ++j) {
+    if (j == replica || !alive(j) || stale(j)) continue;
+    if (tail_[j]->state != TailState::Eject::kAdmitted) continue;
+    if (tail_[j]->latency.count(now) < tail_options_.eject_min_samples) {
+      continue;
+    }
+    peer_quantiles.push_back(
+        tail_[j]->latency.Quantile(tail_options_.eject_quantile, now));
+  }
+  if (peer_quantiles.empty()) return 0;
+  std::sort(peer_quantiles.begin(), peer_quantiles.end());
+  return peer_quantiles[peer_quantiles.size() / 2];
+}
+
+void ReplicaSet::EvaluateEjectionLocked(size_t replica,
+                                        Clock::time_point now) {
+  TailState& t = *tail_[replica];
+  if (t.latency.count(now) < tail_options_.eject_min_samples) return;
+  // The floor: PeerMedianLocked only counts admitted, live, non-stale
+  // peers with enough signal — no qualified peer means this replica may
+  // be the last healthy one, so it is never ejected on a solo verdict.
+  const double median = PeerMedianLocked(replica, now);
+  if (median <= 0) return;
+  const double own = t.latency.Quantile(tail_options_.eject_quantile, now);
+  if (own <= tail_options_.eject_multiple * median) return;
+  t.state = TailState::Eject::kEjected;
+  const uint64_t base_ms =
+      static_cast<uint64_t>(tail_options_.eject_base.count());
+  const uint64_t max_ms =
+      static_cast<uint64_t>(tail_options_.eject_max.count());
+  t.readmit_at = now + std::chrono::milliseconds(BackoffDelay(
+                           std::max<uint64_t>(1, base_ms), max_ms,
+                           t.consecutive_ejects + 1));
+  ++t.consecutive_ejects;
+  ++t.ejections;
+  if (eject_counter_ != nullptr) eject_counter_->Add();
+  ExportEjectedGaugeLocked();
+  LAKE_LOG(Warning) << "shard " << shard_id_ << " replica " << replica
+                    << ": slow-outlier ejected (p"
+                    << static_cast<int>(tail_options_.eject_quantile * 100)
+                    << " " << own << "us vs peer median " << median << "us)";
+}
+
 void ReplicaSet::RecordOutcome(size_t replica, bool success,
-                               Clock::time_point now) {
+                               Clock::time_point now, double latency_us) {
   if (success) {
     breakers_[replica]->RecordSuccess(now);
   } else {
     breakers_[replica]->RecordFailure(now);
   }
+  if (latency_us >= 0) tail_[replica]->latency.Record(latency_us, now);
+  if (tail_options_.eject_multiple <= 0) return;
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  TailState& t = *tail_[replica];
+  switch (t.state) {
+    case TailState::Eject::kAdmitted:
+      EvaluateEjectionLocked(replica, now);
+      return;
+    case TailState::Eject::kEjected:
+      return;  // straggler from before the ejection
+    case TailState::Eject::kProbing: {
+      if (t.probes_in_flight > 0) --t.probes_in_flight;
+      if (!success) return;  // breaker judges failures; keep probing
+      if (++t.probe_successes < tail_options_.eject_probes) return;
+      // Verdict: the probe window holds only post-ejection samples. Still
+      // an outlier -> re-eject with a doubled ejection; recovered (or not
+      // provably slow) -> re-admit.
+      const double median = PeerMedianLocked(replica, now);
+      const double own =
+          t.latency.Quantile(tail_options_.eject_quantile, now);
+      if (median > 0 && own > tail_options_.eject_multiple * median) {
+        t.state = TailState::Eject::kEjected;
+        const uint64_t base_ms =
+            static_cast<uint64_t>(tail_options_.eject_base.count());
+        const uint64_t max_ms =
+            static_cast<uint64_t>(tail_options_.eject_max.count());
+        t.readmit_at =
+            now + std::chrono::milliseconds(BackoffDelay(
+                      std::max<uint64_t>(1, base_ms), max_ms,
+                      t.consecutive_ejects + 1));
+        ++t.consecutive_ejects;
+        ++t.ejections;
+        if (eject_counter_ != nullptr) eject_counter_->Add();
+      } else {
+        t.state = TailState::Eject::kAdmitted;
+        t.consecutive_ejects = 0;
+      }
+      t.probes_in_flight = 0;
+      t.probe_successes = 0;
+      ExportEjectedGaugeLocked();
+      return;
+    }
+  }
+}
+
+void ReplicaSet::RecordNeutral(size_t replica, Clock::time_point now) {
+  breakers_[replica]->RecordNeutral(now);
+  if (tail_options_.eject_multiple <= 0) return;
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  TailState& t = *tail_[replica];
+  if (t.state == TailState::Eject::kProbing && t.probes_in_flight > 0) {
+    --t.probes_in_flight;
+  }
+}
+
+double ReplicaSet::LatencyQuantile(size_t replica, double q,
+                                   Clock::time_point now) const {
+  return tail_[replica]->latency.Quantile(q, now);
+}
+
+uint64_t ReplicaSet::LatencySamples(size_t replica,
+                                    Clock::time_point now) const {
+  return tail_[replica]->latency.count(now);
+}
+
+bool ReplicaSet::slow_ejected(size_t replica) const {
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  return tail_[replica]->state != TailState::Eject::kAdmitted;
+}
+
+uint64_t ReplicaSet::slow_ejections(size_t replica) const {
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  return tail_[replica]->ejections;
+}
+
+size_t ReplicaSet::num_ejected() const {
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  size_t n = 0;
+  for (const auto& t : tail_) {
+    if (t->state != TailState::Eject::kAdmitted) ++n;
+  }
+  return n;
 }
 
 size_t ReplicaSet::num_alive() const {

@@ -5,12 +5,14 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "ingest/live_engine.h"
 #include "serve/circuit_breaker.h"
 #include "serve/metrics.h"
+#include "util/windowed_quantile.h"
 
 namespace lake::cluster {
 
@@ -55,6 +57,28 @@ class ReplicaSet {
     /// Optional metrics sink (cluster.apply.* counters,
     /// serve.replica.stale gauge). Not owned.
     serve::MetricsRegistry* metrics = nullptr;
+
+    /// Tail tolerance: per-replica latency tracking is always on (cheap);
+    /// slow-outlier *ejection* activates when `eject_multiple > 0`.
+    struct Tail {
+      /// Shape of the per-replica decayed latency window.
+      WindowedQuantile::Options latency_window;
+      /// Eject a replica whose tracked `eject_quantile` exceeds this
+      /// multiple of the median of its admitted peers' quantiles.
+      /// 0 disables ejection.
+      double eject_multiple = 0;
+      double eject_quantile = 0.95;
+      /// Both the replica and at least one peer need this many windowed
+      /// samples before an ejection verdict counts.
+      uint64_t eject_min_samples = 32;
+      /// First ejection duration; doubles per consecutive re-ejection
+      /// (shared Backoff schedule), capped at eject_max.
+      std::chrono::milliseconds eject_base{1000};
+      std::chrono::milliseconds eject_max{8000};
+      /// Probe successes required before the re-admit verdict runs.
+      size_t eject_probes = 3;
+    };
+    Tail tail;
   };
 
   /// Builds R replicas over `catalog` (one shared immutable cold-start
@@ -90,13 +114,29 @@ class ReplicaSet {
 
   /// Picks a live, non-stale replica whose breaker admits a call, rotating
   /// the starting replica across calls so load spreads. `exclude` skips
-  /// one replica (the one that just failed; SIZE_MAX = none). False when
-  /// no replica is available — the shard is effectively down for this
-  /// query.
+  /// one replica (the one that just failed; SIZE_MAX = none). Slow-ejected
+  /// replicas are skipped on the first pass; if *only* ejected replicas
+  /// remain pickable, the second pass admits them anyway — ejection trims
+  /// the tail, it never makes a shard unavailable (the "last healthy
+  /// replica is never ejected" floor, enforced at both eject time and pick
+  /// time). False when no replica is available — the shard is effectively
+  /// down for this query.
   bool Pick(Clock::time_point now, size_t exclude, Route* route);
 
-  /// Feeds an attempt's outcome into the routed replica's breaker.
-  void RecordOutcome(size_t replica, bool success, Clock::time_point now);
+  /// Feeds an attempt's outcome into the routed replica's breaker, and —
+  /// when `latency_us >= 0` — its service latency into the replica's
+  /// decayed quantile window, where the slow-outlier ejection check runs.
+  /// Cancelled attempts must go through RecordNeutral instead: a hedge
+  /// loser's unwind time is not a service-latency sample.
+  void RecordOutcome(size_t replica, bool success, Clock::time_point now,
+                     double latency_us);
+  void RecordOutcome(size_t replica, bool success, Clock::time_point now) {
+    RecordOutcome(replica, success, now, /*latency_us=*/-1);
+  }
+
+  /// Cancelled attempt: releases breaker and ejection probe slots without
+  /// biasing the failure window or the latency quantile either way.
+  void RecordNeutral(size_t replica, Clock::time_point now);
 
   // --- Health -----------------------------------------------------------
 
@@ -114,6 +154,20 @@ class ReplicaSet {
   void ClearStale(size_t replica);
   bool stale(size_t replica) const { return stale_[replica]->load(); }
   size_t num_stale() const;
+
+  // --- Tail tolerance ---------------------------------------------------
+
+  /// Tracked latency quantile of one replica (microseconds) over the
+  /// decayed window; 0 when the window is empty.
+  double LatencyQuantile(size_t replica, double q, Clock::time_point now) const;
+  /// Latency samples currently inside the replica's window.
+  uint64_t LatencySamples(size_t replica, Clock::time_point now) const;
+  /// True while the replica sits in the ejected or probing state of the
+  /// slow-outlier state machine.
+  bool slow_ejected(size_t replica) const;
+  /// Lifetime count of slow-outlier ejections of one replica.
+  uint64_t slow_ejections(size_t replica) const;
+  size_t num_ejected() const;
 
   serve::CircuitBreaker* breaker(size_t replica) {
     return breakers_[replica].get();
@@ -144,22 +198,58 @@ class ReplicaSet {
   std::vector<Table> VisibleTables() const;
 
  private:
+  /// Slow-outlier ejection state machine, mirroring the circuit breaker
+  /// but keyed on *latency* instead of failures:
+  ///   kAdmitted --(quantile > multiple x peer median)--> kEjected
+  ///   kEjected  --(backoff elapsed)-->                   kProbing
+  ///   kProbing  --(probes fast again)-->                 kAdmitted
+  ///   kProbing  --(probes still slow)-->                 kEjected (longer)
+  /// The window is reset on eject->probe so the re-admit verdict judges
+  /// only probe samples, not the stale slowness that caused the ejection.
+  struct TailState {
+    enum class Eject { kAdmitted, kEjected, kProbing };
+    explicit TailState(WindowedQuantile::Options window) : latency(window) {}
+    WindowedQuantile latency;
+    Eject state = Eject::kAdmitted;
+    Clock::time_point readmit_at{};
+    uint64_t consecutive_ejects = 0;
+    size_t probes_in_flight = 0;
+    size_t probe_successes = 0;
+    uint64_t ejections = 0;  // lifetime
+  };
+  enum class TailPermit { kSkip, kGranted, kProbe };
+
   void InitMetrics(serve::MetricsRegistry* metrics);
   void ExportStaleGauge();
+  void ExportEjectedGaugeLocked();
+  /// Admission decision of the ejection state machine for one candidate.
+  TailPermit TailAllow(size_t candidate, Clock::time_point now);
+  /// Returns an unused probe slot (breaker denied after tail granted).
+  void TailReleaseProbe(size_t replica);
+  /// Median of the admitted peers' tracked quantiles; 0 when fewer than
+  /// one peer qualifies (the eject-time floor). Caller holds tail_mu_.
+  double PeerMedianLocked(size_t replica, Clock::time_point now) const;
+  void EvaluateEjectionLocked(size_t replica, Clock::time_point now);
 
   uint32_t shard_id_;
   size_t write_quorum_option_ = 0;
+  Options::Tail tail_options_;
   std::vector<std::unique_ptr<ingest::LiveEngine>> replicas_;
   std::vector<std::unique_ptr<serve::CircuitBreaker>> breakers_;
   std::vector<std::unique_ptr<std::atomic<bool>>> alive_;
   std::vector<std::unique_ptr<std::atomic<bool>>> stale_;
   std::atomic<size_t> next_replica_{0};
 
+  mutable std::mutex tail_mu_;  // guards TailState fields (not `latency`)
+  std::vector<std::unique_ptr<TailState>> tail_;
+
   // Metric handles (null without a registry).
   serve::Counter* outcome_mismatch_ = nullptr;
   serve::Counter* replica_failures_ = nullptr;
   serve::Counter* quorum_failures_ = nullptr;
   serve::Gauge* stale_gauge_ = nullptr;
+  serve::Counter* eject_counter_ = nullptr;
+  serve::Gauge* ejected_gauge_ = nullptr;
 };
 
 }  // namespace lake::cluster

@@ -8,7 +8,10 @@
 namespace lake::ingest {
 
 Compactor::Compactor(LiveEngine* engine, Options options)
-    : engine_(engine), options_(options) {
+    : engine_(engine),
+      options_(options),
+      backoff_(Backoff::Options{options.backoff_initial_ms,
+                                options.backoff_max_ms, /*jitter=*/0}) {
   thread_ = std::thread([this] { Loop(); });
 }
 
@@ -82,12 +85,11 @@ void Compactor::Loop() {
     if (stats.ok()) {
       ++runs_;
       last_stats_ = stats.value();
+      backoff_.Reset();
       backoff_ms_ = 0;
     } else {
       ++failures_;
-      backoff_ms_ = backoff_ms_ == 0
-                        ? options_.backoff_initial_ms
-                        : std::min(options_.backoff_max_ms, backoff_ms_ * 2);
+      backoff_ms_ = backoff_.NextDelayMs();
       next_attempt_ = std::chrono::steady_clock::now() +
                       std::chrono::milliseconds(backoff_ms_);
       LAKE_LOG(Warning) << "compaction failed (retry in " << backoff_ms_

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "ingest/live_engine.h"
+#include "util/backoff.h"
 
 namespace lake::ingest {
 
@@ -69,6 +70,7 @@ class Compactor {
   uint64_t runs_ = 0;
   uint64_t failures_ = 0;
   LiveEngine::CompactionStats last_stats_;
+  Backoff backoff_;          // shared capped-exponential retry schedule
   uint64_t backoff_ms_ = 0;  // 0 = healthy, else current retry delay
   std::chrono::steady_clock::time_point next_attempt_{};  // gate while backing off
 

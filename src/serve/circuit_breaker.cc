@@ -1,6 +1,9 @@
 #include "serve/circuit_breaker.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "util/backoff.h"
 
 namespace lake::serve {
 
@@ -53,10 +56,14 @@ double CircuitBreaker::FailureRateLocked() const {
 void CircuitBreaker::TripLocked(Clock::time_point now) {
   state_ = State::kOpen;
   ++trips_;
-  const uint64_t exponent = std::min<uint64_t>(consecutive_opens_, 16);
-  auto backoff = options_.open_base * (1ll << exponent);
-  if (backoff > options_.open_max) backoff = options_.open_max;
-  reopen_at_ = now + backoff;
+  const auto base =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(options_.open_base);
+  const auto max =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(options_.open_max);
+  reopen_at_ = now + std::chrono::nanoseconds(BackoffDelay(
+                         static_cast<uint64_t>(base.count()),
+                         static_cast<uint64_t>(max.count()),
+                         consecutive_opens_ + 1));
   ++consecutive_opens_;
   probes_in_flight_ = 0;
   probe_successes_ = 0;

@@ -517,10 +517,13 @@ QueryService::HealthSnapshot QueryService::Health() {
       // revived, repaired, or its breaker closes.
       if (shard.replicas_serving == 0) health.degraded = true;
       health.stale_replicas += shard.replicas_stale;
+      health.ejected_replicas += shard.replicas_ejected;
       if (!shard.digests_agree) health.replicas_divergent = true;
     }
     metrics_.GetGauge("serve.replica.stale.total")
         ->Set(health.stale_replicas);
+    metrics_.GetGauge("serve.replica.ejected.total")
+        ->Set(health.ejected_replicas);
   }
 
   health.ok = !health.degraded && health.open_breakers == 0;

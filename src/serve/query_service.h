@@ -269,6 +269,10 @@ class QueryService {
     /// Replicas excluded from reads because their content diverged from
     /// the write quorum (anti-entropy repairs and re-admits them).
     size_t stale_replicas = 0;
+    /// Replicas the latency-outlier state machine currently holds in the
+    /// ejected/probing state (skipped by replica pick unless they are the
+    /// last resort; does not mark the service degraded).
+    size_t ejected_replicas = 0;
     /// At least one shard's replicas disagree on their content digest —
     /// replication is converging (or a repair is pending), answers from
     /// non-stale replicas are still correct.

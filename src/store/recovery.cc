@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "util/backoff.h"
 #include "util/logging.h"
 
 namespace lake::store {
@@ -20,12 +21,8 @@ uint64_t RecoveryManager::Now() const {
 
 uint64_t RecoveryManager::BackoffMs(uint64_t attempts) const {
   // attempts=1 → initial, doubling per attempt, capped.
-  uint64_t backoff = options_.backoff_initial_ms;
-  for (uint64_t i = 1; i < attempts && backoff < options_.backoff_max_ms;
-       ++i) {
-    backoff *= 2;
-  }
-  return std::min(backoff, options_.backoff_max_ms);
+  return BackoffDelay(options_.backoff_initial_ms, options_.backoff_max_ms,
+                      attempts);
 }
 
 void RecoveryManager::Register(std::string section, SectionLoader loader) {

@@ -1,0 +1,76 @@
+#ifndef LAKE_UTIL_BACKOFF_H_
+#define LAKE_UTIL_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace lake {
+
+/// Capped exponential backoff delay, shared by every retry loop in the
+/// tree (circuit-breaker reopen, compaction retry, recovery quarantine,
+/// slow-replica ejection). Pure function: `attempt` is 1-based, attempt 1
+/// returns `initial`, each further attempt doubles, capped at `max`.
+/// Units are whatever the caller passes (ms, ns) — only the doubling is
+/// encoded here.
+inline uint64_t BackoffDelay(uint64_t initial, uint64_t max,
+                             uint64_t attempt) {
+  uint64_t delay = initial;
+  for (uint64_t i = 1; i < attempt && delay < max; ++i) delay *= 2;
+  return std::min(delay, max);
+}
+
+/// Stateful capped-exponential backoff with optional seeded jitter, for
+/// loops that track "consecutive failures" implicitly: NextDelayMs()
+/// advances the attempt counter, Reset() marks the dependency healthy
+/// again.
+///
+/// Jitter is drawn from a caller-provided Rng (fork the component's
+/// stream: `rng.Fork("backoff")`), never from wall clocks or
+/// std::random_device — the chaos determinism contract (see
+/// util/random.h) holds through every retry schedule. jitter = 0 (the
+/// default) makes delays a pure function of the attempt count.
+class Backoff {
+ public:
+  struct Options {
+    uint64_t initial_ms = 100;
+    uint64_t max_ms = 5000;
+    /// Jitter fraction in [0, 1): each delay is scaled by a factor drawn
+    /// uniformly from [1 - jitter, 1], de-synchronizing retry herds.
+    double jitter = 0;
+  };
+
+  explicit Backoff(Options options) : Backoff(options, Rng(0)) {}
+  Backoff(Options options, Rng rng) : options_(options), rng_(rng) {
+    options_.initial_ms = std::max<uint64_t>(1, options_.initial_ms);
+    options_.max_ms = std::max(options_.initial_ms, options_.max_ms);
+    options_.jitter = std::clamp(options_.jitter, 0.0, 0.999);
+  }
+
+  /// Delay before the next retry; the first call after construction (or
+  /// Reset) returns ~initial_ms, each further call doubles, capped.
+  uint64_t NextDelayMs() {
+    ++attempts_;
+    const uint64_t base =
+        BackoffDelay(options_.initial_ms, options_.max_ms, attempts_);
+    if (options_.jitter <= 0) return base;
+    const double scale = 1.0 - rng_.NextUnit() * options_.jitter;
+    return std::max<uint64_t>(1, static_cast<uint64_t>(base * scale));
+  }
+
+  /// The dependency recovered: the next failure starts over at initial.
+  void Reset() { attempts_ = 0; }
+
+  /// Consecutive failures since the last Reset.
+  uint64_t attempts() const { return attempts_; }
+
+ private:
+  Options options_;
+  Rng rng_;
+  uint64_t attempts_ = 0;
+};
+
+}  // namespace lake
+
+#endif  // LAKE_UTIL_BACKOFF_H_

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <thread>
 
+#include "util/backoff.h"
 #include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/random.h"
@@ -16,6 +17,7 @@
 #include "util/thread_pool.h"
 #include "util/timer.h"
 #include "util/top_k.h"
+#include "util/windowed_quantile.h"
 
 namespace lake {
 namespace {
@@ -439,6 +441,123 @@ TEST(FailpointRegistryTest, ListRegisteredIsSortedAndSurvivesClearAll) {
   // Registration describes the binary, not a run: it survives ClearAll.
   EXPECT_TRUE(still("util_test.zeta"));
   EXPECT_TRUE(still("util_test.armed"));
+}
+
+// --- Backoff --------------------------------------------------------------
+
+TEST(BackoffTest, DelayDoublesFromInitialAndCaps) {
+  EXPECT_EQ(BackoffDelay(100, 5000, 1), 100u);
+  EXPECT_EQ(BackoffDelay(100, 5000, 2), 200u);
+  EXPECT_EQ(BackoffDelay(100, 5000, 3), 400u);
+  EXPECT_EQ(BackoffDelay(100, 5000, 6), 3200u);
+  EXPECT_EQ(BackoffDelay(100, 5000, 7), 5000u);   // 6400 capped
+  EXPECT_EQ(BackoffDelay(100, 5000, 60), 5000u);  // stays capped, no overflow
+}
+
+TEST(BackoffTest, DelayEdgeCases) {
+  EXPECT_EQ(BackoffDelay(0, 5000, 1), 0u);    // 0 initial stays 0
+  EXPECT_EQ(BackoffDelay(0, 5000, 9), 0u);    // ... forever (0*2 = 0)
+  EXPECT_EQ(BackoffDelay(100, 50, 1), 50u);   // max below initial clamps
+  EXPECT_EQ(BackoffDelay(100, 100, 5), 100u); // max == initial
+}
+
+TEST(BackoffTest, StatefulAdvancesAndResets) {
+  Backoff b(Backoff::Options{10, 80, 0});
+  EXPECT_EQ(b.NextDelayMs(), 10u);
+  EXPECT_EQ(b.NextDelayMs(), 20u);
+  EXPECT_EQ(b.NextDelayMs(), 40u);
+  EXPECT_EQ(b.NextDelayMs(), 80u);
+  EXPECT_EQ(b.NextDelayMs(), 80u);  // capped
+  EXPECT_EQ(b.attempts(), 5u);
+  b.Reset();
+  EXPECT_EQ(b.attempts(), 0u);
+  EXPECT_EQ(b.NextDelayMs(), 10u);  // schedule starts over
+}
+
+TEST(BackoffTest, JitterStaysInBandAndIsDeterministic) {
+  Backoff::Options opts{100, 10000, 0.5};
+  Backoff a(opts, Rng(42).Fork("backoff"));
+  Backoff b(opts, Rng(42).Fork("backoff"));
+  uint64_t previous_base = 0;
+  for (int i = 1; i <= 8; ++i) {
+    const uint64_t base = BackoffDelay(100, 10000, i);
+    const uint64_t da = a.NextDelayMs();
+    // Jittered delay scales the base by [1 - jitter, 1].
+    EXPECT_GE(da, base / 2);
+    EXPECT_LE(da, base);
+    // Same seed, same stream: the whole schedule replays (the chaos
+    // determinism contract).
+    EXPECT_EQ(da, b.NextDelayMs());
+    EXPECT_GE(base, previous_base);
+    previous_base = base;
+  }
+}
+
+// --- WindowedQuantile -----------------------------------------------------
+
+TEST(WindowedQuantileTest, EmptyWindowReportsZero) {
+  WindowedQuantile wq;
+  const auto now = WindowedQuantile::Clock::now();
+  EXPECT_EQ(wq.count(now), 0u);
+  EXPECT_EQ(wq.Quantile(0.5, now), 0.0);
+}
+
+TEST(WindowedQuantileTest, QuantilesWithinBucketError) {
+  WindowedQuantile::Options opts;
+  opts.window_slices = 4;
+  opts.slice_width = std::chrono::milliseconds(1000);
+  WindowedQuantile wq(opts);
+  const auto now = WindowedQuantile::Clock::now();
+  // 1..1000 us uniformly: p50 ~ 500, p95 ~ 950, p99 ~ 990.
+  for (int v = 1; v <= 1000; ++v) wq.Record(v, now);
+  EXPECT_EQ(wq.count(now), 1000u);
+  // Log-bucketing bounds relative error at ~12.5%.
+  EXPECT_NEAR(wq.Quantile(0.50, now), 500.0, 500.0 * 0.15);
+  EXPECT_NEAR(wq.Quantile(0.95, now), 950.0, 950.0 * 0.15);
+  EXPECT_NEAR(wq.Quantile(0.99, now), 990.0, 990.0 * 0.15);
+  // Extremes are exact-ish: min lands in an exact bucket.
+  EXPECT_LE(wq.Quantile(0.0, now), 2.0);
+}
+
+TEST(WindowedQuantileTest, OldSlicesRollOffTheWindow) {
+  WindowedQuantile::Options opts;
+  opts.window_slices = 4;
+  opts.slice_width = std::chrono::milliseconds(100);
+  WindowedQuantile wq(opts);
+  const auto t0 = WindowedQuantile::Clock::now();
+  for (int i = 0; i < 100; ++i) wq.Record(10000.0, t0);  // slow past
+  // One window later the slow samples have decayed away entirely and the
+  // replica stops *looking* slow.
+  const auto t1 = t0 + std::chrono::milliseconds(100 * 5);
+  for (int i = 0; i < 100; ++i) wq.Record(100.0, t1);
+  EXPECT_EQ(wq.count(t1), 100u);
+  EXPECT_LT(wq.Quantile(0.95, t1), 200.0);
+}
+
+TEST(WindowedQuantileTest, MixedSlicesMergeAndResetDrops) {
+  WindowedQuantile::Options opts;
+  opts.window_slices = 8;
+  opts.slice_width = std::chrono::milliseconds(100);
+  WindowedQuantile wq(opts);
+  const auto t0 = WindowedQuantile::Clock::now();
+  const auto t1 = t0 + std::chrono::milliseconds(100);
+  for (int i = 0; i < 50; ++i) wq.Record(100.0, t0);
+  for (int i = 0; i < 50; ++i) wq.Record(1000.0, t1);
+  // Both slices are inside the window: the quantile sees all 100 samples.
+  EXPECT_EQ(wq.count(t1), 100u);
+  const double p75 = wq.Quantile(0.75, t1);
+  EXPECT_GT(p75, 500.0);
+  wq.Reset();
+  EXPECT_EQ(wq.count(t1), 0u);
+  EXPECT_EQ(wq.Quantile(0.75, t1), 0.0);
+}
+
+TEST(WindowedQuantileTest, LargeValuesClampToLastBucket) {
+  WindowedQuantile wq;
+  const auto now = WindowedQuantile::Clock::now();
+  wq.Record(1e18, now);  // absurd sample must not crash or wrap
+  EXPECT_EQ(wq.count(now), 1u);
+  EXPECT_GT(wq.Quantile(0.5, now), 1e6);
 }
 
 }  // namespace
